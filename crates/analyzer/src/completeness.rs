@@ -1,0 +1,163 @@
+//! RIDL-A function 2: "determines whether the binary schema contains all
+//! necessary concepts to be a complete description" (§3.2).
+//!
+//! Completeness findings are warnings, not errors: an incomplete schema is
+//! typical mid-project ("at early stages (partial) specifications … can
+//! already be checked", §1) and the mapper can still run on it.
+
+use ridl_brm::{ConstraintKind, Schema, Side};
+
+use crate::report::Finding;
+
+/// Checks completeness heuristics; returns the findings.
+pub fn check(schema: &Schema) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if schema.num_object_types() == 0 {
+        out.push(Finding::warning(
+            "EMPTY-SCHEMA",
+            "the schema has no concepts",
+        ));
+        return out;
+    }
+    facts_have_identifiers(schema, &mut out);
+    no_isolated_concepts(schema, &mut out);
+    nolots_have_facts(schema, &mut out);
+    subtype_has_specifics(schema, &mut out);
+    out
+}
+
+/// NIAM: every fact type needs at least one uniqueness constraint; without
+/// one the fact's grouping (attribute vs own table) is undetermined.
+fn facts_have_identifiers(schema: &Schema, out: &mut Vec<Finding>) {
+    for (fid, ft) in schema.fact_types() {
+        if !schema.fact_has_uniqueness(fid) {
+            out.push(Finding::warning(
+                "FACT-NO-UNIQUENESS",
+                format!(
+                    "fact type {} has no uniqueness constraint; the mapper will assume a many-to-many fact",
+                    ft.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Object types playing no role and appearing in no sublink describe nothing.
+fn no_isolated_concepts(schema: &Schema, out: &mut Vec<Finding>) {
+    for (oid, ot) in schema.object_types() {
+        let plays = !schema.roles_of(oid).is_empty();
+        let linked = schema
+            .sublinks()
+            .any(|(_, sl)| sl.sub == oid || sl.sup == oid);
+        if !plays && !linked {
+            out.push(Finding::warning(
+                "ISOLATED-CONCEPT",
+                format!("object type {} plays no role and has no sublink", ot.name),
+            ));
+        }
+    }
+}
+
+/// A NOLOT reachable only through sublinks carries no facts of its own and
+/// no inherited identification path — usually a modelling gap. A LOT that is
+/// never used is dead weight.
+fn nolots_have_facts(schema: &Schema, out: &mut Vec<Finding>) {
+    for (oid, ot) in schema.object_types() {
+        if ot.kind.is_lot() && schema.roles_of(oid).is_empty() {
+            out.push(Finding::warning(
+                "UNUSED-LOT",
+                format!("LOT {} is not attached to any fact type", ot.name),
+            ));
+        }
+    }
+}
+
+/// A subtype with no fact of its own expresses nothing the supertype does
+/// not; the paper motivates subtypes "e.g. because of additional fact
+/// properties" (§2). Informational only.
+fn subtype_has_specifics(schema: &Schema, out: &mut Vec<Finding>) {
+    for (_, sl) in schema.sublinks() {
+        let own_facts = !schema.roles_of(sl.sub).is_empty();
+        let in_constraint = schema.constraints().any(|(_, c)| match &c.kind {
+            ConstraintKind::Total { items, .. } | ConstraintKind::Exclusion { items } => {
+                items.iter().any(|i| match i {
+                    ridl_brm::RoleOrSublink::Sublink(s) => schema.sublink(*s).sub == sl.sub,
+                    ridl_brm::RoleOrSublink::Role(r) => schema.role_player(*r) == sl.sub,
+                })
+            }
+            _ => false,
+        });
+        if !own_facts && !in_constraint {
+            out.push(Finding::info(
+                "SUBTYPE-NO-SPECIFICS",
+                format!(
+                    "subtype {} adds no fact types or constraints over {}",
+                    schema.ot_name(sl.sub),
+                    schema.ot_name(sl.sup)
+                ),
+            ));
+        }
+    }
+    let _ = Side::BOTH;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::DataType;
+
+    #[test]
+    fn complete_schema_clean() {
+        let mut b = SchemaBuilder::new("ok");
+        b.nolot("Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        let s = b.finish().unwrap();
+        assert!(check(&s).is_empty(), "{:?}", check(&s));
+    }
+
+    #[test]
+    fn empty_schema_flagged() {
+        let s = ridl_brm::Schema::new("empty");
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "EMPTY-SCHEMA"));
+    }
+
+    #[test]
+    fn fact_without_uniqueness_flagged() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.fact("f", ("x", "A"), ("y", "B")).unwrap();
+        let s = b.finish().unwrap();
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "FACT-NO-UNIQUENESS"));
+    }
+
+    #[test]
+    fn isolated_and_unused_flagged() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Alone").unwrap();
+        b.lot("DeadLot", DataType::Char(1)).unwrap();
+        let s = b.finish().unwrap();
+        let f = check(&s);
+        assert!(f
+            .iter()
+            .any(|x| x.code == "ISOLATED-CONCEPT" && x.message.contains("Alone")));
+        assert!(f.iter().any(|x| x.code == "UNUSED-LOT"));
+    }
+
+    #[test]
+    fn empty_subtype_is_info() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        b.nolot("Invited_Paper").unwrap();
+        b.sublink("Invited_Paper", "Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        let s = b.finish().unwrap();
+        let f = check(&s);
+        assert!(f
+            .iter()
+            .any(|x| x.code == "SUBTYPE-NO-SPECIFICS" && x.severity == crate::Severity::Info));
+    }
+}

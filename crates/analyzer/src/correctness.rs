@@ -1,0 +1,430 @@
+//! RIDL-A function 1: correctness of the schema according to the rules of
+//! the BRM (§3.2).
+//!
+//! "Certain rules of the BRM are enforced by RIDL-G as the schema is
+//! constructed, the others are checked on demand." The `SchemaBuilder`
+//! plays RIDL-G's role (it rejects duplicate names, dangling references and
+//! LOT sublinks eagerly); this pass re-checks everything on demand, so that
+//! schemas produced by transformations or loaded from the meta-database get
+//! the same scrutiny.
+
+use ridl_brm::{ConstraintKind, RoleOrSublink, Schema, Side};
+
+use crate::report::Finding;
+
+/// Checks all BRM correctness rules; returns the findings.
+pub fn check(schema: &Schema) -> Vec<Finding> {
+    let mut out = Vec::new();
+    structural(schema, &mut out);
+    lots_are_bridges(schema, &mut out);
+    sublink_rules(schema, &mut out);
+    constraint_typing(schema, &mut out);
+    out
+}
+
+fn structural(schema: &Schema, out: &mut Vec<Finding>) {
+    for e in schema.check_ids() {
+        out.push(Finding::error("DANGLING-ID", e.to_string()));
+    }
+    for e in schema.check_names() {
+        out.push(Finding::error("DUPLICATE-NAME", e.to_string()));
+    }
+}
+
+/// "A LOT … is involved in one fact type only, with a NOLOT" (§2).
+fn lots_are_bridges(schema: &Schema, out: &mut Vec<Finding>) {
+    for (oid, ot) in schema.object_types() {
+        if !ot.kind.is_lot() {
+            continue;
+        }
+        let roles = schema.roles_of(oid);
+        if roles.len() > 1 {
+            out.push(Finding::error(
+                "LOT-MULTI-FACT",
+                format!(
+                    "LOT {} is involved in {} fact types; a LOT bridges exactly one",
+                    ot.name,
+                    roles.len()
+                ),
+            ));
+        }
+        for r in &roles {
+            let co = schema.role_player(r.co_role());
+            if schema.kind_of(co).is_lot() {
+                out.push(Finding::error(
+                    "LOT-LOT-FACT",
+                    format!(
+                        "fact {} links two LOTs ({} and {})",
+                        schema.fact_type(r.fact).name,
+                        ot.name,
+                        schema.ot_name(co)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn sublink_rules(schema: &Schema, out: &mut Vec<Finding>) {
+    for (sid, sl) in schema.sublinks() {
+        for (end, label) in [(sl.sub, "subtype"), (sl.sup, "supertype")] {
+            if end.index() < schema.num_object_types() && schema.kind_of(end).is_lot() {
+                out.push(Finding::error(
+                    "SUBLINK-LOT",
+                    format!(
+                        "sublink {sid} has LOT {} as {label}; sublinks connect NOLOTs",
+                        schema.ot_name(end)
+                    ),
+                ));
+            }
+        }
+        if sl.sub == sl.sup {
+            out.push(Finding::error(
+                "SUBLINK-SELF",
+                format!(
+                    "sublink {sid} subtypes {} under itself",
+                    schema.ot_name(sl.sub)
+                ),
+            ));
+        }
+    }
+    if schema.sublink_graph_has_cycle() {
+        out.push(Finding::error(
+            "SUBLINK-CYCLE",
+            "the sublink graph contains a cycle".to_string(),
+        ));
+    }
+}
+
+fn constraint_typing(schema: &Schema, out: &mut Vec<Finding>) {
+    for (cid, c) in schema.constraints() {
+        // Skip constraints with dangling ids; already reported.
+        let dangling = c
+            .kind
+            .referenced_roles()
+            .iter()
+            .any(|r| r.fact.index() >= schema.num_fact_types())
+            || c.kind
+                .referenced_sublinks()
+                .iter()
+                .any(|s| s.index() >= schema.num_sublinks())
+            || c.kind
+                .referenced_object_types()
+                .iter()
+                .any(|o| o.index() >= schema.num_object_types());
+        if dangling {
+            continue;
+        }
+        match &c.kind {
+            ConstraintKind::Uniqueness { roles } => {
+                if roles.is_empty() {
+                    out.push(Finding::error(
+                        "EMPTY-UNIQUENESS",
+                        format!("constraint {cid} spans no roles"),
+                    ));
+                    continue;
+                }
+                let same_fact = roles.iter().all(|r| r.fact == roles[0].fact);
+                if !same_fact {
+                    // External uniqueness: the co-roles must share a player.
+                    let hub = schema.role_player(roles[0].co_role());
+                    if !roles.iter().all(|r| schema.role_player(r.co_role()) == hub) {
+                        out.push(Finding::error(
+                            "EXTERNAL-UNIQUENESS-HUB",
+                            format!(
+                                "constraint {cid}: external uniqueness roles do not share a common object type"
+                            ),
+                        ));
+                    }
+                }
+            }
+            ConstraintKind::Total { over, items } => {
+                if items.is_empty() {
+                    out.push(Finding::error(
+                        "EMPTY-TOTAL",
+                        format!("constraint {cid} has no items"),
+                    ));
+                }
+                for item in items {
+                    let item_ot = match item {
+                        RoleOrSublink::Role(r) => schema.role_player(*r),
+                        RoleOrSublink::Sublink(s) => schema.sublink(*s).sub,
+                    };
+                    // The covered type must be the item's player (role) or
+                    // the sublink's supertype, or an ancestor thereof.
+                    let matches = match item {
+                        RoleOrSublink::Role(_) => schema.ancestors_of(item_ot).contains(over),
+                        RoleOrSublink::Sublink(s) => schema.sublink(*s).sup == *over,
+                    };
+                    if !matches {
+                        out.push(Finding::error(
+                            "TOTAL-TYPE-MISMATCH",
+                            format!(
+                                "constraint {cid}: total union over {} has an item of incompatible type {}",
+                                schema.ot_name(*over),
+                                schema.ot_name(item_ot)
+                            ),
+                        ));
+                    }
+                }
+            }
+            ConstraintKind::Exclusion { items } => {
+                if items.len() < 2 {
+                    out.push(Finding::error(
+                        "EXCLUSION-ARITY",
+                        format!("constraint {cid} excludes fewer than two items"),
+                    ));
+                }
+                // All items must range over type-compatible populations.
+                let player_of = |item: &RoleOrSublink| match item {
+                    RoleOrSublink::Role(r) => schema.role_player(*r),
+                    RoleOrSublink::Sublink(s) => schema.sublink(*s).sub,
+                };
+                if let Some(first) = items.first() {
+                    let a = player_of(first);
+                    for item in &items[1..] {
+                        let b = player_of(item);
+                        let compat = a == b
+                            || schema
+                                .ancestors_of(a)
+                                .iter()
+                                .any(|x| schema.ancestors_of(b).contains(x));
+                        if !compat {
+                            out.push(Finding::error(
+                                "EXCLUSION-TYPE-MISMATCH",
+                                format!(
+                                    "constraint {cid}: exclusion between unrelated types {} and {}",
+                                    schema.ot_name(a),
+                                    schema.ot_name(b)
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            ConstraintKind::Subset { sub, sup } | ConstraintKind::Equality { a: sub, b: sup } => {
+                if sub.len() != sup.len() {
+                    out.push(Finding::error(
+                        "SEQ-ARITY-MISMATCH",
+                        format!("constraint {cid}: sides have different arities"),
+                    ));
+                    continue;
+                }
+                for (x, y) in sub.iter().zip(sup.iter()) {
+                    let px = schema.role_player(*x);
+                    let py = schema.role_player(*y);
+                    let compat = px == py
+                        || schema
+                            .ancestors_of(px)
+                            .iter()
+                            .any(|t| schema.ancestors_of(py).contains(t));
+                    if !compat {
+                        out.push(Finding::error(
+                            "SEQ-TYPE-MISMATCH",
+                            format!(
+                                "constraint {cid}: positions compare unrelated types {} and {}",
+                                schema.ot_name(px),
+                                schema.ot_name(py)
+                            ),
+                        ));
+                    }
+                }
+            }
+            ConstraintKind::Cardinality { min, max, .. } => {
+                if let Some(m) = max {
+                    if min > m {
+                        out.push(Finding::error(
+                            "CARDINALITY-BOUNDS",
+                            format!("constraint {cid}: min {min} exceeds max {m}"),
+                        ));
+                    }
+                }
+            }
+            ConstraintKind::Value { over, values } => match schema.kind_of(*over).data_type() {
+                None => out.push(Finding::error(
+                    "VALUE-ON-NOLOT",
+                    format!(
+                        "constraint {cid}: value constraint on non-lexical {}",
+                        schema.ot_name(*over)
+                    ),
+                )),
+                Some(dt) => {
+                    for v in values {
+                        if !v.fits(dt) {
+                            out.push(Finding::error(
+                                "VALUE-TYPE",
+                                format!(
+                                    "constraint {cid}: value {v} does not fit {dt} of {}",
+                                    schema.ot_name(*over)
+                                ),
+                            ));
+                        }
+                    }
+                }
+            },
+        }
+    }
+    // Homogeneous facts are legal but LOT-homogeneous facts are not
+    // (covered by lots_are_bridges); nothing more to check per fact — the
+    // binary shape is guaranteed by construction ([`ridl_brm::FactType`]).
+    let _ = Side::BOTH;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::builder::SchemaBuilder;
+    use ridl_brm::{Constraint, DataType, FactType, ObjectType, ObjectTypeKind, Role, Value};
+
+    #[test]
+    fn clean_schema_no_findings() {
+        let mut b = SchemaBuilder::new("ok");
+        b.nolot("Person").unwrap();
+        b.lot("Name", DataType::Char(30)).unwrap();
+        b.fact("named", ("has", "Person"), ("of", "Name")).unwrap();
+        b.unique("named", Side::Left).unwrap();
+        let s = b.finish().unwrap();
+        assert!(check(&s).is_empty());
+    }
+
+    #[test]
+    fn lot_in_two_facts_flagged() {
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.lot("L", DataType::Char(3)).unwrap();
+        b.fact("f", ("x", "A"), ("y", "L")).unwrap();
+        b.fact("g", ("x", "B"), ("y", "L")).unwrap();
+        let s = b.finish_unchecked();
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "LOT-MULTI-FACT"));
+    }
+
+    #[test]
+    fn lot_lot_fact_flagged() {
+        let mut s = ridl_brm::Schema::new("bad");
+        let l1 = s.push_object_type(ObjectType::new(
+            "L1",
+            ObjectTypeKind::Lot(DataType::Char(1)),
+        ));
+        let l2 = s.push_object_type(ObjectType::new(
+            "L2",
+            ObjectTypeKind::Lot(DataType::Char(1)),
+        ));
+        s.push_fact_type(FactType::new("f", Role::new("a", l1), Role::new("b", l2)));
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "LOT-LOT-FACT"));
+    }
+
+    #[test]
+    fn sublink_cycle_flagged() {
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.sublink("A", "B").unwrap();
+        b.sublink("B", "A").unwrap();
+        let s = b.finish_unchecked();
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "SUBLINK-CYCLE"));
+    }
+
+    #[test]
+    fn self_sublink_flagged() {
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("A").unwrap();
+        b.sublink("A", "A").unwrap();
+        let s = b.finish_unchecked();
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "SUBLINK-SELF"));
+        assert!(f.iter().any(|x| x.code == "SUBLINK-CYCLE"));
+    }
+
+    #[test]
+    fn external_uniqueness_without_hub_flagged() {
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.lot("X", DataType::Char(1)).unwrap();
+        b.lot("Y", DataType::Char(1)).unwrap();
+        b.fact("f", ("r", "A"), ("s", "X")).unwrap();
+        b.fact("g", ("r", "B"), ("s", "Y")).unwrap();
+        // Hubs differ: co-players are A and B.
+        b.external_unique(&[("f", Side::Right), ("g", Side::Right)])
+            .unwrap();
+        let s = b.finish_unchecked();
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "EXTERNAL-UNIQUENESS-HUB"));
+    }
+
+    #[test]
+    fn total_type_mismatch_flagged() {
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.nolot("C").unwrap();
+        b.fact("f", ("r", "B"), ("s", "C")).unwrap();
+        // Total over A but the role is played by B.
+        b.total_union("A", &[("f", Side::Left)]).unwrap();
+        let s = b.finish_unchecked();
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "TOTAL-TYPE-MISMATCH"));
+    }
+
+    #[test]
+    fn total_role_on_subtype_of_over_is_ok() {
+        // A total union over a supertype may include roles played by its
+        // subtypes (inheritance).
+        let mut b = SchemaBuilder::new("ok");
+        b.nolot("Person").unwrap();
+        b.nolot("Author").unwrap();
+        b.sublink("Author", "Person").unwrap();
+        b.nolot("Paper").unwrap();
+        b.fact("writes", ("author_of", "Author"), ("written_by", "Paper"))
+            .unwrap();
+        b.unique_pair("writes").unwrap();
+        b.total_union("Person", &[("writes", Side::Left)]).unwrap();
+        let s = b.finish_unchecked();
+        let f = check(&s);
+        assert!(!f.iter().any(|x| x.code == "TOTAL-TYPE-MISMATCH"), "{f:?}");
+    }
+
+    #[test]
+    fn exclusion_type_mismatch_flagged() {
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.nolot("C").unwrap();
+        b.fact("f", ("r", "A"), ("s", "B")).unwrap();
+        b.fact("g", ("r", "C"), ("s", "B")).unwrap();
+        b.exclusion_roles(&[("f", Side::Left), ("g", Side::Left)])
+            .unwrap();
+        let s = b.finish_unchecked();
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "EXCLUSION-TYPE-MISMATCH"));
+    }
+
+    #[test]
+    fn value_constraint_type_checked() {
+        let mut b = SchemaBuilder::new("bad");
+        b.lot("Grade", DataType::Char(1)).unwrap();
+        b.nolot("R").unwrap();
+        b.fact("graded", ("of", "R"), ("is", "Grade")).unwrap();
+        b.value_constraint("Grade", vec![Value::str("TOO-LONG")])
+            .unwrap();
+        let s = b.finish_unchecked();
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "VALUE-TYPE"));
+    }
+
+    #[test]
+    fn value_on_nolot_flagged_on_raw_schema() {
+        let mut s = ridl_brm::Schema::new("bad");
+        let a = s.push_object_type(ObjectType::new("A", ObjectTypeKind::Nolot));
+        s.push_constraint(Constraint::new(ConstraintKind::Value {
+            over: a,
+            values: vec![Value::Int(1)],
+        }));
+        let f = check(&s);
+        assert!(f.iter().any(|x| x.code == "VALUE-ON-NOLOT"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # ridl-analyzer — RIDL-A, the validation module
+//!
+//! "At each stage of the database engineering project the binary schemas may
+//! be checked for validity, completeness and consistency using RIDL-A" (§3.2).
+//! The module performs the paper's four functions:
+//!
+//! 1. [`correctness`] — the schema obeys the rules of the BRM (binary facts,
+//!    well-typed constraints, acyclic sublink graph, LOTs as single-use
+//!    bridges, …);
+//! 2. [`completeness`] — the schema contains all concepts needed to be a
+//!    complete description (identifiers on every fact, no isolated concepts);
+//! 3. [`setalg`] — consistency of the set-algebraic constraints on role and
+//!    object-type populations (a saturation solver deriving forced-empty
+//!    populations and outright contradictions);
+//! 4. [`mod@reference`] — detection of **non-referable** object types: NOLOTs for
+//!    which no one-to-one lexical reference scheme is inferable from the
+//!    constraints. Referability is what guarantees the mapper can produce a
+//!    lexical relational representation at all (§3.2 point 4).
+//!
+//! [`analyze`] runs all four and returns an [`AnalysisReport`], which the
+//! mapper (`ridl-core`) consumes: the computed [`reference::LexicalRep`]s are
+//! exactly the "naming conventions" among which the lexical mapping options
+//! (§4.2.3) choose.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod completeness;
+pub mod correctness;
+pub mod reference;
+pub mod report;
+pub mod setalg;
+
+pub use reference::{LexicalAtom, LexicalRep, ReferenceAnalysis};
+pub use report::{analyze, AnalysisReport, Finding, Severity};

@@ -1,0 +1,433 @@
+//! RIDL-A function 4: reference schemes and non-referability detection.
+//!
+//! "It detects non-referable object types in the conceptual schema, i.e.
+//! object types for which it is not possible to refer uniquely and
+//! unambiguously (one-to-one) to all of their instances. This one-to-one
+//! property should be inferable from constraints in the binary schema. …
+//! we need to be guaranteed of a lexical representation(-type) for each
+//! non-lexical object(-type)" (§3.2).
+//!
+//! A *lexical representation type* (a.k.a. *naming convention*, §4.2.3) for a
+//! NOLOT is a combination of LOTs reachable through identifying fact types.
+//! This module infers **all** of them by fixpoint:
+//!
+//! * a LOT or LOT-NOLOT is lexically referable by itself;
+//! * a NOLOT with an identifying fact `f(n, x)` — `n`'s role unique **and**
+//!   total, `x`'s role unique — borrows every representation of `x`,
+//!   prefixing the bridge hop (*simple reference*);
+//! * an external-uniqueness constraint over co-roles of `n` whose facts are
+//!   functional and total on `n` combines the component representations
+//!   (*compound reference*, e.g. Session = (Day, Slot));
+//! * a subtype inherits every representation of its supertypes.
+//!
+//! "It is quite usual to have several, even a great many, lexical
+//! representation types for the same NOLOT" — the mapper's lexical options
+//! pick among the result.
+
+use std::collections::HashMap;
+
+use ridl_brm::{ConstraintKind, DataType, ObjectTypeId, RoleRef, Schema};
+
+use crate::report::Finding;
+
+/// One lexical atom of a representation: a chain of identifying hops from
+/// the owner NOLOT down to a LOT.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexicalAtom {
+    /// The hops: at each step, the role played by the object type being
+    /// represented (so `path[0].co_role()` leads one step toward the LOT).
+    /// Empty for self-lexical object types (LOT-NOLOTs).
+    pub path: Vec<RoleRef>,
+    /// The terminal lexical object type.
+    pub lot: ObjectTypeId,
+    /// Its data type.
+    pub data_type: DataType,
+}
+
+impl LexicalAtom {
+    /// Number of hops.
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// A lexical representation type (naming convention) for an object type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexicalRep {
+    /// The represented object type.
+    pub owner: ObjectTypeId,
+    /// The atoms whose combination identifies an instance one-to-one.
+    pub atoms: Vec<LexicalAtom>,
+}
+
+impl LexicalRep {
+    /// The paper's "smallest" judgement: fewest concepts involved, then
+    /// smallest physical width (§4.2.3).
+    pub fn size_key(&self) -> (usize, u32) {
+        let concepts: usize = self.atoms.iter().map(|a| a.depth() + 1).sum();
+        let width: u32 = self.atoms.iter().map(|a| a.data_type.byte_width()).sum();
+        (concepts, width)
+    }
+
+    /// Total physical width in bytes.
+    pub fn byte_width(&self) -> u32 {
+        self.atoms.iter().map(|a| a.data_type.byte_width()).sum()
+    }
+
+    /// A deterministic description, for reports and tie-breaking.
+    pub fn describe(&self, schema: &Schema) -> String {
+        let atoms: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let mut s = String::new();
+                for hop in &a.path {
+                    s.push_str(&schema.fact_type(hop.fact).name);
+                    s.push('/');
+                }
+                s.push_str(schema.ot_name(a.lot));
+                s
+            })
+            .collect();
+        format!("({})", atoms.join(", "))
+    }
+}
+
+/// The result of reference inference: all representations per object type.
+#[derive(Clone, Default, Debug)]
+pub struct ReferenceAnalysis {
+    reps: HashMap<u32, Vec<LexicalRep>>,
+}
+
+impl ReferenceAnalysis {
+    /// All inferred representations of an object type (possibly empty).
+    pub fn reps_of(&self, ot: ObjectTypeId) -> &[LexicalRep] {
+        self.reps.get(&ot.raw()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the object type is referable at all.
+    pub fn is_referable(&self, ot: ObjectTypeId) -> bool {
+        !self.reps_of(ot).is_empty()
+    }
+
+    /// The smallest representation (the mapper's default choice, §4.2.3).
+    /// Ties break on the description, keeping the result deterministic.
+    pub fn smallest(&self, schema: &Schema, ot: ObjectTypeId) -> Option<&LexicalRep> {
+        self.reps_of(ot)
+            .iter()
+            .min_by_key(|r| (r.size_key(), r.describe(schema)))
+    }
+}
+
+/// Caps representation explosion: beyond this many representations per
+/// object type, further alternatives are not enumerated (the smallest ones
+/// are kept). Industrial schemas can otherwise blow up combinatorially.
+const MAX_REPS_PER_OT: usize = 8;
+
+/// Infers all reference schemes of a schema by fixpoint.
+pub fn infer(schema: &Schema) -> ReferenceAnalysis {
+    let mut reps: HashMap<u32, Vec<LexicalRep>> = HashMap::new();
+
+    // Seed: lexical object types represent themselves.
+    for (oid, ot) in schema.object_types() {
+        if let Some(dt) = ot.kind.data_type() {
+            reps.insert(
+                oid.raw(),
+                vec![LexicalRep {
+                    owner: oid,
+                    atoms: vec![LexicalAtom {
+                        path: Vec::new(),
+                        lot: oid,
+                        data_type: dt,
+                    }],
+                }],
+            );
+        }
+    }
+
+    // Collect external uniqueness groups per hub object type.
+    let mut external: HashMap<u32, Vec<Vec<RoleRef>>> = HashMap::new();
+    for (_, c) in schema.constraints() {
+        if let ConstraintKind::Uniqueness { roles } = &c.kind {
+            if roles.len() < 2 || roles.iter().all(|r| r.fact == roles[0].fact) {
+                continue;
+            }
+            let hub = schema.role_player(roles[0].co_role());
+            if roles.iter().all(|r| schema.role_player(r.co_role()) == hub) {
+                external.entry(hub.raw()).or_default().push(roles.clone());
+            }
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (oid, ot) in schema.object_types() {
+            if !ot.kind.is_nolot() {
+                continue;
+            }
+            let mut new_reps: Vec<LexicalRep> = Vec::new();
+
+            // Simple reference through an identifying fact.
+            for my_role in schema.roles_of(oid) {
+                let co = my_role.co_role();
+                let target = schema.role_player(co);
+                if target == oid {
+                    continue;
+                }
+                let identifying = schema.is_role_unique(my_role)
+                    && schema.is_role_total(my_role)
+                    && schema.is_role_unique(co);
+                if !identifying {
+                    continue;
+                }
+                for target_rep in reps.get(&target.raw()).cloned().unwrap_or_default() {
+                    new_reps.push(prefix_rep(oid, my_role, &target_rep));
+                }
+            }
+
+            // Compound (external uniqueness) reference.
+            for group in external.get(&oid.raw()).cloned().unwrap_or_default() {
+                // Each component fact must be functional and total on the hub.
+                let ok = group.iter().all(|r| {
+                    let hub_role = r.co_role();
+                    schema.is_role_unique(hub_role) && schema.is_role_total(hub_role)
+                });
+                if !ok {
+                    continue;
+                }
+                // Cartesian product of component representations, taking the
+                // smallest representation of each component to stay bounded.
+                let mut atoms: Vec<LexicalAtom> = Vec::new();
+                let mut complete = true;
+                for r in &group {
+                    let comp = schema.role_player(*r);
+                    let hub_role = r.co_role();
+                    let Some(comp_reps) = reps.get(&comp.raw()) else {
+                        complete = false;
+                        break;
+                    };
+                    let Some(best) = comp_reps.iter().min_by_key(|x| x.size_key()) else {
+                        complete = false;
+                        break;
+                    };
+                    for a in &prefix_rep(oid, hub_role, best).atoms {
+                        atoms.push(a.clone());
+                    }
+                }
+                if complete {
+                    new_reps.push(LexicalRep { owner: oid, atoms });
+                }
+            }
+
+            // Inheritance: a subtype may be referred to as its supertype.
+            for sup in schema.supertypes_of(oid) {
+                for sup_rep in reps.get(&sup.raw()).cloned().unwrap_or_default() {
+                    new_reps.push(LexicalRep {
+                        owner: oid,
+                        atoms: sup_rep.atoms.clone(),
+                    });
+                }
+            }
+
+            let entry = reps.entry(oid.raw()).or_default();
+            for r in new_reps {
+                if entry.len() >= MAX_REPS_PER_OT {
+                    break;
+                }
+                if !entry.contains(&r) {
+                    entry.push(r);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Deterministic ordering: smallest first.
+    for (_, v) in reps.iter_mut() {
+        v.sort_by_key(|r| (r.size_key(), r.atoms.len()));
+    }
+    ReferenceAnalysis { reps }
+}
+
+fn prefix_rep(owner: ObjectTypeId, hop: RoleRef, target_rep: &LexicalRep) -> LexicalRep {
+    LexicalRep {
+        owner,
+        atoms: target_rep
+            .atoms
+            .iter()
+            .map(|a| {
+                let mut path = vec![hop];
+                path.extend(a.path.iter().copied());
+                LexicalAtom {
+                    path,
+                    lot: a.lot,
+                    data_type: a.data_type,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// The findings of function 4: one error per non-referable NOLOT.
+pub fn findings(schema: &Schema, analysis: &ReferenceAnalysis) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (oid, ot) in schema.object_types() {
+        if ot.kind.is_nolot() && !analysis.is_referable(oid) {
+            out.push(Finding::error(
+                "NON-REFERABLE",
+                format!(
+                    "no one-to-one lexical reference scheme is inferable for NOLOT {}",
+                    ot.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::Side;
+
+    #[test]
+    fn simple_reference_inferred() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        let s = b.finish().unwrap();
+        let a = infer(&s);
+        let paper = s.object_type_by_name("Paper").unwrap();
+        assert!(a.is_referable(paper));
+        let rep = a.smallest(&s, paper).unwrap();
+        assert_eq!(rep.atoms.len(), 1);
+        assert_eq!(rep.atoms[0].depth(), 1);
+        assert_eq!(rep.byte_width(), 6);
+        assert!(findings(&s, &a).is_empty());
+    }
+
+    #[test]
+    fn missing_totality_blocks_reference() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        b.lot("Paper_Id", DataType::Char(6)).unwrap();
+        b.fact("f", ("has", "Paper"), ("of", "Paper_Id")).unwrap();
+        b.unique("f", Side::Left).unwrap();
+        b.unique("f", Side::Right).unwrap();
+        // No total role: some papers may lack an id — not one-to-one on all.
+        let s = b.finish().unwrap();
+        let a = infer(&s);
+        let paper = s.object_type_by_name("Paper").unwrap();
+        assert!(!a.is_referable(paper));
+        let f = findings(&s, &a);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "NON-REFERABLE");
+    }
+
+    #[test]
+    fn missing_co_uniqueness_blocks_reference() {
+        // Two papers could share the same id: not injective.
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        b.lot("Paper_Id", DataType::Char(6)).unwrap();
+        b.fact("f", ("has", "Paper"), ("of", "Paper_Id")).unwrap();
+        b.unique("f", Side::Left).unwrap();
+        b.total_role("f", Side::Left).unwrap();
+        let s = b.finish().unwrap();
+        let a = infer(&s);
+        assert!(!a.is_referable(s.object_type_by_name("Paper").unwrap()));
+    }
+
+    #[test]
+    fn chained_reference_through_nolot() {
+        // Review identified by its Paper (1:1), Paper identified by Paper_Id.
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        b.nolot("Review").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        b.fact(
+            "of_paper",
+            ("review_of", "Review"),
+            ("reviewed_in", "Paper"),
+        )
+        .unwrap();
+        b.unique("of_paper", Side::Left).unwrap();
+        b.unique("of_paper", Side::Right).unwrap();
+        b.total_role("of_paper", Side::Left).unwrap();
+        let s = b.finish().unwrap();
+        let a = infer(&s);
+        let review = s.object_type_by_name("Review").unwrap();
+        assert!(a.is_referable(review));
+        let rep = a.smallest(&s, review).unwrap();
+        assert_eq!(rep.atoms[0].depth(), 2, "{}", rep.describe(&s));
+    }
+
+    #[test]
+    fn compound_reference_via_external_uniqueness() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Session").unwrap();
+        b.lot("Day", DataType::Char(3)).unwrap();
+        b.lot("Slot", DataType::Numeric(2, 0)).unwrap();
+        b.fact("on_day", ("held_on", "Session"), ("day_of", "Day"))
+            .unwrap();
+        b.fact("in_slot", ("held_in", "Session"), ("slot_of", "Slot"))
+            .unwrap();
+        b.unique("on_day", Side::Left).unwrap();
+        b.unique("in_slot", Side::Left).unwrap();
+        b.total_role("on_day", Side::Left).unwrap();
+        b.total_role("in_slot", Side::Left).unwrap();
+        b.external_unique(&[("on_day", Side::Right), ("in_slot", Side::Right)])
+            .unwrap();
+        let s = b.finish().unwrap();
+        let a = infer(&s);
+        let session = s.object_type_by_name("Session").unwrap();
+        assert!(a.is_referable(session));
+        let rep = a.smallest(&s, session).unwrap();
+        assert_eq!(rep.atoms.len(), 2, "{}", rep.describe(&s));
+    }
+
+    #[test]
+    fn subtype_inherits_reference() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        b.nolot("Invited_Paper").unwrap();
+        b.sublink("Invited_Paper", "Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        let s = b.finish().unwrap();
+        let a = infer(&s);
+        let inv = s.object_type_by_name("Invited_Paper").unwrap();
+        assert!(a.is_referable(inv));
+    }
+
+    #[test]
+    fn lot_nolot_is_self_lexical() {
+        let mut b = SchemaBuilder::new("s");
+        b.lot_nolot("Date", DataType::Date).unwrap();
+        let s = b.finish().unwrap();
+        let a = infer(&s);
+        let d = s.object_type_by_name("Date").unwrap();
+        assert!(a.is_referable(d));
+        assert_eq!(a.smallest(&s, d).unwrap().atoms[0].depth(), 0);
+    }
+
+    #[test]
+    fn multiple_representations_ranked_smallest_first() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Person").unwrap();
+        identify(&mut b, "Person", "SSN", DataType::Char(9)).unwrap();
+        // A second, wider naming convention.
+        b.lot("Full_Name", DataType::Char(60)).unwrap();
+        b.fact("named", ("has_name", "Person"), ("name_of", "Full_Name"))
+            .unwrap();
+        b.unique("named", Side::Left).unwrap();
+        b.unique("named", Side::Right).unwrap();
+        b.total_role("named", Side::Left).unwrap();
+        let s = b.finish().unwrap();
+        let a = infer(&s);
+        let p = s.object_type_by_name("Person").unwrap();
+        assert_eq!(a.reps_of(p).len(), 2);
+        assert_eq!(a.smallest(&s, p).unwrap().byte_width(), 9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Findings, severities and the aggregate analysis report.
+
+use std::fmt;
+
+use ridl_brm::Schema;
+
+use crate::reference::ReferenceAnalysis;
+
+/// How serious a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational note.
+    Info,
+    /// The schema is usable but likely incomplete or suspicious.
+    Warning,
+    /// The schema violates the BRM or cannot be mapped.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "INFO"),
+            Severity::Warning => write!(f, "WARNING"),
+            Severity::Error => write!(f, "ERROR"),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `SUBLINK-CYCLE`.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates an error finding.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning finding.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an info finding.
+    pub fn info(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Info,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.severity, self.code, self.message)
+    }
+}
+
+/// The aggregate result of running all four RIDL-A functions.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Correctness findings (function 1).
+    pub correctness: Vec<Finding>,
+    /// Completeness findings (function 2).
+    pub completeness: Vec<Finding>,
+    /// Set-algebraic consistency findings (function 3).
+    pub consistency: Vec<Finding>,
+    /// Referability findings (function 4) — one error per non-referable
+    /// NOLOT — plus the inferred reference schemes for the referable ones.
+    pub referability: Vec<Finding>,
+    /// The inferred lexical representations per object type.
+    pub references: ReferenceAnalysis,
+}
+
+impl AnalysisReport {
+    /// All findings in report order.
+    pub fn findings(&self) -> impl Iterator<Item = &Finding> {
+        self.correctness
+            .iter()
+            .chain(&self.completeness)
+            .chain(&self.consistency)
+            .chain(&self.referability)
+    }
+
+    /// True when no finding is an error — the schema may be mapped.
+    pub fn is_mappable(&self) -> bool {
+        self.findings().all(|f| f.severity != Severity::Error)
+    }
+
+    /// Count findings at a given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings().filter(|f| f.severity == severity).count()
+    }
+
+    /// Renders the report in RIDL-A's four sections.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let section = |out: &mut String, title: &str, findings: &[Finding]| {
+            out.push_str(&format!("-- {title}\n"));
+            if findings.is_empty() {
+                out.push_str("   (no findings)\n");
+            }
+            for f in findings {
+                out.push_str(&format!("   {f}\n"));
+            }
+        };
+        section(&mut out, "1. CORRECTNESS", &self.correctness);
+        section(&mut out, "2. COMPLETENESS", &self.completeness);
+        section(&mut out, "3. CONSTRAINT CONSISTENCY", &self.consistency);
+        section(&mut out, "4. REFERABILITY", &self.referability);
+        out
+    }
+}
+
+/// Runs the four RIDL-A functions over a schema.
+pub fn analyze(schema: &Schema) -> AnalysisReport {
+    let references = crate::reference::infer(schema);
+    AnalysisReport {
+        correctness: crate::correctness::check(schema),
+        completeness: crate::completeness::check(schema),
+        consistency: crate::setalg::check(schema),
+        referability: crate::reference::findings(schema, &references),
+        references,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::DataType;
+
+    #[test]
+    fn clean_schema_is_mappable() {
+        let mut b = SchemaBuilder::new("ok");
+        b.nolot("Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        let s = b.finish().unwrap();
+        let r = analyze(&s);
+        assert!(r.is_mappable(), "{}", r.render());
+        assert_eq!(r.count(Severity::Error), 0);
+        let rendered = r.render();
+        assert!(rendered.contains("1. CORRECTNESS"));
+        assert!(rendered.contains("4. REFERABILITY"));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Finding::error("X", "boom").to_string(), "ERROR [X] boom");
+    }
+}

@@ -1,0 +1,518 @@
+//! RIDL-A function 3: consistency of the set-algebraic constraints "on the
+//! populations of roles and object types" (§3.2).
+//!
+//! The total/exclusion/subset/equality constraints of the BRM are inclusion
+//! and disjointness statements between role- and object-type populations. A
+//! combination like *exclusion(r, s)* together with *equality(r, s)* is
+//! satisfiable only by empty populations — almost certainly a specification
+//! error. This module saturates the inclusion/disjointness lattice with a
+//! small fixpoint engine and reports every population that the constraints
+//! force to be empty.
+//!
+//! Derivation rules:
+//!
+//! 1. `pop(role) ⊆ pop(player)`; `pop(sub) ⊆ pop(sup)` (structure);
+//! 2. subset is reflexive and transitive;
+//! 3. `disjoint(a,b) ∧ x ⊆ a ∧ y ⊆ b ⟹ disjoint(x,y)`;
+//! 4. `disjoint(x,x) ⟹ empty(x)`;
+//! 5. `x ⊆ y ∧ empty(y) ⟹ empty(x)`;
+//! 6. `cover(o, items) ∧ (∀i: empty(i) ∨ disjoint(o,i)) ⟹ empty(o)`
+//!    (a total union whose members are all unavailable to `o`).
+
+use std::collections::HashMap;
+
+use ridl_brm::{ConstraintKind, RoleOrSublink, RoleRef, Schema, Side};
+
+use crate::report::Finding;
+
+/// A population node: an object type or a role projection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Node {
+    Ot(u32),
+    Role(u32, Side),
+}
+
+/// The saturated set-algebra over a schema's populations.
+pub struct SetAlgebra {
+    nodes: Vec<Node>,
+    index: HashMap<Node, usize>,
+    subset: Vec<Vec<bool>>,
+    disjoint: Vec<Vec<bool>>,
+    empty: Vec<bool>,
+    covers: Vec<(usize, Vec<usize>)>,
+}
+
+impl SetAlgebra {
+    fn node(&mut self, n: Node) -> usize {
+        if let Some(&i) = self.index.get(&n) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(n);
+        self.index.insert(n, i);
+        for row in &mut self.subset {
+            row.push(false);
+        }
+        for row in &mut self.disjoint {
+            row.push(false);
+        }
+        self.subset.push(vec![false; i + 1]);
+        self.disjoint.push(vec![false; i + 1]);
+        self.subset[i][i] = true;
+        self.empty.push(false);
+        i
+    }
+
+    /// Builds the base facts from a schema.
+    pub fn from_schema(schema: &Schema) -> Self {
+        let mut sa = SetAlgebra {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            subset: Vec::new(),
+            disjoint: Vec::new(),
+            empty: Vec::new(),
+            covers: Vec::new(),
+        };
+        // Structure: roles within players, subtypes within supertypes.
+        for (fid, ft) in schema.fact_types() {
+            for side in Side::BOTH {
+                let r = sa.node(Node::Role(fid.raw(), side));
+                let p = sa.node(Node::Ot(ft.player(side).raw()));
+                sa.subset[r][p] = true;
+            }
+        }
+        for (_, sl) in schema.sublinks() {
+            let sub = sa.node(Node::Ot(sl.sub.raw()));
+            let sup = sa.node(Node::Ot(sl.sup.raw()));
+            sa.subset[sub][sup] = true;
+        }
+        // Constraints.
+        let item_node = |sa: &mut SetAlgebra, item: &RoleOrSublink| match item {
+            RoleOrSublink::Role(r) => sa.node(Node::Role(r.fact.raw(), r.side)),
+            RoleOrSublink::Sublink(s) => sa.node(Node::Ot(schema.sublink(*s).sub.raw())),
+        };
+        for (_, c) in schema.constraints() {
+            match &c.kind {
+                ConstraintKind::Total { over, items } => {
+                    let o = sa.node(Node::Ot(over.raw()));
+                    let is: Vec<usize> = items.iter().map(|i| item_node(&mut sa, i)).collect();
+                    if is.len() == 1 {
+                        // Total role: the player's population equals the
+                        // role's (mutual inclusion).
+                        sa.subset[o][is[0]] = true;
+                    }
+                    sa.covers.push((o, is));
+                }
+                ConstraintKind::Exclusion { items } => {
+                    let is: Vec<usize> = items.iter().map(|i| item_node(&mut sa, i)).collect();
+                    for x in 0..is.len() {
+                        for y in (x + 1)..is.len() {
+                            sa.disjoint[is[x]][is[y]] = true;
+                            sa.disjoint[is[y]][is[x]] = true;
+                        }
+                    }
+                }
+                ConstraintKind::Subset { sub, sup } if sub.len() == 1 && sup.len() == 1 => {
+                    let a = sa.node(Node::Role(sub[0].fact.raw(), sub[0].side));
+                    let b = sa.node(Node::Role(sup[0].fact.raw(), sup[0].side));
+                    sa.subset[a][b] = true;
+                }
+                ConstraintKind::Equality { a, b } if a.len() == 1 && b.len() == 1 => {
+                    let x = sa.node(Node::Role(a[0].fact.raw(), a[0].side));
+                    let y = sa.node(Node::Role(b[0].fact.raw(), b[0].side));
+                    sa.subset[x][y] = true;
+                    sa.subset[y][x] = true;
+                }
+                _ => {}
+            }
+        }
+        sa.saturate();
+        sa
+    }
+
+    fn saturate(&mut self) {
+        let n = self.nodes.len();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Rule 2: transitivity.
+            for k in 0..n {
+                for i in 0..n {
+                    if self.subset[i][k] {
+                        for j in 0..n {
+                            if self.subset[k][j] && !self.subset[i][j] {
+                                self.subset[i][j] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // Rule 3: disjointness inherits down the lattice.
+            for a in 0..n {
+                for b in 0..n {
+                    if !self.disjoint[a][b] {
+                        continue;
+                    }
+                    for x in 0..n {
+                        if !self.subset[x][a] {
+                            continue;
+                        }
+                        for y in 0..n {
+                            if self.subset[y][b] && !self.disjoint[x][y] {
+                                self.disjoint[x][y] = true;
+                                self.disjoint[y][x] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // Rule 4: self-disjoint means empty.
+            for x in 0..n {
+                if self.disjoint[x][x] && !self.empty[x] {
+                    self.empty[x] = true;
+                    changed = true;
+                }
+            }
+            // Rule 5: emptiness propagates down inclusions.
+            for x in 0..n {
+                if self.empty[x] {
+                    continue;
+                }
+                for y in 0..n {
+                    if self.subset[x][y] && self.empty[y] {
+                        self.empty[x] = true;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            // Rule 6: a covered node with no available member is empty.
+            for (o, items) in self.covers.clone() {
+                if self.empty[o] {
+                    continue;
+                }
+                let all_unavailable = items.iter().all(|&i| self.empty[i] || self.disjoint[o][i]);
+                if all_unavailable {
+                    self.empty[o] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    /// Whether a node's population is forced empty.
+    fn node_empty(&self, n: Node) -> bool {
+        self.index.get(&n).map(|&i| self.empty[i]).unwrap_or(false)
+    }
+
+    /// Whether the schema forces an object type's population empty.
+    pub fn object_type_forced_empty(&self, ot: ridl_brm::ObjectTypeId) -> bool {
+        self.node_empty(Node::Ot(ot.raw()))
+    }
+
+    /// Whether the schema forces a role's population empty.
+    pub fn role_forced_empty(&self, role: RoleRef) -> bool {
+        self.node_empty(Node::Role(role.fact.raw(), role.side))
+    }
+}
+
+/// Detects declared set-algebraic constraints that are *implied* by the
+/// rest of the schema — "superfluous definitions" in the paper's wording
+/// (§4.1). A subset (or arity-1 equality half) is implied when the
+/// saturation of the schema *without it* still derives the inclusion;
+/// likewise for exclusions. Reported as Info: harmless, but the engineer
+/// may want the canonicalisation pass to drop them.
+///
+/// This is a removal-based exact check — one full saturation per candidate
+/// constraint — so it is **not** part of [`check`]; run it on demand (the
+/// paper's RIDL-A also checks "on demand").
+pub fn implied_constraints(schema: &Schema) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (cid, c) in schema.constraints() {
+        let target: Option<(Node, Node, bool)> = match &c.kind {
+            ConstraintKind::Subset { sub, sup } if sub.len() == 1 && sup.len() == 1 => Some((
+                Node::Role(sub[0].fact.raw(), sub[0].side),
+                Node::Role(sup[0].fact.raw(), sup[0].side),
+                false,
+            )),
+            ConstraintKind::Exclusion { items } if items.len() == 2 => {
+                let node = |i: &RoleOrSublink| match i {
+                    RoleOrSublink::Role(r) => Node::Role(r.fact.raw(), r.side),
+                    RoleOrSublink::Sublink(s) => Node::Ot(schema.sublink(*s).sub.raw()),
+                };
+                Some((node(&items[0]), node(&items[1]), true))
+            }
+            _ => None,
+        };
+        let Some((a, b, disjoint)) = target else {
+            continue;
+        };
+        // Rebuild the schema without this constraint and saturate.
+        let mut reduced = Schema::new(schema.name.clone());
+        for (_, o) in schema.object_types() {
+            reduced.push_object_type(o.clone());
+        }
+        for (_, f) in schema.fact_types() {
+            reduced.push_fact_type(f.clone());
+        }
+        for (_, sl) in schema.sublinks() {
+            reduced.push_sublink(*sl);
+        }
+        for (other_id, other) in schema.constraints() {
+            if other_id != cid {
+                reduced.push_constraint(other.clone());
+            }
+        }
+        let sa = SetAlgebra::from_schema(&reduced);
+        let (Some(&ia), Some(&ib)) = (sa.index.get(&a), sa.index.get(&b)) else {
+            continue;
+        };
+        let implied = if disjoint {
+            sa.disjoint[ia][ib]
+        } else {
+            sa.subset[ia][ib]
+        };
+        if implied {
+            out.push(Finding::info(
+                "IMPLIED-CONSTRAINT",
+                format!(
+                    "{} {cid} is implied by the rest of the schema (superfluous definition)",
+                    c.kind.keyword()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Runs the consistency check over a schema; returns the findings.
+pub fn check(schema: &Schema) -> Vec<Finding> {
+    let sa = SetAlgebra::from_schema(schema);
+    let mut out = Vec::new();
+    for (oid, ot) in schema.object_types() {
+        if sa.object_type_forced_empty(oid) {
+            out.push(Finding::error(
+                "FORCED-EMPTY-OT",
+                format!(
+                    "the set-algebraic constraints force the population of {} to be empty",
+                    ot.name
+                ),
+            ));
+        }
+    }
+    for (fid, ft) in schema.fact_types() {
+        for side in Side::BOTH {
+            let r = RoleRef::new(fid, side);
+            // Only report the role when its player is not itself doomed
+            // (avoid cascading noise).
+            if sa.role_forced_empty(r) && !sa.object_type_forced_empty(schema.role_player(r)) {
+                out.push(Finding::warning(
+                    "FORCED-EMPTY-ROLE",
+                    format!("role {} of fact {} can never be populated", side, ft.name),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::builder::SchemaBuilder;
+
+    #[test]
+    fn consistent_schema_clean() {
+        let mut b = SchemaBuilder::new("ok");
+        b.nolot("Person").unwrap();
+        b.nolot("Paper").unwrap();
+        b.fact("writes", ("author_of", "Person"), ("written_by", "Paper"))
+            .unwrap();
+        b.fact(
+            "reviews",
+            ("reviewer_of", "Person"),
+            ("reviewed_by", "Paper"),
+        )
+        .unwrap();
+        b.exclusion_roles(&[("writes", Side::Right), ("reviews", Side::Right)])
+            .unwrap();
+        let s = b.finish().unwrap();
+        assert!(check(&s).is_empty(), "{:?}", check(&s));
+    }
+
+    #[test]
+    fn equality_plus_exclusion_forces_empty() {
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.fact("f", ("x", "A"), ("y", "B")).unwrap();
+        b.fact("g", ("x", "A"), ("y", "B")).unwrap();
+        b.equality(&[("f", Side::Left)], &[("g", Side::Left)])
+            .unwrap();
+        b.exclusion_roles(&[("f", Side::Left), ("g", Side::Left)])
+            .unwrap();
+        let s = b.finish().unwrap();
+        let f = check(&s);
+        // Both roles equal and disjoint ⇒ both empty (warnings; A itself can
+        // still be populated by instances playing nothing).
+        assert!(
+            f.iter().filter(|x| x.code == "FORCED-EMPTY-ROLE").count() >= 2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn total_role_in_contradiction_dooms_the_object_type() {
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.fact("f", ("x", "A"), ("y", "B")).unwrap();
+        b.fact("g", ("x", "A"), ("y", "B")).unwrap();
+        // Everyone in A plays f.x; f.x and g.x are equal yet exclusive.
+        b.total_role("f", Side::Left).unwrap();
+        b.equality(&[("f", Side::Left)], &[("g", Side::Left)])
+            .unwrap();
+        b.exclusion_roles(&[("f", Side::Left), ("g", Side::Left)])
+            .unwrap();
+        let s = b.finish().unwrap();
+        let f = check(&s);
+        assert!(
+            f.iter()
+                .any(|x| x.code == "FORCED-EMPTY-OT" && x.message.contains("A")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn exclusive_total_subtypes_cover_is_fine() {
+        // Paper ⊇ {Invited, Program}, exclusive and total — satisfiable.
+        let mut b = SchemaBuilder::new("ok");
+        b.nolot("Paper").unwrap();
+        b.nolot("Invited").unwrap();
+        b.nolot("Program").unwrap();
+        let s1 = b.sublink("Invited", "Paper").unwrap();
+        let s2 = b.sublink("Program", "Paper").unwrap();
+        b.total_subtypes("Paper", &[s1, s2]).unwrap();
+        b.exclusion_subtypes(&[s1, s2]).unwrap();
+        let s = b.finish().unwrap();
+        assert!(check(&s).is_empty(), "{:?}", check(&s));
+    }
+
+    #[test]
+    fn subtype_both_total_and_excluded_from_super_is_contradiction() {
+        // Every Paper is an Invited (total over the sublink) but Invited is
+        // disjoint from a role that is also total on Paper.
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("Paper").unwrap();
+        b.nolot("Invited").unwrap();
+        b.nolot("Person").unwrap();
+        let sl = b.sublink("Invited", "Paper").unwrap();
+        b.fact("submits", ("submitted_by", "Paper"), ("s", "Person"))
+            .unwrap();
+        b.total_subtypes("Paper", &[sl]).unwrap();
+        b.total_role("submits", Side::Left).unwrap();
+        // Invited papers never play submits.left — but every paper is
+        // invited and every paper plays submits.left.
+        b.raw_constraint(ridl_brm::Constraint::new(
+            ridl_brm::ConstraintKind::Exclusion {
+                items: vec![
+                    ridl_brm::RoleOrSublink::Sublink(sl),
+                    ridl_brm::RoleOrSublink::Role(RoleRef::new(s_fact(&b), Side::Left)),
+                ],
+            },
+        ));
+        let s = b.finish_unchecked();
+        let f = check(&s);
+        assert!(
+            f.iter()
+                .any(|x| x.code == "FORCED-EMPTY-OT" && x.message.contains("Paper")),
+            "{f:?}"
+        );
+    }
+
+    fn s_fact(b: &SchemaBuilder) -> ridl_brm::FactTypeId {
+        b.schema().fact_type_by_name("submits").unwrap()
+    }
+
+    #[test]
+    fn empty_propagates_to_subtypes() {
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("A").unwrap();
+        b.nolot("Sub").unwrap();
+        b.nolot("B").unwrap();
+        b.sublink("Sub", "A").unwrap();
+        b.fact("f", ("x", "A"), ("y", "B")).unwrap();
+        b.fact("g", ("x", "A"), ("y", "B")).unwrap();
+        b.total_role("f", Side::Left).unwrap();
+        b.equality(&[("f", Side::Left)], &[("g", Side::Left)])
+            .unwrap();
+        b.exclusion_roles(&[("f", Side::Left), ("g", Side::Left)])
+            .unwrap();
+        let s = b.finish().unwrap();
+        let f = check(&s);
+        // A empty ⇒ Sub empty too.
+        assert!(f
+            .iter()
+            .any(|x| x.code == "FORCED-EMPTY-OT" && x.message.contains("Sub")));
+    }
+}
+
+#[cfg(test)]
+mod implied_tests {
+    use super::*;
+    use ridl_brm::builder::SchemaBuilder;
+
+    #[test]
+    fn subset_implied_by_totality_is_flagged() {
+        // r_opt ⊆ r_id is implied when r_id is total on the shared player.
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.fact("id", ("x", "A"), ("y", "B")).unwrap();
+        b.fact("opt", ("x", "A"), ("y", "B")).unwrap();
+        b.total_role("id", Side::Left).unwrap();
+        b.subset(&[("opt", Side::Left)], &[("id", Side::Left)])
+            .unwrap();
+        let s = b.finish().unwrap();
+        let f = implied_constraints(&s);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "IMPLIED-CONSTRAINT");
+    }
+
+    #[test]
+    fn genuine_subset_is_not_flagged() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.fact("f", ("x", "A"), ("y", "B")).unwrap();
+        b.fact("g", ("x", "A"), ("y", "B")).unwrap();
+        b.subset(&[("f", Side::Left)], &[("g", Side::Left)])
+            .unwrap();
+        let s = b.finish().unwrap();
+        assert!(implied_constraints(&s).is_empty());
+    }
+
+    #[test]
+    fn exclusion_implied_by_wider_exclusion() {
+        // Exclusion between two subtypes is implied when their supertypes
+        // are already exclusive.
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("P").unwrap();
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.nolot("A1").unwrap();
+        b.nolot("B1").unwrap();
+        let sa = b.sublink("A", "P").unwrap();
+        let sb = b.sublink("B", "P").unwrap();
+        let sa1 = b.sublink("A1", "A").unwrap();
+        let sb1 = b.sublink("B1", "B").unwrap();
+        b.exclusion_subtypes(&[sa, sb]).unwrap();
+        b.exclusion_subtypes(&[sa1, sb1]).unwrap();
+        let s = b.finish().unwrap();
+        let f = implied_constraints(&s);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("EXCLUSION"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Ablation **E-DENORM**: what the controlled redundancy of the combine
+//! directives actually buys — the paper's motivation via Inmon: "the many
+//! smaller tables derived by normalization have to be joined dynamically
+//! which may result in an unacceptable increase of I/O consumption" (§4).
+//!
+//! The same conceptual two-step query (person → institution → country) is
+//! compiled against the normalized mapping (one dynamic join) and against a
+//! denormalised mapping (served from the duplicated column, zero joins),
+//! and executed on the engine over growing populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ridl_core::options::CombineDirective;
+use ridl_core::state_map::map_population;
+use ridl_core::{MappingOptions, MappingOutput, Workbench};
+use ridl_engine::Database;
+use ridl_query::{compile, ConceptualQuery};
+use ridl_workloads::popgen::{self, PopParams};
+
+/// A schema with a hot functional chain E0 → E1 → attribute: every E0
+/// references E1 (total), and E1 carries a mandatory lexical attribute.
+fn chain_schema() -> ridl_brm::Schema {
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::{DataType, Side};
+    let mut b = SchemaBuilder::new("chain");
+    b.nolot("Order").unwrap();
+    identify(&mut b, "Order", "Order_No", DataType::Char(8)).unwrap();
+    b.nolot("Customer").unwrap();
+    identify(&mut b, "Customer", "Customer_No", DataType::Char(8)).unwrap();
+    b.lot("Region", DataType::Char(12)).unwrap();
+    b.fact(
+        "cust_region",
+        ("based_in", "Customer"),
+        ("region_of", "Region"),
+    )
+    .unwrap();
+    b.unique("cust_region", Side::Left).unwrap();
+    b.total_role("cust_region", Side::Left).unwrap();
+    b.fact("placed_by", ("placed", "Order"), ("placing", "Customer"))
+        .unwrap();
+    b.unique("placed_by", Side::Left).unwrap();
+    b.total_role("placed_by", Side::Left).unwrap();
+    b.finish().unwrap()
+}
+
+fn loaded(out: &MappingOutput, instances: usize) -> Database {
+    let pop = popgen::generate(
+        &out.schema,
+        &PopParams {
+            instances_per_entity: instances,
+            ..PopParams::default()
+        },
+    );
+    let mut db = Database::create(out.rel.clone()).unwrap();
+    db.load_state(map_population(&out.schema, out, &pop).unwrap())
+        .unwrap();
+    db
+}
+
+fn report() {
+    println!("\n== E-DENORM: dynamic join vs controlled redundancy ==");
+    let schema = chain_schema();
+    let placed_by = schema.fact_type_by_name("placed_by").unwrap();
+    let wb = Workbench::new(schema);
+    let q = ConceptualQuery::list("Order", &["identified_by", "placed_by.based_in"]);
+
+    let normal = wb.map(&MappingOptions::new()).unwrap();
+    let mut denorm_opts = MappingOptions::new();
+    denorm_opts.combine.push(CombineDirective {
+        via: placed_by,
+        weight: 10,
+    });
+    let denorm = wb.map(&denorm_opts).unwrap();
+
+    let cn = compile(&normal, &q).unwrap();
+    let cd = compile(&denorm, &q).unwrap();
+    println!(
+        "normalized mapping:   {} tables, query joins = {}",
+        normal.table_count(),
+        cn.join_count
+    );
+    println!(
+        "denormalised mapping: {} tables, query joins = {} (duplicate exploited)",
+        denorm.table_count(),
+        cd.join_count
+    );
+    assert!(cn.join_count > cd.join_count);
+    // Same answers.
+    let db_n = loaded(&normal, 64);
+    let db_d = loaded(&denorm, 64);
+    let mut rn = db_n.select(&cn.query).unwrap();
+    let mut rd = db_d.select(&cd.query).unwrap();
+    rn.sort();
+    rd.sort();
+    assert_eq!(rn, rd, "plans disagree");
+    println!("identical answers over 64-instance populations; timing below.");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let schema = chain_schema();
+    let placed_by = schema.fact_type_by_name("placed_by").unwrap();
+    let wb = Workbench::new(schema);
+    let q = ConceptualQuery::list("Order", &["identified_by", "placed_by.based_in"]);
+    let normal = wb.map(&MappingOptions::new()).unwrap();
+    let mut denorm_opts = MappingOptions::new();
+    denorm_opts.combine.push(CombineDirective {
+        via: placed_by,
+        weight: 10,
+    });
+    let denorm = wb.map(&denorm_opts).unwrap();
+    let cn = compile(&normal, &q).unwrap();
+    let cd = compile(&denorm, &q).unwrap();
+
+    let mut group = c.benchmark_group("denorm_ablation");
+    for n in [64usize, 256, 1024] {
+        let db_n = loaded(&normal, n);
+        let db_d = loaded(&denorm, n);
+        group.bench_with_input(BenchmarkId::new("join_plan", n), &db_n, |b, db| {
+            b.iter(|| db.select(&cn.query).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("duplicate_plan", n), &db_d, |b, db| {
+            b.iter(|| db.select(&cd.query).unwrap())
+        });
+    }
+    group.finish();
+
+    // The price of the redundancy: constraint checking on insert.
+    let mut group = c.benchmark_group("denorm_write_price");
+    group.sample_size(20);
+    for (label, out) in [("normalized", &normal), ("denormalised", &denorm)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), out, |b, out| {
+            let db = loaded(out, 64);
+            b.iter(|| {
+                let mut db2 = Database::create(out.rel.clone()).unwrap();
+                db2.load_state(db.state().clone()).unwrap();
+                db2
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Experiment **E-F4** (figure 4): sublink elimination is a lossless
+//! binary→binary schema transformation.
+//!
+//! The harness regenerates the figure's claim: a schema with sublinks
+//! transforms into a state-equivalent schema without them — measured here
+//! as forward+backward state-map round trips over generated populations —
+//! and reports transformation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ridl_brm::population::is_model;
+use ridl_transform::EliminateSublink;
+use ridl_workloads::popgen::{self, PopParams};
+use ridl_workloads::synth::{self, GenParams};
+
+fn report() {
+    println!("\n== E-F4: sublink elimination (fig. 4) state equivalence ==");
+    println!(
+        "{:<8} {:>9} {:>10} {:>12} {:>10}",
+        "seed", "sublinks", "facts", "pop facts", "roundtrip"
+    );
+    for seed in [1u64, 2, 3, 4, 5] {
+        let s = synth::generate(&GenParams {
+            seed,
+            sublinks: 5,
+            ..GenParams::default()
+        });
+        let pop = popgen::generate(&s.schema, &PopParams::default());
+        assert!(is_model(&s.schema, &pop));
+        // Eliminate every sublink in turn (each elimination renumbers the
+        // survivors, so always eliminate sublink 0 of the current schema).
+        let mut schema = s.schema.clone();
+        let mut pop_cur = pop.clone();
+        let mut outs = Vec::new();
+        while schema.num_sublinks() > 0 {
+            let t = EliminateSublink {
+                sublink: ridl_brm::SublinkId::from_raw(0),
+            };
+            let out = t.apply(&schema).unwrap();
+            pop_cur = t.map_state(&schema, &out, &pop_cur);
+            schema = out.schema.clone();
+            outs.push((t, out));
+        }
+        assert!(
+            is_model(&schema, &pop_cur),
+            "mapped state is a model of the sublink-free schema"
+        );
+        // Walk back.
+        let mut back = pop_cur.clone();
+        for (t, out) in outs.iter().rev() {
+            back = t.unmap_state(out, &back);
+        }
+        let ok = back.compacted() == pop.compacted();
+        println!(
+            "{:<8} {:>9} {:>10} {:>12} {:>10}",
+            seed,
+            s.schema.num_sublinks(),
+            s.schema.num_fact_types(),
+            pop.num_fact_instances(),
+            if ok { "lossless" } else { "DIVERGED" }
+        );
+        assert!(ok);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("fig4_sublink_elimination");
+    group.sample_size(20);
+    for sublinks in [2usize, 8, 16] {
+        let s = synth::generate(&GenParams {
+            seed: 9,
+            sublinks,
+            ..GenParams::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("eliminate_all", sublinks),
+            &s.schema,
+            |b, schema| {
+                b.iter(|| {
+                    let mut cur = schema.clone();
+                    while cur.num_sublinks() > 0 {
+                        let t = EliminateSublink {
+                            sublink: ridl_brm::SublinkId::from_raw(0),
+                        };
+                        cur = t.apply(&cur).unwrap().schema;
+                    }
+                    cur
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

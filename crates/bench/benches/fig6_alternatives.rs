@@ -1,0 +1,89 @@
+//! Experiment **E-F6** (figure 6): regenerates the paper's four alternative
+//! relational schemas for the Paper / Program_Paper fragment and reports
+//! their shapes (table count, nullable columns, extended constraints), then
+//! benches the mapping under each option combination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ridl_core::{MappingOptions, NullOption, SublinkOption, Workbench};
+use ridl_workloads::fig6;
+
+fn alternatives(wb: &Workbench) -> Vec<(&'static str, MappingOptions)> {
+    let invited = wb.schema().object_type_by_name("Invited_Paper").unwrap();
+    let sl = wb
+        .schema()
+        .sublinks()
+        .find(|(_, s)| s.sub == invited)
+        .map(|(sid, _)| sid)
+        .unwrap();
+    vec![
+        (
+            "A1 NULL NOT ALLOWED + SEPARATE",
+            MappingOptions::new().with_nulls(NullOption::NullNotAllowed),
+        ),
+        ("A2 DEFAULT + SEPARATE", MappingOptions::new()),
+        (
+            "A3 DEFAULT + INDICATOR(Invited)",
+            MappingOptions::new().override_sublink(sl, SublinkOption::IndicatorForSupot),
+        ),
+        (
+            "A4 TOGETHER",
+            MappingOptions::new().with_sublinks(SublinkOption::Together),
+        ),
+    ]
+}
+
+fn report() {
+    println!("\n== E-F6: the four alternatives of figure 6 ==");
+    println!(
+        "{:<34} {:>7} {:>9} {:>10} {:>8}",
+        "alternative", "tables", "nullable", "extended", "C_EQ/EE/DE"
+    );
+    let wb = Workbench::new(fig6::schema());
+    for (label, options) in alternatives(&wb) {
+        let out = wb.map(&options).unwrap();
+        let extended = out
+            .rel
+            .constraints
+            .iter()
+            .filter(|c| !c.kind.natively_enforceable())
+            .count();
+        let special = out
+            .rel
+            .constraints
+            .iter()
+            .filter(|c| {
+                c.name.starts_with("C_EQ$")
+                    || c.name.starts_with("C_EE$")
+                    || c.name.starts_with("C_DE$")
+            })
+            .count();
+        println!(
+            "{:<34} {:>7} {:>9} {:>10} {:>8}",
+            label,
+            out.table_count(),
+            out.nullable_column_count(),
+            extended,
+            special
+        );
+    }
+    println!(
+        "shape check: A1 has the most tables and zero nullables; A4 has one\n\
+         wide table; A3 carries the C_EQ$ equality view of the paper's text."
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let wb = Workbench::new(fig6::schema());
+    let mut group = c.benchmark_group("fig6_map");
+    for (label, options) in alternatives(&wb) {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &options, |b, o| {
+            b.iter(|| wb.map(o).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

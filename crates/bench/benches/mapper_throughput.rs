@@ -1,0 +1,103 @@
+//! RIDL-M throughput against schema size, plus the engine executing a
+//! generated schema (insert + select) — the interactive loop a database
+//! engineer drives through the RIDL-M interface (§3.3, fig. 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ridl_brm::Value;
+use ridl_core::{MappingOptions, Workbench};
+use ridl_engine::{Database, Query};
+use ridl_workloads::synth::{self, GenParams};
+
+fn report() {
+    println!("\n== RIDL-M scaling: tables generated per schema size ==");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>12}",
+        "nolots", "facts", "tables", "cons", "trace steps"
+    );
+    for nolots in [10usize, 40, 85, 150] {
+        let s = synth::generate(&GenParams {
+            seed: 23,
+            nolots,
+            sublinks: nolots / 5,
+            mn_facts: nolots / 2,
+            ..GenParams::default()
+        });
+        let wb = Workbench::new(s.schema.clone());
+        let out = wb.map(&MappingOptions::new()).unwrap();
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>12}",
+            nolots,
+            s.schema.num_fact_types(),
+            out.table_count(),
+            out.rel.constraints.len(),
+            out.trace.steps().len()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("ridl_m");
+    group.sample_size(10);
+    for nolots in [10usize, 40, 85] {
+        let s = synth::generate(&GenParams {
+            seed: 23,
+            nolots,
+            sublinks: nolots / 5,
+            mn_facts: nolots / 2,
+            ..GenParams::default()
+        });
+        let wb = Workbench::new(s.schema.clone());
+        group.throughput(Throughput::Elements(s.schema.num_fact_types() as u64));
+        group.bench_with_input(BenchmarkId::new("map", nolots), &wb, |b, w| {
+            b.iter(|| w.map(&MappingOptions::new()).unwrap())
+        });
+    }
+    group.finish();
+
+    // Engine DML over a generated schema.
+    let s = synth::generate(&GenParams {
+        seed: 23,
+        nolots: 10,
+        ..GenParams::default()
+    });
+    let wb = Workbench::new(s.schema);
+    let out = wb.map(&MappingOptions::new()).unwrap();
+    let first_anchor = out
+        .anchors
+        .values()
+        .next()
+        .expect("at least one anchor")
+        .table;
+    let table_name = out.rel.table(first_anchor).name.clone();
+    let arity = out.rel.table(first_anchor).arity();
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("insert_validate", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut db = Database::create(out.rel.clone()).unwrap();
+            i += 1;
+            let mut row = vec![None; arity];
+            row[0] = Some(Value::str(format!("K{i}")));
+            for (ci, col) in out.rel.table(first_anchor).columns.iter().enumerate() {
+                if !col.nullable && ci != 0 {
+                    row[ci] = Some(Value::str(format!("v{ci}")));
+                }
+            }
+            // May fail on domain width; the enforcement pass is the cost
+            // being measured either way.
+            let _ = db.insert(&table_name, row);
+            db
+        })
+    });
+    group.bench_function("select_full_table", |b| {
+        let db = Database::create(out.rel.clone()).unwrap();
+        let q = Query::from(table_name.clone());
+        b.iter(|| db.select(&q).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment **E-NULLOPT** (§4.2.1): the null-value options trade table
+//! count against nullable columns. "NULL NOT ALLOWED … As a consequence, a
+//! large number of small tables will in general be generated."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ridl_core::{MappingOptions, NullOption, Workbench};
+use ridl_workloads::synth::{self, GenParams};
+
+const OPTIONS: [(&str, NullOption); 4] = [
+    ("DEFAULT", NullOption::Default),
+    ("NULL NOT ALLOWED", NullOption::NullNotAllowed),
+    ("NULL NOT IN KEYS", NullOption::NullNotInKeys),
+    ("NULL ALLOWED", NullOption::NullAllowed),
+];
+
+fn report() {
+    println!("\n== E-NULLOPT: table count vs nullable columns per null option ==");
+    println!(
+        "{:<20} {:>8} {:>10} {:>14} {:>12}",
+        "option", "tables", "nullable", "avg cols/table", "constraints"
+    );
+    let mut counts = Vec::new();
+    for (label, nulls) in OPTIONS {
+        let mut tables = 0usize;
+        let mut nullable = 0usize;
+        let mut cols = 0usize;
+        let mut cons = 0usize;
+        for seed in 0..8u64 {
+            let s = synth::generate(&GenParams {
+                seed,
+                ..GenParams::default()
+            });
+            let wb = Workbench::new(s.schema);
+            let out = wb.map(&MappingOptions::new().with_nulls(nulls)).unwrap();
+            tables += out.table_count();
+            nullable += out.nullable_column_count();
+            cols += out.rel.tables.iter().map(|t| t.arity()).sum::<usize>();
+            cons += out.rel.constraints.len();
+        }
+        println!(
+            "{:<20} {:>8} {:>10} {:>14.2} {:>12}",
+            label,
+            tables,
+            nullable,
+            cols as f64 / tables as f64,
+            cons
+        );
+        counts.push((label, tables, nullable));
+    }
+    let default = counts[0];
+    let strict = counts[1];
+    assert!(strict.1 > default.1, "NULL NOT ALLOWED makes more tables");
+    assert_eq!(strict.2, 0, "NULL NOT ALLOWED admits no nullable column");
+    println!(
+        "shape check: NULL NOT ALLOWED generated {:.2}x the tables of the default\n\
+         with zero nullable columns — the paper's \"large number of small tables\".",
+        strict.1 as f64 / default.1.max(1) as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let s = synth::generate(&GenParams {
+        seed: 3,
+        nolots: 30,
+        ..GenParams::default()
+    });
+    let wb = Workbench::new(s.schema);
+    let mut group = c.benchmark_group("null_option_map");
+    for (label, nulls) in OPTIONS {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &nulls, |b, n| {
+            b.iter(|| wb.map(&MappingOptions::new().with_nulls(*n)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment **E-RT**: throughput of the executable schema transformation
+//! `g` and its inverse (state equivalence, §4.1) over growing populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ridl_core::state_map::{equivalent, map_population, unmap_state};
+use ridl_core::{MappingOptions, Workbench};
+use ridl_workloads::popgen::{self, PopParams};
+use ridl_workloads::synth::{self, GenParams};
+
+fn report() {
+    println!("\n== E-RT: state-map round trips over growing populations ==");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10}",
+        "instances", "pop facts", "rows", "roundtrip"
+    );
+    let s = synth::generate(&GenParams::default());
+    let wb = Workbench::new(s.schema);
+    let out = wb.map(&MappingOptions::new()).unwrap();
+    for n in [8usize, 64, 256] {
+        let pop = popgen::generate(
+            &out.schema,
+            &PopParams {
+                instances_per_entity: n,
+                ..PopParams::default()
+            },
+        );
+        let st = map_population(&out.schema, &out, &pop).unwrap();
+        let back = unmap_state(&out.schema, &out, &st).unwrap();
+        let ok = equivalent(&out.schema, &out, &pop, &back).unwrap();
+        println!(
+            "{:<12} {:>12} {:>10} {:>10}",
+            n,
+            pop.num_fact_instances(),
+            st.num_rows(),
+            if ok { "lossless" } else { "DIVERGED" }
+        );
+        assert!(ok);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let s = synth::generate(&GenParams::default());
+    let wb = Workbench::new(s.schema);
+    let out = wb.map(&MappingOptions::new()).unwrap();
+
+    let mut group = c.benchmark_group("state_map");
+    group.sample_size(10);
+    for n in [8usize, 64, 256] {
+        let pop = popgen::generate(
+            &out.schema,
+            &PopParams {
+                instances_per_entity: n,
+                ..PopParams::default()
+            },
+        );
+        let st = map_population(&out.schema, &out, &pop).unwrap();
+        group.throughput(Throughput::Elements(pop.num_fact_instances() as u64));
+        group.bench_with_input(BenchmarkId::new("forward_g", n), &pop, |b, p| {
+            b.iter(|| map_population(&out.schema, &out, p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("inverse_g", n), &st, |b, s| {
+            b.iter(|| unmap_state(&out.schema, &out, s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

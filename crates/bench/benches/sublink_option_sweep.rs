@@ -1,0 +1,162 @@
+//! Experiment **E-SUBOPT** (§4.2.2): the sublink options trade relation
+//! count and dynamic joins against controlled redundancy. "The default
+//! sublink mapping option (strong typing) in general results in a larger
+//! number of relations with only a few attributes. Therefore more dynamic
+//! joins might be needed."
+//!
+//! Join cost metric: for every fact played by a subtype, the number of
+//! joins needed to list the fact together with the *supertype's* identifier
+//! (0 when both live in one relation keyed by that identifier; 1 when a
+//! sub-relation with its own key must be joined back through `_Is`/link
+//! columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ridl_core::{FactRealization, MappingOptions, MappingOutput, SublinkOption, Workbench};
+use ridl_workloads::synth::{self, GenParams};
+
+const OPTIONS: [(&str, SublinkOption); 3] = [
+    ("SEPARATE (default)", SublinkOption::Separate),
+    ("TOGETHER", SublinkOption::Together),
+    ("INDICATOR", SublinkOption::IndicatorForSupot),
+];
+
+/// Joins needed to read each subtype fact in supertype-key space, plus the
+/// membership-test cost per sublink.
+fn join_cost(out: &MappingOutput) -> (usize, usize) {
+    let schema = &out.schema;
+    let mut fact_joins = 0usize;
+    let mut membership_joins = 0usize;
+    for (sid, sl) in schema.sublinks() {
+        let sup_host = out.host_of(sl.sup);
+        let sup_anchor = out.anchor_of(sup_host);
+        // Membership test: free with an indicator or absorbed columns,
+        // one join when it needs the sub-relation.
+        match &out.sub_memb[sid.index()] {
+            Some(ridl_core::SubMembership::Indicator { .. })
+            | Some(ridl_core::SubMembership::AbsorbedColumns { .. })
+            | Some(ridl_core::SubMembership::OwnKeyLinked { .. }) => {}
+            Some(ridl_core::SubMembership::SubRelation { .. })
+            | Some(ridl_core::SubMembership::LinkTable { .. }) => membership_joins += 1,
+            None => {}
+        }
+        // Facts anchored at the subtype.
+        for (fid, _) in schema.fact_types() {
+            if let FactRealization::Attribute { table, anchor, .. } = out.realization(fid) {
+                if *anchor == sl.sub || (out.host_of(sl.sub) != sl.sub && *anchor == sup_host) {
+                    // Is the hosting table keyed by the supertype's rep?
+                    let same_table = sup_anchor.map(|a| a.table) == Some(*table);
+                    if *anchor == sl.sub && !same_table {
+                        fact_joins += 1;
+                    }
+                }
+            }
+        }
+    }
+    (fact_joins, membership_joins)
+}
+
+/// Compiled join counts for real conceptual queries: per subtype, a query
+/// projecting one subtype fact together with the supertype identifier —
+/// compiled through the forwards map by `ridl-query`.
+fn compiled_join_cost(out: &MappingOutput) -> usize {
+    let schema = &out.schema;
+    let mut total = 0usize;
+    for (_, sl) in schema.sublinks() {
+        let sub_name = schema.ot_name(sl.sub);
+        // The supertype's identifier role is named `identified_by` in the
+        // synthetic schemas; the subtype's first own fact provides the
+        // second projection when it exists.
+        let own_fact = schema.fact_types().find_map(|(fid, ft)| {
+            if ft.player(ridl_brm::Side::Left) == sl.sub {
+                Some((fid, ft.role(ridl_brm::Side::Left).name.clone()))
+            } else {
+                None
+            }
+        });
+        let steps: Vec<&str> = match &own_fact {
+            Some((_, role)) => vec!["identified_by", role.as_str()],
+            None => vec!["identified_by"],
+        };
+        let q = ridl_query::ConceptualQuery::list(sub_name, &steps);
+        if let Ok(compiled) = ridl_query::compile(out, &q) {
+            total += compiled.join_count;
+        }
+    }
+    total
+}
+
+fn report() {
+    println!("\n== E-SUBOPT: relations and dynamic joins per sublink option ==");
+    println!(
+        "{:<22} {:>8} {:>11} {:>12} {:>10} {:>9}",
+        "option", "tables", "fact joins", "member joins", "qry joins", "ext cons"
+    );
+    let mut rows = Vec::new();
+    for (label, opt) in OPTIONS {
+        let mut tables = 0usize;
+        let mut fj = 0usize;
+        let mut mj = 0usize;
+        let mut qj = 0usize;
+        let mut extended = 0usize;
+        for seed in 0..8u64 {
+            let s = synth::generate(&GenParams {
+                seed,
+                sublinks: 6,
+                own_ref_prob: 0.5,
+                ..GenParams::default()
+            });
+            let wb = Workbench::new(s.schema);
+            let out = wb.map(&MappingOptions::new().with_sublinks(opt)).unwrap();
+            tables += out.table_count();
+            let (a, b) = join_cost(&out);
+            fj += a;
+            mj += b;
+            qj += compiled_join_cost(&out);
+            extended += out
+                .rel
+                .constraints
+                .iter()
+                .filter(|c| !c.kind.natively_enforceable())
+                .count();
+        }
+        println!(
+            "{:<22} {:>8} {:>11} {:>12} {:>10} {:>9}",
+            label, tables, fj, mj, qj, extended
+        );
+        rows.push((label, tables, fj + mj));
+    }
+    assert!(
+        rows[0].2 > rows[1].2,
+        "SEPARATE needs more joins than TOGETHER"
+    );
+    assert!(
+        rows[0].1 >= rows[1].1,
+        "SEPARATE makes at least as many tables"
+    );
+    println!(
+        "shape check: SEPARATE (strong typing) needs the most dynamic joins;\n\
+         TOGETHER removes them at the cost of nullable columns; INDICATOR\n\
+         buys cheap membership tests with controlled redundancy (C_CEQ$)."
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let s = synth::generate(&GenParams {
+        seed: 5,
+        sublinks: 10,
+        ..GenParams::default()
+    });
+    let wb = Workbench::new(s.schema);
+    let mut group = c.benchmark_group("sublink_option_map");
+    for (label, opt) in OPTIONS {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &opt, |b, o| {
+            b.iter(|| wb.map(&MappingOptions::new().with_sublinks(*o)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

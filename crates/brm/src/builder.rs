@@ -1,0 +1,476 @@
+//! Fluent, name-based construction of binary conceptual schemas.
+//!
+//! `SchemaBuilder` is the programmatic counterpart of the RIDL-G graphical
+//! editor: it resolves names, rejects duplicates eagerly, and hands out
+//! [`RoleRef`]s so constraints can be attached by name.
+
+use crate::constraint::{Constraint, ConstraintId, ConstraintKind, RoleOrSublink};
+use crate::datatype::DataType;
+use crate::error::BrmError;
+use crate::fact::{FactType, Role, Side};
+use crate::ids::{FactTypeId, ObjectTypeId, RoleRef, SublinkId};
+use crate::object_type::{ObjectType, ObjectTypeKind};
+use crate::schema::Schema;
+use crate::sublink::Sublink;
+use crate::value::Value;
+
+/// Incremental builder for a [`Schema`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    schema: Schema,
+}
+
+impl SchemaBuilder {
+    /// Starts an empty schema with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            schema: Schema::new(name),
+        }
+    }
+
+    /// Continues building on an existing schema.
+    pub fn from_schema(schema: Schema) -> Self {
+        Self { schema }
+    }
+
+    // ---- object types ----
+
+    fn add_object_type(
+        &mut self,
+        name: impl Into<String>,
+        kind: ObjectTypeKind,
+    ) -> Result<ObjectTypeId, BrmError> {
+        let name = name.into();
+        if self.schema.object_type_by_name(&name).is_some() {
+            return Err(BrmError::DuplicateName {
+                name,
+                namespace: "object type",
+            });
+        }
+        Ok(self.schema.push_object_type(ObjectType::new(name, kind)))
+    }
+
+    /// Adds a non-lexical object type.
+    pub fn nolot(&mut self, name: impl Into<String>) -> Result<ObjectTypeId, BrmError> {
+        self.add_object_type(name, ObjectTypeKind::Nolot)
+    }
+
+    /// Adds a lexical object type with its data type.
+    pub fn lot(&mut self, name: impl Into<String>, dt: DataType) -> Result<ObjectTypeId, BrmError> {
+        self.add_object_type(name, ObjectTypeKind::Lot(dt))
+    }
+
+    /// Adds a LOT-NOLOT (hybrid notation, §2).
+    pub fn lot_nolot(
+        &mut self,
+        name: impl Into<String>,
+        dt: DataType,
+    ) -> Result<ObjectTypeId, BrmError> {
+        self.add_object_type(name, ObjectTypeKind::LotNolot(dt))
+    }
+
+    // ---- fact types ----
+
+    /// Adds a binary fact type. Each endpoint is `(role_name, player_name)`.
+    pub fn fact(
+        &mut self,
+        name: impl Into<String>,
+        left: (&str, &str),
+        right: (&str, &str),
+    ) -> Result<FactTypeId, BrmError> {
+        let name = name.into();
+        if self.schema.fact_type_by_name(&name).is_some() {
+            return Err(BrmError::DuplicateName {
+                name,
+                namespace: "fact type",
+            });
+        }
+        let lp = self.schema.require_object_type(left.1)?;
+        let rp = self.schema.require_object_type(right.1)?;
+        Ok(self.schema.push_fact_type(FactType::new(
+            name,
+            Role::new(left.0, lp),
+            Role::new(right.0, rp),
+        )))
+    }
+
+    // ---- sublinks ----
+
+    /// Adds a sublink `sub` IS-A `sup` by object-type names.
+    pub fn sublink(&mut self, sub: &str, sup: &str) -> Result<SublinkId, BrmError> {
+        let sub_id = self.schema.require_object_type(sub)?;
+        let sup_id = self.schema.require_object_type(sup)?;
+        if !self.schema.kind_of(sub_id).is_entity_like()
+            || !self.schema.kind_of(sup_id).is_entity_like()
+        {
+            return Err(BrmError::Structural {
+                message: format!("sublink {sub} -> {sup} must connect NOLOTs"),
+            });
+        }
+        Ok(self.schema.push_sublink(Sublink::new(sub_id, sup_id)))
+    }
+
+    // ---- role addressing ----
+
+    /// Resolves a role by fact name and side.
+    pub fn role(&self, fact: &str, side: Side) -> Result<RoleRef, BrmError> {
+        Ok(RoleRef::new(self.schema.require_fact_type(fact)?, side))
+    }
+
+    /// Resolves the role of `fact` played by object type `player`.
+    ///
+    /// Errors if the fact is homogeneous (both roles played by `player`) —
+    /// use [`SchemaBuilder::role`] with an explicit side in that case.
+    pub fn role_of(&self, fact: &str, player: &str) -> Result<RoleRef, BrmError> {
+        let fid = self.schema.require_fact_type(fact)?;
+        let pid = self.schema.require_object_type(player)?;
+        let side = self
+            .schema
+            .fact_type(fid)
+            .side_of(pid)
+            .ok_or(BrmError::Structural {
+                message: format!("role of `{player}` in `{fact}` is ambiguous or absent"),
+            })?;
+        Ok(RoleRef::new(fid, side))
+    }
+
+    // ---- constraints ----
+
+    /// Simple identifier (uniqueness over a single role).
+    pub fn unique(&mut self, fact: &str, side: Side) -> Result<ConstraintId, BrmError> {
+        let r = self.role(fact, side)?;
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Uniqueness {
+                roles: vec![r],
+            })))
+    }
+
+    /// Uniqueness over both roles of a fact (unique pairs; marks m:n facts).
+    pub fn unique_pair(&mut self, fact: &str) -> Result<ConstraintId, BrmError> {
+        let l = self.role(fact, Side::Left)?;
+        let r = self.role(fact, Side::Right)?;
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Uniqueness {
+                roles: vec![l, r],
+            })))
+    }
+
+    /// External (compound) uniqueness over roles of several facts.
+    pub fn external_unique(&mut self, roles: &[(&str, Side)]) -> Result<ConstraintId, BrmError> {
+        let roles = roles
+            .iter()
+            .map(|(f, s)| self.role(f, *s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Uniqueness { roles })))
+    }
+
+    /// Total role constraint: every instance of the role's player plays it.
+    pub fn total_role(&mut self, fact: &str, side: Side) -> Result<ConstraintId, BrmError> {
+        let r = self.role(fact, side)?;
+        let over = self.schema.role_player(r);
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Total {
+                over,
+                items: vec![RoleOrSublink::Role(r)],
+            })))
+    }
+
+    /// Total union over several roles of the object type `over`.
+    pub fn total_union(
+        &mut self,
+        over: &str,
+        roles: &[(&str, Side)],
+    ) -> Result<ConstraintId, BrmError> {
+        let over_id = self.schema.require_object_type(over)?;
+        let items = roles
+            .iter()
+            .map(|(f, s)| self.role(f, *s).map(RoleOrSublink::Role))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Total {
+                over: over_id,
+                items,
+            })))
+    }
+
+    /// Total union over subtypes: every instance of `over` is in some subtype.
+    pub fn total_subtypes(
+        &mut self,
+        over: &str,
+        sublinks: &[SublinkId],
+    ) -> Result<ConstraintId, BrmError> {
+        let over_id = self.schema.require_object_type(over)?;
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Total {
+                over: over_id,
+                items: sublinks
+                    .iter()
+                    .map(|s| RoleOrSublink::Sublink(*s))
+                    .collect(),
+            })))
+    }
+
+    /// Exclusion between roles.
+    pub fn exclusion_roles(&mut self, roles: &[(&str, Side)]) -> Result<ConstraintId, BrmError> {
+        let items = roles
+            .iter()
+            .map(|(f, s)| self.role(f, *s).map(RoleOrSublink::Role))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Exclusion { items })))
+    }
+
+    /// Exclusion between subtypes.
+    pub fn exclusion_subtypes(&mut self, sublinks: &[SublinkId]) -> Result<ConstraintId, BrmError> {
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Exclusion {
+                items: sublinks
+                    .iter()
+                    .map(|s| RoleOrSublink::Sublink(*s))
+                    .collect(),
+            })))
+    }
+
+    /// Subset constraint between two role sequences.
+    pub fn subset(
+        &mut self,
+        sub: &[(&str, Side)],
+        sup: &[(&str, Side)],
+    ) -> Result<ConstraintId, BrmError> {
+        let sub = sub
+            .iter()
+            .map(|(f, s)| self.role(f, *s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let sup = sup
+            .iter()
+            .map(|(f, s)| self.role(f, *s))
+            .collect::<Result<Vec<_>, _>>()?;
+        if sub.len() != sup.len() {
+            return Err(BrmError::Structural {
+                message: "subset constraint sides must have equal arity".into(),
+            });
+        }
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Subset { sub, sup })))
+    }
+
+    /// Equality constraint between two role sequences.
+    pub fn equality(
+        &mut self,
+        a: &[(&str, Side)],
+        b: &[(&str, Side)],
+    ) -> Result<ConstraintId, BrmError> {
+        let a = a
+            .iter()
+            .map(|(f, s)| self.role(f, *s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let b = b
+            .iter()
+            .map(|(f, s)| self.role(f, *s))
+            .collect::<Result<Vec<_>, _>>()?;
+        if a.len() != b.len() {
+            return Err(BrmError::Structural {
+                message: "equality constraint sides must have equal arity".into(),
+            });
+        }
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Equality { a, b })))
+    }
+
+    /// Occurrence-frequency constraint on a role.
+    pub fn cardinality(
+        &mut self,
+        fact: &str,
+        side: Side,
+        min: u32,
+        max: Option<u32>,
+    ) -> Result<ConstraintId, BrmError> {
+        let role = self.role(fact, side)?;
+        if let Some(m) = max {
+            if min > m {
+                return Err(BrmError::Structural {
+                    message: format!("cardinality min {min} exceeds max {m}"),
+                });
+            }
+        }
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Cardinality {
+                role,
+                min,
+                max,
+            })))
+    }
+
+    /// Value (enumeration) constraint on a lexical object type.
+    pub fn value_constraint(
+        &mut self,
+        over: &str,
+        values: Vec<Value>,
+    ) -> Result<ConstraintId, BrmError> {
+        let over_id = self.schema.require_object_type(over)?;
+        if self.schema.kind_of(over_id).is_nolot() {
+            return Err(BrmError::Structural {
+                message: format!("value constraint on non-lexical object type `{over}`"),
+            });
+        }
+        Ok(self
+            .schema
+            .push_constraint(Constraint::new(ConstraintKind::Value {
+                over: over_id,
+                values,
+            })))
+    }
+
+    /// Pushes a pre-built constraint (escape hatch for transformations).
+    pub fn raw_constraint(&mut self, c: Constraint) -> ConstraintId {
+        self.schema.push_constraint(c)
+    }
+
+    // ---- finish ----
+
+    /// Read-only view of the schema under construction.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Finishes, verifying id and name integrity.
+    pub fn finish(self) -> Result<Schema, Vec<BrmError>> {
+        let mut errs = self.schema.check_ids();
+        errs.extend(self.schema.check_names());
+        if errs.is_empty() {
+            Ok(self.schema)
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Finishes without verification (tests, incremental transformation).
+    pub fn finish_unchecked(self) -> Schema {
+        self.schema
+    }
+}
+
+/// Shorthand for the extremely common "NOLOT identified by LOT" pattern:
+/// adds the LOT, a bridge fact `"<nolot>_has_<lot>"`, uniqueness on both
+/// roles and totality on the NOLOT side — a simple reference scheme.
+///
+/// ```
+/// use ridl_brm::builder::{identify, SchemaBuilder};
+/// use ridl_brm::DataType;
+///
+/// let mut b = SchemaBuilder::new("s");
+/// b.nolot("Paper").unwrap();
+/// identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+/// let schema = b.finish().unwrap();
+/// assert!(schema.fact_type_by_name("Paper_has_Paper_Id").is_some());
+/// ```
+pub fn identify(
+    b: &mut SchemaBuilder,
+    nolot: &str,
+    lot: &str,
+    dt: DataType,
+) -> Result<FactTypeId, BrmError> {
+    b.lot(lot, dt)?;
+    let fname = format!("{nolot}_has_{lot}");
+    let fid = b.fact(&fname, ("identified_by", nolot), ("of", lot))?;
+    b.unique(&fname, Side::Left)?;
+    b.unique(&fname, Side::Right)?;
+    b.total_role(&fname, Side::Left)?;
+    Ok(fid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_object_type_rejected() {
+        let mut b = SchemaBuilder::new("t");
+        b.nolot("A").unwrap();
+        assert!(matches!(b.nolot("A"), Err(BrmError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn fact_requires_known_players() {
+        let mut b = SchemaBuilder::new("t");
+        b.nolot("A").unwrap();
+        assert!(b.fact("f", ("x", "A"), ("y", "Missing")).is_err());
+    }
+
+    #[test]
+    fn sublink_rejects_lots() {
+        let mut b = SchemaBuilder::new("t");
+        b.nolot("A").unwrap();
+        b.lot("L", DataType::Char(1)).unwrap();
+        assert!(b.sublink("L", "A").is_err());
+    }
+
+    #[test]
+    fn role_of_disambiguation() {
+        let mut b = SchemaBuilder::new("t");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.fact("f", ("l", "A"), ("r", "B")).unwrap();
+        let r = b.role_of("f", "B").unwrap();
+        assert_eq!(r.side, Side::Right);
+        b.fact("g", ("l", "A"), ("r", "A")).unwrap();
+        assert!(b.role_of("g", "A").is_err());
+    }
+
+    #[test]
+    fn identify_creates_reference_scheme() {
+        let mut b = SchemaBuilder::new("t");
+        b.nolot("Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        let s = b.finish().unwrap();
+        let f = s.fact_type_by_name("Paper_has_Paper_Id").unwrap();
+        assert_eq!(s.fact_multiplicity(f), (true, true));
+        assert!(s.is_role_total(RoleRef::new(f, Side::Left)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = SchemaBuilder::new("t");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.fact("f", ("l", "A"), ("r", "B")).unwrap();
+        b.fact("g", ("l", "A"), ("r", "B")).unwrap();
+        let e = b.subset(
+            &[("f", Side::Left)],
+            &[("g", Side::Left), ("g", Side::Right)],
+        );
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn cardinality_bounds_checked() {
+        let mut b = SchemaBuilder::new("t");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.fact("f", ("l", "A"), ("r", "B")).unwrap();
+        assert!(b.cardinality("f", Side::Left, 3, Some(2)).is_err());
+        assert!(b.cardinality("f", Side::Left, 1, Some(4)).is_ok());
+    }
+
+    #[test]
+    fn finish_catches_errors() {
+        let mut b = SchemaBuilder::new("t");
+        b.nolot("A").unwrap();
+        // Bypass the builder to inject a duplicate.
+        b.schema
+            .push_object_type(ObjectType::new("A", ObjectTypeKind::Nolot));
+        assert!(b.finish().is_err());
+    }
+}

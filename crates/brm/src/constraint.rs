@@ -1,0 +1,274 @@
+//! Integrity constraints of the Binary Relationship Model.
+//!
+//! "The BRM explicitly addresses the issue of constraints" (§2). The paper
+//! singles out the constraint types used in its example schemas — identifier
+//! (uniqueness), total role, total union, exclusion — and notes that these are
+//! instances of *set-algebraic constraints* on role and object-type
+//! populations, which RIDL-A reasons about. We additionally carry the subset,
+//! equality, cardinality and value constraint types that the NIAM literature
+//! (and RIDL-M's lossless rules) require.
+
+use std::fmt;
+
+use crate::ids::{ObjectTypeId, RoleRef, SublinkId};
+use crate::value::Value;
+
+/// Identifier of a [`Constraint`] in a schema.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstraintId(pub(crate) u32);
+
+impl ConstraintId {
+    /// Creates an id from a raw arena index.
+    pub fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw arena index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ConstraintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ConstraintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// An item of a set-algebraic constraint: either a role population or a
+/// subtype population (via its sublink).
+///
+/// The total-union constraint of the paper ranges over "the indicated roles
+/// *or subtypes*", and the exclusion constraint ranges over subtypes as well.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RoleOrSublink {
+    /// The population of an object type projected through a role.
+    Role(RoleRef),
+    /// The population of the subtype of a sublink.
+    Sublink(SublinkId),
+}
+
+/// An ordered sequence of roles, used by subset/equality constraints and by
+/// compound (external) uniqueness constraints.
+pub type RoleSeq = Vec<RoleRef>;
+
+/// The kind of a constraint.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ConstraintKind {
+    /// Identifier / uniqueness constraint ("the line over the key role").
+    ///
+    /// With a single role this is a simple functional dependency: each
+    /// instance of the role's player occurs at most once in the role, so the
+    /// co-role is functionally determined. With both roles of one fact it
+    /// makes the *pair* unique (an m:n fact). With roles of *different* fact
+    /// types that share a common player it is NIAM's external uniqueness: the
+    /// combination of co-role values identifies the shared player's instance.
+    Uniqueness {
+        /// The roles spanned by the uniqueness constraint.
+        roles: RoleSeq,
+    },
+    /// Total role / total union constraint (the "V" sign).
+    ///
+    /// Every instance of `over` must occur in at least one of `items`.
+    /// A single item is the plain total-role constraint.
+    Total {
+        /// The constrained object type.
+        over: ObjectTypeId,
+        /// Roles/subtypes whose union must cover `over`'s population.
+        items: Vec<RoleOrSublink>,
+    },
+    /// Exclusion: the populations of `items` are mutually disjoint.
+    Exclusion {
+        /// Pairwise-disjoint roles/subtypes.
+        items: Vec<RoleOrSublink>,
+    },
+    /// Subset: the population of `sub` (projected tuples) is contained in the
+    /// population of `sup`. Sequences must have equal length and compatible
+    /// players position-wise.
+    Subset {
+        /// The contained side.
+        sub: RoleSeq,
+        /// The containing side.
+        sup: RoleSeq,
+    },
+    /// Equality: the projected populations of `a` and `b` coincide. Appears
+    /// as a lossless rule of several transformations (§4.1).
+    Equality {
+        /// One side.
+        a: RoleSeq,
+        /// The other side.
+        b: RoleSeq,
+    },
+    /// Occurrence frequency: each instance playing `role` plays it between
+    /// `min` and `max` times (`max == None` means unbounded).
+    Cardinality {
+        /// The constrained role.
+        role: RoleRef,
+        /// Minimum occurrences per player instance (0 = optional).
+        min: u32,
+        /// Maximum occurrences per player instance.
+        max: Option<u32>,
+    },
+    /// Value constraint: the population of a LOT (or LOT-NOLOT) is limited to
+    /// an enumerated set of lexical values.
+    Value {
+        /// The constrained lexical object type.
+        over: ObjectTypeId,
+        /// The admissible values.
+        values: Vec<Value>,
+    },
+}
+
+impl ConstraintKind {
+    /// A short keyword for reports, matching the paper's map-report style.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ConstraintKind::Uniqueness { .. } => "IDENTIFIER",
+            ConstraintKind::Total { .. } => "TOTAL",
+            ConstraintKind::Exclusion { .. } => "EXCLUSION",
+            ConstraintKind::Subset { .. } => "SUBSET",
+            ConstraintKind::Equality { .. } => "EQUALITY",
+            ConstraintKind::Cardinality { .. } => "CARDINALITY",
+            ConstraintKind::Value { .. } => "VALUE",
+        }
+    }
+
+    /// All roles referenced by the constraint, for id-validity checking.
+    pub fn referenced_roles(&self) -> Vec<RoleRef> {
+        match self {
+            ConstraintKind::Uniqueness { roles } => roles.clone(),
+            ConstraintKind::Total { items, .. } | ConstraintKind::Exclusion { items } => items
+                .iter()
+                .filter_map(|i| match i {
+                    RoleOrSublink::Role(r) => Some(*r),
+                    RoleOrSublink::Sublink(_) => None,
+                })
+                .collect(),
+            ConstraintKind::Subset { sub, sup } => sub.iter().chain(sup.iter()).copied().collect(),
+            ConstraintKind::Equality { a, b } => a.iter().chain(b.iter()).copied().collect(),
+            ConstraintKind::Cardinality { role, .. } => vec![*role],
+            ConstraintKind::Value { .. } => Vec::new(),
+        }
+    }
+
+    /// All sublinks referenced by the constraint.
+    pub fn referenced_sublinks(&self) -> Vec<SublinkId> {
+        match self {
+            ConstraintKind::Total { items, .. } | ConstraintKind::Exclusion { items } => items
+                .iter()
+                .filter_map(|i| match i {
+                    RoleOrSublink::Sublink(s) => Some(*s),
+                    RoleOrSublink::Role(_) => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// All object types referenced directly (not via roles).
+    pub fn referenced_object_types(&self) -> Vec<ObjectTypeId> {
+        match self {
+            ConstraintKind::Total { over, .. } | ConstraintKind::Value { over, .. } => {
+                vec![*over]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A named constraint instance in a schema.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Constraint {
+    /// Optional user-supplied name; generated names are produced by the
+    /// mapper when emitting SQL.
+    pub name: Option<String>,
+    /// What the constraint states.
+    pub kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// Creates an anonymous constraint.
+    pub fn new(kind: ConstraintKind) -> Self {
+        Self { name: None, kind }
+    }
+
+    /// Creates a named constraint.
+    pub fn named(name: impl Into<String>, kind: ConstraintKind) -> Self {
+        Self {
+            name: Some(name.into()),
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Side;
+    use crate::ids::FactTypeId;
+
+    fn rr(f: u32, s: Side) -> RoleRef {
+        RoleRef::new(FactTypeId::from_raw(f), s)
+    }
+
+    #[test]
+    fn referenced_roles_cover_all_kinds() {
+        let u = ConstraintKind::Uniqueness {
+            roles: vec![rr(0, Side::Left)],
+        };
+        assert_eq!(u.referenced_roles(), vec![rr(0, Side::Left)]);
+
+        let t = ConstraintKind::Total {
+            over: ObjectTypeId::from_raw(0),
+            items: vec![
+                RoleOrSublink::Role(rr(1, Side::Right)),
+                RoleOrSublink::Sublink(SublinkId::from_raw(0)),
+            ],
+        };
+        assert_eq!(t.referenced_roles(), vec![rr(1, Side::Right)]);
+        assert_eq!(t.referenced_sublinks(), vec![SublinkId::from_raw(0)]);
+        assert_eq!(t.referenced_object_types(), vec![ObjectTypeId::from_raw(0)]);
+
+        let s = ConstraintKind::Subset {
+            sub: vec![rr(2, Side::Left)],
+            sup: vec![rr(3, Side::Left)],
+        };
+        assert_eq!(s.referenced_roles().len(), 2);
+
+        let e = ConstraintKind::Equality {
+            a: vec![rr(2, Side::Left), rr(2, Side::Right)],
+            b: vec![rr(3, Side::Left), rr(3, Side::Right)],
+        };
+        assert_eq!(e.referenced_roles().len(), 4);
+
+        let c = ConstraintKind::Cardinality {
+            role: rr(5, Side::Left),
+            min: 0,
+            max: Some(3),
+        };
+        assert_eq!(c.referenced_roles(), vec![rr(5, Side::Left)]);
+    }
+
+    #[test]
+    fn keywords() {
+        assert_eq!(
+            ConstraintKind::Uniqueness { roles: vec![] }.keyword(),
+            "IDENTIFIER"
+        );
+        assert_eq!(
+            ConstraintKind::Exclusion { items: vec![] }.keyword(),
+            "EXCLUSION"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Lexical data types for LOTs.
+//!
+//! The paper annotates lexical object types with RDBMS data types (e.g.
+//! `D Paper_ProgramId -- DATA TYPE CHAR(2)`). `DataType` is the dialect-neutral
+//! form; the `ridl-sqlgen` crate renders it per target DBMS.
+
+use std::fmt;
+
+/// A dialect-neutral lexical data type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DataType {
+    /// Fixed-width character string of the given length.
+    Char(u16),
+    /// Variable-width character string with the given maximum length.
+    VarChar(u16),
+    /// Exact numeric with `precision` total digits and `scale` fraction digits.
+    Numeric(u8, u8),
+    /// Machine integer.
+    Integer,
+    /// Approximate numeric.
+    Real,
+    /// Calendar date.
+    Date,
+    /// Truth value. SQL2-era targets without BOOLEAN render it as `CHAR(1)`.
+    Boolean,
+    /// An entity surrogate (§4.2.3: "It is of course possible to introduce
+    /// surrogates as a representation for non-lexical objects, but this
+    /// representation is an artifact"). Surrogate columns exist only in the
+    /// intermediate *binary relational schema*; the lexicalisation
+    /// transformation replaces them before DDL generation.
+    Surrogate,
+}
+
+impl DataType {
+    /// Estimated physical width in bytes.
+    ///
+    /// RIDL-M's default lexical-representation choice picks the "smallest"
+    /// naming convention, partly judged by "the smallest physical
+    /// representation as derived from the data types of the LOTs involved"
+    /// (§4.2.3). This estimate is that judgement.
+    pub fn byte_width(self) -> u32 {
+        match self {
+            DataType::Char(n) => n as u32,
+            DataType::VarChar(n) => n as u32 + 2,
+            DataType::Numeric(p, _) => (p as u32).div_ceil(2) + 1,
+            DataType::Integer => 4,
+            DataType::Real => 8,
+            DataType::Date => 7,
+            DataType::Boolean => 1,
+            DataType::Surrogate => 8,
+        }
+    }
+
+    /// Whether two data types are comparable for foreign-key compatibility.
+    ///
+    /// Step 4 of the naive algorithm (§4) warns that replacing non-lexical
+    /// attributes by lexical representations must keep foreign keys over
+    /// "compatible domains"; this is the compatibility judgement.
+    pub fn compatible_with(self, other: DataType) -> bool {
+        use DataType::*;
+        match (self, other) {
+            (Char(_) | VarChar(_), Char(_) | VarChar(_)) => true,
+            (Numeric(..) | Integer | Real, Numeric(..) | Integer | Real) => true,
+            (a, b) => a == b,
+        }
+    }
+
+    /// True for character-string types.
+    pub fn is_textual(self) -> bool {
+        matches!(self, DataType::Char(_) | DataType::VarChar(_))
+    }
+
+    /// True for numeric types (exact or approximate).
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            DataType::Numeric(..) | DataType::Integer | DataType::Real
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Char(n) => write!(f, "CHAR({n})"),
+            DataType::VarChar(n) => write!(f, "VARCHAR({n})"),
+            DataType::Numeric(p, 0) => write!(f, "NUMERIC({p})"),
+            DataType::Numeric(p, s) => write!(f, "NUMERIC({p},{s})"),
+            DataType::Integer => write!(f, "INTEGER"),
+            DataType::Real => write!(f, "REAL"),
+            DataType::Date => write!(f, "DATE"),
+            DataType::Boolean => write!(f, "BOOLEAN"),
+            DataType::Surrogate => write!(f, "SURROGATE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(DataType::Char(2).to_string(), "CHAR(2)");
+        assert_eq!(DataType::Numeric(3, 0).to_string(), "NUMERIC(3)");
+        assert_eq!(DataType::Numeric(7, 2).to_string(), "NUMERIC(7,2)");
+    }
+
+    #[test]
+    fn byte_width_orders_reasonably() {
+        assert!(DataType::Char(2).byte_width() < DataType::Char(30).byte_width());
+        assert!(DataType::Numeric(3, 0).byte_width() < DataType::Char(30).byte_width());
+        assert_eq!(DataType::Boolean.byte_width(), 1);
+    }
+
+    #[test]
+    fn compatibility_groups_text_and_numbers() {
+        assert!(DataType::Char(2).compatible_with(DataType::VarChar(10)));
+        assert!(DataType::Integer.compatible_with(DataType::Numeric(5, 0)));
+        assert!(!DataType::Char(2).compatible_with(DataType::Integer));
+        assert!(DataType::Date.compatible_with(DataType::Date));
+        assert!(!DataType::Date.compatible_with(DataType::Boolean));
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for schema construction and id validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or checking a BRM schema.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BrmError {
+    /// Two schema elements of the same namespace share a name.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+        /// The namespace ("object type", "fact type", …).
+        namespace: &'static str,
+    },
+    /// An id refers outside the schema's arenas.
+    DanglingId {
+        /// Description of the dangling reference.
+        what: String,
+    },
+    /// A name was looked up and not found.
+    UnknownName {
+        /// The missing name.
+        name: String,
+        /// The namespace searched.
+        namespace: &'static str,
+    },
+    /// A structural rule of the BRM is violated at construction time.
+    Structural {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for BrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrmError::DuplicateName { name, namespace } => {
+                write!(f, "duplicate {namespace} name `{name}`")
+            }
+            BrmError::DanglingId { what } => write!(f, "dangling reference: {what}"),
+            BrmError::UnknownName { name, namespace } => {
+                write!(f, "unknown {namespace} `{name}`")
+            }
+            BrmError::Structural { message } => write!(f, "structural error: {message}"),
+        }
+    }
+}
+
+impl Error for BrmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = BrmError::DuplicateName {
+            name: "Paper".into(),
+            namespace: "object type",
+        };
+        assert_eq!(e.to_string(), "duplicate object type name `Paper`");
+        let e = BrmError::UnknownName {
+            name: "X".into(),
+            namespace: "fact type",
+        };
+        assert_eq!(e.to_string(), "unknown fact type `X`");
+    }
+}

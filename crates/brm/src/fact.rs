@@ -1,0 +1,160 @@
+//! Binary fact types and their roles.
+
+use std::fmt;
+
+use crate::ids::ObjectTypeId;
+
+/// Which of the two roles of a binary fact type.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Side {
+    /// The first role.
+    Left,
+    /// The second role.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    #[inline]
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// Both sides, left first.
+    pub const BOTH: [Side; 2] = [Side::Left, Side::Right];
+
+    /// 0 for left, 1 for right — for indexing two-element arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Left => write!(f, "left"),
+            Side::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// One role ("box" in the NIAM diagram) of a fact type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Role {
+    /// The role name, e.g. `presented_by` (may be empty for bridge facts).
+    pub name: String,
+    /// The object type playing this role.
+    pub player: ObjectTypeId,
+}
+
+impl Role {
+    /// Creates a role.
+    pub fn new(name: impl Into<String>, player: ObjectTypeId) -> Self {
+        Self {
+            name: name.into(),
+            player,
+        }
+    }
+}
+
+/// A binary fact type: "all information is stored as a link … involving two
+/// object types — hence the name *binary*" (§2). Both roles may be played by
+/// the same object type (homogeneous facts, e.g. `Person supervises Person`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FactType {
+    /// Fact-type name, unique within the schema.
+    pub name: String,
+    /// The two roles; `roles[0]` is [`Side::Left`].
+    pub roles: [Role; 2],
+}
+
+impl FactType {
+    /// Creates a fact type from its two roles.
+    pub fn new(name: impl Into<String>, left: Role, right: Role) -> Self {
+        Self {
+            name: name.into(),
+            roles: [left, right],
+        }
+    }
+
+    /// The role on the given side.
+    #[inline]
+    pub fn role(&self, side: Side) -> &Role {
+        &self.roles[side.index()]
+    }
+
+    /// The object type playing the role on the given side.
+    #[inline]
+    pub fn player(&self, side: Side) -> ObjectTypeId {
+        self.roles[side.index()].player
+    }
+
+    /// If `ot` plays exactly one of the two roles, returns that side.
+    ///
+    /// Returns `None` when `ot` plays neither role or both (homogeneous fact,
+    /// where the side is ambiguous and must be named explicitly).
+    pub fn side_of(&self, ot: ObjectTypeId) -> Option<Side> {
+        let l = self.player(Side::Left) == ot;
+        let r = self.player(Side::Right) == ot;
+        match (l, r) {
+            (true, false) => Some(Side::Left),
+            (false, true) => Some(Side::Right),
+            _ => None,
+        }
+    }
+
+    /// True when both roles are played by the same object type.
+    pub fn is_homogeneous(&self) -> bool {
+        self.player(Side::Left) == self.player(Side::Right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ot(n: u32) -> ObjectTypeId {
+        ObjectTypeId::from_raw(n)
+    }
+
+    #[test]
+    fn side_accessors() {
+        let f = FactType::new(
+            "submits",
+            Role::new("submitted_by", ot(0)),
+            Role::new("submitting", ot(1)),
+        );
+        assert_eq!(f.role(Side::Left).name, "submitted_by");
+        assert_eq!(f.player(Side::Right), ot(1));
+        assert_eq!(f.side_of(ot(0)), Some(Side::Left));
+        assert_eq!(f.side_of(ot(1)), Some(Side::Right));
+        assert_eq!(f.side_of(ot(2)), None);
+        assert!(!f.is_homogeneous());
+    }
+
+    #[test]
+    fn homogeneous_fact_is_ambiguous() {
+        let f = FactType::new(
+            "supervises",
+            Role::new("boss_of", ot(7)),
+            Role::new("reports_to", ot(7)),
+        );
+        assert!(f.is_homogeneous());
+        assert_eq!(f.side_of(ot(7)), None);
+    }
+
+    #[test]
+    fn side_other_and_index() {
+        assert_eq!(Side::Left.other(), Side::Right);
+        assert_eq!(Side::Right.other(), Side::Left);
+        assert_eq!(Side::Left.index(), 0);
+        assert_eq!(Side::Right.index(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Newtype identifiers for the arenas of a [`crate::Schema`].
+//!
+//! All schema elements live in flat arenas inside [`crate::Schema`] and are
+//! referred to by small copyable ids. Ids are only meaningful relative to the
+//! schema that issued them; the validation pass in [`crate::schema`] checks
+//! that ids used in constraints and facts are in range.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw arena index.
+            ///
+            /// Exposed so sibling crates (transformations, generators) can
+            /// construct ids when rebuilding schemas; out-of-range ids are
+            /// caught by [`crate::Schema::check_ids`].
+            #[inline]
+            pub fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw arena index.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as `usize`, for direct arena indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an [`crate::ObjectType`] in a schema.
+    ObjectTypeId,
+    "ot"
+);
+define_id!(
+    /// Identifier of a [`crate::FactType`] in a schema.
+    FactTypeId,
+    "ft"
+);
+define_id!(
+    /// Identifier of a [`crate::Sublink`] in a schema.
+    SublinkId,
+    "sl"
+);
+
+/// A reference to one of the two roles of a fact type.
+///
+/// The BRM is binary: every fact type has exactly two roles, addressed by
+/// [`crate::Side::Left`] and [`crate::Side::Right`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RoleRef {
+    /// The fact type owning the role.
+    pub fact: FactTypeId,
+    /// Which of the fact's two roles.
+    pub side: crate::fact::Side,
+}
+
+impl RoleRef {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(fact: FactTypeId, side: crate::fact::Side) -> Self {
+        Self { fact, side }
+    }
+
+    /// The reference to the *other* role of the same fact type.
+    #[inline]
+    pub fn co_role(self) -> Self {
+        Self {
+            fact: self.fact,
+            side: self.side.other(),
+        }
+    }
+}
+
+impl fmt::Debug for RoleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:?}", self.fact, self.side)
+    }
+}
+
+impl fmt::Display for RoleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:?}", self.fact, self.side)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Side;
+
+    #[test]
+    fn id_round_trips_raw() {
+        let id = ObjectTypeId::from_raw(17);
+        assert_eq!(id.raw(), 17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(format!("{id}"), "ot17");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(FactTypeId::from_raw(1) < FactTypeId::from_raw(2));
+        assert!(SublinkId::from_raw(0) < SublinkId::from_raw(9));
+    }
+
+    #[test]
+    fn co_role_flips_side_only() {
+        let r = RoleRef::new(FactTypeId::from_raw(3), Side::Left);
+        let c = r.co_role();
+        assert_eq!(c.fact, r.fact);
+        assert_eq!(c.side, Side::Right);
+        assert_eq!(c.co_role(), r);
+    }
+}

@@ -1,0 +1,50 @@
+//! # ridl-brm — the Binary Relationship Model (NIAM)
+//!
+//! The conceptual substrate of the RIDL\* workbench (De Troyer, SIGMOD 1989).
+//!
+//! A *binary conceptual schema* is a semantic network of:
+//!
+//! * **object types** — [`ObjectType`]: lexical (`LOT`, strings/numbers of the
+//!   universe of discourse), non-lexical (`NOLOT`, abstract entities), or the
+//!   notational hybrid `LOT-NOLOT`;
+//! * **fact types** — [`FactType`]: binary relationships, each involving exactly
+//!   two [`Role`]s played by object types;
+//! * **sublinks** — [`Sublink`]: subtype links between NOLOTs, with inheritance;
+//! * **constraints** — [`Constraint`]: identifier/uniqueness, total role, total
+//!   union, exclusion, subset, equality, cardinality and value constraints.
+//!
+//! Following the paper's model-theoretic view (§4.1), a schema is a logical
+//! theory and a [`Population`] is a model of it (a database *state*). The
+//! [`population::validate`] function decides whether a population satisfies all
+//! constraints of a schema, which is the machinery that lets downstream crates
+//! *test* losslessness of schema transformations instead of assuming it.
+//!
+//! Schemas are built with the fluent [`SchemaBuilder`] or parsed from the RIDL
+//! textual language (`ridl-lang`).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod constraint;
+pub mod datatype;
+pub mod error;
+pub mod fact;
+pub mod ids;
+pub mod object_type;
+pub mod population;
+pub mod schema;
+pub mod sublink;
+pub mod value;
+
+pub use builder::SchemaBuilder;
+pub use constraint::{Constraint, ConstraintId, ConstraintKind, RoleOrSublink, RoleSeq};
+pub use datatype::DataType;
+pub use error::BrmError;
+pub use fact::{FactType, Role, Side};
+pub use ids::{FactTypeId, ObjectTypeId, RoleRef, SublinkId};
+pub use object_type::{ObjectType, ObjectTypeKind};
+pub use population::{Population, Violation};
+pub use schema::Schema;
+pub use sublink::Sublink;
+pub use value::{Decimal, EntityId, Value};

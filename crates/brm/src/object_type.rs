@@ -1,0 +1,87 @@
+//! Object types: LOTs, NOLOTs and LOT-NOLOTs.
+
+use crate::datatype::DataType;
+
+/// The kind of an object type (§2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ObjectTypeKind {
+    /// A **L**exical **O**bject **T**ype: its instances are strings/numbers of
+    /// the universe of discourse, drawn from the given data type. By BRM rule
+    /// a LOT is involved in exactly one fact type, with a NOLOT.
+    Lot(DataType),
+    /// A **NO**n-**L**exical **O**bject **T**ype: abstract entities,
+    /// represented in populations by opaque surrogates.
+    Nolot,
+    /// Notational convenience: an object type whose non-lexical entities and
+    /// lexical representations are not distinguished explicitly. Schema
+    /// canonicalisation expands a LOT-NOLOT into a NOLOT plus a bridging LOT.
+    LotNolot(DataType),
+}
+
+impl ObjectTypeKind {
+    /// The lexical data type, when the object type is (partly) lexical.
+    pub fn data_type(self) -> Option<DataType> {
+        match self {
+            ObjectTypeKind::Lot(dt) | ObjectTypeKind::LotNolot(dt) => Some(dt),
+            ObjectTypeKind::Nolot => None,
+        }
+    }
+
+    /// True for pure LOTs.
+    pub fn is_lot(self) -> bool {
+        matches!(self, ObjectTypeKind::Lot(_))
+    }
+
+    /// True for pure NOLOTs.
+    pub fn is_nolot(self) -> bool {
+        matches!(self, ObjectTypeKind::Nolot)
+    }
+
+    /// True for the hybrid LOT-NOLOT notation.
+    pub fn is_lot_nolot(self) -> bool {
+        matches!(self, ObjectTypeKind::LotNolot(_))
+    }
+
+    /// True for object types that may be subtyped / carry facts like a NOLOT
+    /// (NOLOT and LOT-NOLOT).
+    pub fn is_entity_like(self) -> bool {
+        !self.is_lot()
+    }
+}
+
+/// An object type of a binary conceptual schema.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ObjectType {
+    /// Unique (case-preserved) name within the schema.
+    pub name: String,
+    /// LOT / NOLOT / LOT-NOLOT.
+    pub kind: ObjectTypeKind,
+}
+
+impl ObjectType {
+    /// Creates an object type.
+    pub fn new(name: impl Into<String>, kind: ObjectTypeKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let lot = ObjectTypeKind::Lot(DataType::Char(2));
+        let nolot = ObjectTypeKind::Nolot;
+        let hybrid = ObjectTypeKind::LotNolot(DataType::Date);
+        assert!(lot.is_lot() && !lot.is_entity_like());
+        assert!(nolot.is_nolot() && nolot.is_entity_like());
+        assert!(hybrid.is_lot_nolot() && hybrid.is_entity_like());
+        assert_eq!(lot.data_type(), Some(DataType::Char(2)));
+        assert_eq!(nolot.data_type(), None);
+        assert_eq!(hybrid.data_type(), Some(DataType::Date));
+    }
+}

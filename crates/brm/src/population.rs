@@ -1,0 +1,743 @@
+//! Populations: database *states* of a binary conceptual schema.
+//!
+//! Following §4.1 of the paper, a schema is a logical theory and a state is a
+//! model of it: `STATES(S)` is the set of populations satisfying all of `S`'s
+//! constraints. [`validate`] decides membership of that set, which is what
+//! lets the transformation crates *test* state equivalence (Definitions 1–2)
+//! instead of assuming it.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use crate::constraint::{ConstraintId, ConstraintKind, RoleOrSublink};
+use crate::fact::Side;
+use crate::ids::{FactTypeId, ObjectTypeId, RoleRef, SublinkId};
+use crate::schema::Schema;
+use crate::value::{EntityId, Value};
+
+/// A population (database state) of a binary schema.
+///
+/// Object-type populations are sets of [`Value`]s; fact-type populations are
+/// sets of ordered pairs (left value, right value). `BTree` collections keep
+/// iteration deterministic, which benches and golden tests rely on.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Population {
+    pub(crate) objects: BTreeMap<u32, BTreeSet<Value>>,
+    pub(crate) facts: BTreeMap<u32, BTreeSet<(Value, Value)>>,
+}
+
+impl Population {
+    /// An empty population.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a value to an object type's population.
+    pub fn add_object(&mut self, ot: ObjectTypeId, v: Value) {
+        self.objects.entry(ot.raw()).or_default().insert(v);
+    }
+
+    /// Adds a pair to a fact type's population.
+    pub fn add_fact(&mut self, ft: FactTypeId, left: Value, right: Value) {
+        self.facts
+            .entry(ft.raw())
+            .or_default()
+            .insert((left, right));
+    }
+
+    /// Adds a fact pair and ensures both values are members of the players'
+    /// populations (the common case when building states by hand).
+    pub fn add_fact_closed(&mut self, schema: &Schema, ft: FactTypeId, left: Value, right: Value) {
+        let f = schema.fact_type(ft);
+        self.add_object(f.player(Side::Left), left.clone());
+        self.add_object(f.player(Side::Right), right.clone());
+        self.add_fact(ft, left, right);
+    }
+
+    /// The population of an object type (empty set if never touched).
+    pub fn objects_of(&self, ot: ObjectTypeId) -> &BTreeSet<Value> {
+        static EMPTY: BTreeSet<Value> = BTreeSet::new();
+        self.objects.get(&ot.raw()).unwrap_or(&EMPTY)
+    }
+
+    /// The population of a fact type.
+    pub fn facts_of(&self, ft: FactTypeId) -> &BTreeSet<(Value, Value)> {
+        static EMPTY: BTreeSet<(Value, Value)> = BTreeSet::new();
+        self.facts.get(&ft.raw()).unwrap_or(&EMPTY)
+    }
+
+    /// Mutable access to a fact population.
+    pub fn facts_of_mut(&mut self, ft: FactTypeId) -> &mut BTreeSet<(Value, Value)> {
+        self.facts.entry(ft.raw()).or_default()
+    }
+
+    /// Mutable access to an object population.
+    pub fn objects_of_mut(&mut self, ot: ObjectTypeId) -> &mut BTreeSet<Value> {
+        self.objects.entry(ot.raw()).or_default()
+    }
+
+    /// The projection of a fact population onto one role.
+    pub fn role_population(&self, role: RoleRef) -> BTreeSet<Value> {
+        self.facts_of(role.fact)
+            .iter()
+            .map(|(l, r)| match role.side {
+                Side::Left => l.clone(),
+                Side::Right => r.clone(),
+            })
+            .collect()
+    }
+
+    /// For a value `v` playing `role`, the set of co-role values paired with it.
+    pub fn co_values(&self, role: RoleRef, v: &Value) -> Vec<Value> {
+        self.facts_of(role.fact)
+            .iter()
+            .filter_map(|(l, r)| match role.side {
+                Side::Left if l == v => Some(r.clone()),
+                Side::Right if r == v => Some(l.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total number of fact instances.
+    pub fn num_fact_instances(&self) -> usize {
+        self.facts.values().map(|s| s.len()).sum()
+    }
+
+    /// Total number of object instances (over all object types).
+    pub fn num_object_instances(&self) -> usize {
+        self.objects.values().map(|s| s.len()).sum()
+    }
+
+    /// True when no object type and no fact type is populated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.values().all(BTreeSet::is_empty) && self.facts.values().all(BTreeSet::is_empty)
+    }
+
+    /// Renames every entity surrogate through `renaming`; entities without a
+    /// mapping are kept. Used to compare populations up to entity renaming
+    /// (state equivalence is isomorphism on the non-lexical part).
+    pub fn rename_entities(&self, renaming: &HashMap<EntityId, EntityId>) -> Population {
+        let ren = |v: &Value| match v {
+            Value::Entity(e) => Value::Entity(*renaming.get(e).unwrap_or(e)),
+            other => other.clone(),
+        };
+        Population {
+            objects: self
+                .objects
+                .iter()
+                .map(|(k, s)| (*k, s.iter().map(ren).collect()))
+                .collect(),
+            facts: self
+                .facts
+                .iter()
+                .map(|(k, s)| (*k, s.iter().map(|(l, r)| (ren(l), ren(r))).collect()))
+                .collect(),
+        }
+    }
+
+    /// Drops empty object/fact entries so populations compare structurally.
+    pub fn compacted(&self) -> Population {
+        Population {
+            objects: self
+                .objects
+                .iter()
+                .filter(|(_, s)| !s.is_empty())
+                .map(|(k, s)| (*k, s.clone()))
+                .collect(),
+            facts: self
+                .facts
+                .iter()
+                .filter(|(_, s)| !s.is_empty())
+                .map(|(k, s)| (*k, s.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A constraint or typing violation found by [`validate`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum Violation {
+    /// A fact pair's value is not a member of the role player's population,
+    /// or a lexical value does not fit the LOT's data type, or an entity
+    /// appears in a LOT / a lexical value in a NOLOT.
+    Typing {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A subtype population is not contained in its supertype's.
+    SublinkMembership {
+        /// The violated sublink.
+        sublink: SublinkId,
+        /// The offending value.
+        value: Value,
+    },
+    /// A declared constraint does not hold in the state.
+    Constraint {
+        /// The violated constraint.
+        constraint: ConstraintId,
+        /// Human-readable description of the counterexample.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Typing { detail } => write!(f, "typing: {detail}"),
+            Violation::SublinkMembership { sublink, value } => {
+                write!(f, "sublink {sublink}: {value} not in supertype population")
+            }
+            Violation::Constraint { constraint, detail } => {
+                write!(f, "constraint {constraint}: {detail}")
+            }
+        }
+    }
+}
+
+/// Checks whether `pop` is a model of `schema`; returns all violations.
+pub fn validate(schema: &Schema, pop: &Population) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_typing(schema, pop, &mut out);
+    check_sublinks(schema, pop, &mut out);
+    for (cid, c) in schema.constraints() {
+        check_constraint(schema, pop, cid, &c.kind, &mut out);
+    }
+    out
+}
+
+/// True when the population satisfies every rule of the schema.
+pub fn is_model(schema: &Schema, pop: &Population) -> bool {
+    validate(schema, pop).is_empty()
+}
+
+fn check_typing(schema: &Schema, pop: &Population, out: &mut Vec<Violation>) {
+    for (oid, ot) in schema.object_types() {
+        for v in pop.objects_of(oid) {
+            match ot.kind.data_type() {
+                Some(dt) => {
+                    if !v.fits(dt) {
+                        out.push(Violation::Typing {
+                            detail: format!("value {v} does not fit {dt} of {}", ot.name),
+                        });
+                    }
+                }
+                None => {
+                    if v.is_lexical() {
+                        out.push(Violation::Typing {
+                            detail: format!("lexical value {v} in NOLOT {}", ot.name),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for (fid, ft) in schema.fact_types() {
+        for (l, r) in pop.facts_of(fid) {
+            for (side, v) in [(Side::Left, l), (Side::Right, r)] {
+                let player = ft.player(side);
+                if !pop.objects_of(player).contains(v) {
+                    out.push(Violation::Typing {
+                        detail: format!(
+                            "fact {}: value {v} not in population of {}",
+                            ft.name,
+                            schema.ot_name(player)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_sublinks(schema: &Schema, pop: &Population, out: &mut Vec<Violation>) {
+    for (sid, sl) in schema.sublinks() {
+        let sup_pop = pop.objects_of(sl.sup);
+        for v in pop.objects_of(sl.sub) {
+            if !sup_pop.contains(v) {
+                out.push(Violation::SublinkMembership {
+                    sublink: sid,
+                    value: v.clone(),
+                });
+            }
+        }
+    }
+}
+
+fn item_population(schema: &Schema, pop: &Population, item: &RoleOrSublink) -> BTreeSet<Value> {
+    match item {
+        RoleOrSublink::Role(r) => pop.role_population(*r),
+        RoleOrSublink::Sublink(s) => pop.objects_of(schema.sublink(*s).sub).clone(),
+    }
+}
+
+/// The "hub" of a role sequence: the object type played by all co-roles.
+///
+/// External uniqueness / compound subset semantics join the sequence's facts
+/// over this shared co-player. Returns `None` when co-players differ.
+fn sequence_hub(schema: &Schema, roles: &[RoleRef]) -> Option<ObjectTypeId> {
+    let mut hub = None;
+    for r in roles {
+        let co = schema.role_player(r.co_role());
+        match hub {
+            None => hub = Some(co),
+            Some(h) if h == co => {}
+            Some(_) => return None,
+        }
+    }
+    hub
+}
+
+/// The tuple population of a role sequence.
+///
+/// Arity 1: the plain role projection, each value as a 1-tuple. Arity > 1:
+/// the sequence's facts are joined over their common hub object type, and for
+/// every hub instance with a *complete and functional* image the tuple of
+/// images is produced. Incomplete hubs contribute no tuple.
+fn sequence_tuples(
+    schema: &Schema,
+    pop: &Population,
+    roles: &[RoleRef],
+) -> Option<BTreeSet<Vec<Value>>> {
+    if roles.len() == 1 {
+        return Some(
+            pop.role_population(roles[0])
+                .into_iter()
+                .map(|v| vec![v])
+                .collect(),
+        );
+    }
+    let hub = sequence_hub(schema, roles)?;
+    let mut tuples = BTreeSet::new();
+    'hub: for h in pop.objects_of(hub) {
+        let mut tuple = Vec::with_capacity(roles.len());
+        for r in roles {
+            // The hub plays the co-role; collect its images in `r`.
+            let imgs = pop.co_values(r.co_role(), h);
+            match imgs.len() {
+                1 => tuple.push(imgs.into_iter().next().expect("len checked")),
+                0 => continue 'hub,
+                _ => return None, // non-functional: caller reports
+            }
+        }
+        tuples.insert(tuple);
+    }
+    Some(tuples)
+}
+
+fn check_constraint(
+    schema: &Schema,
+    pop: &Population,
+    cid: ConstraintId,
+    kind: &ConstraintKind,
+    out: &mut Vec<Violation>,
+) {
+    match kind {
+        ConstraintKind::Uniqueness { roles } => check_uniqueness(schema, pop, cid, roles, out),
+        ConstraintKind::Total { over, items } => {
+            for v in pop.objects_of(*over) {
+                let covered = items
+                    .iter()
+                    .any(|item| item_population(schema, pop, item).contains(v));
+                if !covered {
+                    out.push(Violation::Constraint {
+                        constraint: cid,
+                        detail: format!(
+                            "{v} of {} plays none of the total roles/subtypes",
+                            schema.ot_name(*over)
+                        ),
+                    });
+                }
+            }
+        }
+        ConstraintKind::Exclusion { items } => {
+            for i in 0..items.len() {
+                let pi = item_population(schema, pop, &items[i]);
+                for item_j in items.iter().skip(i + 1) {
+                    let pj = item_population(schema, pop, item_j);
+                    if let Some(v) = pi.intersection(&pj).next() {
+                        out.push(Violation::Constraint {
+                            constraint: cid,
+                            detail: format!("{v} occurs in two mutually exclusive items"),
+                        });
+                    }
+                }
+            }
+        }
+        ConstraintKind::Subset { sub, sup } => {
+            match (
+                sequence_tuples(schema, pop, sub),
+                sequence_tuples(schema, pop, sup),
+            ) {
+                (Some(ts), Some(tp)) => {
+                    if let Some(t) = ts.difference(&tp).next() {
+                        out.push(Violation::Constraint {
+                            constraint: cid,
+                            detail: format!("tuple {t:?} in subset side but not in superset side"),
+                        });
+                    }
+                }
+                _ => out.push(Violation::Constraint {
+                    constraint: cid,
+                    detail: "role sequence is not functional over its hub".into(),
+                }),
+            }
+        }
+        ConstraintKind::Equality { a, b } => {
+            match (
+                sequence_tuples(schema, pop, a),
+                sequence_tuples(schema, pop, b),
+            ) {
+                (Some(ta), Some(tb)) => {
+                    if ta != tb {
+                        let diff: Vec<_> = ta.symmetric_difference(&tb).take(3).collect();
+                        out.push(Violation::Constraint {
+                            constraint: cid,
+                            detail: format!("populations differ, e.g. {diff:?}"),
+                        });
+                    }
+                }
+                _ => out.push(Violation::Constraint {
+                    constraint: cid,
+                    detail: "role sequence is not functional over its hub".into(),
+                }),
+            }
+        }
+        ConstraintKind::Cardinality { role, min, max } => {
+            let mut counts: BTreeMap<&Value, u32> = BTreeMap::new();
+            for (l, r) in pop.facts_of(role.fact) {
+                let v = match role.side {
+                    Side::Left => l,
+                    Side::Right => r,
+                };
+                *counts.entry(v).or_insert(0) += 1;
+            }
+            for (v, n) in counts {
+                if n < *min || max.map(|m| n > m).unwrap_or(false) {
+                    out.push(Violation::Constraint {
+                        constraint: cid,
+                        detail: format!(
+                            "{v} plays {} {n} times, outside [{min}, {}]",
+                            schema.role_display(*role),
+                            max.map(|m| m.to_string()).unwrap_or_else(|| "∞".into())
+                        ),
+                    });
+                }
+            }
+        }
+        ConstraintKind::Value { over, values } => {
+            for v in pop.objects_of(*over) {
+                if !values.contains(v) {
+                    out.push(Violation::Constraint {
+                        constraint: cid,
+                        detail: format!(
+                            "{v} not among the admitted values of {}",
+                            schema.ot_name(*over)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_uniqueness(
+    schema: &Schema,
+    pop: &Population,
+    cid: ConstraintId,
+    roles: &[RoleRef],
+    out: &mut Vec<Violation>,
+) {
+    // Intra-fact uniqueness: all roles belong to the same fact.
+    if roles.iter().all(|r| r.fact == roles[0].fact) {
+        if roles.len() >= 2 {
+            // Pair uniqueness is trivially satisfied for set populations.
+            return;
+        }
+        let role = roles[0];
+        let mut seen = BTreeSet::new();
+        for (l, r) in pop.facts_of(role.fact) {
+            let key = match role.side {
+                Side::Left => l,
+                Side::Right => r,
+            };
+            if !seen.insert(key.clone()) {
+                out.push(Violation::Constraint {
+                    constraint: cid,
+                    detail: format!(
+                        "{key} occurs more than once in unique {}",
+                        schema.role_display(role)
+                    ),
+                });
+            }
+        }
+        return;
+    }
+    // External uniqueness: facts joined over the common hub; tuples of role
+    // images must identify the hub instance.
+    let Some(hub) = sequence_hub(schema, roles) else {
+        out.push(Violation::Constraint {
+            constraint: cid,
+            detail: "external uniqueness roles do not share a common object type".into(),
+        });
+        return;
+    };
+    let mut seen: BTreeMap<Vec<Value>, Value> = BTreeMap::new();
+    for h in pop.objects_of(hub) {
+        let mut tuple = Vec::with_capacity(roles.len());
+        let mut complete = true;
+        for r in roles {
+            let imgs = pop.co_values(r.co_role(), h);
+            match imgs.len() {
+                1 => tuple.push(imgs.into_iter().next().expect("len checked")),
+                0 => {
+                    complete = false;
+                    break;
+                }
+                _ => {
+                    out.push(Violation::Constraint {
+                        constraint: cid,
+                        detail: format!(
+                            "{h} has several values in {} under an external identifier",
+                            schema.role_display(*r)
+                        ),
+                    });
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if !complete {
+            continue;
+        }
+        if let Some(prev) = seen.insert(tuple.clone(), h.clone()) {
+            if &prev != h {
+                out.push(Violation::Constraint {
+                    constraint: cid,
+                    detail: format!("{prev} and {h} share the external identifier {tuple:?}"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{identify, SchemaBuilder};
+    use crate::datatype::DataType;
+
+    fn paper_schema() -> Schema {
+        let mut b = SchemaBuilder::new("papers");
+        b.nolot("Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        b.lot("Title", DataType::VarChar(60)).unwrap();
+        b.fact("paper_title", ("titled", "Paper"), ("title_of", "Title"))
+            .unwrap();
+        b.unique("paper_title", Side::Left).unwrap();
+        b.total_role("paper_title", Side::Left).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_population_is_model() {
+        let s = paper_schema();
+        let mut p = Population::new();
+        let fid = s.fact_type_by_name("Paper_has_Paper_Id").unwrap();
+        let ftitle = s.fact_type_by_name("paper_title").unwrap();
+        p.add_fact_closed(&s, fid, Value::entity(1), Value::str("P1"));
+        p.add_fact_closed(&s, ftitle, Value::entity(1), Value::str("On NIAM"));
+        assert!(is_model(&s, &p), "{:?}", validate(&s, &p));
+    }
+
+    #[test]
+    fn totality_violation_detected() {
+        let s = paper_schema();
+        let mut p = Population::new();
+        let paper = s.object_type_by_name("Paper").unwrap();
+        p.add_object(paper, Value::entity(1));
+        // Paper e1 has neither id nor title: two total-role violations.
+        let v = validate(&s, &p);
+        assert_eq!(
+            v.iter()
+                .filter(|x| matches!(x, Violation::Constraint { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn uniqueness_violation_detected() {
+        let s = paper_schema();
+        let mut p = Population::new();
+        let ftitle = s.fact_type_by_name("paper_title").unwrap();
+        let fid = s.fact_type_by_name("Paper_has_Paper_Id").unwrap();
+        p.add_fact_closed(&s, fid, Value::entity(1), Value::str("P1"));
+        p.add_fact_closed(&s, ftitle, Value::entity(1), Value::str("A"));
+        p.add_fact_closed(&s, ftitle, Value::entity(1), Value::str("B"));
+        let v = validate(&s, &p);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Constraint { detail, .. } if detail.contains("more than once"))));
+    }
+
+    #[test]
+    fn typing_violations_detected() {
+        let s = paper_schema();
+        let mut p = Population::new();
+        let paper = s.object_type_by_name("Paper").unwrap();
+        let pid = s.object_type_by_name("Paper_Id").unwrap();
+        p.add_object(paper, Value::str("lexical-in-nolot"));
+        p.add_object(pid, Value::str("too-long-for-char6"));
+        p.add_object(pid, Value::entity(4));
+        let v = validate(&s, &p);
+        assert_eq!(
+            v.iter()
+                .filter(|x| matches!(x, Violation::Typing { .. }))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn fact_value_must_be_in_player_population() {
+        let s = paper_schema();
+        let mut p = Population::new();
+        let fid = s.fact_type_by_name("Paper_has_Paper_Id").unwrap();
+        p.add_fact(fid, Value::entity(1), Value::str("P1"));
+        let v = validate(&s, &p);
+        assert!(v.iter().any(|x| matches!(x, Violation::Typing { .. })));
+    }
+
+    #[test]
+    fn sublink_membership_checked() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        b.nolot("Invited_Paper").unwrap();
+        b.sublink("Invited_Paper", "Paper").unwrap();
+        let s = b.finish_unchecked();
+        let paper = s.object_type_by_name("Paper").unwrap();
+        let inv = s.object_type_by_name("Invited_Paper").unwrap();
+        let mut p = Population::new();
+        p.add_object(inv, Value::entity(1));
+        let v = validate(&s, &p);
+        assert!(matches!(v[0], Violation::SublinkMembership { .. }));
+        p.add_object(paper, Value::entity(1));
+        assert!(is_model(&s, &p));
+    }
+
+    #[test]
+    fn external_uniqueness() {
+        // Session identified by (Day, Slot).
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Session").unwrap();
+        b.lot("Day", DataType::Char(3)).unwrap();
+        b.lot("Slot", DataType::Numeric(2, 0)).unwrap();
+        b.fact("on_day", ("held_on", "Session"), ("day_of", "Day"))
+            .unwrap();
+        b.fact("in_slot", ("held_in", "Session"), ("slot_of", "Slot"))
+            .unwrap();
+        b.unique("on_day", Side::Left).unwrap();
+        b.unique("in_slot", Side::Left).unwrap();
+        b.external_unique(&[("on_day", Side::Right), ("in_slot", Side::Right)])
+            .unwrap();
+        let s = b.finish().unwrap();
+        let on_day = s.fact_type_by_name("on_day").unwrap();
+        let in_slot = s.fact_type_by_name("in_slot").unwrap();
+        let mut p = Population::new();
+        p.add_fact_closed(&s, on_day, Value::entity(1), Value::str("MON"));
+        p.add_fact_closed(&s, in_slot, Value::entity(1), Value::Int(1));
+        p.add_fact_closed(&s, on_day, Value::entity(2), Value::str("MON"));
+        p.add_fact_closed(&s, in_slot, Value::entity(2), Value::Int(2));
+        assert!(is_model(&s, &p), "{:?}", validate(&s, &p));
+        // Collide the pair (MON, 1).
+        p.facts_of_mut(in_slot)
+            .remove(&(Value::entity(2), Value::Int(2)));
+        p.add_fact(in_slot, Value::entity(2), Value::Int(1));
+        assert!(!is_model(&s, &p));
+    }
+
+    #[test]
+    fn cardinality_and_value_constraints() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Referee").unwrap();
+        b.nolot("Paper").unwrap();
+        b.fact(
+            "reviews",
+            ("reviewer_of", "Referee"),
+            ("reviewed_by", "Paper"),
+        )
+        .unwrap();
+        b.unique_pair("reviews").unwrap();
+        b.cardinality("reviews", Side::Right, 2, Some(3)).unwrap();
+        b.lot("Grade", DataType::Char(1)).unwrap();
+        b.nolot("Review").unwrap();
+        b.fact("graded", ("grade_of", "Review"), ("grades", "Grade"))
+            .unwrap();
+        b.value_constraint(
+            "Grade",
+            vec![Value::str("A"), Value::str("B"), Value::str("C")],
+        )
+        .unwrap();
+        let s = b.finish().unwrap();
+        let reviews = s.fact_type_by_name("reviews").unwrap();
+        let mut p = Population::new();
+        // Paper e10 reviewed once only: violates min 2.
+        p.add_fact_closed(&s, reviews, Value::entity(1), Value::entity(10));
+        assert!(!is_model(&s, &p));
+        p.add_fact_closed(&s, reviews, Value::entity(2), Value::entity(10));
+        assert!(is_model(&s, &p), "{:?}", validate(&s, &p));
+        // Value constraint.
+        let grade = s.object_type_by_name("Grade").unwrap();
+        p.add_object(grade, Value::str("Z"));
+        assert!(!is_model(&s, &p));
+    }
+
+    #[test]
+    fn subset_and_equality_sequences() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Person").unwrap();
+        b.nolot("Paper").unwrap();
+        b.fact("writes", ("author_of", "Person"), ("written_by", "Paper"))
+            .unwrap();
+        b.fact(
+            "presents",
+            ("presenter_of", "Person"),
+            ("presented_by", "Paper"),
+        )
+        .unwrap();
+        b.unique_pair("writes").unwrap();
+        b.unique_pair("presents").unwrap();
+        // Presenters must be authors (role subset on the Person side).
+        b.subset(&[("presents", Side::Left)], &[("writes", Side::Left)])
+            .unwrap();
+        let s = b.finish().unwrap();
+        let writes = s.fact_type_by_name("writes").unwrap();
+        let presents = s.fact_type_by_name("presents").unwrap();
+        let mut p = Population::new();
+        p.add_fact_closed(&s, writes, Value::entity(1), Value::entity(7));
+        p.add_fact_closed(&s, presents, Value::entity(2), Value::entity(7));
+        assert!(!is_model(&s, &p));
+        p.add_fact_closed(&s, writes, Value::entity(2), Value::entity(7));
+        assert!(is_model(&s, &p), "{:?}", validate(&s, &p));
+    }
+
+    #[test]
+    fn rename_and_compact() {
+        let mut p = Population::new();
+        p.add_object(ObjectTypeId::from_raw(0), Value::entity(1));
+        p.add_fact(FactTypeId::from_raw(0), Value::entity(1), Value::str("x"));
+        let mut ren = HashMap::new();
+        ren.insert(EntityId(1), EntityId(42));
+        let q = p.rename_entities(&ren);
+        assert!(q
+            .objects_of(ObjectTypeId::from_raw(0))
+            .contains(&Value::entity(42)));
+        assert!(q
+            .facts_of(FactTypeId::from_raw(0))
+            .contains(&(Value::entity(42), Value::str("x"))));
+        let mut r = Population::new();
+        r.objects_of_mut(ObjectTypeId::from_raw(3));
+        assert_eq!(r.compacted(), Population::new());
+    }
+}

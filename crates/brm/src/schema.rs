@@ -1,0 +1,476 @@
+//! The binary conceptual schema: arenas of object types, fact types,
+//! sublinks and constraints, with navigation helpers used throughout the
+//! workbench.
+
+use std::collections::HashMap;
+
+use crate::constraint::{Constraint, ConstraintId, ConstraintKind, RoleOrSublink};
+use crate::error::BrmError;
+use crate::fact::{FactType, Side};
+use crate::ids::{FactTypeId, ObjectTypeId, RoleRef, SublinkId};
+use crate::object_type::{ObjectType, ObjectTypeKind};
+use crate::sublink::Sublink;
+
+/// A binary conceptual schema (a "logical theory" in the paper's
+/// model-theoretic reading, §4.1).
+#[derive(Clone, Default, Debug)]
+pub struct Schema {
+    /// Schema name (the meta-database may hold several independent schemas).
+    pub name: String,
+    pub(crate) object_types: Vec<ObjectType>,
+    pub(crate) fact_types: Vec<FactType>,
+    pub(crate) sublinks: Vec<Sublink>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Schema {
+    /// Creates an empty schema with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    // ---- raw insertion (used by the builder and by transformations) ----
+
+    /// Adds an object type, returning its id. Does not check name uniqueness;
+    /// use [`crate::SchemaBuilder`] for checked construction.
+    pub fn push_object_type(&mut self, ot: ObjectType) -> ObjectTypeId {
+        let id = ObjectTypeId::from_raw(self.object_types.len() as u32);
+        self.object_types.push(ot);
+        id
+    }
+
+    /// Adds a fact type, returning its id.
+    pub fn push_fact_type(&mut self, ft: FactType) -> FactTypeId {
+        let id = FactTypeId::from_raw(self.fact_types.len() as u32);
+        self.fact_types.push(ft);
+        id
+    }
+
+    /// Adds a sublink, returning its id.
+    pub fn push_sublink(&mut self, sl: Sublink) -> SublinkId {
+        let id = SublinkId::from_raw(self.sublinks.len() as u32);
+        self.sublinks.push(sl);
+        id
+    }
+
+    /// Adds a constraint, returning its id.
+    pub fn push_constraint(&mut self, c: Constraint) -> ConstraintId {
+        let id = ConstraintId::from_raw(self.constraints.len() as u32);
+        self.constraints.push(c);
+        id
+    }
+
+    // ---- accessors ----
+
+    /// The object type with the given id.
+    pub fn object_type(&self, id: ObjectTypeId) -> &ObjectType {
+        &self.object_types[id.index()]
+    }
+
+    /// The fact type with the given id.
+    pub fn fact_type(&self, id: FactTypeId) -> &FactType {
+        &self.fact_types[id.index()]
+    }
+
+    /// The sublink with the given id.
+    pub fn sublink(&self, id: SublinkId) -> &Sublink {
+        &self.sublinks[id.index()]
+    }
+
+    /// The constraint with the given id.
+    pub fn constraint(&self, id: ConstraintId) -> &Constraint {
+        &self.constraints[id.index()]
+    }
+
+    /// Iterates object types with their ids.
+    pub fn object_types(&self) -> impl Iterator<Item = (ObjectTypeId, &ObjectType)> {
+        self.object_types
+            .iter()
+            .enumerate()
+            .map(|(i, ot)| (ObjectTypeId::from_raw(i as u32), ot))
+    }
+
+    /// Iterates fact types with their ids.
+    pub fn fact_types(&self) -> impl Iterator<Item = (FactTypeId, &FactType)> {
+        self.fact_types
+            .iter()
+            .enumerate()
+            .map(|(i, ft)| (FactTypeId::from_raw(i as u32), ft))
+    }
+
+    /// Iterates sublinks with their ids.
+    pub fn sublinks(&self) -> impl Iterator<Item = (SublinkId, &Sublink)> {
+        self.sublinks
+            .iter()
+            .enumerate()
+            .map(|(i, sl)| (SublinkId::from_raw(i as u32), sl))
+    }
+
+    /// Iterates constraints with their ids.
+    pub fn constraints(&self) -> impl Iterator<Item = (ConstraintId, &Constraint)> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ConstraintId::from_raw(i as u32), c))
+    }
+
+    /// Number of object types.
+    pub fn num_object_types(&self) -> usize {
+        self.object_types.len()
+    }
+
+    /// Number of fact types.
+    pub fn num_fact_types(&self) -> usize {
+        self.fact_types.len()
+    }
+
+    /// Number of sublinks.
+    pub fn num_sublinks(&self) -> usize {
+        self.sublinks.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    // ---- name lookup ----
+
+    /// Finds an object type by name.
+    pub fn object_type_by_name(&self, name: &str) -> Option<ObjectTypeId> {
+        self.object_types()
+            .find(|(_, ot)| ot.name == name)
+            .map(|(id, _)| id)
+    }
+
+    /// Finds a fact type by name.
+    pub fn fact_type_by_name(&self, name: &str) -> Option<FactTypeId> {
+        self.fact_types()
+            .find(|(_, ft)| ft.name == name)
+            .map(|(id, _)| id)
+    }
+
+    /// Finds an object type by name or errors.
+    pub fn require_object_type(&self, name: &str) -> Result<ObjectTypeId, BrmError> {
+        self.object_type_by_name(name).ok_or(BrmError::UnknownName {
+            name: name.to_owned(),
+            namespace: "object type",
+        })
+    }
+
+    /// Finds a fact type by name or errors.
+    pub fn require_fact_type(&self, name: &str) -> Result<FactTypeId, BrmError> {
+        self.fact_type_by_name(name).ok_or(BrmError::UnknownName {
+            name: name.to_owned(),
+            namespace: "fact type",
+        })
+    }
+
+    // ---- navigation ----
+
+    /// The object type playing the given role.
+    pub fn role_player(&self, role: RoleRef) -> ObjectTypeId {
+        self.fact_type(role.fact).player(role.side)
+    }
+
+    /// Display name for a role: `<role-name> ON <player-name>`.
+    pub fn role_display(&self, role: RoleRef) -> String {
+        let ft = self.fact_type(role.fact);
+        let r = ft.role(role.side);
+        let player = &self.object_type(r.player).name;
+        if r.name.is_empty() {
+            format!("ROLE ON {player}")
+        } else {
+            format!("ROLE {} ON {player}", r.name)
+        }
+    }
+
+    /// All roles played by the given object type, `(fact, side)`.
+    pub fn roles_of(&self, ot: ObjectTypeId) -> Vec<RoleRef> {
+        let mut out = Vec::new();
+        for (fid, ft) in self.fact_types() {
+            for side in Side::BOTH {
+                if ft.player(side) == ot {
+                    out.push(RoleRef::new(fid, side));
+                }
+            }
+        }
+        out
+    }
+
+    /// Direct supertypes of `ot` via sublinks.
+    pub fn supertypes_of(&self, ot: ObjectTypeId) -> Vec<ObjectTypeId> {
+        self.sublinks
+            .iter()
+            .filter(|sl| sl.sub == ot)
+            .map(|sl| sl.sup)
+            .collect()
+    }
+
+    /// Direct subtypes of `ot` via sublinks.
+    pub fn subtypes_of(&self, ot: ObjectTypeId) -> Vec<ObjectTypeId> {
+        self.sublinks
+            .iter()
+            .filter(|sl| sl.sup == ot)
+            .map(|sl| sl.sub)
+            .collect()
+    }
+
+    /// All (transitive, reflexive) supertypes of `ot`, `ot` first.
+    pub fn ancestors_of(&self, ot: ObjectTypeId) -> Vec<ObjectTypeId> {
+        let mut seen = vec![ot];
+        let mut frontier = vec![ot];
+        while let Some(cur) = frontier.pop() {
+            for sup in self.supertypes_of(cur) {
+                if !seen.contains(&sup) {
+                    seen.push(sup);
+                    frontier.push(sup);
+                }
+            }
+        }
+        seen
+    }
+
+    /// True if the sublink graph contains a cycle.
+    pub fn sublink_graph_has_cycle(&self) -> bool {
+        // Kahn's algorithm over object types restricted to sublink edges.
+        let n = self.object_types.len();
+        let mut indeg = vec![0u32; n];
+        for sl in &self.sublinks {
+            indeg[sl.sup.index()] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for sl in &self.sublinks {
+                if sl.sub.index() == i {
+                    indeg[sl.sup.index()] -= 1;
+                    if indeg[sl.sup.index()] == 0 {
+                        queue.push(sl.sup.index());
+                    }
+                }
+            }
+        }
+        visited != n
+    }
+
+    // ---- constraint queries used by the analyzer and mapper ----
+
+    /// True if a uniqueness constraint spans exactly this single role.
+    ///
+    /// A unique role makes its fact *functional* from the role's player: each
+    /// player instance determines at most one co-role value.
+    pub fn is_role_unique(&self, role: RoleRef) -> bool {
+        self.constraints.iter().any(|c| {
+            matches!(&c.kind, ConstraintKind::Uniqueness { roles } if roles.as_slice() == [role])
+        })
+    }
+
+    /// True if some total constraint's items consist of exactly this role.
+    pub fn is_role_total(&self, role: RoleRef) -> bool {
+        self.constraints.iter().any(|c| {
+            matches!(&c.kind, ConstraintKind::Total { items, .. }
+                if items.as_slice() == [RoleOrSublink::Role(role)])
+        })
+    }
+
+    /// The uniqueness constraints defined over roles of the given fact.
+    pub fn fact_uniqueness(&self, fact: FactTypeId) -> Vec<&Constraint> {
+        self.constraints
+            .iter()
+            .filter(|c| match &c.kind {
+                ConstraintKind::Uniqueness { roles } => roles.iter().any(|r| r.fact == fact),
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// True if the fact has any uniqueness constraint at all (NIAM requires
+    /// at least one per fact type; completeness checks enforce this).
+    pub fn fact_has_uniqueness(&self, fact: FactTypeId) -> bool {
+        !self.fact_uniqueness(fact).is_empty()
+    }
+
+    /// Classifies a fact: `(left_unique, right_unique)`.
+    ///
+    /// `(true, false)` is an n:1 fact from right to left player, etc.
+    /// `(false, false)` with a both-role uniqueness is an m:n fact.
+    pub fn fact_multiplicity(&self, fact: FactTypeId) -> (bool, bool) {
+        (
+            self.is_role_unique(RoleRef::new(fact, Side::Left)),
+            self.is_role_unique(RoleRef::new(fact, Side::Right)),
+        )
+    }
+
+    // ---- integrity of the ids ----
+
+    /// Verifies that every id stored anywhere in the schema is in range and
+    /// that basic structural invariants hold (sublinks between entity-like
+    /// object types). Returns all problems found.
+    pub fn check_ids(&self) -> Vec<BrmError> {
+        let mut errs = Vec::new();
+        let not = self.object_types.len() as u32;
+        let nft = self.fact_types.len() as u32;
+        let nsl = self.sublinks.len() as u32;
+        let check_ot = |what: String, id: ObjectTypeId, errs: &mut Vec<BrmError>| {
+            if id.raw() >= not {
+                errs.push(BrmError::DanglingId { what });
+            }
+        };
+        for (fid, ft) in self.fact_types() {
+            for side in Side::BOTH {
+                check_ot(
+                    format!("fact {fid} ({}) {side} player", ft.name),
+                    ft.player(side),
+                    &mut errs,
+                );
+            }
+        }
+        for (sid, sl) in self.sublinks() {
+            check_ot(format!("sublink {sid} sub"), sl.sub, &mut errs);
+            check_ot(format!("sublink {sid} sup"), sl.sup, &mut errs);
+        }
+        for (cid, c) in self.constraints() {
+            for r in c.kind.referenced_roles() {
+                if r.fact.raw() >= nft {
+                    errs.push(BrmError::DanglingId {
+                        what: format!("constraint {cid} role {r}"),
+                    });
+                }
+            }
+            for s in c.kind.referenced_sublinks() {
+                if s.raw() >= nsl {
+                    errs.push(BrmError::DanglingId {
+                        what: format!("constraint {cid} sublink {s}"),
+                    });
+                }
+            }
+            for ot in c.kind.referenced_object_types() {
+                check_ot(format!("constraint {cid} object type"), ot, &mut errs);
+            }
+        }
+        errs
+    }
+
+    /// Checks that names are unique per namespace.
+    pub fn check_names(&self) -> Vec<BrmError> {
+        let mut errs = Vec::new();
+        let mut seen: HashMap<&str, ()> = HashMap::new();
+        for ot in &self.object_types {
+            if seen.insert(ot.name.as_str(), ()).is_some() {
+                errs.push(BrmError::DuplicateName {
+                    name: ot.name.clone(),
+                    namespace: "object type",
+                });
+            }
+        }
+        let mut seen: HashMap<&str, ()> = HashMap::new();
+        for ft in &self.fact_types {
+            if seen.insert(ft.name.as_str(), ()).is_some() {
+                errs.push(BrmError::DuplicateName {
+                    name: ft.name.clone(),
+                    namespace: "fact type",
+                });
+            }
+        }
+        errs
+    }
+
+    /// Convenience: the kind of an object type.
+    pub fn kind_of(&self, ot: ObjectTypeId) -> ObjectTypeKind {
+        self.object_type(ot).kind
+    }
+
+    /// Convenience: the name of an object type.
+    pub fn ot_name(&self, ot: ObjectTypeId) -> &str {
+        &self.object_type(ot).name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::datatype::DataType;
+
+    fn sample() -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        b.nolot("Program_Paper").unwrap();
+        b.lot("Paper_Id", DataType::Char(6)).unwrap();
+        b.fact(
+            "paper_has_id",
+            ("identified_by", "Paper"),
+            ("of", "Paper_Id"),
+        )
+        .unwrap();
+        b.sublink("Program_Paper", "Paper").unwrap();
+        b.unique("paper_has_id", Side::Left).unwrap();
+        b.unique("paper_has_id", Side::Right).unwrap();
+        b.total_role("paper_has_id", Side::Left).unwrap();
+        b.finish_unchecked()
+    }
+
+    #[test]
+    fn navigation() {
+        let s = sample();
+        let paper = s.object_type_by_name("Paper").unwrap();
+        let pp = s.object_type_by_name("Program_Paper").unwrap();
+        let f = s.fact_type_by_name("paper_has_id").unwrap();
+        assert_eq!(s.role_player(RoleRef::new(f, Side::Left)), paper);
+        assert_eq!(s.roles_of(paper).len(), 1);
+        assert_eq!(s.supertypes_of(pp), vec![paper]);
+        assert_eq!(s.subtypes_of(paper), vec![pp]);
+        let anc = s.ancestors_of(pp);
+        assert!(anc.contains(&paper) && anc.contains(&pp));
+        assert!(!s.sublink_graph_has_cycle());
+    }
+
+    #[test]
+    fn multiplicity_and_totality() {
+        let s = sample();
+        let f = s.fact_type_by_name("paper_has_id").unwrap();
+        assert_eq!(s.fact_multiplicity(f), (true, true));
+        assert!(s.is_role_total(RoleRef::new(f, Side::Left)));
+        assert!(!s.is_role_total(RoleRef::new(f, Side::Right)));
+        assert!(s.fact_has_uniqueness(f));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut s = Schema::new("c");
+        let a = s.push_object_type(ObjectType::new("A", ObjectTypeKind::Nolot));
+        let b = s.push_object_type(ObjectType::new("B", ObjectTypeKind::Nolot));
+        s.push_sublink(Sublink::new(a, b));
+        assert!(!s.sublink_graph_has_cycle());
+        s.push_sublink(Sublink::new(b, a));
+        assert!(s.sublink_graph_has_cycle());
+    }
+
+    #[test]
+    fn dangling_ids_detected() {
+        let mut s = Schema::new("d");
+        let a = s.push_object_type(ObjectType::new("A", ObjectTypeKind::Nolot));
+        s.push_fact_type(FactType::new(
+            "f",
+            crate::fact::Role::new("r1", a),
+            crate::fact::Role::new("r2", ObjectTypeId::from_raw(99)),
+        ));
+        let errs = s.check_ids();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], BrmError::DanglingId { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_detected() {
+        let mut s = Schema::new("d");
+        s.push_object_type(ObjectType::new("A", ObjectTypeKind::Nolot));
+        s.push_object_type(ObjectType::new("A", ObjectTypeKind::Nolot));
+        let errs = s.check_names();
+        assert_eq!(errs.len(), 1);
+    }
+}

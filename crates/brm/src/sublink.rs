@@ -1,0 +1,36 @@
+//! Sublink (subtype) types.
+
+use crate::ids::ObjectTypeId;
+
+/// A sublink type: `sub` IS-A `sup` (§2).
+///
+/// "The subtype occurrences implicitly inherit all properties of the
+/// supertype. Subtypes need not be disjoint; not all of a NOLOT's occurrences
+/// need be in one of its subtypes." Disjointness and totality, when wanted,
+/// are expressed by [`crate::Constraint`]s (exclusion / total union).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Sublink {
+    /// The subtype NOLOT.
+    pub sub: ObjectTypeId,
+    /// The supertype NOLOT.
+    pub sup: ObjectTypeId,
+}
+
+impl Sublink {
+    /// Creates a sublink `sub` IS-A `sup`.
+    pub fn new(sub: ObjectTypeId, sup: ObjectTypeId) -> Self {
+        Self { sub, sup }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let s = Sublink::new(ObjectTypeId::from_raw(1), ObjectTypeId::from_raw(0));
+        assert_eq!(s.sub.raw(), 1);
+        assert_eq!(s.sup.raw(), 0);
+    }
+}

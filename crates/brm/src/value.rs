@@ -1,0 +1,220 @@
+//! Values populating object types: lexical values and abstract entities.
+//!
+//! The BRM separates *non-lexical* entities (abstract individuals of the
+//! universe of discourse) from their *lexical* representations (§2). A
+//! [`Value`] is either a lexical literal or an opaque [`EntityId`] surrogate.
+//! Entities deliberately carry no content: all information about an entity is
+//! stored as binary facts, and referring to an entity lexically requires a
+//! reference scheme — exactly the property RIDL-A's non-referability check
+//! verifies.
+
+use std::fmt;
+
+use crate::datatype::DataType;
+
+/// An opaque surrogate for a non-lexical entity.
+///
+/// Surrogates exist only inside populations; they never appear in a generated
+/// relational schema (the mapper replaces them by lexical representations,
+/// §4.2.3). Equality of populations is therefore judged *up to entity
+/// renaming* — compare with `compacted`/renaming helpers on
+/// [`crate::population::Population`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub u64);
+
+impl fmt::Debug for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An exact decimal, stored as scaled integer so values hash and order.
+///
+/// `mantissa * 10^-scale`. Using a scaled integer instead of `f64` keeps
+/// `Value` `Eq + Hash`, which populations (sets of facts) require.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Decimal {
+    /// The unscaled value.
+    pub mantissa: i64,
+    /// Number of decimal fraction digits.
+    pub scale: u8,
+}
+
+impl Decimal {
+    /// Creates a decimal `mantissa * 10^-scale`.
+    pub fn new(mantissa: i64, scale: u8) -> Self {
+        Self { mantissa, scale }
+    }
+
+    /// A whole number.
+    pub fn whole(n: i64) -> Self {
+        Self {
+            mantissa: n,
+            scale: 0,
+        }
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.mantissa);
+        }
+        let sign = if self.mantissa < 0 { "-" } else { "" };
+        let abs = self.mantissa.unsigned_abs();
+        let pow = 10u64.pow(self.scale as u32);
+        write!(
+            f,
+            "{sign}{}.{:0width$}",
+            abs / pow,
+            abs % pow,
+            width = self.scale as usize
+        )
+    }
+}
+
+/// A value of an object-type population.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// A character-string lexical value.
+    Str(String),
+    /// An integral lexical value.
+    Int(i64),
+    /// An exact decimal lexical value.
+    Num(Decimal),
+    /// A date, days since an arbitrary epoch.
+    Date(i32),
+    /// A truth value.
+    Bool(bool),
+    /// A non-lexical entity surrogate.
+    Entity(EntityId),
+}
+
+impl Value {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Shorthand for an entity value.
+    pub fn entity(raw: u64) -> Self {
+        Value::Entity(EntityId(raw))
+    }
+
+    /// True if this is a lexical (non-entity) value.
+    pub fn is_lexical(&self) -> bool {
+        !matches!(self, Value::Entity(_))
+    }
+
+    /// The entity surrogate, if any.
+    pub fn as_entity(&self) -> Option<EntityId> {
+        match self {
+            Value::Entity(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Whether this lexical value inhabits the given data type.
+    ///
+    /// Entities inhabit no lexical data type. String length limits are
+    /// enforced; numeric precision is checked against the digit budget.
+    pub fn fits(&self, dt: DataType) -> bool {
+        match (self, dt) {
+            (Value::Str(s), DataType::Char(n) | DataType::VarChar(n)) => s.len() <= n as usize,
+            (Value::Int(v), DataType::Integer) => {
+                let _ = v;
+                true
+            }
+            (Value::Int(v), DataType::Numeric(p, s)) => digits(*v) + s as u32 <= p as u32,
+            (Value::Num(d), DataType::Numeric(p, s)) => {
+                d.scale <= s && digits(d.mantissa) <= p as u32
+            }
+            (Value::Num(_), DataType::Real) => true,
+            (Value::Int(_), DataType::Real) => true,
+            (Value::Date(_), DataType::Date) => true,
+            (Value::Bool(_), DataType::Boolean) => true,
+            (Value::Entity(_), DataType::Surrogate) => true,
+            _ => false,
+        }
+    }
+}
+
+fn digits(v: i64) -> u32 {
+    let mut a = v.unsigned_abs();
+    let mut d = 1;
+    while a >= 10 {
+        a /= 10;
+        d += 1;
+    }
+    d
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Num(d) => write!(f, "{d}"),
+            Value::Date(d) => write!(f, "DATE#{d}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::Entity(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_display() {
+        assert_eq!(Decimal::whole(42).to_string(), "42");
+        assert_eq!(Decimal::new(1234, 2).to_string(), "12.34");
+        assert_eq!(Decimal::new(-105, 1).to_string(), "-10.5");
+        assert_eq!(Decimal::new(7, 3).to_string(), "0.007");
+    }
+
+    #[test]
+    fn value_fits_types() {
+        assert!(Value::str("ab").fits(DataType::Char(2)));
+        assert!(!Value::str("abc").fits(DataType::Char(2)));
+        assert!(Value::Int(999).fits(DataType::Numeric(3, 0)));
+        assert!(!Value::Int(1000).fits(DataType::Numeric(3, 0)));
+        assert!(Value::Num(Decimal::new(1234, 2)).fits(DataType::Numeric(4, 2)));
+        assert!(!Value::Num(Decimal::new(1234, 2)).fits(DataType::Numeric(4, 1)));
+        assert!(!Value::entity(1).fits(DataType::Char(30)));
+    }
+
+    #[test]
+    fn lexicality() {
+        assert!(Value::str("x").is_lexical());
+        assert!(Value::Int(1).is_lexical());
+        assert!(!Value::entity(9).is_lexical());
+        assert_eq!(Value::entity(9).as_entity(), Some(EntityId(9)));
+        assert_eq!(Value::Int(9).as_entity(), None);
+    }
+}

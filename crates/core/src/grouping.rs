@@ -1,0 +1,1895 @@
+//! The stepwise grouping synthesis — RIDL-M's core (§4).
+//!
+//! The naive algorithm of §4 (relation per NOLOT, grouped functional roles,
+//! separate tables for m:n facts, lexicalisation, constraint carry-over) is
+//! implemented here as the *composition of basic transformations*, each
+//! recorded in the trace, and parameterised by the mapping options of §4.2:
+//!
+//! * object types are partitioned into **anchors** (own relation), subtypes
+//!   absorbed per the sublink options, and attribute-like lexical types;
+//! * every fact type receives a [`FactRealization`] — consumed as a key,
+//!   grouped as an attribute group, or given a table of its own — chosen by
+//!   the null-value option's grouping discipline;
+//! * sublinks receive a [`SubMembership`] realisation: sub-relation +
+//!   foreign key, `_Is` columns + equality view, absorbed columns + equal
+//!   existence, or indicator attribute + conditional equality;
+//! * everything non-lexical is replaced by the chosen lexical
+//!   representation (the REPLACE-BY-LEXICAL steps).
+//!
+//! The resulting [`MappingOutput`] is the machine-readable form of the map
+//! report: `state_map` executes it as the schema transformation `g`, and
+//! `map_report` renders it for application programmers.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use ridl_analyzer::{LexicalRep, ReferenceAnalysis};
+use ridl_brm::{DataType, FactTypeId, ObjectTypeId, RoleRef, Schema, Side, SublinkId, Value};
+use ridl_relational::{Column, ColumnSelection, RelConstraintKind, RelSchema, Table, TableId};
+use ridl_transform::trace::{TransformKind, TransformTrace};
+
+use crate::lexical::{
+    attribute_column_name, choose_reps, dedupe_name, indicator_column_name, rep_column_names,
+    sublink_is_column_name, LexicalChoice,
+};
+use crate::options::{MappingOptions, NullOption, SublinkOption};
+
+/// An error aborting the mapping.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MapError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mapping error: {}", self.message)
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl MapError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+/// How one fact type is realised in the relational schema.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FactRealization {
+    /// Consumed as (part of) the key of an anchor's relation: the fact is a
+    /// hop of the anchor's chosen reference scheme.
+    KeyOf {
+        /// The anchor's table.
+        table: TableId,
+        /// The anchored object type.
+        anchor: ObjectTypeId,
+        /// Which side of the fact the anchor plays.
+        anchor_side: Side,
+        /// The key columns realising this hop.
+        cols: Vec<u32>,
+    },
+    /// Grouped as an attribute group in an anchor's relation (functional
+    /// fact, naive-algorithm step 1).
+    Attribute {
+        /// The hosting table.
+        table: TableId,
+        /// The anchored object type (or its host under `TOGETHER`).
+        anchor: ObjectTypeId,
+        /// Which side of the fact the anchor plays.
+        anchor_side: Side,
+        /// The table's key columns.
+        key_cols: Vec<u32>,
+        /// The columns holding the co-player's representation.
+        value_cols: Vec<u32>,
+        /// Whether the value columns are nullable.
+        optional: bool,
+    },
+    /// A relation of its own: m:n facts (naive-algorithm step 3) and
+    /// functional facts exiled by a restrictive null option.
+    OwnTable {
+        /// The fact's table.
+        table: TableId,
+        /// Columns of the left role's representation.
+        left_cols: Vec<u32>,
+        /// Columns of the right role's representation.
+        right_cols: Vec<u32>,
+    },
+    /// Left out by the table-omission option; recorded for the map report.
+    Omitted,
+}
+
+impl FactRealization {
+    /// The selection realising one role of the fact, if expressible.
+    pub fn role_selection(&self, side: Side) -> Option<ColumnSelection> {
+        match self {
+            FactRealization::KeyOf { table, cols, .. } => {
+                Some(ColumnSelection::of(*table, cols.clone()))
+            }
+            FactRealization::Attribute {
+                table,
+                anchor_side,
+                key_cols,
+                value_cols,
+                optional,
+                ..
+            } => {
+                let cols = if side == *anchor_side {
+                    key_cols.clone()
+                } else {
+                    value_cols.clone()
+                };
+                let sel = ColumnSelection::of(*table, cols);
+                Some(if *optional {
+                    sel.where_not_null(value_cols.clone())
+                } else {
+                    sel
+                })
+            }
+            FactRealization::OwnTable {
+                table,
+                left_cols,
+                right_cols,
+            } => Some(ColumnSelection::of(
+                *table,
+                match side {
+                    Side::Left => left_cols.clone(),
+                    Side::Right => right_cols.clone(),
+                },
+            )),
+            FactRealization::Omitted => None,
+        }
+    }
+}
+
+/// How a sublink's subtype membership is realised.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SubMembership {
+    /// Membership = row presence in the sub-relation, whose key is the
+    /// inherited reference scheme; expressed by a foreign key.
+    SubRelation {
+        /// The sub-relation.
+        table: TableId,
+        /// Its key columns.
+        key_cols: Vec<u32>,
+    },
+    /// The subtype has its own reference scheme: the super-relation carries
+    /// nullable `_Is` columns with the sub's key (fig. 6, Alternative 3),
+    /// tied to the sub-relation by an equality view (the lossless rule).
+    OwnKeyLinked {
+        /// The sub-relation.
+        table: TableId,
+        /// Its key columns.
+        key_cols: Vec<u32>,
+        /// The super-relation.
+        super_table: TableId,
+        /// The `_Is` columns in the super-relation.
+        is_cols: Vec<u32>,
+    },
+    /// The subtype has its own reference scheme but nullable `_Is` columns
+    /// are forbidden (`NULL NOT ALLOWED` / `NULL NOT IN KEYS`): a dedicated
+    /// link table pairs the two keys.
+    LinkTable {
+        /// The sub-relation.
+        table: TableId,
+        /// Its key columns.
+        key_cols: Vec<u32>,
+        /// The link table.
+        link_table: TableId,
+        /// The sub-key columns in the link table.
+        link_sub_cols: Vec<u32>,
+        /// The super-key columns in the link table.
+        link_sup_cols: Vec<u32>,
+    },
+    /// `SUBOT & SUPOT TOGETHER`: membership = the mandatory absorbed columns
+    /// are non-null (equal existence controls the pattern).
+    AbsorbedColumns {
+        /// The host (super) relation.
+        table: TableId,
+        /// The mandatory columns whose non-nullity means membership.
+        mandatory_cols: Vec<u32>,
+    },
+    /// `SUBOT INDICATOR FOR SUPOT`: a boolean indicator attribute in the
+    /// super-relation, possibly alongside a sub-relation.
+    Indicator {
+        /// The super-relation carrying the indicator.
+        table: TableId,
+        /// The indicator column.
+        col: u32,
+        /// The sub-relation, when the subtype has facts of its own.
+        sub: Option<Box<SubMembership>>,
+    },
+}
+
+/// An anchored object type's relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AnchorInfo {
+    /// The relation.
+    pub table: TableId,
+    /// Its primary-key columns (the chosen lexical representation).
+    pub key_cols: Vec<u32>,
+}
+
+/// How one binary constraint fared during the transformation (the paper
+/// notes constraints risk becoming "pariahs"; this record keeps them
+/// first-class in the map report).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConstraintMapping {
+    /// Realised as the named relational constraints.
+    Relational(Vec<String>),
+    /// Absorbed structurally (keys, NOT NULL, foreign keys); the note says
+    /// by what.
+    Absorbed(String),
+    /// Not expressible over the generated schema; the note says why — "a
+    /// formal specification for a program segment" is all that remains.
+    Unexpressed(String),
+}
+
+/// The complete result of a mapping run.
+#[derive(Clone, Debug)]
+pub struct MappingOutput {
+    /// The canonical binary schema the mapping worked from (the original
+    /// after the binary-to-binary canonicalisation steps; object-type and
+    /// fact-type ids are unchanged, constraints may be fewer).
+    pub schema: Schema,
+    /// The generic relational schema (§4.3).
+    pub rel: RelSchema,
+    /// Anchor relations per object type (raw id).
+    pub anchors: BTreeMap<u32, AnchorInfo>,
+    /// Realisation per fact type (indexed by fact id).
+    pub fact_real: Vec<FactRealization>,
+    /// Membership realisation per sublink (indexed by sublink id).
+    pub sub_memb: Vec<Option<SubMembership>>,
+    /// The chosen lexical representations.
+    pub choice: LexicalChoice,
+    /// Which anchor hosts each object type's facts (`TOGETHER` redirects
+    /// subtypes to their supertype's host).
+    pub host: Vec<ObjectTypeId>,
+    /// The options the run used.
+    pub options: MappingOptions,
+    /// The applied basic transformations, in order.
+    pub trace: TransformTrace,
+    /// Binary constraints absorbed structurally (NOT NULL, keys) or not
+    /// expressible, with an explanation — part of the map report.
+    pub notes: Vec<String>,
+    /// Per column: the source LOT it lexicalises, if any (drives value
+    /// constraints and the backwards map).
+    pub col_sources: HashMap<(u32, u32), ObjectTypeId>,
+    /// Fate of every binary constraint (indexed by constraint id of the
+    /// canonical schema).
+    pub constraint_map: Vec<ConstraintMapping>,
+    /// Denormalisation records (the combine directives, §4.2): each is a
+    /// functional dependency whose determinant is not a key, deliberately
+    /// leaving BCNF, with enough structure for the state map to fill the
+    /// duplicated values.
+    pub combines: Vec<CombineRecord>,
+}
+
+/// One applied combine directive.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CombineRecord {
+    /// The functional fact the directive denormalised along.
+    pub via: FactTypeId,
+    /// The table that received the duplicated columns.
+    pub table: TableId,
+    /// The determinant: the columns holding the target's key (the combined
+    /// fact's value columns).
+    pub det_cols: Vec<u32>,
+    /// The duplicated (dependent) columns.
+    pub dup_cols: Vec<u32>,
+    /// The source table the duplicates mirror.
+    pub target_table: TableId,
+    /// Its key columns (matched against `det_cols`).
+    pub target_key_cols: Vec<u32>,
+    /// Its copied source columns, aligned with `dup_cols`.
+    pub target_src_cols: Vec<u32>,
+}
+
+impl MappingOutput {
+    /// The anchor info of an object type, if anchored.
+    pub fn anchor_of(&self, ot: ObjectTypeId) -> Option<&AnchorInfo> {
+        self.anchors.get(&ot.raw())
+    }
+
+    /// The realisation of a fact type.
+    pub fn realization(&self, fact: FactTypeId) -> &FactRealization {
+        &self.fact_real[fact.index()]
+    }
+
+    /// The selection realising a role, if expressible.
+    pub fn role_selection(&self, role: RoleRef) -> Option<ColumnSelection> {
+        self.fact_real[role.fact.index()].role_selection(role.side)
+    }
+
+    /// The selection of a subtype's membership *in the super key space*.
+    pub fn membership_selection(
+        &self,
+        schema: &Schema,
+        sublink: SublinkId,
+    ) -> Option<ColumnSelection> {
+        let sl = schema.sublink(sublink);
+        let memb = self.sub_memb[sublink.index()].as_ref()?;
+        self.membership_selection_inner(schema, sl.sup, memb)
+    }
+
+    fn membership_selection_inner(
+        &self,
+        _schema: &Schema,
+        sup: ObjectTypeId,
+        memb: &SubMembership,
+    ) -> Option<ColumnSelection> {
+        match memb {
+            SubMembership::SubRelation { table, key_cols } => {
+                Some(ColumnSelection::of(*table, key_cols.clone()))
+            }
+            SubMembership::OwnKeyLinked {
+                super_table,
+                is_cols,
+                ..
+            } => {
+                let sup_anchor = self.anchor_of(self.host_of(sup))?;
+                Some(
+                    ColumnSelection::of(*super_table, sup_anchor.key_cols.clone())
+                        .where_not_null(is_cols.clone()),
+                )
+            }
+            SubMembership::LinkTable {
+                link_table,
+                link_sup_cols,
+                ..
+            } => Some(ColumnSelection::of(*link_table, link_sup_cols.clone())),
+            SubMembership::AbsorbedColumns {
+                table,
+                mandatory_cols,
+            } => {
+                let sup_anchor = self.anchor_of(self.host_of(sup))?;
+                Some(
+                    ColumnSelection::of(*table, sup_anchor.key_cols.clone())
+                        .where_not_null(mandatory_cols.clone()),
+                )
+            }
+            SubMembership::Indicator { table, col, .. } => {
+                let sup_anchor = self.anchor_of(self.host_of(sup))?;
+                Some(
+                    ColumnSelection::of(*table, sup_anchor.key_cols.clone())
+                        .where_eq(*col, Value::Bool(true)),
+                )
+            }
+        }
+    }
+
+    /// The host anchor of an object type.
+    pub fn host_of(&self, ot: ObjectTypeId) -> ObjectTypeId {
+        self.host[ot.index()]
+    }
+
+    /// Total number of generated tables.
+    pub fn table_count(&self) -> usize {
+        self.rel.tables.len()
+    }
+
+    /// Derives the functional and multivalued dependencies known to hold on
+    /// every generated table: key dependencies from the declared keys and
+    /// the non-key dependencies the denormalisation directives introduced.
+    /// Feed the result to [`ridl_relational::normal_form_of`] to reproduce
+    /// the paper's §4 claim that the default synthesis yields fully
+    /// normalized ("5NF") relations.
+    pub fn table_dependencies(&self) -> Vec<(TableId, ridl_relational::TableDependencies)> {
+        let mut out = Vec::new();
+        for (tid, table) in self.rel.tables() {
+            let mut deps = ridl_relational::TableDependencies::with_arity(table.arity());
+            let all: Vec<u32> = (0..table.arity() as u32).collect();
+            for key in self.rel.keys_of(tid) {
+                deps.fds.push(ridl_relational::Fd::new(key, &all));
+            }
+            for rec in &self.combines {
+                if rec.table == tid {
+                    deps.fds
+                        .push(ridl_relational::Fd::new(&rec.det_cols, &rec.dup_cols));
+                }
+            }
+            out.push((tid, deps));
+        }
+        out
+    }
+
+    /// Number of nullable columns across the schema.
+    pub fn nullable_column_count(&self) -> usize {
+        self.rel
+            .tables
+            .iter()
+            .flat_map(|t| &t.columns)
+            .filter(|c| c.nullable)
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planning structures
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct ColSpec {
+    name: String,
+    data_type: DataType,
+    nullable: bool,
+    source_lot: Option<ObjectTypeId>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct TablePlan {
+    name: String,
+    cols: Vec<ColSpec>,
+    pk: Vec<u32>,
+    candidate_keys: Vec<Vec<u32>>,
+}
+
+impl TablePlan {
+    fn push_col(&mut self, spec: ColSpec) -> u32 {
+        let used: Vec<String> = self.cols.iter().map(|c| c.name.clone()).collect();
+        let mut spec = spec;
+        spec.name = dedupe_name(&used, spec.name);
+        self.cols.push(spec);
+        self.cols.len() as u32 - 1
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FactClass {
+    /// Consumed by the chosen rep of this anchor.
+    Key(ObjectTypeId),
+    /// Functional, grouped under this anchor (anchor side given).
+    Functional(ObjectTypeId, Side),
+    /// Own table (m:n, LOT-keyed, or exiled by null option).
+    Own,
+    Omitted,
+}
+
+/// Runs the grouping synthesis.
+pub fn map_schema(
+    schema: &Schema,
+    analysis: &ReferenceAnalysis,
+    options: &MappingOptions,
+) -> Result<MappingOutput, MapError> {
+    let mut trace = TransformTrace::new();
+    let notes: Vec<String> = Vec::new();
+
+    // -- Binary-to-binary: canonicalize constraints.
+    let (schema_canon, removed) = ridl_transform::canonicalize_constraints(schema);
+    let schema = &schema_canon;
+    if removed > 0 {
+        trace.push(
+            TransformKind::BinaryToBinary,
+            "CANONICALIZE CONSTRAINTS",
+            format!("{removed} superfluous constraints removed"),
+            vec![],
+        );
+    }
+
+    let choice = choose_reps(schema, analysis, options)?;
+
+    // -- Host resolution: TOGETHER redirects subtypes to their supertype.
+    let mut host: Vec<ObjectTypeId> = (0..schema.num_object_types() as u32)
+        .map(ObjectTypeId::from_raw)
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (sid, sl) in schema.sublinks() {
+            if options.sublink_option(sid) == SublinkOption::Together
+                && options.nulls != NullOption::NullNotAllowed
+            {
+                let sup_host = host[sl.sup.index()];
+                if host[sl.sub.index()] != sup_host {
+                    host[sl.sub.index()] = sup_host;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // -- Determine which facts are consumed by chosen reference schemes.
+    // consumed[fact] = (owner anchor, list of atom indices realised by it)
+    let mut consumed: HashMap<u32, (ObjectTypeId, Vec<usize>)> = HashMap::new();
+    let is_self_host = |ot: ObjectTypeId| host[ot.index()] == ot;
+    for (oid, ot) in schema.object_types() {
+        if !ot.kind.is_entity_like() || !is_self_host(oid) {
+            continue;
+        }
+        let Some(rep) = choice.rep_of(oid) else {
+            continue;
+        };
+        for (ai, atom) in rep.atoms.iter().enumerate() {
+            let Some(first) = atom.path.first() else {
+                continue; // self-lexical atom consumes no fact
+            };
+            let entry = consumed
+                .entry(first.fact.raw())
+                .or_insert((oid, Vec::new()));
+            if entry.0 == oid {
+                entry.1.push(ai);
+            }
+        }
+    }
+
+    // -- Classify facts.
+    let mut class: Vec<FactClass> = Vec::with_capacity(schema.num_fact_types());
+    for (fid, ft) in schema.fact_types() {
+        if options.omit_facts.contains(&fid) {
+            class.push(FactClass::Omitted);
+            continue;
+        }
+        if let Some((owner, _)) = consumed.get(&fid.raw()) {
+            // Only a key when the anchor actually plays a side of it.
+            if let Some(side) = ft.side_of(*owner) {
+                // Verify this hop starts at the owner (path[0] role is the
+                // owner's role).
+                let rep = choice.rep_of(*owner).expect("consumed implies rep");
+                let is_first_hop = rep
+                    .atoms
+                    .iter()
+                    .any(|a| a.path.first() == Some(&RoleRef::new(fid, side)));
+                if is_first_hop {
+                    class.push(FactClass::Key(*owner));
+                    continue;
+                }
+            }
+        }
+        let (lu, ru) = schema.fact_multiplicity(fid);
+        let assignable = |side: Side| -> Option<ObjectTypeId> {
+            let player = ft.player(side);
+            let h = host[player.index()];
+            let anchorable = choice.rep_of(h).is_some()
+                || (options.nulls == NullOption::NullAllowed
+                    && !partial_reps(schema, h).is_empty());
+            if schema.kind_of(player).is_entity_like() && anchorable {
+                Some(player)
+            } else {
+                None
+            }
+        };
+        let total = |side: Side| -> bool { schema.is_role_total(RoleRef::new(fid, side)) };
+        let chosen = match (lu, ru) {
+            (true, true) => {
+                // 1:1: prefer the total side, then left.
+                if total(Side::Left) {
+                    assignable(Side::Left)
+                        .map(|a| (a, Side::Left))
+                        .or_else(|| assignable(Side::Right).map(|a| (a, Side::Right)))
+                } else if total(Side::Right) {
+                    assignable(Side::Right)
+                        .map(|a| (a, Side::Right))
+                        .or_else(|| assignable(Side::Left).map(|a| (a, Side::Left)))
+                } else {
+                    assignable(Side::Left)
+                        .map(|a| (a, Side::Left))
+                        .or_else(|| assignable(Side::Right).map(|a| (a, Side::Right)))
+                }
+            }
+            (true, false) => assignable(Side::Left).map(|a| (a, Side::Left)),
+            (false, true) => assignable(Side::Right).map(|a| (a, Side::Right)),
+            (false, false) => None,
+        };
+        match chosen {
+            Some((anchor, side)) => {
+                // The null option may exile the fact to its own table.
+                let is_total = total(side);
+                let co_unique = schema.is_role_unique(RoleRef::new(fid, side.other()));
+                let exile = match options.nulls {
+                    NullOption::NullNotAllowed => !is_total,
+                    NullOption::NullNotInKeys => !is_total && co_unique,
+                    _ => false,
+                };
+                if exile {
+                    class.push(FactClass::Own);
+                } else {
+                    class.push(FactClass::Functional(anchor, side));
+                }
+            }
+            None => class.push(FactClass::Own),
+        }
+    }
+
+    // -- Anchor set: entity-like self-hosts with a rep that either are pure
+    // NOLOTs, have grouped facts, or participate in a surviving sublink.
+    let mut anchored: HashSet<u32> = HashSet::new();
+    for (oid, ot) in schema.object_types() {
+        if !ot.kind.is_entity_like() || !is_self_host(oid) {
+            continue;
+        }
+        if choice.rep_of(oid).is_none() {
+            if options.nulls == NullOption::NullAllowed && !partial_reps(schema, oid).is_empty() {
+                // Non-homogeneously referencible NOLOT: anchor with nullable
+                // reference groups below.
+                anchored.insert(oid.raw());
+            }
+            continue;
+        }
+        let has_grouped = class.iter().enumerate().any(|(fi, c)| {
+            matches!(c, FactClass::Functional(a, _) | FactClass::Key(a) if *a == oid)
+                && !matches!(class[fi], FactClass::Omitted)
+        });
+        let in_sublink = schema
+            .sublinks()
+            .any(|(_, sl)| host[sl.sub.index()] == oid || sl.sup == oid || sl.sub == oid);
+        if ot.kind.is_nolot() || has_grouped || in_sublink {
+            anchored.insert(oid.raw());
+        }
+    }
+    // Subtypes hosted elsewhere are never anchored themselves.
+    for (_, sl) in schema.sublinks() {
+        if host[sl.sub.index()] != sl.sub {
+            anchored.remove(&sl.sub.raw());
+        }
+    }
+    // A fact-less subtype under the indicator option needs no sub-relation:
+    // the indicator attribute stores its whole extension (fig. 6, the
+    // `Is_Invited_Paper` treatment).
+    for (sid, sl) in schema.sublinks() {
+        if options.sublink_option(sid) != SublinkOption::IndicatorForSupot {
+            continue;
+        }
+        let has_grouped = class
+            .iter()
+            .any(|c| matches!(c, FactClass::Functional(a, _) | FactClass::Key(a) if *a == sl.sub));
+        let is_supertype_itself = schema.sublinks().any(|(_, other)| other.sup == sl.sub);
+        if !has_grouped && !is_supertype_itself {
+            anchored.remove(&sl.sub.raw());
+        }
+    }
+
+    // -- Build the planner and lay out tables.
+    let mut planner = Planner {
+        schema,
+        choice: &choice,
+        options,
+        plans: Vec::new(),
+        anchor_plan: BTreeMap::new(),
+        fact_real_plan: vec![PlanRealization::Pending; schema.num_fact_types()],
+        sub_memb_plan: vec![None; schema.num_sublinks()],
+        col_sources: HashMap::new(),
+        trace,
+        notes,
+        host: host.clone(),
+        fks: Vec::new(),
+        extra: Vec::new(),
+        combines: Vec::new(),
+    };
+    planner.layout_anchors(&anchored, &class)?;
+    planner.layout_facts(&class)?;
+    planner.layout_sublinks(&anchored)?;
+    planner.apply_combines(&class)?;
+
+    let Planner {
+        plans,
+        anchor_plan,
+        fact_real_plan,
+        sub_memb_plan,
+        col_sources,
+        mut trace,
+        notes,
+        fks,
+        extra,
+        combines: planner_combines,
+        ..
+    } = planner;
+
+    // -- Instantiate the relational schema.
+    let mut rel = RelSchema::new(schema.name.clone());
+    let mut table_ids = Vec::with_capacity(plans.len());
+    for plan in &plans {
+        let mut cols = Vec::new();
+        for c in &plan.cols {
+            let dom_name = match c.source_lot {
+                Some(lot) => format!("D_{}", schema.ot_name(lot)),
+                None => format!("D_{}", c.name),
+            };
+            let dom = rel.domain(&dom_name, c.data_type);
+            cols.push(Column {
+                name: c.name.clone(),
+                domain: dom,
+                nullable: c.nullable,
+            });
+        }
+        let tid = rel.add_table(Table::new(plan.name.clone(), cols));
+        table_ids.push(tid);
+        if !plan.pk.is_empty() {
+            rel.add_named(RelConstraintKind::PrimaryKey {
+                table: tid,
+                cols: plan.pk.clone(),
+            });
+        }
+        for ck in &plan.candidate_keys {
+            rel.add_named(RelConstraintKind::CandidateKey {
+                table: tid,
+                cols: ck.clone(),
+            });
+        }
+    }
+    let t = |p: usize| table_ids[p];
+
+    // Foreign keys collected during planning.
+    for fk in &fks {
+        let name = rel.add_named(RelConstraintKind::ForeignKey {
+            table: t(fk.table),
+            cols: fk.cols.clone(),
+            ref_table: t(fk.ref_table),
+            ref_cols: fk.ref_cols.clone(),
+        });
+        trace.push(
+            TransformKind::RelationalToRelational,
+            "REPLACE BY LEXICAL / FOREIGN KEY",
+            fk.site.clone(),
+            vec![name],
+        );
+    }
+    // Extra constraints (equality views, existence rules, …) from planning.
+    for e in extra {
+        let (kind_trace, ename, site) = (e.kind_trace, e.name.clone(), e.site.clone());
+        let kind = e.instantiate(&table_ids);
+        let name = rel.add_named(kind);
+        trace.push(kind_trace, ename, site, vec![name]);
+    }
+
+    // -- Finalise realisations with real table ids.
+    let fact_real: Vec<FactRealization> = fact_real_plan
+        .into_iter()
+        .map(|p| p.finalize(&table_ids))
+        .collect();
+    let sub_memb: Vec<Option<SubMembership>> = sub_memb_plan
+        .into_iter()
+        .map(|p| p.map(|m| m.finalize(&table_ids)))
+        .collect();
+    let anchors: BTreeMap<u32, AnchorInfo> = anchor_plan
+        .into_iter()
+        .map(|(ot, (plan_idx, key_cols))| {
+            (
+                ot,
+                AnchorInfo {
+                    table: table_ids[plan_idx],
+                    key_cols,
+                },
+            )
+        })
+        .collect();
+    let col_sources = col_sources
+        .into_iter()
+        .map(|((p, c), lot)| ((table_ids[p].0, c), lot))
+        .collect();
+
+    let mut out = MappingOutput {
+        schema: schema.clone(),
+        rel,
+        anchors,
+        fact_real,
+        sub_memb,
+        choice,
+        host,
+        options: options.clone(),
+        trace,
+        notes,
+        col_sources,
+        constraint_map: Vec::new(),
+        combines: planner_combines
+            .into_iter()
+            .map(|pc| CombineRecord {
+                via: pc.via,
+                table: table_ids[pc.plan],
+                det_cols: pc.det_cols,
+                dup_cols: pc.dup_cols,
+                target_table: table_ids[pc.target_plan],
+                target_key_cols: pc.target_key_cols,
+                target_src_cols: pc.target_src_cols,
+            })
+            .collect(),
+    };
+
+    // -- Carry the remaining binary constraints as view constraints.
+    crate::viewcons::emit(schema, &mut out);
+
+    Ok(out)
+}
+
+/// Partial reference groups for the `NULL ALLOWED` option: 1:1 facts to a
+/// lexical co-player that lack totality.
+pub(crate) fn partial_reps(schema: &Schema, ot: ObjectTypeId) -> Vec<RoleRef> {
+    let mut out = Vec::new();
+    for role in schema.roles_of(ot) {
+        let co = role.co_role();
+        let co_player = schema.role_player(co);
+        if schema.is_role_unique(role)
+            && schema.is_role_unique(co)
+            && !schema.is_role_total(role)
+            && schema.kind_of(co_player).data_type().is_some()
+        {
+            out.push(role);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Planner internals
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum PlanRealization {
+    Pending,
+    KeyOf {
+        plan: usize,
+        anchor: ObjectTypeId,
+        anchor_side: Side,
+        cols: Vec<u32>,
+    },
+    Attribute {
+        plan: usize,
+        anchor: ObjectTypeId,
+        anchor_side: Side,
+        key_cols: Vec<u32>,
+        value_cols: Vec<u32>,
+        optional: bool,
+    },
+    OwnTable {
+        plan: usize,
+        left_cols: Vec<u32>,
+        right_cols: Vec<u32>,
+    },
+    Omitted,
+}
+
+impl PlanRealization {
+    fn finalize(self, tids: &[TableId]) -> FactRealization {
+        match self {
+            PlanRealization::Pending | PlanRealization::Omitted => FactRealization::Omitted,
+            PlanRealization::KeyOf {
+                plan,
+                anchor,
+                anchor_side,
+                cols,
+            } => FactRealization::KeyOf {
+                table: tids[plan],
+                anchor,
+                anchor_side,
+                cols,
+            },
+            PlanRealization::Attribute {
+                plan,
+                anchor,
+                anchor_side,
+                key_cols,
+                value_cols,
+                optional,
+            } => FactRealization::Attribute {
+                table: tids[plan],
+                anchor,
+                anchor_side,
+                key_cols,
+                value_cols,
+                optional,
+            },
+            PlanRealization::OwnTable {
+                plan,
+                left_cols,
+                right_cols,
+            } => FactRealization::OwnTable {
+                table: tids[plan],
+                left_cols,
+                right_cols,
+            },
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum PlanMembership {
+    SubRelation {
+        plan: usize,
+        key_cols: Vec<u32>,
+    },
+    OwnKeyLinked {
+        plan: usize,
+        key_cols: Vec<u32>,
+        super_plan: usize,
+        is_cols: Vec<u32>,
+    },
+    LinkTable {
+        plan: usize,
+        key_cols: Vec<u32>,
+        link_plan: usize,
+        link_sub_cols: Vec<u32>,
+        link_sup_cols: Vec<u32>,
+    },
+    AbsorbedColumns {
+        plan: usize,
+        mandatory_cols: Vec<u32>,
+    },
+    Indicator {
+        plan: usize,
+        col: u32,
+        sub: Option<Box<PlanMembership>>,
+    },
+}
+
+impl PlanMembership {
+    fn finalize(self, tids: &[TableId]) -> SubMembership {
+        match self {
+            PlanMembership::SubRelation { plan, key_cols } => SubMembership::SubRelation {
+                table: tids[plan],
+                key_cols,
+            },
+            PlanMembership::OwnKeyLinked {
+                plan,
+                key_cols,
+                super_plan,
+                is_cols,
+            } => SubMembership::OwnKeyLinked {
+                table: tids[plan],
+                key_cols,
+                super_table: tids[super_plan],
+                is_cols,
+            },
+            PlanMembership::LinkTable {
+                plan,
+                key_cols,
+                link_plan,
+                link_sub_cols,
+                link_sup_cols,
+            } => SubMembership::LinkTable {
+                table: tids[plan],
+                key_cols,
+                link_table: tids[link_plan],
+                link_sub_cols,
+                link_sup_cols,
+            },
+            PlanMembership::AbsorbedColumns {
+                plan,
+                mandatory_cols,
+            } => SubMembership::AbsorbedColumns {
+                table: tids[plan],
+                mandatory_cols,
+            },
+            PlanMembership::Indicator { plan, col, sub } => SubMembership::Indicator {
+                table: tids[plan],
+                col,
+                sub: sub.map(|s| Box::new(s.finalize(tids))),
+            },
+        }
+    }
+}
+
+struct PlannedFk {
+    table: usize,
+    cols: Vec<u32>,
+    ref_table: usize,
+    ref_cols: Vec<u32>,
+    site: String,
+}
+
+/// Deferred constructor for a constraint whose table ids are not known yet.
+type ConstraintBuilder = Box<dyn FnOnce(&[TableId]) -> RelConstraintKind>;
+
+/// A constraint planned before table ids exist.
+struct PlannedConstraint {
+    kind_trace: TransformKind,
+    name: String,
+    site: String,
+    build: ConstraintBuilder,
+}
+
+impl PlannedConstraint {
+    fn instantiate(self, tids: &[TableId]) -> RelConstraintKind {
+        (self.build)(tids)
+    }
+}
+
+struct Planner<'a> {
+    schema: &'a Schema,
+    choice: &'a LexicalChoice,
+    options: &'a MappingOptions,
+    plans: Vec<TablePlan>,
+    /// ot raw -> (plan index, key cols)
+    anchor_plan: BTreeMap<u32, (usize, Vec<u32>)>,
+    fact_real_plan: Vec<PlanRealization>,
+    sub_memb_plan: Vec<Option<PlanMembership>>,
+    col_sources: HashMap<(usize, u32), ObjectTypeId>,
+    trace: TransformTrace,
+    notes: Vec<String>,
+    host: Vec<ObjectTypeId>,
+    fks: Vec<PlannedFk>,
+    extra: Vec<PlannedConstraint>,
+    combines: Vec<PlannedCombine>,
+}
+
+struct PlannedCombine {
+    via: FactTypeId,
+    plan: usize,
+    det_cols: Vec<u32>,
+    dup_cols: Vec<u32>,
+    target_plan: usize,
+    target_key_cols: Vec<u32>,
+    target_src_cols: Vec<u32>,
+}
+
+impl<'a> Planner<'a> {
+    fn rep_cols_for(
+        &mut self,
+        plan_idx: usize,
+        rep: &LexicalRep,
+        name_suffix: Option<&str>,
+        nullable: bool,
+    ) -> Vec<u32> {
+        let names = rep_column_names(self.schema, rep);
+        let mut cols = Vec::new();
+        for (atom, base) in rep.atoms.iter().zip(names) {
+            let name = match name_suffix {
+                Some("") | None => base,
+                Some(s) => format!("{base}_{s}"),
+            };
+            let ord = self.plans[plan_idx].push_col(ColSpec {
+                name,
+                data_type: atom.data_type,
+                nullable,
+                source_lot: Some(atom.lot),
+            });
+            self.col_sources.insert((plan_idx, ord), atom.lot);
+            cols.push(ord);
+        }
+        cols
+    }
+
+    fn layout_anchors(
+        &mut self,
+        anchored: &HashSet<u32>,
+        _class: &[FactClass],
+    ) -> Result<(), MapError> {
+        for (oid, ot) in self.schema.object_types() {
+            if !anchored.contains(&oid.raw()) {
+                continue;
+            }
+            let plan_idx = self.plans.len();
+            self.plans.push(TablePlan {
+                name: ot.name.clone(),
+                ..TablePlan::default()
+            });
+            match self.choice.rep_of(oid) {
+                Some(rep) => {
+                    let rep = rep.clone();
+                    let key_cols = self.rep_cols_for(plan_idx, &rep, None, false);
+                    self.plans[plan_idx].pk = key_cols.clone();
+                    self.anchor_plan.insert(oid.raw(), (plan_idx, key_cols));
+                    self.trace.push(
+                        TransformKind::RelationalToRelational,
+                        "CONSTRUCT ANCHOR RELATION",
+                        format!("{} keyed by {}", ot.name, rep.describe(self.schema)),
+                        vec![],
+                    );
+                }
+                None => {
+                    // NULL ALLOWED: non-homogeneous reference — each partial
+                    // scheme becomes a nullable candidate-key group; the
+                    // "primary key" spans all of them (nullable, as ORACLE
+                    // permits) and a cover-existence rule keeps rows
+                    // identifiable.
+                    let partials = partial_reps(self.schema, oid);
+                    let mut all_cols = Vec::new();
+                    let mut groups = Vec::new();
+                    for role in &partials {
+                        let co = role.co_role();
+                        let lot = self.schema.role_player(co);
+                        let dt = self
+                            .schema
+                            .kind_of(lot)
+                            .data_type()
+                            .expect("partial rep co-player is lexical");
+                        let name = attribute_column_name(self.schema, co);
+                        let ord = self.plans[plan_idx].push_col(ColSpec {
+                            name,
+                            data_type: dt,
+                            nullable: true,
+                            source_lot: Some(lot),
+                        });
+                        self.col_sources.insert((plan_idx, ord), lot);
+                        self.plans[plan_idx].candidate_keys.push(vec![ord]);
+                        groups.push(vec![ord]);
+                        all_cols.push(ord);
+                        // These facts are consumed as (partial) keys.
+                        self.fact_real_plan[role.fact.index()] = PlanRealization::KeyOf {
+                            plan: plan_idx,
+                            anchor: oid,
+                            anchor_side: role.side,
+                            cols: vec![ord],
+                        };
+                    }
+                    self.plans[plan_idx].pk = all_cols.clone();
+                    self.extra.push(PlannedConstraint {
+                        kind_trace: TransformKind::RelationalToRelational,
+                        name: "NULL ALLOWED REFERENCE COVER".into(),
+                        site: ot.name.clone(),
+                        build: Box::new({
+                            let groups = groups.clone();
+                            move |tids| RelConstraintKind::CoverExistence {
+                                table: tids[plan_idx],
+                                groups,
+                            }
+                        }),
+                    });
+                    self.anchor_plan.insert(oid.raw(), (plan_idx, all_cols));
+                    self.trace.push(
+                        TransformKind::RelationalToRelational,
+                        "CONSTRUCT ANCHOR RELATION (NULL ALLOWED)",
+                        format!(
+                            "{} with {} partial reference groups",
+                            ot.name,
+                            partials.len()
+                        ),
+                        vec![],
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn layout_facts(&mut self, class: &[FactClass]) -> Result<(), MapError> {
+        // First pass: key facts (fill in KeyOf realisations for total reps).
+        for (fid, ft) in self.schema.fact_types() {
+            match class[fid.index()] {
+                FactClass::Key(anchor) => {
+                    let (plan_idx, _) = self.anchor_plan[&anchor.raw()];
+                    let side = ft.side_of(anchor).ok_or_else(|| {
+                        MapError::new(format!(
+                            "key fact {} does not involve its anchor {}",
+                            ft.name,
+                            self.schema.ot_name(anchor)
+                        ))
+                    })?;
+                    let rep = self
+                        .choice
+                        .rep_of(anchor)
+                        .expect("key class implies rep")
+                        .clone();
+                    let hop = RoleRef::new(fid, side);
+                    let mut cols = Vec::new();
+                    for (ai, atom) in rep.atoms.iter().enumerate() {
+                        if atom.path.first() == Some(&hop) {
+                            // Atom `ai` corresponds to key column `ai`
+                            // (rep columns are laid out in atom order).
+                            let (_, key_cols) = &self.anchor_plan[&anchor.raw()];
+                            cols.push(key_cols[ai]);
+                        }
+                    }
+                    self.fact_real_plan[fid.index()] = PlanRealization::KeyOf {
+                        plan: plan_idx,
+                        anchor,
+                        anchor_side: side,
+                        cols,
+                    };
+                }
+                FactClass::Omitted => {
+                    self.fact_real_plan[fid.index()] = PlanRealization::Omitted;
+                    self.notes.push(format!(
+                        "fact type {} omitted from the generated schema by option",
+                        ft.name
+                    ));
+                    self.trace.push(
+                        TransformKind::RelationalToRelational,
+                        "OMIT TABLE",
+                        ft.name.clone(),
+                        vec![],
+                    );
+                }
+                _ => {}
+            }
+        }
+        // Second pass: functional attribute groups. Facts already realised
+        // by the anchor layout (partial reference keys under NULL ALLOWED)
+        // are left alone.
+        for (fid, ft) in self.schema.fact_types() {
+            if !matches!(self.fact_real_plan[fid.index()], PlanRealization::Pending) {
+                continue;
+            }
+            let FactClass::Functional(anchor, side) = class[fid.index()] else {
+                continue;
+            };
+            let hostot = self.host[anchor.index()];
+            let Some(&(plan_idx, ref key_cols)) = self.anchor_plan.get(&hostot.raw()) else {
+                // No anchor relation (shouldn't happen): fall back to own table.
+                self.layout_own_table(fid)?;
+                continue;
+            };
+            let key_cols = key_cols.clone();
+            let value_role = RoleRef::new(fid, side.other());
+            let value_player = self.schema.role_player(value_role);
+            let total_here = self.schema.is_role_total(RoleRef::new(fid, side));
+            // Under TOGETHER, subtype facts land in the host but are always
+            // optional there (membership is partial).
+            let absorbed = hostot != anchor;
+            let optional = match self.options.nulls {
+                NullOption::NullNotAllowed => false,
+                _ => !total_here || absorbed,
+            };
+            let value_cols = match self.schema.kind_of(value_player).data_type() {
+                Some(dt) => {
+                    let name = attribute_column_name(self.schema, value_role);
+                    let ord = self.plans[plan_idx].push_col(ColSpec {
+                        name,
+                        data_type: dt,
+                        nullable: optional,
+                        source_lot: Some(value_player),
+                    });
+                    self.col_sources.insert((plan_idx, ord), value_player);
+                    vec![ord]
+                }
+                None => {
+                    // Entity-valued: lexicalise through the co-player's rep.
+                    let vhost = self.host[value_player.index()];
+                    let rep = self
+                        .choice
+                        .rep_of(vhost)
+                        .ok_or_else(|| {
+                            MapError::new(format!(
+                                "{} is not lexically referable; cannot realise fact {}",
+                                self.schema.ot_name(value_player),
+                                ft.name
+                            ))
+                        })?
+                        .clone();
+                    let role_name = &ft.role(side.other()).name;
+                    let cols =
+                        self.rep_cols_for(plan_idx, &rep, Some(role_name.as_str()), optional);
+                    // FK to the co-player's anchor when it has one.
+                    if let Some(&(ref_plan, ref ref_cols)) = self.anchor_plan.get(&vhost.raw()) {
+                        self.fks.push(PlannedFk {
+                            table: plan_idx,
+                            cols: cols.clone(),
+                            ref_table: ref_plan,
+                            ref_cols: ref_cols.clone(),
+                            site: format!(
+                                "fact {} references {}",
+                                ft.name,
+                                self.schema.ot_name(value_player)
+                            ),
+                        });
+                    }
+                    cols
+                }
+            };
+            // A 1:1 fact's value columns form a candidate key.
+            if self.schema.is_role_unique(value_role) {
+                self.plans[plan_idx].candidate_keys.push(value_cols.clone());
+            }
+            self.trace.push(
+                TransformKind::RelationalToRelational,
+                "GROUP FUNCTIONAL FACT",
+                format!(
+                    "fact {} into relation {}",
+                    ft.name, self.plans[plan_idx].name
+                ),
+                vec![],
+            );
+            self.fact_real_plan[fid.index()] = PlanRealization::Attribute {
+                plan: plan_idx,
+                anchor: hostot,
+                anchor_side: side,
+                key_cols,
+                value_cols,
+                optional,
+            };
+        }
+        // Third pass: own tables.
+        for (fid, _) in self.schema.fact_types() {
+            if matches!(class[fid.index()], FactClass::Own)
+                && matches!(self.fact_real_plan[fid.index()], PlanRealization::Pending)
+            {
+                self.layout_own_table(fid)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn side_cols_for_own(
+        &mut self,
+        plan_idx: usize,
+        fid: FactTypeId,
+        side: Side,
+    ) -> Result<Vec<u32>, MapError> {
+        let ft = self.schema.fact_type(fid);
+        let player = ft.player(side);
+        match self.schema.kind_of(player).data_type() {
+            Some(dt) => {
+                let name = attribute_column_name(self.schema, RoleRef::new(fid, side));
+                let ord = self.plans[plan_idx].push_col(ColSpec {
+                    name,
+                    data_type: dt,
+                    nullable: false,
+                    source_lot: Some(player),
+                });
+                self.col_sources.insert((plan_idx, ord), player);
+                Ok(vec![ord])
+            }
+            None => {
+                let h = self.host[player.index()];
+                let rep = self
+                    .choice
+                    .rep_of(h)
+                    .ok_or_else(|| {
+                        MapError::new(format!(
+                            "{} is not lexically referable; cannot realise fact {}",
+                            self.schema.ot_name(player),
+                            ft.name
+                        ))
+                    })?
+                    .clone();
+                let role_name = ft.role(side).name.clone();
+                let suffix = if ft.is_homogeneous() || !role_name.is_empty() {
+                    Some(role_name)
+                } else {
+                    None
+                };
+                let cols = self.rep_cols_for(plan_idx, &rep, suffix.as_deref(), false);
+                if let Some(&(ref_plan, ref ref_cols)) = self.anchor_plan.get(&h.raw()) {
+                    self.fks.push(PlannedFk {
+                        table: plan_idx,
+                        cols: cols.clone(),
+                        ref_table: ref_plan,
+                        ref_cols: ref_cols.clone(),
+                        site: format!(
+                            "fact {} references {}",
+                            ft.name,
+                            self.schema.ot_name(player)
+                        ),
+                    });
+                }
+                Ok(cols)
+            }
+        }
+    }
+
+    fn layout_own_table(&mut self, fid: FactTypeId) -> Result<(), MapError> {
+        let ft = self.schema.fact_type(fid).clone();
+        let plan_idx = self.plans.len();
+        self.plans.push(TablePlan {
+            name: ft.name.clone(),
+            ..TablePlan::default()
+        });
+        let left_cols = self.side_cols_for_own(plan_idx, fid, Side::Left)?;
+        let right_cols = self.side_cols_for_own(plan_idx, fid, Side::Right)?;
+        let (lu, ru) = self.schema.fact_multiplicity(fid);
+        match (lu, ru) {
+            (true, true) => {
+                self.plans[plan_idx].pk = left_cols.clone();
+                self.plans[plan_idx].candidate_keys.push(right_cols.clone());
+            }
+            (true, false) => self.plans[plan_idx].pk = left_cols.clone(),
+            (false, true) => self.plans[plan_idx].pk = right_cols.clone(),
+            (false, false) => {
+                let mut pk = left_cols.clone();
+                pk.extend(&right_cols);
+                self.plans[plan_idx].pk = pk;
+            }
+        }
+        self.trace.push(
+            TransformKind::RelationalToRelational,
+            "CONSTRUCT FACT RELATION",
+            format!("fact {} as its own relation", ft.name),
+            vec![],
+        );
+        self.fact_real_plan[fid.index()] = PlanRealization::OwnTable {
+            plan: plan_idx,
+            left_cols,
+            right_cols,
+        };
+        Ok(())
+    }
+
+    fn layout_sublinks(&mut self, _anchored: &HashSet<u32>) -> Result<(), MapError> {
+        for (sid, sl) in self.schema.sublinks() {
+            let mut option = self.options.sublink_option(sid);
+            // NULL NOT ALLOWED forbids the nullable absorbed columns of
+            // TOGETHER; fall back to SEPARATE (documented in DESIGN.md).
+            if option == SublinkOption::Together && self.options.nulls == NullOption::NullNotAllowed
+            {
+                self.notes.push(format!(
+                    "sublink {} IS-A {}: TOGETHER incompatible with NULL NOT ALLOWED; using SEPARATE",
+                    self.schema.ot_name(sl.sub),
+                    self.schema.ot_name(sl.sup)
+                ));
+                option = SublinkOption::Separate;
+            }
+            let sup_host = self.host[sl.sup.index()];
+            let Some(&(sup_plan, ref sup_keys)) = self.anchor_plan.get(&sup_host.raw()) else {
+                self.notes.push(format!(
+                    "sublink {} IS-A {} has no super-relation; membership unrepresented",
+                    self.schema.ot_name(sl.sub),
+                    self.schema.ot_name(sl.sup)
+                ));
+                continue;
+            };
+            let sup_keys = sup_keys.clone();
+            let site = format!(
+                "{} IS-A {}",
+                self.schema.ot_name(sl.sub),
+                self.schema.ot_name(sl.sup)
+            );
+            match option {
+                SublinkOption::Together => {
+                    // Facts were already redirected via host; membership is
+                    // the non-nullity of the mandatory absorbed columns.
+                    let mandatory = self.absorbed_mandatory_cols(sl.sub, sup_plan);
+                    if mandatory.is_empty() {
+                        // Nothing mandatory to hang membership on: indicator.
+                        let col = self.add_indicator(sup_plan, sl.sub);
+                        self.sub_memb_plan[sid.index()] = Some(PlanMembership::Indicator {
+                            plan: sup_plan,
+                            col,
+                            sub: None,
+                        });
+                        self.notes.push(format!(
+                            "sublink {site}: no mandatory subtype facts; indicator attribute added"
+                        ));
+                        self.trace.push(
+                            TransformKind::RelationalToRelational,
+                            "SUBOT & SUPOT TOGETHER (INDICATOR FALLBACK)",
+                            site,
+                            vec![],
+                        );
+                    } else {
+                        if mandatory.len() > 1 {
+                            let m = mandatory.clone();
+                            self.extra.push(PlannedConstraint {
+                                kind_trace: TransformKind::RelationalToRelational,
+                                name: "SUBOT & SUPOT TOGETHER".into(),
+                                site: site.clone(),
+                                build: Box::new(move |tids| RelConstraintKind::EqualExistence {
+                                    table: tids[sup_plan],
+                                    cols: m,
+                                }),
+                            });
+                        }
+                        // Optional subtype facts depend on membership.
+                        let dependents = self.absorbed_optional_cols(sl.sub, sup_plan);
+                        let on = mandatory[0];
+                        for dep in dependents {
+                            self.extra.push(PlannedConstraint {
+                                kind_trace: TransformKind::RelationalToRelational,
+                                name: "SUBOT & SUPOT TOGETHER (DEPENDENT EXISTENCE)".into(),
+                                site: site.clone(),
+                                build: Box::new(move |tids| {
+                                    RelConstraintKind::DependentExistence {
+                                        table: tids[sup_plan],
+                                        dependent: dep,
+                                        on,
+                                    }
+                                }),
+                            });
+                        }
+                        self.sub_memb_plan[sid.index()] = Some(PlanMembership::AbsorbedColumns {
+                            plan: sup_plan,
+                            mandatory_cols: mandatory,
+                        });
+                        self.trace.push(
+                            TransformKind::RelationalToRelational,
+                            "SUBOT & SUPOT TOGETHER",
+                            site,
+                            vec![],
+                        );
+                    }
+                }
+                SublinkOption::Separate | SublinkOption::IndicatorForSupot => {
+                    let Some(&(sub_plan, ref sub_keys)) = self.anchor_plan.get(&sl.sub.raw())
+                    else {
+                        // Subtype without facts of its own.
+                        if option == SublinkOption::IndicatorForSupot {
+                            // fig. 6: Is_Invited_Paper — indicator only.
+                            let col = self.add_indicator(sup_plan, sl.sub);
+                            self.sub_memb_plan[sid.index()] = Some(PlanMembership::Indicator {
+                                plan: sup_plan,
+                                col,
+                                sub: None,
+                            });
+                            self.trace.push(
+                                TransformKind::RelationalToRelational,
+                                "SUBOT INDICATOR FOR SUPOT",
+                                site,
+                                vec![],
+                            );
+                            continue;
+                        }
+                        self.notes.push(format!(
+                            "sublink {site}: subtype not anchored; membership unrepresented"
+                        ));
+                        continue;
+                    };
+                    let sub_keys = sub_keys.clone();
+                    let sub_rep = self.choice.rep_of(sl.sub);
+                    let sup_rep = self.choice.rep_of(sup_host);
+                    let same_scheme = match (sub_rep, sup_rep) {
+                        (Some(a), Some(b)) => a.atoms == b.atoms,
+                        _ => false,
+                    };
+                    let base = if same_scheme {
+                        // FK sub.key -> super.key.
+                        self.fks.push(PlannedFk {
+                            table: sub_plan,
+                            cols: sub_keys.clone(),
+                            ref_table: sup_plan,
+                            ref_cols: sup_keys.clone(),
+                            site: site.clone(),
+                        });
+                        PlanMembership::SubRelation {
+                            plan: sub_plan,
+                            key_cols: sub_keys.clone(),
+                        }
+                    } else if matches!(
+                        self.options.nulls,
+                        NullOption::NullNotAllowed | NullOption::NullNotInKeys
+                    ) {
+                        // Nullable `_Is` columns (or nullable candidate
+                        // keys) are forbidden: pair the keys in a dedicated
+                        // link table instead.
+                        let sub_rep = self
+                            .choice
+                            .rep_of(sl.sub)
+                            .expect("anchored subtype has rep")
+                            .clone();
+                        let sup_rep = self
+                            .choice
+                            .rep_of(sup_host)
+                            .expect("anchored supertype has rep")
+                            .clone();
+                        let link_plan = self.plans.len();
+                        self.plans.push(TablePlan {
+                            name: format!(
+                                "{}_is_{}",
+                                self.schema.ot_name(sl.sub),
+                                self.schema.ot_name(sup_host)
+                            ),
+                            ..TablePlan::default()
+                        });
+                        let link_sub_cols = self.rep_cols_for(link_plan, &sub_rep, None, false);
+                        let sup_suffix = self.schema.ot_name(sup_host).to_owned();
+                        let link_sup_cols = self.rep_cols_for(
+                            link_plan,
+                            &sup_rep,
+                            Some(sup_suffix.as_str()),
+                            false,
+                        );
+                        self.plans[link_plan].pk = link_sub_cols.clone();
+                        self.plans[link_plan]
+                            .candidate_keys
+                            .push(link_sup_cols.clone());
+                        self.fks.push(PlannedFk {
+                            table: link_plan,
+                            cols: link_sub_cols.clone(),
+                            ref_table: sub_plan,
+                            ref_cols: sub_keys.clone(),
+                            site: site.clone(),
+                        });
+                        self.fks.push(PlannedFk {
+                            table: link_plan,
+                            cols: link_sup_cols.clone(),
+                            ref_table: sup_plan,
+                            ref_cols: sup_keys.clone(),
+                            site: site.clone(),
+                        });
+                        // Lossless rule: every sub-relation key is paired.
+                        let (kc, lc) = (sub_keys.clone(), link_sub_cols.clone());
+                        self.extra.push(PlannedConstraint {
+                            kind_trace: TransformKind::RelationalToRelational,
+                            name: "SEPARATE SUB/SUPER RELATION (LINK TABLE)".into(),
+                            site: site.clone(),
+                            build: Box::new(move |tids| RelConstraintKind::EqualityView {
+                                left: ColumnSelection::of(tids[sub_plan], kc),
+                                right: ColumnSelection::of(tids[link_plan], lc),
+                            }),
+                        });
+                        PlanMembership::LinkTable {
+                            plan: sub_plan,
+                            key_cols: sub_keys.clone(),
+                            link_plan,
+                            link_sub_cols,
+                            link_sup_cols,
+                        }
+                    } else {
+                        // Own reference scheme: `_Is` columns in the super
+                        // relation + FK + equality view (fig. 6, Alt. 3).
+                        let rep = self
+                            .choice
+                            .rep_of(sl.sub)
+                            .expect("anchored subtype has rep")
+                            .clone();
+                        let names = rep_column_names(self.schema, &rep);
+                        let mut is_cols = Vec::new();
+                        for (atom, base_name) in rep.atoms.iter().zip(names) {
+                            let ord = self.plans[sup_plan].push_col(ColSpec {
+                                name: sublink_is_column_name(&base_name),
+                                data_type: atom.data_type,
+                                nullable: true,
+                                source_lot: Some(atom.lot),
+                            });
+                            self.col_sources.insert((sup_plan, ord), atom.lot);
+                            is_cols.push(ord);
+                        }
+                        self.plans[sup_plan].candidate_keys.push(is_cols.clone());
+                        self.fks.push(PlannedFk {
+                            table: sub_plan,
+                            cols: sub_keys.clone(),
+                            ref_table: sup_plan,
+                            ref_cols: is_cols.clone(),
+                            site: site.clone(),
+                        });
+                        let (kc, ic) = (sub_keys.clone(), is_cols.clone());
+                        self.extra.push(PlannedConstraint {
+                            kind_trace: TransformKind::RelationalToRelational,
+                            name: "SEPARATE SUB/SUPER RELATION".into(),
+                            site: site.clone(),
+                            build: Box::new(move |tids| RelConstraintKind::EqualityView {
+                                left: ColumnSelection::of(tids[sub_plan], kc),
+                                right: ColumnSelection::of(tids[sup_plan], ic.clone())
+                                    .where_not_null(ic),
+                            }),
+                        });
+                        PlanMembership::OwnKeyLinked {
+                            plan: sub_plan,
+                            key_cols: sub_keys.clone(),
+                            super_plan: sup_plan,
+                            is_cols,
+                        }
+                    };
+                    if option == SublinkOption::IndicatorForSupot {
+                        let col = self.add_indicator(sup_plan, sl.sub);
+                        // Conditional equality: indicator mirrors membership.
+                        let key_cols = sup_keys.clone();
+                        let memb = base.clone();
+                        let schema = self.schema;
+                        let sub_sel_builder: ConstraintBuilder = match &memb {
+                            PlanMembership::SubRelation { plan, key_cols: kc } => {
+                                let (p, kc) = (*plan, kc.clone());
+                                let _ = schema;
+                                Box::new(move |tids: &[TableId]| {
+                                    RelConstraintKind::ConditionalEquality {
+                                        table: tids[sup_plan],
+                                        indicator: col,
+                                        when_value: Value::Bool(true),
+                                        key_cols,
+                                        sub: ColumnSelection::of(tids[p], kc),
+                                    }
+                                })
+                            }
+                            PlanMembership::OwnKeyLinked { is_cols, .. } => {
+                                let ic = is_cols.clone();
+                                let kc2 = sup_keys.clone();
+                                Box::new(move |tids: &[TableId]| {
+                                    RelConstraintKind::ConditionalEquality {
+                                        table: tids[sup_plan],
+                                        indicator: col,
+                                        when_value: Value::Bool(true),
+                                        key_cols,
+                                        sub: ColumnSelection::of(tids[sup_plan], kc2)
+                                            .where_not_null(ic),
+                                    }
+                                })
+                            }
+                            PlanMembership::LinkTable {
+                                link_plan,
+                                link_sup_cols,
+                                ..
+                            } => {
+                                let (lp, lc) = (*link_plan, link_sup_cols.clone());
+                                Box::new(move |tids: &[TableId]| {
+                                    RelConstraintKind::ConditionalEquality {
+                                        table: tids[sup_plan],
+                                        indicator: col,
+                                        when_value: Value::Bool(true),
+                                        key_cols,
+                                        sub: ColumnSelection::of(tids[lp], lc),
+                                    }
+                                })
+                            }
+                            _ => unreachable!("base cannot be absorbed/indicator"),
+                        };
+                        self.extra.push(PlannedConstraint {
+                            kind_trace: TransformKind::RelationalToRelational,
+                            name: "SUBOT INDICATOR FOR SUPOT".into(),
+                            site: site.clone(),
+                            build: sub_sel_builder,
+                        });
+                        self.sub_memb_plan[sid.index()] = Some(PlanMembership::Indicator {
+                            plan: sup_plan,
+                            col,
+                            sub: Some(Box::new(base)),
+                        });
+                        self.trace.push(
+                            TransformKind::RelationalToRelational,
+                            "SUBOT INDICATOR FOR SUPOT",
+                            site,
+                            vec![],
+                        );
+                    } else {
+                        self.sub_memb_plan[sid.index()] = Some(base);
+                        self.trace.push(
+                            TransformKind::RelationalToRelational,
+                            "SUBOT & SUPOT SEPARATE",
+                            site,
+                            vec![],
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn add_indicator(&mut self, plan: usize, sub: ObjectTypeId) -> u32 {
+        let name = indicator_column_name(self.schema, sub);
+
+        self.plans[plan].push_col(ColSpec {
+            name,
+            data_type: DataType::Boolean,
+            nullable: false,
+            source_lot: None,
+        })
+    }
+
+    /// Columns in the host plan realising the subtype's mandatory content:
+    /// its total facts and (if distinct) its own reference columns.
+    fn absorbed_mandatory_cols(&self, sub: ObjectTypeId, host_plan: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (fid, _) in self.schema.fact_types() {
+            if let PlanRealization::Attribute {
+                plan,
+                anchor_side,
+                value_cols,
+                ..
+            } = &self.fact_real_plan[fid.index()]
+            {
+                if *plan != host_plan {
+                    continue;
+                }
+                let anchor_role = RoleRef::new(fid, *anchor_side);
+                if self.schema.role_player(anchor_role) == sub
+                    && self.schema.is_role_total(anchor_role)
+                {
+                    out.extend(value_cols.iter().copied());
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Columns in the host plan realising the subtype's optional facts.
+    fn absorbed_optional_cols(&self, sub: ObjectTypeId, host_plan: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (fid, _) in self.schema.fact_types() {
+            if let PlanRealization::Attribute {
+                plan,
+                anchor_side,
+                value_cols,
+                ..
+            } = &self.fact_real_plan[fid.index()]
+            {
+                if *plan != host_plan {
+                    continue;
+                }
+                let anchor_role = RoleRef::new(fid, *anchor_side);
+                if self.schema.role_player(anchor_role) == sub
+                    && !self.schema.is_role_total(anchor_role)
+                {
+                    out.extend(value_cols.iter().copied());
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Applies the denormalisation directives: absorb the attribute columns
+    /// of the target of a functional fact into the source anchor's relation
+    /// (deliberate redundancy, controlled by an equality lossless rule).
+    fn apply_combines(&mut self, _class: &[FactClass]) -> Result<(), MapError> {
+        for directive in &self.options.combine {
+            let fid = directive.via;
+            let PlanRealization::Attribute {
+                plan,
+                anchor_side,
+                value_cols,
+                optional,
+                ..
+            } = self.fact_real_plan[fid.index()].clone()
+            else {
+                self.notes.push(format!(
+                    "combine directive on fact {} ignored: not an attribute fact",
+                    self.schema.fact_type(fid).name
+                ));
+                continue;
+            };
+            let value_role = RoleRef::new(fid, anchor_side.other());
+            let target = self.schema.role_player(value_role);
+            let th = self.host[target.index()];
+            let Some(&(target_plan, ref target_keys)) = self.anchor_plan.get(&th.raw()) else {
+                self.notes.push(format!(
+                    "combine directive on fact {} ignored: {} has no relation",
+                    self.schema.fact_type(fid).name,
+                    self.schema.ot_name(target)
+                ));
+                continue;
+            };
+            let target_keys = target_keys.clone();
+            // Copy the target's non-key attribute columns into the source
+            // plan, nullable (the source row may lack a target).
+            let mut copied = Vec::new();
+            let target_cols: Vec<(u32, ColSpec)> = self.plans[target_plan]
+                .cols
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i as u32, c.clone()))
+                .filter(|(i, _)| !target_keys.contains(i))
+                .collect();
+            for (tcol, spec) in target_cols {
+                let mut spec = spec;
+                spec.name = format!("{}_{}", self.plans[target_plan].name, spec.name);
+                spec.nullable = true;
+                let src_lot = spec.source_lot;
+                let ord = self.plans[plan].push_col(spec);
+                if let Some(lot) = src_lot {
+                    self.col_sources.insert((plan, ord), lot);
+                }
+                copied.push((tcol, ord));
+            }
+            if copied.is_empty() {
+                continue;
+            }
+            self.combines.push(PlannedCombine {
+                via: fid,
+                plan,
+                det_cols: value_cols.clone(),
+                dup_cols: copied.iter().map(|(_, o)| *o).collect(),
+                target_plan,
+                target_key_cols: target_keys.clone(),
+                target_src_cols: copied.iter().map(|(tc, _)| *tc).collect(),
+            });
+            // Lossless rule: the duplicated columns agree with the target
+            // relation (equality between the joined projections).
+            let vc = value_cols.clone();
+            let dup_cols: Vec<u32> = copied.iter().map(|(_, o)| *o).collect();
+            let mut tsel_cols = target_keys.clone();
+            tsel_cols.extend(copied.iter().map(|(t, _)| *t));
+            let mut ssel_cols = vc.clone();
+            ssel_cols.extend(dup_cols.clone());
+            let mut filter = vc.clone();
+            filter.extend(dup_cols.clone());
+            let opt = optional;
+            self.extra.push(PlannedConstraint {
+                kind_trace: TransformKind::RelationalToRelational,
+                name: "COMBINE TABLES (DENORMALISE)".into(),
+                site: self.schema.fact_type(fid).name.clone(),
+                build: Box::new(move |tids| RelConstraintKind::SubsetView {
+                    sub: if opt {
+                        ColumnSelection::of(tids[plan], ssel_cols).where_not_null(filter)
+                    } else {
+                        ColumnSelection::of(tids[plan], ssel_cols).where_not_null(dup_cols)
+                    },
+                    sup: ColumnSelection::of(tids[target_plan], tsel_cols),
+                }),
+            });
+            self.trace.push(
+                TransformKind::RelationalToRelational,
+                "COMBINE TABLES (DENORMALISE)",
+                format!(
+                    "fact {} duplicates {} attributes into {}",
+                    self.schema.fact_type(fid).name,
+                    self.plans[target_plan].name.clone(),
+                    self.plans[plan].name.clone()
+                ),
+                vec![],
+            );
+        }
+        Ok(())
+    }
+}

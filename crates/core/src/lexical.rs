@@ -1,0 +1,219 @@
+//! Lexical representation choice and column naming (§4.2.3).
+//!
+//! "RIDL-M selects for each NOLOT the 'smallest' lexical representation
+//! type … Since this limits the freedom of the database engineer,
+//! flexibility needs to be added to allow selection for each NOLOT of the
+//! preferred lexical representation."
+//!
+//! Column names follow the paper's generated schemas: the value player's
+//! name suffixed with its role name (`Person_presenting`,
+//! `Session_comprising`, `Title_of`), `_Is` columns for sublinks
+//! (`Paper_ProgramId_Is`), and `Is_<Subtype>` indicator attributes.
+
+use std::collections::HashMap;
+
+use ridl_analyzer::{LexicalRep, ReferenceAnalysis};
+use ridl_brm::{ObjectTypeId, RoleRef, Schema, Side};
+
+use crate::grouping::MapError;
+use crate::options::MappingOptions;
+
+/// The chosen representation per object type.
+#[derive(Clone, Debug, Default)]
+pub struct LexicalChoice {
+    chosen: HashMap<u32, LexicalRep>,
+}
+
+impl LexicalChoice {
+    /// The representation chosen for an object type, if any.
+    pub fn rep_of(&self, ot: ObjectTypeId) -> Option<&LexicalRep> {
+        self.chosen.get(&ot.raw())
+    }
+
+    /// Requires a representation.
+    pub fn require(&self, schema: &Schema, ot: ObjectTypeId) -> Result<&LexicalRep, MapError> {
+        self.rep_of(ot).ok_or_else(|| MapError {
+            message: format!(
+                "object type {} has no lexical representation; run RIDL-A",
+                schema.ot_name(ot)
+            ),
+        })
+    }
+}
+
+/// Resolves the lexical option: the smallest representation by default,
+/// honouring per-NOLOT overrides.
+pub fn choose_reps(
+    schema: &Schema,
+    analysis: &ReferenceAnalysis,
+    options: &MappingOptions,
+) -> Result<LexicalChoice, MapError> {
+    let mut chosen = HashMap::new();
+    for (oid, ot) in schema.object_types() {
+        if ot.kind.is_lot() {
+            continue; // LOTs are their own representation, never anchored
+        }
+        let reps = analysis.reps_of(oid);
+        if reps.is_empty() {
+            continue; // non-referable: grouping decides whether that matters
+        }
+        let rep = match options.lexical_overrides.get(&oid) {
+            Some(&idx) => reps.get(idx).ok_or_else(|| MapError {
+                message: format!(
+                    "lexical override {idx} out of range for {} ({} representations)",
+                    ot.name,
+                    reps.len()
+                ),
+            })?,
+            None => analysis.smallest(schema, oid).expect("non-empty reps"),
+        };
+        chosen.insert(oid.raw(), rep.clone());
+    }
+    Ok(LexicalChoice { chosen })
+}
+
+/// Column base names for the atoms of a representation: the terminal LOT
+/// name, qualified by intermediate fact names when the path is deep.
+pub fn rep_column_names(schema: &Schema, rep: &LexicalRep) -> Vec<String> {
+    rep.atoms
+        .iter()
+        .map(|atom| {
+            if atom.path.len() <= 1 {
+                schema.ot_name(atom.lot).to_owned()
+            } else {
+                // Deep path: qualify with the first hop's co-player to keep
+                // sibling atoms distinguishable.
+                let via = schema.role_player(atom.path[0].co_role());
+                format!("{}_{}", schema.ot_name(via), schema.ot_name(atom.lot))
+            }
+        })
+        .collect()
+}
+
+/// The paper's attribute naming: value player's name plus the value-side
+/// role name — `Person_presenting`, `Session_comprising`, `Title_of`.
+pub fn attribute_column_name(schema: &Schema, value_role: RoleRef) -> String {
+    let ft = schema.fact_type(value_role.fact);
+    let role = ft.role(value_role.side);
+    let player = schema.ot_name(role.player);
+    if role.name.is_empty() {
+        player.to_owned()
+    } else {
+        format!("{player}_{}", role.name)
+    }
+}
+
+/// The `_Is` column carrying a subtype's own key inside the super-relation
+/// (`Paper_ProgramId_Is` in fig. 6, Alternative 3).
+pub fn sublink_is_column_name(base: &str) -> String {
+    format!("{base}_Is")
+}
+
+/// The indicator attribute name for `SUBOT INDICATOR FOR SUPOT`
+/// (`Is_Invited_Paper` in fig. 6).
+pub fn indicator_column_name(schema: &Schema, sub: ObjectTypeId) -> String {
+    format!("Is_{}", schema.ot_name(sub))
+}
+
+/// Disambiguates a candidate column name against those already used.
+pub fn dedupe_name(used: &[String], candidate: String) -> String {
+    if !used.contains(&candidate) {
+        return candidate;
+    }
+    for i in 2.. {
+        let next = format!("{candidate}_{i}");
+        if !used.contains(&next) {
+            return next;
+        }
+    }
+    unreachable!()
+}
+
+/// Whether the value side of a fact should be read through a rep (entity
+/// co-player) or is directly lexical.
+pub fn value_side_is_lexical(schema: &Schema, value_role: RoleRef) -> bool {
+    let player = schema.role_player(value_role);
+    schema.kind_of(player).data_type().is_some()
+}
+
+/// Convenience: the two roles of a fact as (anchor_role, value_role) given
+/// the anchor side.
+pub fn split_roles(fact: ridl_brm::FactTypeId, anchor_side: Side) -> (RoleRef, RoleRef) {
+    (
+        RoleRef::new(fact, anchor_side),
+        RoleRef::new(fact, anchor_side.other()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_analyzer::reference::infer;
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::DataType;
+
+    fn schema_with_two_reps() -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Person").unwrap();
+        identify(&mut b, "Person", "SSN", DataType::Char(9)).unwrap();
+        b.lot("Full_Name", DataType::Char(60)).unwrap();
+        b.fact("named", ("has_name", "Person"), ("name_of", "Full_Name"))
+            .unwrap();
+        b.unique("named", Side::Left).unwrap();
+        b.unique("named", Side::Right).unwrap();
+        b.total_role("named", Side::Left).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn smallest_rep_is_default() {
+        let s = schema_with_two_reps();
+        let a = infer(&s);
+        let choice = choose_reps(&s, &a, &MappingOptions::new()).unwrap();
+        let p = s.object_type_by_name("Person").unwrap();
+        assert_eq!(choice.rep_of(p).unwrap().byte_width(), 9);
+    }
+
+    #[test]
+    fn override_selects_other_rep() {
+        let s = schema_with_two_reps();
+        let a = infer(&s);
+        let p = s.object_type_by_name("Person").unwrap();
+        let choice = choose_reps(&s, &a, &MappingOptions::new().with_lexical(p, 1)).unwrap();
+        assert_eq!(choice.rep_of(p).unwrap().byte_width(), 60);
+        // Out-of-range override errors.
+        assert!(choose_reps(&s, &a, &MappingOptions::new().with_lexical(p, 9)).is_err());
+    }
+
+    #[test]
+    fn attribute_names_follow_paper_style() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Program_Paper").unwrap();
+        b.lot_nolot("Person", DataType::Char(30)).unwrap();
+        b.fact(
+            "presented",
+            ("presented_by", "Program_Paper"),
+            ("presenting", "Person"),
+        )
+        .unwrap();
+        let s = b.finish().unwrap();
+        let f = s.fact_type_by_name("presented").unwrap();
+        assert_eq!(
+            attribute_column_name(&s, RoleRef::new(f, Side::Right)),
+            "Person_presenting"
+        );
+        assert_eq!(
+            sublink_is_column_name("Paper_ProgramId"),
+            "Paper_ProgramId_Is"
+        );
+        let pp = s.object_type_by_name("Program_Paper").unwrap();
+        assert_eq!(indicator_column_name(&s, pp), "Is_Program_Paper");
+    }
+
+    #[test]
+    fn dedupe_appends_counters() {
+        let used = vec!["A".to_owned(), "A_2".to_owned()];
+        assert_eq!(dedupe_name(&used, "A".into()), "A_3");
+        assert_eq!(dedupe_name(&used, "B".into()), "B");
+    }
+}

@@ -1,0 +1,46 @@
+//! # ridl-core — RIDL-M, the rule-driven mapper
+//!
+//! The kernel of RIDL\* (§3.3, §4): takes a binary conceptual schema and
+//! generates a relational data schema "with additional constraint
+//! specifications for the semantics given in the binary conceptual schema",
+//! under the control of **mapping options** exercised by the database
+//! engineer, and driven by a rule base composing basic schema
+//! transformations:
+//!
+//! * [`options`] — the null-value options (§4.2.1), sublink mapping options
+//!   (§4.2.2, global with per-sublink overrides), lexical representation
+//!   options (§4.2.3), table omission and denormalisation directives;
+//! * [`lexical`] — choice of naming conventions and the paper's column
+//!   naming style (`Person_presenting`, `Paper_ProgramId_Is`, …);
+//! * [`grouping`] — the stepwise synthesis proper, recording every basic
+//!   transformation in a trace;
+//! * [`viewcons`] — carrying the binary constraints that have no classical
+//!   relational counterpart into extended view constraints (`C_EQ$`,
+//!   `C_DE$`, `C_EE$`, `C_CEQ$`, …), including the **lossless rules**;
+//! * [`state_map`] — the executable schema transformation `g` and its
+//!   inverse: populations map to relational states and back, which is how
+//!   the test-suite demonstrates state equivalence (Definitions 1–2, §4.1);
+//! * [`map_report`] — the forwards and backwards map report "essential for
+//!   application programmers" (§4.3);
+//! * [`rulebase`] — the externalised rules driving the engine, including the
+//!   query-information-driven denormalisation pack the paper lists as
+//!   current research (§5);
+//! * [`workbench`] — the RIDL\* facade tying analyzer, mapper and SQL
+//!   generation together.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod grouping;
+pub mod lexical;
+pub mod map_report;
+pub mod options;
+pub mod rulebase;
+pub mod state_map;
+pub mod viewcons;
+pub mod workbench;
+
+pub use grouping::{map_schema, FactRealization, MapError, MappingOutput, SubMembership};
+pub use map_report::MapReport;
+pub use options::{MappingOptions, NullOption, SublinkOption};
+pub use workbench::Workbench;

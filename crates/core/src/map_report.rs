@@ -1,0 +1,424 @@
+//! The map report (§4.3): "a detailed … report \[that\] describes the
+//! complete cross-reference link (in both directions) between the
+//! conceptual binary schema and the generated relational schema."
+//!
+//! * the **forwards map** tells how each binary concept (LOTs, NOLOTs,
+//!   facts, roles, sublinks and constraints) is expressed in the relational
+//!   schema — each fact's entry is an executable SELECT, as in the paper's
+//!   fragment 1;
+//! * the **backwards map** tells, for each relational concept (domain,
+//!   relation, attribute, constraint), the binary concepts it derives from
+//!   (fragment 2).
+//!
+//! "The map report is essential for application programmers … And this
+//! forwards map will also play a key role in ultimately *compiling*
+//! high-level process specifications into relational application programs."
+//! `ridl-engine` executes the forward SELECTs directly, closing that loop.
+
+use ridl_brm::{ObjectTypeKind, Schema, Side};
+use ridl_relational::{ColumnSelection, RelSchema};
+
+use crate::grouping::{ConstraintMapping, FactRealization, MappingOutput, SubMembership};
+
+/// The rendered map report.
+#[derive(Clone, Debug)]
+pub struct MapReport {
+    /// The forwards map text.
+    pub forwards: String,
+    /// The backwards map text.
+    pub backwards: String,
+}
+
+const RULE: &str = "--------------------------------------------------------------------------\n";
+
+/// Renders a column selection in the paper's SELECT style.
+pub fn render_selection(rel: &RelSchema, sel: &ColumnSelection) -> String {
+    let table = rel.table(sel.table);
+    let cols: Vec<&str> = sel
+        .cols
+        .iter()
+        .map(|c| table.column(*c).name.as_str())
+        .collect();
+    let mut s = format!("SELECT {}\n    FROM {}", cols.join(" , "), table.name);
+    let mut conds: Vec<String> = sel
+        .not_null
+        .iter()
+        .map(|c| format!("( {} IS NOT NULL )", table.column(*c).name))
+        .collect();
+    conds.extend(
+        sel.eq
+            .iter()
+            .map(|(c, v)| format!("( {} = {} )", table.column(*c).name, v)),
+    );
+    if !conds.is_empty() {
+        s.push_str(&format!("\n    WHERE {}", conds.join(" AND ")));
+    }
+    s
+}
+
+fn ot_kind_word(kind: ObjectTypeKind) -> &'static str {
+    match kind {
+        ObjectTypeKind::Lot(_) => "LOT",
+        ObjectTypeKind::Nolot => "NOLOT",
+        ObjectTypeKind::LotNolot(_) => "LOT-NOLOT",
+    }
+}
+
+/// The paper's fact description:
+/// `FACT WITH ROLE r1 ON NOLOT A AND ROLE r2 ON LOT B`.
+pub fn describe_fact(schema: &Schema, fid: ridl_brm::FactTypeId) -> String {
+    let ft = schema.fact_type(fid);
+    let part = |side: Side| {
+        let role = ft.role(side);
+        let kind = ot_kind_word(schema.kind_of(role.player));
+        if role.name.is_empty() {
+            format!("ROLE ON {kind} {}", schema.ot_name(role.player))
+        } else {
+            format!(
+                "ROLE {} ON {kind} {}",
+                role.name,
+                schema.ot_name(role.player)
+            )
+        }
+    };
+    format!("FACT WITH {} AND {}", part(Side::Left), part(Side::Right))
+}
+
+fn describe_sublink(schema: &Schema, sid: ridl_brm::SublinkId) -> String {
+    let sl = schema.sublink(sid);
+    format!(
+        "SUBLINK IS FROM NOLOT {} TO NOLOT {}",
+        schema.ot_name(sl.sub),
+        schema.ot_name(sl.sup)
+    )
+}
+
+fn describe_constraint(schema: &Schema, cid: ridl_brm::ConstraintId) -> String {
+    let c = schema.constraint(cid);
+    let roles = c.kind.referenced_roles();
+    let role_list: Vec<String> = roles.iter().map(|r| schema.role_display(*r)).collect();
+    if role_list.is_empty() {
+        format!("{} {cid}", c.kind.keyword())
+    } else {
+        format!("{} : {}", c.kind.keyword(), role_list.join(" AND "))
+    }
+}
+
+impl MapReport {
+    /// Builds both report directions from a mapping output.
+    pub fn new(out: &MappingOutput) -> Self {
+        Self {
+            forwards: forwards(out),
+            backwards: backwards(out),
+        }
+    }
+}
+
+fn forwards(out: &MappingOutput) -> String {
+    let schema = &out.schema;
+    let rel = &out.rel;
+    let mut s = String::from("FORWARDS MAP\n");
+    s.push_str(RULE);
+
+    // Object types.
+    for (oid, ot) in schema.object_types() {
+        s.push_str(&format!(
+            "{} {}\n    MAPPED TO\n",
+            ot_kind_word(ot.kind),
+            ot.name
+        ));
+        match out.anchor_of(oid) {
+            Some(a) => {
+                let sel = ColumnSelection::of(a.table, a.key_cols.clone());
+                s.push_str(&format!(
+                    "    {}\n",
+                    render_selection(rel, &sel).replace('\n', "\n    ")
+                ));
+            }
+            None => {
+                // Attribute-like or absorbed: population is derived.
+                let cols: Vec<String> = out
+                    .col_sources
+                    .iter()
+                    .filter(|(_, lot)| **lot == oid)
+                    .map(|((t, c), _)| {
+                        format!(
+                            "{}.{}",
+                            rel.table(ridl_relational::TableId(*t)).name,
+                            rel.table(ridl_relational::TableId(*t)).column(*c).name
+                        )
+                    })
+                    .collect();
+                if cols.is_empty() {
+                    s.push_str("    (population not stored)\n");
+                } else {
+                    let mut cols = cols;
+                    cols.sort();
+                    s.push_str(&format!("    VALUES OCCURRING IN {}\n", cols.join(" , ")));
+                }
+            }
+        }
+        s.push_str(RULE);
+    }
+
+    // Facts.
+    for (fid, _) in schema.fact_types() {
+        s.push_str(&format!("{}\n    MAPPED TO\n", describe_fact(schema, fid)));
+        match out.realization(fid) {
+            FactRealization::Omitted => s.push_str("    (omitted by option)\n"),
+            FactRealization::KeyOf { table, cols, .. } => {
+                let info = &out.anchors[&key_anchor(out, fid)];
+                let mut sel_cols = info.key_cols.clone();
+                for c in cols {
+                    if !sel_cols.contains(c) {
+                        sel_cols.push(*c);
+                    }
+                }
+                let sel = ColumnSelection::of(*table, sel_cols);
+                s.push_str(&format!(
+                    "    {}\n",
+                    render_selection(rel, &sel).replace('\n', "\n    ")
+                ));
+            }
+            FactRealization::Attribute {
+                table,
+                key_cols,
+                value_cols,
+                optional,
+                ..
+            } => {
+                let mut cols = key_cols.clone();
+                cols.extend(value_cols);
+                let mut sel = ColumnSelection::of(*table, cols);
+                if *optional {
+                    sel = sel.where_not_null(value_cols.clone());
+                }
+                s.push_str(&format!(
+                    "    {}\n",
+                    render_selection(rel, &sel).replace('\n', "\n    ")
+                ));
+            }
+            FactRealization::OwnTable {
+                table,
+                left_cols,
+                right_cols,
+            } => {
+                let mut cols = left_cols.clone();
+                cols.extend(right_cols);
+                let sel = ColumnSelection::of(*table, cols);
+                s.push_str(&format!(
+                    "    {}\n",
+                    render_selection(rel, &sel).replace('\n', "\n    ")
+                ));
+            }
+        }
+        s.push_str(RULE);
+    }
+
+    // Sublinks.
+    for (sid, sl) in schema.sublinks() {
+        s.push_str(&format!(
+            "{}\n    MAPPED TO\n",
+            describe_sublink(schema, sid)
+        ));
+        match &out.sub_memb[sid.index()] {
+            None => s.push_str("    (membership unrepresented)\n"),
+            Some(m) => {
+                if let Some(sel) = out.membership_selection(schema, sid) {
+                    s.push_str(&format!(
+                        "    {}\n",
+                        render_selection(rel, &sel).replace('\n', "\n    ")
+                    ));
+                }
+                if let SubMembership::OwnKeyLinked {
+                    super_table,
+                    is_cols,
+                    ..
+                } = m
+                {
+                    // The paper shows the `_Is` pairing select.
+                    let sup_host = out.host_of(sl.sup);
+                    if let Some(a) = out.anchor_of(sup_host) {
+                        let mut cols = is_cols.clone();
+                        cols.extend(&a.key_cols);
+                        let sel =
+                            ColumnSelection::of(*super_table, cols).where_not_null(is_cols.clone());
+                        s.push_str(&format!(
+                            "    PAIRED BY\n    {}\n",
+                            render_selection(rel, &sel).replace('\n', "\n    ")
+                        ));
+                    }
+                }
+            }
+        }
+        s.push_str(RULE);
+    }
+
+    // Constraints.
+    for (cid, _) in schema.constraints() {
+        s.push_str(&format!(
+            "{}\n    MAPPED TO\n",
+            describe_constraint(schema, cid)
+        ));
+        match &out.constraint_map[cid.index()] {
+            ConstraintMapping::Relational(names) => {
+                for n in names {
+                    s.push_str(&format!("    CONSTRAINT {n}\n"));
+                }
+            }
+            ConstraintMapping::Absorbed(why) => s.push_str(&format!("    (absorbed: {why})\n")),
+            ConstraintMapping::Unexpressed(why) => {
+                s.push_str(&format!("    (NOT EXPRESSED: {why})\n"))
+            }
+        }
+        s.push_str(RULE);
+    }
+    s
+}
+
+fn key_anchor(out: &MappingOutput, fid: ridl_brm::FactTypeId) -> u32 {
+    match out.realization(fid) {
+        FactRealization::KeyOf { anchor, .. } => anchor.raw(),
+        _ => unreachable!("caller checked realization"),
+    }
+}
+
+fn backwards(out: &MappingOutput) -> String {
+    let schema = &out.schema;
+    let rel = &out.rel;
+    let mut s = String::from("BACKWARDS MAP\n");
+    s.push_str(RULE);
+
+    for (tid, table) in rel.tables() {
+        // Table derivation: every fact/sublink realised in it.
+        s.push_str(&format!("TABLE {}\n    DERIVED FROM\n", table.name));
+        for (oid, _) in schema.object_types() {
+            if out.anchor_of(oid).map(|a| a.table) == Some(tid) {
+                s.push_str(&format!(
+                    "    {} {}\n",
+                    ot_kind_word(schema.kind_of(oid)),
+                    schema.ot_name(oid)
+                ));
+            }
+        }
+        for (fid, _) in schema.fact_types() {
+            let touches = match out.realization(fid) {
+                FactRealization::KeyOf { table: t, .. }
+                | FactRealization::Attribute { table: t, .. }
+                | FactRealization::OwnTable { table: t, .. } => *t == tid,
+                FactRealization::Omitted => false,
+            };
+            if touches {
+                s.push_str(&format!("    {} ,\n", describe_fact(schema, fid)));
+            }
+        }
+        for (sid, _) in schema.sublinks() {
+            let touches = match &out.sub_memb[sid.index()] {
+                Some(SubMembership::SubRelation { table, .. }) => *table == tid,
+                Some(SubMembership::OwnKeyLinked {
+                    table, super_table, ..
+                }) => *table == tid || *super_table == tid,
+                Some(SubMembership::LinkTable {
+                    table, link_table, ..
+                }) => *table == tid || *link_table == tid,
+                Some(SubMembership::AbsorbedColumns { table, .. }) => *table == tid,
+                Some(SubMembership::Indicator { table, .. }) => *table == tid,
+                None => false,
+            };
+            if touches {
+                s.push_str(&format!("    {} ,\n", describe_sublink(schema, sid)));
+            }
+        }
+        s.push_str(RULE);
+
+        // Column derivations.
+        for (ci, col) in table.columns.iter().enumerate() {
+            let ci = ci as u32;
+            s.push_str(&format!(
+                "COLUMN {} IN TABLE {}\n    DERIVED FROM\n",
+                col.name, table.name
+            ));
+            let mut any = false;
+            if let Some(lot) = out.col_sources.get(&(tid.0, ci)) {
+                s.push_str(&format!(
+                    "    {} {} ,\n",
+                    ot_kind_word(schema.kind_of(*lot)),
+                    schema.ot_name(*lot)
+                ));
+                any = true;
+            }
+            for (fid, _) in schema.fact_types() {
+                let uses = match out.realization(fid) {
+                    FactRealization::KeyOf { table: t, cols, .. } => {
+                        *t == tid && cols.contains(&ci)
+                    }
+                    FactRealization::Attribute {
+                        table: t,
+                        value_cols,
+                        ..
+                    } => *t == tid && value_cols.contains(&ci),
+                    FactRealization::OwnTable {
+                        table: t,
+                        left_cols,
+                        right_cols,
+                    } => *t == tid && (left_cols.contains(&ci) || right_cols.contains(&ci)),
+                    FactRealization::Omitted => false,
+                };
+                if uses {
+                    s.push_str(&format!("    {} ,\n", describe_fact(schema, fid)));
+                    any = true;
+                }
+            }
+            for (sid, _) in schema.sublinks() {
+                let uses = match &out.sub_memb[sid.index()] {
+                    Some(SubMembership::LinkTable { link_table, .. }) => *link_table == tid,
+                    Some(SubMembership::OwnKeyLinked {
+                        super_table,
+                        is_cols,
+                        ..
+                    }) => *super_table == tid && is_cols.contains(&ci),
+                    Some(SubMembership::Indicator { table, col, .. }) => {
+                        *table == tid && *col == ci
+                    }
+                    _ => false,
+                };
+                if uses {
+                    s.push_str(&format!("    {} ,\n", describe_sublink(schema, sid)));
+                    any = true;
+                }
+            }
+            if !any {
+                s.push_str("    (structural)\n");
+            }
+            s.push_str(RULE);
+        }
+    }
+
+    // Relational constraints back to binary concepts.
+    for rc in &rel.constraints {
+        s.push_str(&format!("CONSTRAINT {}\n    DERIVED FROM\n", rc.name));
+        let mut any = false;
+        for (cid, _) in schema.constraints() {
+            if let ConstraintMapping::Relational(names) = &out.constraint_map[cid.index()] {
+                if names.contains(&rc.name) {
+                    s.push_str(&format!("    {}\n", describe_constraint(schema, cid)));
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            // Structural constraints: find the trace step that produced it.
+            for step in out.trace.steps() {
+                if step.lossless_rules.iter().any(|r| r == &rc.name) {
+                    s.push_str(&format!("    {} AT {}\n", step.name, step.site));
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            s.push_str("    (structural, from the grouping synthesis)\n");
+        }
+        s.push_str(RULE);
+    }
+    s
+}

@@ -1,0 +1,180 @@
+//! The mapping options (§4.2): the levers the database engineer pulls to
+//! steer the rule-driven transformation process.
+
+use std::collections::{HashMap, HashSet};
+
+use ridl_brm::{FactTypeId, ObjectTypeId, SublinkId};
+
+/// Control on the admissibility of null values in attributes (§4.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum NullOption {
+    /// The default: nulls inadmissible in primary-key attributes (Entity
+    /// Integrity Rule); elsewhere admissible as the binary constraints
+    /// allow.
+    #[default]
+    Default,
+    /// "A very restrictive one; none of the attributes should allow null
+    /// values. … As a consequence, a large number of small tables will in
+    /// general be generated."
+    NullNotAllowed,
+    /// Nulls restricted to attributes not part of a primary or candidate
+    /// key.
+    NullNotInKeys,
+    /// Permits violating the Entity Integrity Rule, so non-homogeneously
+    /// referencible NOLOTs (two or more partial candidate keys, no overall
+    /// primary key) can live in one relation — "some relational database
+    /// systems allow null values also in primary key attributes (ORACLE is
+    /// an example)".
+    NullAllowed,
+}
+
+/// Control on the transformation of sublink types (§4.2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SublinkOption {
+    /// "SUBOT & SUPOT SEPARATE" (default, strong typing): sub-relation and
+    /// super-relation, linked by a foreign key.
+    #[default]
+    Separate,
+    /// "SUBOT & SUPOT TOGETHER": subtype and supertype fact types grouped
+    /// into one relation, trading typing strength for fewer dynamic joins.
+    Together,
+    /// "SUBOT INDICATOR FOR SUPOT": like the default plus an indicator
+    /// attribute in the super-relation — procedural redundancy "presumably
+    /// for the benefit of query efficiency", controlled by a generated
+    /// conditional equality constraint.
+    IndicatorForSupot,
+}
+
+/// A denormalisation directive (the paper's "decision whether to combine
+/// tables", §4.2, and the query-information-driven mapping of §5): absorb
+/// the attributes of the co-player of a functional fact into the anchor's
+/// relation, duplicating them deliberately.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CombineDirective {
+    /// The functional fact along which to denormalise.
+    pub via: FactTypeId,
+    /// Estimated relative query frequency of the join this removes; rule
+    /// packs use it to decide automatically (see `rulebase::denormalise`).
+    pub weight: u32,
+}
+
+/// The full option set for one mapping run.
+#[derive(Clone, Debug, Default)]
+pub struct MappingOptions {
+    /// Null-value admissibility.
+    pub nulls: NullOption,
+    /// Global sublink mapping option.
+    pub sublinks: SublinkOption,
+    /// "The sublink mapping option is a global option with exceptions; …
+    /// may be overridden for chosen individual sublink types."
+    pub sublink_overrides: HashMap<SublinkId, SublinkOption>,
+    /// Per-NOLOT choice of lexical representation, as an index into the
+    /// analyzer's representation list (which is ordered smallest-first, so
+    /// `0` is the default choice).
+    pub lexical_overrides: HashMap<ObjectTypeId, usize>,
+    /// Fact types to leave out of the generated schema ("when and how to
+    /// omit certain tables") — their absence is reported in the map report.
+    pub omit_facts: HashSet<FactTypeId>,
+    /// Denormalisation directives (extension; empty by default).
+    pub combine: Vec<CombineDirective>,
+}
+
+impl MappingOptions {
+    /// Options with everything at its default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: sets the null option.
+    pub fn with_nulls(mut self, nulls: NullOption) -> Self {
+        self.nulls = nulls;
+        self
+    }
+
+    /// Builder-style: sets the global sublink option.
+    pub fn with_sublinks(mut self, sublinks: SublinkOption) -> Self {
+        self.sublinks = sublinks;
+        self
+    }
+
+    /// Builder-style: overrides the option for one sublink.
+    pub fn override_sublink(mut self, sublink: SublinkId, option: SublinkOption) -> Self {
+        self.sublink_overrides.insert(sublink, option);
+        self
+    }
+
+    /// Builder-style: picks a lexical representation for a NOLOT.
+    pub fn with_lexical(mut self, ot: ObjectTypeId, rep_index: usize) -> Self {
+        self.lexical_overrides.insert(ot, rep_index);
+        self
+    }
+
+    /// Builder-style: omits a fact type from the generated schema.
+    pub fn omit(mut self, fact: FactTypeId) -> Self {
+        self.omit_facts.insert(fact);
+        self
+    }
+
+    /// The effective sublink option for one sublink.
+    pub fn sublink_option(&self, sublink: SublinkId) -> SublinkOption {
+        self.sublink_overrides
+            .get(&sublink)
+            .copied()
+            .unwrap_or(self.sublinks)
+    }
+
+    /// The paper announces options by name in the RIDL-M interface; this is
+    /// the announcement string.
+    pub fn announce(&self) -> String {
+        let nulls = match self.nulls {
+            NullOption::Default => "NULL BY CONSTRAINTS (DEFAULT)",
+            NullOption::NullNotAllowed => "NULL NOT ALLOWED",
+            NullOption::NullNotInKeys => "NULL NOT ALLOWED IN KEYS",
+            NullOption::NullAllowed => "NULL ALLOWED",
+        };
+        let subs = match self.sublinks {
+            SublinkOption::Separate => "SUBOT & SUPOT SEPARATE",
+            SublinkOption::Together => "SUBOT & SUPOT TOGETHER",
+            SublinkOption::IndicatorForSupot => "SUBOT INDICATOR FOR SUPOT",
+        };
+        format!("{nulls}; {subs}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = MappingOptions::new();
+        assert_eq!(o.nulls, NullOption::Default);
+        assert_eq!(o.sublinks, SublinkOption::Separate);
+        assert!(o.announce().contains("SUBOT & SUPOT SEPARATE"));
+    }
+
+    #[test]
+    fn sublink_override_wins() {
+        let sl = SublinkId::from_raw(3);
+        let o = MappingOptions::new()
+            .with_sublinks(SublinkOption::Together)
+            .override_sublink(sl, SublinkOption::IndicatorForSupot);
+        assert_eq!(o.sublink_option(sl), SublinkOption::IndicatorForSupot);
+        assert_eq!(
+            o.sublink_option(SublinkId::from_raw(0)),
+            SublinkOption::Together
+        );
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let o = MappingOptions::new()
+            .with_nulls(NullOption::NullNotAllowed)
+            .with_lexical(ObjectTypeId::from_raw(1), 2)
+            .omit(FactTypeId::from_raw(5));
+        assert_eq!(o.nulls, NullOption::NullNotAllowed);
+        assert_eq!(o.lexical_overrides[&ObjectTypeId::from_raw(1)], 2);
+        assert!(o.omit_facts.contains(&FactTypeId::from_raw(5)));
+        assert!(o.announce().contains("NULL NOT ALLOWED"));
+    }
+}

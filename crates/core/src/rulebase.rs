@@ -1,0 +1,369 @@
+//! The externalised rule base driving the transformation engine.
+//!
+//! "Currently a limited number of these rules are built in and externalized
+//! as options or choices available to the database engineer. … In a later
+//! implementation these rule specifications may in part be extracted from
+//! functional requirements and process specifications … For example, query
+//! information can be used to steer the mapping towards limited
+//! de-normalization whereas right now the database engineer has to infer the
+//! correct RIDL-M controls from his own knowledge" (§4.1), and §5: "we are
+//! currently defining such a set of 'expert' rules to drive the
+//! transformation process."
+//!
+//! This module implements that projected design: [`ExpertRule`]s inspect the
+//! schema, the reference analysis and supplied [`QueryInfo`], and emit
+//! [`RuleAction`]s that adjust the [`MappingOptions`] before the synthesis
+//! runs. The built-in pack covers the denormalisation and sublink heuristics
+//! the paper motivates; users register their own rules alongside.
+
+use std::collections::HashMap;
+
+use ridl_analyzer::ReferenceAnalysis;
+use ridl_brm::{FactTypeId, Schema, Side, SublinkId};
+
+use crate::options::{CombineDirective, MappingOptions, SublinkOption};
+
+/// Query information extracted from "functional requirements and process
+/// specifications": relative access frequencies.
+#[derive(Clone, Debug, Default)]
+pub struct QueryInfo {
+    /// Relative frequency with which each fact type is traversed by queries.
+    pub fact_access: HashMap<FactTypeId, u32>,
+    /// Relative frequency with which each subtype's facts are queried
+    /// together with supertype facts.
+    pub sublink_joint_access: HashMap<SublinkId, u32>,
+}
+
+impl QueryInfo {
+    /// No information: rules that need it stay silent.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Records fact traversal frequency.
+    pub fn with_fact_access(mut self, fact: FactTypeId, weight: u32) -> Self {
+        self.fact_access.insert(fact, weight);
+        self
+    }
+
+    /// Records sub/supertype joint access frequency.
+    pub fn with_joint_access(mut self, sublink: SublinkId, weight: u32) -> Self {
+        self.sublink_joint_access.insert(sublink, weight);
+        self
+    }
+}
+
+/// An action an expert rule proposes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RuleAction {
+    /// Override the mapping option of one sublink.
+    SetSublinkOption(SublinkId, SublinkOption),
+    /// Denormalise along a functional fact.
+    Combine(FactTypeId, u32),
+    /// Omit a fact type from the generated schema.
+    OmitFact(FactTypeId),
+}
+
+/// The context expert rules see.
+pub struct RuleContext<'a> {
+    /// The binary schema.
+    pub schema: &'a Schema,
+    /// The reference analysis.
+    pub analysis: &'a ReferenceAnalysis,
+    /// Query information, possibly empty.
+    pub query: &'a QueryInfo,
+}
+
+/// A rule: a name, a rationale, and a derivation function.
+pub struct ExpertRule {
+    /// Rule name, shown in the firing log.
+    pub name: &'static str,
+    /// Why the rule exists (documentation).
+    pub rationale: &'static str,
+    /// The derivation.
+    pub derive: RuleFn,
+}
+
+/// The derivation function of an expert rule.
+pub type RuleFn = Box<dyn Fn(&RuleContext<'_>) -> Vec<RuleAction> + Send + Sync>;
+
+/// An ordered collection of expert rules.
+pub struct RuleBase {
+    rules: Vec<ExpertRule>,
+}
+
+impl Default for RuleBase {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl RuleBase {
+    /// An empty rule base.
+    pub fn empty() -> Self {
+        Self { rules: Vec::new() }
+    }
+
+    /// The built-in expert rule pack.
+    pub fn builtin() -> Self {
+        let mut rb = Self::empty();
+        rb.add(ExpertRule {
+            name: "together-for-hot-subtypes",
+            rationale: "frequent joint sub/supertype access makes the dynamic \
+                        join of SEPARATE expensive (Inmon's I/O argument, §4); \
+                        group them TOGETHER",
+            derive: Box::new(|ctx| {
+                let mut out = Vec::new();
+                for (sid, _) in ctx.schema.sublinks() {
+                    if ctx
+                        .query
+                        .sublink_joint_access
+                        .get(&sid)
+                        .copied()
+                        .unwrap_or(0)
+                        >= 10
+                    {
+                        out.push(RuleAction::SetSublinkOption(sid, SublinkOption::Together));
+                    }
+                }
+                out
+            }),
+        });
+        rb.add(ExpertRule {
+            name: "indicator-for-membership-tests",
+            rationale: "moderate joint access justifies only the indicator \
+                        redundancy, controlled by a conditional equality \
+                        constraint (§4.2.2)",
+            derive: Box::new(|ctx| {
+                let mut out = Vec::new();
+                for (sid, _) in ctx.schema.sublinks() {
+                    let w = ctx
+                        .query
+                        .sublink_joint_access
+                        .get(&sid)
+                        .copied()
+                        .unwrap_or(0);
+                    if (3..10).contains(&w) {
+                        out.push(RuleAction::SetSublinkOption(
+                            sid,
+                            SublinkOption::IndicatorForSupot,
+                        ));
+                    }
+                }
+                out
+            }),
+        });
+        rb.add(ExpertRule {
+            name: "denormalise-hot-functional-joins",
+            rationale: "a functional fact traversed very frequently is a \
+                        candidate for limited de-normalization steered by \
+                        query information (§4.1)",
+            derive: Box::new(|ctx| {
+                let mut out = Vec::new();
+                for (fid, _) in ctx.schema.fact_types() {
+                    let w = ctx.query.fact_access.get(&fid).copied().unwrap_or(0);
+                    if w < 10 {
+                        continue;
+                    }
+                    // Only functional facts toward an entity co-player are
+                    // join-removing candidates.
+                    let (lu, ru) = ctx.schema.fact_multiplicity(fid);
+                    let side = match (lu, ru) {
+                        (true, false) => Side::Left,
+                        (false, true) => Side::Right,
+                        _ => continue,
+                    };
+                    let co = ctx
+                        .schema
+                        .role_player(ridl_brm::RoleRef::new(fid, side.other()));
+                    if ctx.schema.kind_of(co).is_entity_like() && ctx.analysis.is_referable(co) {
+                        out.push(RuleAction::Combine(fid, w));
+                    }
+                }
+                out
+            }),
+        });
+        rb
+    }
+
+    /// Adds a rule.
+    pub fn add(&mut self, rule: ExpertRule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Runs every rule and folds the actions into the base options.
+    /// Explicit engineer choices win: a rule never overrides an explicit
+    /// per-sublink override or an existing combine directive.
+    /// Returns the adjusted options and a firing log.
+    pub fn derive_options(
+        &self,
+        schema: &Schema,
+        analysis: &ReferenceAnalysis,
+        query: &QueryInfo,
+        base: MappingOptions,
+    ) -> (MappingOptions, Vec<String>) {
+        let ctx = RuleContext {
+            schema,
+            analysis,
+            query,
+        };
+        let mut options = base;
+        let mut log = Vec::new();
+        for rule in &self.rules {
+            for action in (rule.derive)(&ctx) {
+                match action {
+                    RuleAction::SetSublinkOption(sid, opt) => {
+                        if options.sublink_overrides.contains_key(&sid) {
+                            log.push(format!(
+                                "{}: skipped (engineer override on {sid})",
+                                rule.name
+                            ));
+                            continue;
+                        }
+                        options.sublink_overrides.insert(sid, opt);
+                        log.push(format!("{}: {sid} -> {opt:?}", rule.name));
+                    }
+                    RuleAction::Combine(fid, weight) => {
+                        if options.combine.iter().any(|c| c.via == fid) {
+                            continue;
+                        }
+                        options.combine.push(CombineDirective { via: fid, weight });
+                        log.push(format!(
+                            "{}: denormalise along {}",
+                            rule.name,
+                            schema.fact_type(fid).name
+                        ));
+                    }
+                    RuleAction::OmitFact(fid) => {
+                        options.omit_facts.insert(fid);
+                        log.push(format!(
+                            "{}: omit {}",
+                            rule.name,
+                            schema.fact_type(fid).name
+                        ));
+                    }
+                }
+            }
+        }
+        (options, log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_analyzer::reference::infer;
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::DataType;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        b.nolot("Program_Paper").unwrap();
+        b.sublink("Program_Paper", "Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        b.nolot("Person").unwrap();
+        identify(&mut b, "Person", "Name", DataType::Char(30)).unwrap();
+        b.fact(
+            "presented",
+            ("presented_by", "Program_Paper"),
+            ("presents", "Person"),
+        )
+        .unwrap();
+        b.unique("presented", Side::Left).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn hot_sublink_goes_together() {
+        let s = schema();
+        let a = infer(&s);
+        let q = QueryInfo::none().with_joint_access(SublinkId::from_raw(0), 20);
+        let (opts, log) = RuleBase::builtin().derive_options(&s, &a, &q, MappingOptions::new());
+        assert_eq!(
+            opts.sublink_option(SublinkId::from_raw(0)),
+            SublinkOption::Together
+        );
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn moderate_sublink_gets_indicator() {
+        let s = schema();
+        let a = infer(&s);
+        let q = QueryInfo::none().with_joint_access(SublinkId::from_raw(0), 5);
+        let (opts, _) = RuleBase::builtin().derive_options(&s, &a, &q, MappingOptions::new());
+        assert_eq!(
+            opts.sublink_option(SublinkId::from_raw(0)),
+            SublinkOption::IndicatorForSupot
+        );
+    }
+
+    #[test]
+    fn engineer_override_wins_over_rules() {
+        let s = schema();
+        let a = infer(&s);
+        let q = QueryInfo::none().with_joint_access(SublinkId::from_raw(0), 20);
+        let base =
+            MappingOptions::new().override_sublink(SublinkId::from_raw(0), SublinkOption::Separate);
+        let (opts, log) = RuleBase::builtin().derive_options(&s, &a, &q, base);
+        assert_eq!(
+            opts.sublink_option(SublinkId::from_raw(0)),
+            SublinkOption::Separate
+        );
+        assert!(log.iter().any(|l| l.contains("skipped")));
+    }
+
+    #[test]
+    fn hot_functional_fact_denormalised() {
+        let s = schema();
+        let a = infer(&s);
+        let presented = s.fact_type_by_name("presented").unwrap();
+        let q = QueryInfo::none().with_fact_access(presented, 50);
+        let (opts, _) = RuleBase::builtin().derive_options(&s, &a, &q, MappingOptions::new());
+        assert!(opts.combine.iter().any(|c| c.via == presented));
+    }
+
+    #[test]
+    fn silent_without_query_info() {
+        let s = schema();
+        let a = infer(&s);
+        let (opts, log) =
+            RuleBase::builtin().derive_options(&s, &a, &QueryInfo::none(), MappingOptions::new());
+        assert!(opts.sublink_overrides.is_empty());
+        assert!(opts.combine.is_empty());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn custom_rule_participates() {
+        let s = schema();
+        let a = infer(&s);
+        let mut rb = RuleBase::empty();
+        assert!(rb.is_empty());
+        rb.add(ExpertRule {
+            name: "omit-everything-named-presented",
+            rationale: "test",
+            derive: Box::new(|ctx| {
+                ctx.schema
+                    .fact_types()
+                    .filter(|(_, f)| f.name == "presented")
+                    .map(|(fid, _)| RuleAction::OmitFact(fid))
+                    .collect()
+            }),
+        });
+        assert_eq!(rb.len(), 1);
+        let (opts, _) = rb.derive_options(&s, &a, &QueryInfo::none(), MappingOptions::new());
+        assert_eq!(opts.omit_facts.len(), 1);
+    }
+}

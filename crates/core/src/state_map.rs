@@ -1,0 +1,762 @@
+//! The executable schema transformation `g : STATES(S1) → STATES(S2)` and
+//! its inverse (§4.1, Definitions 1–2).
+//!
+//! [`map_population`] realises `g`: a population of the binary schema
+//! becomes a state of the generated relational schema. [`unmap_state`] is
+//! `g⁻¹`. Because entity surrogates "never appear in the generated
+//! relational schema" (§4.2.3), the inverse reconstructs entities from
+//! their lexical reference values; round trips therefore agree *up to
+//! entity renaming*, and [`equivalent`] compares populations modulo that
+//! renaming. The property tests over these functions are this
+//! reproduction's stand-in for the paper's (promised but unpublished)
+//! losslessness proofs.
+
+use std::collections::HashMap;
+
+use ridl_analyzer::LexicalRep;
+use ridl_brm::{EntityId, ObjectTypeId, Population, Schema, Side, Value};
+use ridl_relational::{RelState, Row};
+
+use crate::grouping::{FactRealization, MapError, MappingOutput, SubMembership};
+
+/// Resolves the lexical reference tuple of a value under a representation.
+///
+/// For each atom the hops are followed through the population; every hop
+/// must be single-valued (guaranteed by the uniqueness constraints when the
+/// population is a model of the schema).
+pub fn rep_tuple(
+    schema: &Schema,
+    pop: &Population,
+    rep: &LexicalRep,
+    start: &Value,
+) -> Result<Vec<Value>, MapError> {
+    let mut out = Vec::with_capacity(rep.atoms.len());
+    for atom in &rep.atoms {
+        let mut cur = start.clone();
+        for hop in &atom.path {
+            let imgs = pop.co_values(*hop, &cur);
+            match imgs.len() {
+                1 => cur = imgs.into_iter().next().expect("len checked"),
+                0 => {
+                    return Err(MapError::new(format!(
+                        "{cur} has no image through {} while resolving the reference of {}",
+                        schema.fact_type(hop.fact).name,
+                        schema.ot_name(rep.owner)
+                    )))
+                }
+                _ => {
+                    return Err(MapError::new(format!(
+                        "{cur} has several images through {}; reference not functional",
+                        schema.fact_type(hop.fact).name
+                    )))
+                }
+            }
+        }
+        if !cur.is_lexical() {
+            return Err(MapError::new(format!(
+                "reference of {} resolves to non-lexical {cur}",
+                schema.ot_name(rep.owner)
+            )));
+        }
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+fn encode_value(
+    schema: &Schema,
+    out: &MappingOutput,
+    pop: &Population,
+    player: ObjectTypeId,
+    v: &Value,
+) -> Result<Vec<Value>, MapError> {
+    if v.is_lexical() {
+        return Ok(vec![v.clone()]);
+    }
+    let host = out.host_of(player);
+    let rep = out
+        .choice
+        .rep_of(host)
+        .ok_or_else(|| MapError::new(format!("no representation for {}", schema.ot_name(host))))?;
+    rep_tuple(schema, pop, rep, v)
+}
+
+/// The forward state map `g`.
+pub fn map_population(
+    schema: &Schema,
+    out: &MappingOutput,
+    pop: &Population,
+) -> Result<RelState, MapError> {
+    let mut st = RelState::with_tables(out.rel.tables.len());
+    // Row skeletons per anchored entity, keyed by (table raw, entity).
+    let mut rows: HashMap<(u32, Value), Row> = HashMap::new();
+    for (ot_raw, info) in &out.anchors {
+        let ot = ObjectTypeId::from_raw(*ot_raw);
+        let arity = out.rel.table(info.table).arity();
+        for e in pop.objects_of(ot) {
+            let mut row = vec![None; arity];
+            if let Some(rep) = out.choice.rep_of(ot) {
+                let key = rep_tuple(schema, pop, rep, e)?;
+                for (col, val) in info.key_cols.iter().zip(key) {
+                    row[*col as usize] = Some(val);
+                }
+            }
+            // Partial-reference anchors (NULL ALLOWED) are keyed through
+            // their KeyOf realisations below.
+            rows.insert((info.table.0, e.clone()), row);
+        }
+    }
+
+    // Fill columns from fact realisations.
+    for (fid, ft) in schema.fact_types() {
+        match out.realization(fid) {
+            FactRealization::Omitted => {}
+            FactRealization::KeyOf {
+                table,
+                anchor,
+                anchor_side,
+                cols,
+            } => {
+                // Key columns were placed from the rep; partial anchors
+                // (rep-less) fill them here from the fact itself.
+                if out.choice.rep_of(*anchor).is_some() {
+                    continue;
+                }
+                for (l, r) in pop.facts_of(fid) {
+                    let (e, v) = match anchor_side {
+                        Side::Left => (l, r),
+                        Side::Right => (r, l),
+                    };
+                    if let Some(row) = rows.get_mut(&(table.0, e.clone())) {
+                        row[cols[0] as usize] = Some(v.clone());
+                    }
+                }
+            }
+            FactRealization::Attribute {
+                table,
+                anchor_side,
+                value_cols,
+                ..
+            } => {
+                let value_player = ft.player(anchor_side.other());
+                for (l, r) in pop.facts_of(fid) {
+                    let (e, v) = match anchor_side {
+                        Side::Left => (l, r),
+                        Side::Right => (r, l),
+                    };
+                    let encoded = encode_value(schema, out, pop, value_player, v)?;
+                    let Some(row) = rows.get_mut(&(table.0, e.clone())) else {
+                        return Err(MapError::new(format!(
+                            "fact {}: {e} has no anchor row",
+                            ft.name
+                        )));
+                    };
+                    for (col, val) in value_cols.iter().zip(encoded) {
+                        row[*col as usize] = Some(val);
+                    }
+                }
+            }
+            FactRealization::OwnTable {
+                table,
+                left_cols,
+                right_cols,
+            } => {
+                let arity = out.rel.table(*table).arity();
+                for (l, r) in pop.facts_of(fid) {
+                    let mut row = vec![None; arity];
+                    let le = encode_value(schema, out, pop, ft.player(Side::Left), l)?;
+                    let re = encode_value(schema, out, pop, ft.player(Side::Right), r)?;
+                    for (col, val) in left_cols.iter().zip(le) {
+                        row[*col as usize] = Some(val);
+                    }
+                    for (col, val) in right_cols.iter().zip(re) {
+                        row[*col as usize] = Some(val);
+                    }
+                    st.insert(*table, row);
+                }
+            }
+        }
+    }
+
+    // Sublink memberships.
+    for (sid, sl) in schema.sublinks() {
+        let Some(memb) = &out.sub_memb[sid.index()] else {
+            continue;
+        };
+        fill_membership(schema, out, pop, sl.sub, memb, &mut rows)?;
+    }
+
+    for ((traw, _), row) in rows {
+        st.insert(ridl_relational::TableId(traw), row);
+    }
+
+    // Fill the denormalised duplicate columns (combine directives): for a
+    // row whose determinant is set, copy the target row's source values.
+    for rec in &out.combines {
+        let target_rows: Vec<Row> = st.rows(rec.target_table).iter().cloned().collect();
+        let source_rows: Vec<Row> = st.rows(rec.table).iter().cloned().collect();
+        for row in source_rows {
+            let det: Option<Vec<Value>> = rec
+                .det_cols
+                .iter()
+                .map(|c| row[*c as usize].clone())
+                .collect();
+            let Some(det) = det else { continue };
+            let target = target_rows.iter().find(|t| {
+                rec.target_key_cols
+                    .iter()
+                    .zip(det.iter())
+                    .all(|(c, v)| t[*c as usize].as_ref() == Some(v))
+            });
+            let Some(target) = target else { continue };
+            let mut filled = row.clone();
+            for (dup, src) in rec.dup_cols.iter().zip(&rec.target_src_cols) {
+                filled[*dup as usize] = target[*src as usize].clone();
+            }
+            if filled != row {
+                st.remove(rec.table, &row);
+                st.insert(rec.table, filled);
+            }
+        }
+    }
+    Ok(st)
+}
+
+fn fill_membership(
+    schema: &Schema,
+    out: &MappingOutput,
+    pop: &Population,
+    sub: ObjectTypeId,
+    memb: &SubMembership,
+    rows: &mut HashMap<(u32, Value), Row>,
+) -> Result<(), MapError> {
+    match memb {
+        SubMembership::SubRelation { .. } | SubMembership::AbsorbedColumns { .. } => {
+            // Row presence / absorbed columns already realised.
+            Ok(())
+        }
+        SubMembership::LinkTable {
+            link_table,
+            link_sub_cols,
+            link_sup_cols,
+            ..
+        } => {
+            // One link row per subtype instance, pairing both keys. The
+            // link rows live outside the anchor-row map; emit directly is
+            // not possible here, so stash them as extra rows keyed by a
+            // synthetic entity (the subtype instance itself).
+            let sub_rep = out
+                .choice
+                .rep_of(sub)
+                .ok_or_else(|| MapError::new("link-table subtype without representation"))?;
+            let sup = schema
+                .supertypes_of(sub)
+                .into_iter()
+                .next()
+                .ok_or_else(|| MapError::new("link-table subtype without supertype"))?;
+            let sup_rep = out
+                .choice
+                .rep_of(out.host_of(sup))
+                .ok_or_else(|| MapError::new("link-table supertype without representation"))?;
+            let arity = out.rel.table(*link_table).arity();
+            for e in pop.objects_of(sub) {
+                let sub_key = rep_tuple(schema, pop, sub_rep, e)?;
+                let sup_key = rep_tuple(schema, pop, sup_rep, e)?;
+                let mut row = vec![None; arity];
+                for (c, v) in link_sub_cols.iter().zip(sub_key) {
+                    row[*c as usize] = Some(v);
+                }
+                for (c, v) in link_sup_cols.iter().zip(sup_key) {
+                    row[*c as usize] = Some(v);
+                }
+                rows.insert((link_table.0, e.clone()), row);
+            }
+            Ok(())
+        }
+        SubMembership::OwnKeyLinked {
+            super_table,
+            is_cols,
+            ..
+        } => {
+            let rep = out
+                .choice
+                .rep_of(sub)
+                .ok_or_else(|| MapError::new("own-key subtype without representation"))?;
+            for e in pop.objects_of(sub) {
+                let key = rep_tuple(schema, pop, rep, e)?;
+                let Some(row) = rows.get_mut(&(super_table.0, e.clone())) else {
+                    return Err(MapError::new(format!(
+                        "{e} of {} has no super-relation row",
+                        schema.ot_name(sub)
+                    )));
+                };
+                for (col, val) in is_cols.iter().zip(key) {
+                    row[*col as usize] = Some(val);
+                }
+            }
+            Ok(())
+        }
+        SubMembership::Indicator {
+            table,
+            col,
+            sub: inner,
+        } => {
+            // Every super-relation row gets the flag.
+            let members = pop.objects_of(sub);
+            for ((traw, e), row) in rows.iter_mut() {
+                if *traw == table.0 {
+                    row[*col as usize] = Some(Value::Bool(members.contains(e)));
+                }
+            }
+            if let Some(inner) = inner {
+                fill_membership(schema, out, pop, sub, inner, rows)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The inverse state map `g⁻¹`: reconstructs a population, inventing fresh
+/// entity surrogates keyed by lexical reference tuples.
+pub fn unmap_state(
+    schema: &Schema,
+    out: &MappingOutput,
+    st: &RelState,
+) -> Result<Population, MapError> {
+    let mut pop = Population::new();
+    let mut next: u64 = 1;
+    // (host ot raw, key tuple) -> entity value
+    let mut registry: HashMap<(u32, Vec<Value>), Value> = HashMap::new();
+
+    // Depth in the sublink graph, for supertype-first ordering.
+    let depth = |ot: ObjectTypeId| schema.ancestors_of(ot).len();
+    let mut anchor_order: Vec<(u32, &crate::grouping::AnchorInfo)> =
+        out.anchors.iter().map(|(k, v)| (*k, v)).collect();
+    anchor_order.sort_by_key(|(ot, _)| (depth(ObjectTypeId::from_raw(*ot)), *ot));
+
+    // 1. Entities per anchor row.
+    for (ot_raw, info) in &anchor_order {
+        let ot = ObjectTypeId::from_raw(*ot_raw);
+        let is_subtype = !schema.supertypes_of(ot).is_empty();
+        for row in st.rows(info.table) {
+            let key: Option<Vec<Value>> = info
+                .key_cols
+                .iter()
+                .map(|c| row[*c as usize].clone())
+                .collect();
+            let Some(key) = key else {
+                // Partial-reference rows (NULL ALLOWED) may be partly null;
+                // identify them by the full nullable tuple.
+                let raw_key: Vec<Value> = info
+                    .key_cols
+                    .iter()
+                    .map(|c| row[*c as usize].clone().unwrap_or(Value::Bool(false)))
+                    .collect();
+                let e = registry
+                    .entry((*ot_raw, raw_key))
+                    .or_insert_with(|| {
+                        let e = Value::Entity(EntityId(next));
+                        next += 1;
+                        e
+                    })
+                    .clone();
+                pop.add_object(ot, e);
+                continue;
+            };
+            let e = if is_subtype {
+                // Resolve against the supertype's registered entity.
+                resolve_subtype_entity(schema, out, st, ot, &key, row, &registry).unwrap_or_else(
+                    || {
+                        let e = Value::Entity(EntityId(next));
+                        next += 1;
+                        e
+                    },
+                )
+            } else {
+                let e = Value::Entity(EntityId(next));
+                next += 1;
+                e
+            };
+            registry.entry((*ot_raw, key)).or_insert_with(|| e.clone());
+            pop.add_object(ot, e.clone());
+            // Subtype entities are also supertype instances.
+            for anc in schema.ancestors_of(ot) {
+                pop.add_object(anc, e.clone());
+            }
+        }
+    }
+
+    // 2. Memberships without their own relation.
+    for (sid, sl) in schema.sublinks() {
+        let Some(memb) = &out.sub_memb[sid.index()] else {
+            continue;
+        };
+        let sup_host = out.host_of(sl.sup);
+        let Some(sup_anchor) = out.anchor_of(sup_host) else {
+            continue;
+        };
+        let collect = |filter: &dyn Fn(&Row) -> bool, pop: &mut Population| {
+            for row in st.rows(sup_anchor.table) {
+                if !filter(row) {
+                    continue;
+                }
+                let key: Option<Vec<Value>> = sup_anchor
+                    .key_cols
+                    .iter()
+                    .map(|c| row[*c as usize].clone())
+                    .collect();
+                if let Some(key) = key {
+                    if let Some(e) = registry.get(&(sup_host.raw(), key)) {
+                        pop.add_object(sl.sub, e.clone());
+                    }
+                }
+            }
+        };
+        match memb {
+            SubMembership::AbsorbedColumns { mandatory_cols, .. } => {
+                let mc = mandatory_cols.clone();
+                collect(
+                    &|row| mc.iter().all(|c| row[*c as usize].is_some()),
+                    &mut pop,
+                );
+            }
+            SubMembership::Indicator {
+                col, sub: inner, ..
+            } if inner.is_none() => {
+                let c = *col;
+                collect(&|row| row[c as usize] == Some(Value::Bool(true)), &mut pop);
+            }
+            _ => {}
+        }
+    }
+
+    // 3. Decode facts.
+    for (fid, ft) in schema.fact_types() {
+        match out.realization(fid) {
+            FactRealization::Omitted => {}
+            FactRealization::KeyOf {
+                table,
+                anchor,
+                anchor_side,
+                cols,
+            } => {
+                let info = out.anchor_of(*anchor).expect("key fact implies anchor");
+                let hop_co_player = ft.player(anchor_side.other());
+                for row in st.rows(*table) {
+                    let Some(e) = row_entity(&registry, anchor.raw(), info, row) else {
+                        continue;
+                    };
+                    let vals: Option<Vec<Value>> =
+                        cols.iter().map(|c| row[*c as usize].clone()).collect();
+                    let Some(vals) = vals else { continue };
+                    let v = if schema.kind_of(hop_co_player).data_type().is_some() {
+                        vals[0].clone()
+                    } else {
+                        // Multi-hop reference: the columns are the
+                        // intermediate entity's own reference tuple.
+                        lookup_or_fresh(
+                            &mut registry,
+                            &mut next,
+                            registry_anchor(schema, out, hop_co_player),
+                            vals,
+                            &mut pop,
+                            hop_co_player,
+                            schema,
+                        )
+                    };
+                    add_fact_oriented(&mut pop, schema, fid, *anchor_side, e, v);
+                }
+            }
+            FactRealization::Attribute {
+                table,
+                anchor,
+                anchor_side,
+                value_cols,
+                ..
+            } => {
+                let info = out.anchor_of(*anchor).expect("attribute implies anchor");
+                let value_player = ft.player(anchor_side.other());
+                for row in st.rows(*table) {
+                    let Some(e) = row_entity(&registry, anchor.raw(), info, row) else {
+                        continue;
+                    };
+                    let vals: Option<Vec<Value>> = value_cols
+                        .iter()
+                        .map(|c| row[*c as usize].clone())
+                        .collect();
+                    let Some(vals) = vals else { continue };
+                    let v = decode_value(
+                        schema,
+                        out,
+                        &mut registry,
+                        &mut next,
+                        &mut pop,
+                        value_player,
+                        vals,
+                    );
+                    add_fact_oriented(&mut pop, schema, fid, *anchor_side, e, v);
+                }
+            }
+            FactRealization::OwnTable {
+                table,
+                left_cols,
+                right_cols,
+            } => {
+                for row in st.rows(*table) {
+                    let lv: Option<Vec<Value>> =
+                        left_cols.iter().map(|c| row[*c as usize].clone()).collect();
+                    let rv: Option<Vec<Value>> = right_cols
+                        .iter()
+                        .map(|c| row[*c as usize].clone())
+                        .collect();
+                    let (Some(lv), Some(rv)) = (lv, rv) else {
+                        continue;
+                    };
+                    let l = decode_value(
+                        schema,
+                        out,
+                        &mut registry,
+                        &mut next,
+                        &mut pop,
+                        ft.player(Side::Left),
+                        lv,
+                    );
+                    let r = decode_value(
+                        schema,
+                        out,
+                        &mut registry,
+                        &mut next,
+                        &mut pop,
+                        ft.player(Side::Right),
+                        rv,
+                    );
+                    pop.add_fact_closed(schema, fid, l, r);
+                }
+            }
+        }
+    }
+    Ok(pop)
+}
+
+/// Finds the supertype entity corresponding to a subtype-relation row.
+///
+/// Same reference scheme: the sub's key equals the super's key. Own scheme
+/// (`OwnKeyLinked`): locate the super row whose `_Is` columns equal the
+/// sub's key and take its key.
+fn resolve_subtype_entity(
+    schema: &Schema,
+    out: &MappingOutput,
+    st: &RelState,
+    sub: ObjectTypeId,
+    key: &[Value],
+    _row: &Row,
+    registry: &HashMap<(u32, Vec<Value>), Value>,
+) -> Option<Value> {
+    for (sid, sl) in schema.sublinks() {
+        if sl.sub != sub {
+            continue;
+        }
+        let sup_host = out.host_of(sl.sup);
+        let sup_anchor = out.anchor_of(sup_host)?;
+        let memb = out.sub_memb[sid.index()].as_ref()?;
+        let memb = match memb {
+            SubMembership::Indicator {
+                sub: Some(inner), ..
+            } => inner.as_ref(),
+            other => other,
+        };
+        match memb {
+            SubMembership::SubRelation { .. } => {
+                if let Some(e) = registry.get(&(sup_host.raw(), key.to_vec())) {
+                    return Some(e.clone());
+                }
+            }
+            SubMembership::LinkTable {
+                link_table,
+                link_sub_cols,
+                link_sup_cols,
+                ..
+            } => {
+                for lrow in st.rows(*link_table) {
+                    let sub_vals: Option<Vec<Value>> = link_sub_cols
+                        .iter()
+                        .map(|c| lrow[*c as usize].clone())
+                        .collect();
+                    if sub_vals.as_deref() == Some(key) {
+                        let sup_key: Option<Vec<Value>> = link_sup_cols
+                            .iter()
+                            .map(|c| lrow[*c as usize].clone())
+                            .collect();
+                        if let Some(sup_key) = sup_key {
+                            if let Some(e) = registry.get(&(sup_host.raw(), sup_key)) {
+                                return Some(e.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            SubMembership::OwnKeyLinked { is_cols, .. } => {
+                for srow in st.rows(sup_anchor.table) {
+                    let is_vals: Option<Vec<Value>> =
+                        is_cols.iter().map(|c| srow[*c as usize].clone()).collect();
+                    if is_vals.as_deref() == Some(key) {
+                        let sup_key: Option<Vec<Value>> = sup_anchor
+                            .key_cols
+                            .iter()
+                            .map(|c| srow[*c as usize].clone())
+                            .collect();
+                        if let Some(sup_key) = sup_key {
+                            if let Some(e) = registry.get(&(sup_host.raw(), sup_key)) {
+                                return Some(e.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn row_entity(
+    registry: &HashMap<(u32, Vec<Value>), Value>,
+    ot_raw: u32,
+    info: &crate::grouping::AnchorInfo,
+    row: &Row,
+) -> Option<Value> {
+    let key: Option<Vec<Value>> = info
+        .key_cols
+        .iter()
+        .map(|c| row[*c as usize].clone())
+        .collect();
+    match key {
+        Some(key) => registry.get(&(ot_raw, key)).cloned(),
+        None => {
+            let raw_key: Vec<Value> = info
+                .key_cols
+                .iter()
+                .map(|c| row[*c as usize].clone().unwrap_or(Value::Bool(false)))
+                .collect();
+            registry.get(&(ot_raw, raw_key)).cloned()
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lookup_or_fresh(
+    registry: &mut HashMap<(u32, Vec<Value>), Value>,
+    next: &mut u64,
+    host_raw: u32,
+    key: Vec<Value>,
+    pop: &mut Population,
+    player: ObjectTypeId,
+    schema: &Schema,
+) -> Value {
+    let e = registry
+        .entry((host_raw, key))
+        .or_insert_with(|| {
+            let e = Value::Entity(EntityId(*next));
+            *next += 1;
+            e
+        })
+        .clone();
+    pop.add_object(player, e.clone());
+    let _ = schema;
+    e
+}
+
+/// The object type under which an entity was registered during row
+/// decoding: the nearest *anchored* type among the player's host and its
+/// ancestors. Fact-less subtypes (indicator- or membership-only) share the
+/// registry entries of their anchored supertype, whose reference scheme
+/// they inherit.
+fn registry_anchor(schema: &Schema, out: &MappingOutput, player: ObjectTypeId) -> u32 {
+    let host = out.host_of(player);
+    for anc in schema.ancestors_of(host) {
+        if out.anchor_of(anc).is_some() {
+            return anc.raw();
+        }
+    }
+    host.raw()
+}
+
+fn decode_value(
+    schema: &Schema,
+    out: &MappingOutput,
+    registry: &mut HashMap<(u32, Vec<Value>), Value>,
+    next: &mut u64,
+    pop: &mut Population,
+    player: ObjectTypeId,
+    vals: Vec<Value>,
+) -> Value {
+    if schema.kind_of(player).data_type().is_some() {
+        return vals
+            .into_iter()
+            .next()
+            .expect("lexical value has one column");
+    }
+    let owner = registry_anchor(schema, out, player);
+    lookup_or_fresh(registry, next, owner, vals, pop, player, schema)
+}
+
+fn add_fact_oriented(
+    pop: &mut Population,
+    schema: &Schema,
+    fid: ridl_brm::FactTypeId,
+    anchor_side: Side,
+    e: Value,
+    v: Value,
+) {
+    match anchor_side {
+        Side::Left => pop.add_fact_closed(schema, fid, e, v),
+        Side::Right => pop.add_fact_closed(schema, fid, v, e),
+    }
+}
+
+/// Renames every entity to a canonical id derived from its lexical
+/// reference tuple, making populations comparable after a round trip.
+pub fn canonicalize(
+    schema: &Schema,
+    out: &MappingOutput,
+    pop: &Population,
+) -> Result<Population, MapError> {
+    // Identity anchor of an entity: the anchored object type with the
+    // smallest id whose population contains it and whose rep resolves.
+    let mut keys: Vec<((u32, Vec<Value>), EntityId)> = Vec::new();
+    let mut seen: HashMap<EntityId, ()> = HashMap::new();
+    for ot_raw in out.anchors.keys() {
+        let ot = ObjectTypeId::from_raw(*ot_raw);
+        let Some(rep) = out.choice.rep_of(ot) else {
+            continue;
+        };
+        for v in pop.objects_of(ot) {
+            let Some(e) = v.as_entity() else { continue };
+            if seen.contains_key(&e) {
+                continue;
+            }
+            if let Ok(tuple) = rep_tuple(schema, pop, rep, v) {
+                seen.insert(e, ());
+                keys.push((((*ot_raw), tuple), e));
+            }
+        }
+    }
+    keys.sort();
+    let mut renaming: HashMap<EntityId, EntityId> = HashMap::new();
+    for (i, (_, e)) in keys.iter().enumerate() {
+        renaming.insert(*e, EntityId(i as u64 + 1));
+    }
+    Ok(pop.rename_entities(&renaming))
+}
+
+/// Compares two populations modulo entity renaming.
+pub fn equivalent(
+    schema: &Schema,
+    out: &MappingOutput,
+    a: &Population,
+    b: &Population,
+) -> Result<bool, MapError> {
+    let ca = canonicalize(schema, out, a)?.compacted();
+    let cb = canonicalize(schema, out, b)?.compacted();
+    Ok(ca == cb)
+}

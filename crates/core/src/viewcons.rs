@@ -1,0 +1,408 @@
+//! Carrying the binary constraints into the relational schema (naive
+//! algorithm step 5 — "this is not as easy as it sounds", §4).
+//!
+//! Constraints "often considered as first class citizens in the conceptual
+//! modelling seem to become pariahs during the transformation process.
+//! Only constraint types with a corresponding constraint type in the
+//! relational model (e.g. functional dependency, foreign keys) are
+//! conserved" (§4) — RIDL-M's answer is to emit the rest as extended view
+//! constraints. This module decides, per binary constraint, whether it is
+//! *absorbed* by the structure (NOT NULL, keys, foreign keys), *expressible*
+//! as a view constraint over the realised columns, or must be *noted* as
+//! unexpressed for the application designer; the verdict is recorded in the
+//! [`ConstraintMapping`] table that feeds the map report.
+
+use ridl_brm::{ConstraintKind, ObjectTypeId, RoleOrSublink, RoleRef, Schema, Side};
+use ridl_relational::{ColumnSelection, RelConstraintKind, RelSchema, TableId};
+
+use crate::grouping::{ConstraintMapping, FactRealization, MappingOutput};
+
+/// The population selection of an object type: its anchor's keys, or the
+/// membership selection when it is a subtype without its own relation.
+fn population_selection(
+    schema: &Schema,
+    out: &MappingOutput,
+    ot: ObjectTypeId,
+) -> Option<ColumnSelection> {
+    if let Some(a) = out.anchor_of(ot) {
+        return Some(ColumnSelection::of(a.table, a.key_cols.clone()));
+    }
+    // A subtype hosted elsewhere: its population is its membership.
+    for (sid, sl) in schema.sublinks() {
+        if sl.sub == ot {
+            if let Some(sel) = out.membership_selection(schema, sid) {
+                return Some(sel);
+            }
+        }
+    }
+    None
+}
+
+fn item_selection(
+    schema: &Schema,
+    out: &MappingOutput,
+    item: &RoleOrSublink,
+) -> Option<ColumnSelection> {
+    match item {
+        RoleOrSublink::Role(r) => out.role_selection(*r),
+        RoleOrSublink::Sublink(s) => out.membership_selection(schema, *s),
+    }
+}
+
+/// Whether a total-role constraint over `role` is already structural:
+/// the fact is a key of its anchor, or a NOT NULL attribute group.
+fn totality_absorbed(out: &MappingOutput, role: RoleRef) -> bool {
+    match out.realization(role.fact) {
+        // A key fact's anchor side is total by construction (every anchor
+        // row carries its key); its value side projects the same columns,
+        // and the LOT population is by construction the values in use.
+        FactRealization::KeyOf { .. } => true,
+        FactRealization::Attribute {
+            anchor_side,
+            optional,
+            ..
+        } => *anchor_side == role.side && !optional,
+        _ => false,
+    }
+}
+
+/// Finds the name of a key constraint over exactly these columns.
+fn find_key_name(rel: &RelSchema, table: TableId, cols: &[u32]) -> Option<String> {
+    rel.constraints.iter().find_map(|c| match &c.kind {
+        RelConstraintKind::PrimaryKey { table: t, cols: k }
+        | RelConstraintKind::CandidateKey { table: t, cols: k }
+            if *t == table && k == cols =>
+        {
+            Some(c.name.clone())
+        }
+        _ => None,
+    })
+}
+
+/// Emits view constraints for every binary constraint not already realised
+/// structurally; records every constraint's fate in `out.constraint_map`
+/// and appends human-readable notes.
+pub(crate) fn emit(schema: &Schema, out: &mut MappingOutput) {
+    let mut cmap: Vec<ConstraintMapping> = Vec::with_capacity(schema.num_constraints());
+    let mut notes: Vec<String> = Vec::new();
+
+    for (cid, c) in schema.constraints() {
+        let mapping = match &c.kind {
+            ConstraintKind::Uniqueness { roles } => map_uniqueness(schema, out, roles),
+            ConstraintKind::Total { over, items } => map_total(schema, out, *over, items),
+            ConstraintKind::Exclusion { items } => map_exclusion(schema, out, items),
+            ConstraintKind::Subset { sub, sup } => map_seq(schema, out, sub, sup, false),
+            ConstraintKind::Equality { a, b } => map_seq(schema, out, a, b, true),
+            ConstraintKind::Cardinality { role, min, max } => {
+                map_cardinality(out, *role, *min, *max)
+            }
+            ConstraintKind::Value { over, values } => map_value(schema, out, *over, values),
+        };
+        match &mapping {
+            ConstraintMapping::Absorbed(reason) => {
+                notes.push(format!("constraint {cid} absorbed: {reason}"))
+            }
+            ConstraintMapping::Unexpressed(reason) => {
+                notes.push(format!("constraint {cid} NOT expressed: {reason}"))
+            }
+            ConstraintMapping::Relational(names) => {
+                out.trace.push(
+                    ridl_transform::trace::TransformKind::RelationalToRelational,
+                    "CARRY CONSTRAINT",
+                    format!("{} {cid}", c.kind.keyword()),
+                    names.clone(),
+                );
+            }
+        }
+        cmap.push(mapping);
+    }
+
+    out.constraint_map = cmap;
+    out.notes.extend(notes);
+}
+
+fn map_uniqueness(
+    schema: &Schema,
+    out: &mut MappingOutput,
+    roles: &[RoleRef],
+) -> ConstraintMapping {
+    // External uniqueness spanning several facts.
+    if roles.len() >= 2 && !roles.iter().all(|r| r.fact == roles[0].fact) {
+        // Consumed as a compound reference scheme?
+        let consumed_as_key = roles
+            .iter()
+            .all(|r| matches!(out.realization(r.fact), FactRealization::KeyOf { .. }));
+        if consumed_as_key {
+            if let FactRealization::KeyOf { table, .. } = out.realization(roles[0].fact) {
+                if let Some(pk) = out.rel.primary_key_of(*table).map(|k| k.to_vec()) {
+                    if let Some(name) = find_key_name(&out.rel, *table, &pk) {
+                        return ConstraintMapping::Relational(vec![name]);
+                    }
+                }
+            }
+            return ConstraintMapping::Absorbed(
+                "compound reference scheme consumed as primary key".into(),
+            );
+        }
+        if let Some((table, cols)) = external_uniqueness_cols(out, roles) {
+            let name = out
+                .rel
+                .add_named(RelConstraintKind::CandidateKey { table, cols });
+            return ConstraintMapping::Relational(vec![name]);
+        }
+        return ConstraintMapping::Unexpressed(
+            "external uniqueness spans several relations".into(),
+        );
+    }
+    // Intra-fact uniqueness.
+    let role = roles[0];
+    match out.realization(role.fact) {
+        FactRealization::KeyOf { table, .. } => {
+            let pk = out.rel.primary_key_of(*table).map(|k| k.to_vec());
+            match pk.and_then(|k| find_key_name(&out.rel, *table, &k)) {
+                Some(name) => ConstraintMapping::Relational(vec![name]),
+                None => ConstraintMapping::Absorbed("reference scheme key".into()),
+            }
+        }
+        FactRealization::Attribute {
+            table,
+            anchor_side,
+            value_cols,
+            ..
+        } => {
+            if roles.len() >= 2 {
+                return ConstraintMapping::Absorbed(
+                    "pair uniqueness implied by functional grouping".into(),
+                );
+            }
+            if role.side == *anchor_side {
+                ConstraintMapping::Absorbed(
+                    "functional grouping: one row per anchor instance".into(),
+                )
+            } else {
+                match find_key_name(&out.rel, *table, value_cols) {
+                    Some(name) => ConstraintMapping::Relational(vec![name]),
+                    None => ConstraintMapping::Absorbed("candidate key on value columns".into()),
+                }
+            }
+        }
+        FactRealization::OwnTable {
+            table,
+            left_cols,
+            right_cols,
+        } => {
+            let cols: Vec<u32> = if roles.len() >= 2 {
+                let mut all = left_cols.clone();
+                all.extend(right_cols);
+                all
+            } else {
+                match role.side {
+                    Side::Left => left_cols.clone(),
+                    Side::Right => right_cols.clone(),
+                }
+            };
+            match find_key_name(&out.rel, *table, &cols) {
+                Some(name) => ConstraintMapping::Relational(vec![name]),
+                None => ConstraintMapping::Absorbed("key of the fact relation".into()),
+            }
+        }
+        FactRealization::Omitted => {
+            let _ = schema;
+            ConstraintMapping::Unexpressed("fact omitted".into())
+        }
+    }
+}
+
+fn map_total(
+    schema: &Schema,
+    out: &mut MappingOutput,
+    over: ObjectTypeId,
+    items: &[RoleOrSublink],
+) -> ConstraintMapping {
+    if let [RoleOrSublink::Role(r)] = items {
+        if totality_absorbed(out, *r) {
+            return ConstraintMapping::Absorbed(format!(
+                "total role on {} realised as key / NOT NULL column",
+                schema.role_display(*r)
+            ));
+        }
+    }
+    let Some(over_sel) = population_selection(schema, out, over) else {
+        return ConstraintMapping::Unexpressed(format!(
+            "{} has no population selection",
+            schema.ot_name(over)
+        ));
+    };
+    let sels: Vec<_> = items
+        .iter()
+        .filter_map(|i| item_selection(schema, out, i))
+        .collect();
+    if sels.len() != items.len() {
+        return ConstraintMapping::Unexpressed("some items unrepresented".into());
+    }
+    if sels.iter().any(|s| s.cols.len() != over_sel.cols.len()) {
+        return ConstraintMapping::Unexpressed("representation widths differ".into());
+    }
+    let name = out.rel.add_named(RelConstraintKind::TotalUnionView {
+        over: over_sel,
+        items: sels,
+    });
+    ConstraintMapping::Relational(vec![name])
+}
+
+fn map_exclusion(
+    schema: &Schema,
+    out: &mut MappingOutput,
+    items: &[RoleOrSublink],
+) -> ConstraintMapping {
+    let sels: Vec<_> = items
+        .iter()
+        .filter_map(|i| item_selection(schema, out, i))
+        .collect();
+    if sels.len() != items.len() || sels.len() < 2 {
+        return ConstraintMapping::Unexpressed("some items unrepresented".into());
+    }
+    let w = sels[0].cols.len();
+    if sels.iter().any(|s| s.cols.len() != w) {
+        return ConstraintMapping::Unexpressed("representation widths differ".into());
+    }
+    let name = out
+        .rel
+        .add_named(RelConstraintKind::ExclusionView { items: sels });
+    ConstraintMapping::Relational(vec![name])
+}
+
+fn map_seq(
+    _schema: &Schema,
+    out: &mut MappingOutput,
+    a: &[RoleRef],
+    b: &[RoleRef],
+    equality: bool,
+) -> ConstraintMapping {
+    if a.len() != 1 || b.len() != 1 {
+        return ConstraintMapping::Unexpressed(
+            "compound role sequences need joins; see the map report".into(),
+        );
+    }
+    match (out.role_selection(a[0]), out.role_selection(b[0])) {
+        (Some(x), Some(y)) if x.cols.len() == y.cols.len() => {
+            let kind = if equality {
+                RelConstraintKind::EqualityView { left: x, right: y }
+            } else {
+                RelConstraintKind::SubsetView { sub: x, sup: y }
+            };
+            let name = out.rel.add_named(kind);
+            ConstraintMapping::Relational(vec![name])
+        }
+        _ => ConstraintMapping::Unexpressed("role selections unavailable".into()),
+    }
+}
+
+fn map_cardinality(
+    out: &mut MappingOutput,
+    role: RoleRef,
+    min: u32,
+    max: Option<u32>,
+) -> ConstraintMapping {
+    match out.realization(role.fact).clone() {
+        FactRealization::OwnTable {
+            table,
+            left_cols,
+            right_cols,
+        } => {
+            let cols = match role.side {
+                Side::Left => left_cols,
+                Side::Right => right_cols,
+            };
+            let name = out.rel.add_named(RelConstraintKind::Frequency {
+                table,
+                cols,
+                min,
+                max,
+            });
+            ConstraintMapping::Relational(vec![name])
+        }
+        FactRealization::Attribute {
+            table,
+            anchor_side,
+            value_cols,
+            ..
+        } => {
+            if role.side == anchor_side {
+                if min <= 1 {
+                    ConstraintMapping::Absorbed("anchor occurs at most once per row".into())
+                } else {
+                    ConstraintMapping::Unexpressed(format!(
+                        "min {min} > 1 on a functional role is unsatisfiable"
+                    ))
+                }
+            } else {
+                let name = out.rel.add_named(RelConstraintKind::Frequency {
+                    table,
+                    cols: value_cols,
+                    min,
+                    max,
+                });
+                ConstraintMapping::Relational(vec![name])
+            }
+        }
+        _ => ConstraintMapping::Unexpressed("fact unrepresented".into()),
+    }
+}
+
+fn map_value(
+    schema: &Schema,
+    out: &mut MappingOutput,
+    over: ObjectTypeId,
+    values: &[ridl_brm::Value],
+) -> ConstraintMapping {
+    let mut targets: Vec<(u32, u32)> = out
+        .col_sources
+        .iter()
+        .filter(|(_, lot)| **lot == over)
+        .map(|(k, _)| *k)
+        .collect();
+    targets.sort_unstable();
+    if targets.is_empty() {
+        return ConstraintMapping::Unexpressed(format!(
+            "no realised column for {}",
+            schema.ot_name(over)
+        ));
+    }
+    let mut names = Vec::new();
+    for (traw, col) in targets {
+        names.push(out.rel.add_named(RelConstraintKind::CheckValue {
+            table: TableId(traw),
+            col,
+            values: values.to_vec(),
+        }));
+    }
+    ConstraintMapping::Relational(names)
+}
+
+/// If every role of an external uniqueness constraint is realised as an
+/// attribute group in the *same* table, the combined value columns form a
+/// candidate key there.
+fn external_uniqueness_cols(out: &MappingOutput, roles: &[RoleRef]) -> Option<(TableId, Vec<u32>)> {
+    let mut table = None;
+    let mut cols = Vec::new();
+    for r in roles {
+        match out.realization(r.fact) {
+            FactRealization::Attribute {
+                table: t,
+                anchor_side,
+                value_cols,
+                ..
+            } if *anchor_side == r.side.other() => {
+                match table {
+                    None => table = Some(*t),
+                    Some(prev) if prev == *t => {}
+                    _ => return None,
+                }
+                cols.extend(value_cols.iter().copied());
+            }
+            _ => return None,
+        }
+    }
+    table.map(|t| (t, cols))
+}

@@ -1,0 +1,123 @@
+//! The RIDL\* workbench facade: analyse, then map under options and rules.
+//!
+//! Mirrors the paper's workflow (§3): the schema enters through RIDL-G (here
+//! the builder or `ridl-lang`), is validated by RIDL-A, and only a mappable
+//! schema reaches RIDL-M. SQL generation (`ridl-sqlgen`) and the engine take
+//! the [`crate::MappingOutput`] from here.
+
+use ridl_analyzer::{analyze, AnalysisReport};
+use ridl_brm::Schema;
+
+use crate::grouping::{map_schema, MapError, MappingOutput};
+use crate::map_report::MapReport;
+use crate::options::MappingOptions;
+use crate::rulebase::{QueryInfo, RuleBase};
+
+/// A workbench session around one binary conceptual schema.
+///
+/// ```
+/// use ridl_brm::builder::{identify, SchemaBuilder};
+/// use ridl_brm::DataType;
+/// use ridl_core::{MappingOptions, Workbench};
+///
+/// let mut b = SchemaBuilder::new("demo");
+/// b.nolot("Paper").unwrap();
+/// identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+/// let wb = Workbench::new(b.finish().unwrap());
+/// assert!(wb.analysis().is_mappable());
+/// let out = wb.map(&MappingOptions::new()).unwrap();
+/// assert_eq!(out.table_count(), 1);
+/// assert_eq!(out.rel.tables[0].name, "Paper");
+/// ```
+pub struct Workbench {
+    schema: Schema,
+    analysis: AnalysisReport,
+}
+
+impl Workbench {
+    /// Opens a workbench on a schema, running RIDL-A immediately.
+    pub fn new(schema: Schema) -> Self {
+        let analysis = analyze(&schema);
+        Self { schema, analysis }
+    }
+
+    /// The schema under engineering.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The RIDL-A report.
+    pub fn analysis(&self) -> &AnalysisReport {
+        &self.analysis
+    }
+
+    /// Runs RIDL-M under the given options. Fails when RIDL-A found errors
+    /// ("we presume the binary schema to be correct and complete … as
+    /// ascertained by RIDL-A", §4).
+    pub fn map(&self, options: &MappingOptions) -> Result<MappingOutput, MapError> {
+        if !self.analysis.is_mappable() {
+            let first = self
+                .analysis
+                .findings()
+                .find(|f| f.severity == ridl_analyzer::Severity::Error)
+                .expect("not mappable implies an error finding");
+            return Err(MapError::new(format!(
+                "schema is not mappable; RIDL-A reports: {first}"
+            )));
+        }
+        map_schema(&self.schema, &self.analysis.references, options)
+    }
+
+    /// Runs RIDL-M with the rule base deriving option adjustments from
+    /// query information first. Returns the output and the rule firing log.
+    pub fn map_with_rules(
+        &self,
+        base: MappingOptions,
+        rules: &RuleBase,
+        query: &QueryInfo,
+    ) -> Result<(MappingOutput, Vec<String>), MapError> {
+        let (options, log) =
+            rules.derive_options(&self.schema, &self.analysis.references, query, base);
+        let out = self.map(&options)?;
+        Ok((out, log))
+    }
+
+    /// Renders the map report for a mapping produced by this workbench.
+    pub fn map_report(&self, out: &MappingOutput) -> MapReport {
+        MapReport::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::DataType;
+
+    #[test]
+    fn unmappable_schema_is_refused() {
+        let mut b = SchemaBuilder::new("bad");
+        b.nolot("Paper").unwrap(); // no reference scheme
+        b.nolot("X").unwrap();
+        b.fact("f", ("a", "Paper"), ("b", "X")).unwrap();
+        b.unique("f", ridl_brm::Side::Left).unwrap();
+        let wb = Workbench::new(b.finish().unwrap());
+        assert!(!wb.analysis().is_mappable());
+        let err = wb.map(&MappingOptions::new()).unwrap_err();
+        assert!(err.message.contains("RIDL-A"), "{err}");
+    }
+
+    #[test]
+    fn clean_schema_maps() {
+        let mut b = SchemaBuilder::new("ok");
+        b.nolot("Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        let wb = Workbench::new(b.finish().unwrap());
+        assert!(wb.analysis().is_mappable());
+        let out = wb.map(&MappingOptions::new()).unwrap();
+        assert_eq!(out.table_count(), 1);
+        let report = wb.map_report(&out);
+        assert!(report.forwards.contains("NOLOT Paper"));
+        assert!(report.backwards.contains("TABLE Paper"));
+    }
+}

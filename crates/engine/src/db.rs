@@ -1,0 +1,570 @@
+//! The database proper: constraint-checked storage plus the query executor.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ridl_brm::Value;
+use ridl_relational::{validate, ColumnSelection, RelSchema, RelState, RelViolation, Row, TableId};
+
+use crate::query::{Pred, Query};
+
+/// Errors raised by the engine.
+#[derive(Clone, PartialEq, Debug)]
+pub enum EngineError {
+    /// The schema definition itself is inconsistent.
+    BadSchema(Vec<String>),
+    /// A named table/column/view does not exist.
+    Unknown(String),
+    /// A statement would violate constraints; the update was rolled back.
+    ConstraintViolation(Vec<RelViolation>),
+    /// Transaction misuse (commit/rollback without begin).
+    NoTransaction,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BadSchema(errs) => write!(f, "bad schema: {}", errs.join("; ")),
+            EngineError::Unknown(what) => write!(f, "unknown object: {what}"),
+            EngineError::ConstraintViolation(v) => {
+                write!(f, "constraint violation: ")?;
+                for x in v.iter().take(3) {
+                    write!(f, "[{x}] ")?;
+                }
+                Ok(())
+            }
+            EngineError::NoTransaction => write!(f, "no open transaction"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// An in-memory, constraint-enforcing relational database.
+pub struct Database {
+    schema: RelSchema,
+    state: RelState,
+    views: HashMap<String, Query>,
+    snapshots: Vec<RelState>,
+}
+
+impl Database {
+    /// Creates an empty database over a schema.
+    pub fn create(schema: RelSchema) -> Result<Self, EngineError> {
+        let errs = schema.check_ids();
+        if !errs.is_empty() {
+            return Err(EngineError::BadSchema(errs));
+        }
+        let state = RelState::with_tables(schema.tables.len());
+        Ok(Self {
+            schema,
+            state,
+            views: HashMap::new(),
+            snapshots: Vec::new(),
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// The raw state (e.g. to compare against a state map's output).
+    pub fn state(&self) -> &RelState {
+        &self.state
+    }
+
+    /// Replaces the whole state, validating it first.
+    pub fn load_state(&mut self, state: RelState) -> Result<(), EngineError> {
+        let violations = validate::validate(&self.schema, &state);
+        if !violations.is_empty() {
+            return Err(EngineError::ConstraintViolation(violations));
+        }
+        self.state = state;
+        Ok(())
+    }
+
+    fn table_id(&self, name: &str) -> Result<TableId, EngineError> {
+        self.schema
+            .table_by_name(name)
+            .ok_or_else(|| EngineError::Unknown(format!("table {name}")))
+    }
+
+    fn check_after(&mut self, before: RelState) -> Result<(), EngineError> {
+        // Deferred full check: correct and simple; the meta-database and
+        // test workloads are small, and correctness of enforcement is the
+        // point here (per perf-book guidance: measure before optimizing).
+        let violations = validate::validate(&self.schema, &self.state);
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            self.state = before;
+            Err(EngineError::ConstraintViolation(violations))
+        }
+    }
+
+    /// Inserts a row, enforcing every constraint; rolls back on violation.
+    /// Re-inserting an existing row is rejected (relations are sets; a
+    /// duplicate insert is almost always a key violation in disguise).
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<(), EngineError> {
+        let tid = self.table_id(table)?;
+        let before = self.state.clone();
+        if !self.state.insert(tid, row) {
+            return Err(EngineError::ConstraintViolation(vec![RelViolation {
+                constraint: "DUPLICATE".into(),
+                detail: format!("row already present in {table}"),
+            }]));
+        }
+        self.check_after(before)
+    }
+
+    /// Inserts without constraint checking (bulk load within transactions;
+    /// `commit` or `load_state` re-validates).
+    pub fn insert_unchecked(&mut self, table: &str, row: Row) -> Result<(), EngineError> {
+        let tid = self.table_id(table)?;
+        self.state.insert(tid, row);
+        Ok(())
+    }
+
+    /// Deletes the rows matching the predicate; returns how many went.
+    pub fn delete_where(&mut self, table: &str, preds: &[Pred]) -> Result<usize, EngineError> {
+        let tid = self.table_id(table)?;
+        let before = self.state.clone();
+        let matching: Vec<Row> = self
+            .state
+            .rows(tid)
+            .iter()
+            .filter(|row| self.row_matches(tid, row, preds).unwrap_or(false))
+            .cloned()
+            .collect();
+        for row in &matching {
+            self.state.remove(tid, row);
+        }
+        self.check_after(before)?;
+        Ok(matching.len())
+    }
+
+    /// Updates matching rows by setting columns; returns how many changed.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        preds: &[Pred],
+        assignments: &[(&str, Option<Value>)],
+    ) -> Result<usize, EngineError> {
+        let tid = self.table_id(table)?;
+        let cols: Vec<(u32, Option<Value>)> = assignments
+            .iter()
+            .map(|(name, v)| {
+                self.schema
+                    .table(tid)
+                    .column_by_name(name)
+                    .map(|c| (c, v.clone()))
+                    .ok_or_else(|| EngineError::Unknown(format!("column {name}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let before = self.state.clone();
+        let matching: Vec<Row> = self
+            .state
+            .rows(tid)
+            .iter()
+            .filter(|row| self.row_matches(tid, row, preds).unwrap_or(false))
+            .cloned()
+            .collect();
+        for row in &matching {
+            self.state.remove(tid, row);
+            let mut new_row = row.clone();
+            for (c, v) in &cols {
+                new_row[*c as usize] = v.clone();
+            }
+            self.state.insert(tid, new_row);
+        }
+        self.check_after(before)?;
+        Ok(matching.len())
+    }
+
+    fn col_by_name(&self, tid: TableId, name: &str) -> Option<u32> {
+        // Accept both bare and `Table.col` qualified names.
+        let bare = name.rsplit('.').next().unwrap_or(name);
+        if let Some(prefix) = name.strip_suffix(&format!(".{bare}")) {
+            if self.schema.table(tid).name != prefix {
+                return None;
+            }
+        }
+        self.schema.table(tid).column_by_name(bare)
+    }
+
+    fn row_matches(&self, tid: TableId, row: &Row, preds: &[Pred]) -> Result<bool, EngineError> {
+        for p in preds {
+            let col_of = |c: &String| -> Result<usize, EngineError> {
+                self.col_by_name(tid, c)
+                    .map(|i| i as usize)
+                    .ok_or_else(|| EngineError::Unknown(format!("column {c}")))
+            };
+            let ok = match p {
+                Pred::Eq(c, v) => row[col_of(c)?].as_ref() == Some(v),
+                Pred::IsNull(c) => row[col_of(c)?].is_none(),
+                Pred::NotNull(c) => row[col_of(c)?].is_some(),
+            };
+            if !ok {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    // ---- queries ----
+
+    /// Runs a query; rows carry the projected columns in order.
+    pub fn select(&self, q: &Query) -> Result<Vec<Row>, EngineError> {
+        // Assemble the joined relation as (qualified name -> index) + rows.
+        let tid = self.table_id(&q.table)?;
+        let mut columns: Vec<String> = self
+            .schema
+            .table(tid)
+            .columns
+            .iter()
+            .map(|c| format!("{}.{}", q.table, c.name))
+            .collect();
+        let mut rows: Vec<Row> = self.state.rows(tid).iter().cloned().collect();
+
+        for join in &q.joins {
+            let jt = self.table_id(&join.table)?;
+            let j_cols: Vec<String> = self
+                .schema
+                .table(jt)
+                .columns
+                .iter()
+                .map(|c| format!("{}.{}", join.table, c.name))
+                .collect();
+            let on: Vec<(usize, u32)> = join
+                .on
+                .iter()
+                .map(|(l, r)| {
+                    let li = find_col(&columns, l)
+                        .ok_or_else(|| EngineError::Unknown(format!("column {l}")))?;
+                    let ri = self
+                        .schema
+                        .table(jt)
+                        .column_by_name(r)
+                        .ok_or_else(|| EngineError::Unknown(format!("column {r}")))?;
+                    Ok((li, ri))
+                })
+                .collect::<Result<_, EngineError>>()?;
+            let mut joined = Vec::new();
+            for row in &rows {
+                for jrow in self.state.rows(jt) {
+                    if on.iter().all(|(li, ri)| row[*li] == jrow[*ri as usize]) {
+                        let mut merged = row.clone();
+                        merged.extend(jrow.iter().cloned());
+                        joined.push(merged);
+                    }
+                }
+            }
+            columns.extend(j_cols);
+            rows = joined;
+        }
+
+        // Filter.
+        let mut filtered = Vec::new();
+        'rows: for row in rows {
+            for p in &q.filter {
+                let matches = match p {
+                    Pred::Eq(c, v) => {
+                        let i = find_col(&columns, c)
+                            .ok_or_else(|| EngineError::Unknown(format!("column {c}")))?;
+                        row[i].as_ref() == Some(v)
+                    }
+                    Pred::IsNull(c) => {
+                        let i = find_col(&columns, c)
+                            .ok_or_else(|| EngineError::Unknown(format!("column {c}")))?;
+                        row[i].is_none()
+                    }
+                    Pred::NotNull(c) => {
+                        let i = find_col(&columns, c)
+                            .ok_or_else(|| EngineError::Unknown(format!("column {c}")))?;
+                        row[i].is_some()
+                    }
+                };
+                if !matches {
+                    continue 'rows;
+                }
+            }
+            filtered.push(row);
+        }
+
+        // Project.
+        if q.select.is_empty() {
+            return Ok(filtered);
+        }
+        let proj: Vec<usize> = q
+            .select
+            .iter()
+            .map(|c| {
+                find_col(&columns, c).ok_or_else(|| EngineError::Unknown(format!("column {c}")))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(filtered
+            .into_iter()
+            .map(|row| proj.iter().map(|i| row[*i].clone()).collect())
+            .collect())
+    }
+
+    /// Executes a [`ColumnSelection`] — a forwards-map SELECT — directly.
+    pub fn select_selection(&self, sel: &ColumnSelection) -> Vec<Row> {
+        self.state
+            .select_where(sel.table, &sel.cols, &sel.not_null, &sel.eq)
+            .into_iter()
+            .collect()
+    }
+
+    // ---- views ----
+
+    /// Defines a named view (the "open" meta-database interface, §3.1).
+    pub fn create_view(&mut self, name: impl Into<String>, q: Query) {
+        self.views.insert(name.into(), q);
+    }
+
+    /// Runs a named view.
+    pub fn select_view(&self, name: &str) -> Result<Vec<Row>, EngineError> {
+        let q = self
+            .views
+            .get(name)
+            .ok_or_else(|| EngineError::Unknown(format!("view {name}")))?;
+        self.select(q)
+    }
+
+    /// Names of the defined views.
+    pub fn view_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.views.keys().map(String::as_str).collect();
+        v.sort();
+        v
+    }
+
+    // ---- transactions ----
+
+    /// Opens a transaction (snapshot).
+    pub fn begin(&mut self) {
+        self.snapshots.push(self.state.clone());
+    }
+
+    /// Commits the innermost transaction, validating the final state.
+    pub fn commit(&mut self) -> Result<(), EngineError> {
+        let before = self.snapshots.pop().ok_or(EngineError::NoTransaction)?;
+        let violations = validate::validate(&self.schema, &self.state);
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            self.state = before;
+            Err(EngineError::ConstraintViolation(violations))
+        }
+    }
+
+    /// Rolls back the innermost transaction.
+    pub fn rollback(&mut self) -> Result<(), EngineError> {
+        self.state = self.snapshots.pop().ok_or(EngineError::NoTransaction)?;
+        Ok(())
+    }
+}
+
+fn find_col(columns: &[String], name: &str) -> Option<usize> {
+    if let Some(i) = columns.iter().position(|c| c == name) {
+        return Some(i);
+    }
+    // Bare name: unique suffix match.
+    let matches: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.rsplit('.').next() == Some(name))
+        .map(|(i, _)| i)
+        .collect();
+    if matches.len() == 1 {
+        Some(matches[0])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::DataType;
+    use ridl_relational::{Column, RelConstraintKind, Table};
+
+    fn v(s: &str) -> Option<Value> {
+        Some(Value::str(s))
+    }
+
+    fn sample_db() -> Database {
+        let mut s = RelSchema::new("t");
+        let d = s.domain("D", DataType::Char(10));
+        let paper = s.add_table(Table::new(
+            "Paper",
+            vec![
+                Column::not_null("Paper_Id", d),
+                Column::nullable("Program_Id", d),
+            ],
+        ));
+        let pp = s.add_table(Table::new(
+            "Program_Paper",
+            vec![
+                Column::not_null("Program_Id", d),
+                Column::not_null("Session", d),
+            ],
+        ));
+        s.add_named(RelConstraintKind::PrimaryKey {
+            table: paper,
+            cols: vec![0],
+        });
+        s.add_named(RelConstraintKind::PrimaryKey {
+            table: pp,
+            cols: vec![0],
+        });
+        s.add_named(RelConstraintKind::ForeignKey {
+            table: pp,
+            cols: vec![0],
+            ref_table: paper,
+            ref_cols: vec![1],
+        });
+        Database::create(s).unwrap()
+    }
+
+    #[test]
+    fn insert_enforces_keys() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), None]).unwrap();
+        // Same key, different row: primary-key violation.
+        let err = db.insert("Paper", vec![v("P1"), v("A1")]);
+        assert!(matches!(err, Err(EngineError::ConstraintViolation(_))));
+        // Identical row: rejected as a duplicate.
+        let err = db.insert("Paper", vec![v("P1"), None]);
+        assert!(matches!(err, Err(EngineError::ConstraintViolation(_))));
+        // State unchanged after the rejected insert.
+        assert_eq!(db.state().num_rows(), 1);
+    }
+
+    #[test]
+    fn foreign_keys_enforced_both_ways() {
+        let mut db = sample_db();
+        let err = db.insert("Program_Paper", vec![v("A1"), v("S1")]);
+        assert!(err.is_err(), "dangling FK accepted");
+        db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+        db.insert("Program_Paper", vec![v("A1"), v("S1")]).unwrap();
+        // Deleting the referenced paper violates the FK.
+        let err = db.delete_where("Paper", &[Pred::Eq("Paper_Id".into(), Value::str("P1"))]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn update_where_works_and_validates() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), None]).unwrap();
+        db.insert("Paper", vec![v("P2"), None]).unwrap();
+        let n = db
+            .update_where(
+                "Paper",
+                &[Pred::Eq("Paper_Id".into(), Value::str("P2"))],
+                &[("Program_Id", v("A9"))],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        // Updating both papers to the same key collides.
+        let err = db.update_where("Paper", &[], &[("Paper_Id", v("SAME"))]);
+        assert!(err.is_err());
+        assert_eq!(db.state().num_rows(), 2);
+    }
+
+    #[test]
+    fn select_with_join_and_filter() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+        db.insert("Paper", vec![v("P2"), None]).unwrap();
+        db.insert("Program_Paper", vec![v("A1"), v("S1")]).unwrap();
+        let q = Query::from("Paper")
+            .join("Program_Paper", &[("Program_Id", "Program_Id")])
+            .select(&["Paper_Id", "Session"]);
+        let rows = db.select(&q).unwrap();
+        assert_eq!(rows, vec![vec![v("P1"), v("S1")]]);
+        let q2 = Query::from("Paper")
+            .select(&["Paper_Id"])
+            .filter(Pred::IsNull("Program_Id".into()));
+        assert_eq!(db.select(&q2).unwrap(), vec![vec![v("P2")]]);
+    }
+
+    #[test]
+    fn views_are_named_queries() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), None]).unwrap();
+        db.create_view("V_ALL_PAPERS", Query::from("Paper").select(&["Paper_Id"]));
+        assert_eq!(db.view_names(), vec!["V_ALL_PAPERS"]);
+        assert_eq!(db.select_view("V_ALL_PAPERS").unwrap().len(), 1);
+        assert!(db.select_view("NOPE").is_err());
+    }
+
+    #[test]
+    fn transactions_roll_back_and_defer_checks() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+        db.begin();
+        // Within the transaction, load the FK target *after* the source.
+        db.insert_unchecked("Program_Paper", vec![v("A2"), v("S2")])
+            .unwrap();
+        db.insert_unchecked("Paper", vec![v("P2"), v("A2")])
+            .unwrap();
+        db.commit().unwrap();
+        assert_eq!(db.state().num_rows(), 3);
+
+        db.begin();
+        db.insert_unchecked("Program_Paper", vec![v("A9"), v("S9")])
+            .unwrap();
+        let err = db.commit();
+        assert!(err.is_err());
+        assert_eq!(db.state().num_rows(), 3, "commit rolled back");
+
+        db.begin();
+        db.insert_unchecked("Paper", vec![v("P3"), None]).unwrap();
+        db.rollback().unwrap();
+        assert_eq!(db.state().num_rows(), 3);
+        assert!(db.commit().is_err()); // no open transaction
+    }
+
+    #[test]
+    fn nested_transactions_unwind_independently() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), None]).unwrap();
+        db.begin();
+        db.insert_unchecked("Paper", vec![v("P2"), None]).unwrap();
+        db.begin();
+        db.insert_unchecked("Paper", vec![v("P3"), None]).unwrap();
+        // Inner rollback drops only P3.
+        db.rollback().unwrap();
+        assert_eq!(db.state().num_rows(), 2);
+        // Outer commit keeps P2.
+        db.commit().unwrap();
+        assert_eq!(db.state().num_rows(), 2);
+        assert!(db.rollback().is_err(), "no transaction left");
+    }
+
+    #[test]
+    fn selection_execution_matches_state_select() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+        db.insert("Paper", vec![v("P2"), None]).unwrap();
+        db.insert("Program_Paper", vec![v("A1"), v("S1")]).unwrap();
+        let sel = ColumnSelection::of(TableId(0), vec![0]).where_not_null(vec![1]);
+        let rows = db.select_selection(&sel);
+        assert_eq!(rows, vec![vec![v("P1")]]);
+    }
+
+    #[test]
+    fn bad_schema_rejected() {
+        let mut s = RelSchema::new("bad");
+        s.add_named(RelConstraintKind::PrimaryKey {
+            table: TableId(7),
+            cols: vec![0],
+        });
+        assert!(matches!(
+            Database::create(s),
+            Err(EngineError::BadSchema(_))
+        ));
+    }
+}

@@ -1,0 +1,30 @@
+//! # ridl-engine — a small in-memory relational engine
+//!
+//! The substrate substitute for the ORACLE installation of the paper: the
+//! meta-database lives here (§3.1, "its implementation is a relational
+//! (ORACLE) database"), and generated schemas can be *executed* here —
+//! inserts and deletes are checked against every constraint RIDL-M
+//! generated, including the extended pseudo-SQL ones that 1989-era RDBMSs
+//! could not enforce. That upgrade is deliberate: it lets the test-suite
+//! demonstrate end-to-end that the generated constraint specifications
+//! actually control the redundancies the mapping options introduce.
+//!
+//! Features: DDL from a [`RelSchema`], constraint-checked DML, a small
+//! select/project/equi-join query executor, named views (the "open"
+//! meta-database views of §3.1), and snapshot transactions.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod db;
+pub mod query;
+
+pub use db::{Database, EngineError};
+pub use query::{Pred, Query};
+
+use ridl_relational::RelSchema;
+
+/// Opens a database over a generated schema — convenience for examples.
+pub fn open(schema: RelSchema) -> Result<Database, EngineError> {
+    Database::create(schema)
+}

@@ -1,0 +1,103 @@
+//! A small query model: selection, projection and equi-joins, enough for
+//! the meta-database views and for executing forwards-map SELECTs.
+
+use ridl_brm::Value;
+
+/// A row-level predicate over (possibly qualified) column names.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Pred {
+    /// Column equals a literal.
+    Eq(String, Value),
+    /// Column IS NULL.
+    IsNull(String),
+    /// Column IS NOT NULL.
+    NotNull(String),
+}
+
+/// An equi-join step: join `table` where `left_col = right_col`.
+///
+/// `left_col` refers to the row assembled so far (qualify with the source
+/// table name when ambiguous), `right_col` to the joined table.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Join {
+    /// The table being joined in.
+    pub table: String,
+    /// Join condition pairs: (column of the assembled row, column of the
+    /// joined table).
+    pub on: Vec<(String, String)>,
+}
+
+/// A query: `SELECT cols FROM table [JOIN …] WHERE preds`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Query {
+    /// The driving table.
+    pub table: String,
+    /// Equi-join chain.
+    pub joins: Vec<Join>,
+    /// Projected column names, possibly `Table.col`-qualified; empty means
+    /// all columns of the driving table.
+    pub select: Vec<String>,
+    /// Conjunctive filter.
+    pub filter: Vec<Pred>,
+}
+
+impl Query {
+    /// `SELECT * FROM table`.
+    pub fn from(table: impl Into<String>) -> Self {
+        Self {
+            table: table.into(),
+            joins: Vec::new(),
+            select: Vec::new(),
+            filter: Vec::new(),
+        }
+    }
+
+    /// Sets the projection.
+    pub fn select(mut self, cols: &[&str]) -> Self {
+        self.select = cols.iter().map(|c| (*c).to_owned()).collect();
+        self
+    }
+
+    /// Adds a filter predicate.
+    pub fn filter(mut self, pred: Pred) -> Self {
+        self.filter.push(pred);
+        self
+    }
+
+    /// Adds an equi-join.
+    pub fn join(mut self, table: impl Into<String>, on: &[(&str, &str)]) -> Self {
+        self.joins.push(Join {
+            table: table.into(),
+            on: on
+                .iter()
+                .map(|(l, r)| ((*l).to_owned(), (*r).to_owned()))
+                .collect(),
+        });
+        self
+    }
+
+    /// Number of joins — the cost metric of the sublink-option experiment
+    /// ("more dynamic joins might be needed", §4.2.2).
+    pub fn join_count(&self) -> usize {
+        self.joins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let q = Query::from("Paper")
+            .select(&["Paper_Id", "Program_Paper.Session_comprising"])
+            .join(
+                "Program_Paper",
+                &[("Paper_ProgramId_Is", "Paper_ProgramId")],
+            )
+            .filter(Pred::NotNull("Paper_ProgramId_Is".into()));
+        assert_eq!(q.join_count(), 1);
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.filter.len(), 1);
+    }
+}

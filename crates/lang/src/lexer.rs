@@ -1,0 +1,378 @@
+//! Tokeniser for the RIDL schema notation.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognised by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal (digits '.' digits), kept textual.
+    Dec(String),
+    /// Quoted string literal (single quotes, `''` escapes).
+    Str(String),
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `-` (as in `LOT-NOLOT`)
+    Dash,
+    /// `*` (unbounded frequency)
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Dec(s) => write!(f, "{s}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::DotDot => write!(f, ".."),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Dash => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position (1-based).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Line number.
+    pub line: u32,
+    /// Column number.
+    pub col: u32,
+}
+
+/// A lexical error with position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Line number.
+    pub line: u32,
+    /// Column number.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises RIDL notation. `--` starts a comment to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $l:expr, $c:expr) => {
+            out.push(Token {
+                kind: $kind,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '-' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'-') {
+                    // Comment to end of line.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            col = 1;
+                            break;
+                        }
+                    }
+                } else {
+                    push!(TokenKind::Dash, tl, tc);
+                }
+            }
+            ';' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Semi, tl, tc);
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Colon, tl, tc);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Comma, tl, tc);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::LParen, tl, tc);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::RParen, tl, tc);
+            }
+            '*' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Star, tl, tc);
+            }
+            '.' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::DotDot, tl, tc);
+                } else {
+                    push!(TokenKind::Dot, tl, tc);
+                }
+            }
+            '\'' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            col += 1;
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                col += 1;
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some('\n') => {
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                line: tl,
+                                col: tc,
+                            })
+                        }
+                        Some(c) => {
+                            col += 1;
+                            s.push(c);
+                        }
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                line: tl,
+                                col: tc,
+                            })
+                        }
+                    }
+                }
+                push!(TokenKind::Str(s), tl, tc);
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // A decimal only when a single '.' is followed by a digit
+                // (so `0 .. 10` ranges stay ranges).
+                let mut is_dec = false;
+                if chars.peek() == Some(&'.') {
+                    let mut look = chars.clone();
+                    look.next();
+                    if look.peek().map(|c| c.is_ascii_digit()).unwrap_or(false)
+                        && look.peek() != Some(&'.')
+                    {
+                        // Consume '.' digits.
+                        chars.next();
+                        col += 1;
+                        s.push('.');
+                        while let Some(&d) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                s.push(d);
+                                chars.next();
+                                col += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        is_dec = true;
+                    }
+                }
+                if is_dec {
+                    push!(TokenKind::Dec(s), tl, tc);
+                } else {
+                    let v = s.parse().map_err(|_| LexError {
+                        message: format!("integer out of range: {s}"),
+                        line: tl,
+                        col: tc,
+                    })?;
+                    push!(TokenKind::Int(v), tl, tc);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Ident(s), tl, tc);
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basics() {
+        assert_eq!(
+            kinds("NOLOT Paper;"),
+            vec![
+                TokenKind::Ident("NOLOT".into()),
+                TokenKind::Ident("Paper".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = lex("A -- comment\nB").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("A".into()));
+        assert_eq!(toks[1].kind, TokenKind::Ident("B".into()));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn ranges_vs_decimals() {
+        assert_eq!(
+            kinds("0 .. 10"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::DotDot,
+                TokenKind::Int(10),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("2..4"),
+            vec![
+                TokenKind::Int(2),
+                TokenKind::DotDot,
+                TokenKind::Int(4),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("3.25"),
+            vec![TokenKind::Dec("3.25".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'a''b'"),
+            vec![TokenKind::Str("a'b".into()), TokenKind::Eof]
+        );
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn lot_nolot_dash() {
+        assert_eq!(
+            kinds("LOT-NOLOT Date"),
+            vec![
+                TokenKind::Ident("LOT".into()),
+                TokenKind::Dash,
+                TokenKind::Ident("NOLOT".into()),
+                TokenKind::Ident("Date".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_reported_with_position() {
+        let err = lex("A\n  @").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 3);
+    }
+}

@@ -1,0 +1,599 @@
+//! Recursive-descent parser: RIDL notation → checked [`Schema`].
+
+use std::fmt;
+
+use ridl_brm::builder::SchemaBuilder;
+use ridl_brm::{BrmError, DataType, Schema, Side, Value};
+
+use crate::lexer::{lex, LexError, Token, TokenKind};
+
+/// A parse error with source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Line number (1-based).
+    pub line: u32,
+    /// Column number (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    builder: SchemaBuilder,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError {
+            message: message.into(),
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn brm(&self, e: BrmError) -> ParseError {
+        let t = self.peek();
+        ParseError {
+            message: e.to_string(),
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.next();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {kw}, found {other}"))),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.peek().kind == kind {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.peek().kind {
+            TokenKind::Int(i) => {
+                self.next();
+                Ok(i)
+            }
+            _ => Err(self.err(format!("expected number, found {}", self.peek().kind))),
+        }
+    }
+
+    // ---- grammar ----
+
+    fn schema(&mut self) -> Result<(), ParseError> {
+        self.expect_keyword("SCHEMA")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::Semi)?;
+        // Rebuild the builder with the right name.
+        self.builder = SchemaBuilder::new(name);
+        while self.peek().kind != TokenKind::Eof {
+            self.declaration()?;
+        }
+        Ok(())
+    }
+
+    fn declaration(&mut self) -> Result<(), ParseError> {
+        if self.at_keyword("NOLOT") {
+            self.next();
+            let name = self.expect_ident()?;
+            self.builder.nolot(&name).map_err(|e| self.brm(e))?;
+            self.expect(TokenKind::Semi)
+        } else if self.at_keyword("LOT") {
+            self.next();
+            // Either `LOT name : type;` or `LOT-NOLOT name : type;`.
+            let hybrid = if self.peek().kind == TokenKind::Dash {
+                self.next();
+                self.expect_keyword("NOLOT")?;
+                true
+            } else {
+                false
+            };
+            let name = self.expect_ident()?;
+            self.expect(TokenKind::Colon)?;
+            let dt = self.data_type()?;
+            if hybrid {
+                self.builder.lot_nolot(&name, dt).map_err(|e| self.brm(e))?;
+            } else {
+                self.builder.lot(&name, dt).map_err(|e| self.brm(e))?;
+            }
+            self.expect(TokenKind::Semi)
+        } else if self.at_keyword("SUBTYPE") {
+            self.next();
+            let sub = self.expect_ident()?;
+            self.expect_keyword("OF")?;
+            let sup = self.expect_ident()?;
+            if self.builder.schema().object_type_by_name(&sub).is_none() {
+                self.builder.nolot(&sub).map_err(|e| self.brm(e))?;
+            }
+            self.builder.sublink(&sub, &sup).map_err(|e| self.brm(e))?;
+            self.expect(TokenKind::Semi)
+        } else if self.at_keyword("FACT") {
+            self.fact()
+        } else if self.at_keyword("UNIQUE") {
+            self.next();
+            let roles = self.role_list()?;
+            let refs: Vec<(&str, Side)> = roles.iter().map(|(f, s)| (f.as_str(), *s)).collect();
+            self.builder
+                .external_unique(&refs)
+                .map_err(|e| self.brm(e))?;
+            self.expect(TokenKind::Semi)
+        } else if self.at_keyword("TOTAL") {
+            self.total()
+        } else if self.at_keyword("EXCLUSION") {
+            self.exclusion()
+        } else if self.at_keyword("SUBSET") {
+            self.seq_constraint(false)
+        } else if self.at_keyword("EQUAL") {
+            self.seq_constraint(true)
+        } else if self.at_keyword("FREQUENCY") {
+            self.frequency()
+        } else if self.at_keyword("VALUES") {
+            self.values()
+        } else {
+            Err(self.err(format!("unexpected {}", self.peek().kind)))
+        }
+    }
+
+    fn data_type(&mut self) -> Result<DataType, ParseError> {
+        let name = self.expect_ident()?.to_ascii_uppercase();
+        let param = |p: &mut Self| -> Result<(u16, Option<u16>), ParseError> {
+            p.expect(TokenKind::LParen)?;
+            let a = p.expect_int()? as u16;
+            let b = if p.peek().kind == TokenKind::Comma {
+                p.next();
+                Some(p.expect_int()? as u16)
+            } else {
+                None
+            };
+            p.expect(TokenKind::RParen)?;
+            Ok((a, b))
+        };
+        match name.as_str() {
+            "CHAR" => {
+                let (n, _) = param(self)?;
+                Ok(DataType::Char(n))
+            }
+            "VARCHAR" => {
+                let (n, _) = param(self)?;
+                Ok(DataType::VarChar(n))
+            }
+            "NUMERIC" => {
+                let (p, s) = param(self)?;
+                Ok(DataType::Numeric(p as u8, s.unwrap_or(0) as u8))
+            }
+            "INTEGER" => Ok(DataType::Integer),
+            "REAL" => Ok(DataType::Real),
+            "DATE" => Ok(DataType::Date),
+            "BOOLEAN" => Ok(DataType::Boolean),
+            other => Err(self.err(format!("unknown data type {other}"))),
+        }
+    }
+
+    fn fact(&mut self) -> Result<(), ParseError> {
+        self.expect_keyword("FACT")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let lrole = self.expect_ident()?;
+        self.expect(TokenKind::Colon)?;
+        let lplayer = self.expect_ident()?;
+        self.expect(TokenKind::Comma)?;
+        let rrole = self.expect_ident()?;
+        self.expect(TokenKind::Colon)?;
+        let rplayer = self.expect_ident()?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        fn unrole(r: &str) -> &str {
+            if r == "_" {
+                ""
+            } else {
+                r
+            }
+        }
+        self.builder
+            .fact(
+                &name,
+                (unrole(&lrole), lplayer.as_str()),
+                (unrole(&rrole), rplayer.as_str()),
+            )
+            .map_err(|e| self.brm(e))?;
+        Ok(())
+    }
+
+    fn role_ref(&mut self) -> Result<(String, Side), ParseError> {
+        let fact = self.expect_ident()?;
+        self.expect(TokenKind::Dot)?;
+        let side = self.expect_ident()?;
+        let side = match side.to_ascii_uppercase().as_str() {
+            "LEFT" => Side::Left,
+            "RIGHT" => Side::Right,
+            other => return Err(self.err(format!("expected LEFT or RIGHT, found {other}"))),
+        };
+        Ok((fact, side))
+    }
+
+    fn role_list(&mut self) -> Result<Vec<(String, Side)>, ParseError> {
+        let mut out = vec![self.role_ref()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.next();
+            out.push(self.role_ref()?);
+        }
+        Ok(out)
+    }
+
+    fn total(&mut self) -> Result<(), ParseError> {
+        self.expect_keyword("TOTAL")?;
+        let over = self.expect_ident()?;
+        self.expect_keyword("IN")?;
+        // Items: role refs and `SUBTYPE <name>` entries.
+        let mut role_items: Vec<(String, Side)> = Vec::new();
+        let mut sub_items: Vec<String> = Vec::new();
+        loop {
+            if self.at_keyword("SUBTYPE") {
+                self.next();
+                sub_items.push(self.expect_ident()?);
+            } else {
+                role_items.push(self.role_ref()?);
+            }
+            if self.peek().kind == TokenKind::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+        self.build_total(&over, &role_items, &sub_items)
+    }
+
+    fn build_total(
+        &mut self,
+        over: &str,
+        role_items: &[(String, Side)],
+        sub_items: &[String],
+    ) -> Result<(), ParseError> {
+        use ridl_brm::{Constraint, ConstraintKind, RoleOrSublink};
+        let schema = self.builder.schema();
+        let over_id = schema
+            .object_type_by_name(over)
+            .ok_or_else(|| self.err(format!("unknown object type {over}")))?;
+        let mut items = Vec::new();
+        for (f, s) in role_items {
+            let fid = schema
+                .fact_type_by_name(f)
+                .ok_or_else(|| self.err(format!("unknown fact {f}")))?;
+            items.push(RoleOrSublink::Role(ridl_brm::RoleRef::new(fid, *s)));
+        }
+        for sub in sub_items {
+            let sub_id = schema
+                .object_type_by_name(sub)
+                .ok_or_else(|| self.err(format!("unknown object type {sub}")))?;
+            let sl = schema
+                .sublinks()
+                .find(|(_, sl)| sl.sub == sub_id && sl.sup == over_id)
+                .or_else(|| schema.sublinks().find(|(_, sl)| sl.sub == sub_id))
+                .map(|(sid, _)| sid)
+                .ok_or_else(|| self.err(format!("{sub} is not a subtype")))?;
+            items.push(RoleOrSublink::Sublink(sl));
+        }
+        self.builder
+            .raw_constraint(Constraint::new(ConstraintKind::Total {
+                over: over_id,
+                items,
+            }));
+        Ok(())
+    }
+
+    fn exclusion(&mut self) -> Result<(), ParseError> {
+        self.expect_keyword("EXCLUSION")?;
+        let mut role_items: Vec<(String, Side)> = Vec::new();
+        let mut sub_items: Vec<String> = Vec::new();
+        loop {
+            if self.at_keyword("SUBTYPE") {
+                self.next();
+                sub_items.push(self.expect_ident()?);
+            } else {
+                role_items.push(self.role_ref()?);
+            }
+            if self.peek().kind == TokenKind::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+        use ridl_brm::{Constraint, ConstraintKind, RoleOrSublink};
+        let schema = self.builder.schema();
+        let mut items = Vec::new();
+        for (f, s) in &role_items {
+            let fid = schema
+                .fact_type_by_name(f)
+                .ok_or_else(|| self.err(format!("unknown fact {f}")))?;
+            items.push(RoleOrSublink::Role(ridl_brm::RoleRef::new(fid, *s)));
+        }
+        for sub in &sub_items {
+            let sub_id = schema
+                .object_type_by_name(sub)
+                .ok_or_else(|| self.err(format!("unknown object type {sub}")))?;
+            let sl = schema
+                .sublinks()
+                .find(|(_, sl)| sl.sub == sub_id)
+                .map(|(sid, _)| sid)
+                .ok_or_else(|| self.err(format!("{sub} is not a subtype")))?;
+            items.push(RoleOrSublink::Sublink(sl));
+        }
+        self.builder
+            .raw_constraint(Constraint::new(ConstraintKind::Exclusion { items }));
+        Ok(())
+    }
+
+    fn seq_constraint(&mut self, equality: bool) -> Result<(), ParseError> {
+        if equality {
+            self.expect_keyword("EQUAL")?;
+        } else {
+            self.expect_keyword("SUBSET")?;
+        }
+        self.expect(TokenKind::LParen)?;
+        let a = self.role_list()?;
+        self.expect(TokenKind::RParen)?;
+        if equality {
+            self.expect_keyword("AND")?;
+        } else {
+            self.expect_keyword("IN")?;
+        }
+        self.expect(TokenKind::LParen)?;
+        let b = self.role_list()?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        let ar: Vec<(&str, Side)> = a.iter().map(|(f, s)| (f.as_str(), *s)).collect();
+        let br: Vec<(&str, Side)> = b.iter().map(|(f, s)| (f.as_str(), *s)).collect();
+        if equality {
+            self.builder.equality(&ar, &br).map_err(|e| self.brm(e))?;
+        } else {
+            self.builder.subset(&ar, &br).map_err(|e| self.brm(e))?;
+        }
+        Ok(())
+    }
+
+    fn frequency(&mut self) -> Result<(), ParseError> {
+        self.expect_keyword("FREQUENCY")?;
+        let (fact, side) = self.role_ref()?;
+        let min = self.expect_int()? as u32;
+        self.expect(TokenKind::DotDot)?;
+        let max = if self.peek().kind == TokenKind::Star {
+            self.next();
+            None
+        } else {
+            Some(self.expect_int()? as u32)
+        };
+        self.expect(TokenKind::Semi)?;
+        self.builder
+            .cardinality(&fact, side, min, max)
+            .map_err(|e| self.brm(e))?;
+        Ok(())
+    }
+
+    fn values(&mut self) -> Result<(), ParseError> {
+        self.expect_keyword("VALUES")?;
+        let over = self.expect_ident()?;
+        self.expect_keyword("IN")?;
+        self.expect(TokenKind::LParen)?;
+        let mut values = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                values.push(self.literal()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        self.builder
+            .value_constraint(&over, values)
+            .map_err(|e| self.brm(e))?;
+        Ok(())
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Str(s) => {
+                self.next();
+                Ok(Value::str(s))
+            }
+            TokenKind::Int(i) => {
+                self.next();
+                Ok(Value::Int(i))
+            }
+            TokenKind::Dec(d) => {
+                self.next();
+                let (whole, frac) = d.split_once('.').expect("decimal has a dot");
+                let scale = frac.len() as u8;
+                let mantissa: i64 = format!("{whole}{frac}")
+                    .parse()
+                    .map_err(|_| self.err(format!("decimal out of range: {d}")))?;
+                Ok(Value::Num(ridl_brm::Decimal::new(mantissa, scale)))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("TRUE") => {
+                self.next();
+                Ok(Value::Bool(true))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("FALSE") => {
+                self.next();
+                Ok(Value::Bool(false))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("DATE") => {
+                self.next();
+                let d = self.expect_int()?;
+                Ok(Value::Date(d as i32))
+            }
+            other => Err(self.err(format!("expected literal, found {other}"))),
+        }
+    }
+}
+
+/// Parses RIDL notation into a checked schema.
+///
+/// ```
+/// let s = ridl_lang::parse("
+/// SCHEMA demo;
+/// NOLOT Paper;
+/// LOT Paper_Id : CHAR(6);
+/// FACT paper_id ( identified_by : Paper , _ : Paper_Id );
+/// UNIQUE paper_id.LEFT;
+/// ").unwrap();
+/// assert_eq!(s.num_object_types(), 2);
+/// assert_eq!(s.num_constraints(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<Schema, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        builder: SchemaBuilder::new(""),
+    };
+    p.schema()?;
+    let last = p.tokens.last().cloned();
+    p.builder.finish().map_err(|errs| {
+        let t = last.unwrap_or(Token {
+            kind: TokenKind::Eof,
+            line: 0,
+            col: 0,
+        });
+        ParseError {
+            message: errs
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+            line: t.line,
+            col: t.col,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_schema() {
+        let s = parse(
+            "SCHEMA t;\nNOLOT A;\nLOT L : CHAR(3);\nFACT f ( has : A , of : L );\nUNIQUE f.LEFT;\n",
+        )
+        .unwrap();
+        assert_eq!(s.name, "t");
+        assert_eq!(s.num_object_types(), 2);
+        assert_eq!(s.num_fact_types(), 1);
+        assert_eq!(s.num_constraints(), 1);
+    }
+
+    #[test]
+    fn subtype_declares_and_links() {
+        let s = parse("SCHEMA t;\nNOLOT Paper;\nSUBTYPE Invited OF Paper;\n").unwrap();
+        assert_eq!(s.num_sublinks(), 1);
+        assert!(s.object_type_by_name("Invited").is_some());
+    }
+
+    #[test]
+    fn total_over_subtypes_and_roles() {
+        let src = "SCHEMA t;\nNOLOT P;\nSUBTYPE A OF P;\nSUBTYPE B OF P;\nLOT L : CHAR(2);\nFACT f ( x : P , y : L );\nTOTAL P IN SUBTYPE A, SUBTYPE B, f.LEFT;\nEXCLUSION SUBTYPE A, SUBTYPE B;\n";
+        let s = parse(src).unwrap();
+        assert_eq!(s.num_constraints(), 2);
+    }
+
+    #[test]
+    fn frequency_and_values() {
+        let src = "SCHEMA t;\nNOLOT P;\nLOT G : CHAR(1);\nFACT f ( x : P , y : G );\nFREQUENCY f.RIGHT 2 .. 4;\nFREQUENCY f.LEFT 1 .. *;\nVALUES G IN ('A', 'B');\n";
+        let s = parse(src).unwrap();
+        assert_eq!(s.num_constraints(), 3);
+    }
+
+    #[test]
+    fn unnamed_roles_via_underscore() {
+        let s =
+            parse("SCHEMA t;\nNOLOT P;\nLOT L : CHAR(2);\nFACT f ( _ : P , _ : L );\n").unwrap();
+        let fid = s.fact_type_by_name("f").unwrap();
+        assert_eq!(s.fact_type(fid).role(Side::Left).name, "");
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("SCHEMA t;\nNOLOT ;").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("SCHEMA t;\nFACT f ( a : Missing , b : AlsoMissing );").unwrap_err();
+        assert!(err.message.contains("unknown object type"), "{err}");
+        let err = parse("SCHEMA t;\nNOLOT A;\nNOLOT A;").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn subset_and_equal() {
+        let src = "SCHEMA t;\nNOLOT P;\nNOLOT Q;\nFACT f ( a : P , b : Q );\nFACT g ( a : P , b : Q );\nSUBSET ( f.LEFT ) IN ( g.LEFT );\nEQUAL ( f.RIGHT ) AND ( g.RIGHT );\n";
+        let s = parse(src).unwrap();
+        assert_eq!(s.num_constraints(), 2);
+    }
+}

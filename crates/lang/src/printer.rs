@@ -1,0 +1,189 @@
+//! Pretty-printer: [`Schema`] → RIDL notation. The inverse of
+//! [`crate::parse`], up to formatting.
+
+use ridl_brm::{ConstraintKind, ObjectTypeKind, RoleOrSublink, RoleRef, Schema, Side, Value};
+
+fn side_word(s: Side) -> &'static str {
+    match s {
+        Side::Left => "LEFT",
+        Side::Right => "RIGHT",
+    }
+}
+
+fn role_ref(schema: &Schema, r: RoleRef) -> String {
+    format!("{}.{}", schema.fact_type(r.fact).name, side_word(r.side))
+}
+
+fn role_list(schema: &Schema, rs: &[RoleRef]) -> String {
+    rs.iter()
+        .map(|r| role_ref(schema, *r))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn literal(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Int(i) => i.to_string(),
+        Value::Num(d) => {
+            if d.scale == 0 {
+                // A scale-0 decimal would re-parse as an integer; keep one
+                // fractional digit to preserve the type.
+                format!("{}.0", d.mantissa)
+            } else {
+                d.to_string()
+            }
+        }
+        Value::Date(d) => format!("DATE {d}"),
+        Value::Bool(true) => "TRUE".into(),
+        Value::Bool(false) => "FALSE".into(),
+        Value::Entity(_) => "/*entity*/".into(),
+    }
+}
+
+fn item(schema: &Schema, i: &RoleOrSublink) -> String {
+    match i {
+        RoleOrSublink::Role(r) => role_ref(schema, *r),
+        RoleOrSublink::Sublink(s) => {
+            format!("SUBTYPE {}", schema.ot_name(schema.sublink(*s).sub))
+        }
+    }
+}
+
+/// Renders a schema in the RIDL notation accepted by [`crate::parse`].
+pub fn print(schema: &Schema) -> String {
+    let mut out = format!("SCHEMA {};\n\n", schema.name);
+
+    for (_, ot) in schema.object_types() {
+        match ot.kind {
+            ObjectTypeKind::Nolot => out.push_str(&format!("NOLOT {};\n", ot.name)),
+            ObjectTypeKind::Lot(dt) => out.push_str(&format!("LOT {} : {};\n", ot.name, dt)),
+            ObjectTypeKind::LotNolot(dt) => {
+                out.push_str(&format!("LOT-NOLOT {} : {};\n", ot.name, dt))
+            }
+        }
+    }
+    out.push('\n');
+    for (_, sl) in schema.sublinks() {
+        out.push_str(&format!(
+            "SUBTYPE {} OF {};\n",
+            schema.ot_name(sl.sub),
+            schema.ot_name(sl.sup)
+        ));
+    }
+    out.push('\n');
+    for (_, ft) in schema.fact_types() {
+        let role = |s: Side| {
+            let r = ft.role(s);
+            let name = if r.name.is_empty() { "_" } else { &r.name };
+            format!("{} : {}", name, schema.ot_name(r.player))
+        };
+        out.push_str(&format!(
+            "FACT {} ( {} , {} );\n",
+            ft.name,
+            role(Side::Left),
+            role(Side::Right)
+        ));
+    }
+    out.push('\n');
+    for (_, c) in schema.constraints() {
+        match &c.kind {
+            ConstraintKind::Uniqueness { roles } => {
+                out.push_str(&format!("UNIQUE {};\n", role_list(schema, roles)));
+            }
+            ConstraintKind::Total { over, items } => {
+                let items: Vec<String> = items.iter().map(|i| item(schema, i)).collect();
+                out.push_str(&format!(
+                    "TOTAL {} IN {};\n",
+                    schema.ot_name(*over),
+                    items.join(", ")
+                ));
+            }
+            ConstraintKind::Exclusion { items } => {
+                let items: Vec<String> = items.iter().map(|i| item(schema, i)).collect();
+                out.push_str(&format!("EXCLUSION {};\n", items.join(", ")));
+            }
+            ConstraintKind::Subset { sub, sup } => {
+                out.push_str(&format!(
+                    "SUBSET ( {} ) IN ( {} );\n",
+                    role_list(schema, sub),
+                    role_list(schema, sup)
+                ));
+            }
+            ConstraintKind::Equality { a, b } => {
+                out.push_str(&format!(
+                    "EQUAL ( {} ) AND ( {} );\n",
+                    role_list(schema, a),
+                    role_list(schema, b)
+                ));
+            }
+            ConstraintKind::Cardinality { role, min, max } => {
+                out.push_str(&format!(
+                    "FREQUENCY {} {} .. {};\n",
+                    role_ref(schema, *role),
+                    min,
+                    max.map(|m| m.to_string()).unwrap_or_else(|| "*".into())
+                ));
+            }
+            ConstraintKind::Value { over, values } => {
+                let vals: Vec<String> = values.iter().map(literal).collect();
+                out.push_str(&format!(
+                    "VALUES {} IN ( {} );\n",
+                    schema.ot_name(*over),
+                    vals.join(", ")
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::DataType;
+
+    #[test]
+    fn prints_all_sections() {
+        let mut b = SchemaBuilder::new("demo");
+        b.nolot("Paper").unwrap();
+        b.nolot("Invited").unwrap();
+        b.sublink("Invited", "Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        b.lot_nolot("Date", DataType::Date).unwrap();
+        b.fact("submitted", ("at", "Paper"), ("_unused", "Date"))
+            .unwrap();
+        b.unique("submitted", Side::Left).unwrap();
+        let s = b.finish().unwrap();
+        let text = print(&s);
+        assert!(text.contains("SCHEMA demo;"));
+        assert!(text.contains("NOLOT Paper;"));
+        assert!(text.contains("LOT Paper_Id : CHAR(6);"));
+        assert!(text.contains("LOT-NOLOT Date : DATE;"));
+        assert!(text.contains("SUBTYPE Invited OF Paper;"));
+        assert!(text.contains("FACT submitted"));
+        assert!(text.contains("UNIQUE submitted.LEFT;"));
+        assert!(text.contains("TOTAL Paper IN Paper_has_Paper_Id.LEFT;"));
+    }
+
+    #[test]
+    fn unnamed_roles_print_as_underscore() {
+        let mut b = SchemaBuilder::new("t");
+        b.nolot("A").unwrap();
+        b.lot("L", DataType::Char(1)).unwrap();
+        b.fact("f", ("", "A"), ("", "L")).unwrap();
+        let s = b.finish().unwrap();
+        assert!(print(&s).contains("FACT f ( _ : A , _ : L );"));
+    }
+
+    #[test]
+    fn literal_forms() {
+        assert_eq!(literal(&Value::str("x'y")), "'x''y'");
+        assert_eq!(literal(&Value::Int(7)), "7");
+        assert_eq!(literal(&Value::Num(ridl_brm::Decimal::new(350, 1))), "35.0");
+        assert_eq!(literal(&Value::Num(ridl_brm::Decimal::whole(35))), "35.0");
+        assert_eq!(literal(&Value::Bool(true)), "TRUE");
+        assert_eq!(literal(&Value::Date(9)), "DATE 9");
+    }
+}

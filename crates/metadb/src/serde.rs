@@ -1,0 +1,336 @@
+//! Textual encoding of constraint bodies and data types for the
+//! `CONSTRAINT_` and `OBJECT_TYPE` meta-tables.
+//!
+//! The format is a compact single-line notation (the 1989 system stored
+//! comparable specs in ORACLE VARCHAR columns). Strings inside value lists
+//! are isolated with the ASCII unit separator, so arbitrary user values
+//! round-trip.
+
+use ridl_brm::{
+    ConstraintKind, DataType, Decimal, FactTypeId, ObjectTypeId, RoleOrSublink, RoleRef, Side,
+    SublinkId, Value,
+};
+
+use crate::MetaDbError;
+
+const US: char = '\u{1f}';
+
+fn enc_role(r: &RoleRef) -> String {
+    format!(
+        "f{}.{}",
+        r.fact.raw(),
+        match r.side {
+            Side::Left => "L",
+            Side::Right => "R",
+        }
+    )
+}
+
+fn dec_role(s: &str) -> Result<RoleRef, MetaDbError> {
+    let rest = s
+        .strip_prefix('f')
+        .ok_or_else(|| MetaDbError::Corrupt(format!("role {s}")))?;
+    let (num, side) = rest
+        .split_once('.')
+        .ok_or_else(|| MetaDbError::Corrupt(format!("role {s}")))?;
+    let fact = FactTypeId::from_raw(
+        num.parse()
+            .map_err(|_| MetaDbError::Corrupt(format!("role {s}")))?,
+    );
+    let side = match side {
+        "L" => Side::Left,
+        "R" => Side::Right,
+        _ => return Err(MetaDbError::Corrupt(format!("role {s}"))),
+    };
+    Ok(RoleRef::new(fact, side))
+}
+
+fn enc_roles(rs: &[RoleRef]) -> String {
+    rs.iter().map(enc_role).collect::<Vec<_>>().join(",")
+}
+
+fn dec_roles(s: &str) -> Result<Vec<RoleRef>, MetaDbError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(dec_role).collect()
+}
+
+fn enc_item(i: &RoleOrSublink) -> String {
+    match i {
+        RoleOrSublink::Role(r) => format!("r:{}", enc_role(r)),
+        RoleOrSublink::Sublink(s) => format!("s:{}", s.raw()),
+    }
+}
+
+fn dec_item(s: &str) -> Result<RoleOrSublink, MetaDbError> {
+    if let Some(r) = s.strip_prefix("r:") {
+        return Ok(RoleOrSublink::Role(dec_role(r)?));
+    }
+    if let Some(n) = s.strip_prefix("s:") {
+        return Ok(RoleOrSublink::Sublink(SublinkId::from_raw(
+            n.parse()
+                .map_err(|_| MetaDbError::Corrupt(format!("item {s}")))?,
+        )));
+    }
+    Err(MetaDbError::Corrupt(format!("item {s}")))
+}
+
+fn enc_items(is: &[RoleOrSublink]) -> String {
+    is.iter().map(enc_item).collect::<Vec<_>>().join(",")
+}
+
+fn dec_items(s: &str) -> Result<Vec<RoleOrSublink>, MetaDbError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(dec_item).collect()
+}
+
+/// Encodes a value as a typed token.
+pub fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("S{s}"),
+        Value::Int(i) => format!("I{i}"),
+        Value::Num(d) => format!("N{}/{}", d.mantissa, d.scale),
+        Value::Date(d) => format!("D{d}"),
+        Value::Bool(b) => format!("B{}", if *b { 1 } else { 0 }),
+        Value::Entity(e) => format!("E{}", e.0),
+    }
+}
+
+/// Decodes a typed value token.
+pub fn decode_value(s: &str) -> Result<Value, MetaDbError> {
+    let bad = || MetaDbError::Corrupt(format!("value {s}"));
+    let (tag, rest) = s.split_at(1);
+    Ok(match tag {
+        "S" => Value::str(rest),
+        "I" => Value::Int(rest.parse().map_err(|_| bad())?),
+        "N" => {
+            let (m, sc) = rest.split_once('/').ok_or_else(bad)?;
+            Value::Num(Decimal::new(
+                m.parse().map_err(|_| bad())?,
+                sc.parse().map_err(|_| bad())?,
+            ))
+        }
+        "D" => Value::Date(rest.parse().map_err(|_| bad())?),
+        "B" => Value::Bool(rest == "1"),
+        "E" => Value::entity(rest.parse().map_err(|_| bad())?),
+        _ => return Err(bad()),
+    })
+}
+
+/// Encodes a constraint body.
+pub fn encode_constraint(kind: &ConstraintKind) -> String {
+    match kind {
+        ConstraintKind::Uniqueness { roles } => format!("UNIQ {}", enc_roles(roles)),
+        ConstraintKind::Total { over, items } => {
+            format!("TOTAL {} {}", over.raw(), enc_items(items))
+        }
+        ConstraintKind::Exclusion { items } => format!("EXCL {}", enc_items(items)),
+        ConstraintKind::Subset { sub, sup } => {
+            format!("SUBSET {}|{}", enc_roles(sub), enc_roles(sup))
+        }
+        ConstraintKind::Equality { a, b } => {
+            format!("EQ {}|{}", enc_roles(a), enc_roles(b))
+        }
+        ConstraintKind::Cardinality { role, min, max } => format!(
+            "CARD {} {} {}",
+            enc_role(role),
+            min,
+            max.map(|m| m.to_string()).unwrap_or_else(|| "*".into())
+        ),
+        ConstraintKind::Value { over, values } => {
+            let vs: Vec<String> = values.iter().map(encode_value).collect();
+            format!("VAL {} {}", over.raw(), vs.join(&US.to_string()))
+        }
+    }
+}
+
+/// Decodes a constraint body.
+pub fn decode_constraint(s: &str) -> Result<ConstraintKind, MetaDbError> {
+    let bad = || MetaDbError::Corrupt(format!("constraint {s}"));
+    let (tag, rest) = s.split_once(' ').unwrap_or((s, ""));
+    Ok(match tag {
+        "UNIQ" => ConstraintKind::Uniqueness {
+            roles: dec_roles(rest)?,
+        },
+        "TOTAL" => {
+            let (over, items) = rest.split_once(' ').ok_or_else(bad)?;
+            ConstraintKind::Total {
+                over: ObjectTypeId::from_raw(over.parse().map_err(|_| bad())?),
+                items: dec_items(items)?,
+            }
+        }
+        "EXCL" => ConstraintKind::Exclusion {
+            items: dec_items(rest)?,
+        },
+        "SUBSET" => {
+            let (a, b) = rest.split_once('|').ok_or_else(bad)?;
+            ConstraintKind::Subset {
+                sub: dec_roles(a)?,
+                sup: dec_roles(b)?,
+            }
+        }
+        "EQ" => {
+            let (a, b) = rest.split_once('|').ok_or_else(bad)?;
+            ConstraintKind::Equality {
+                a: dec_roles(a)?,
+                b: dec_roles(b)?,
+            }
+        }
+        "CARD" => {
+            let mut parts = rest.split(' ');
+            let role = dec_role(parts.next().ok_or_else(bad)?)?;
+            let min = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let max = match parts.next().ok_or_else(bad)? {
+                "*" => None,
+                m => Some(m.parse().map_err(|_| bad())?),
+            };
+            ConstraintKind::Cardinality { role, min, max }
+        }
+        "VAL" => {
+            let (over, vals) = rest.split_once(' ').unwrap_or((rest, ""));
+            let values = if vals.is_empty() {
+                Vec::new()
+            } else {
+                vals.split(US)
+                    .map(decode_value)
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            ConstraintKind::Value {
+                over: ObjectTypeId::from_raw(over.parse().map_err(|_| bad())?),
+                values,
+            }
+        }
+        _ => return Err(bad()),
+    })
+}
+
+/// Parses a [`DataType`] back from its `Display` form.
+pub fn parse_data_type(s: &str) -> Result<DataType, MetaDbError> {
+    let bad = || MetaDbError::Corrupt(format!("data type {s}"));
+    let parse_n = |inner: &str| -> Result<u16, MetaDbError> { inner.parse().map_err(|_| bad()) };
+    Ok(match s {
+        "INTEGER" => DataType::Integer,
+        "REAL" => DataType::Real,
+        "DATE" => DataType::Date,
+        "BOOLEAN" => DataType::Boolean,
+        "SURROGATE" => DataType::Surrogate,
+        _ => {
+            if let Some(rest) = s.strip_prefix("CHAR(") {
+                DataType::Char(parse_n(rest.strip_suffix(')').ok_or_else(bad)?)?)
+            } else if let Some(rest) = s.strip_prefix("VARCHAR(") {
+                DataType::VarChar(parse_n(rest.strip_suffix(')').ok_or_else(bad)?)?)
+            } else if let Some(rest) = s.strip_prefix("NUMERIC(") {
+                let inner = rest.strip_suffix(')').ok_or_else(bad)?;
+                match inner.split_once(',') {
+                    Some((p, sc)) => DataType::Numeric(
+                        p.parse().map_err(|_| bad())?,
+                        sc.parse().map_err(|_| bad())?,
+                    ),
+                    None => DataType::Numeric(inner.parse().map_err(|_| bad())?, 0),
+                }
+            } else {
+                return Err(bad());
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_and_items_round_trip() {
+        let r = RoleRef::new(FactTypeId::from_raw(7), Side::Right);
+        assert_eq!(dec_role(&enc_role(&r)).unwrap(), r);
+        let items = vec![
+            RoleOrSublink::Role(r),
+            RoleOrSublink::Sublink(SublinkId::from_raw(3)),
+        ];
+        assert_eq!(dec_items(&enc_items(&items)).unwrap(), items);
+    }
+
+    #[test]
+    fn constraints_round_trip() {
+        let l = RoleRef::new(FactTypeId::from_raw(0), Side::Left);
+        let r = RoleRef::new(FactTypeId::from_raw(1), Side::Right);
+        let kinds = vec![
+            ConstraintKind::Uniqueness { roles: vec![l, r] },
+            ConstraintKind::Total {
+                over: ObjectTypeId::from_raw(2),
+                items: vec![
+                    RoleOrSublink::Role(l),
+                    RoleOrSublink::Sublink(SublinkId::from_raw(0)),
+                ],
+            },
+            ConstraintKind::Exclusion {
+                items: vec![RoleOrSublink::Role(l), RoleOrSublink::Role(r)],
+            },
+            ConstraintKind::Subset {
+                sub: vec![l],
+                sup: vec![r],
+            },
+            ConstraintKind::Equality {
+                a: vec![l, r],
+                b: vec![r, l],
+            },
+            ConstraintKind::Cardinality {
+                role: l,
+                min: 2,
+                max: Some(4),
+            },
+            ConstraintKind::Cardinality {
+                role: r,
+                min: 1,
+                max: None,
+            },
+            ConstraintKind::Value {
+                over: ObjectTypeId::from_raw(1),
+                values: vec![
+                    Value::str("A, with comma"),
+                    Value::Int(-3),
+                    Value::Num(Decimal::new(1234, 2)),
+                    Value::Date(99),
+                    Value::Bool(true),
+                ],
+            },
+            ConstraintKind::Value {
+                over: ObjectTypeId::from_raw(1),
+                values: vec![],
+            },
+        ];
+        for k in kinds {
+            let enc = encode_constraint(&k);
+            let dec = decode_constraint(&enc).unwrap_or_else(|e| panic!("{enc}: {e}"));
+            assert_eq!(dec, k, "{enc}");
+        }
+    }
+
+    #[test]
+    fn data_types_round_trip() {
+        for dt in [
+            DataType::Char(6),
+            DataType::VarChar(30),
+            DataType::Numeric(3, 0),
+            DataType::Numeric(7, 2),
+            DataType::Integer,
+            DataType::Real,
+            DataType::Date,
+            DataType::Boolean,
+            DataType::Surrogate,
+        ] {
+            assert_eq!(parse_data_type(&dt.to_string()).unwrap(), dt);
+        }
+        assert!(parse_data_type("NONSENSE").is_err());
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        assert!(decode_constraint("BOGUS x").is_err());
+        assert!(decode_constraint("UNIQ notarole").is_err());
+        assert!(decode_value("Xxx").is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! The conceptual query model: paths over the binary schema.
+
+use ridl_brm::Value;
+
+/// One step of a conceptual path: follow a fact away from the current
+/// object type. The step is named by the *role the current object type
+/// plays* (e.g. `titled` from `Paper`) or, equivalently, by the fact-type
+/// name; resolution tries the role name first.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PathStep {
+    /// Role or fact name.
+    pub name: String,
+}
+
+/// A comparison in the WHERE clause.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Comparison {
+    /// The path's value equals the literal.
+    Eq(Vec<PathStep>, Value),
+    /// The path has a value.
+    Exists(Vec<PathStep>),
+    /// The path has no value.
+    Missing(Vec<PathStep>),
+}
+
+/// A conceptual query:
+/// `LIST <ObjectType> ( path , path , … ) [ WHERE cond [AND cond …] ]`.
+///
+/// The result lists, per instance of the head object type, the lexical
+/// values reached by each projection path (the head's own reference tuple
+/// can be listed by naming its identifier role). Optional paths yield NULL;
+/// many-valued paths multiply rows, as a relational join would.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConceptualQuery {
+    /// The head object type name.
+    pub head: String,
+    /// The projection paths, in output order.
+    pub projections: Vec<Vec<PathStep>>,
+    /// Conjunctive filter.
+    pub filters: Vec<Comparison>,
+}
+
+impl ConceptualQuery {
+    /// A query listing the head with the given single-step projections.
+    pub fn list(head: impl Into<String>, steps: &[&str]) -> Self {
+        Self {
+            head: head.into(),
+            projections: steps
+                .iter()
+                .map(|s| {
+                    s.split('.')
+                        .map(|n| PathStep { name: n.to_owned() })
+                        .collect()
+                })
+                .collect(),
+            filters: Vec::new(),
+        }
+    }
+
+    /// Adds an equality filter on a dotted path.
+    pub fn where_eq(mut self, path: &str, value: Value) -> Self {
+        self.filters.push(Comparison::Eq(
+            path.split('.')
+                .map(|n| PathStep { name: n.to_owned() })
+                .collect(),
+            value,
+        ));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_splits_dotted_paths() {
+        let q = ConceptualQuery::list("Person", &["affiliated_with.located_in"])
+            .where_eq("has_name", Value::str("Olga"));
+        assert_eq!(q.projections[0].len(), 2);
+        assert_eq!(q.projections[0][1].name, "located_in");
+        assert!(matches!(&q.filters[0], Comparison::Eq(p, _) if p.len() == 1));
+    }
+}

@@ -1,0 +1,700 @@
+//! Compilation of conceptual path queries through the forwards map.
+//!
+//! The compiler walks a [`ConceptualQuery`]'s paths over the *binary*
+//! schema, consulting the [`MappingOutput`]'s fact realisations to decide,
+//! per step, whether the value is already in the current relation, needs a
+//! join to a sub/super-relation (through keys, `_Is` columns or link
+//! tables), or lives in a fact relation of its own. The output is an
+//! executable [`ridl_engine::Query`] plus the **join count** — the cost the
+//! sublink and null options trade against redundancy (§4.2).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ridl_brm::{ObjectTypeId, RoleRef, Schema, Side, Value};
+use ridl_core::{FactRealization, MappingOutput, SubMembership};
+use ridl_engine::{Pred, Query};
+use ridl_relational::TableId;
+
+use crate::ast::{Comparison, ConceptualQuery, PathStep};
+
+/// A compilation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// The head object type does not exist.
+    UnknownObjectType(String),
+    /// A step matched no role or fact of the current object type.
+    UnknownStep {
+        /// The step name.
+        step: String,
+        /// The object type it was applied to.
+        at: String,
+    },
+    /// The path traverses a concept the mapping did not realise.
+    NotMapped(String),
+    /// A structurally valid query the compiler cannot plan (e.g. a table
+    /// would have to be joined twice).
+    Unsupported(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownObjectType(n) => write!(f, "unknown object type {n}"),
+            CompileError::UnknownStep { step, at } => {
+                write!(f, "no role or fact named `{step}` on {at}")
+            }
+            CompileError::NotMapped(m) => write!(f, "concept not mapped: {m}"),
+            CompileError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The compiled plan.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    /// The executable relational query.
+    pub query: Query,
+    /// Number of joins the plan needs — the §4.2.2 cost metric.
+    pub join_count: usize,
+    /// Output column labels, one per projection column (a multi-column
+    /// reference tuple contributes several).
+    pub columns: Vec<String>,
+}
+
+struct Compiler<'a> {
+    schema: &'a Schema,
+    out: &'a MappingOutput,
+    query: Query,
+    joined: HashMap<TableId, Vec<(String, String)>>,
+    base_table: TableId,
+}
+
+/// A value position reached by a path: columns in some (joined) table.
+#[derive(Clone, Debug)]
+struct Position {
+    table: TableId,
+    cols: Vec<u32>,
+    /// The object type the columns identify, when entity-valued.
+    ot: Option<ObjectTypeId>,
+}
+
+impl<'a> Compiler<'a> {
+    fn table_name(&self, t: TableId) -> &str {
+        &self.out.rel.table(t).name
+    }
+
+    fn qualified(&self, t: TableId, col: u32) -> String {
+        format!(
+            "{}.{}",
+            self.table_name(t),
+            self.out.rel.table(t).column(col).name
+        )
+    }
+
+    fn join(&mut self, target: TableId, on: Vec<(String, String)>) -> Result<(), CompileError> {
+        // Identical joins are shared between paths; a second join of the
+        // same table under a *different* condition would need aliasing,
+        // which the engine's query model does not have.
+        if let Some(prev) = self.joined.get(&target) {
+            if *prev == on {
+                return Ok(());
+            }
+            return Err(CompileError::Unsupported(format!(
+                "table {} would be joined twice under different conditions",
+                self.table_name(target)
+            )));
+        }
+        if target == self.base_table {
+            return Err(CompileError::Unsupported(format!(
+                "table {} would be joined to itself",
+                self.table_name(target)
+            )));
+        }
+        self.joined.insert(target, on.clone());
+        self.query.joins.push(ridl_engine::query::Join {
+            table: self.table_name(target).to_owned(),
+            on,
+        });
+        Ok(())
+    }
+
+    /// Ensures the cursor's entity (identified by `pos`) is joined to its
+    /// anchor relation; returns the anchor position (key columns).
+    fn anchor_position(&mut self, pos: &Position) -> Result<Position, CompileError> {
+        let ot = pos.ot.ok_or_else(|| {
+            CompileError::Unsupported("cannot traverse through a lexical value".into())
+        })?;
+        let host = self.out.host_of(ot);
+        let anchor = self
+            .out
+            .anchor_of(host)
+            .or_else(|| {
+                // Subtype without its own relation: its facts live in the
+                // host's table, so the host anchor is the right target.
+                self.out.anchor_of(self.out.host_of(host))
+            })
+            .ok_or_else(|| {
+                CompileError::NotMapped(format!(
+                    "{} has no anchor relation",
+                    self.schema.ot_name(host)
+                ))
+            })?
+            .clone();
+        if anchor.table == pos.table {
+            return Ok(Position {
+                table: anchor.table,
+                cols: anchor.key_cols.clone(),
+                ot: Some(ot),
+            });
+        }
+        let on: Vec<(String, String)> = pos
+            .cols
+            .iter()
+            .zip(&anchor.key_cols)
+            .map(|(c, k)| {
+                (
+                    self.qualified(pos.table, *c),
+                    self.out.rel.table(anchor.table).column(*k).name.clone(),
+                )
+            })
+            .collect();
+        if on.len() != anchor.key_cols.len() {
+            return Err(CompileError::Unsupported(format!(
+                "representation widths differ joining to {}",
+                self.schema.ot_name(host)
+            )));
+        }
+        self.join(anchor.table, on)?;
+        Ok(Position {
+            table: anchor.table,
+            cols: anchor.key_cols.clone(),
+            ot: Some(ot),
+        })
+    }
+
+    /// Resolves one step from `cur`: the fact and the side `cur` plays.
+    fn resolve_step(&self, cur: ObjectTypeId, step: &PathStep) -> Result<RoleRef, CompileError> {
+        // Match the role the object type plays, the fact-type name, or the
+        // co-role name (the value side), in that priority order.
+        for match_co in [false, true] {
+            for ot in self.schema.ancestors_of(cur) {
+                for role in self.schema.roles_of(ot) {
+                    let ft = self.schema.fact_type(role.fact);
+                    let hit = if match_co {
+                        ft.role(role.side.other()).name == step.name
+                    } else {
+                        ft.role(role.side).name == step.name || ft.name == step.name
+                    };
+                    if hit {
+                        return Ok(role);
+                    }
+                }
+            }
+        }
+        Err(CompileError::UnknownStep {
+            step: step.name.clone(),
+            at: self.schema.ot_name(cur).to_owned(),
+        })
+    }
+
+    /// If the mapping duplicated the value this step reaches into the
+    /// *current* table (a combine directive), serve it from the duplicate —
+    /// the query-efficiency payoff the paper buys with controlled
+    /// redundancy. `via_pos` is the position of the combined fact's value
+    /// columns (the determinant of the duplication).
+    fn combine_shortcut(
+        &mut self,
+        via: ridl_brm::FactTypeId,
+        via_pos: &Position,
+        next_role: RoleRef,
+    ) -> Option<Position> {
+        let rec = self
+            .out
+            .combines
+            .iter()
+            .find(|r| r.via == via && r.table == via_pos.table && r.det_cols == via_pos.cols)?;
+        // The next step must be an attribute fact realised in the combine's
+        // target table whose value columns were all copied.
+        if let FactRealization::Attribute {
+            table, value_cols, ..
+        } = self.out.realization(next_role.fact)
+        {
+            if *table != rec.target_table {
+                return None;
+            }
+            let mapped: Option<Vec<u32>> = value_cols
+                .iter()
+                .map(|vc| {
+                    rec.target_src_cols
+                        .iter()
+                        .position(|sc| sc == vc)
+                        .map(|i| rec.dup_cols[i])
+                })
+                .collect();
+            let value_player = self
+                .schema
+                .role_player(RoleRef::new(next_role.fact, next_role.side.other()));
+            let mapped = mapped?;
+            // Match the inner-join semantics of the non-denormalised plan:
+            // rows without the combined fact contribute nothing.
+            for c in &via_pos.cols {
+                let pred = Pred::NotNull(self.qualified(via_pos.table, *c));
+                if !self.query.filter.contains(&pred) {
+                    self.query.filter.push(pred);
+                }
+            }
+            return Some(Position {
+                table: via_pos.table,
+                cols: mapped,
+                ot: if self.schema.kind_of(value_player).is_entity_like() {
+                    Some(value_player)
+                } else {
+                    None
+                },
+            });
+        }
+        None
+    }
+
+    /// Walks one step: from the entity at `pos`, through the fact, to the
+    /// value position on the other side. Returns the traversed fact too, so
+    /// the caller can recognise combine-duplicated continuations.
+    fn walk(
+        &mut self,
+        pos: Position,
+        step: &PathStep,
+    ) -> Result<(Position, ridl_brm::FactTypeId), CompileError> {
+        let cur = pos.ot.ok_or_else(|| {
+            CompileError::Unsupported(format!(
+                "cannot follow `{}` from a lexical value",
+                step.name
+            ))
+        })?;
+        let role = self.resolve_step(cur, step)?;
+        let value_role = role.co_role();
+        let value_player = self.schema.role_player(value_role);
+        let value_ot = if self.schema.kind_of(value_player).is_entity_like() {
+            Some(value_player)
+        } else {
+            None
+        };
+        match self.out.realization(role.fact).clone() {
+            FactRealization::Omitted => Err(CompileError::NotMapped(format!(
+                "fact {} was omitted by option",
+                self.schema.fact_type(role.fact).name
+            ))),
+            FactRealization::KeyOf {
+                table,
+                anchor_side,
+                cols,
+                ..
+            } => {
+                if anchor_side != role.side {
+                    // Traversing a reference fact backwards (LOT → entity):
+                    // the key columns *are* the entity's reference.
+                    return Err(CompileError::Unsupported(
+                        "traversal from a lexical identifier back to its entity".into(),
+                    ));
+                }
+                let here = self.locate(pos, table)?;
+                Ok((
+                    Position {
+                        table: here,
+                        cols,
+                        ot: value_ot,
+                    },
+                    role.fact,
+                ))
+            }
+            FactRealization::Attribute {
+                table,
+                anchor_side,
+                value_cols,
+                key_cols,
+                ..
+            } => {
+                if anchor_side == role.side {
+                    let here = self.locate(pos, table)?;
+                    Ok((
+                        Position {
+                            table: here,
+                            cols: value_cols,
+                            ot: value_ot,
+                        },
+                        role.fact,
+                    ))
+                } else {
+                    // Backwards traversal: from the value player to the
+                    // anchor — the anchor's key columns in the same table.
+                    let here = self.locate_via(pos, table, &value_cols)?;
+                    Ok((
+                        Position {
+                            table: here,
+                            cols: key_cols,
+                            ot: Some(self.schema.role_player(value_role)),
+                        },
+                        role.fact,
+                    ))
+                }
+            }
+            FactRealization::OwnTable {
+                table,
+                left_cols,
+                right_cols,
+            } => {
+                let (my_cols, other_cols) = match role.side {
+                    Side::Left => (left_cols, right_cols),
+                    Side::Right => (right_cols, left_cols),
+                };
+                let here = self.locate_via(pos, table, &my_cols)?;
+                Ok((
+                    Position {
+                        table: here,
+                        cols: other_cols,
+                        ot: value_ot,
+                    },
+                    role.fact,
+                ))
+            }
+        }
+    }
+
+    /// Brings the cursor to `target`, a table keyed by the cursor entity's
+    /// representation (anchor-style). Handles same-table, key-joined, `_Is`
+    /// and link-table hops.
+    fn locate(&mut self, pos: Position, target: TableId) -> Result<TableId, CompileError> {
+        if pos.table == target {
+            return Ok(target);
+        }
+        let ot = pos.ot.expect("locate called on entity positions");
+        // The target might be keyed by a supertype's representation while
+        // the cursor is at a subtype relation with its own key: go through
+        // the sublink membership realisation.
+        for (sid, sl) in self.schema.sublinks() {
+            if self.schema.ancestors_of(ot).contains(&sl.sub) {
+                match &self.out.sub_memb[sid.index()] {
+                    Some(SubMembership::OwnKeyLinked {
+                        table,
+                        key_cols,
+                        super_table,
+                        is_cols,
+                    }) if *table == pos.table && *super_table == target => {
+                        let on = key_cols
+                            .iter()
+                            .zip(is_cols)
+                            .map(|(k, i)| {
+                                (
+                                    self.qualified(pos.table, *k),
+                                    self.out.rel.table(target).column(*i).name.clone(),
+                                )
+                            })
+                            .collect();
+                        self.join(target, on)?;
+                        return Ok(target);
+                    }
+                    Some(SubMembership::LinkTable {
+                        table,
+                        key_cols,
+                        link_table,
+                        link_sub_cols,
+                        link_sup_cols,
+                    }) if *table == pos.table => {
+                        // Two hops: sub → link → super.
+                        let on = key_cols
+                            .iter()
+                            .zip(link_sub_cols)
+                            .map(|(k, l)| {
+                                (
+                                    self.qualified(pos.table, *k),
+                                    self.out.rel.table(*link_table).column(*l).name.clone(),
+                                )
+                            })
+                            .collect();
+                        self.join(*link_table, on)?;
+                        let sup_anchor =
+                            self.out
+                                .anchor_of(self.out.host_of(sl.sup))
+                                .ok_or_else(|| {
+                                    CompileError::NotMapped("supertype has no relation".into())
+                                })?;
+                        if sup_anchor.table != target {
+                            return Err(CompileError::Unsupported(
+                                "link table does not lead to the requested relation".into(),
+                            ));
+                        }
+                        let on2 = link_sup_cols
+                            .iter()
+                            .zip(&sup_anchor.key_cols)
+                            .map(|(l, k)| {
+                                (
+                                    self.qualified(*link_table, *l),
+                                    self.out.rel.table(target).column(*k).name.clone(),
+                                )
+                            })
+                            .collect();
+                        self.join(target, on2)?;
+                        return Ok(target);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Default: both tables are keyed by the same representation — join
+        // key to key (sub-relation with inherited scheme, or vice versa).
+        let target_key = self
+            .out
+            .rel
+            .primary_key_of(target)
+            .ok_or_else(|| CompileError::Unsupported("target relation has no key".into()))?
+            .to_vec();
+        if target_key.len() != pos.cols.len() {
+            return Err(CompileError::Unsupported(format!(
+                "key widths differ joining {} to {}",
+                self.table_name(pos.table),
+                self.table_name(target)
+            )));
+        }
+        let on = pos
+            .cols
+            .iter()
+            .zip(&target_key)
+            .map(|(c, k)| {
+                (
+                    self.qualified(pos.table, *c),
+                    self.out.rel.table(target).column(*k).name.clone(),
+                )
+            })
+            .collect();
+        self.join(target, on)?;
+        Ok(target)
+    }
+
+    /// Brings the cursor to `target` joining on the given columns of the
+    /// target (which hold the cursor entity's representation).
+    fn locate_via(
+        &mut self,
+        pos: Position,
+        target: TableId,
+        target_cols: &[u32],
+    ) -> Result<TableId, CompileError> {
+        if pos.table == target {
+            return Ok(target);
+        }
+        if target_cols.len() != pos.cols.len() {
+            return Err(CompileError::Unsupported(format!(
+                "representation widths differ joining {} to {}",
+                self.table_name(pos.table),
+                self.table_name(target)
+            )));
+        }
+        let on = pos
+            .cols
+            .iter()
+            .zip(target_cols)
+            .map(|(c, k)| {
+                (
+                    self.qualified(pos.table, *c),
+                    self.out.rel.table(target).column(*k).name.clone(),
+                )
+            })
+            .collect();
+        self.join(target, on)?;
+        Ok(target)
+    }
+}
+
+impl<'a> Compiler<'a> {
+    /// Walks a whole path from the base position, using duplicated
+    /// (combined) columns where the mapping provides them.
+    fn walk_path(&mut self, base: &Position, path: &[PathStep]) -> Result<Position, CompileError> {
+        let mut pos = base.clone();
+        let mut prev: Option<(ridl_brm::FactTypeId, Position)> = None;
+        for (i, step) in path.iter().enumerate() {
+            if i > 0 && pos.ot.is_some() {
+                // Prefer the denormalised duplicate when it covers this step.
+                if let Some((via, via_pos)) = &prev {
+                    if let Ok(next_role) = self.resolve_step(pos.ot.expect("checked above"), step) {
+                        if let Some(short) = self.combine_shortcut(*via, via_pos, next_role) {
+                            prev = Some((next_role.fact, short.clone()));
+                            pos = short;
+                            continue;
+                        }
+                    }
+                }
+                pos = self.anchor_position(&pos)?;
+            }
+            let before = pos.clone();
+            let (next, fact) = self.walk(pos, step)?;
+            let _ = before;
+            prev = Some((fact, next.clone()));
+            pos = next;
+        }
+        Ok(pos)
+    }
+}
+
+/// Compiles a conceptual query against a mapping.
+///
+/// ```
+/// use ridl_brm::builder::{identify, SchemaBuilder};
+/// use ridl_brm::DataType;
+/// use ridl_core::{MappingOptions, Workbench};
+/// use ridl_query::{compile, ConceptualQuery};
+///
+/// let mut b = SchemaBuilder::new("demo");
+/// b.nolot("Paper").unwrap();
+/// identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+/// let wb = Workbench::new(b.finish().unwrap());
+/// let out = wb.map(&MappingOptions::new()).unwrap();
+/// let q = ConceptualQuery::list("Paper", &["identified_by"]);
+/// let compiled = compile(&out, &q).unwrap();
+/// assert_eq!(compiled.join_count, 0);
+/// assert_eq!(compiled.columns, vec!["identified_by"]);
+/// ```
+pub fn compile(out: &MappingOutput, q: &ConceptualQuery) -> Result<CompiledQuery, CompileError> {
+    let schema = &out.schema;
+    let head = schema
+        .object_type_by_name(&q.head)
+        .ok_or_else(|| CompileError::UnknownObjectType(q.head.clone()))?;
+
+    // The base relation and the implicit membership filters.
+    let (base_table, base_cols, mut base_preds) = base_position(out, head)?;
+    let mut c = Compiler {
+        schema,
+        out,
+        query: Query::from(out.rel.table(base_table).name.clone()),
+        joined: HashMap::new(),
+        base_table,
+    };
+
+    let base_pos = Position {
+        table: base_table,
+        cols: base_cols,
+        ot: Some(head),
+    };
+
+    // Projections.
+    let mut select = Vec::new();
+    let mut labels = Vec::new();
+    for path in &q.projections {
+        let pos = c.walk_path(&base_pos, path)?;
+        let label_base: String = path
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join(".");
+        for (i, col) in pos.cols.iter().enumerate() {
+            select.push(c.qualified(pos.table, *col));
+            if pos.cols.len() == 1 {
+                labels.push(label_base.clone());
+            } else {
+                labels.push(format!("{label_base}#{i}"));
+            }
+        }
+    }
+
+    // Filters.
+    for f in &q.filters {
+        let (path, pred): (&[PathStep], _) = match f {
+            Comparison::Eq(p, v) => (p, Some(v.clone())),
+            Comparison::Exists(p) | Comparison::Missing(p) => (p, None),
+        };
+        let pos = c.walk_path(&base_pos, path)?;
+        match f {
+            Comparison::Eq(_, _) => {
+                if pos.cols.len() != 1 {
+                    return Err(CompileError::Unsupported(
+                        "equality against a compound reference".into(),
+                    ));
+                }
+                base_preds.push(Pred::Eq(
+                    c.qualified(pos.table, pos.cols[0]),
+                    pred.expect("Eq carries a value"),
+                ));
+            }
+            Comparison::Exists(_) => {
+                for col in &pos.cols {
+                    base_preds.push(Pred::NotNull(c.qualified(pos.table, *col)));
+                }
+            }
+            Comparison::Missing(_) => {
+                for col in &pos.cols {
+                    base_preds.push(Pred::IsNull(c.qualified(pos.table, *col)));
+                }
+            }
+        }
+    }
+
+    c.query.select = select;
+    // Keep any predicates the path walking added (combine shortcuts).
+    for p in base_preds {
+        if !c.query.filter.contains(&p) {
+            c.query.filter.push(p);
+        }
+    }
+    let join_count = c.query.join_count();
+    Ok(CompiledQuery {
+        query: c.query,
+        join_count,
+        columns: labels,
+    })
+}
+
+/// The base relation of an object type and the implicit membership filter.
+fn base_position(
+    out: &MappingOutput,
+    head: ObjectTypeId,
+) -> Result<(TableId, Vec<u32>, Vec<Pred>), CompileError> {
+    let schema = &out.schema;
+    if let Some(a) = out.anchor_of(head) {
+        return Ok((a.table, a.key_cols.clone(), Vec::new()));
+    }
+    // A subtype without its own relation: start at the membership
+    // selection, turning its filters into predicates.
+    for (sid, sl) in schema.sublinks() {
+        if sl.sub != head {
+            continue;
+        }
+        if let Some(sel) = out.membership_selection(schema, sid) {
+            let table = sel.table;
+            let name = |c: &u32| {
+                format!(
+                    "{}.{}",
+                    out.rel.table(table).name,
+                    out.rel.table(table).column(*c).name
+                )
+            };
+            let mut preds: Vec<Pred> = sel
+                .not_null
+                .iter()
+                .map(|c| Pred::NotNull(name(c)))
+                .collect();
+            preds.extend(sel.eq.iter().map(|(c, v)| Pred::Eq(name(c), v.clone())));
+            return Ok((table, sel.cols.clone(), preds));
+        }
+    }
+    Err(CompileError::NotMapped(format!(
+        "{} has neither a relation nor a membership realisation",
+        schema.ot_name(head)
+    )))
+}
+
+/// Labelled result rows of an executed conceptual query.
+pub type LabelledRows = (Vec<String>, Vec<Vec<Option<Value>>>);
+
+/// Compiles and runs a conceptual query on a database holding the mapped
+/// state; returns the labelled rows.
+pub fn execute(
+    out: &MappingOutput,
+    db: &ridl_engine::Database,
+    q: &ConceptualQuery,
+) -> Result<LabelledRows, CompileError> {
+    let compiled = compile(out, q)?;
+    let rows = db
+        .select(&compiled.query)
+        .map_err(|e| CompileError::Unsupported(format!("execution failed: {e}")))?;
+    Ok((compiled.columns, rows))
+}

@@ -1,0 +1,38 @@
+//! # ridl-query — the RIDL conceptual query compiler
+//!
+//! §4.3 of the paper: "this forwards map will also play a key role in
+//! ultimately *compiling* such high-level process specifications into
+//! relational application programs. An early production-quality prototype
+//! of such a compiler for query processes on the BRM, known as the RIDL
+//! compiler (built in 1983), has already proven the effectiveness of that
+//! approach."
+//!
+//! This crate is that compiler for the query subset: conceptual **path
+//! queries** phrased entirely over the binary schema —
+//!
+//! ```text
+//! LIST Paper ( Paper_Id , titled , submitted_at )
+//!      WHERE titled = 'On NIAM'
+//! ```
+//!
+//! — are compiled *through the forwards map* ([`ridl_core::MappingOutput`])
+//! into relational plans over whatever schema the chosen mapping options
+//! produced, and executed on `ridl-engine`. The same conceptual query runs
+//! unchanged against any of the figure-6 alternatives; only the compiled
+//! join count differs, which is exactly the efficiency trade-off the
+//! mapping options control (§4.2.2).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod compile;
+pub mod parse;
+pub mod update;
+
+pub use ast::{Comparison, ConceptualQuery, PathStep};
+pub use compile::{compile, execute, CompileError, CompiledQuery};
+pub use parse::{parse_query, QueryParseError};
+pub use update::{
+    apply_add, apply_remove, parse_add, parse_remove, ConceptualAdd, ConceptualRemove,
+};

@@ -1,0 +1,205 @@
+//! Textual form of conceptual queries, in the spirit of the 1983 RIDL
+//! query language:
+//!
+//! ```text
+//! LIST Program_Paper ( has , presented_during , presented_by.has )
+//!      WHERE presented_by.has EXISTS AND scheduled_in = 3
+//! ```
+
+use std::fmt;
+
+use ridl_brm::Value;
+
+use crate::ast::{Comparison, ConceptualQuery, PathStep};
+
+/// A query-text parse error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+fn err(message: impl Into<String>) -> QueryParseError {
+    QueryParseError {
+        message: message.into(),
+    }
+}
+
+fn parse_path(s: &str) -> Result<Vec<PathStep>, QueryParseError> {
+    let steps: Vec<PathStep> = s
+        .split('.')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(|p| PathStep { name: p.to_owned() })
+        .collect();
+    if steps.is_empty() {
+        return Err(err(format!("empty path in `{s}`")));
+    }
+    Ok(steps)
+}
+
+/// Parses a literal token (string, number, TRUE/FALSE, `DATE n`). Shared
+/// with the update notation.
+pub fn parse_literal_pub(s: &str) -> Result<Value, QueryParseError> {
+    parse_literal(s)
+}
+
+fn parse_literal(s: &str) -> Result<Value, QueryParseError> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix('\'') {
+        let inner = inner
+            .strip_suffix('\'')
+            .ok_or_else(|| err(format!("unterminated string {s}")))?;
+        return Ok(Value::str(inner.replace("''", "'")));
+    }
+    if s.eq_ignore_ascii_case("TRUE") {
+        return Ok(Value::Bool(true));
+    }
+    if s.eq_ignore_ascii_case("FALSE") {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(d) = s.strip_prefix("DATE ") {
+        return Ok(Value::Date(
+            d.trim().parse().map_err(|_| err(format!("bad date {s}")))?,
+        ));
+    }
+    if let Some((whole, frac)) = s.split_once('.') {
+        let mantissa: i64 = format!("{whole}{frac}")
+            .parse()
+            .map_err(|_| err(format!("bad number {s}")))?;
+        return Ok(Value::Num(ridl_brm::Decimal::new(
+            mantissa,
+            frac.len() as u8,
+        )));
+    }
+    s.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(format!("bad literal {s}")))
+}
+
+/// Parses `LIST <Head> ( path , … ) [WHERE cond [AND cond]*]`.
+pub fn parse_query(src: &str) -> Result<ConceptualQuery, QueryParseError> {
+    let src = src.trim();
+    let rest = src
+        .strip_prefix("LIST ")
+        .or_else(|| src.strip_prefix("list "))
+        .ok_or_else(|| err("query must start with LIST"))?;
+    let open = rest.find('(').ok_or_else(|| err("missing ( after head"))?;
+    let head = rest[..open].trim().to_owned();
+    if head.is_empty() {
+        return Err(err("missing head object type"));
+    }
+    let close = rest.rfind(')').ok_or_else(|| err("missing )"))?;
+    // Split projection list from an optional trailing WHERE.
+    let (proj_part, tail) = {
+        // The projection parens close at the matching paren of `open`.
+        let mut depth = 0usize;
+        let mut end = None;
+        for (i, ch) in rest.char_indices().skip(open) {
+            match ch {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| err("unbalanced parentheses"))?;
+        (&rest[open + 1..end], rest[end + 1..].trim())
+    };
+    let _ = close;
+    let projections = proj_part
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(parse_path)
+        .collect::<Result<Vec<_>, _>>()?;
+    if projections.is_empty() {
+        return Err(err("at least one projection is required"));
+    }
+
+    let mut filters = Vec::new();
+    if !tail.is_empty() {
+        let conds = tail
+            .strip_prefix("WHERE ")
+            .or_else(|| tail.strip_prefix("where "))
+            .ok_or_else(|| err(format!("unexpected trailing `{tail}`")))?;
+        for cond in conds.split(" AND ") {
+            let cond = cond.trim();
+            if let Some((path, lit)) = cond.split_once('=') {
+                filters.push(Comparison::Eq(parse_path(path)?, parse_literal(lit)?));
+            } else if let Some(path) = cond
+                .strip_suffix(" EXISTS")
+                .or_else(|| cond.strip_suffix(" exists"))
+            {
+                filters.push(Comparison::Exists(parse_path(path)?));
+            } else if let Some(path) = cond
+                .strip_suffix(" MISSING")
+                .or_else(|| cond.strip_suffix(" missing"))
+            {
+                filters.push(Comparison::Missing(parse_path(path)?));
+            } else {
+                return Err(err(format!("cannot parse condition `{cond}`")));
+            }
+        }
+    }
+    Ok(ConceptualQuery {
+        head,
+        projections,
+        filters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_query_parses() {
+        let q = parse_query(
+            "LIST Program_Paper ( has , presented_during , presented_by.has ) \
+             WHERE presented_by.has EXISTS AND scheduled_in = 3",
+        )
+        .unwrap();
+        assert_eq!(q.head, "Program_Paper");
+        assert_eq!(q.projections.len(), 3);
+        assert_eq!(q.projections[2].len(), 2);
+        assert_eq!(q.filters.len(), 2);
+        assert!(matches!(&q.filters[0], Comparison::Exists(p) if p.len() == 2));
+        assert!(matches!(&q.filters[1], Comparison::Eq(_, Value::Int(3))));
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(parse_literal("'a''b'").unwrap(), Value::str("a'b"));
+        assert_eq!(parse_literal("42").unwrap(), Value::Int(42));
+        assert_eq!(
+            parse_literal("3.25").unwrap(),
+            Value::Num(ridl_brm::Decimal::new(325, 2))
+        );
+        assert_eq!(parse_literal("TRUE").unwrap(), Value::Bool(true));
+        assert_eq!(parse_literal("DATE 100").unwrap(), Value::Date(100));
+        assert!(parse_literal("nonsense").is_err());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("FETCH X ( a )").is_err());
+        assert!(parse_query("LIST X a, b").is_err());
+        assert!(parse_query("LIST X ( )").is_err());
+        assert!(parse_query("LIST X ( a ) HAVING b = 1").is_err());
+        assert!(parse_query("LIST X ( a ) WHERE b ~ 1").is_err());
+    }
+}

@@ -1,0 +1,389 @@
+//! Constraints of the extended relational model.
+//!
+//! Beyond keys and NOT NULL, these are the paper's *additional constraint
+//! types* (§4.1): they carry the conceptual semantics into the relational
+//! schema and state the **lossless rules** of the transformation. Where a
+//! target DBMS cannot enforce them, `ridl-sqlgen` renders them as commented
+//! pseudo-SQL, "a formal specification for a program segment" (§4.2.2).
+
+use std::fmt;
+
+use ridl_brm::Value;
+
+use crate::table::{ColRef, TableId};
+
+/// A projection of a table with optional `IS NOT NULL` filters — the
+/// building block of view constraints and of the forwards map's SELECTs.
+///
+/// Renders as
+/// `SELECT c1, c2 FROM t WHERE (f1 IS NOT NULL) AND (f2 = v)`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ColumnSelection {
+    /// The selected table.
+    pub table: TableId,
+    /// Projected column ordinals, in order.
+    pub cols: Vec<u32>,
+    /// Columns required to be non-null for a row to qualify.
+    pub not_null: Vec<u32>,
+    /// Columns required to equal a literal for a row to qualify (used for
+    /// indicator-attribute membership selections).
+    pub eq: Vec<(u32, Value)>,
+}
+
+impl ColumnSelection {
+    /// Selection of columns with no filter.
+    pub fn of(table: TableId, cols: Vec<u32>) -> Self {
+        Self {
+            table,
+            cols,
+            not_null: Vec::new(),
+            eq: Vec::new(),
+        }
+    }
+
+    /// Adds `IS NOT NULL` filters.
+    pub fn where_not_null(mut self, cols: Vec<u32>) -> Self {
+        self.not_null = cols;
+        self
+    }
+
+    /// Adds an equality filter.
+    pub fn where_eq(mut self, col: u32, value: Value) -> Self {
+        self.eq.push((col, value));
+        self
+    }
+}
+
+/// The kinds of relational constraints.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RelConstraintKind {
+    /// Primary key over the given columns. Unless the `NULL ALLOWED` mapping
+    /// option was used, key columns are NOT NULL (Entity Integrity Rule).
+    PrimaryKey {
+        /// The keyed table.
+        table: TableId,
+        /// Key column ordinals.
+        cols: Vec<u32>,
+    },
+    /// Candidate key (rendered dotted in the paper's diagrams, `UNIQUE` in
+    /// DDL). Rows with NULL in any key column are exempt, which is what the
+    /// `NULL ALLOWED` option relies on for non-homogeneously referenced
+    /// NOLOTs (§4.2.1).
+    CandidateKey {
+        /// The keyed table.
+        table: TableId,
+        /// Key column ordinals.
+        cols: Vec<u32>,
+    },
+    /// Foreign key: the (non-null) projection of `cols` must appear in
+    /// `ref_cols` of `ref_table`.
+    ForeignKey {
+        /// The referencing table.
+        table: TableId,
+        /// Referencing column ordinals.
+        cols: Vec<u32>,
+        /// The referenced table.
+        ref_table: TableId,
+        /// Referenced column ordinals.
+        ref_cols: Vec<u32>,
+    },
+    /// `C_EQ$`: the two selections have equal row sets (the paper's EQUALITY
+    /// VIEW CONSTRAINT; the lossless rule of table splitting and of
+    /// sub/super-relation separation).
+    EqualityView {
+        /// One side.
+        left: ColumnSelection,
+        /// The other side.
+        right: ColumnSelection,
+    },
+    /// `C_SS$`: the left selection's rows are contained in the right's.
+    SubsetView {
+        /// The contained side.
+        sub: ColumnSelection,
+        /// The containing side.
+        sup: ColumnSelection,
+    },
+    /// `C_EX$`: the selections are pairwise disjoint.
+    ExclusionView {
+        /// The mutually exclusive selections.
+        items: Vec<ColumnSelection>,
+    },
+    /// `C_TU$`: every row of `over` appears in at least one of `items`.
+    TotalUnionView {
+        /// The covered selection.
+        over: ColumnSelection,
+        /// The covering selections.
+        items: Vec<ColumnSelection>,
+    },
+    /// `C_DE$` (Dependent Existence, Alternative 4 of fig. 6): in any row of
+    /// `table`, `dependent IS NOT NULL` implies `on IS NOT NULL`.
+    DependentExistence {
+        /// The constrained table.
+        table: TableId,
+        /// The dependent column.
+        dependent: u32,
+        /// The column it depends on.
+        on: u32,
+    },
+    /// `C_EE$` (Equal Existence): in any row, the columns are all NULL or
+    /// all NOT NULL.
+    EqualExistence {
+        /// The constrained table.
+        table: TableId,
+        /// The co-existing columns.
+        cols: Vec<u32>,
+    },
+    /// `C_CEQ$` (conditional equality, the redundancy-control rule of the
+    /// `SUBOT INDICATOR FOR SUPOT` option, §4.2.2): a row of `keyed`'s
+    /// selection has `indicator = when_value` exactly when its key appears
+    /// in the sub-relation selection.
+    ConditionalEquality {
+        /// The super-relation table carrying the indicator.
+        table: TableId,
+        /// Ordinal of the indicator column.
+        indicator: u32,
+        /// Indicator value meaning "has a sub-relation tuple".
+        when_value: Value,
+        /// Key columns of the super-relation matched against `sub`.
+        key_cols: Vec<u32>,
+        /// The sub-relation selection whose membership the indicator mirrors.
+        sub: ColumnSelection,
+    },
+    /// `C_CX$` (cover existence, the `NULL ALLOWED` option §4.2.1): every
+    /// row has at least one group of columns that is fully non-null — the
+    /// rule that keeps a non-homogeneously referencible NOLOT identifiable
+    /// when its "primary key" admits nulls.
+    CoverExistence {
+        /// The constrained table.
+        table: TableId,
+        /// The alternative key-column groups; one must be complete per row.
+        groups: Vec<Vec<u32>>,
+    },
+    /// `C_VAL$`: the column's non-null values are limited to the enumerated
+    /// set (CHECK ... IN (...)).
+    CheckValue {
+        /// The constrained table.
+        table: TableId,
+        /// The constrained column ordinal.
+        col: u32,
+        /// The admissible values.
+        values: Vec<Value>,
+    },
+    /// Occurrence frequency carried to the relational level (`C_FREQ$`):
+    /// each distinct non-null value combination of `cols` occurs between
+    /// `min` and `max` times in the table.
+    Frequency {
+        /// The constrained table.
+        table: TableId,
+        /// The grouped column ordinals.
+        cols: Vec<u32>,
+        /// Minimum group size.
+        min: u32,
+        /// Maximum group size (`None` = unbounded).
+        max: Option<u32>,
+    },
+}
+
+impl RelConstraintKind {
+    /// Constraint-name prefix, matching the paper's generated names
+    /// (`C_KEY$_11`, `C_FKEY$_8`, `C_EQ$_3`, `C_DE$_8`, `C_EE$_6`, …).
+    pub fn name_prefix(&self) -> &'static str {
+        match self {
+            RelConstraintKind::PrimaryKey { .. } | RelConstraintKind::CandidateKey { .. } => {
+                "C_KEY$"
+            }
+            RelConstraintKind::ForeignKey { .. } => "C_FKEY$",
+            RelConstraintKind::EqualityView { .. } => "C_EQ$",
+            RelConstraintKind::SubsetView { .. } => "C_SS$",
+            RelConstraintKind::ExclusionView { .. } => "C_EX$",
+            RelConstraintKind::TotalUnionView { .. } => "C_TU$",
+            RelConstraintKind::DependentExistence { .. } => "C_DE$",
+            RelConstraintKind::EqualExistence { .. } => "C_EE$",
+            RelConstraintKind::ConditionalEquality { .. } => "C_CEQ$",
+            RelConstraintKind::CoverExistence { .. } => "C_CX$",
+            RelConstraintKind::CheckValue { .. } => "C_VAL$",
+            RelConstraintKind::Frequency { .. } => "C_FREQ$",
+        }
+    }
+
+    /// Whether an SQL2-era RDBMS can enforce this natively (keys, FK, value
+    /// checks). Everything else is emitted as commented pseudo-SQL, exactly
+    /// as the paper does.
+    pub fn natively_enforceable(&self) -> bool {
+        matches!(
+            self,
+            RelConstraintKind::PrimaryKey { .. }
+                | RelConstraintKind::CandidateKey { .. }
+                | RelConstraintKind::ForeignKey { .. }
+                | RelConstraintKind::CheckValue { .. }
+                | RelConstraintKind::DependentExistence { .. }
+                | RelConstraintKind::EqualExistence { .. }
+                | RelConstraintKind::CoverExistence { .. }
+        )
+    }
+
+    /// Every table the constraint touches.
+    pub fn tables(&self) -> Vec<TableId> {
+        match self {
+            RelConstraintKind::PrimaryKey { table, .. }
+            | RelConstraintKind::CandidateKey { table, .. }
+            | RelConstraintKind::DependentExistence { table, .. }
+            | RelConstraintKind::EqualExistence { table, .. }
+            | RelConstraintKind::CheckValue { table, .. }
+            | RelConstraintKind::CoverExistence { table, .. }
+            | RelConstraintKind::Frequency { table, .. } => vec![*table],
+            RelConstraintKind::ForeignKey {
+                table, ref_table, ..
+            } => vec![*table, *ref_table],
+            RelConstraintKind::EqualityView { left, right } => vec![left.table, right.table],
+            RelConstraintKind::SubsetView { sub, sup } => vec![sub.table, sup.table],
+            RelConstraintKind::ExclusionView { items } => items.iter().map(|s| s.table).collect(),
+            RelConstraintKind::TotalUnionView { over, items } => std::iter::once(over.table)
+                .chain(items.iter().map(|s| s.table))
+                .collect(),
+            RelConstraintKind::ConditionalEquality { table, sub, .. } => {
+                vec![*table, sub.table]
+            }
+        }
+    }
+
+    /// Column references this constraint mentions, for id checking.
+    pub fn columns(&self) -> Vec<ColRef> {
+        let sel = |s: &ColumnSelection| -> Vec<ColRef> {
+            s.cols
+                .iter()
+                .chain(s.not_null.iter())
+                .map(|c| ColRef::new(s.table, *c))
+                .collect()
+        };
+        match self {
+            RelConstraintKind::PrimaryKey { table, cols }
+            | RelConstraintKind::CandidateKey { table, cols }
+            | RelConstraintKind::EqualExistence { table, cols }
+            | RelConstraintKind::Frequency { table, cols, .. } => {
+                cols.iter().map(|c| ColRef::new(*table, *c)).collect()
+            }
+            RelConstraintKind::ForeignKey {
+                table,
+                cols,
+                ref_table,
+                ref_cols,
+            } => cols
+                .iter()
+                .map(|c| ColRef::new(*table, *c))
+                .chain(ref_cols.iter().map(|c| ColRef::new(*ref_table, *c)))
+                .collect(),
+            RelConstraintKind::EqualityView { left, right } => {
+                let mut v = sel(left);
+                v.extend(sel(right));
+                v
+            }
+            RelConstraintKind::SubsetView { sub, sup } => {
+                let mut v = sel(sub);
+                v.extend(sel(sup));
+                v
+            }
+            RelConstraintKind::ExclusionView { items } => items.iter().flat_map(sel).collect(),
+            RelConstraintKind::TotalUnionView { over, items } => {
+                let mut v = sel(over);
+                v.extend(items.iter().flat_map(sel));
+                v
+            }
+            RelConstraintKind::DependentExistence {
+                table,
+                dependent,
+                on,
+            } => vec![ColRef::new(*table, *dependent), ColRef::new(*table, *on)],
+            RelConstraintKind::ConditionalEquality {
+                table,
+                indicator,
+                key_cols,
+                sub,
+                ..
+            } => {
+                let mut v = vec![ColRef::new(*table, *indicator)];
+                v.extend(key_cols.iter().map(|c| ColRef::new(*table, *c)));
+                v.extend(sel(sub));
+                v
+            }
+            RelConstraintKind::CheckValue { table, col, .. } => {
+                vec![ColRef::new(*table, *col)]
+            }
+            RelConstraintKind::CoverExistence { table, groups } => groups
+                .iter()
+                .flatten()
+                .map(|c| ColRef::new(*table, *c))
+                .collect(),
+        }
+    }
+}
+
+/// A named relational constraint.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RelConstraint {
+    /// The generated constraint name, e.g. `C_EQ$_3`.
+    pub name: String,
+    /// What the constraint states.
+    pub kind: RelConstraintKind,
+}
+
+impl RelConstraint {
+    /// Creates a named constraint.
+    pub fn new(name: impl Into<String>, kind: RelConstraintKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for RelConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind.name_prefix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_follow_paper_convention() {
+        let pk = RelConstraintKind::PrimaryKey {
+            table: TableId(0),
+            cols: vec![0],
+        };
+        assert_eq!(pk.name_prefix(), "C_KEY$");
+        assert!(pk.natively_enforceable());
+        let eq = RelConstraintKind::EqualityView {
+            left: ColumnSelection::of(TableId(0), vec![0]),
+            right: ColumnSelection::of(TableId(1), vec![1]).where_not_null(vec![1]),
+        };
+        assert_eq!(eq.name_prefix(), "C_EQ$");
+        assert!(!eq.natively_enforceable());
+    }
+
+    #[test]
+    fn touched_tables_and_columns() {
+        let fk = RelConstraintKind::ForeignKey {
+            table: TableId(1),
+            cols: vec![0],
+            ref_table: TableId(0),
+            ref_cols: vec![2],
+        };
+        assert_eq!(fk.tables(), vec![TableId(1), TableId(0)]);
+        assert_eq!(
+            fk.columns(),
+            vec![ColRef::new(TableId(1), 0), ColRef::new(TableId(0), 2)]
+        );
+        let ce = RelConstraintKind::ConditionalEquality {
+            table: TableId(0),
+            indicator: 3,
+            when_value: Value::Bool(true),
+            key_cols: vec![0],
+            sub: ColumnSelection::of(TableId(1), vec![0]),
+        };
+        assert_eq!(ce.tables(), vec![TableId(0), TableId(1)]);
+        assert_eq!(ce.columns().len(), 3);
+    }
+}

@@ -1,0 +1,209 @@
+//! Functional-dependency theory: closure, superkey test, minimal cover.
+//!
+//! Used by the normal-form checker to substantiate the paper's claim (§4)
+//! that "in the absence of additional constraints which express functional or
+//! multivalued dependencies in a procedural fashion, this algorithm always
+//! yields a relational schema in fifth normal form".
+
+use std::collections::BTreeSet;
+
+/// A functional dependency `lhs → rhs` over column ordinals of one table.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Fd {
+    /// Determinant columns.
+    pub lhs: BTreeSet<u32>,
+    /// Determined columns.
+    pub rhs: BTreeSet<u32>,
+}
+
+impl Fd {
+    /// Creates an FD from slices.
+    pub fn new(lhs: &[u32], rhs: &[u32]) -> Self {
+        Self {
+            lhs: lhs.iter().copied().collect(),
+            rhs: rhs.iter().copied().collect(),
+        }
+    }
+
+    /// True when the dependency is trivial (`rhs ⊆ lhs`).
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(&self.lhs)
+    }
+}
+
+/// The attribute closure of `attrs` under `fds` (textbook fixpoint).
+pub fn closure(attrs: &BTreeSet<u32>, fds: &[Fd]) -> BTreeSet<u32> {
+    let mut out = attrs.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in fds {
+            if fd.lhs.is_subset(&out) && !fd.rhs.is_subset(&out) {
+                out.extend(fd.rhs.iter().copied());
+                changed = true;
+            }
+        }
+    }
+    out
+}
+
+/// Whether `attrs` functionally determines all of `all_cols` under `fds`.
+pub fn is_superkey(attrs: &BTreeSet<u32>, all_cols: &BTreeSet<u32>, fds: &[Fd]) -> bool {
+    closure(attrs, fds).is_superset(all_cols)
+}
+
+/// All minimal candidate keys of a relation with columns `all_cols` under
+/// `fds`. Exponential in the worst case; table arities here are small.
+pub fn candidate_keys(all_cols: &BTreeSet<u32>, fds: &[Fd]) -> Vec<BTreeSet<u32>> {
+    let cols: Vec<u32> = all_cols.iter().copied().collect();
+    let n = cols.len();
+    let mut keys: Vec<BTreeSet<u32>> = Vec::new();
+    // Enumerate subsets in order of increasing size so minimality is easy.
+    for size in 0..=n {
+        let mut found_this_size = Vec::new();
+        for mask in 0u64..(1u64 << n) {
+            if (mask.count_ones() as usize) != size {
+                continue;
+            }
+            let subset: BTreeSet<u32> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| cols[i])
+                .collect();
+            if keys.iter().any(|k| k.is_subset(&subset)) {
+                continue; // superset of a smaller key
+            }
+            if is_superkey(&subset, all_cols, fds) {
+                found_this_size.push(subset);
+            }
+        }
+        keys.extend(found_this_size);
+    }
+    keys
+}
+
+/// A minimal cover of `fds`: singleton right-hand sides, no extraneous
+/// left-hand attributes, no redundant dependencies.
+pub fn minimal_cover(fds: &[Fd]) -> Vec<Fd> {
+    // 1. Split right-hand sides.
+    let mut cover: Vec<Fd> = Vec::new();
+    for fd in fds {
+        for &r in &fd.rhs {
+            if !fd.lhs.contains(&r) {
+                cover.push(Fd {
+                    lhs: fd.lhs.clone(),
+                    rhs: [r].into_iter().collect(),
+                });
+            }
+        }
+    }
+    // 2. Remove extraneous LHS attributes.
+    let mut i = 0;
+    while i < cover.len() {
+        let lhs: Vec<u32> = cover[i].lhs.iter().copied().collect();
+        for a in lhs {
+            if cover[i].lhs.len() <= 1 {
+                break;
+            }
+            let mut reduced = cover[i].lhs.clone();
+            reduced.remove(&a);
+            if closure(&reduced, &cover).is_superset(&cover[i].rhs) {
+                cover[i].lhs = reduced;
+            }
+        }
+        i += 1;
+    }
+    // 3. Remove redundant FDs.
+    let mut i = 0;
+    while i < cover.len() {
+        let fd = cover[i].clone();
+        let rest: Vec<Fd> = cover
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, f)| f.clone())
+            .collect();
+        if closure(&fd.lhs, &rest).is_superset(&fd.rhs) {
+            cover.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    cover.sort();
+    cover.dedup();
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u32]) -> BTreeSet<u32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn closure_textbook() {
+        // A→B, B→C: closure(A) = {A,B,C}.
+        let fds = vec![Fd::new(&[0], &[1]), Fd::new(&[1], &[2])];
+        assert_eq!(closure(&set(&[0]), &fds), set(&[0, 1, 2]));
+        assert_eq!(closure(&set(&[1]), &fds), set(&[1, 2]));
+        assert_eq!(closure(&set(&[2]), &fds), set(&[2]));
+    }
+
+    #[test]
+    fn superkey_and_candidate_keys() {
+        // R(A,B,C), A→B, B→C: only key is {A}.
+        let fds = vec![Fd::new(&[0], &[1]), Fd::new(&[1], &[2])];
+        let all = set(&[0, 1, 2]);
+        assert!(is_superkey(&set(&[0]), &all, &fds));
+        assert!(!is_superkey(&set(&[1]), &all, &fds));
+        assert_eq!(candidate_keys(&all, &fds), vec![set(&[0])]);
+    }
+
+    #[test]
+    fn multiple_candidate_keys() {
+        // R(A,B), A→B, B→A: keys {A} and {B}.
+        let fds = vec![Fd::new(&[0], &[1]), Fd::new(&[1], &[0])];
+        let keys = candidate_keys(&set(&[0, 1]), &fds);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&set(&[0])) && keys.contains(&set(&[1])));
+    }
+
+    #[test]
+    fn no_fds_key_is_everything() {
+        let keys = candidate_keys(&set(&[0, 1]), &[]);
+        assert_eq!(keys, vec![set(&[0, 1])]);
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundancy() {
+        // A→B, B→C, A→C (redundant).
+        let fds = vec![
+            Fd::new(&[0], &[1]),
+            Fd::new(&[1], &[2]),
+            Fd::new(&[0], &[2]),
+        ];
+        let mc = minimal_cover(&fds);
+        assert_eq!(mc.len(), 2);
+        assert!(mc.contains(&Fd::new(&[0], &[1])));
+        assert!(mc.contains(&Fd::new(&[1], &[2])));
+    }
+
+    #[test]
+    fn minimal_cover_trims_extraneous_lhs() {
+        // AB→C with A→B means B extraneous? A→B, AB→C: closure(A)={A,B,C}
+        // so AB→C reduces to A→C.
+        let fds = vec![Fd::new(&[0], &[1]), Fd::new(&[0, 1], &[2])];
+        let mc = minimal_cover(&fds);
+        assert!(mc.contains(&Fd::new(&[0], &[2])) || mc.contains(&Fd::new(&[1], &[2])));
+        for fd in &mc {
+            assert_eq!(fd.rhs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn trivial_fd_detection() {
+        assert!(Fd::new(&[0, 1], &[1]).is_trivial());
+        assert!(!Fd::new(&[0], &[1]).is_trivial());
+    }
+}

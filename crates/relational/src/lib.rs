@@ -1,0 +1,39 @@
+//! # ridl-relational — the extended relational model targeted by RIDL-M
+//!
+//! The paper (§4.1) observes that BRM→relational transformations are not
+//! one-to-one unless the relational model is *extended with additional
+//! constraint types*: these express both the conceptual constraints and the
+//! **lossless rules** that make the transformation state-equivalent. This
+//! crate is that extended target model:
+//!
+//! * structure: [`Domain`]s, [`Table`]s with nullable [`Column`]s;
+//! * classic constraints: primary/candidate keys, foreign keys, NOT NULL;
+//! * the paper's extended ("view") constraints: equality-view (`C_EQ$`),
+//!   subset-view (`C_SS$`), exclusion-view (`C_EX$`), total-union view
+//!   (`C_TU$`), dependent existence (`C_DE$`), equal existence (`C_EE$`),
+//!   conditional equality for indicator attributes (`C_CEQ$`), value checks
+//!   (`C_VAL$`), and null-tolerant candidate keys;
+//! * states: [`RelState`] with a full [`validate()`] pass, so generated
+//!   constraint specifications are *executable*, not just documentation;
+//! * dependency theory: functional dependencies ([`fd`]) and a normal-form
+//!   checker ([`normal_form`]) used to reproduce the paper's claim that the
+//!   default synthesis yields fully normalized schemas.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod constraint;
+pub mod fd;
+pub mod normal_form;
+pub mod schema;
+pub mod state;
+pub mod table;
+pub mod validate;
+
+pub use constraint::{ColumnSelection, RelConstraint, RelConstraintKind};
+pub use fd::{closure, is_superkey, minimal_cover, Fd};
+pub use normal_form::{normal_form_of, Mvd, NormalForm, TableDependencies};
+pub use schema::RelSchema;
+pub use state::{RelState, Row};
+pub use table::{ColRef, Column, Domain, DomainId, Table, TableId};
+pub use validate::{validate, RelViolation};

@@ -1,0 +1,237 @@
+//! Normal-form classification of generated tables.
+//!
+//! Reproduces the paper's §4 claim that the naive/default synthesis yields a
+//! fifth-normal-form schema, and conversely lets experiments show that
+//! denormalising options (table combining, indicator attributes) knowingly
+//! leave that regime.
+//!
+//! 5NF proper requires reasoning over arbitrary join dependencies; RIDL-M's
+//! synthesis only ever produces tables that are joins of *functional* facts
+//! around one anchor (key → attribute) or single m:n facts (all-key). For
+//! this class, BCNF + "no two independent multivalued facts in one table"
+//! (no non-trivial MVDs beyond the declared ones) coincides with 4NF/5NF,
+//! which is what [`normal_form_of`] certifies. The approximation is recorded
+//! here and in EXPERIMENTS.md.
+
+use std::collections::BTreeSet;
+
+use crate::fd::{candidate_keys, closure, Fd};
+
+/// A multivalued dependency `lhs →→ rhs` over column ordinals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Mvd {
+    /// Determinant columns.
+    pub lhs: BTreeSet<u32>,
+    /// Multi-determined columns.
+    pub rhs: BTreeSet<u32>,
+}
+
+impl Mvd {
+    /// Creates an MVD from slices.
+    pub fn new(lhs: &[u32], rhs: &[u32]) -> Self {
+        Self {
+            lhs: lhs.iter().copied().collect(),
+            rhs: rhs.iter().copied().collect(),
+        }
+    }
+}
+
+/// The dependencies known to hold on one table.
+#[derive(Clone, Default, Debug)]
+pub struct TableDependencies {
+    /// All columns of the table.
+    pub columns: BTreeSet<u32>,
+    /// Functional dependencies.
+    pub fds: Vec<Fd>,
+    /// Multivalued dependencies that are not implied by the FDs
+    /// (e.g. introduced by combining two m:n facts into one table).
+    pub mvds: Vec<Mvd>,
+}
+
+impl TableDependencies {
+    /// Creates dependencies for a table with `arity` columns.
+    pub fn with_arity(arity: usize) -> Self {
+        Self {
+            columns: (0..arity as u32).collect(),
+            fds: Vec::new(),
+            mvds: Vec::new(),
+        }
+    }
+}
+
+/// The highest normal form a table satisfies.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum NormalForm {
+    /// Violates 2NF: a non-prime attribute depends on part of a key.
+    First,
+    /// 2NF but a transitive dependency exists.
+    Second,
+    /// 3NF but some determinant is not a superkey.
+    Third,
+    /// BCNF but a non-trivial MVD whose determinant is not a superkey exists.
+    Bcnf,
+    /// 4NF; for the table class RIDL-M produces (anchored functional joins
+    /// and single m:n facts) this coincides with 5NF — see module docs.
+    FifthApprox,
+}
+
+impl NormalForm {
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NormalForm::First => "1NF",
+            NormalForm::Second => "2NF",
+            NormalForm::Third => "3NF",
+            NormalForm::Bcnf => "BCNF",
+            NormalForm::FifthApprox => "5NF",
+        }
+    }
+}
+
+/// Classifies a table by its dependencies.
+pub fn normal_form_of(deps: &TableDependencies) -> NormalForm {
+    let all = &deps.columns;
+    let keys = candidate_keys(all, &deps.fds);
+    let prime: BTreeSet<u32> = keys.iter().flatten().copied().collect();
+
+    // BCNF: every non-trivial FD's determinant is a superkey.
+    let mut bcnf = true;
+    for fd in &deps.fds {
+        if fd.is_trivial() {
+            continue;
+        }
+        if !closure(&fd.lhs, &deps.fds).is_superset(all) {
+            bcnf = false;
+        }
+    }
+
+    // 2NF: no non-prime attribute depends on a *proper subset* of a key.
+    let mut second = true;
+    for key in &keys {
+        if key.len() <= 1 {
+            continue;
+        }
+        // Every proper non-empty subset of the key.
+        let key_vec: Vec<u32> = key.iter().copied().collect();
+        for mask in 1u64..(1 << key_vec.len()) - 1 {
+            let part: BTreeSet<u32> = key_vec
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, c)| *c)
+                .collect();
+            let cl = closure(&part, &deps.fds);
+            if cl.iter().any(|c| !prime.contains(c) && !part.contains(c)) {
+                second = false;
+            }
+        }
+    }
+
+    // 3NF: every non-trivial FD has a superkey determinant or prime RHS.
+    let mut third = true;
+    for fd in &deps.fds {
+        if fd.is_trivial() {
+            continue;
+        }
+        let det_superkey = closure(&fd.lhs, &deps.fds).is_superset(all);
+        let rhs_prime = fd
+            .rhs
+            .iter()
+            .all(|c| prime.contains(c) || fd.lhs.contains(c));
+        if !det_superkey && !rhs_prime {
+            third = false;
+        }
+    }
+
+    if !second {
+        return NormalForm::First;
+    }
+    if !third {
+        return NormalForm::Second;
+    }
+    if !bcnf {
+        return NormalForm::Third;
+    }
+
+    // 4NF: every non-trivial declared MVD has a superkey determinant.
+    for mvd in &deps.mvds {
+        let trivial = mvd.rhs.is_subset(&mvd.lhs)
+            || mvd.lhs.union(&mvd.rhs).copied().collect::<BTreeSet<u32>>() == *all;
+        if trivial {
+            continue;
+        }
+        if !closure(&mvd.lhs, &deps.fds).is_superset(all) {
+            return NormalForm::Bcnf;
+        }
+    }
+    NormalForm::FifthApprox
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchored_functional_table_is_5nf() {
+        // Paper(Paper_Id, Title, Date): key {0}, 0→1, 0→2.
+        let mut d = TableDependencies::with_arity(3);
+        d.fds.push(Fd::new(&[0], &[1, 2]));
+        assert_eq!(normal_form_of(&d), NormalForm::FifthApprox);
+    }
+
+    #[test]
+    fn all_key_mn_table_is_5nf() {
+        // writes(Person, Paper): no FDs, key = all columns.
+        let d = TableDependencies::with_arity(2);
+        assert_eq!(normal_form_of(&d), NormalForm::FifthApprox);
+    }
+
+    #[test]
+    fn transitive_dependency_is_2nf() {
+        // R(A,B,C): A→B, B→C. B is not a key, C non-prime: violates 3NF.
+        let mut d = TableDependencies::with_arity(3);
+        d.fds.push(Fd::new(&[0], &[1]));
+        d.fds.push(Fd::new(&[1], &[2]));
+        assert_eq!(normal_form_of(&d), NormalForm::Second);
+    }
+
+    #[test]
+    fn partial_dependency_is_1nf() {
+        // R(A,B,C): key {A,B}, A→C. C non-prime on part of key: violates 2NF.
+        let mut d = TableDependencies::with_arity(3);
+        d.fds.push(Fd::new(&[0], &[2]));
+        assert_eq!(normal_form_of(&d), NormalForm::First);
+    }
+
+    #[test]
+    fn overlapping_keys_3nf_not_bcnf() {
+        // Classic: R(A,B,C), AB→C, C→A. Keys {A,B} and {B,C}; C→A has
+        // non-superkey determinant but prime RHS: 3NF not BCNF.
+        let mut d = TableDependencies::with_arity(3);
+        d.fds.push(Fd::new(&[0, 1], &[2]));
+        d.fds.push(Fd::new(&[2], &[0]));
+        assert_eq!(normal_form_of(&d), NormalForm::Third);
+    }
+
+    #[test]
+    fn independent_mvd_blocks_4nf() {
+        // R(Person, Phone, Child): Person →→ Phone independent of Child.
+        let mut d = TableDependencies::with_arity(3);
+        d.mvds.push(Mvd::new(&[0], &[1]));
+        assert_eq!(normal_form_of(&d), NormalForm::Bcnf);
+    }
+
+    #[test]
+    fn mvd_with_superkey_determinant_is_fine() {
+        let mut d = TableDependencies::with_arity(2);
+        d.fds.push(Fd::new(&[0], &[1]));
+        d.mvds.push(Mvd::new(&[0], &[1]));
+        assert_eq!(normal_form_of(&d), NormalForm::FifthApprox);
+    }
+
+    #[test]
+    fn labels_are_ordered() {
+        assert!(NormalForm::First < NormalForm::FifthApprox);
+        assert_eq!(NormalForm::Bcnf.label(), "BCNF");
+    }
+}

@@ -1,0 +1,258 @@
+//! The generic relational schema — "independent of any target DBMS" (§4.3).
+
+use crate::constraint::{RelConstraint, RelConstraintKind};
+use crate::table::{Domain, DomainId, Table, TableId};
+use ridl_brm::DataType;
+
+/// A generic relational schema: domains, tables and constraints.
+///
+/// From this, "a schema definition for any relational (or relation-like)
+/// DBMS can be derived" (§4.3) — see `ridl-sqlgen`.
+#[derive(Clone, Default, Debug)]
+pub struct RelSchema {
+    /// Schema name.
+    pub name: String,
+    /// Declared domains.
+    pub domains: Vec<Domain>,
+    /// Tables.
+    pub tables: Vec<Table>,
+    /// Constraints (keys, foreign keys, view constraints, …).
+    pub constraints: Vec<RelConstraint>,
+}
+
+impl RelSchema {
+    /// Creates an empty schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a domain, reusing an existing one with the same name/type.
+    pub fn domain(&mut self, name: &str, data_type: DataType) -> DomainId {
+        if let Some(i) = self
+            .domains
+            .iter()
+            .position(|d| d.name == name && d.data_type == data_type)
+        {
+            return DomainId(i as u32);
+        }
+        self.domains.push(Domain::new(name, data_type));
+        DomainId(self.domains.len() as u32 - 1)
+    }
+
+    /// Adds a table.
+    pub fn add_table(&mut self, table: Table) -> TableId {
+        self.tables.push(table);
+        TableId(self.tables.len() as u32 - 1)
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, c: RelConstraint) {
+        self.constraints.push(c);
+    }
+
+    /// The table with the given id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id.index()]
+    }
+
+    /// The domain with the given id.
+    pub fn domain_of(&self, id: DomainId) -> &Domain {
+        &self.domains[id.index()]
+    }
+
+    /// Iterates tables with ids.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+
+    /// Finds a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<TableId> {
+        self.tables
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TableId(i as u32))
+    }
+
+    /// The primary-key column ordinals of a table, if declared.
+    pub fn primary_key_of(&self, table: TableId) -> Option<&[u32]> {
+        self.constraints.iter().find_map(|c| match &c.kind {
+            RelConstraintKind::PrimaryKey { table: t, cols } if *t == table => {
+                Some(cols.as_slice())
+            }
+            _ => None,
+        })
+    }
+
+    /// All candidate keys (including the primary key) of a table.
+    pub fn keys_of(&self, table: TableId) -> Vec<&[u32]> {
+        self.constraints
+            .iter()
+            .filter_map(|c| match &c.kind {
+                RelConstraintKind::PrimaryKey { table: t, cols }
+                | RelConstraintKind::CandidateKey { table: t, cols }
+                    if *t == table =>
+                {
+                    Some(cols.as_slice())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Foreign keys leaving a table.
+    pub fn foreign_keys_of(&self, table: TableId) -> Vec<&RelConstraint> {
+        self.constraints
+            .iter()
+            .filter(|c| {
+                matches!(&c.kind, RelConstraintKind::ForeignKey { table: t, .. } if *t == table)
+            })
+            .collect()
+    }
+
+    /// Constraints touching a table.
+    pub fn constraints_of(&self, table: TableId) -> Vec<&RelConstraint> {
+        self.constraints
+            .iter()
+            .filter(|c| c.kind.tables().contains(&table))
+            .collect()
+    }
+
+    /// A fresh constraint name `"<prefix>_<n>"` with a running number per
+    /// prefix, matching the paper's `C_EQ$_3`-style names.
+    pub fn fresh_constraint_name(&self, kind: &RelConstraintKind) -> String {
+        let prefix = kind.name_prefix();
+        let n = self
+            .constraints
+            .iter()
+            .filter(|c| c.kind.name_prefix() == prefix)
+            .count()
+            + 1;
+        format!("{prefix}_{n}")
+    }
+
+    /// Adds a constraint under a freshly generated name; returns the name.
+    pub fn add_named(&mut self, kind: RelConstraintKind) -> String {
+        let name = self.fresh_constraint_name(&kind);
+        self.constraints
+            .push(RelConstraint::new(name.clone(), kind));
+        name
+    }
+
+    /// Checks referential integrity of ids inside the schema definition
+    /// itself (every constraint's tables/columns exist, every column's
+    /// domain exists). Returns human-readable problems.
+    pub fn check_ids(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        for (tid, t) in self.tables() {
+            for c in &t.columns {
+                if c.domain.index() >= self.domains.len() {
+                    errs.push(format!(
+                        "column {}.{} references missing domain",
+                        self.tables[tid.index()].name,
+                        c.name
+                    ));
+                }
+            }
+        }
+        for c in &self.constraints {
+            for t in c.kind.tables() {
+                if t.index() >= self.tables.len() {
+                    errs.push(format!("constraint {} references missing table", c.name));
+                }
+            }
+            for cr in c.kind.columns() {
+                if cr.table.index() >= self.tables.len()
+                    || cr.col as usize >= self.tables[cr.table.index()].columns.len()
+                {
+                    errs.push(format!("constraint {} references missing column", c.name));
+                }
+            }
+        }
+        errs
+    }
+
+    /// Column names for a list of ordinals, for rendering.
+    pub fn col_names(&self, table: TableId, cols: &[u32]) -> Vec<&str> {
+        cols.iter()
+            .map(|c| self.table(table).column(*c).name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ColumnSelection;
+    use crate::table::Column;
+
+    fn sample() -> RelSchema {
+        let mut s = RelSchema::new("fig6");
+        let d_id = s.domain("D_Paper_Id", DataType::Char(6));
+        let d_title = s.domain("D_Title", DataType::VarChar(60));
+        let paper = s.add_table(Table::new(
+            "Paper",
+            vec![
+                Column::not_null("Paper_Id", d_id),
+                Column::not_null("Title_of", d_title),
+            ],
+        ));
+        s.add_named(RelConstraintKind::PrimaryKey {
+            table: paper,
+            cols: vec![0],
+        });
+        s
+    }
+
+    #[test]
+    fn domain_dedup() {
+        let mut s = sample();
+        let d1 = s.domain("D_Paper_Id", DataType::Char(6));
+        assert_eq!(d1, DomainId(0));
+        let d2 = s.domain("D_Paper_Id", DataType::Char(8));
+        assert_ne!(d2, DomainId(0));
+    }
+
+    #[test]
+    fn key_lookup_and_fresh_names() {
+        let mut s = sample();
+        let t = s.table_by_name("Paper").unwrap();
+        assert_eq!(s.primary_key_of(t), Some(&[0u32][..]));
+        assert_eq!(s.keys_of(t).len(), 1);
+        let name = s.add_named(RelConstraintKind::CandidateKey {
+            table: t,
+            cols: vec![1],
+        });
+        assert_eq!(name, "C_KEY$_2");
+        assert_eq!(s.keys_of(t).len(), 2);
+    }
+
+    #[test]
+    fn id_check_finds_dangling() {
+        let mut s = sample();
+        s.add_named(RelConstraintKind::EqualityView {
+            left: ColumnSelection::of(TableId(7), vec![0]),
+            right: ColumnSelection::of(TableId(0), vec![99]),
+        });
+        let errs = s.check_ids();
+        assert!(errs.len() >= 2, "{errs:?}");
+    }
+
+    #[test]
+    fn constraints_of_filters_by_table() {
+        let s = sample();
+        let t = s.table_by_name("Paper").unwrap();
+        assert_eq!(s.constraints_of(t).len(), 1);
+        assert!(s.foreign_keys_of(t).is_empty());
+    }
+}

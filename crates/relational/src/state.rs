@@ -1,0 +1,118 @@
+//! Relational database states.
+
+use std::collections::BTreeSet;
+
+use ridl_brm::Value;
+
+use crate::table::TableId;
+
+/// A row: one optional value per column (NULL = `None`).
+pub type Row = Vec<Option<Value>>;
+
+/// A state of a relational schema: a set of rows per table.
+///
+/// Sets (not bags) — the paper's model-theoretic treatment works with
+/// relations proper; `BTreeSet` keeps iteration deterministic.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct RelState {
+    tables: Vec<BTreeSet<Row>>,
+}
+
+impl RelState {
+    /// An empty state for a schema with `num_tables` tables.
+    pub fn with_tables(num_tables: usize) -> Self {
+        Self {
+            tables: vec![BTreeSet::new(); num_tables],
+        }
+    }
+
+    /// Inserts a row; returns false if it was already present.
+    pub fn insert(&mut self, table: TableId, row: Row) -> bool {
+        self.tables[table.index()].insert(row)
+    }
+
+    /// Removes a row; returns false if absent.
+    pub fn remove(&mut self, table: TableId, row: &Row) -> bool {
+        self.tables[table.index()].remove(row)
+    }
+
+    /// The rows of a table.
+    pub fn rows(&self, table: TableId) -> &BTreeSet<Row> {
+        &self.tables[table.index()]
+    }
+
+    /// Mutable rows of a table.
+    pub fn rows_mut(&mut self, table: TableId) -> &mut BTreeSet<Row> {
+        &mut self.tables[table.index()]
+    }
+
+    /// Number of tables the state covers.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Projects a table's rows onto column ordinals, keeping rows where all
+    /// `not_null` columns are non-null. This is the evaluation of a
+    /// [`crate::ColumnSelection`] and of forwards-map SELECTs.
+    pub fn select(&self, table: TableId, cols: &[u32], not_null: &[u32]) -> BTreeSet<Row> {
+        self.select_where(table, cols, not_null, &[])
+    }
+
+    /// Like [`RelState::select`], additionally keeping only rows where each
+    /// `(col, value)` filter matches exactly.
+    pub fn select_where(
+        &self,
+        table: TableId,
+        cols: &[u32],
+        not_null: &[u32],
+        eq: &[(u32, Value)],
+    ) -> BTreeSet<Row> {
+        self.tables[table.index()]
+            .iter()
+            .filter(|row| not_null.iter().all(|c| row[*c as usize].is_some()))
+            .filter(|row| eq.iter().all(|(c, v)| row[*c as usize].as_ref() == Some(v)))
+            .map(|row| cols.iter().map(|c| row[*c as usize].clone()).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Option<Value> {
+        Some(Value::str(s))
+    }
+
+    #[test]
+    fn insert_remove_select() {
+        let mut st = RelState::with_tables(1);
+        let t = TableId(0);
+        assert!(st.insert(t, vec![v("a"), v("x")]));
+        assert!(!st.insert(t, vec![v("a"), v("x")]));
+        assert!(st.insert(t, vec![v("b"), None]));
+        assert_eq!(st.num_rows(), 2);
+
+        let all = st.select(t, &[0], &[]);
+        assert_eq!(all.len(), 2);
+        let filtered = st.select(t, &[0], &[1]);
+        assert_eq!(filtered.len(), 1);
+        assert!(filtered.contains(&vec![v("a")]));
+
+        assert!(st.remove(t, &vec![v("b"), None]));
+        assert_eq!(st.num_rows(), 1);
+    }
+
+    #[test]
+    fn select_projects_in_order() {
+        let mut st = RelState::with_tables(1);
+        st.insert(TableId(0), vec![v("k"), v("a"), v("b")]);
+        let proj = st.select(TableId(0), &[2, 0], &[]);
+        assert!(proj.contains(&vec![v("b"), v("k")]));
+    }
+}

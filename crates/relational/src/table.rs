@@ -1,0 +1,175 @@
+//! Structural elements of the extended relational model: domains, tables,
+//! columns.
+
+use std::fmt;
+
+use ridl_brm::DataType;
+
+/// Identifier of a [`Domain`] in a [`crate::RelSchema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// The raw index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+/// Identifier of a [`Table`] in a [`crate::RelSchema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// The raw index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tab{}", self.0)
+    }
+}
+
+/// A column reference: table + column ordinal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColRef {
+    /// The owning table.
+    pub table: TableId,
+    /// Ordinal of the column within the table.
+    pub col: u32,
+}
+
+impl ColRef {
+    /// Convenience constructor.
+    pub fn new(table: TableId, col: u32) -> Self {
+        Self { table, col }
+    }
+}
+
+impl fmt::Debug for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}.{}", self.table, self.col)
+    }
+}
+
+/// A named domain, as in SQL2 `CREATE DOMAIN`.
+///
+/// RIDL-M generates one domain per lexical object type so that foreign keys
+/// demonstrably relate compatible domains (naive algorithm step 4, §4).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Domain {
+    /// Domain name, e.g. `D_Paper_ProgramId`.
+    pub name: String,
+    /// The underlying data type.
+    pub data_type: DataType,
+}
+
+impl Domain {
+    /// Creates a domain.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// A column of a table.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Column {
+    /// Column name, e.g. `Paper_ProgramId_Is`.
+    pub name: String,
+    /// The domain constraining the column's values.
+    pub domain: DomainId,
+    /// Whether NULL is admissible. The paper renders nullable attribute
+    /// names between brackets.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// Creates a NOT NULL column.
+    pub fn not_null(name: impl Into<String>, domain: DomainId) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+            nullable: false,
+        }
+    }
+
+    /// Creates a nullable column.
+    pub fn nullable(name: impl Into<String>, domain: DomainId) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+            nullable: true,
+        }
+    }
+}
+
+/// A relation schema (table).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// The columns, in declaration order.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        Self {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Finds a column ordinal by name.
+    pub fn column_by_name(&self, name: &str) -> Option<u32> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// The column at the given ordinal.
+    pub fn column(&self, col: u32) -> &Column {
+        &self.columns[col as usize]
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_lookup() {
+        let t = Table::new(
+            "Paper",
+            vec![
+                Column::not_null("Paper_Id", DomainId(0)),
+                Column::nullable("Date_of_submission", DomainId(1)),
+            ],
+        );
+        assert_eq!(t.column_by_name("Paper_Id"), Some(0));
+        assert_eq!(t.column_by_name("Date_of_submission"), Some(1));
+        assert_eq!(t.column_by_name("Missing"), None);
+        assert_eq!(t.arity(), 2);
+        assert!(!t.column(0).nullable);
+        assert!(t.column(1).nullable);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ridl-sqlgen — DDL generation for the generic relational schema
+//!
+//! "The relational schema built by RIDL-M is independent of any target
+//! DBMS … From this generic relational schema a schema definition for any
+//! relational (or relation-like) DBMS can be derived using the specific
+//! database definition language of such a DBMS. At the time of writing,
+//! RIDL-M generates fully operational ORACLE, INGRES and DB2 schema
+//! definitions, and a 'neutral' schema definition in the SQL2 (draft)
+//! standard" (§4.3).
+//!
+//! Each [`Dialect`] controls type names, identifier limits, which
+//! constraint kinds the target enforces natively, and the comment style
+//! used to carry the remaining constraints as commented pseudo-SQL —
+//! "added as comment lines because (even) the SQL2 standard does not
+//! currently support these type of constraints".
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dialect;
+pub mod pseudo;
+pub mod render;
+
+pub use dialect::{Dialect, DialectKind};
+pub use render::{generate_ddl, generate_for, GeneratedDdl};

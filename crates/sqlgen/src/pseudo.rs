@@ -1,0 +1,286 @@
+//! Pseudo-SQL rendering of the extended constraints, in the paper's style
+//! (§4.2.2, §4.3): equality view constraints, dependent/equal existence
+//! CHECKs, conditional equality, and the rest. The renderer produces bare
+//! text; [`crate::render`] decides whether it becomes a live clause or a
+//! comment block per dialect.
+
+use ridl_brm::Value;
+use ridl_relational::{ColumnSelection, RelConstraintKind, RelSchema};
+
+fn col(rel: &RelSchema, table: ridl_relational::TableId, c: u32) -> &str {
+    rel.table(table).column(c).name.as_str()
+}
+
+/// Renders a selection as the paper's parenthesised SELECT block.
+pub fn selection_block(rel: &RelSchema, sel: &ColumnSelection, indent: &str) -> String {
+    let names: Vec<&str> = sel.cols.iter().map(|c| col(rel, sel.table, *c)).collect();
+    let mut s = format!(
+        "{indent}( SELECT {}\n{indent}  FROM {}",
+        names.join(" , "),
+        rel.table(sel.table).name
+    );
+    let mut conds: Vec<String> = sel
+        .not_null
+        .iter()
+        .map(|c| format!("( {} IS NOT NULL )", col(rel, sel.table, *c)))
+        .collect();
+    conds.extend(
+        sel.eq
+            .iter()
+            .map(|(c, v)| format!("( {} = {} )", col(rel, sel.table, *c), render_value(v))),
+    );
+    if !conds.is_empty() {
+        s.push_str(&format!("\n{indent}  WHERE {}", conds.join(" AND ")));
+    }
+    s.push_str(&format!("\n{indent})"));
+    s
+}
+
+/// Renders a literal value in SQL syntax.
+pub fn render_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Int(i) => i.to_string(),
+        Value::Num(d) => d.to_string(),
+        Value::Date(d) => format!("DATE '{d}'"),
+        Value::Bool(b) => {
+            if *b {
+                "'Y'".into()
+            } else {
+                "'N'".into()
+            }
+        }
+        Value::Entity(e) => format!("/* surrogate {e} */"),
+    }
+}
+
+/// Renders one extended constraint as pseudo-SQL (no comment prefixes).
+/// Keys and foreign keys are rendered inline by the DDL generator and are
+/// not handled here.
+pub fn render_constraint(rel: &RelSchema, name: &str, kind: &RelConstraintKind) -> String {
+    match kind {
+        RelConstraintKind::EqualityView { left, right } => format!(
+            "EQUALITY VIEW CONSTRAINT :\n{}\nIS EQUAL TO\n{}\nCONSTRAINT {name}",
+            selection_block(rel, left, "   "),
+            selection_block(rel, right, "   ")
+        ),
+        RelConstraintKind::SubsetView { sub, sup } => format!(
+            "SUBSET VIEW CONSTRAINT :\n{}\nIS CONTAINED IN\n{}\nCONSTRAINT {name}",
+            selection_block(rel, sub, "   "),
+            selection_block(rel, sup, "   ")
+        ),
+        RelConstraintKind::ExclusionView { items } => {
+            let blocks: Vec<String> = items
+                .iter()
+                .map(|s| selection_block(rel, s, "   "))
+                .collect();
+            format!(
+                "MUTUAL EXCLUSION CONSTRAINT :\n{}\nCONSTRAINT {name}",
+                blocks.join("\nIS DISJOINT FROM\n")
+            )
+        }
+        RelConstraintKind::TotalUnionView { over, items } => {
+            let blocks: Vec<String> = items
+                .iter()
+                .map(|s| selection_block(rel, s, "   "))
+                .collect();
+            format!(
+                "TOTAL UNION CONSTRAINT :\n{}\nIS CONTAINED IN THE UNION OF\n{}\nCONSTRAINT {name}",
+                selection_block(rel, over, "   "),
+                blocks.join("\nAND\n")
+            )
+        }
+        RelConstraintKind::DependentExistence {
+            table,
+            dependent,
+            on,
+        } => {
+            let d = col(rel, *table, *dependent);
+            let o = col(rel, *table, *on);
+            format!(
+                "CHECK( -- Dependent Existence\n   ( ( {d} IS NOT NULL )\n     AND ( {o} IS NOT NULL )\n   )\n   OR ( {d} IS NULL )\n)\nCONSTRAINT {name}"
+            )
+        }
+        RelConstraintKind::EqualExistence { table, cols } => {
+            let nn: Vec<String> = cols
+                .iter()
+                .map(|c| format!("( {} IS NOT NULL )", col(rel, *table, *c)))
+                .collect();
+            let nl: Vec<String> = cols
+                .iter()
+                .map(|c| format!("( {} IS NULL )", col(rel, *table, *c)))
+                .collect();
+            format!(
+                "CHECK( -- Equal Existence\n   ( {} )\n   OR ( {} )\n)\nCONSTRAINT {name}",
+                nl.join("\n     AND "),
+                nn.join("\n     AND ")
+            )
+        }
+        RelConstraintKind::ConditionalEquality {
+            table,
+            indicator,
+            when_value,
+            key_cols,
+            sub,
+        } => {
+            let keys: Vec<&str> = key_cols.iter().map(|c| col(rel, *table, *c)).collect();
+            format!(
+                "CONDITIONAL EQUALITY CONSTRAINT : -- indicator redundancy control\n   ( SELECT {}\n     FROM {}\n     WHERE ( {} = {} )\n   )\nIS EQUAL TO\n{}\nCONSTRAINT {name}",
+                keys.join(" , "),
+                rel.table(*table).name,
+                col(rel, *table, *indicator),
+                render_value(when_value),
+                selection_block(rel, sub, "   ")
+            )
+        }
+        RelConstraintKind::CoverExistence { table, groups } => {
+            let alts: Vec<String> = groups
+                .iter()
+                .map(|g| {
+                    let nn: Vec<String> = g
+                        .iter()
+                        .map(|c| format!("( {} IS NOT NULL )", col(rel, *table, *c)))
+                        .collect();
+                    format!("( {} )", nn.join(" AND "))
+                })
+                .collect();
+            format!(
+                "CHECK( -- Reference Cover (NULL ALLOWED)\n   {}\n)\nCONSTRAINT {name}",
+                alts.join("\n   OR ")
+            )
+        }
+        RelConstraintKind::CheckValue {
+            table,
+            col: c,
+            values,
+        } => {
+            let vals: Vec<String> = values.iter().map(render_value).collect();
+            format!(
+                "CHECK( {} IN ( {} ) )\nCONSTRAINT {name}",
+                col(rel, *table, *c),
+                vals.join(" , ")
+            )
+        }
+        RelConstraintKind::Frequency {
+            table,
+            cols,
+            min,
+            max,
+        } => {
+            let names: Vec<&str> = cols.iter().map(|c| col(rel, *table, *c)).collect();
+            format!(
+                "OCCURRENCE FREQUENCY CONSTRAINT :\n   EACH ( {} ) OCCURS BETWEEN {min} AND {} TIMES IN {}\nCONSTRAINT {name}",
+                names.join(" , "),
+                max.map(|m| m.to_string()).unwrap_or_else(|| "N".into()),
+                rel.table(*table).name
+            )
+        }
+        RelConstraintKind::PrimaryKey { .. }
+        | RelConstraintKind::CandidateKey { .. }
+        | RelConstraintKind::ForeignKey { .. } => {
+            unreachable!("keys are rendered inline by the DDL generator")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::DataType;
+    use ridl_relational::{Column, Table, TableId};
+
+    fn sample() -> RelSchema {
+        let mut s = RelSchema::new("x");
+        let d = s.domain("D", DataType::Char(2));
+        s.add_table(Table::new(
+            "Paper",
+            vec![
+                Column::not_null("Paper_Id", d),
+                Column::nullable("Paper_ProgramId_Is", d),
+            ],
+        ));
+        s.add_table(Table::new(
+            "Program_Paper",
+            vec![Column::not_null("Paper_ProgramId", d)],
+        ));
+        s
+    }
+
+    #[test]
+    fn equality_view_matches_paper_style() {
+        let rel = sample();
+        let kind = RelConstraintKind::EqualityView {
+            left: ColumnSelection::of(TableId(1), vec![0]),
+            right: ColumnSelection::of(TableId(0), vec![1]).where_not_null(vec![1]),
+        };
+        let text = render_constraint(&rel, "C_EQ$_3", &kind);
+        assert!(text.contains("EQUALITY VIEW CONSTRAINT :"));
+        assert!(
+            text.contains("( SELECT Paper_ProgramId\n     FROM Program_Paper"),
+            "{text}"
+        );
+        assert!(text.contains("IS EQUAL TO"));
+        assert!(text.contains("WHERE ( Paper_ProgramId_Is IS NOT NULL )"));
+        assert!(text.trim_end().ends_with("CONSTRAINT C_EQ$_3"));
+    }
+
+    #[test]
+    fn dependent_and_equal_existence_match_paper_style() {
+        let rel = sample();
+        let de = render_constraint(
+            &rel,
+            "C_DE$_8",
+            &RelConstraintKind::DependentExistence {
+                table: TableId(0),
+                dependent: 1,
+                on: 0,
+            },
+        );
+        assert!(de.contains("-- Dependent Existence"));
+        assert!(de.contains("OR ( Paper_ProgramId_Is IS NULL )"));
+        let ee = render_constraint(
+            &rel,
+            "C_EE$_6",
+            &RelConstraintKind::EqualExistence {
+                table: TableId(0),
+                cols: vec![0, 1],
+            },
+        );
+        assert!(ee.contains("-- Equal Existence"));
+        assert!(ee.contains("( Paper_Id IS NULL )"));
+        assert!(ee.contains("( Paper_Id IS NOT NULL )"));
+    }
+
+    #[test]
+    fn values_render_as_sql_literals() {
+        assert_eq!(render_value(&Value::str("a'b")), "'a''b'");
+        assert_eq!(render_value(&Value::Int(42)), "42");
+        assert_eq!(render_value(&Value::Bool(true)), "'Y'");
+    }
+
+    #[test]
+    fn check_value_and_frequency() {
+        let rel = sample();
+        let cv = render_constraint(
+            &rel,
+            "C_VAL$_1",
+            &RelConstraintKind::CheckValue {
+                table: TableId(0),
+                col: 0,
+                values: vec![Value::str("A"), Value::str("B")],
+            },
+        );
+        assert!(cv.contains("CHECK( Paper_Id IN ( 'A' , 'B' ) )"));
+        let fr = render_constraint(
+            &rel,
+            "C_FREQ$_1",
+            &RelConstraintKind::Frequency {
+                table: TableId(0),
+                cols: vec![0],
+                min: 2,
+                max: Some(4),
+            },
+        );
+        assert!(fr.contains("BETWEEN 2 AND 4"));
+    }
+}

@@ -1,0 +1,579 @@
+//! Binary→binary basic transformations: "convert a binary schema into its
+//! most canonical form. They eliminate superfluous definitions, reduce
+//! constraints to their canonical form and replace non-elementary concepts
+//! by their definitions" (§4.1).
+
+use std::collections::{BTreeMap, HashMap};
+
+use ridl_brm::{
+    Constraint, ConstraintKind, FactType, FactTypeId, ObjectType, ObjectTypeId, ObjectTypeKind,
+    Population, Role, RoleOrSublink, RoleRef, Schema, Side, SublinkId, Value,
+};
+
+use crate::TransformError;
+
+fn max_entity_id(pop: &Population, schema: &Schema) -> u64 {
+    let mut max = 0;
+    for (oid, _) in schema.object_types() {
+        for v in pop.objects_of(oid) {
+            if let Some(e) = v.as_entity() {
+                max = max.max(e.0);
+            }
+        }
+    }
+    for (fid, _) in schema.fact_types() {
+        for (l, r) in pop.facts_of(fid) {
+            for v in [l, r] {
+                if let Some(e) = v.as_entity() {
+                    max = max.max(e.0);
+                }
+            }
+        }
+    }
+    max
+}
+
+/// **EXPAND LOT-NOLOT**: replaces a hybrid LOT-NOLOT by a proper NOLOT plus
+/// a bridging LOT and a 1:1 total naming fact — "replace non-elementary
+/// concepts by their definitions" (§4.1). The LOT-NOLOT notation is a
+/// "notational convenience" (§2); the canonical form distinguishes entity
+/// and representation explicitly.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpandLotNolot {
+    /// The LOT-NOLOT to expand.
+    pub ot: ObjectTypeId,
+}
+
+/// The outcome of [`ExpandLotNolot::apply`].
+#[derive(Clone, Debug)]
+pub struct ExpandedLotNolot {
+    /// The transformed schema.
+    pub schema: Schema,
+    /// The new bridging LOT.
+    pub lot: ObjectTypeId,
+    /// The new 1:1 naming fact (left role: the NOLOT, right role: the LOT).
+    pub bridge: FactTypeId,
+}
+
+impl ExpandLotNolot {
+    /// Applies the expansion.
+    pub fn apply(&self, schema: &Schema) -> Result<ExpandedLotNolot, TransformError> {
+        let ot = schema.object_type(self.ot);
+        let ObjectTypeKind::LotNolot(dt) = ot.kind else {
+            return Err(TransformError::new(format!(
+                "{} is not a LOT-NOLOT",
+                ot.name
+            )));
+        };
+        let mut s = schema.clone();
+        let name = ot.name.clone();
+        // Re-kind the object type in place; ids stay stable.
+        let s2 = {
+            let mut builder = Schema::new(s.name.clone());
+            for (oid, o) in s.object_types() {
+                let kind = if oid == self.ot {
+                    ObjectTypeKind::Nolot
+                } else {
+                    o.kind
+                };
+                builder.push_object_type(ObjectType::new(o.name.clone(), kind));
+            }
+            for (_, f) in s.fact_types() {
+                builder.push_fact_type(f.clone());
+            }
+            for (_, sl) in s.sublinks() {
+                builder.push_sublink(*sl);
+            }
+            for (_, c) in s.constraints() {
+                builder.push_constraint(c.clone());
+            }
+            builder
+        };
+        s = s2;
+        let lot = s.push_object_type(ObjectType::new(
+            format!("{name}_value"),
+            ObjectTypeKind::Lot(dt),
+        ));
+        let bridge = s.push_fact_type(FactType::new(
+            format!("{name}_repr"),
+            Role::new("represented_by", self.ot),
+            Role::new("value_of", lot),
+        ));
+        let l = RoleRef::new(bridge, Side::Left);
+        let r = RoleRef::new(bridge, Side::Right);
+        s.push_constraint(Constraint::new(ConstraintKind::Uniqueness {
+            roles: vec![l],
+        }));
+        s.push_constraint(Constraint::new(ConstraintKind::Uniqueness {
+            roles: vec![r],
+        }));
+        s.push_constraint(Constraint::new(ConstraintKind::Total {
+            over: self.ot,
+            items: vec![RoleOrSublink::Role(l)],
+        }));
+        s.push_constraint(Constraint::new(ConstraintKind::Total {
+            over: lot,
+            items: vec![RoleOrSublink::Role(r)],
+        }));
+        Ok(ExpandedLotNolot {
+            schema: s,
+            lot,
+            bridge,
+        })
+    }
+
+    /// Maps a state of the original schema to the expanded schema: every
+    /// lexical value of the LOT-NOLOT becomes a fresh entity, linked to its
+    /// value through the bridge fact. Entity ids are allocated in value
+    /// order above the state's maximum, so the map is deterministic.
+    #[allow(clippy::explicit_counter_loop)]
+    pub fn map_state(
+        &self,
+        old_schema: &Schema,
+        out: &ExpandedLotNolot,
+        pop: &Population,
+    ) -> Population {
+        let mut next = max_entity_id(pop, old_schema) + 1;
+        let mut assign: BTreeMap<Value, Value> = BTreeMap::new();
+        for v in pop.objects_of(self.ot) {
+            assign.insert(v.clone(), Value::entity(next));
+            next += 1;
+        }
+        let conv = |v: &Value| assign.get(v).cloned().unwrap_or_else(|| v.clone());
+        let mut new_pop = Population::new();
+        for (oid, _) in old_schema.object_types() {
+            for v in pop.objects_of(oid) {
+                if oid == self.ot {
+                    new_pop.add_object(oid, conv(v));
+                } else {
+                    new_pop.add_object(oid, v.clone());
+                }
+            }
+        }
+        for (fid, ft) in old_schema.fact_types() {
+            for (l, r) in pop.facts_of(fid) {
+                let nl = if ft.player(Side::Left) == self.ot {
+                    conv(l)
+                } else {
+                    l.clone()
+                };
+                let nr = if ft.player(Side::Right) == self.ot {
+                    conv(r)
+                } else {
+                    r.clone()
+                };
+                new_pop.add_fact(fid, nl, nr);
+            }
+        }
+        for (v, e) in &assign {
+            new_pop.add_object(out.lot, v.clone());
+            new_pop.add_fact(out.bridge, e.clone(), v.clone());
+        }
+        new_pop
+    }
+
+    /// The inverse state map: entities of the expanded NOLOT are replaced by
+    /// their bridge values; the bridge fact and LOT disappear.
+    pub fn unmap_state(
+        &self,
+        old_schema: &Schema,
+        out: &ExpandedLotNolot,
+        pop: &Population,
+    ) -> Population {
+        let back: HashMap<Value, Value> = pop
+            .facts_of(out.bridge)
+            .iter()
+            .map(|(e, v)| (e.clone(), v.clone()))
+            .collect();
+        let conv = |v: &Value| back.get(v).cloned().unwrap_or_else(|| v.clone());
+        let mut new_pop = Population::new();
+        for (oid, _) in old_schema.object_types() {
+            for v in pop.objects_of(oid) {
+                if oid == self.ot {
+                    new_pop.add_object(oid, conv(v));
+                } else {
+                    new_pop.add_object(oid, v.clone());
+                }
+            }
+        }
+        for (fid, ft) in old_schema.fact_types() {
+            for (l, r) in pop.facts_of(fid) {
+                let nl = if ft.player(Side::Left) == self.ot {
+                    conv(l)
+                } else {
+                    l.clone()
+                };
+                let nr = if ft.player(Side::Right) == self.ot {
+                    conv(r)
+                } else {
+                    r.clone()
+                };
+                new_pop.add_fact(fid, nl, nr);
+            }
+        }
+        new_pop
+    }
+}
+
+/// **ELIMINATE SUBLINK** — the paper's figure 4: "a binary schema containing
+/// sublinks can be transformed into a state-equivalent binary schema without
+/// sublinks". The sublink is replaced by a 1:1 `is` fact, total on the
+/// subtype side, with uniqueness on both roles. The paper notes the result
+/// "expresses less semantics than the original one" — inheritance is gone —
+/// while remaining state-equivalent, which the state maps demonstrate.
+#[derive(Clone, Copy, Debug)]
+pub struct EliminateSublink {
+    /// The sublink to eliminate.
+    pub sublink: SublinkId,
+}
+
+/// The outcome of [`EliminateSublink::apply`].
+#[derive(Clone, Debug)]
+pub struct EliminatedSublink {
+    /// The transformed schema (one sublink fewer, one fact more).
+    pub schema: Schema,
+    /// The replacement `is` fact (left role: subtype, right role: supertype).
+    pub is_fact: FactTypeId,
+    /// Old sublink id → new sublink id for the surviving sublinks.
+    pub sublink_remap: HashMap<SublinkId, SublinkId>,
+}
+
+impl EliminateSublink {
+    /// Applies the elimination.
+    pub fn apply(&self, schema: &Schema) -> Result<EliminatedSublink, TransformError> {
+        if self.sublink.index() >= schema.num_sublinks() {
+            return Err(TransformError::new("no such sublink"));
+        }
+        let sl = *schema.sublink(self.sublink);
+        let mut s = Schema::new(schema.name.clone());
+        for (_, o) in schema.object_types() {
+            s.push_object_type(o.clone());
+        }
+        for (_, f) in schema.fact_types() {
+            s.push_fact_type(f.clone());
+        }
+        let mut remap = HashMap::new();
+        for (sid, other) in schema.sublinks() {
+            if sid == self.sublink {
+                continue;
+            }
+            let new_id = s.push_sublink(*other);
+            remap.insert(sid, new_id);
+        }
+        let is_fact = s.push_fact_type(FactType::new(
+            format!("{}_is_{}", schema.ot_name(sl.sub), schema.ot_name(sl.sup)),
+            Role::new("is", sl.sub),
+            Role::new("specialized_by", sl.sup),
+        ));
+        let l = RoleRef::new(is_fact, Side::Left);
+        let r = RoleRef::new(is_fact, Side::Right);
+        // Rewrite constraints: surviving sublink items are remapped; items
+        // naming the eliminated sublink become the `is` fact's left role.
+        for (_, c) in schema.constraints() {
+            let kind = match &c.kind {
+                ConstraintKind::Total { over, items } => ConstraintKind::Total {
+                    over: *over,
+                    items: items
+                        .iter()
+                        .map(|i| remap_item(i, self.sublink, &remap, l))
+                        .collect(),
+                },
+                ConstraintKind::Exclusion { items } => ConstraintKind::Exclusion {
+                    items: items
+                        .iter()
+                        .map(|i| remap_item(i, self.sublink, &remap, l))
+                        .collect(),
+                },
+                other => other.clone(),
+            };
+            s.push_constraint(Constraint {
+                name: c.name.clone(),
+                kind,
+            });
+        }
+        s.push_constraint(Constraint::new(ConstraintKind::Uniqueness {
+            roles: vec![l],
+        }));
+        s.push_constraint(Constraint::new(ConstraintKind::Uniqueness {
+            roles: vec![r],
+        }));
+        s.push_constraint(Constraint::new(ConstraintKind::Total {
+            over: sl.sub,
+            items: vec![RoleOrSublink::Role(l)],
+        }));
+        Ok(EliminatedSublink {
+            schema: s,
+            is_fact,
+            sublink_remap: remap,
+        })
+    }
+
+    /// Forward state map: add the identity pairs of the subtype population
+    /// to the `is` fact. Everything else is untouched.
+    pub fn map_state(
+        &self,
+        old_schema: &Schema,
+        out: &EliminatedSublink,
+        pop: &Population,
+    ) -> Population {
+        let sl = *old_schema.sublink(self.sublink);
+        let mut new_pop = pop.clone();
+        for v in pop.objects_of(sl.sub).clone() {
+            new_pop.add_fact(out.is_fact, v.clone(), v);
+        }
+        new_pop
+    }
+
+    /// Backward state map: drop the `is` fact population (membership is
+    /// already present as the subtype's object population).
+    pub fn unmap_state(&self, out: &EliminatedSublink, pop: &Population) -> Population {
+        let mut new_pop = pop.clone();
+        new_pop.facts_of_mut(out.is_fact).clear();
+        new_pop
+    }
+}
+
+fn remap_item(
+    item: &RoleOrSublink,
+    eliminated: SublinkId,
+    remap: &HashMap<SublinkId, SublinkId>,
+    is_left: RoleRef,
+) -> RoleOrSublink {
+    match item {
+        RoleOrSublink::Sublink(s) if *s == eliminated => RoleOrSublink::Role(is_left),
+        RoleOrSublink::Sublink(s) => RoleOrSublink::Sublink(remap[s]),
+        r => *r,
+    }
+}
+
+/// **CANONICALIZE CONSTRAINTS**: "eliminate superfluous definitions, reduce
+/// constraints to their canonical form" (§4.1). Removes exact duplicates,
+/// trivial subsets/equalities (`X ⊆ X`), duplicate items inside total and
+/// exclusion constraints, and degenerate constraints that state nothing.
+/// Returns the new schema and the number of constraints removed.
+pub fn canonicalize_constraints(schema: &Schema) -> (Schema, usize) {
+    let mut s = Schema::new(schema.name.clone());
+    for (_, o) in schema.object_types() {
+        s.push_object_type(o.clone());
+    }
+    for (_, f) in schema.fact_types() {
+        s.push_fact_type(f.clone());
+    }
+    for (_, sl) in schema.sublinks() {
+        s.push_sublink(*sl);
+    }
+    let mut kept: Vec<ConstraintKind> = Vec::new();
+    let mut removed = 0;
+    for (_, c) in schema.constraints() {
+        let kind = match &c.kind {
+            ConstraintKind::Total { over, items } => {
+                let mut dedup = Vec::new();
+                for i in items {
+                    if !dedup.contains(i) {
+                        dedup.push(*i);
+                    }
+                }
+                ConstraintKind::Total {
+                    over: *over,
+                    items: dedup,
+                }
+            }
+            ConstraintKind::Exclusion { items } => {
+                let mut dedup = Vec::new();
+                for i in items {
+                    if !dedup.contains(i) {
+                        dedup.push(*i);
+                    }
+                }
+                ConstraintKind::Exclusion { items: dedup }
+            }
+            other => other.clone(),
+        };
+        let trivial = match &kind {
+            ConstraintKind::Subset { sub, sup } => sub == sup,
+            ConstraintKind::Equality { a, b } => a == b,
+            ConstraintKind::Exclusion { items } => items.len() < 2,
+            ConstraintKind::Uniqueness { roles } => roles.is_empty(),
+            ConstraintKind::Total { items, .. } => items.is_empty(),
+            ConstraintKind::Cardinality { min, max, .. } => *min == 0 && max.is_none(),
+            ConstraintKind::Value { .. } => false,
+        };
+        if trivial || kept.contains(&kind) {
+            removed += 1;
+            continue;
+        }
+        kept.push(kind.clone());
+        s.push_constraint(Constraint {
+            name: c.name.clone(),
+            kind,
+        });
+    }
+    (s, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::population::is_model;
+    use ridl_brm::DataType;
+
+    fn lotnolot_schema() -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        b.lot_nolot("Date", DataType::Date).unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        b.fact(
+            "submitted",
+            ("submitted_at", "Paper"),
+            ("of_submission", "Date"),
+        )
+        .unwrap();
+        b.unique("submitted", Side::Left).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn expand_lot_nolot_round_trips_states() {
+        let s = lotnolot_schema();
+        let date = s.object_type_by_name("Date").unwrap();
+        let submitted = s.fact_type_by_name("submitted").unwrap();
+        let fid = s.fact_type_by_name("Paper_has_Paper_Id").unwrap();
+        let t = ExpandLotNolot { ot: date };
+        let out = t.apply(&s).unwrap();
+        assert!(out.schema.object_type_by_name("Date_value").is_some());
+        assert!(out.schema.fact_type_by_name("Date_repr").is_some());
+
+        let mut pop = Population::new();
+        pop.add_fact_closed(&s, fid, Value::entity(1), Value::str("P1"));
+        pop.add_fact_closed(&s, submitted, Value::entity(1), Value::Date(100));
+        assert!(is_model(&s, &pop));
+
+        let fwd = t.map_state(&s, &out, &pop);
+        // The mapped state is a model of the new schema.
+        assert!(
+            is_model(&out.schema, &fwd),
+            "{:?}",
+            ridl_brm::population::validate(&out.schema, &fwd)
+        );
+        // Date instances are entities now.
+        assert!(fwd.objects_of(date).iter().all(|v| !v.is_lexical()));
+        // Round trip.
+        let back = t.unmap_state(&s, &out, &fwd);
+        assert_eq!(back.compacted(), pop.compacted());
+    }
+
+    #[test]
+    fn expand_rejects_non_hybrid() {
+        let s = lotnolot_schema();
+        let paper = s.object_type_by_name("Paper").unwrap();
+        assert!(ExpandLotNolot { ot: paper }.apply(&s).is_err());
+    }
+
+    fn sublink_schema() -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        b.nolot("Invited_Paper").unwrap();
+        b.nolot("Program_Paper").unwrap();
+        b.sublink("Invited_Paper", "Paper").unwrap();
+        let sl2 = b.sublink("Program_Paper", "Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        b.total_subtypes("Paper", &[sl2]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn eliminate_sublink_fig4_round_trips_states() {
+        let s = sublink_schema();
+        let t = EliminateSublink {
+            sublink: SublinkId::from_raw(0),
+        };
+        let out = t.apply(&s).unwrap();
+        assert_eq!(out.schema.num_sublinks(), s.num_sublinks() - 1);
+        assert!(out
+            .schema
+            .fact_type_by_name("Invited_Paper_is_Paper")
+            .is_some());
+
+        let paper = s.object_type_by_name("Paper").unwrap();
+        let inv = s.object_type_by_name("Invited_Paper").unwrap();
+        let prog = s.object_type_by_name("Program_Paper").unwrap();
+        let fid = s.fact_type_by_name("Paper_has_Paper_Id").unwrap();
+        let mut pop = Population::new();
+        pop.add_fact_closed(&s, fid, Value::entity(1), Value::str("P1"));
+        pop.add_fact_closed(&s, fid, Value::entity(2), Value::str("P2"));
+        pop.add_object(paper, Value::entity(1));
+        pop.add_object(paper, Value::entity(2));
+        pop.add_object(inv, Value::entity(1));
+        pop.add_object(prog, Value::entity(1));
+        pop.add_object(prog, Value::entity(2));
+        assert!(
+            is_model(&s, &pop),
+            "{:?}",
+            ridl_brm::population::validate(&s, &pop)
+        );
+
+        let fwd = t.map_state(&s, &out, &pop);
+        assert!(
+            is_model(&out.schema, &fwd),
+            "{:?}",
+            ridl_brm::population::validate(&out.schema, &fwd)
+        );
+        assert_eq!(fwd.facts_of(out.is_fact).len(), 1);
+        let back = t.unmap_state(&out, &fwd);
+        assert_eq!(back.compacted(), pop.compacted());
+    }
+
+    #[test]
+    fn eliminate_remaps_constraint_items() {
+        let s = sublink_schema();
+        // Eliminate sublink 1 (Program_Paper), which a total union names.
+        let t = EliminateSublink {
+            sublink: SublinkId::from_raw(1),
+        };
+        let out = t.apply(&s).unwrap();
+        // The total constraint now names the `is` fact's left role.
+        let uses_role = out.schema.constraints().any(|(_, c)| match &c.kind {
+            ConstraintKind::Total { items, .. } => items
+                .iter()
+                .any(|i| matches!(i, RoleOrSublink::Role(r) if r.fact == out.is_fact)),
+            _ => false,
+        });
+        assert!(uses_role);
+        // No dangling sublink references remain.
+        assert!(out.schema.check_ids().is_empty());
+    }
+
+    #[test]
+    fn canonicalize_removes_duplicates_and_trivia() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.fact("f", ("x", "A"), ("y", "B")).unwrap();
+        b.unique("f", Side::Left).unwrap();
+        b.unique("f", Side::Left).unwrap(); // duplicate
+        b.subset(&[("f", Side::Left)], &[("f", Side::Left)])
+            .unwrap(); // trivial
+        b.total_union("A", &[("f", Side::Left), ("f", Side::Left)])
+            .unwrap(); // duplicate item
+        b.cardinality("f", Side::Right, 0, None).unwrap(); // vacuous
+        let s = b.finish().unwrap();
+        let (canon, removed) = canonicalize_constraints(&s);
+        assert_eq!(removed, 3);
+        assert_eq!(canon.num_constraints(), 2);
+        // The total kept one item.
+        let total_ok = canon.constraints().any(
+            |(_, c)| matches!(&c.kind, ConstraintKind::Total { items, .. } if items.len() == 1),
+        );
+        assert!(total_ok);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let s = sublink_schema();
+        let (c1, _) = canonicalize_constraints(&s);
+        let (c2, removed) = canonicalize_constraints(&c1);
+        assert_eq!(removed, 0);
+        assert_eq!(c1.num_constraints(), c2.num_constraints());
+    }
+}

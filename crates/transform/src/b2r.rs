@@ -1,0 +1,417 @@
+//! The binary→relational pivot: "transformations of the second kind
+//! transform such a canonical binary schema into a 'binary' relational
+//! schema" (§4.1).
+//!
+//! Every fact type becomes a two-column table; uniqueness constraints become
+//! keys; the set-algebraic constraints become view constraints over the
+//! role columns. Non-lexical columns range over the surrogate artifact
+//! domain until the lexicalisation step replaces them. The pivot carries
+//! executable state maps in both directions, so its losslessness is tested,
+//! not assumed.
+
+use std::collections::BTreeSet;
+
+use ridl_brm::{
+    ConstraintKind, DataType, FactTypeId, ObjectTypeId, Population, RoleOrSublink, RoleRef, Schema,
+    Side,
+};
+use ridl_relational::{
+    Column, ColumnSelection, RelConstraintKind, RelSchema, RelState, Table, TableId,
+};
+
+use crate::TransformError;
+
+/// The structural map of a pivot: which table realises which fact type, and
+/// how object-type populations are canonically selected.
+#[derive(Clone, Debug)]
+pub struct BinaryRelMap {
+    /// `fact_tables[fact.index()]` is the fact's table; columns 0/1 hold the
+    /// left/right role values.
+    pub fact_tables: Vec<TableId>,
+    /// For each object type, the canonical selection of its population:
+    /// a `(fact, side)` whose role is total on the type, when one exists.
+    pub canonical_pop: Vec<Option<RoleRef>>,
+}
+
+impl BinaryRelMap {
+    /// Forward state map `g`: a binary population becomes one two-column
+    /// row set per fact type.
+    pub fn map_state(&self, schema: &Schema, pop: &Population) -> RelState {
+        let mut st = RelState::with_tables(self.fact_tables.len());
+        for (fid, _) in schema.fact_types() {
+            let t = self.fact_tables[fid.index()];
+            for (l, r) in pop.facts_of(fid) {
+                st.insert(t, vec![Some(l.clone()), Some(r.clone())]);
+            }
+        }
+        st
+    }
+
+    /// Backward state map `g⁻¹`: fact populations are read back from the
+    /// tables; object-type populations are reconstructed as the union of
+    /// their role projections (exact on fact-closed states, see
+    /// [`crate::is_fact_closed`]).
+    pub fn unmap_state(&self, schema: &Schema, state: &RelState) -> Population {
+        let mut pop = Population::new();
+        for (fid, ft) in schema.fact_types() {
+            let t = self.fact_tables[fid.index()];
+            for row in state.rows(t) {
+                let (Some(l), Some(r)) = (&row[0], &row[1]) else {
+                    continue;
+                };
+                pop.add_fact(fid, l.clone(), r.clone());
+                pop.add_object(ft.player(Side::Left), l.clone());
+                pop.add_object(ft.player(Side::Right), r.clone());
+            }
+        }
+        pop
+    }
+
+    /// The column selection realising one role's population.
+    pub fn role_selection(&self, role: RoleRef) -> ColumnSelection {
+        ColumnSelection::of(
+            self.fact_tables[role.fact.index()],
+            vec![role.side.index() as u32],
+        )
+    }
+}
+
+/// Applies the pivot to a canonical binary schema (no LOT-NOLOTs, no
+/// sublinks — run the [`crate::b2b`] transformations first).
+pub fn binary_relational(schema: &Schema) -> Result<(RelSchema, BinaryRelMap), TransformError> {
+    for (_, ot) in schema.object_types() {
+        if ot.kind.is_lot_nolot() {
+            return Err(TransformError::new(format!(
+                "LOT-NOLOT {} present; expand it first (canonical form required)",
+                ot.name
+            )));
+        }
+    }
+    if schema.num_sublinks() > 0 {
+        return Err(TransformError::new(
+            "sublinks present; eliminate them first (canonical form required)",
+        ));
+    }
+
+    let mut rel = RelSchema::new(schema.name.clone());
+    let mut fact_tables = Vec::with_capacity(schema.num_fact_types());
+
+    // Tables and keys.
+    for (fid, ft) in schema.fact_types() {
+        let mut cols = Vec::new();
+        for side in Side::BOTH {
+            let player = ft.player(side);
+            let dt = schema
+                .kind_of(player)
+                .data_type()
+                .unwrap_or(DataType::Surrogate);
+            let dom = rel.domain(&format!("D_{}", schema.ot_name(player)), dt);
+            let role = ft.role(side);
+            let mut name = if role.name.is_empty() {
+                schema.ot_name(player).to_owned()
+            } else {
+                role.name.clone()
+            };
+            if side == Side::Right && cols.iter().any(|c: &Column| c.name == name) {
+                name.push_str("_2");
+            }
+            cols.push(Column::not_null(name, dom));
+        }
+        let t = rel.add_table(Table::new(ft.name.clone(), cols));
+        fact_tables.push(t);
+        let (lu, ru) = schema.fact_multiplicity(fid);
+        match (lu, ru) {
+            (true, true) => {
+                rel.add_named(RelConstraintKind::PrimaryKey {
+                    table: t,
+                    cols: vec![0],
+                });
+                rel.add_named(RelConstraintKind::CandidateKey {
+                    table: t,
+                    cols: vec![1],
+                });
+            }
+            (true, false) => {
+                rel.add_named(RelConstraintKind::PrimaryKey {
+                    table: t,
+                    cols: vec![0],
+                });
+            }
+            (false, true) => {
+                rel.add_named(RelConstraintKind::PrimaryKey {
+                    table: t,
+                    cols: vec![1],
+                });
+            }
+            (false, false) => {
+                rel.add_named(RelConstraintKind::PrimaryKey {
+                    table: t,
+                    cols: vec![0, 1],
+                });
+            }
+        }
+    }
+
+    // Canonical population selections: a total role per object type.
+    let mut canonical_pop: Vec<Option<RoleRef>> = vec![None; schema.num_object_types()];
+    for (_, c) in schema.constraints() {
+        if let ConstraintKind::Total { over, items } = &c.kind {
+            if let [RoleOrSublink::Role(r)] = items.as_slice() {
+                if canonical_pop[over.index()].is_none() {
+                    canonical_pop[over.index()] = Some(*r);
+                }
+            }
+        }
+    }
+
+    let map = BinaryRelMap {
+        fact_tables,
+        canonical_pop,
+    };
+
+    // View constraints from the remaining binary constraints.
+    for (_, c) in schema.constraints() {
+        match &c.kind {
+            ConstraintKind::Uniqueness { .. } => { /* realised as keys above */ }
+            ConstraintKind::Total { over, items } => {
+                let Some(canon) = map.canonical_pop[over.index()] else {
+                    continue; // no canonical population to constrain against
+                };
+                // Trivial when the constraint *is* the canonical total role.
+                if let [RoleOrSublink::Role(r)] = items.as_slice() {
+                    if *r == canon {
+                        continue;
+                    }
+                }
+                let over_sel = map.role_selection(canon);
+                let item_sels: Vec<ColumnSelection> = items
+                    .iter()
+                    .filter_map(|i| match i {
+                        RoleOrSublink::Role(r) => Some(map.role_selection(*r)),
+                        RoleOrSublink::Sublink(_) => None,
+                    })
+                    .collect();
+                if item_sels.len() == items.len() {
+                    rel.add_named(RelConstraintKind::TotalUnionView {
+                        over: over_sel,
+                        items: item_sels,
+                    });
+                }
+            }
+            ConstraintKind::Exclusion { items } => {
+                let sels: Vec<ColumnSelection> = items
+                    .iter()
+                    .filter_map(|i| match i {
+                        RoleOrSublink::Role(r) => Some(map.role_selection(*r)),
+                        RoleOrSublink::Sublink(_) => None,
+                    })
+                    .collect();
+                if sels.len() == items.len() && sels.len() >= 2 {
+                    rel.add_named(RelConstraintKind::ExclusionView { items: sels });
+                }
+            }
+            ConstraintKind::Subset { sub, sup } if sub.len() == 1 && sup.len() == 1 => {
+                rel.add_named(RelConstraintKind::SubsetView {
+                    sub: map.role_selection(sub[0]),
+                    sup: map.role_selection(sup[0]),
+                });
+            }
+            ConstraintKind::Equality { a, b } if a.len() == 1 && b.len() == 1 => {
+                rel.add_named(RelConstraintKind::EqualityView {
+                    left: map.role_selection(a[0]),
+                    right: map.role_selection(b[0]),
+                });
+            }
+            ConstraintKind::Subset { .. } | ConstraintKind::Equality { .. } => {
+                // Compound sequences need joins; the grouped mapper handles
+                // them — at the pivot level they stay conceptual.
+            }
+            ConstraintKind::Cardinality { role, min, max } => {
+                rel.add_named(RelConstraintKind::Frequency {
+                    table: map.fact_tables[role.fact.index()],
+                    cols: vec![role.side.index() as u32],
+                    min: *min,
+                    max: *max,
+                });
+            }
+            ConstraintKind::Value { over, values } => {
+                for role in schema.roles_of(*over) {
+                    rel.add_named(RelConstraintKind::CheckValue {
+                        table: map.fact_tables[role.fact.index()],
+                        col: role.side.index() as u32,
+                        values: values.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    Ok((rel, map))
+}
+
+/// Convenience for tests: the set of object types whose population is
+/// recoverable from the pivot (those with at least one role).
+pub fn recoverable_object_types(schema: &Schema) -> BTreeSet<ObjectTypeId> {
+    let mut out = BTreeSet::new();
+    for (fid, ft) in schema.fact_types() {
+        let _: FactTypeId = fid;
+        out.insert(ft.player(Side::Left));
+        out.insert(ft.player(Side::Right));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::Value;
+    use ridl_relational::validate::{is_valid, validate};
+
+    fn canonical_schema() -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        b.lot("Title", DataType::VarChar(40)).unwrap();
+        b.fact("titled", ("has_title", "Paper"), ("title_of", "Title"))
+            .unwrap();
+        b.unique("titled", Side::Left).unwrap();
+        b.total_role("titled", Side::Left).unwrap();
+        b.nolot("Person").unwrap();
+        identify(&mut b, "Person", "Name", DataType::Char(30)).unwrap();
+        b.fact("writes", ("author_of", "Person"), ("written_by", "Paper"))
+            .unwrap();
+        b.unique_pair("writes").unwrap();
+        b.finish().unwrap()
+    }
+
+    fn populated(s: &Schema) -> Population {
+        let fid = s.fact_type_by_name("Paper_has_Paper_Id").unwrap();
+        let titled = s.fact_type_by_name("titled").unwrap();
+        let pname = s.fact_type_by_name("Person_has_Name").unwrap();
+        let writes = s.fact_type_by_name("writes").unwrap();
+        let mut p = Population::new();
+        p.add_fact_closed(s, fid, Value::entity(1), Value::str("P1"));
+        p.add_fact_closed(s, fid, Value::entity(2), Value::str("P2"));
+        p.add_fact_closed(s, titled, Value::entity(1), Value::str("On NIAM"));
+        p.add_fact_closed(s, titled, Value::entity(2), Value::str("On RIDL"));
+        p.add_fact_closed(s, pname, Value::entity(10), Value::str("De Troyer"));
+        p.add_fact_closed(s, writes, Value::entity(10), Value::entity(1));
+        p.add_fact_closed(s, writes, Value::entity(10), Value::entity(2));
+        p
+    }
+
+    #[test]
+    fn pivot_structure() {
+        let s = canonical_schema();
+        let (rel, map) = binary_relational(&s).unwrap();
+        assert_eq!(rel.tables.len(), s.num_fact_types());
+        for (_, t) in rel.tables() {
+            assert_eq!(t.arity(), 2);
+        }
+        assert!(rel.check_ids().is_empty(), "{:?}", rel.check_ids());
+        // writes is m:n: PK over both columns.
+        let writes_t = map.fact_tables[s.fact_type_by_name("writes").unwrap().index()];
+        assert_eq!(rel.primary_key_of(writes_t), Some(&[0u32, 1][..]));
+        // identifying fact is 1:1: PK + candidate key.
+        let id_t = map.fact_tables[s.fact_type_by_name("Paper_has_Paper_Id").unwrap().index()];
+        assert_eq!(rel.keys_of(id_t).len(), 2);
+    }
+
+    #[test]
+    fn pivot_round_trips_states() {
+        let s = canonical_schema();
+        let (rel, map) = binary_relational(&s).unwrap();
+        let pop = populated(&s);
+        assert!(crate::is_fact_closed(&s, &pop));
+        let st = map.map_state(&s, &pop);
+        assert!(is_valid(&rel, &st), "{:?}", validate(&rel, &st));
+        let back = map.unmap_state(&s, &st);
+        assert_eq!(back.compacted(), pop.compacted());
+    }
+
+    #[test]
+    fn pivot_requires_canonical_form() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("A").unwrap();
+        b.nolot("B").unwrap();
+        b.sublink("B", "A").unwrap();
+        let s = b.finish().unwrap();
+        assert!(binary_relational(&s).is_err());
+
+        let mut b = SchemaBuilder::new("s");
+        b.lot_nolot("Date", DataType::Date).unwrap();
+        let s = b.finish().unwrap();
+        assert!(binary_relational(&s).is_err());
+    }
+
+    #[test]
+    fn constraint_violations_surface_in_pivot_state() {
+        let s = canonical_schema();
+        let (rel, map) = binary_relational(&s).unwrap();
+        let titled_t = map.fact_tables[s.fact_type_by_name("titled").unwrap().index()];
+        let mut st = map.map_state(&s, &populated(&s));
+        // Give paper e1 a second title: violates the PK derived from the
+        // left-role uniqueness.
+        st.insert(
+            titled_t,
+            vec![Some(Value::entity(1)), Some(Value::str("Another"))],
+        );
+        assert!(!is_valid(&rel, &st));
+    }
+
+    #[test]
+    fn value_and_frequency_carried() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("R").unwrap();
+        b.lot("Grade", DataType::Char(1)).unwrap();
+        b.fact("graded", ("of", "R"), ("is", "Grade")).unwrap();
+        b.unique("graded", Side::Left).unwrap();
+        b.value_constraint("Grade", vec![Value::str("A"), Value::str("B")])
+            .unwrap();
+        b.cardinality("graded", Side::Right, 0, Some(5)).unwrap();
+        let s = b.finish().unwrap();
+        let (rel, _) = binary_relational(&s).unwrap();
+        assert!(rel
+            .constraints
+            .iter()
+            .any(|c| matches!(c.kind, RelConstraintKind::CheckValue { .. })));
+        assert!(rel
+            .constraints
+            .iter()
+            .any(|c| matches!(c.kind, RelConstraintKind::Frequency { .. })));
+    }
+
+    #[test]
+    fn exclusion_and_subset_carried() {
+        let mut b = SchemaBuilder::new("s");
+        b.nolot("Person").unwrap();
+        b.nolot("Paper").unwrap();
+        b.fact("writes", ("w", "Person"), ("wb", "Paper")).unwrap();
+        b.fact("reviews", ("r", "Person"), ("rb", "Paper")).unwrap();
+        b.unique_pair("writes").unwrap();
+        b.unique_pair("reviews").unwrap();
+        b.exclusion_roles(&[("writes", Side::Right), ("reviews", Side::Right)])
+            .unwrap();
+        b.subset(&[("reviews", Side::Left)], &[("writes", Side::Left)])
+            .unwrap();
+        let s = b.finish().unwrap();
+        let (rel, map) = binary_relational(&s).unwrap();
+        assert!(rel
+            .constraints
+            .iter()
+            .any(|c| matches!(c.kind, RelConstraintKind::ExclusionView { .. })));
+        assert!(rel
+            .constraints
+            .iter()
+            .any(|c| matches!(c.kind, RelConstraintKind::SubsetView { .. })));
+        // And they are enforced on states.
+        let writes = s.fact_type_by_name("writes").unwrap();
+        let reviews = s.fact_type_by_name("reviews").unwrap();
+        let mut pop = Population::new();
+        pop.add_fact_closed(&s, writes, Value::entity(1), Value::entity(7));
+        pop.add_fact_closed(&s, reviews, Value::entity(1), Value::entity(7));
+        let st = map.map_state(&s, &pop);
+        assert!(!is_valid(&rel, &st)); // same paper both written and reviewed
+    }
+}

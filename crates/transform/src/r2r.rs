@@ -1,0 +1,662 @@
+//! Relational→relational sculpting transformations.
+//!
+//! "An example transformation of this last kind is the well known
+//! projection/join transformation used to obtain relations in third normal
+//! form or conversely to combine relations into one relation. The lossless
+//! rules of this transformation include a multivalued dependency for the
+//! projection transformation and an equality constraint for the inverse
+//! join transformation" (§4.1).
+//!
+//! [`SplitTable`] is the projection direction, [`MergeTables`] the join
+//! direction. Both carry executable row-level state maps and emit their
+//! lossless rules as extended constraints, so state equivalence is
+//! demonstrable on concrete states.
+
+use ridl_relational::{
+    Column, ColumnSelection, RelConstraintKind, RelSchema, RelState, Table, TableId,
+};
+
+use crate::TransformError;
+
+/// Rebuilds a schema without table `removed`, remapping table ids in every
+/// kept constraint. Constraints that *mention* the removed table are
+/// dropped and returned separately so the caller can reattach equivalents.
+fn remove_table(
+    schema: &RelSchema,
+    removed: &[TableId],
+) -> (
+    RelSchema,
+    Vec<ridl_relational::RelConstraint>,
+    Vec<Option<TableId>>,
+) {
+    let mut out = RelSchema::new(schema.name.clone());
+    out.domains = schema.domains.clone();
+    let mut remap: Vec<Option<TableId>> = Vec::with_capacity(schema.tables.len());
+    for (tid, t) in schema.tables() {
+        if removed.contains(&tid) {
+            remap.push(None);
+        } else {
+            remap.push(Some(out.add_table(t.clone())));
+        }
+    }
+    let mut dropped = Vec::new();
+    for c in &schema.constraints {
+        if c.kind.tables().iter().any(|t| removed.contains(t)) {
+            dropped.push(c.clone());
+            continue;
+        }
+        let mut kind = c.kind.clone();
+        remap_kind(&mut kind, &remap);
+        out.add_constraint(ridl_relational::RelConstraint::new(c.name.clone(), kind));
+    }
+    (out, dropped, remap)
+}
+
+fn remap_tid(t: &mut TableId, remap: &[Option<TableId>]) {
+    *t = remap[t.index()].expect("remapped constraint must not touch removed tables");
+}
+
+fn remap_sel(s: &mut ColumnSelection, remap: &[Option<TableId>]) {
+    remap_tid(&mut s.table, remap);
+}
+
+fn remap_kind(kind: &mut RelConstraintKind, remap: &[Option<TableId>]) {
+    match kind {
+        RelConstraintKind::PrimaryKey { table, .. }
+        | RelConstraintKind::CandidateKey { table, .. }
+        | RelConstraintKind::DependentExistence { table, .. }
+        | RelConstraintKind::EqualExistence { table, .. }
+        | RelConstraintKind::CheckValue { table, .. }
+        | RelConstraintKind::CoverExistence { table, .. }
+        | RelConstraintKind::Frequency { table, .. } => remap_tid(table, remap),
+        RelConstraintKind::ForeignKey {
+            table, ref_table, ..
+        } => {
+            remap_tid(table, remap);
+            remap_tid(ref_table, remap);
+        }
+        RelConstraintKind::EqualityView { left, right } => {
+            remap_sel(left, remap);
+            remap_sel(right, remap);
+        }
+        RelConstraintKind::SubsetView { sub, sup } => {
+            remap_sel(sub, remap);
+            remap_sel(sup, remap);
+        }
+        RelConstraintKind::ExclusionView { items } => {
+            for s in items {
+                remap_sel(s, remap);
+            }
+        }
+        RelConstraintKind::TotalUnionView { over, items } => {
+            remap_sel(over, remap);
+            for s in items {
+                remap_sel(s, remap);
+            }
+        }
+        RelConstraintKind::ConditionalEquality { table, sub, .. } => {
+            remap_tid(table, remap);
+            remap_sel(sub, remap);
+        }
+    }
+}
+
+/// **PROJECT/SPLIT**: splits `table` into two tables sharing its key; the
+/// direction that produces normalized relations.
+#[derive(Clone, Debug)]
+pub struct SplitTable {
+    /// The table to split.
+    pub table: TableId,
+    /// The shared key columns (must be a declared key of the table).
+    pub key: Vec<u32>,
+    /// Non-key columns going to the first part.
+    pub group_a: Vec<u32>,
+    /// Non-key columns going to the second part.
+    pub group_b: Vec<u32>,
+}
+
+/// The outcome of a split.
+#[derive(Clone, Debug)]
+pub struct SplitResult {
+    /// The transformed schema.
+    pub schema: RelSchema,
+    /// The two parts (key+group_a, key+group_b).
+    pub parts: (TableId, TableId),
+    /// Names of the lossless-rule constraints added (the equality view that
+    /// allows the inverse join).
+    pub lossless_rules: Vec<String>,
+    /// Table remap from the old schema (split table maps to `None`).
+    pub remap: Vec<Option<TableId>>,
+}
+
+impl SplitTable {
+    /// Applies the split.
+    pub fn apply(&self, schema: &RelSchema) -> Result<SplitResult, TransformError> {
+        let table = schema.table(self.table);
+        let keys = schema.keys_of(self.table);
+        if !keys.contains(&self.key.as_slice()) {
+            return Err(TransformError::new(format!(
+                "{:?} is not a declared key of {}",
+                self.key, table.name
+            )));
+        }
+        let mut covered: Vec<u32> = self.key.clone();
+        covered.extend(&self.group_a);
+        covered.extend(&self.group_b);
+        covered.sort_unstable();
+        covered.dedup();
+        if covered.len() != table.arity() || covered.iter().any(|c| *c as usize >= table.arity()) {
+            return Err(TransformError::new(
+                "key and groups must partition the table's columns",
+            ));
+        }
+        if self
+            .group_a
+            .iter()
+            .chain(&self.group_b)
+            .chain(&self.key)
+            .any(|c| table.column(*c).nullable)
+        {
+            return Err(TransformError::new(
+                "split requires NOT NULL columns (merge nullable groups back first)",
+            ));
+        }
+        let blockers = schema
+            .constraints_of(self.table)
+            .iter()
+            .filter(|c| {
+                !matches!(
+                    c.kind,
+                    RelConstraintKind::PrimaryKey { .. } | RelConstraintKind::CandidateKey { .. }
+                )
+            })
+            .count();
+        if blockers > 0 {
+            return Err(TransformError::new(format!(
+                "{} other constraints reference {}; split them manually first",
+                blockers, table.name
+            )));
+        }
+
+        let part = |suffix: &str, group: &[u32]| {
+            let mut cols: Vec<Column> = self.key.iter().map(|c| table.column(*c).clone()).collect();
+            cols.extend(group.iter().map(|c| table.column(*c).clone()));
+            Table::new(format!("{}_{suffix}", table.name), cols)
+        };
+        let t_a = part("a", &self.group_a);
+        let t_b = part("b", &self.group_b);
+
+        let (mut out, _dropped, remap) = remove_table(schema, &[self.table]);
+        let a = out.add_table(t_a);
+        let b = out.add_table(t_b);
+        let key_ords: Vec<u32> = (0..self.key.len() as u32).collect();
+        out.add_named(RelConstraintKind::PrimaryKey {
+            table: a,
+            cols: key_ords.clone(),
+        });
+        out.add_named(RelConstraintKind::PrimaryKey {
+            table: b,
+            cols: key_ords.clone(),
+        });
+        // Lossless rule: the two key projections coincide, so the natural
+        // join reconstructs the original relation exactly.
+        let rule = out.add_named(RelConstraintKind::EqualityView {
+            left: ColumnSelection::of(a, key_ords.clone()),
+            right: ColumnSelection::of(b, key_ords),
+        });
+        Ok(SplitResult {
+            schema: out,
+            parts: (a, b),
+            lossless_rules: vec![rule],
+            remap,
+        })
+    }
+
+    /// Forward state map: project each row onto the two parts.
+    pub fn map_state(&self, old: &RelSchema, out: &SplitResult, state: &RelState) -> RelState {
+        let mut st = RelState::with_tables(out.schema.tables.len());
+        // Copy untouched tables through the remap.
+        for (tid, _) in old.tables() {
+            if let Some(new_tid) = out.remap[tid.index()] {
+                for row in state.rows(tid) {
+                    st.insert(new_tid, row.clone());
+                }
+            }
+        }
+        for row in state.rows(self.table) {
+            let proj = |group: &[u32]| {
+                self.key
+                    .iter()
+                    .chain(group.iter())
+                    .map(|c| row[*c as usize].clone())
+                    .collect::<Vec<_>>()
+            };
+            st.insert(out.parts.0, proj(&self.group_a));
+            st.insert(out.parts.1, proj(&self.group_b));
+        }
+        st
+    }
+
+    /// Backward state map: natural join of the parts on the key.
+    pub fn unmap_state(&self, old: &RelSchema, out: &SplitResult, state: &RelState) -> RelState {
+        let mut st = RelState::with_tables(old.tables.len());
+        for (tid, _) in old.tables() {
+            if let Some(new_tid) = out.remap[tid.index()] {
+                for row in state.rows(new_tid) {
+                    st.insert(tid, row.clone());
+                }
+            }
+        }
+        let nk = self.key.len();
+        let arity = old.table(self.table).arity();
+        for row_a in state.rows(out.parts.0) {
+            for row_b in state.rows(out.parts.1) {
+                if row_a[..nk] != row_b[..nk] {
+                    continue;
+                }
+                let mut joined = vec![None; arity];
+                for (i, c) in self.key.iter().enumerate() {
+                    joined[*c as usize] = row_a[i].clone();
+                }
+                for (i, c) in self.group_a.iter().enumerate() {
+                    joined[*c as usize] = row_a[nk + i].clone();
+                }
+                for (i, c) in self.group_b.iter().enumerate() {
+                    joined[*c as usize] = row_b[nk + i].clone();
+                }
+                st.insert(self.table, joined);
+            }
+        }
+        st
+    }
+}
+
+/// **JOIN/MERGE**: combines a secondary table into a primary one along their
+/// shared key — the denormalising direction the paper motivates with
+/// Inmon's I/O argument (§4). When the secondary's key set is only a
+/// *subset* of the primary's (partial facts), the merged columns become
+/// nullable and an equal-existence constraint controls the null pattern.
+#[derive(Clone, Debug)]
+pub struct MergeTables {
+    /// The surviving (primary) table.
+    pub primary: TableId,
+    /// The table merged into it.
+    pub secondary: TableId,
+    /// Matching key columns: `(primary_col, secondary_col)` pairs.
+    pub on: Vec<(u32, u32)>,
+    /// True when every primary key value is known to appear in the
+    /// secondary (an equality lossless rule): merged columns stay NOT NULL.
+    pub total: bool,
+}
+
+/// The outcome of a merge.
+#[derive(Clone, Debug)]
+pub struct MergeResult {
+    /// The transformed schema.
+    pub schema: RelSchema,
+    /// The merged table.
+    pub merged: TableId,
+    /// Ordinals (in the merged table) of the columns absorbed from the
+    /// secondary, in the secondary's non-key column order.
+    pub absorbed: Vec<u32>,
+    /// Names of the lossless-rule constraints added.
+    pub lossless_rules: Vec<String>,
+    /// Table remap from the old schema.
+    pub remap: Vec<Option<TableId>>,
+}
+
+impl MergeTables {
+    /// Applies the merge.
+    pub fn apply(&self, schema: &RelSchema) -> Result<MergeResult, TransformError> {
+        let prim = schema.table(self.primary).clone();
+        let sec = schema.table(self.secondary).clone();
+        if self.primary == self.secondary {
+            return Err(TransformError::new("cannot merge a table with itself"));
+        }
+        let sec_keys = schema.keys_of(self.secondary);
+        let sec_key: Vec<u32> = self.on.iter().map(|(_, s)| *s).collect();
+        if !sec_keys.contains(&sec_key.as_slice()) {
+            return Err(TransformError::new(format!(
+                "the join columns are not a key of {}; merging would duplicate rows",
+                sec.name
+            )));
+        }
+        let blockers = schema
+            .constraints_of(self.primary)
+            .iter()
+            .chain(schema.constraints_of(self.secondary).iter())
+            .filter(|c| {
+                !matches!(
+                    c.kind,
+                    RelConstraintKind::PrimaryKey { .. } | RelConstraintKind::CandidateKey { .. }
+                )
+            })
+            .count();
+        if blockers > 0 {
+            return Err(TransformError::new(
+                "other constraints reference the tables; rewrite them first",
+            ));
+        }
+
+        let sec_nonkey: Vec<u32> = (0..sec.arity() as u32)
+            .filter(|c| !sec_key.contains(c))
+            .collect();
+        let mut cols = prim.columns.clone();
+        let mut absorbed = Vec::new();
+        for c in &sec_nonkey {
+            let mut col = sec.column(*c).clone();
+            if !self.total {
+                col.nullable = true;
+            }
+            if cols.iter().any(|x| x.name == col.name) {
+                col.name = format!("{}_{}", sec.name, col.name);
+            }
+            absorbed.push(cols.len() as u32);
+            cols.push(col);
+        }
+
+        let (mut out, _dropped, remap) = remove_table(schema, &[self.primary, self.secondary]);
+        let merged = out.add_table(Table::new(prim.name.clone(), cols));
+        // Restore the primary's (first declared) key.
+        if let Some(k) = schema.keys_of(self.primary).first() {
+            out.add_named(RelConstraintKind::PrimaryKey {
+                table: merged,
+                cols: k.to_vec(),
+            });
+        }
+        let mut rules = Vec::new();
+        if !self.total && absorbed.len() > 1 {
+            // Lossless rule: absorbed columns exist together, so the inverse
+            // projection can tell "no secondary row" from partial data.
+            rules.push(out.add_named(RelConstraintKind::EqualExistence {
+                table: merged,
+                cols: absorbed.clone(),
+            }));
+        }
+        Ok(MergeResult {
+            schema: out,
+            merged,
+            absorbed,
+            lossless_rules: rules,
+            remap,
+        })
+    }
+
+    /// Forward state map: left-outer join of primary with secondary.
+    pub fn map_state(&self, old: &RelSchema, out: &MergeResult, state: &RelState) -> RelState {
+        let mut st = RelState::with_tables(out.schema.tables.len());
+        for (tid, _) in old.tables() {
+            if let Some(new_tid) = out.remap[tid.index()] {
+                for row in state.rows(tid) {
+                    st.insert(new_tid, row.clone());
+                }
+            }
+        }
+        let sec = old.table(self.secondary);
+        let sec_key: Vec<u32> = self.on.iter().map(|(_, s)| *s).collect();
+        let sec_nonkey: Vec<u32> = (0..sec.arity() as u32)
+            .filter(|c| !sec_key.contains(c))
+            .collect();
+        for prow in state.rows(self.primary) {
+            let mut merged_row = prow.clone();
+            let matching = state.rows(self.secondary).iter().find(|srow| {
+                self.on
+                    .iter()
+                    .all(|(p, s)| prow[*p as usize] == srow[*s as usize])
+            });
+            match matching {
+                Some(srow) => {
+                    for c in &sec_nonkey {
+                        merged_row.push(srow[*c as usize].clone());
+                    }
+                }
+                None => {
+                    for _ in &sec_nonkey {
+                        merged_row.push(None);
+                    }
+                }
+            }
+            st.insert(out.merged, merged_row);
+        }
+        st
+    }
+
+    /// Backward state map: project the merged table back into the two
+    /// originals; rows whose absorbed columns are all NULL contribute no
+    /// secondary row.
+    pub fn unmap_state(&self, old: &RelSchema, out: &MergeResult, state: &RelState) -> RelState {
+        let mut st = RelState::with_tables(old.tables.len());
+        for (tid, _) in old.tables() {
+            if let Some(new_tid) = out.remap[tid.index()] {
+                for row in state.rows(new_tid) {
+                    st.insert(tid, row.clone());
+                }
+            }
+        }
+        let prim_arity = old.table(self.primary).arity();
+        let sec = old.table(self.secondary);
+        let sec_key: Vec<u32> = self.on.iter().map(|(_, s)| *s).collect();
+        let sec_nonkey: Vec<u32> = (0..sec.arity() as u32)
+            .filter(|c| !sec_key.contains(c))
+            .collect();
+        for row in state.rows(out.merged) {
+            st.insert(self.primary, row[..prim_arity].to_vec());
+            let absorbed_vals: Vec<_> = out
+                .absorbed
+                .iter()
+                .map(|c| row[*c as usize].clone())
+                .collect();
+            if absorbed_vals.iter().all(Option::is_none) && !self.total {
+                continue;
+            }
+            let mut srow = vec![None; sec.arity()];
+            for (p, s) in &self.on {
+                srow[*s as usize] = row[*p as usize].clone();
+            }
+            for (i, c) in sec_nonkey.iter().enumerate() {
+                srow[*c as usize] = absorbed_vals[i].clone();
+            }
+            st.insert(self.secondary, srow);
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::{DataType, Value};
+    use ridl_relational::validate::is_valid;
+
+    fn v(s: &str) -> Option<Value> {
+        Some(Value::str(s))
+    }
+
+    fn wide_schema() -> (RelSchema, TableId) {
+        let mut s = RelSchema::new("w");
+        let d = s.domain("D", DataType::Char(10));
+        let t = s.add_table(Table::new(
+            "Paper",
+            vec![
+                Column::not_null("Paper_Id", d),
+                Column::not_null("Title", d),
+                Column::not_null("Status", d),
+            ],
+        ));
+        s.add_named(RelConstraintKind::PrimaryKey {
+            table: t,
+            cols: vec![0],
+        });
+        (s, t)
+    }
+
+    #[test]
+    fn split_round_trips() {
+        let (s, t) = wide_schema();
+        let split = SplitTable {
+            table: t,
+            key: vec![0],
+            group_a: vec![1],
+            group_b: vec![2],
+        };
+        let out = split.apply(&s).unwrap();
+        assert_eq!(out.schema.tables.len(), 2);
+        assert_eq!(out.lossless_rules.len(), 1);
+        assert!(out.schema.check_ids().is_empty());
+
+        let mut st = RelState::with_tables(1);
+        st.insert(t, vec![v("P1"), v("A"), v("ok")]);
+        st.insert(t, vec![v("P2"), v("B"), v("no")]);
+        let fwd = split.map_state(&s, &out, &st);
+        assert!(
+            is_valid(&out.schema, &fwd),
+            "{:?}",
+            ridl_relational::validate(&out.schema, &fwd)
+        );
+        let back = split.unmap_state(&s, &out, &fwd);
+        assert_eq!(back, st);
+    }
+
+    #[test]
+    fn split_requires_declared_key() {
+        let (s, t) = wide_schema();
+        let split = SplitTable {
+            table: t,
+            key: vec![1],
+            group_a: vec![0],
+            group_b: vec![2],
+        };
+        assert!(split.apply(&s).is_err());
+    }
+
+    #[test]
+    fn split_requires_partition() {
+        let (s, t) = wide_schema();
+        let bad = SplitTable {
+            table: t,
+            key: vec![0],
+            group_a: vec![1],
+            group_b: vec![1], // overlaps, misses 2
+        };
+        assert!(bad.apply(&s).is_err());
+    }
+
+    fn two_tables() -> (RelSchema, TableId, TableId) {
+        let mut s = RelSchema::new("m");
+        let d = s.domain("D", DataType::Char(10));
+        let paper = s.add_table(Table::new(
+            "Paper",
+            vec![
+                Column::not_null("Paper_Id", d),
+                Column::not_null("Title", d),
+            ],
+        ));
+        let pp = s.add_table(Table::new(
+            "Program_Paper",
+            vec![
+                Column::not_null("Paper_Id", d),
+                Column::not_null("Session", d),
+                Column::not_null("Presenter", d),
+            ],
+        ));
+        s.add_named(RelConstraintKind::PrimaryKey {
+            table: paper,
+            cols: vec![0],
+        });
+        s.add_named(RelConstraintKind::PrimaryKey {
+            table: pp,
+            cols: vec![0],
+        });
+        (s, paper, pp)
+    }
+
+    #[test]
+    fn partial_merge_round_trips_with_null_pattern() {
+        let (s, paper, pp) = two_tables();
+        let merge = MergeTables {
+            primary: paper,
+            secondary: pp,
+            on: vec![(0, 0)],
+            total: false,
+        };
+        let out = merge.apply(&s).unwrap();
+        assert_eq!(out.schema.tables.len(), 1);
+        // Equal-existence lossless rule over the two absorbed columns.
+        assert_eq!(out.lossless_rules.len(), 1);
+        let merged_table = out.schema.table(out.merged);
+        assert_eq!(merged_table.arity(), 4);
+        assert!(merged_table.column(out.absorbed[0]).nullable);
+
+        let mut st = RelState::with_tables(2);
+        st.insert(paper, vec![v("P1"), v("A")]);
+        st.insert(paper, vec![v("P2"), v("B")]);
+        st.insert(pp, vec![v("P1"), v("S1"), v("alice")]);
+        let fwd = merge.map_state(&s, &out, &st);
+        assert!(
+            is_valid(&out.schema, &fwd),
+            "{:?}",
+            ridl_relational::validate(&out.schema, &fwd)
+        );
+        assert_eq!(fwd.rows(out.merged).len(), 2);
+        let back = merge.unmap_state(&s, &out, &fwd);
+        assert_eq!(back, st);
+    }
+
+    #[test]
+    fn total_merge_keeps_not_null() {
+        let (s, paper, pp) = two_tables();
+        let merge = MergeTables {
+            primary: paper,
+            secondary: pp,
+            on: vec![(0, 0)],
+            total: true,
+        };
+        let out = merge.apply(&s).unwrap();
+        assert!(
+            !out.schema
+                .table(out.merged)
+                .column(out.absorbed[0])
+                .nullable
+        );
+        let mut st = RelState::with_tables(2);
+        st.insert(paper, vec![v("P1"), v("A")]);
+        st.insert(pp, vec![v("P1"), v("S1"), v("alice")]);
+        let fwd = merge.map_state(&s, &out, &st);
+        let back = merge.unmap_state(&s, &out, &fwd);
+        assert_eq!(back, st);
+    }
+
+    #[test]
+    fn merge_rejects_non_key_join() {
+        let (s, paper, pp) = two_tables();
+        let merge = MergeTables {
+            primary: paper,
+            secondary: pp,
+            on: vec![(0, 1)], // Session is not a key of Program_Paper
+            total: false,
+        };
+        assert!(merge.apply(&s).is_err());
+    }
+
+    #[test]
+    fn merge_then_split_is_identity_on_schema_shape() {
+        let (s, paper, pp) = two_tables();
+        let merge = MergeTables {
+            primary: paper,
+            secondary: pp,
+            on: vec![(0, 0)],
+            total: true,
+        };
+        let out = merge.apply(&s).unwrap();
+        let split = SplitTable {
+            table: out.merged,
+            key: vec![0],
+            group_a: vec![1],
+            group_b: vec![2, 3],
+        };
+        // The equal-existence rule was not added (total), so only keys
+        // reference the merged table and the split applies.
+        let back = split.apply(&out.schema).unwrap();
+        assert_eq!(back.schema.tables.len(), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Recording of applied transformations and their lossless rules.
+//!
+//! "There is an important advantage to this transformation composition
+//! technique. We are now able to 'drive' the composition of these basic
+//! transformations by rules specified externally to the algorithm" (§4.1).
+//! The trace is the audit trail of that composition: which basic
+//! transformation fired, at which site, and which lossless rules it
+//! contributed. The mapper appends to it, and the map report prints it.
+
+use std::fmt;
+
+/// The kind of a basic schema transformation (§4.1: "The basic schema
+/// transformations used can be divided into three kinds").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransformKind {
+    /// Binary schema → binary schema (canonicalisation).
+    BinaryToBinary,
+    /// Binary schema → relational schema (the pivot).
+    BinaryToRelational,
+    /// Relational schema → relational schema (sculpting).
+    RelationalToRelational,
+}
+
+impl fmt::Display for TransformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformKind::BinaryToBinary => write!(f, "binary-to-binary"),
+            TransformKind::BinaryToRelational => write!(f, "binary-to-relational"),
+            TransformKind::RelationalToRelational => write!(f, "relational-to-relational"),
+        }
+    }
+}
+
+/// One applied basic transformation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AppliedTransform {
+    /// Which of the three kinds it belongs to.
+    pub kind: TransformKind,
+    /// The transformation's name, e.g. `ELIMINATE SUBLINK`.
+    pub name: String,
+    /// The site it was applied to, e.g. `Invited_Paper IS-A Paper`.
+    pub site: String,
+    /// The lossless rules this application contributed (names of generated
+    /// relational constraints, or textual rules for binary-level steps).
+    pub lossless_rules: Vec<String>,
+}
+
+impl fmt::Display for AppliedTransform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} AT {}", self.kind, self.name, self.site)?;
+        if !self.lossless_rules.is_empty() {
+            write!(f, " (lossless rules: {})", self.lossless_rules.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// The ordered record of a whole mapping run.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct TransformTrace {
+    steps: Vec<AppliedTransform>,
+}
+
+impl TransformTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step.
+    pub fn push(
+        &mut self,
+        kind: TransformKind,
+        name: impl Into<String>,
+        site: impl Into<String>,
+        lossless_rules: Vec<String>,
+    ) {
+        self.steps.push(AppliedTransform {
+            kind,
+            name: name.into(),
+            site: site.into(),
+            lossless_rules,
+        });
+    }
+
+    /// The recorded steps, in application order.
+    pub fn steps(&self) -> &[AppliedTransform] {
+        &self.steps
+    }
+
+    /// Number of steps of a given kind.
+    pub fn count_kind(&self, kind: TransformKind) -> usize {
+        self.steps.iter().filter(|s| s.kind == kind).count()
+    }
+
+    /// All lossless rules contributed over the run.
+    pub fn lossless_rules(&self) -> impl Iterator<Item = &str> {
+        self.steps
+            .iter()
+            .flat_map(|s| s.lossless_rules.iter().map(String::as_str))
+    }
+
+    /// Renders the trace for the map report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("-- TRANSFORMATION TRACE\n");
+        for (i, s) in self.steps.iter().enumerate() {
+            out.push_str(&format!("   {:>3}. {s}\n", i + 1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_and_renders() {
+        let mut t = TransformTrace::new();
+        t.push(
+            TransformKind::BinaryToBinary,
+            "ELIMINATE SUBLINK",
+            "Invited_Paper IS-A Paper",
+            vec!["C_EQ$_1".into()],
+        );
+        t.push(
+            TransformKind::RelationalToRelational,
+            "MERGE TABLES",
+            "Paper + Paper_title",
+            vec![],
+        );
+        assert_eq!(t.steps().len(), 2);
+        assert_eq!(t.count_kind(TransformKind::BinaryToBinary), 1);
+        assert_eq!(t.lossless_rules().count(), 1);
+        let r = t.render();
+        assert!(r.contains("ELIMINATE SUBLINK"));
+        assert!(r.contains("lossless rules: C_EQ$_1"));
+    }
+}

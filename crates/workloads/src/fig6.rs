@@ -1,0 +1,145 @@
+//! The binary schema of the paper's figure 6.
+//!
+//! Concepts (reconstructed from the figure's four alternatives, the SQL2
+//! fragment and the map-report fragments):
+//!
+//! * NOLOT **Paper**, identified by LOT `Paper_Id`, with a total `Title`
+//!   fact and an optional submission `Date`;
+//! * NOLOT **Invited_Paper** IS-A Paper, with no facts of its own (the
+//!   `Is_Invited_Paper` indicator of Alternatives 3–4);
+//! * NOLOT **Program_Paper** IS-A Paper, with its *own* identifier LOT
+//!   `Paper_ProgramId` (CHAR(2)), a total `Session` fact
+//!   (`Session_comprising`, NUMERIC(3)) and an optional presenting `Person`
+//!   fact (`Person_presenting`, CHAR(30)).
+
+use ridl_brm::builder::SchemaBuilder;
+use ridl_brm::{DataType, Population, Schema, Side, Value};
+
+/// Builds the figure-6 schema.
+pub fn schema() -> Schema {
+    let mut b = SchemaBuilder::new("fig6");
+    b.nolot("Paper").unwrap();
+    b.nolot("Invited_Paper").unwrap();
+    b.nolot("Program_Paper").unwrap();
+    b.sublink("Invited_Paper", "Paper").unwrap();
+    b.sublink("Program_Paper", "Paper").unwrap();
+
+    // Paper identified by Paper_Id.
+    b.lot("Paper_Id", DataType::Char(6)).unwrap();
+    b.fact("paper_id", ("identified_by", "Paper"), ("", "Paper_Id"))
+        .unwrap();
+    b.unique("paper_id", Side::Left).unwrap();
+    b.unique("paper_id", Side::Right).unwrap();
+    b.total_role("paper_id", Side::Left).unwrap();
+
+    // Paper has a (mandatory) title.
+    b.lot("Title", DataType::VarChar(60)).unwrap();
+    b.fact("paper_title", ("titled", "Paper"), ("of", "Title"))
+        .unwrap();
+    b.unique("paper_title", Side::Left).unwrap();
+    b.total_role("paper_title", Side::Left).unwrap();
+
+    // Paper may have a submission date.
+    b.lot_nolot("Date", DataType::Date).unwrap();
+    b.fact(
+        "paper_submitted",
+        ("submitted_at", "Paper"),
+        ("of_submission", "Date"),
+    )
+    .unwrap();
+    b.unique("paper_submitted", Side::Left).unwrap();
+
+    // Program_Paper has its own identifier Paper_ProgramId.
+    b.lot("Paper_ProgramId", DataType::Char(2)).unwrap();
+    b.fact(
+        "pp_program_id",
+        ("has", "Program_Paper"),
+        ("with", "Paper_ProgramId"),
+    )
+    .unwrap();
+    b.unique("pp_program_id", Side::Left).unwrap();
+    b.unique("pp_program_id", Side::Right).unwrap();
+    b.total_role("pp_program_id", Side::Left).unwrap();
+
+    // Program_Paper is presented during a session (mandatory).
+    b.lot_nolot("Session", DataType::Numeric(3, 0)).unwrap();
+    b.fact(
+        "pp_session",
+        ("presented_during", "Program_Paper"),
+        ("comprising", "Session"),
+    )
+    .unwrap();
+    b.unique("pp_session", Side::Left).unwrap();
+    b.total_role("pp_session", Side::Left).unwrap();
+
+    // Program_Paper may be presented by a person.
+    b.lot_nolot("Person", DataType::Char(30)).unwrap();
+    b.fact(
+        "pp_presenter",
+        ("presented_by", "Program_Paper"),
+        ("presenting", "Person"),
+    )
+    .unwrap();
+    b.unique("pp_presenter", Side::Left).unwrap();
+
+    b.finish().expect("fig6 schema is well-formed")
+}
+
+/// A consistent sample population of the figure-6 schema: three papers, one
+/// of them invited, two on the program (one with a presenter).
+pub fn population(s: &Schema) -> Population {
+    let paper = s.object_type_by_name("Paper").unwrap();
+    let invited = s.object_type_by_name("Invited_Paper").unwrap();
+    let program = s.object_type_by_name("Program_Paper").unwrap();
+    let f_id = s.fact_type_by_name("paper_id").unwrap();
+    let f_title = s.fact_type_by_name("paper_title").unwrap();
+    let f_sub = s.fact_type_by_name("paper_submitted").unwrap();
+    let f_pid = s.fact_type_by_name("pp_program_id").unwrap();
+    let f_sess = s.fact_type_by_name("pp_session").unwrap();
+    let f_pres = s.fact_type_by_name("pp_presenter").unwrap();
+
+    let mut p = Population::new();
+    let e = Value::entity;
+    // Three papers.
+    p.add_fact_closed(s, f_id, e(1), Value::str("P1"));
+    p.add_fact_closed(s, f_id, e(2), Value::str("P2"));
+    p.add_fact_closed(s, f_id, e(3), Value::str("P3"));
+    p.add_fact_closed(s, f_title, e(1), Value::str("On NIAM"));
+    p.add_fact_closed(s, f_title, e(2), Value::str("On RIDL"));
+    p.add_fact_closed(s, f_title, e(3), Value::str("On Mapping"));
+    p.add_fact_closed(s, f_sub, e(1), Value::Date(100));
+    p.add_fact_closed(s, f_sub, e(2), Value::Date(120));
+    // Paper 1 is invited.
+    p.add_object(invited, e(1));
+    // Papers 1 and 2 are program papers.
+    p.add_object(program, e(1));
+    p.add_object(program, e(2));
+    p.add_fact_closed(s, f_pid, e(1), Value::str("A1"));
+    p.add_fact_closed(s, f_pid, e(2), Value::str("A2"));
+    p.add_fact_closed(s, f_sess, e(1), Value::Int(1));
+    p.add_fact_closed(s, f_sess, e(2), Value::Int(2));
+    p.add_fact_closed(s, f_pres, e(1), Value::str("De Troyer"));
+    let _ = paper;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridl_brm::population::{is_model, validate};
+
+    #[test]
+    fn schema_is_well_formed() {
+        let s = schema();
+        assert_eq!(s.num_object_types(), 9);
+        assert_eq!(s.num_fact_types(), 6);
+        assert_eq!(s.num_sublinks(), 2);
+    }
+
+    #[test]
+    fn sample_population_is_a_model() {
+        let s = schema();
+        let p = population(&s);
+        assert!(is_model(&s, &p), "{:?}", validate(&s, &p));
+    }
+}

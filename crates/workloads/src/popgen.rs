@@ -1,0 +1,285 @@
+//! Seeded generator of model populations for synthetic schemas.
+//!
+//! Populations are built to satisfy the schema's constraints *by
+//! construction*: identifier values are drawn from per-LOT counters so
+//! co-uniqueness holds, total roles are filled for every instance, optional
+//! roles with a coin flip, subtype memberships respect exclusion families,
+//! and m:n facts pair instances without duplicates. The property tests in
+//! `tests/state_equivalence.rs` additionally *verify* modelhood with
+//! [`ridl_brm::population::validate`] before using a population.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use std::collections::{HashMap, HashSet};
+
+use ridl_brm::{
+    ConstraintKind, DataType, ObjectTypeId, Population, RoleOrSublink, RoleRef, Schema, Side, Value,
+};
+
+/// Parameters for population generation.
+#[derive(Clone, Debug)]
+pub struct PopParams {
+    /// RNG seed.
+    pub seed: u64,
+    /// Instances per base (non-subtype) NOLOT.
+    pub instances_per_entity: usize,
+    /// Probability an instance plays an optional role.
+    pub optional_prob: f64,
+    /// Probability a supertype instance belongs to a given subtype.
+    pub subtype_prob: f64,
+    /// Pairs per m:n fact, as a multiple of `instances_per_entity`.
+    pub mn_multiplier: f64,
+}
+
+impl Default for PopParams {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            instances_per_entity: 8,
+            optional_prob: 0.5,
+            subtype_prob: 0.4,
+            mn_multiplier: 1.5,
+        }
+    }
+}
+
+fn fresh_value(dt: DataType, counter: u64) -> Value {
+    match dt {
+        DataType::Char(n) | DataType::VarChar(n) => {
+            let s = format!("v{counter}");
+            Value::Str(s.chars().take(n as usize).collect())
+        }
+        DataType::Numeric(p, s) => {
+            let limit = 10i64.pow((p - s).min(9) as u32);
+            Value::Int((counter as i64) % limit)
+        }
+        DataType::Integer => Value::Int(counter as i64),
+        DataType::Real => Value::Num(ridl_brm::Decimal::new(counter as i64, 1)),
+        DataType::Date => Value::Date(counter as i32),
+        DataType::Boolean => Value::Bool(counter.is_multiple_of(2)),
+        DataType::Surrogate => Value::entity(counter),
+    }
+}
+
+/// Generates a population for a schema produced by [`crate::synth`] (or any
+/// schema of the same discipline: simple/own reference schemes, functional
+/// attribute facts, m:n facts, exclusion-free optional roles).
+pub fn generate(schema: &Schema, params: &PopParams) -> Population {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut pop = Population::new();
+    let mut next_entity: u64 = 1;
+    let mut next_value: u64 = 1;
+
+    // Exclusive subtype families and exclusive role groups.
+    let mut exclusive_groups: Vec<Vec<ObjectTypeId>> = Vec::new();
+    let mut role_exclusion_group: HashMap<RoleRef, usize> = HashMap::new();
+    let mut next_group = 0usize;
+    // Enumerated LOT values (VALUES constraints) to draw from.
+    let mut enum_values: HashMap<u32, Vec<Value>> = HashMap::new();
+    for (_, c) in schema.constraints() {
+        match &c.kind {
+            ConstraintKind::Exclusion { items } => {
+                let subs: Vec<ObjectTypeId> = items
+                    .iter()
+                    .filter_map(|i| match i {
+                        RoleOrSublink::Sublink(s) => Some(schema.sublink(*s).sub),
+                        RoleOrSublink::Role(_) => None,
+                    })
+                    .collect();
+                if subs.len() == items.len() {
+                    exclusive_groups.push(subs);
+                } else {
+                    for i in items {
+                        if let RoleOrSublink::Role(r) = i {
+                            role_exclusion_group.insert(*r, next_group);
+                        }
+                    }
+                    next_group += 1;
+                }
+            }
+            ConstraintKind::Value { over, values } if !values.is_empty() => {
+                enum_values.insert(over.raw(), values.clone());
+            }
+            _ => {}
+        }
+    }
+    // (anchor value, exclusion group) pairs already claimed.
+    let mut claimed: HashSet<(Value, usize)> = HashSet::new();
+
+    // 1. Base entities.
+    for (oid, ot) in schema.object_types() {
+        if !ot.kind.is_nolot() || !schema.supertypes_of(oid).is_empty() {
+            continue;
+        }
+        for _ in 0..params.instances_per_entity {
+            pop.add_object(oid, Value::entity(next_entity));
+            next_entity += 1;
+        }
+    }
+
+    // 2. Subtype memberships, supertype-first, exclusion-aware.
+    let mut order: Vec<ObjectTypeId> = schema
+        .object_types()
+        .filter(|(_, ot)| ot.kind.is_nolot())
+        .map(|(oid, _)| oid)
+        .collect();
+    order.sort_by_key(|o| schema.ancestors_of(*o).len());
+    for oid in order {
+        for sup in schema.supertypes_of(oid) {
+            let sup_pop: Vec<Value> = pop.objects_of(sup).iter().cloned().collect();
+            for e in sup_pop {
+                if !rng.gen_bool(params.subtype_prob) {
+                    continue;
+                }
+                // Respect exclusion families: skip if e is already in a
+                // sibling of an exclusive group containing oid.
+                let blocked = exclusive_groups.iter().any(|group| {
+                    group.contains(&oid)
+                        && group
+                            .iter()
+                            .any(|sib| *sib != oid && pop.objects_of(*sib).contains(&e))
+                });
+                if !blocked {
+                    pop.add_object(oid, e);
+                }
+            }
+        }
+    }
+
+    // 3. Facts.
+    for (fid, ft) in schema.fact_types() {
+        let (lu, ru) = schema.fact_multiplicity(fid);
+        match (lu, ru) {
+            // Functional fact: one value per anchor instance.
+            (true, _) | (_, true) => {
+                let anchor_side = if lu { Side::Left } else { Side::Right };
+                let anchor = ft.player(anchor_side);
+                let value_player = ft.player(anchor_side.other());
+                let value_role = RoleRef::new(fid, anchor_side.other());
+                let co_unique = schema.is_role_unique(value_role);
+                let total = schema.is_role_total(RoleRef::new(fid, anchor_side));
+                let anchors: Vec<Value> = pop.objects_of(anchor).iter().cloned().collect();
+                let targets: Vec<Value> = pop.objects_of(value_player).iter().cloned().collect();
+                let mut target_cursor = 0usize;
+                let anchor_role = RoleRef::new(fid, anchor_side);
+                let excl = role_exclusion_group.get(&anchor_role).copied();
+                for e in anchors {
+                    if !total && !rng.gen_bool(params.optional_prob) {
+                        continue;
+                    }
+                    // Respect role-level exclusions: an instance plays at
+                    // most one role of an exclusion group.
+                    if let Some(g) = excl {
+                        if !claimed.insert((e.clone(), g)) {
+                            continue;
+                        }
+                    }
+                    let v = match schema.kind_of(value_player).data_type() {
+                        Some(dt) => {
+                            if let Some(vals) = enum_values.get(&value_player.raw()) {
+                                vals[rng.gen_range(0..vals.len())].clone()
+                            } else {
+                                let v = fresh_value(dt, next_value);
+                                next_value += 1;
+                                v
+                            }
+                        }
+                        None => {
+                            if targets.is_empty() {
+                                continue;
+                            }
+                            if co_unique {
+                                // Injective: walk distinct targets.
+                                if target_cursor >= targets.len() {
+                                    continue;
+                                }
+                                let v = targets[target_cursor].clone();
+                                target_cursor += 1;
+                                v
+                            } else {
+                                targets[rng.gen_range(0..targets.len())].clone()
+                            }
+                        }
+                    };
+                    let (l, r) = match anchor_side {
+                        Side::Left => (e, v),
+                        Side::Right => (v, e),
+                    };
+                    pop.add_fact_closed(schema, fid, l, r);
+                }
+            }
+            // m:n fact: random distinct pairs.
+            (false, false) => {
+                let ls: Vec<Value> = pop
+                    .objects_of(ft.player(Side::Left))
+                    .iter()
+                    .cloned()
+                    .collect();
+                let rs: Vec<Value> = pop
+                    .objects_of(ft.player(Side::Right))
+                    .iter()
+                    .cloned()
+                    .collect();
+                if ls.is_empty() || rs.is_empty() {
+                    continue;
+                }
+                let n = ((params.instances_per_entity as f64) * params.mn_multiplier) as usize;
+                for _ in 0..n {
+                    let l = ls[rng.gen_range(0..ls.len())].clone();
+                    let r = rs[rng.gen_range(0..rs.len())].clone();
+                    pop.add_fact_closed(schema, fid, l, r);
+                }
+            }
+        }
+    }
+    pop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate as gen_schema, GenParams};
+    use ridl_brm::population::validate;
+
+    #[test]
+    fn generated_population_is_a_model() {
+        for seed in [1u64, 2, 3, 4] {
+            let s = gen_schema(&GenParams {
+                seed,
+                ..GenParams::default()
+            });
+            let p = generate(
+                &s.schema,
+                &PopParams {
+                    seed: seed * 11,
+                    ..PopParams::default()
+                },
+            );
+            let violations = validate(&s.schema, &p);
+            assert!(
+                violations.is_empty(),
+                "seed {seed}: {:?}",
+                &violations[..violations.len().min(5)]
+            );
+            assert!(p.num_fact_instances() > 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = gen_schema(&GenParams::default());
+        let a = generate(&s.schema, &PopParams::default());
+        let b = generate(&s.schema, &PopParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fact_closure_holds() {
+        let s = gen_schema(&GenParams::default());
+        let p = generate(&s.schema, &PopParams::default());
+        // Entities may play no role only if their identifier fact covers
+        // them; identifiers are total, so everything is fact-closed.
+        assert!(ridl_transform::is_fact_closed(&s.schema, &p));
+    }
+}

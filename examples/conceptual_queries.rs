@@ -1,0 +1,83 @@
+//! The RIDL query compiler (§4.3): conceptual path queries — phrased purely
+//! over the binary schema — compiled through the forwards map into
+//! relational plans and executed against each mapping alternative. The
+//! query text never changes; the physical plan (and its join count) does.
+//!
+//! ```sh
+//! cargo run --example conceptual_queries
+//! ```
+
+use ridl_core::state_map::map_population;
+use ridl_core::{MappingOptions, SublinkOption, Workbench};
+use ridl_engine::Database;
+use ridl_query::{compile, execute, parse_query};
+use ridl_workloads::fig6;
+
+fn main() {
+    let wb = Workbench::new(fig6::schema());
+    let queries = [
+        "LIST Paper ( identified_by , of )",
+        "LIST Program_Paper ( has , comprising , titled )",
+        "LIST Program_Paper ( has ) WHERE presenting EXISTS",
+        "LIST Paper ( identified_by ) WHERE of_submission MISSING",
+    ];
+    let invited = wb.schema().object_type_by_name("Invited_Paper").unwrap();
+    let sl = wb
+        .schema()
+        .sublinks()
+        .find(|(_, s)| s.sub == invited)
+        .map(|(sid, _)| sid)
+        .unwrap();
+    let alternatives = [
+        ("A2 SEPARATE", MappingOptions::new()),
+        (
+            "A3 INDICATOR",
+            MappingOptions::new().override_sublink(sl, SublinkOption::IndicatorForSupot),
+        ),
+        (
+            "A4 TOGETHER",
+            MappingOptions::new().with_sublinks(SublinkOption::Together),
+        ),
+    ];
+
+    for text in queries {
+        println!("== {text}");
+        let q = parse_query(text).unwrap();
+        for (label, options) in &alternatives {
+            let out = wb.map(options).unwrap();
+            let mut db = Database::create(out.rel.clone()).unwrap();
+            db.load_state(
+                map_population(&out.schema, &out, &fig6::population(&out.schema)).unwrap(),
+            )
+            .unwrap();
+            let compiled = compile(&out, &q).unwrap();
+            let (cols, mut rows) = execute(&out, &db, &q).unwrap();
+            rows.sort();
+            let rendered: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|v| {
+                            v.as_ref()
+                                .map(|x| x.to_string())
+                                .unwrap_or_else(|| "NULL".into())
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .collect();
+            println!(
+                "   {label:<13} {} join(s)  ->  [{}]  ({})",
+                compiled.join_count,
+                rendered.join(" | "),
+                cols.join(", ")
+            );
+        }
+        println!();
+    }
+    println!(
+        "The answers agree across all alternatives (state equivalence); only\n\
+         the compiled join counts differ — the efficiency trade-off the\n\
+         mapping options control (§4.2.2)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: define a small binary conceptual schema, validate it with
+//! RIDL-A, map it with RIDL-M and print the generated SQL2 definition.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ridl_core::{MappingOptions, Workbench};
+use ridl_sqlgen::{generate_for, DialectKind};
+
+fn main() {
+    // 1. Capture the conceptual schema — here through the RIDL text
+    //    notation (the `SchemaBuilder` API works just as well).
+    let source = r#"
+SCHEMA library;
+
+NOLOT Book;
+LOT ISBN : CHAR(13);
+LOT Book_Title : VARCHAR(80);
+LOT-NOLOT Year : NUMERIC(4);
+NOLOT Member;
+LOT Member_No : NUMERIC(6);
+
+FACT book_isbn ( identified_by : Book , _ : ISBN );
+FACT book_title ( titled : Book , of : Book_Title );
+FACT book_year ( published_in : Book , of_publication : Year );
+FACT member_no ( identified_by : Member , _ : Member_No );
+FACT borrows ( borrowed_by : Member , on_loan : Book );
+
+UNIQUE book_isbn.LEFT;
+UNIQUE book_isbn.RIGHT;
+TOTAL Book IN book_isbn.LEFT;
+UNIQUE book_title.LEFT;
+TOTAL Book IN book_title.LEFT;
+UNIQUE book_year.LEFT;
+UNIQUE member_no.LEFT;
+UNIQUE member_no.RIGHT;
+TOTAL Member IN member_no.LEFT;
+UNIQUE borrows.RIGHT;          -- a copy is on loan to at most one member
+"#;
+    let schema = ridl_lang::parse(source).expect("schema parses");
+
+    // 2. RIDL-A: validity, completeness, consistency, referability.
+    let workbench = Workbench::new(schema);
+    println!("== RIDL-A report ==\n{}", workbench.analysis().render());
+    assert!(workbench.analysis().is_mappable());
+
+    // 3. RIDL-M under the default options.
+    let out = workbench
+        .map(&MappingOptions::new())
+        .expect("mapping succeeds");
+    println!(
+        "== Generated {} tables, {} constraints ==",
+        out.table_count(),
+        out.rel.constraints.len()
+    );
+    for note in &out.notes {
+        println!("   note: {note}");
+    }
+
+    // 4. The generic relational schema rendered as SQL2 DDL.
+    let ddl = generate_for(&out.rel, DialectKind::Sql2);
+    println!("\n{}", ddl.text);
+
+    // 5. The transformation trace — the composed basic transformations.
+    println!("{}", out.trace.render());
+}

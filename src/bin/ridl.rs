@@ -1,0 +1,237 @@
+//! `ridl` — the RIDL\* workbench from the command line.
+//!
+//! ```text
+//! ridl check  <schema.ridl> [--implied]         run RIDL-A
+//! ridl map    <schema.ridl> [options]           run RIDL-M, print DDL
+//! ridl report <schema.ridl> [options]           print the map report
+//! ridl trace  <schema.ridl> [options]           print the transformation trace
+//! ridl fmt    <schema.ridl>                     pretty-print the schema
+//! ridl query  <schema.ridl> "LIST …" [options]  compile a conceptual query
+//!
+//! options:
+//!   --nulls default|not-allowed|not-in-keys|allowed
+//!   --sublinks separate|together|indicator
+//!   --dialect sql2|oracle|ingres|db2
+//! ```
+//!
+//! A path of `-` reads the schema from stdin.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use ridl_core::{MappingOptions, NullOption, SublinkOption, Workbench};
+use ridl_sqlgen::DialectKind;
+
+fn read_schema(path: &str) -> Result<ridl_brm::Schema, String> {
+    let src = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    ridl_lang::parse(&src).map_err(|e| e.to_string())
+}
+
+struct Cli {
+    nulls: NullOption,
+    sublinks: SublinkOption,
+    dialect: DialectKind,
+}
+
+fn parse_flags(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        nulls: NullOption::Default,
+        sublinks: SublinkOption::Separate,
+        dialect: DialectKind::Sql2,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--nulls" => {
+                cli.nulls = match value(&mut it)?.as_str() {
+                    "default" => NullOption::Default,
+                    "not-allowed" => NullOption::NullNotAllowed,
+                    "not-in-keys" => NullOption::NullNotInKeys,
+                    "allowed" => NullOption::NullAllowed,
+                    other => return Err(format!("unknown null option {other}")),
+                }
+            }
+            "--sublinks" => {
+                cli.sublinks = match value(&mut it)?.as_str() {
+                    "separate" => SublinkOption::Separate,
+                    "together" => SublinkOption::Together,
+                    "indicator" => SublinkOption::IndicatorForSupot,
+                    other => return Err(format!("unknown sublink option {other}")),
+                }
+            }
+            "--dialect" => {
+                cli.dialect = match value(&mut it)?.as_str() {
+                    "sql2" => DialectKind::Sql2,
+                    "oracle" => DialectKind::Oracle,
+                    "ingres" => DialectKind::Ingres,
+                    "db2" => DialectKind::Db2,
+                    other => return Err(format!("unknown dialect {other}")),
+                }
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn mapped(
+    path: &str,
+    flags: &[String],
+) -> Result<(Workbench, ridl_core::MappingOutput, Cli), String> {
+    let cli = parse_flags(flags)?;
+    let schema = read_schema(path)?;
+    let wb = Workbench::new(schema);
+    if !wb.analysis().is_mappable() {
+        return Err(format!(
+            "schema is not mappable; run `ridl check`:\n{}",
+            wb.analysis().render()
+        ));
+    }
+    let options = MappingOptions::new()
+        .with_nulls(cli.nulls)
+        .with_sublinks(cli.sublinks);
+    let out = wb.map(&options).map_err(|e| e.to_string())?;
+    Ok((wb, out, cli))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = args.split_first().ok_or_else(|| {
+        "usage: ridl <check|map|report|trace|fmt|query> <schema.ridl> [options]".to_owned()
+    })?;
+    match cmd.as_str() {
+        "check" => {
+            let (path, flags) = rest
+                .split_first()
+                .ok_or_else(|| "usage: ridl check <schema.ridl> [--implied]".to_owned())?;
+            let schema = read_schema(path)?;
+            let wb = Workbench::new(schema);
+            print!("{}", wb.analysis().render());
+            if flags.iter().any(|f| f == "--implied") {
+                // On-demand, as in the paper: one saturation per candidate.
+                println!("-- 5. IMPLIED CONSTRAINTS (on demand)");
+                let findings = ridl_analyzer::setalg::implied_constraints(wb.schema());
+                if findings.is_empty() {
+                    println!("   (no superfluous definitions)");
+                }
+                for f in findings {
+                    println!("   {f}");
+                }
+            }
+            if wb.analysis().is_mappable() {
+                println!("-- schema is mappable");
+                Ok(())
+            } else {
+                Err("schema has errors".into())
+            }
+        }
+        "map" => {
+            let (path, flags) = rest
+                .split_first()
+                .ok_or_else(|| "usage: ridl map <schema.ridl> [options]".to_owned())?;
+            let (_, out, cli) = mapped(path, flags)?;
+            let ddl = ridl_sqlgen::generate_for(&out.rel, cli.dialect);
+            print!("{}", ddl.text);
+            eprintln!(
+                "-- {} tables, {} constraints ({} pseudo-SQL), {} lines",
+                out.table_count(),
+                out.rel.constraints.len(),
+                ddl.commented_constraints,
+                ddl.total_lines()
+            );
+            for note in &out.notes {
+                eprintln!("-- note: {note}");
+            }
+            Ok(())
+        }
+        "report" => {
+            let (path, flags) = rest
+                .split_first()
+                .ok_or_else(|| "usage: ridl report <schema.ridl> [options]".to_owned())?;
+            let (wb, out, _) = mapped(path, flags)?;
+            let report = wb.map_report(&out);
+            print!("{}", report.forwards);
+            print!("{}", report.backwards);
+            Ok(())
+        }
+        "trace" => {
+            let (path, flags) = rest
+                .split_first()
+                .ok_or_else(|| "usage: ridl trace <schema.ridl> [options]".to_owned())?;
+            let (_, out, _) = mapped(path, flags)?;
+            print!("{}", out.trace.render());
+            Ok(())
+        }
+        "fmt" => {
+            let (path, _) = rest
+                .split_first()
+                .ok_or_else(|| "usage: ridl fmt <schema.ridl>".to_owned())?;
+            let schema = read_schema(path)?;
+            print!("{}", ridl_lang::print(&schema));
+            Ok(())
+        }
+        "query" => {
+            let (path, more) = rest
+                .split_first()
+                .ok_or_else(|| "usage: ridl query <schema.ridl> \"LIST …\" [options]".to_owned())?;
+            let (text, flags) = more
+                .split_first()
+                .ok_or_else(|| "usage: ridl query <schema.ridl> \"LIST …\" [options]".to_owned())?;
+            let (_, out, _) = mapped(path, flags)?;
+            let q = ridl_query::parse_query(text).map_err(|e| e.to_string())?;
+            let compiled = ridl_query::compile(&out, &q).map_err(|e| e.to_string())?;
+            println!(
+                "-- compiled against {} ({} joins)",
+                out.options.announce(),
+                compiled.join_count
+            );
+            println!("SELECT {}", compiled.query.select.join(" , "));
+            println!("  FROM {}", compiled.query.table);
+            for j in &compiled.query.joins {
+                let on: Vec<String> =
+                    j.on.iter()
+                        .map(|(l, r)| format!("{l} = {}.{r}", j.table))
+                        .collect();
+                println!("  JOIN {} ON {}", j.table, on.join(" AND "));
+            }
+            if !compiled.query.filter.is_empty() {
+                let conds: Vec<String> = compiled
+                    .query
+                    .filter
+                    .iter()
+                    .map(|p| match p {
+                        ridl_engine::Pred::Eq(c, v) => format!("{c} = {v}"),
+                        ridl_engine::Pred::IsNull(c) => format!("{c} IS NULL"),
+                        ridl_engine::Pred::NotNull(c) => format!("{c} IS NOT NULL"),
+                    })
+                    .collect();
+                println!(" WHERE {}", conds.join(" AND "));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ridl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

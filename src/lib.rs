@@ -1,0 +1,22 @@
+//! # ridlstar — facade crate for the RIDL\* workbench reproduction
+//!
+//! Re-exports every subsystem of the RIDL\* database-engineering workbench
+//! (De Troyer, SIGMOD 1989): the Binary Relationship Model, the RIDL textual
+//! language, the RIDL-A analyzer, the schema-transformation framework, the
+//! RIDL-M mapper, SQL dialect generation, the relational engine and the
+//! meta-database. See the crate-level docs of each member for detail, and
+//! `examples/quickstart.rs` for a guided tour.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ridl_analyzer as analyzer;
+pub use ridl_brm as brm;
+pub use ridl_core as core;
+pub use ridl_engine as engine;
+pub use ridl_lang as lang;
+pub use ridl_metadb as metadb;
+pub use ridl_relational as relational;
+pub use ridl_sqlgen as sqlgen;
+pub use ridl_transform as transform;
+pub use ridl_workloads as workloads;

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `ridl` command-line interface.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const SCHEMA: &str = r#"
+SCHEMA demo;
+NOLOT Paper;
+NOLOT Program_Paper;
+SUBTYPE Program_Paper OF Paper;
+LOT Paper_Id : CHAR(6);
+LOT Paper_ProgramId : CHAR(2);
+LOT-NOLOT Session : NUMERIC(3);
+FACT paper_id ( identified_by : Paper , _ : Paper_Id );
+UNIQUE paper_id.LEFT; UNIQUE paper_id.RIGHT; TOTAL Paper IN paper_id.LEFT;
+FACT pp_id ( has : Program_Paper , with : Paper_ProgramId );
+UNIQUE pp_id.LEFT; UNIQUE pp_id.RIGHT; TOTAL Program_Paper IN pp_id.LEFT;
+FACT pp_session ( scheduled_in : Program_Paper , comprising : Session );
+UNIQUE pp_session.LEFT; TOTAL Program_Paper IN pp_session.LEFT;
+"#;
+
+fn ridl(args: &[&str]) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ridl"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ridl");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(SCHEMA.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn check_reports_and_succeeds() {
+    let (stdout, _, ok) = ridl(&["check", "-"]);
+    assert!(ok);
+    assert!(stdout.contains("1. CORRECTNESS"));
+    assert!(stdout.contains("-- schema is mappable"));
+}
+
+#[test]
+fn map_emits_oracle_ddl() {
+    let (stdout, stderr, ok) = ridl(&["map", "-", "--dialect", "oracle"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("CREATE TABLE Paper"));
+    assert!(stdout.contains("CREATE TABLE Program_Paper"));
+    assert!(stderr.contains("tables,"));
+}
+
+#[test]
+fn query_shows_plan_and_join_count() {
+    let (stdout, stderr, ok) = ridl(&[
+        "query",
+        "-",
+        "LIST Program_Paper ( has , comprising , identified_by )",
+        "--sublinks",
+        "separate",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("(1 joins)"), "{stdout}");
+    assert!(stdout.contains("JOIN Paper ON"), "{stdout}");
+}
+
+#[test]
+fn together_compiles_join_free() {
+    let (stdout, _, ok) = ridl(&[
+        "query",
+        "-",
+        "LIST Program_Paper ( has , comprising , identified_by )",
+        "--sublinks",
+        "together",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("(0 joins)"), "{stdout}");
+}
+
+#[test]
+fn fmt_round_trips() {
+    let (stdout, _, ok) = ridl(&["fmt", "-"]);
+    assert!(ok);
+    assert!(stdout.contains("SCHEMA demo;"));
+    assert!(stdout.contains("SUBTYPE Program_Paper OF Paper;"));
+    // The printed schema reparses.
+    assert!(ridl_lang::parse(&stdout).is_ok());
+}
+
+#[test]
+fn bad_input_fails_with_message() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ridl"))
+        .args(["check", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"NOT A SCHEMA")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+    let (_, stderr, ok) = ridl(&["frobnicate", "-"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}

@@ -1,0 +1,179 @@
+//! Experiment **E-ENGINE**: the full RIDL\* pipeline, end to end.
+//!
+//! Text (the RIDL-G substitute) → meta-database → RIDL-A → RIDL-M →
+//! relational engine. The generated constraints are *executed*: updates
+//! that would break the redundancy-control rules are rejected, and the
+//! forwards-map SELECTs reconstruct the conceptual facts from the stored
+//! state — the workflow the paper's map report promises to application
+//! programmers (§4.3).
+
+use ridl_brm::Value;
+use ridl_core::state_map::map_population;
+use ridl_core::{MappingOptions, SublinkOption, Workbench};
+use ridl_engine::{Database, Pred, Query};
+use ridl_metadb::MetaDb;
+use ridl_workloads::fig6;
+
+fn v(s: &str) -> Option<Value> {
+    Some(Value::str(s))
+}
+
+/// Text → meta-db → analyze → map → engine: the whole workbench.
+#[test]
+fn pipeline_from_text_to_running_database() {
+    let src = r#"
+SCHEMA tiny;
+NOLOT Person;
+LOT Name : CHAR(30);
+LOT-NOLOT Age : NUMERIC(3);
+FACT named ( has : Person , of : Name );
+FACT aged ( is : Person , of_age : Age );
+UNIQUE named.LEFT;
+UNIQUE named.RIGHT;
+TOTAL Person IN named.LEFT;
+UNIQUE aged.LEFT;
+"#;
+    let schema = ridl_lang::parse(src).unwrap();
+
+    // Store and reload through the meta-database.
+    let mut meta = MetaDb::new();
+    meta.store(&schema).unwrap();
+    let schema = meta.load("tiny").unwrap();
+
+    // Analyze and map.
+    let wb = Workbench::new(schema);
+    assert!(wb.analysis().is_mappable(), "{}", wb.analysis().render());
+    let out = wb.map(&MappingOptions::new()).unwrap();
+
+    // Execute the generated DDL in the engine and use it.
+    let mut db = Database::create(out.rel.clone()).unwrap();
+    db.insert("Person", vec![v("Olga"), Some(Value::Int(30))])
+        .unwrap();
+    db.insert("Person", vec![v("Robert"), None]).unwrap();
+    // Key violation rejected.
+    assert!(db.insert("Person", vec![v("Olga"), None]).is_err());
+    let rows = db.select(&Query::from("Person").select(&["Name"])).unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+/// The indicator option's conditional equality actually controls the
+/// redundancy: flipping the indicator without the sub-relation row is
+/// rejected by the engine.
+#[test]
+fn indicator_redundancy_is_policed() {
+    let wb = Workbench::new(fig6::schema());
+    let inv = wb.schema().object_type_by_name("Invited_Paper").unwrap();
+    let pp = wb.schema().object_type_by_name("Program_Paper").unwrap();
+    let sl_inv = wb
+        .schema()
+        .sublinks()
+        .find(|(_, s)| s.sub == inv)
+        .map(|(sid, _)| sid)
+        .unwrap();
+    let sl_pp = wb
+        .schema()
+        .sublinks()
+        .find(|(_, s)| s.sub == pp)
+        .map(|(sid, _)| sid)
+        .unwrap();
+    let out = wb
+        .map(
+            &MappingOptions::new()
+                .override_sublink(sl_inv, SublinkOption::IndicatorForSupot)
+                .override_sublink(sl_pp, SublinkOption::IndicatorForSupot),
+        )
+        .unwrap();
+    let mut db = Database::create(out.rel.clone()).unwrap();
+    let pop = fig6::population(&out.schema);
+    let st = map_population(&out.schema, &out, &pop).unwrap();
+    db.load_state(st).unwrap();
+
+    // Paper P3 is not a program paper. Claiming it is (indicator TRUE)
+    // without a Program_Paper row violates the conditional equality.
+    let err = db.update_where(
+        "Paper",
+        &[Pred::Eq("Paper_Id".into(), Value::str("P3"))],
+        &[("Is_Program_Paper", Some(Value::Bool(true)))],
+    );
+    assert!(err.is_err(), "indicator drift accepted");
+
+    // Deleting a Program_Paper row while Paper still points at it breaks
+    // the C_EQ$ lossless rule.
+    let err = db.delete_where(
+        "Program_Paper",
+        &[Pred::Eq("Paper_ProgramId".into(), Value::str("A1"))],
+    );
+    assert!(err.is_err(), "equality view drift accepted");
+}
+
+/// The forwards-map SELECTs reconstruct the conceptual facts.
+#[test]
+fn forwards_map_selects_recover_facts() {
+    let wb = Workbench::new(fig6::schema());
+    let out = wb.map(&MappingOptions::new()).unwrap();
+    let mut db = Database::create(out.rel.clone()).unwrap();
+    let pop = fig6::population(&out.schema);
+    db.load_state(map_population(&out.schema, &out, &pop).unwrap())
+        .unwrap();
+
+    // The presenter fact: one pair in the population, one row from the map.
+    let pres = out.schema.fact_type_by_name("pp_presenter").unwrap();
+    let sel = out
+        .role_selection(ridl_brm::RoleRef::new(pres, ridl_brm::Side::Right))
+        .unwrap();
+    let rows = db.select_selection(&sel);
+    assert_eq!(rows, vec![vec![v("De Troyer")]]);
+
+    // The title fact: three pairs.
+    let titled = out.schema.fact_type_by_name("paper_title").unwrap();
+    let sel = out
+        .role_selection(ridl_brm::RoleRef::new(titled, ridl_brm::Side::Right))
+        .unwrap();
+    assert_eq!(db.select_selection(&sel).len(), 3);
+
+    // Membership of Program_Paper through the membership selection.
+    let sl = out
+        .schema
+        .sublinks()
+        .find(|(_, s)| out.schema.ot_name(s.sub) == "Program_Paper")
+        .map(|(sid, _)| sid)
+        .unwrap();
+    let memb = out.membership_selection(&out.schema, sl).unwrap();
+    assert_eq!(db.select_selection(&memb).len(), 2);
+}
+
+/// Equal-existence under TOGETHER is enforced on live updates.
+#[test]
+fn together_equal_existence_is_policed() {
+    let wb = Workbench::new(fig6::schema());
+    let out = wb
+        .map(&MappingOptions::new().with_sublinks(SublinkOption::Together))
+        .unwrap();
+    let mut db = Database::create(out.rel.clone()).unwrap();
+    db.load_state(map_population(&out.schema, &out, &fig6::population(&out.schema)).unwrap())
+        .unwrap();
+    // Setting a session without a program id breaks C_EE$.
+    let err = db.update_where(
+        "Paper",
+        &[Pred::Eq("Paper_Id".into(), Value::str("P3"))],
+        &[("Session_comprising", Some(Value::Int(9)))],
+    );
+    assert!(err.is_err());
+    // Setting a presenter without membership breaks C_DE$.
+    let err = db.update_where(
+        "Paper",
+        &[Pred::Eq("Paper_Id".into(), Value::str("P3"))],
+        &[("Person_presenting", v("Ghost"))],
+    );
+    assert!(err.is_err());
+    // Proper membership (both mandatory columns) is accepted.
+    db.update_where(
+        "Paper",
+        &[Pred::Eq("Paper_Id".into(), Value::str("P3"))],
+        &[
+            ("Paper_ProgramId_with", v("A3")),
+            ("Session_comprising", Some(Value::Int(9))),
+        ],
+    )
+    .unwrap();
+}

@@ -1,0 +1,295 @@
+//! Experiment **E-F6**: the four state-equivalent relational schemas of the
+//! paper's figure 6, generated with different mapping option combinations.
+//!
+//! The visible parts of the figure pin Alternatives 3 and 4 exactly (table
+//! layouts, bracketed nullable columns, the `C_EQ$` equality view, the
+//! `C_DE$`/`C_EE$` checks); Alternatives 1 and 2 are pinned by the option
+//! semantics of §4.2.1 (`NULL NOT ALLOWED` ⇒ no nullable column anywhere,
+//! "a large number of small tables").
+
+use ridl_core::{MappingOptions, NullOption, SublinkOption, Workbench};
+use ridl_relational::RelConstraintKind;
+use ridl_workloads::fig6;
+
+fn wb() -> Workbench {
+    Workbench::new(fig6::schema())
+}
+
+fn invited_sublink(s: &ridl_brm::Schema) -> ridl_brm::SublinkId {
+    let inv = s.object_type_by_name("Invited_Paper").unwrap();
+    s.sublinks()
+        .find(|(_, sl)| sl.sub == inv)
+        .map(|(sid, _)| sid)
+        .unwrap()
+}
+
+fn col_names(out: &ridl_core::MappingOutput, table: &str) -> Vec<(String, bool)> {
+    let tid = out.rel.table_by_name(table).unwrap_or_else(|| {
+        panic!(
+            "table {table} missing; have {:?}",
+            out.rel.tables.iter().map(|t| &t.name).collect::<Vec<_>>()
+        )
+    });
+    out.rel
+        .table(tid)
+        .columns
+        .iter()
+        .map(|c| (c.name.clone(), c.nullable))
+        .collect()
+}
+
+/// Alternative 1: `NULL NOT ALLOWED` + `SUBOT & SUPOT SEPARATE`.
+#[test]
+fn alternative_1_null_not_allowed_separate() {
+    let wb = wb();
+    let out = wb
+        .map(
+            &MappingOptions::new()
+                .with_nulls(NullOption::NullNotAllowed)
+                .with_sublinks(SublinkOption::Separate),
+        )
+        .unwrap();
+    // No nullable column anywhere.
+    assert_eq!(out.nullable_column_count(), 0);
+    // "A large number of small tables": strictly more tables than the
+    // default option produces.
+    let default_out = wb.map(&MappingOptions::new()).unwrap();
+    assert!(
+        out.table_count() > default_out.table_count(),
+        "A1 {} vs default {}",
+        out.table_count(),
+        default_out.table_count()
+    );
+    // The optional submission-date fact was exiled to its own relation.
+    assert!(out.rel.table_by_name("paper_submitted").is_some());
+    // The optional presenter fact likewise.
+    assert!(out.rel.table_by_name("pp_presenter").is_some());
+    // Program_Paper pairs with Paper through a link table, not a nullable
+    // `_Is` column.
+    assert!(out.rel.table_by_name("Program_Paper_is_Paper").is_some());
+    // The generated schema has well-formed internal references.
+    assert!(out.rel.check_ids().is_empty(), "{:?}", out.rel.check_ids());
+}
+
+/// Alternative 2: defaults — `SUBOT & SUPOT SEPARATE`, nulls by constraints.
+#[test]
+fn alternative_2_default_separate() {
+    let out = wb().map(&MappingOptions::new()).unwrap();
+    // Paper(Paper_Id, Title_of, [Date_of_submission], [Paper_ProgramId_Is]).
+    let paper = col_names(&out, "Paper");
+    assert_eq!(
+        paper,
+        vec![
+            ("Paper_Id".to_owned(), false),
+            ("Title_of".to_owned(), false),
+            ("Date_of_submission".to_owned(), true),
+            ("Paper_ProgramId_Is".to_owned(), true),
+        ],
+        "{paper:?}"
+    );
+    // Program_Paper(Paper_ProgramId, Session_comprising, [Person_presenting]).
+    let pp = col_names(&out, "Program_Paper");
+    assert_eq!(
+        pp,
+        vec![
+            ("Paper_ProgramId".to_owned(), false),
+            ("Session_comprising".to_owned(), false),
+            ("Person_presenting".to_owned(), true),
+        ],
+        "{pp:?}"
+    );
+    // Invited_Paper: a single-column sub-relation keyed by Paper_Id.
+    let inv = col_names(&out, "Invited_Paper");
+    assert_eq!(inv, vec![("Paper_Id".to_owned(), false)]);
+    // FK Program_Paper.Paper_ProgramId -> Paper.Paper_ProgramId_Is.
+    let pp_tid = out.rel.table_by_name("Program_Paper").unwrap();
+    let paper_tid = out.rel.table_by_name("Paper").unwrap();
+    let fk = out.rel.foreign_keys_of(pp_tid);
+    assert!(
+        fk.iter().any(|c| matches!(&c.kind,
+            RelConstraintKind::ForeignKey { ref_table, ref_cols, .. }
+                if *ref_table == paper_tid && out.rel.col_names(paper_tid, ref_cols) == vec!["Paper_ProgramId_Is"])),
+        "{fk:?}"
+    );
+    // The equality view (lossless rule, C_EQ$) ties the two.
+    assert!(out
+        .rel
+        .constraints
+        .iter()
+        .any(|c| c.name.starts_with("C_EQ$")));
+}
+
+/// Alternative 3: like 2, plus `SUBOT INDICATOR FOR SUPOT` override for the
+/// fact-less Invited_Paper subtype — reproducing the figure's
+/// `Is_Invited_Paper` column and the `C_EQ$_3` equality view exactly.
+#[test]
+fn alternative_3_indicator_for_invited() {
+    let wb = wb();
+    let sl = invited_sublink(wb.schema());
+    let out = wb
+        .map(&MappingOptions::new().override_sublink(sl, SublinkOption::IndicatorForSupot))
+        .unwrap();
+    // Paper(Paper_Id, Title_of, [Date_of_submission], Is_Invited_Paper,
+    //       [Paper_ProgramId_Is]) — bracketed = nullable, as in the figure.
+    let paper = col_names(&out, "Paper");
+    assert_eq!(
+        paper,
+        vec![
+            ("Paper_Id".to_owned(), false),
+            ("Title_of".to_owned(), false),
+            ("Date_of_submission".to_owned(), true),
+            ("Is_Invited_Paper".to_owned(), false),
+            ("Paper_ProgramId_Is".to_owned(), true),
+        ],
+        "{paper:?}"
+    );
+    // No Invited_Paper table: the indicator replaced it.
+    assert!(out.rel.table_by_name("Invited_Paper").is_none());
+    // Program_Paper(Paper_ProgramId, Session_comprising, [Person_presenting]).
+    let pp = col_names(&out, "Program_Paper");
+    assert_eq!(
+        pp,
+        vec![
+            ("Paper_ProgramId".to_owned(), false),
+            ("Session_comprising".to_owned(), false),
+            ("Person_presenting".to_owned(), true),
+        ]
+    );
+    // The paper's EQUALITY VIEW CONSTRAINT between Program_Paper's key and
+    // Paper's non-null Paper_ProgramId_Is.
+    let eq = out
+        .rel
+        .constraints
+        .iter()
+        .find(|c| c.name.starts_with("C_EQ$"))
+        .expect("equality view present");
+    if let RelConstraintKind::EqualityView { left, right } = &eq.kind {
+        let pp_tid = out.rel.table_by_name("Program_Paper").unwrap();
+        let paper_tid = out.rel.table_by_name("Paper").unwrap();
+        assert_eq!(left.table, pp_tid);
+        assert_eq!(
+            out.rel.col_names(pp_tid, &left.cols),
+            vec!["Paper_ProgramId"]
+        );
+        assert_eq!(right.table, paper_tid);
+        assert_eq!(
+            out.rel.col_names(paper_tid, &right.cols),
+            vec!["Paper_ProgramId_Is"]
+        );
+        assert_eq!(
+            out.rel.col_names(paper_tid, &right.not_null),
+            vec!["Paper_ProgramId_Is"]
+        );
+    } else {
+        panic!("wrong kind: {eq:?}");
+    }
+}
+
+/// Alternative 4: `SUBOT & SUPOT TOGETHER` — everything in one Paper table
+/// with the figure's `C_DE$` (dependent existence) and `C_EE$` (equal
+/// existence) checks.
+#[test]
+fn alternative_4_together() {
+    let out = wb()
+        .map(&MappingOptions::new().with_sublinks(SublinkOption::Together))
+        .unwrap();
+    // One table only.
+    assert_eq!(out.table_count(), 1, "{:?}", out.rel.tables);
+    let paper = col_names(&out, "Paper");
+    assert_eq!(
+        paper,
+        vec![
+            ("Paper_Id".to_owned(), false),
+            ("Title_of".to_owned(), false),
+            ("Date_of_submission".to_owned(), true),
+            ("Paper_ProgramId_with".to_owned(), true),
+            ("Session_comprising".to_owned(), true),
+            ("Person_presenting".to_owned(), true),
+            ("Is_Invited_Paper".to_owned(), false),
+        ],
+        "{paper:?}"
+    );
+    // C_EE$: Paper_ProgramId_with and Session_comprising exist together.
+    let paper_tid = out.rel.table_by_name("Paper").unwrap();
+    let ee = out
+        .rel
+        .constraints
+        .iter()
+        .find(|c| c.name.starts_with("C_EE$"))
+        .expect("equal existence present");
+    if let RelConstraintKind::EqualExistence { table, cols } = &ee.kind {
+        assert_eq!(*table, paper_tid);
+        assert_eq!(
+            out.rel.col_names(paper_tid, cols),
+            vec!["Paper_ProgramId_with", "Session_comprising"]
+        );
+    } else {
+        panic!("wrong kind: {ee:?}");
+    }
+    // C_DE$: Person_presenting requires Paper_ProgramId_with.
+    let de = out
+        .rel
+        .constraints
+        .iter()
+        .find(|c| c.name.starts_with("C_DE$"))
+        .expect("dependent existence present");
+    if let RelConstraintKind::DependentExistence {
+        table,
+        dependent,
+        on,
+    } = &de.kind
+    {
+        assert_eq!(*table, paper_tid);
+        assert_eq!(
+            out.rel.table(paper_tid).column(*dependent).name,
+            "Person_presenting"
+        );
+        assert_eq!(
+            out.rel.table(paper_tid).column(*on).name,
+            "Paper_ProgramId_with"
+        );
+    } else {
+        panic!("wrong kind: {de:?}");
+    }
+    // The nullable Paper_ProgramId_with is a candidate key (dotted in the
+    // figure).
+    assert!(out.rel.constraints.iter().any(|c| matches!(&c.kind,
+        RelConstraintKind::CandidateKey { table, cols }
+            if *table == paper_tid
+                && out.rel.col_names(paper_tid, cols) == vec!["Paper_ProgramId_with"])));
+}
+
+/// All four alternatives accept the same sample state through the state map
+/// and are valid under their own constraints — they are *state equivalent*
+/// realisations of one conceptual schema (§4.1).
+#[test]
+fn all_alternatives_accept_the_sample_population() {
+    let wb = wb();
+    let sl = invited_sublink(wb.schema());
+    let pop = fig6::population(wb.schema());
+    let option_sets = vec![
+        MappingOptions::new().with_nulls(NullOption::NullNotAllowed),
+        MappingOptions::new(),
+        MappingOptions::new().override_sublink(sl, SublinkOption::IndicatorForSupot),
+        MappingOptions::new().with_sublinks(SublinkOption::Together),
+    ];
+    for (i, opts) in option_sets.into_iter().enumerate() {
+        let out = wb.map(&opts).unwrap();
+        let st = ridl_core::state_map::map_population(&out.schema, &out, &pop)
+            .unwrap_or_else(|e| panic!("alternative {}: {e}", i + 1));
+        let violations = ridl_relational::validate(&out.rel, &st);
+        assert!(
+            violations.is_empty(),
+            "alternative {}: {:?}",
+            i + 1,
+            &violations[..violations.len().min(5)]
+        );
+        // And the state maps back to an equivalent population.
+        let back = ridl_core::state_map::unmap_state(&out.schema, &out, &st).unwrap();
+        assert!(
+            ridl_core::state_map::equivalent(&out.schema, &out, &pop, &back).unwrap(),
+            "alternative {} round trip",
+            i + 1
+        );
+    }
+}

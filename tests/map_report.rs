@@ -1,0 +1,167 @@
+//! Experiment **E-MAP**: the map-report fragments of §4.3.
+//!
+//! Fragment 1 (forwards): each binary fact maps to an executable SELECT;
+//! the sublink maps to the `_Is` pairing select; the identifier constraint
+//! maps to a named key. Fragment 2 (backwards): tables and columns list the
+//! binary concepts they derive from; generated constraints trace back to
+//! the conceptual constraints or the transformation step that needed them.
+
+use ridl_core::{MapReport, MappingOptions, SublinkOption, Workbench};
+use ridl_workloads::fig6;
+
+fn alt3() -> (Workbench, ridl_core::MappingOutput) {
+    let wb = Workbench::new(fig6::schema());
+    let inv = wb.schema().object_type_by_name("Invited_Paper").unwrap();
+    let sl = wb
+        .schema()
+        .sublinks()
+        .find(|(_, s)| s.sub == inv)
+        .map(|(sid, _)| sid)
+        .unwrap();
+    let out = wb
+        .map(&MappingOptions::new().override_sublink(sl, SublinkOption::IndicatorForSupot))
+        .unwrap();
+    (wb, out)
+}
+
+#[test]
+fn forwards_map_fragment_1() {
+    let (wb, out) = alt3();
+    let report: MapReport = wb.map_report(&out);
+    let f = &report.forwards;
+
+    // "FACT WITH ROLE presented_by ON NOLOT Program_Paper AND ROLE
+    //  presenting ON LOT-NOLOT Person  MAPPED TO  SELECT ... WHERE ..."
+    assert!(
+        f.contains("FACT WITH ROLE presented_by ON NOLOT Program_Paper AND ROLE presenting ON LOT-NOLOT Person"),
+        "{f}"
+    );
+    assert!(
+        f.contains("SELECT Paper_ProgramId , Person_presenting"),
+        "{f}"
+    );
+    assert!(f.contains("WHERE ( Person_presenting IS NOT NULL )"), "{f}");
+
+    // The mandatory session fact selects without a WHERE.
+    assert!(
+        f.contains("FACT WITH ROLE presented_during ON NOLOT Program_Paper AND ROLE comprising ON LOT-NOLOT Session"),
+        "{f}"
+    );
+    assert!(f.contains("SELECT Paper_ProgramId , Session_comprising"));
+
+    // "SUBLINK IS FROM NOLOT Program_Paper TO NOLOT Paper MAPPED TO
+    //  SELECT Paper_ProgramId_Is , Paper_Id FROM Paper WHERE ..."
+    assert!(
+        f.contains("SUBLINK IS FROM NOLOT Program_Paper TO NOLOT Paper"),
+        "{f}"
+    );
+    assert!(
+        f.contains("SELECT Paper_ProgramId_Is , Paper_Id")
+            && f.contains("WHERE ( Paper_ProgramId_Is IS NOT NULL )"),
+        "{f}"
+    );
+
+    // "IDENTIFIER : ROLE ON NOLOT Paper AND LOT Paper_Id MAPPED TO ... C_KEY$"
+    assert!(f.contains("IDENTIFIER"), "{f}");
+    assert!(f.contains("CONSTRAINT C_KEY$_"), "{f}");
+}
+
+#[test]
+fn backwards_map_fragment_2() {
+    let (wb, out) = alt3();
+    let report = wb.map_report(&out);
+    let b = &report.backwards;
+
+    // "TABLE Paper DERIVED FROM ... FACT ... SUBLINK ..."
+    assert!(b.contains("TABLE Paper\n    DERIVED FROM"), "{b}");
+    let paper_section: &str = b.split("TABLE Program_Paper").next().unwrap();
+    assert!(paper_section.contains("NOLOT Paper"));
+    assert!(paper_section.contains("FACT WITH ROLE titled ON NOLOT Paper"));
+    assert!(paper_section.contains("SUBLINK IS FROM NOLOT Program_Paper TO NOLOT Paper"));
+    assert!(paper_section.contains("SUBLINK IS FROM NOLOT Invited_Paper TO NOLOT Paper"));
+
+    // "COLUMN Paper_ProgramId IN TABLE Program_Paper DERIVED FROM ..."
+    assert!(
+        b.contains("COLUMN Paper_ProgramId IN TABLE Program_Paper\n    DERIVED FROM"),
+        "{b}"
+    );
+    // The _Is column derives from the sublink.
+    let is_col = b
+        .split("COLUMN Paper_ProgramId_Is IN TABLE Paper")
+        .nth(1)
+        .expect("column section present");
+    let head = &is_col[..is_col.len().min(400)];
+    assert!(
+        head.contains("SUBLINK IS FROM NOLOT Program_Paper TO NOLOT Paper"),
+        "{head}"
+    );
+
+    // "FOREIGN KEY ... DERIVED FROM SUBLINK IS ..." — generated constraints
+    // trace back.
+    let fkey = b
+        .split("CONSTRAINT C_FKEY$_1")
+        .nth(1)
+        .expect("foreign key section");
+    let head = &fkey[..fkey.len().min(300)];
+    assert!(
+        head.contains("IS-A") || head.contains("references"),
+        "{head}"
+    );
+    // The equality view's derivation names the sublink too.
+    let eq = b.split("CONSTRAINT C_EQ$_1").nth(1).expect("C_EQ section");
+    let head = &eq[..eq.len().min(300)];
+    assert!(head.contains("SEPARATE SUB/SUPER RELATION"), "{head}");
+}
+
+#[test]
+fn every_concept_appears_in_the_forwards_map() {
+    let wb = Workbench::new(ridl_workloads::cris::schema());
+    let out = wb.map(&MappingOptions::new()).unwrap();
+    let report = wb.map_report(&out);
+    for (_, ot) in out.schema.object_types() {
+        assert!(
+            report.forwards.contains(&ot.name),
+            "object type {} missing from forwards map",
+            ot.name
+        );
+    }
+    for (fid, _) in out.schema.fact_types() {
+        let desc = ridl_core::map_report::describe_fact(&out.schema, fid);
+        assert!(
+            report.forwards.contains(&desc),
+            "fact {desc} missing from forwards map"
+        );
+    }
+    // Every generated constraint appears in the backwards map.
+    for c in &out.rel.constraints {
+        assert!(
+            report.backwards.contains(&format!("CONSTRAINT {}", c.name)),
+            "{} missing from backwards map",
+            c.name
+        );
+    }
+}
+
+#[test]
+fn omitted_facts_are_reported_not_silent() {
+    let wb = Workbench::new(fig6::schema());
+    let submitted = wb.schema().fact_type_by_name("paper_submitted").unwrap();
+    let out = wb.map(&MappingOptions::new().omit(submitted)).unwrap();
+    let report = wb.map_report(&out);
+    assert!(
+        report.forwards.contains("(omitted by option)"),
+        "{}",
+        report.forwards
+    );
+    assert!(out
+        .notes
+        .iter()
+        .any(|n| n.contains("omitted from the generated schema")));
+    // The omitted fact's column is gone.
+    let paper = out.rel.table_by_name("Paper").unwrap();
+    assert!(out
+        .rel
+        .table(paper)
+        .column_by_name("Date_of_submission")
+        .is_none());
+}

@@ -1,0 +1,140 @@
+//! The distinctive `NULL ALLOWED` behaviour (§4.2.1): "Some NOLOTS may only
+//! have a non-homogenous lexical representation type. The entities of such a
+//! NOLOT are distinguishable but there is no overall unique identification
+//! function that applies to all of them. … To keep information on such a
+//! non-homogenously referencible NOLOT into one relation …, we have to allow
+//! null values in the 'primary keys'."
+
+use ridl_brm::builder::SchemaBuilder;
+use ridl_brm::{DataType, Population, Schema, Side, Value};
+use ridl_core::state_map::map_population;
+use ridl_core::{MappingOptions, NullOption, Workbench};
+use ridl_relational::RelConstraintKind;
+
+/// A Product identifiable EITHER by an internal code OR by a legacy serial
+/// number — some products have one, some the other, some both; neither
+/// identification is total.
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new("catalog");
+    b.nolot("Product").unwrap();
+    b.lot("Internal_Code", DataType::Char(8)).unwrap();
+    b.fact(
+        "coded",
+        ("has_code", "Product"),
+        ("code_of", "Internal_Code"),
+    )
+    .unwrap();
+    b.unique("coded", Side::Left).unwrap();
+    b.unique("coded", Side::Right).unwrap();
+    b.lot("Serial_No", DataType::Numeric(6, 0)).unwrap();
+    b.fact(
+        "serialed",
+        ("has_serial", "Product"),
+        ("serial_of", "Serial_No"),
+    )
+    .unwrap();
+    b.unique("serialed", Side::Left).unwrap();
+    b.unique("serialed", Side::Right).unwrap();
+    // Every product is referable by at least one of the two.
+    b.total_union(
+        "Product",
+        &[("coded", Side::Left), ("serialed", Side::Left)],
+    )
+    .unwrap();
+    b.lot("Label", DataType::VarChar(30)).unwrap();
+    b.fact("labeled", ("labelled", "Product"), ("label_of", "Label"))
+        .unwrap();
+    b.unique("labeled", Side::Left).unwrap();
+    b.total_role("labeled", Side::Left).unwrap();
+    b.finish().unwrap()
+}
+
+fn population(s: &Schema) -> Population {
+    let coded = s.fact_type_by_name("coded").unwrap();
+    let serialed = s.fact_type_by_name("serialed").unwrap();
+    let labeled = s.fact_type_by_name("labeled").unwrap();
+    let mut p = Population::new();
+    let e = Value::entity;
+    // Product 1: code only. Product 2: serial only. Product 3: both.
+    p.add_fact_closed(s, coded, e(1), Value::str("C-1"));
+    p.add_fact_closed(s, serialed, e(2), Value::Int(100200));
+    p.add_fact_closed(s, coded, e(3), Value::str("C-3"));
+    p.add_fact_closed(s, serialed, e(3), Value::Int(100300));
+    p.add_fact_closed(s, labeled, e(1), Value::str("Widget"));
+    p.add_fact_closed(s, labeled, e(2), Value::str("Gadget"));
+    p.add_fact_closed(s, labeled, e(3), Value::str("Gizmo"));
+    p
+}
+
+#[test]
+fn non_referable_without_null_allowed() {
+    let wb = Workbench::new(schema());
+    // RIDL-A flags Product: no total reference scheme.
+    assert!(!wb.analysis().is_mappable());
+    assert!(wb
+        .analysis()
+        .referability
+        .iter()
+        .any(|f| f.code == "NON-REFERABLE" && f.message.contains("Product")));
+    let err = wb.map(&MappingOptions::new()).unwrap_err();
+    assert!(err.message.contains("RIDL-A"));
+}
+
+/// `NULL ALLOWED` maps the non-homogeneous NOLOT into one relation with
+/// nullable reference groups, per-group candidate keys and the `C_CX$`
+/// cover-existence rule.
+#[test]
+fn null_allowed_maps_with_nullable_keys() {
+    let s = schema();
+    let analysis = ridl_analyzer::reference::infer(&s);
+    let out = ridl_core::map_schema(
+        &s,
+        &analysis,
+        &MappingOptions::new().with_nulls(NullOption::NullAllowed),
+    )
+    .unwrap();
+    let product = out.rel.table_by_name("Product").unwrap();
+    let table = out.rel.table(product);
+    // Both reference columns exist and are nullable.
+    let code = table.column_by_name("Internal_Code_code_of").unwrap();
+    let serial = table.column_by_name("Serial_No_serial_of").unwrap();
+    assert!(table.column(code).nullable);
+    assert!(table.column(serial).nullable);
+    // Per-group candidate keys plus the cover-existence rule.
+    let cks = out
+        .rel
+        .constraints
+        .iter()
+        .filter(|c| matches!(&c.kind, RelConstraintKind::CandidateKey { table: t, .. } if *t == product))
+        .count();
+    assert!(cks >= 2, "{:?}", out.rel.constraints);
+    assert!(out
+        .rel
+        .constraints
+        .iter()
+        .any(|c| c.name.starts_with("C_CX$")));
+
+    // The state map fills exactly the available identifications and the
+    // result satisfies every constraint including the cover rule.
+    let pop = population(&out.schema);
+    let st = map_population(&out.schema, &out, &pop).unwrap();
+    let violations = ridl_relational::validate(&out.rel, &st);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(st.rows(product).len(), 3);
+    let nulls_in_keys = st
+        .rows(product)
+        .iter()
+        .filter(|r| r[code as usize].is_none() || r[serial as usize].is_none())
+        .count();
+    assert_eq!(nulls_in_keys, 2, "products 1 and 2 have a partial key");
+
+    // A row with neither identification violates the cover rule.
+    let mut db = ridl_engine::Database::create(out.rel.clone()).unwrap();
+    db.load_state(st).unwrap();
+    let mut row = vec![None; table.arity()];
+    if let Some(lbl) = table.column_by_name("Label_label_of") {
+        row[lbl as usize] = Some(Value::str("Phantom"));
+    }
+    let err = db.insert("Product", row);
+    assert!(err.is_err(), "uncovered row accepted");
+}

@@ -1,0 +1,360 @@
+//! Cross-crate property tests on the core data structures and invariants:
+//! serde round trips with arbitrary constraint shapes, lexer totality,
+//! canonicalisation idempotence, and DDL determinism.
+
+use proptest::prelude::*;
+
+use ridl_brm::{
+    ConstraintKind, Decimal, FactTypeId, ObjectTypeId, RoleOrSublink, RoleRef, Side, SublinkId,
+    Value,
+};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[ -~]{0,12}".prop_map(Value::Str),
+        any::<i64>().prop_map(Value::Int),
+        (any::<i64>(), 0u8..6).prop_map(|(m, s)| Value::Num(Decimal::new(m, s))),
+        any::<i32>().prop_map(Value::Date),
+        any::<bool>().prop_map(Value::Bool),
+        (0u64..1000).prop_map(Value::entity),
+    ]
+}
+
+fn role_strategy() -> impl Strategy<Value = RoleRef> {
+    (0u32..50, any::<bool>()).prop_map(|(f, s)| {
+        RoleRef::new(
+            FactTypeId::from_raw(f),
+            if s { Side::Left } else { Side::Right },
+        )
+    })
+}
+
+fn item_strategy() -> impl Strategy<Value = RoleOrSublink> {
+    prop_oneof![
+        role_strategy().prop_map(RoleOrSublink::Role),
+        (0u32..20).prop_map(|s| RoleOrSublink::Sublink(SublinkId::from_raw(s))),
+    ]
+}
+
+fn constraint_strategy() -> impl Strategy<Value = ConstraintKind> {
+    prop_oneof![
+        prop::collection::vec(role_strategy(), 1..4)
+            .prop_map(|roles| ConstraintKind::Uniqueness { roles }),
+        (0u32..30, prop::collection::vec(item_strategy(), 1..4)).prop_map(|(o, items)| {
+            ConstraintKind::Total {
+                over: ObjectTypeId::from_raw(o),
+                items,
+            }
+        }),
+        prop::collection::vec(item_strategy(), 2..5)
+            .prop_map(|items| ConstraintKind::Exclusion { items }),
+        (
+            prop::collection::vec(role_strategy(), 1..3),
+            prop::collection::vec(role_strategy(), 1..3)
+        )
+            .prop_map(|(sub, sup)| ConstraintKind::Subset { sub, sup }),
+        (
+            prop::collection::vec(role_strategy(), 1..3),
+            prop::collection::vec(role_strategy(), 1..3)
+        )
+            .prop_map(|(a, b)| ConstraintKind::Equality { a, b }),
+        (role_strategy(), 0u32..5, proptest::option::of(5u32..10))
+            .prop_map(|(role, min, max)| ConstraintKind::Cardinality { role, min, max }),
+        (0u32..30, prop::collection::vec(value_strategy(), 0..5)).prop_map(|(o, values)| {
+            ConstraintKind::Value {
+                over: ObjectTypeId::from_raw(o),
+                values,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    /// The meta-database's constraint encoding is a bijection on arbitrary
+    /// constraint bodies — including hostile strings in value lists.
+    #[test]
+    fn metadb_constraint_serde_roundtrip(kind in constraint_strategy()) {
+        let encoded = ridl_metadb::serde::encode_constraint(&kind);
+        let decoded = ridl_metadb::serde::decode_constraint(&encoded)
+            .unwrap_or_else(|e| panic!("{encoded}: {e}"));
+        prop_assert_eq!(decoded, kind, "{}", encoded);
+    }
+
+    /// Value tokens round-trip.
+    #[test]
+    fn metadb_value_serde_roundtrip(v in value_strategy()) {
+        let enc = ridl_metadb::serde::encode_value(&v);
+        prop_assert_eq!(ridl_metadb::serde::decode_value(&enc).unwrap(), v);
+    }
+
+    /// The RIDL lexer is total: it never panics, returning tokens or a
+    /// positioned error on arbitrary input.
+    #[test]
+    fn lexer_is_total(src in "\\PC{0,200}") {
+        let _ = ridl_lang::lex(&src);
+    }
+
+    /// So is the query-text parser.
+    #[test]
+    fn query_parser_is_total(src in "\\PC{0,200}") {
+        let _ = ridl_query::parse_query(&src);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Constraint canonicalisation is idempotent on generated schemas.
+    #[test]
+    fn canonicalize_is_idempotent(seed in 0u64..100) {
+        let s = ridl_workloads::synth::generate(&ridl_workloads::synth::GenParams {
+            seed,
+            ..Default::default()
+        });
+        let (c1, _) = ridl_transform::canonicalize_constraints(&s.schema);
+        let (c2, removed) = ridl_transform::canonicalize_constraints(&c1);
+        prop_assert_eq!(removed, 0);
+        prop_assert_eq!(c1.num_constraints(), c2.num_constraints());
+    }
+
+    /// DDL generation is deterministic and covers every table, in every
+    /// dialect.
+    #[test]
+    fn ddl_is_deterministic_and_complete(seed in 0u64..40) {
+        let s = ridl_workloads::synth::generate(&ridl_workloads::synth::GenParams {
+            seed,
+            ..Default::default()
+        });
+        let wb = ridl_core::Workbench::new(s.schema);
+        prop_assume!(wb.analysis().is_mappable());
+        let out = wb.map(&ridl_core::MappingOptions::new()).unwrap();
+        for kind in [
+            ridl_sqlgen::DialectKind::Sql2,
+            ridl_sqlgen::DialectKind::Oracle,
+            ridl_sqlgen::DialectKind::Ingres,
+            ridl_sqlgen::DialectKind::Db2,
+        ] {
+            let a = ridl_sqlgen::generate_for(&out.rel, kind);
+            let b = ridl_sqlgen::generate_for(&out.rel, kind);
+            prop_assert_eq!(&a.text, &b.text);
+            prop_assert_eq!(
+                a.text.matches("CREATE TABLE ").count(),
+                out.table_count(),
+                "{:?}",
+                kind
+            );
+        }
+    }
+
+    /// The mapping itself is deterministic: equal inputs, equal schemas.
+    #[test]
+    fn mapping_is_deterministic(seed in 0u64..40) {
+        let s = ridl_workloads::synth::generate(&ridl_workloads::synth::GenParams {
+            seed,
+            ..Default::default()
+        });
+        let wb = ridl_core::Workbench::new(s.schema);
+        prop_assume!(wb.analysis().is_mappable());
+        let a = wb.map(&ridl_core::MappingOptions::new()).unwrap();
+        let b = wb.map(&ridl_core::MappingOptions::new()).unwrap();
+        prop_assert_eq!(a.rel.tables.len(), b.rel.tables.len());
+        for ((_, ta), (_, tb)) in a.rel.tables().zip(b.rel.tables()) {
+            prop_assert_eq!(ta, tb);
+        }
+        prop_assert_eq!(a.rel.constraints.len(), b.rel.constraints.len());
+    }
+}
+
+/// §4.2.3: "Even within the same relation two different naming conventions
+/// for the same NOLOT might be useful" — a second total 1:1 naming fact
+/// lands in the anchor relation as a candidate key.
+#[test]
+fn two_naming_conventions_in_one_relation() {
+    use ridl_brm::builder::{identify, SchemaBuilder};
+    use ridl_brm::DataType;
+    let mut b = SchemaBuilder::new("s");
+    b.nolot("Person").unwrap();
+    identify(&mut b, "Person", "SSN", DataType::Char(9)).unwrap();
+    b.lot("Full_Name", DataType::Char(40)).unwrap();
+    b.fact("named", ("has_name", "Person"), ("name_of", "Full_Name"))
+        .unwrap();
+    b.unique("named", Side::Left).unwrap();
+    b.unique("named", Side::Right).unwrap();
+    b.total_role("named", Side::Left).unwrap();
+    let wb = ridl_core::Workbench::new(b.finish().unwrap());
+    let out = wb.map(&ridl_core::MappingOptions::new()).unwrap();
+    assert_eq!(out.table_count(), 1);
+    let t = out.rel.table_by_name("Person").unwrap();
+    // SSN is the primary key (smallest), Full_Name a NOT NULL candidate key:
+    // both naming conventions live in the one relation.
+    assert_eq!(
+        out.rel.col_names(t, out.rel.primary_key_of(t).unwrap()),
+        vec!["SSN"]
+    );
+    let has_ck = out.rel.constraints.iter().any(|c| {
+        matches!(&c.kind, ridl_relational::RelConstraintKind::CandidateKey { table, cols }
+            if *table == t && out.rel.col_names(t, cols) == vec!["Full_Name_name_of"])
+    });
+    assert!(has_ck, "{:?}", out.rel.constraints);
+    assert!(
+        !out.rel
+            .table(t)
+            .column(
+                out.rel
+                    .table(t)
+                    .column_by_name("Full_Name_name_of")
+                    .unwrap()
+            )
+            .nullable
+    );
+}
+
+/// Lexical override (§4.2.3): forcing Program_Paper to use the *inherited*
+/// Paper_Id convention instead of its own Paper_ProgramId changes the
+/// sub/super pairing from `_Is` columns to a direct shared-key foreign key.
+#[test]
+fn lexical_override_switches_subtype_key_scheme() {
+    let schema = ridl_workloads::fig6::schema();
+    let pp = schema.object_type_by_name("Program_Paper").unwrap();
+    let wb = ridl_core::Workbench::new(schema);
+    let reps = wb.analysis().references.reps_of(pp);
+    // Representation 0 is the smallest (own Paper_ProgramId); find the
+    // inherited Paper_Id one.
+    let inherited = reps
+        .iter()
+        .position(|r| r.byte_width() == 6)
+        .expect("inherited representation present");
+    let out = wb
+        .map(&ridl_core::MappingOptions::new().with_lexical(pp, inherited))
+        .unwrap();
+    let pp_t = out.rel.table_by_name("Program_Paper").unwrap();
+    let paper_t = out.rel.table_by_name("Paper").unwrap();
+    // The sub-relation is keyed by Paper_Id now.
+    assert_eq!(
+        out.rel
+            .col_names(pp_t, out.rel.primary_key_of(pp_t).unwrap()),
+        vec!["Paper_Id"]
+    );
+    // No `_Is` column in Paper; the FK goes key-to-key.
+    assert!(out
+        .rel
+        .table(paper_t)
+        .column_by_name("Paper_ProgramId_Is")
+        .is_none());
+    let fk_key_to_key = out.rel.constraints.iter().any(|c| {
+        matches!(&c.kind, ridl_relational::RelConstraintKind::ForeignKey { table, ref_table, ref_cols, .. }
+            if *table == pp_t && *ref_table == paper_t
+                && out.rel.col_names(paper_t, ref_cols) == vec!["Paper_Id"])
+    });
+    assert!(fk_key_to_key, "{:?}", out.rel.constraints);
+    // The own program id becomes an ordinary (candidate-keyed) attribute.
+    assert!(out
+        .rel
+        .table(pp_t)
+        .column_by_name("Paper_ProgramId_with")
+        .is_some());
+    // And the mapping still round-trips states.
+    let pop = ridl_workloads::fig6::population(&out.schema);
+    let st = ridl_core::state_map::map_population(&out.schema, &out, &pop).unwrap();
+    assert!(
+        ridl_relational::validate(&out.rel, &st).is_empty(),
+        "{:?}",
+        ridl_relational::validate(&out.rel, &st)
+    );
+    let back = ridl_core::state_map::unmap_state(&out.schema, &out, &st).unwrap();
+    assert!(ridl_core::state_map::equivalent(&out.schema, &out, &pop, &back).unwrap());
+}
+
+/// Engine column resolution: bare names resolve only when unambiguous
+/// across the joined relation; qualified names always do.
+#[test]
+fn engine_bare_column_ambiguity() {
+    use ridl_brm::DataType;
+    use ridl_engine::{Database, Query};
+    use ridl_relational::{Column, RelConstraintKind, RelSchema, Table};
+    let mut s = RelSchema::new("amb");
+    let d = s.domain("D", DataType::Char(4));
+    let a = s.add_table(Table::new(
+        "A",
+        vec![Column::not_null("K", d), Column::not_null("X", d)],
+    ));
+    let b = s.add_table(Table::new(
+        "B",
+        vec![Column::not_null("K", d), Column::not_null("Y", d)],
+    ));
+    s.add_named(RelConstraintKind::PrimaryKey {
+        table: a,
+        cols: vec![0],
+    });
+    s.add_named(RelConstraintKind::PrimaryKey {
+        table: b,
+        cols: vec![0],
+    });
+    let mut db = Database::create(s).unwrap();
+    db.insert("A", vec![Some(Value::str("k1")), Some(Value::str("x"))])
+        .unwrap();
+    db.insert("B", vec![Some(Value::str("k1")), Some(Value::str("y"))])
+        .unwrap();
+    let join = Query::from("A").join("B", &[("A.K", "K")]);
+    // Bare `K` is ambiguous after the join; qualified works.
+    assert!(db.select(&join.clone().select(&["K"])).is_err());
+    let rows = db.select(&join.clone().select(&["A.K", "Y"])).unwrap();
+    assert_eq!(rows.len(), 1);
+    // Bare unique suffixes resolve.
+    let rows = db.select(&join.select(&["X", "Y"])).unwrap();
+    assert_eq!(
+        rows,
+        vec![vec![Some(Value::str("x")), Some(Value::str("y"))]]
+    );
+}
+
+/// The map report renders a SELECT with both NOT NULL and equality filters
+/// (indicator membership selections).
+#[test]
+fn map_report_renders_indicator_selections() {
+    let wb = ridl_core::Workbench::new(ridl_workloads::fig6::schema());
+    let out = wb
+        .map(
+            &ridl_core::MappingOptions::new()
+                .with_sublinks(ridl_core::SublinkOption::IndicatorForSupot),
+        )
+        .unwrap();
+    let sl = out
+        .schema
+        .sublinks()
+        .find(|(_, s)| out.schema.ot_name(s.sub) == "Invited_Paper")
+        .map(|(sid, _)| sid)
+        .unwrap();
+    let sel = out.membership_selection(&out.schema, sl).unwrap();
+    let rendered = ridl_core::map_report::render_selection(&out.rel, &sel);
+    assert!(
+        rendered.contains("WHERE ( Is_Invited_Paper = TRUE )"),
+        "{rendered}"
+    );
+    // And the full forwards map carries it for the sublink entry.
+    let report = wb.map_report(&out);
+    assert!(
+        report.forwards.contains("Is_Invited_Paper = TRUE"),
+        "{}",
+        report.forwards
+    );
+}
+
+/// DB2 identifier folding keeps generated constraint DDL parseable: no
+/// identifier in any CREATE/ALTER line exceeds the dialect limit.
+#[test]
+fn db2_output_respects_identifier_limit_at_scale() {
+    let s = ridl_workloads::synth::generate(&ridl_workloads::synth::GenParams {
+        seed: 4,
+        nolots: 20,
+        ..Default::default()
+    });
+    let wb = ridl_core::Workbench::new(s.schema);
+    let out = wb.map(&ridl_core::MappingOptions::new()).unwrap();
+    let ddl = ridl_sqlgen::generate_for(&out.rel, ridl_sqlgen::DialectKind::Db2);
+    for line in ddl.text.lines() {
+        if let Some(rest) = line.strip_prefix("CREATE TABLE ") {
+            assert!(rest.trim().len() <= 18, "{rest}");
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The RIDL query compiler (§4.3): conceptual path queries compiled through
+//! the forwards map. The same conceptual query runs unchanged against every
+//! mapping alternative — only the compiled join count differs, which is the
+//! efficiency trade-off the mapping options control.
+
+use ridl_brm::Value;
+use ridl_core::state_map::map_population;
+use ridl_core::{MappingOptions, NullOption, SublinkOption, Workbench};
+use ridl_engine::Database;
+use ridl_query::{compile, execute, parse_query, ConceptualQuery};
+use ridl_workloads::{cris, fig6};
+
+fn loaded_db(out: &ridl_core::MappingOutput) -> Database {
+    let pop = fig6::population(&out.schema);
+    let mut db = Database::create(out.rel.clone()).unwrap();
+    db.load_state(map_population(&out.schema, &out.clone(), &pop).unwrap())
+        .unwrap();
+    db
+}
+
+fn fig6_option_grid(wb: &Workbench) -> Vec<(&'static str, MappingOptions)> {
+    let invited = wb.schema().object_type_by_name("Invited_Paper").unwrap();
+    let sl = wb
+        .schema()
+        .sublinks()
+        .find(|(_, s)| s.sub == invited)
+        .map(|(sid, _)| sid)
+        .unwrap();
+    vec![
+        (
+            "A1",
+            MappingOptions::new().with_nulls(NullOption::NullNotAllowed),
+        ),
+        ("A2", MappingOptions::new()),
+        (
+            "A3",
+            MappingOptions::new().override_sublink(sl, SublinkOption::IndicatorForSupot),
+        ),
+        (
+            "A4",
+            MappingOptions::new().with_sublinks(SublinkOption::Together),
+        ),
+    ]
+}
+
+/// One conceptual query, four physical schemas, identical answers.
+#[test]
+fn same_query_every_alternative_same_answer() {
+    let wb = Workbench::new(fig6::schema());
+    let q = parse_query("LIST Program_Paper ( has , presented_during ) WHERE presented_by EXISTS")
+        .unwrap();
+    let mut answers = Vec::new();
+    let mut join_counts = Vec::new();
+    for (label, options) in fig6_option_grid(&wb) {
+        let out = wb.map(&options).unwrap();
+        let db = loaded_db(&out);
+        let (cols, mut rows) = execute(&out, &db, &q).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(cols, vec!["has", "presented_during"]);
+        rows.sort();
+        join_counts.push((label, compile(&out, &q).unwrap().join_count));
+        answers.push((label, rows));
+    }
+    // Program paper A1 has a presenter; it is presented during session 1.
+    let expected = vec![vec![Some(Value::str("A1")), Some(Value::Int(1))]];
+    for (label, rows) in &answers {
+        assert_eq!(rows, &expected, "{label}: {rows:?}");
+    }
+    // Join cost shape (§4.2.2): TOGETHER compiles join-free; SEPARATE-style
+    // alternatives may need joins for sub/super navigation but this query
+    // stays within the sub-relation except under A4's absorption.
+    let a4 = join_counts.iter().find(|(l, _)| *l == "A4").unwrap().1;
+    assert_eq!(a4, 0, "TOGETHER answers subtype queries without joins");
+}
+
+/// Navigating from subtype facts to supertype facts costs joins under
+/// SEPARATE and none under TOGETHER — the paper's "more dynamic joins".
+#[test]
+fn super_navigation_join_cost_varies_by_option() {
+    let wb = Workbench::new(fig6::schema());
+    // Program id + the paper's title (a supertype fact).
+    let q = parse_query("LIST Program_Paper ( has , titled )").unwrap();
+    let mut costs = Vec::new();
+    for (label, options) in fig6_option_grid(&wb) {
+        let out = wb.map(&options).unwrap();
+        let compiled = compile(&out, &q).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let db = loaded_db(&out);
+        let mut rows = db.select(&compiled.query).unwrap();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Some(Value::str("A1")), Some(Value::str("On NIAM"))],
+                vec![Some(Value::str("A2")), Some(Value::str("On RIDL"))],
+            ],
+            "{label}"
+        );
+        costs.push((label, compiled.join_count));
+    }
+    let cost = |l: &str| costs.iter().find(|(x, _)| *x == l).unwrap().1;
+    assert_eq!(cost("A4"), 0, "TOGETHER: both facts in one relation");
+    assert!(
+        cost("A2") >= 1 && cost("A3") >= 1,
+        "SEPARATE needs the dynamic join: {costs:?}"
+    );
+    assert!(
+        cost("A1") >= cost("A2"),
+        "link tables cost at least as much"
+    );
+}
+
+/// Filters compile into the plan and run against the engine.
+#[test]
+fn filters_and_multi_step_paths() {
+    let wb = Workbench::new(cris::schema());
+    let out = wb.map(&MappingOptions::new()).unwrap();
+    let pop = cris::population(&out.schema);
+    let mut db = Database::create(out.rel.clone()).unwrap();
+    db.load_state(map_population(&out.schema, &out, &pop).unwrap())
+        .unwrap();
+
+    // Two-step path: person -> institution -> country.
+    let q = ConceptualQuery::list("Person", &["identified_by", "affiliated_with.located_in"])
+        .where_eq("identified_by", Value::str("Olga"));
+    let (cols, rows) = execute(&out, &db, &q).unwrap();
+    assert_eq!(cols[1], "affiliated_with.located_in");
+    assert_eq!(
+        rows,
+        vec![vec![Some(Value::str("Olga")), Some(Value::str("NL"))]]
+    );
+
+    // MISSING filter: persons with no registered address.
+    let q = parse_query("LIST Person ( identified_by ) WHERE resides_at MISSING").unwrap();
+    let (_, rows) = execute(&out, &db, &q).unwrap();
+    assert_eq!(rows.len(), 4, "{rows:?}"); // everyone but Olga
+}
+
+/// m:n facts multiply rows like the relational join they compile to.
+#[test]
+fn many_to_many_traversal() {
+    let wb = Workbench::new(cris::schema());
+    let out = wb.map(&MappingOptions::new()).unwrap();
+    let pop = cris::population(&out.schema);
+    let mut db = Database::create(out.rel.clone()).unwrap();
+    db.load_state(map_population(&out.schema, &out, &pop).unwrap())
+        .unwrap();
+    // Every (author, paper) pair through the writes fact.
+    let q = parse_query("LIST Author ( identified_by , author_of.identified_by )").unwrap();
+    let (_, rows) = execute(&out, &db, &q).unwrap();
+    assert_eq!(rows.len(), 5, "{rows:?}"); // five writes pairs in the population
+}
+
+/// Compiler errors are informative.
+#[test]
+fn compile_errors() {
+    let wb = Workbench::new(fig6::schema());
+    let out = wb.map(&MappingOptions::new()).unwrap();
+    let err = compile(&out, &ConceptualQuery::list("Nope", &["x"])).unwrap_err();
+    assert!(matches!(
+        err,
+        ridl_query::CompileError::UnknownObjectType(_)
+    ));
+    let err = compile(&out, &ConceptualQuery::list("Paper", &["no_such_role"])).unwrap_err();
+    assert!(matches!(err, ridl_query::CompileError::UnknownStep { .. }));
+    // An omitted fact is reported as not mapped.
+    let submitted = wb.schema().fact_type_by_name("paper_submitted").unwrap();
+    let out = wb.map(&MappingOptions::new().omit(submitted)).unwrap();
+    let err = compile(&out, &ConceptualQuery::list("Paper", &["submitted_at"])).unwrap_err();
+    assert!(
+        matches!(err, ridl_query::CompileError::NotMapped(_)),
+        "{err}"
+    );
+}
+
+/// Conceptual ADD/REMOVE compiled through the forwards map: one conceptual
+/// update, transactionally judged by the generated constraints.
+#[test]
+fn conceptual_updates_apply_and_are_policed() {
+    use ridl_query::{apply_add, apply_remove, parse_add, parse_remove};
+    let wb = Workbench::new(fig6::schema());
+    let out = wb.map(&MappingOptions::new()).unwrap();
+    let mut db = loaded_db(&out);
+
+    // A complete new paper.
+    let add = parse_add(
+        "ADD Paper ( identified_by = 'P9' , titled = 'Fresh' , submitted_at = DATE 130 );",
+    )
+    .unwrap();
+    let touched = apply_add(&out, &mut db, &add).unwrap();
+    assert_eq!(touched, vec!["Paper"]);
+    let (_, rows) = execute(
+        &out,
+        &db,
+        &parse_query("LIST Paper ( identified_by ) WHERE titled = 'Fresh'").unwrap(),
+    )
+    .unwrap();
+    assert_eq!(rows, vec![vec![Some(Value::str("P9"))]]);
+
+    // An incomplete ADD (missing the mandatory title) is rejected whole.
+    let bad = parse_add("ADD Paper ( identified_by = 'P10' );").unwrap();
+    let err = apply_add(&out, &mut db, &bad).unwrap_err();
+    assert!(err.to_string().contains("violates the schema"), "{err}");
+    // Nothing leaked.
+    let (_, rows) = execute(
+        &out,
+        &db,
+        &parse_query("LIST Paper ( identified_by )").unwrap(),
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 4); // 3 originals + P9
+
+    // A new program paper: the sub-relation row plus the `_Is` pairing must
+    // arrive together; alone, the equality view rejects it.
+    let pp_only = parse_add("ADD Program_Paper ( has = 'A9' , presented_during = 9 );").unwrap();
+    let err = apply_add(&out, &mut db, &pp_only).unwrap_err();
+    assert!(err.to_string().contains("violates the schema"), "{err}");
+
+    // REMOVE an unreferenced paper works; removing a program paper's super
+    // row would break the lossless rules and is rejected.
+    let rm = parse_remove("REMOVE Paper WHERE identified_by = 'P9';").unwrap();
+    assert_eq!(apply_remove(&out, &mut db, &rm).unwrap(), 1);
+    let rm_bad = parse_remove("REMOVE Paper WHERE identified_by = 'P1';").unwrap();
+    let err = apply_remove(&out, &mut db, &rm_bad).unwrap_err();
+    assert!(err.to_string().contains("delete failed"), "{err}");
+}
+
+/// Under TOGETHER the same conceptual ADD of a subtype instance lands in
+/// one wide row and succeeds — the update notation is option-independent.
+#[test]
+fn conceptual_add_subtype_under_together() {
+    use ridl_query::{apply_add, parse_add};
+    let wb = Workbench::new(fig6::schema());
+    let out = wb
+        .map(&MappingOptions::new().with_sublinks(SublinkOption::Together))
+        .unwrap();
+    let mut db = loaded_db(&out);
+    let add = parse_add(
+        "ADD Program_Paper ( identified_by = 'P9' , titled = 'Fresh' , \
+         has = 'A9' , presented_during = 9 );",
+    )
+    .unwrap();
+    let touched = apply_add(&out, &mut db, &add).unwrap();
+    assert_eq!(touched, vec!["Paper"]);
+    let (_, rows) = execute(
+        &out,
+        &db,
+        &parse_query("LIST Program_Paper ( has , titled )").unwrap(),
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 3, "{rows:?}");
+}
+
+/// The compiler exploits denormalised duplicates: the same two-step path
+/// that needs a join under the default mapping compiles join-free when a
+/// combine directive duplicated the target's attributes — "redundancy …
+/// presumably for the benefit of query efficiency" (§4.2.2), realised.
+#[test]
+fn combine_shortcut_removes_the_join() {
+    use ridl_core::options::CombineDirective;
+    let schema = cris::schema();
+    let affiliation = schema.fact_type_by_name("person_affiliation").unwrap();
+    let wb = Workbench::new(schema);
+    let q = ConceptualQuery::list("Person", &["identified_by", "affiliated_with.located_in"]);
+
+    // Default mapping: the two-step path joins Institution.
+    let base = wb.map(&MappingOptions::new()).unwrap();
+    let compiled_base = compile(&base, &q).unwrap();
+    assert!(compiled_base.join_count >= 1);
+
+    // Denormalised mapping: the country was duplicated into Person.
+    let mut options = MappingOptions::new();
+    options.combine.push(CombineDirective {
+        via: affiliation,
+        weight: 10,
+    });
+    let denorm = wb.map(&options).unwrap();
+    let compiled_denorm = compile(&denorm, &q).unwrap();
+    assert_eq!(
+        compiled_denorm.join_count, 0,
+        "duplicate not exploited: {:?}",
+        compiled_denorm.query
+    );
+
+    // Both return the same answer on the same conceptual state.
+    let pop = cris::population(&base.schema);
+    let run = |out: &ridl_core::MappingOutput| {
+        let mut db = Database::create(out.rel.clone()).unwrap();
+        db.load_state(map_population(&out.schema, out, &pop).unwrap())
+            .unwrap();
+        let (_, mut rows) = execute(out, &db, &q).unwrap();
+        rows.sort();
+        rows
+    };
+    assert_eq!(run(&base), run(&denorm));
+}

@@ -1,0 +1,152 @@
+//! Experiment **E-RT**: losslessness (state equivalence, §4.1 Definitions
+//! 1–2) of the composed mapping, tested executably.
+//!
+//! For randomly generated schemas and model populations, and across the
+//! option grid, the schema transformation `g` must send models of the
+//! binary schema to valid states of the generated relational schema, and
+//! `g⁻¹ ∘ g` must be the identity up to entity renaming.
+
+use proptest::prelude::*;
+
+use ridl_core::state_map::{equivalent, map_population, unmap_state};
+use ridl_core::{MappingOptions, NullOption, SublinkOption, Workbench};
+use ridl_relational::validate as rel_validate;
+use ridl_workloads::popgen::{self, PopParams};
+use ridl_workloads::synth::{self, GenParams};
+
+fn roundtrip(
+    schema_seed: u64,
+    pop_seed: u64,
+    options: MappingOptions,
+) -> Result<(), TestCaseError> {
+    let s = synth::generate(&GenParams {
+        seed: schema_seed,
+        ..GenParams::default()
+    });
+    let pop = popgen::generate(
+        &s.schema,
+        &PopParams {
+            seed: pop_seed,
+            ..PopParams::default()
+        },
+    );
+    // Only meaningful on model populations.
+    let violations = ridl_brm::population::validate(&s.schema, &pop);
+    prop_assert!(
+        violations.is_empty(),
+        "population generator produced a non-model: {:?}",
+        &violations[..violations.len().min(3)]
+    );
+
+    let wb = Workbench::new(s.schema.clone());
+    prop_assert!(wb.analysis().is_mappable(), "{}", wb.analysis().render());
+    let out = wb.map(&options).expect("mapping succeeds");
+    prop_assert!(out.rel.check_ids().is_empty(), "{:?}", out.rel.check_ids());
+
+    // g maps models to valid relational states.
+    let st = map_population(&out.schema, &out, &pop).expect("forward state map");
+    let rel_violations = rel_validate::validate(&out.rel, &st);
+    prop_assert!(
+        rel_violations.is_empty(),
+        "schema {schema_seed} pop {pop_seed} options {:?}: {:?}",
+        options.announce(),
+        &rel_violations[..rel_violations.len().min(5)]
+    );
+
+    // g⁻¹ ∘ g = id, up to entity renaming.
+    let back = unmap_state(&out.schema, &out, &st).expect("inverse state map");
+    prop_assert!(
+        equivalent(&out.schema, &out, &pop, &back).expect("canonicalization"),
+        "round trip diverged for schema {schema_seed} pop {pop_seed} under {}",
+        options.announce()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn default_options_roundtrip(schema_seed in 0u64..40, pop_seed in 0u64..40) {
+        roundtrip(schema_seed, pop_seed, MappingOptions::new())?;
+    }
+
+    #[test]
+    fn null_not_allowed_roundtrip(schema_seed in 0u64..30, pop_seed in 0u64..30) {
+        roundtrip(
+            schema_seed,
+            pop_seed,
+            MappingOptions::new().with_nulls(NullOption::NullNotAllowed),
+        )?;
+    }
+
+    #[test]
+    fn null_not_in_keys_roundtrip(schema_seed in 0u64..30, pop_seed in 0u64..30) {
+        roundtrip(
+            schema_seed,
+            pop_seed,
+            MappingOptions::new().with_nulls(NullOption::NullNotInKeys),
+        )?;
+    }
+
+    #[test]
+    fn together_roundtrip(schema_seed in 0u64..30, pop_seed in 0u64..30) {
+        roundtrip(
+            schema_seed,
+            pop_seed,
+            MappingOptions::new().with_sublinks(SublinkOption::Together),
+        )?;
+    }
+
+    #[test]
+    fn indicator_roundtrip(schema_seed in 0u64..30, pop_seed in 0u64..30) {
+        roundtrip(
+            schema_seed,
+            pop_seed,
+            MappingOptions::new().with_sublinks(SublinkOption::IndicatorForSupot),
+        )?;
+    }
+}
+
+/// A deterministic smoke round trip over the CRIS case under every global
+/// option combination.
+#[test]
+fn cris_roundtrips_across_option_grid() {
+    let schema = ridl_workloads::cris::schema();
+    let pop = ridl_workloads::cris::population(&schema);
+    assert!(ridl_brm::population::is_model(&schema, &pop));
+    let wb = Workbench::new(schema);
+    assert!(wb.analysis().is_mappable(), "{}", wb.analysis().render());
+    for nulls in [
+        NullOption::Default,
+        NullOption::NullNotAllowed,
+        NullOption::NullNotInKeys,
+        NullOption::NullAllowed,
+    ] {
+        for subs in [
+            SublinkOption::Separate,
+            SublinkOption::Together,
+            SublinkOption::IndicatorForSupot,
+        ] {
+            let options = MappingOptions::new().with_nulls(nulls).with_sublinks(subs);
+            let out = wb.map(&options).unwrap_or_else(|e| {
+                panic!("{}: {e}", options.announce());
+            });
+            let st = map_population(&out.schema, &out, &pop)
+                .unwrap_or_else(|e| panic!("{}: {e}", options.announce()));
+            let violations = rel_validate::validate(&out.rel, &st);
+            assert!(
+                violations.is_empty(),
+                "{}: {:?}",
+                options.announce(),
+                &violations[..violations.len().min(5)]
+            );
+            let back = unmap_state(&out.schema, &out, &st).unwrap();
+            assert!(
+                equivalent(&out.schema, &out, &pop, &back).unwrap(),
+                "{} round trip",
+                options.announce()
+            );
+        }
+    }
+}
