@@ -189,16 +189,20 @@ impl SetAlgebra {
                 }
             }
             // Rule 6: a covered node with no available member is empty.
-            for (o, items) in self.covers.clone() {
-                if self.empty[o] {
+            // Take/restore instead of cloning the cover list on every
+            // fixpoint round; only `empty` is written inside the loop.
+            let covers = std::mem::take(&mut self.covers);
+            for (o, items) in &covers {
+                if self.empty[*o] {
                     continue;
                 }
-                let all_unavailable = items.iter().all(|&i| self.empty[i] || self.disjoint[o][i]);
+                let all_unavailable = items.iter().all(|&i| self.empty[i] || self.disjoint[*o][i]);
                 if all_unavailable {
-                    self.empty[o] = true;
+                    self.empty[*o] = true;
                     changed = true;
                 }
             }
+            self.covers = covers;
         }
     }
 

@@ -4,9 +4,25 @@ use std::collections::HashMap;
 use std::fmt;
 
 use ridl_brm::Value;
-use ridl_relational::{validate, ColumnSelection, RelSchema, RelState, RelViolation, Row, TableId};
+use ridl_relational::{
+    validate, validate_delta, ColumnSelection, ConstraintIndexes, Delta, DeltaOp, RelSchema,
+    RelState, RelViolation, Row, TableId,
+};
 
 use crate::query::{Pred, Query};
+
+/// How mutations are checked against the schema's constraints.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ValidationMode {
+    /// Delta validation: only constraints reachable from the touched rows
+    /// are checked, via O(1) probes on the maintained
+    /// [`ConstraintIndexes`]. O(change) per mutation. The default.
+    #[default]
+    Incremental,
+    /// Re-validate the entire state on every mutation. O(database) per
+    /// mutation; kept as the oracle and for benchmarking the difference.
+    FullState,
+}
 
 /// Errors raised by the engine.
 #[derive(Clone, PartialEq, Debug)]
@@ -41,11 +57,28 @@ impl fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// An in-memory, constraint-enforcing relational database.
+///
+/// Mutations are O(change), not O(database): the engine maintains
+/// [`ConstraintIndexes`] next to the state, validates each statement's
+/// delta with [`validate_delta`], and rolls back by replaying an **undo
+/// log** of inverse row operations — no state snapshot is ever cloned,
+/// neither per statement nor per transaction.
 pub struct Database {
     schema: RelSchema,
     state: RelState,
+    indexes: ConstraintIndexes,
     views: HashMap<String, Query>,
-    snapshots: Vec<RelState>,
+    /// Applied row operations since the outermost transaction began (or
+    /// since the last statement, outside transactions). Rolling back means
+    /// replaying a suffix in reverse with each op inverted.
+    undo: Vec<DeltaOp>,
+    /// Undo-log positions where each open transaction began.
+    txn_marks: Vec<usize>,
+    mode: ValidationMode,
+    /// Set while `insert_unchecked` rows await their deferred check; the
+    /// debug oracle is meaningless (and delta validation vacuous) until the
+    /// next successful `commit` or `load_state` re-validates everything.
+    has_unchecked: bool,
 }
 
 impl Database {
@@ -56,11 +89,16 @@ impl Database {
             return Err(EngineError::BadSchema(errs));
         }
         let state = RelState::with_tables(schema.tables.len());
+        let indexes = ConstraintIndexes::build(&schema, &state);
         Ok(Self {
             schema,
             state,
+            indexes,
             views: HashMap::new(),
-            snapshots: Vec::new(),
+            undo: Vec::new(),
+            txn_marks: Vec::new(),
+            mode: ValidationMode::default(),
+            has_unchecked: false,
         })
     }
 
@@ -74,13 +112,33 @@ impl Database {
         &self.state
     }
 
-    /// Replaces the whole state, validating it first.
+    /// The constraint indexes maintained alongside the state.
+    pub fn indexes(&self) -> &ConstraintIndexes {
+        &self.indexes
+    }
+
+    /// Selects how mutations are validated (delta probes vs full re-scan).
+    pub fn set_validation_mode(&mut self, mode: ValidationMode) {
+        self.mode = mode;
+    }
+
+    /// The active validation mode.
+    pub fn validation_mode(&self) -> ValidationMode {
+        self.mode
+    }
+
+    /// Replaces the whole state, validating it first and rebuilding the
+    /// constraint indexes. Any open transactions are discarded.
     pub fn load_state(&mut self, state: RelState) -> Result<(), EngineError> {
         let violations = validate::validate(&self.schema, &state);
         if !violations.is_empty() {
             return Err(EngineError::ConstraintViolation(violations));
         }
+        self.indexes = ConstraintIndexes::build(&self.schema, &state);
         self.state = state;
+        self.undo.clear();
+        self.txn_marks.clear();
+        self.has_unchecked = false;
         Ok(())
     }
 
@@ -90,16 +148,91 @@ impl Database {
             .ok_or_else(|| EngineError::Unknown(format!("table {name}")))
     }
 
-    fn check_after(&mut self, before: RelState) -> Result<(), EngineError> {
-        // Deferred full check: correct and simple; the meta-database and
-        // test workloads are small, and correctness of enforcement is the
-        // point here (per perf-book guidance: measure before optimizing).
-        let violations = validate::validate(&self.schema, &self.state);
-        if violations.is_empty() {
-            Ok(())
-        } else {
-            self.state = before;
-            Err(EngineError::ConstraintViolation(violations))
+    /// Applies one row operation to the state and indexes, recording it in
+    /// the undo log. Returns false (recording nothing) when the state
+    /// already absorbed it (duplicate insert / missing removal).
+    fn apply(&mut self, op: DeltaOp) -> bool {
+        let changed = match &op {
+            DeltaOp::Insert { table, row } => {
+                let done = self.state.insert(*table, row.clone());
+                if done {
+                    self.indexes.note_insert(*table, row);
+                }
+                done
+            }
+            DeltaOp::Remove { table, row } => {
+                let done = self.state.remove(*table, row);
+                if done {
+                    self.indexes.note_remove(*table, row);
+                }
+                done
+            }
+        };
+        if changed {
+            self.undo.push(op);
+        }
+        changed
+    }
+
+    /// Replays the undo log down to `mark`, inverting each operation.
+    fn revert_to(&mut self, mark: usize) {
+        while self.undo.len() > mark {
+            match self.undo.pop().expect("undo entry") {
+                DeltaOp::Insert { table, row } => {
+                    self.state.remove(table, &row);
+                    self.indexes.note_remove(table, &row);
+                }
+                DeltaOp::Remove { table, row } => {
+                    self.indexes.note_insert(table, &row);
+                    self.state.insert(table, row);
+                }
+            }
+        }
+    }
+
+    /// Statement epilogue: validates the ops recorded since `mark`
+    /// (O(change) in [`ValidationMode::Incremental`]), reverting them on
+    /// violation. Outside transactions a clean statement also drains the
+    /// undo log — nothing left to roll back to.
+    fn finish_statement(&mut self, mark: usize) -> Result<(), EngineError> {
+        let violations = match self.mode {
+            ValidationMode::Incremental => {
+                let delta = Delta {
+                    ops: self.undo[mark..].to_vec(),
+                };
+                validate_delta(&self.schema, &self.state, &self.indexes, &delta)
+            }
+            ValidationMode::FullState => validate::validate(&self.schema, &self.state),
+        };
+        if !violations.is_empty() {
+            self.revert_to(mark);
+            return Err(EngineError::ConstraintViolation(violations));
+        }
+        self.debug_check_equivalence();
+        if self.txn_marks.is_empty() {
+            self.undo.clear();
+        }
+        Ok(())
+    }
+
+    /// Debug oracle: a state the delta validator accepted must also satisfy
+    /// the full validator, and the incremental indexes must equal a fresh
+    /// build. Compiled out of release builds; skipped while unchecked rows
+    /// make the precondition (valid pre-state) false.
+    fn debug_check_equivalence(&self) {
+        #[cfg(debug_assertions)]
+        {
+            if self.mode == ValidationMode::Incremental && !self.has_unchecked {
+                let full = validate::validate(&self.schema, &self.state);
+                debug_assert!(
+                    full.is_empty(),
+                    "delta validation accepted a state the full validator rejects: {full:?}"
+                );
+                debug_assert!(
+                    self.indexes.consistent_with(&self.schema, &self.state),
+                    "constraint indexes drifted from the state"
+                );
+            }
         }
     }
 
@@ -108,28 +241,35 @@ impl Database {
     /// duplicate insert is almost always a key violation in disguise).
     pub fn insert(&mut self, table: &str, row: Row) -> Result<(), EngineError> {
         let tid = self.table_id(table)?;
-        let before = self.state.clone();
-        if !self.state.insert(tid, row) {
+        let mark = self.undo.len();
+        if !self.apply(DeltaOp::Insert { table: tid, row }) {
             return Err(EngineError::ConstraintViolation(vec![RelViolation {
                 constraint: "DUPLICATE".into(),
                 detail: format!("row already present in {table}"),
             }]));
         }
-        self.check_after(before)
+        self.finish_statement(mark)
     }
 
     /// Inserts without constraint checking (bulk load within transactions;
-    /// `commit` or `load_state` re-validates).
+    /// `commit` or `load_state` re-validates). The row still enters the
+    /// undo log, so `rollback` undoes it.
     pub fn insert_unchecked(&mut self, table: &str, row: Row) -> Result<(), EngineError> {
         let tid = self.table_id(table)?;
-        self.state.insert(tid, row);
+        self.apply(DeltaOp::Insert { table: tid, row });
+        self.has_unchecked = true;
+        if self.txn_marks.is_empty() {
+            self.undo.clear();
+        }
         Ok(())
     }
 
     /// Deletes the rows matching the predicate; returns how many went.
+    /// Single pass: only the matching rows are copied (into the undo log),
+    /// never the state.
     pub fn delete_where(&mut self, table: &str, preds: &[Pred]) -> Result<usize, EngineError> {
         let tid = self.table_id(table)?;
-        let before = self.state.clone();
+        let mark = self.undo.len();
         let matching: Vec<Row> = self
             .state
             .rows(tid)
@@ -137,14 +277,16 @@ impl Database {
             .filter(|row| self.row_matches(tid, row, preds).unwrap_or(false))
             .cloned()
             .collect();
-        for row in &matching {
-            self.state.remove(tid, row);
+        let n = matching.len();
+        for row in matching {
+            self.apply(DeltaOp::Remove { table: tid, row });
         }
-        self.check_after(before)?;
-        Ok(matching.len())
+        self.finish_statement(mark)?;
+        Ok(n)
     }
 
     /// Updates matching rows by setting columns; returns how many changed.
+    /// Each matching row becomes one remove + one insert in the undo log.
     pub fn update_where(
         &mut self,
         table: &str,
@@ -162,7 +304,7 @@ impl Database {
                     .ok_or_else(|| EngineError::Unknown(format!("column {name}")))
             })
             .collect::<Result<_, _>>()?;
-        let before = self.state.clone();
+        let mark = self.undo.len();
         let matching: Vec<Row> = self
             .state
             .rows(tid)
@@ -170,16 +312,20 @@ impl Database {
             .filter(|row| self.row_matches(tid, row, preds).unwrap_or(false))
             .cloned()
             .collect();
-        for row in &matching {
-            self.state.remove(tid, row);
+        let n = matching.len();
+        for row in matching {
             let mut new_row = row.clone();
             for (c, v) in &cols {
                 new_row[*c as usize] = v.clone();
             }
-            self.state.insert(tid, new_row);
+            self.apply(DeltaOp::Remove { table: tid, row });
+            self.apply(DeltaOp::Insert {
+                table: tid,
+                row: new_row,
+            });
         }
-        self.check_after(before)?;
-        Ok(matching.len())
+        self.finish_statement(mark)?;
+        Ok(n)
     }
 
     fn col_by_name(&self, tid: TableId, name: &str) -> Option<u32> {
@@ -342,26 +488,35 @@ impl Database {
 
     // ---- transactions ----
 
-    /// Opens a transaction (snapshot).
+    /// Opens a transaction. O(1): just an undo-log watermark, no snapshot.
     pub fn begin(&mut self) {
-        self.snapshots.push(self.state.clone());
+        self.txn_marks.push(self.undo.len());
     }
 
-    /// Commits the innermost transaction, validating the final state.
+    /// Commits the innermost transaction, validating the final state in
+    /// full (the deferred check that makes `insert_unchecked` safe). On
+    /// violation the transaction's changes are rolled back via the undo
+    /// log.
     pub fn commit(&mut self) -> Result<(), EngineError> {
-        let before = self.snapshots.pop().ok_or(EngineError::NoTransaction)?;
+        let mark = self.txn_marks.pop().ok_or(EngineError::NoTransaction)?;
         let violations = validate::validate(&self.schema, &self.state);
         if violations.is_empty() {
+            self.has_unchecked = false;
+            if self.txn_marks.is_empty() {
+                self.undo.clear();
+            }
             Ok(())
         } else {
-            self.state = before;
+            self.revert_to(mark);
             Err(EngineError::ConstraintViolation(violations))
         }
     }
 
-    /// Rolls back the innermost transaction.
+    /// Rolls back the innermost transaction by replaying its undo-log
+    /// suffix in reverse. O(changes in the transaction).
     pub fn rollback(&mut self) -> Result<(), EngineError> {
-        self.state = self.snapshots.pop().ok_or(EngineError::NoTransaction)?;
+        let mark = self.txn_marks.pop().ok_or(EngineError::NoTransaction)?;
+        self.revert_to(mark);
         Ok(())
     }
 }

@@ -19,7 +19,7 @@
 pub mod db;
 pub mod query;
 
-pub use db::{Database, EngineError};
+pub use db::{Database, EngineError, ValidationMode};
 pub use query::{Pred, Query};
 
 use ridl_relational::RelSchema;

@@ -1,0 +1,530 @@
+//! Incrementally-maintained constraint indexes over a [`RelState`].
+//!
+//! Full validation ([`crate::validate::validate`]) walks every row of every
+//! table — O(state) per check. The engine's hot path instead maintains a
+//! [`ConstraintIndexes`] next to the state: one hash-multiset per distinct
+//! projection a constraint needs, updated in O(columns) on every row
+//! insert/remove. Delta validation ([`crate::delta::validate_delta`]) then
+//! answers key-uniqueness, foreign-key existence/orphaning and
+//! view-constraint membership questions with O(1) probes instead of scans.
+//!
+//! Two counter families cover every constraint kind:
+//!
+//! * **key counters** — the NULL-skipping projections used by keys, both
+//!   ends of foreign keys, and frequency constraints (a row with a NULL in
+//!   any projected column is exempt, matching the full validator);
+//! * **selection counters** — the [`ColumnSelection`] evaluations used by
+//!   the paper's view constraints (`C_EQ$`, `C_SS$`, `C_EX$`, `C_TU$`,
+//!   `C_CEQ$`), which keep NULLs in the projected tuples.
+//!
+//! Counters are deduplicated across constraints, so e.g. a primary key and
+//! a foreign key targeting the same columns share one map.
+
+use std::collections::HashMap;
+
+use ridl_brm::Value;
+
+use crate::constraint::{ColumnSelection, RelConstraintKind};
+use crate::schema::RelSchema;
+use crate::state::{RelState, Row};
+use crate::table::TableId;
+
+/// Identifier of a key counter within [`ConstraintIndexes`].
+pub(crate) type KeyCounterId = usize;
+/// Identifier of a selection counter within [`ConstraintIndexes`].
+pub(crate) type SelCounterId = usize;
+
+/// A constraint compiled against counter ids, for O(1) delta checks.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) enum CompiledKind {
+    /// Primary or candidate key.
+    Key {
+        /// The keyed table.
+        table: TableId,
+        /// Key column ordinals.
+        cols: Vec<u32>,
+        /// Counter over the key projection.
+        counter: KeyCounterId,
+        /// Primary keys reject NULLs in non-nullable key columns.
+        require_not_null: bool,
+    },
+    /// Foreign key with both-ends counters (the reverse index).
+    ForeignKey {
+        /// The referencing table.
+        table: TableId,
+        /// Referencing column ordinals.
+        cols: Vec<u32>,
+        /// The referenced table.
+        ref_table: TableId,
+        /// Referenced column ordinals.
+        ref_cols: Vec<u32>,
+        /// Counter over referencing keys (the reverse index: who points in).
+        source: KeyCounterId,
+        /// Counter over referenced keys (existence probes).
+        target: KeyCounterId,
+    },
+    /// Occurrence frequency over a group projection.
+    Frequency {
+        /// The constrained table.
+        table: TableId,
+        /// Grouped column ordinals.
+        cols: Vec<u32>,
+        /// Counter over the group projection.
+        counter: KeyCounterId,
+        /// Minimum group size.
+        min: u32,
+        /// Maximum group size (`None` = unbounded).
+        max: Option<u32>,
+    },
+    /// `C_EQ$`: both selections must hold the same tuples.
+    EqualityView {
+        /// Left selection and its counter.
+        left: (ColumnSelection, SelCounterId),
+        /// Right selection and its counter.
+        right: (ColumnSelection, SelCounterId),
+    },
+    /// `C_SS$`.
+    SubsetView {
+        /// Contained selection and its counter.
+        sub: (ColumnSelection, SelCounterId),
+        /// Containing selection and its counter.
+        sup: (ColumnSelection, SelCounterId),
+    },
+    /// `C_EX$`.
+    ExclusionView {
+        /// The mutually exclusive selections with their counters.
+        items: Vec<(ColumnSelection, SelCounterId)>,
+    },
+    /// `C_TU$`.
+    TotalUnionView {
+        /// The covered selection and its counter.
+        over: (ColumnSelection, SelCounterId),
+        /// The covering selections with their counters.
+        items: Vec<(ColumnSelection, SelCounterId)>,
+    },
+    /// `C_CEQ$` with the three counters its delta rule needs.
+    ConditionalEquality {
+        /// The indicator-carrying table.
+        table: TableId,
+        /// Indicator column ordinal.
+        indicator: u32,
+        /// Indicator value meaning "member".
+        when_value: Value,
+        /// Key columns matched against the sub-relation.
+        key_cols: Vec<u32>,
+        /// The sub-relation selection and its counter.
+        sub: (ColumnSelection, SelCounterId),
+        /// Counter over key projections of rows with `indicator = when_value`.
+        flagged: SelCounterId,
+        /// Counter over key projections of all rows.
+        all_keys: SelCounterId,
+    },
+    /// Row-local kinds (`C_DE$`, `C_EE$`, `C_VAL$`, `C_CX$`): checked
+    /// directly against the touched row, no counter needed.
+    RowLocal,
+}
+
+/// A compiled constraint: name + counter-resolved kind.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct Compiled {
+    /// The constraint name, used in violation reports.
+    pub name: String,
+    /// Index into [`RelSchema::constraints`], for row-local re-checks.
+    pub schema_index: usize,
+    /// The counter-resolved kind.
+    pub kind: CompiledKind,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+struct KeyCounter {
+    table: TableId,
+    cols: Vec<u32>,
+    counts: HashMap<Vec<Value>, u32>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+struct SelCounter {
+    sel: ColumnSelection,
+    counts: HashMap<Vec<Option<Value>>, u32>,
+}
+
+/// Hash indexes over a state, maintained per row insert/remove, answering
+/// the probes [`crate::delta::validate_delta`] performs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConstraintIndexes {
+    key_counters: Vec<KeyCounter>,
+    sel_counters: Vec<SelCounter>,
+    pub(crate) compiled: Vec<Compiled>,
+    /// Constraint indices (into `compiled`) touching each table.
+    pub(crate) by_table: Vec<Vec<usize>>,
+    /// Table arities, to guard projections against malformed rows.
+    arities: Vec<usize>,
+    /// Key-counter ids per table, for maintenance.
+    key_by_table: Vec<Vec<KeyCounterId>>,
+    /// Selection-counter ids per table, for maintenance.
+    sel_by_table: Vec<Vec<SelCounterId>>,
+}
+
+/// Projects `row` onto `cols`, NULL-skipping: `None` when any projected
+/// cell is NULL or out of range (malformed rows are exempt everywhere,
+/// mirroring the full validator's ARITY handling).
+pub(crate) fn key_projection(row: &Row, cols: &[u32]) -> Option<Vec<Value>> {
+    cols.iter()
+        .map(|c| row.get(*c as usize).cloned().flatten())
+        .collect()
+}
+
+/// Whether `row` satisfies a selection's filters (and is long enough for
+/// every column the selection mentions).
+pub(crate) fn sel_qualifies(row: &Row, sel: &ColumnSelection) -> bool {
+    let long_enough = sel
+        .cols
+        .iter()
+        .chain(sel.not_null.iter())
+        .chain(sel.eq.iter().map(|(c, _)| c))
+        .all(|c| (*c as usize) < row.len());
+    long_enough
+        && sel.not_null.iter().all(|c| row[*c as usize].is_some())
+        && sel
+            .eq
+            .iter()
+            .all(|(c, v)| row[*c as usize].as_ref() == Some(v))
+}
+
+/// Projects a qualifying row under a selection (NULLs kept).
+pub(crate) fn sel_projection(row: &Row, sel: &ColumnSelection) -> Vec<Option<Value>> {
+    sel.cols.iter().map(|c| row[*c as usize].clone()).collect()
+}
+
+impl ConstraintIndexes {
+    /// Compiles the schema's constraints into counters and charges them
+    /// with `state`. O(state) — done once at open/load, never per mutation.
+    pub fn build(schema: &RelSchema, state: &RelState) -> Self {
+        let num_tables = schema.tables.len();
+        let mut this = Self {
+            key_counters: Vec::new(),
+            sel_counters: Vec::new(),
+            compiled: Vec::new(),
+            by_table: vec![Vec::new(); num_tables],
+            arities: schema.tables.iter().map(|t| t.arity()).collect(),
+            key_by_table: vec![Vec::new(); num_tables],
+            sel_by_table: vec![Vec::new(); num_tables],
+        };
+        for (i, c) in schema.constraints.iter().enumerate() {
+            let kind = this.compile(&c.kind);
+            this.compiled.push(Compiled {
+                name: c.name.clone(),
+                schema_index: i,
+                kind,
+            });
+            for t in c.kind.tables() {
+                if t.index() < num_tables && !this.by_table[t.index()].contains(&i) {
+                    this.by_table[t.index()].push(i);
+                }
+            }
+        }
+        for (tid, _) in schema.tables() {
+            if tid.index() >= state.num_tables() {
+                continue;
+            }
+            for row in state.rows(tid) {
+                this.note_insert(tid, row);
+            }
+        }
+        this
+    }
+
+    fn key_counter(&mut self, table: TableId, cols: &[u32]) -> KeyCounterId {
+        if let Some(id) = self
+            .key_counters
+            .iter()
+            .position(|k| k.table == table && k.cols == cols)
+        {
+            return id;
+        }
+        let id = self.key_counters.len();
+        self.key_counters.push(KeyCounter {
+            table,
+            cols: cols.to_vec(),
+            counts: HashMap::new(),
+        });
+        if table.index() < self.key_by_table.len() {
+            self.key_by_table[table.index()].push(id);
+        }
+        id
+    }
+
+    fn sel_counter(&mut self, sel: &ColumnSelection) -> SelCounterId {
+        if let Some(id) = self.sel_counters.iter().position(|s| &s.sel == sel) {
+            return id;
+        }
+        let id = self.sel_counters.len();
+        self.sel_counters.push(SelCounter {
+            sel: sel.clone(),
+            counts: HashMap::new(),
+        });
+        if sel.table.index() < self.sel_by_table.len() {
+            self.sel_by_table[sel.table.index()].push(id);
+        }
+        id
+    }
+
+    fn compile(&mut self, kind: &RelConstraintKind) -> CompiledKind {
+        match kind {
+            RelConstraintKind::PrimaryKey { table, cols } => CompiledKind::Key {
+                table: *table,
+                cols: cols.clone(),
+                counter: self.key_counter(*table, cols),
+                require_not_null: true,
+            },
+            RelConstraintKind::CandidateKey { table, cols } => CompiledKind::Key {
+                table: *table,
+                cols: cols.clone(),
+                counter: self.key_counter(*table, cols),
+                require_not_null: false,
+            },
+            RelConstraintKind::ForeignKey {
+                table,
+                cols,
+                ref_table,
+                ref_cols,
+            } => CompiledKind::ForeignKey {
+                table: *table,
+                cols: cols.clone(),
+                ref_table: *ref_table,
+                ref_cols: ref_cols.clone(),
+                source: self.key_counter(*table, cols),
+                target: self.key_counter(*ref_table, ref_cols),
+            },
+            RelConstraintKind::Frequency {
+                table,
+                cols,
+                min,
+                max,
+            } => CompiledKind::Frequency {
+                table: *table,
+                cols: cols.clone(),
+                counter: self.key_counter(*table, cols),
+                min: *min,
+                max: *max,
+            },
+            RelConstraintKind::EqualityView { left, right } => CompiledKind::EqualityView {
+                left: (left.clone(), self.sel_counter(left)),
+                right: (right.clone(), self.sel_counter(right)),
+            },
+            RelConstraintKind::SubsetView { sub, sup } => CompiledKind::SubsetView {
+                sub: (sub.clone(), self.sel_counter(sub)),
+                sup: (sup.clone(), self.sel_counter(sup)),
+            },
+            RelConstraintKind::ExclusionView { items } => CompiledKind::ExclusionView {
+                items: items
+                    .iter()
+                    .map(|s| (s.clone(), self.sel_counter(s)))
+                    .collect(),
+            },
+            RelConstraintKind::TotalUnionView { over, items } => CompiledKind::TotalUnionView {
+                over: (over.clone(), self.sel_counter(over)),
+                items: items
+                    .iter()
+                    .map(|s| (s.clone(), self.sel_counter(s)))
+                    .collect(),
+            },
+            RelConstraintKind::ConditionalEquality {
+                table,
+                indicator,
+                when_value,
+                key_cols,
+                sub,
+            } => {
+                let flagged_sel = ColumnSelection::of(*table, key_cols.clone())
+                    .where_eq(*indicator, when_value.clone());
+                let all_sel = ColumnSelection::of(*table, key_cols.clone());
+                CompiledKind::ConditionalEquality {
+                    table: *table,
+                    indicator: *indicator,
+                    when_value: when_value.clone(),
+                    key_cols: key_cols.clone(),
+                    sub: (sub.clone(), self.sel_counter(sub)),
+                    flagged: self.sel_counter(&flagged_sel),
+                    all_keys: self.sel_counter(&all_sel),
+                }
+            }
+            RelConstraintKind::DependentExistence { .. }
+            | RelConstraintKind::EqualExistence { .. }
+            | RelConstraintKind::CheckValue { .. }
+            | RelConstraintKind::CoverExistence { .. } => CompiledKind::RowLocal,
+        }
+    }
+
+    /// Whether `row` is well-formed for its table (correct arity); malformed
+    /// rows are exempt from indexing, like the full validator's ARITY rule.
+    fn well_formed(&self, table: TableId, row: &Row) -> bool {
+        self.arities
+            .get(table.index())
+            .is_some_and(|a| *a == row.len())
+    }
+
+    /// Records a row inserted into `table`. O(indexed projections on the
+    /// table), independent of state size.
+    pub fn note_insert(&mut self, table: TableId, row: &Row) {
+        if table.index() >= self.key_by_table.len() || !self.well_formed(table, row) {
+            return;
+        }
+        for id in &self.key_by_table[table.index()] {
+            let kc = &mut self.key_counters[*id];
+            if let Some(key) = key_projection(row, &kc.cols) {
+                *kc.counts.entry(key).or_insert(0) += 1;
+            }
+        }
+        for id in &self.sel_by_table[table.index()] {
+            let sc = &mut self.sel_counters[*id];
+            if sel_qualifies(row, &sc.sel) {
+                let t = sel_projection(row, &sc.sel);
+                *sc.counts.entry(t).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Records a row removed from `table`.
+    pub fn note_remove(&mut self, table: TableId, row: &Row) {
+        if table.index() >= self.key_by_table.len() || !self.well_formed(table, row) {
+            return;
+        }
+        for id in &self.key_by_table[table.index()] {
+            let kc = &mut self.key_counters[*id];
+            if let Some(key) = key_projection(row, &kc.cols) {
+                decrement(&mut kc.counts, key);
+            }
+        }
+        for id in &self.sel_by_table[table.index()] {
+            let sc = &mut self.sel_counters[*id];
+            if sel_qualifies(row, &sc.sel) {
+                decrement(&mut sc.counts, sel_projection(row, &sc.sel));
+            }
+        }
+    }
+
+    /// Occurrences of a NULL-free key projection.
+    pub(crate) fn key_count(&self, id: KeyCounterId, key: &[Value]) -> u32 {
+        self.key_counters[id].counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Occurrences of a selection tuple.
+    pub(crate) fn sel_count(&self, id: SelCounterId, tuple: &[Option<Value>]) -> u32 {
+        self.sel_counters[id]
+            .counts
+            .get(tuple)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Rebuild-and-compare check used by tests: true when the counters
+    /// equal a fresh build from `state`.
+    pub fn consistent_with(&self, schema: &RelSchema, state: &RelState) -> bool {
+        let fresh = Self::build(schema, state);
+        self.key_counters
+            .iter()
+            .zip(fresh.key_counters.iter())
+            .all(|(a, b)| a.counts == b.counts)
+            && self
+                .sel_counters
+                .iter()
+                .zip(fresh.sel_counters.iter())
+                .all(|(a, b)| a.counts == b.counts)
+    }
+}
+
+fn decrement<K: std::hash::Hash + Eq>(map: &mut HashMap<K, u32>, key: K) {
+    match map.get_mut(&key) {
+        Some(n) if *n > 1 => *n -= 1,
+        Some(_) => {
+            map.remove(&key);
+        }
+        None => debug_assert!(false, "index decrement of untracked projection"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, Table};
+    use ridl_brm::DataType;
+
+    fn v(s: &str) -> Option<Value> {
+        Some(Value::str(s))
+    }
+
+    fn schema() -> RelSchema {
+        let mut s = RelSchema::new("idx");
+        let d = s.domain("D", DataType::Char(8));
+        let a = s.add_table(Table::new(
+            "A",
+            vec![Column::not_null("K", d), Column::nullable("R", d)],
+        ));
+        let b = s.add_table(Table::new("B", vec![Column::not_null("K", d)]));
+        s.add_named(RelConstraintKind::PrimaryKey {
+            table: a,
+            cols: vec![0],
+        });
+        s.add_named(RelConstraintKind::ForeignKey {
+            table: a,
+            cols: vec![1],
+            ref_table: b,
+            ref_cols: vec![0],
+        });
+        s
+    }
+
+    #[test]
+    fn counters_track_insert_remove() {
+        let s = schema();
+        let mut st = RelState::with_tables(2);
+        let mut idx = ConstraintIndexes::build(&s, &st);
+        let row = vec![v("a1"), v("b1")];
+        st.insert(TableId(0), row.clone());
+        idx.note_insert(TableId(0), &row);
+        assert!(idx.consistent_with(&s, &st));
+        st.remove(TableId(0), &row);
+        idx.note_remove(TableId(0), &row);
+        assert!(idx.consistent_with(&s, &st));
+    }
+
+    #[test]
+    fn counters_dedup_shared_projections() {
+        let mut s = schema();
+        // A second key over the same columns shares the first's counter.
+        s.add_named(RelConstraintKind::CandidateKey {
+            table: TableId(0),
+            cols: vec![0],
+        });
+        let st = RelState::with_tables(2);
+        let idx = ConstraintIndexes::build(&s, &st);
+        // PK(A.0), FK source (A.1), FK target (B.0): 3 counters, not 4.
+        assert_eq!(idx.key_counters.len(), 3);
+    }
+
+    #[test]
+    fn null_projections_are_exempt() {
+        let s = schema();
+        let mut st = RelState::with_tables(2);
+        let mut idx = ConstraintIndexes::build(&s, &st);
+        let row = vec![v("a1"), None];
+        st.insert(TableId(0), row.clone());
+        idx.note_insert(TableId(0), &row);
+        // FK source projection skips the NULL row.
+        assert_eq!(idx.key_count(1, &[Value::str("a1")]), 0);
+        assert_eq!(idx.key_count(0, &[Value::str("a1")]), 1);
+    }
+
+    #[test]
+    fn malformed_rows_are_ignored() {
+        let s = schema();
+        let mut st = RelState::with_tables(2);
+        let mut idx = ConstraintIndexes::build(&s, &st);
+        let short = vec![v("a1")];
+        st.insert(TableId(0), short.clone());
+        idx.note_insert(TableId(0), &short);
+        assert_eq!(idx.key_count(0, &[Value::str("a1")]), 0);
+        assert!(idx.consistent_with(&s, &st));
+    }
+}

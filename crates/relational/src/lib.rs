@@ -15,6 +15,10 @@
 //!   (`C_VAL$`), and null-tolerant candidate keys;
 //! * states: [`RelState`] with a full [`validate()`] pass, so generated
 //!   constraint specifications are *executable*, not just documentation;
+//! * incremental enforcement: [`ConstraintIndexes`] (hash-multiset indexes
+//!   maintained per row change) and [`validate_delta()`] (O(change)
+//!   checking of exactly the constraints reachable from touched rows),
+//!   which `ridl-engine` uses on its mutation hot path;
 //! * dependency theory: functional dependencies ([`fd`]) and a normal-form
 //!   checker ([`normal_form`]) used to reproduce the paper's claim that the
 //!   default synthesis yields fully normalized schemas.
@@ -23,7 +27,9 @@
 #![forbid(unsafe_code)]
 
 pub mod constraint;
+pub mod delta;
 pub mod fd;
+pub mod index;
 pub mod normal_form;
 pub mod schema;
 pub mod state;
@@ -31,7 +37,9 @@ pub mod table;
 pub mod validate;
 
 pub use constraint::{ColumnSelection, RelConstraint, RelConstraintKind};
+pub use delta::{apply_and_validate, validate_delta, Delta, DeltaOp};
 pub use fd::{closure, is_superkey, minimal_cover, Fd};
+pub use index::ConstraintIndexes;
 pub use normal_form::{normal_form_of, Mvd, NormalForm, TableDependencies};
 pub use schema::RelSchema;
 pub use state::{RelState, Row};

@@ -44,11 +44,31 @@ impl Default for PopParams {
     }
 }
 
+/// Fixed-width base-62 rendering of `counter`, so narrow string domains
+/// keep producing distinct values (truncating decimal `v{counter}` to a
+/// `Char(4)` identifier domain started colliding past v999, which made
+/// large generated populations silently violate their own keys).
+fn encode62(mut counter: u64, width: usize) -> String {
+    const ALPHABET: &[u8] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    let mut out = vec![b'0'; width];
+    for slot in out.iter_mut().rev() {
+        *slot = ALPHABET[(counter % 62) as usize];
+        counter /= 62;
+    }
+    String::from_utf8(out).expect("alphabet is ASCII")
+}
+
 fn fresh_value(dt: DataType, counter: u64) -> Value {
     match dt {
         DataType::Char(n) | DataType::VarChar(n) => {
-            let s = format!("v{counter}");
-            Value::Str(s.chars().take(n as usize).collect())
+            if n <= 1 {
+                Value::Str(encode62(counter, 1))
+            } else {
+                // 'v' marker + base-62 payload filling the domain (capped:
+                // 8 payload chars already distinguish 62^8 values).
+                let width = (n as usize - 1).min(8);
+                Value::Str(format!("v{}", encode62(counter, width)))
+            }
         }
         DataType::Numeric(p, s) => {
             let limit = 10i64.pow((p - s).min(9) as u32);

@@ -1,0 +1,166 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal property-testing harness implementing the `proptest 1.x` API
+//! surface its test-suites use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `name(pat in strategy, ...)` test functions;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//!   [`prop_oneof!`];
+//! * strategies: integer ranges, tuples, [`strategy::Strategy::prop_map`],
+//!   [`collection::vec`], [`option::of`], [`arbitrary::any`],
+//!   [`strategy::Just`], and string-pattern strategies for the simple
+//!   character-class patterns the tests use;
+//! * [`test_runner::Config`] (re-exported as `ProptestConfig`) and
+//!   [`test_runner::TestCaseError`].
+//!
+//! Differences from upstream: inputs are generated from a deterministic
+//! per-test seed sequence, there is **no shrinking**, and string patterns
+//! support only `[class]{m,n}` / `\PC{m,n}` shapes (enough for the
+//! workspace's generators). Failures report the case number and seed so a
+//! run can be reproduced by re-running the test binary.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module alias used as `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the generating seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Discards the current case when an assumption fails; the runner draws a
+/// replacement input instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly among alternative strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` becomes a
+/// `#[test]` running [`test_runner::Config::cases`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal recursive expander for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run_named(stringify!($name), |__proptest_rng| {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&$strategy, __proptest_rng);)+
+                let __proptest_body: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                __proptest_body
+            });
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}

@@ -1,0 +1,103 @@
+//! String-pattern strategies.
+//!
+//! Upstream proptest interprets `&str` strategies as full regexes. This
+//! stand-in supports the shapes the workspace's tests actually use —
+//! `[class]{m,n}` (with `-` ranges inside the class) and `\PC{m,n}` ("any
+//! printable character") — and falls back to printable ASCII for anything
+//! it cannot parse.
+
+use crate::test_runner::TestRng;
+
+/// Generates a string matching (our subset of) `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let (class, min, max) = parse(pattern).unwrap_or_else(|| (printable_ascii(), 0, 12));
+    let len = if max > min {
+        min + rng.below((max - min + 1) as u64) as usize
+    } else {
+        min
+    };
+    (0..len)
+        .map(|_| class[rng.below(class.len() as u64) as usize])
+        .collect()
+}
+
+fn printable_ascii() -> Vec<char> {
+    (b' '..=b'~').map(char::from).collect()
+}
+
+fn parse(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (class, rest) = if let Some(stripped) = pattern.strip_prefix(r"\PC") {
+        // "Any non-control character": printable ASCII plus a sprinkling of
+        // wider code points to exercise unicode handling.
+        let mut class = printable_ascii();
+        class.extend(['é', 'ß', 'λ', '→', '中', '🦀']);
+        (class, stripped.chars().collect::<Vec<char>>())
+    } else if chars.first() == Some(&'[') {
+        let close = chars.iter().position(|c| *c == ']')?;
+        let mut class = Vec::new();
+        let mut i = 1;
+        while i < close {
+            if i + 2 < close && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                for cp in lo..=hi {
+                    class.push(char::from_u32(cp)?);
+                }
+                i += 3;
+            } else {
+                class.push(chars[i]);
+                i += 1;
+            }
+        }
+        if class.is_empty() {
+            return None;
+        }
+        (class, chars[close + 1..].to_vec())
+    } else {
+        return None;
+    };
+    // Repetition: {m,n}; absent means exactly one.
+    if rest.is_empty() {
+        return Some((class, 1, 1));
+    }
+    if rest.first() != Some(&'{') || rest.last() != Some(&'}') {
+        return None;
+    }
+    let body: String = rest[1..rest.len() - 1].iter().collect();
+    let (lo, hi) = body.split_once(',')?;
+    Some((class, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_range_pattern() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let s = generate_matching("[ -~]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn any_printable_pattern() {
+        let mut rng = TestRng::new(3);
+        let mut saw_nonascii = false;
+        for _ in 0..200 {
+            let s = generate_matching("\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            saw_nonascii |= s.chars().any(|c| !c.is_ascii());
+        }
+        assert!(saw_nonascii, "unicode sprinkling never appeared");
+    }
+
+    #[test]
+    fn fallback_for_unparsed_patterns() {
+        let mut rng = TestRng::new(4);
+        let s = generate_matching("(a|b)+", &mut rng);
+        assert!(s.len() <= 12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Case execution: configuration, the deterministic RNG handed to
+//! strategies, and the runner that drives the generated `#[test]` bodies.
+
+use std::fmt;
+
+/// Runner configuration; re-exported from the prelude as `ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input does not satisfy an assumption; draw another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (discarded case) with a reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic random source for strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        self.next_u64() % bound
+    }
+
+    /// A uniform `usize` in `[lo, hi)`; panics when the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+}
+
+/// Drives a property over many generated cases.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: Config) -> Self {
+        Self { config }
+    }
+
+    /// Runs `f` until [`Config::cases`] cases pass. Rejected cases are
+    /// replaced (up to a discard budget); a failed case panics with the
+    /// case number and seed.
+    pub fn run_named<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name.as_bytes());
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let max_rejects = self.config.cases.saturating_mul(16).max(256);
+        let mut attempt: u64 = 0;
+        while passed < self.config.cases {
+            let seed = base ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F);
+            attempt += 1;
+            let mut rng = TestRng::new(seed);
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejected} rejects for {passed} passes)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed at case {} (seed {seed:#x}):\n{msg}",
+                        passed + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        let mut r = TestRunner::new(Config::with_cases(8));
+        let mut n = 0;
+        r.run_named("trivial", |rng| {
+            n += 1;
+            let v = rng.below(10);
+            if v >= 10 {
+                return Err(TestCaseError::fail("impossible"));
+            }
+            Ok(())
+        });
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn runner_replaces_rejected_cases() {
+        let mut r = TestRunner::new(Config::with_cases(4));
+        let mut seen = 0;
+        r.run_named("rejects", |rng| {
+            seen += 1;
+            if rng.below(2) == 0 {
+                return Err(TestCaseError::reject("coin"));
+            }
+            Ok(())
+        });
+        assert!(seen >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_panics_on_failure() {
+        let mut r = TestRunner::new(Config::with_cases(4));
+        r.run_named("fails", |_| Err(TestCaseError::fail("boom")));
+    }
+}
