@@ -1,0 +1,144 @@
+//! Experiment **E-LOAD**: populating a large database under constraints.
+//!
+//! Loading the initial population is the paper's "engineering of large
+//! databases" moment: every generated constraint must hold over the loaded
+//! state before the database is usable. This harness compares three ways
+//! of getting the industrial-scale mapped population (~1k/10k/50k rows,
+//! 120–150 tables) into the engine:
+//!
+//! * `sequential` — the naive path: full sequential validation of the
+//!   state plus a from-scratch [`ConstraintIndexes`] rebuild (what
+//!   `load_state` cost before parallel validation);
+//! * `parallel` — the same full validation distributed over scoped
+//!   threads (`validate_with_workers`), plus the index rebuild;
+//! * `bulk_load` — the engine's streaming path: rows flow through fresh
+//!   constraint indexes and every row is checked as an insert delta —
+//!   O(rows × constraints-per-table) probes, no per-constraint state
+//!   scans or selection materialisation.
+//!
+//! The claim to verify: `bulk_load` beats sequential full revalidation by
+//! ≥2× at 50k rows (it replaces per-constraint scans with hash probes),
+//! and parallel validation closes on the sequential path as cores are
+//! added while returning byte-identical violation reports.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ridl_engine::Database;
+use ridl_relational::{
+    validate, validate_with_workers, ConstraintIndexes, RelSchema, RelState, Row, TableId,
+};
+use ridl_workloads::scenario;
+
+struct Scenario {
+    schema: RelSchema,
+    state: RelState,
+    rows: Vec<(TableId, Row)>,
+}
+
+fn build(target_rows: usize) -> Scenario {
+    let sc = scenario::industrial_population(1989, target_rows);
+    let rows = scenario::rows_of(&sc.schema, &sc.state);
+    Scenario {
+        schema: sc.schema,
+        state: sc.state,
+        rows,
+    }
+}
+
+/// Adaptive wall-clock timing: returns microseconds per iteration.
+fn time_op(mut f: impl FnMut()) -> f64 {
+    let warmup = Instant::now();
+    f();
+    let est = warmup.elapsed().as_secs_f64();
+    let iters = ((0.3 / est.max(1e-7)) as usize).clamp(3, 50);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn report() -> Vec<Scenario> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\n== E-LOAD: loading a population under constraints ({workers} cores) ==");
+    println!(
+        "{:<8} {:>16} {:>16} {:>16} {:>10}",
+        "rows", "sequential(us)", "parallel(us)", "bulk_load(us)", "speedup"
+    );
+    let mut out = Vec::new();
+    for target in [1_000usize, 10_000, 50_000] {
+        let sc = build(target);
+        let rows = sc.state.num_rows();
+        let seq_us = time_op(|| {
+            let v = validate::validate(&sc.schema, &sc.state);
+            assert!(v.is_empty());
+            let idx = ConstraintIndexes::build(&sc.schema, &sc.state);
+            std::hint::black_box(idx);
+        });
+        let par_us = time_op(|| {
+            let v = validate_with_workers(&sc.schema, &sc.state, workers);
+            assert!(v.is_empty());
+            let idx = ConstraintIndexes::build(&sc.schema, &sc.state);
+            std::hint::black_box(idx);
+        });
+        let mut db = Database::create(sc.schema.clone()).unwrap();
+        let load_us = time_op(|| {
+            let n = db.bulk_load(sc.rows.iter().cloned()).expect("clean load");
+            assert_eq!(n, rows);
+        });
+        println!(
+            "{:<8} {:>16.0} {:>16.0} {:>16.0} {:>9.1}x",
+            rows,
+            seq_us,
+            par_us,
+            load_us,
+            seq_us / load_us
+        );
+        out.push(sc);
+    }
+    println!(
+        "shape check: bulk_load replaces per-constraint state scans with\n\
+         O(1) index probes per row, so its advantage over the sequential\n\
+         path widens with the row count; the parallel column tracks the\n\
+         sequential one divided by the core count (minus merge overhead)."
+    );
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let scenarios = report();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("bulk_load");
+    group.sample_size(10);
+    for sc in &scenarios {
+        let rows = sc.state.num_rows();
+        group.bench_function(BenchmarkId::new("sequential_validate", rows), |b| {
+            b.iter(|| {
+                let v = validate::validate(&sc.schema, &sc.state);
+                let idx = ConstraintIndexes::build(&sc.schema, &sc.state);
+                (v, idx)
+            })
+        });
+        group.bench_function(BenchmarkId::new("parallel_validate", rows), |b| {
+            b.iter(|| {
+                let v = validate_with_workers(&sc.schema, &sc.state, workers);
+                let idx = ConstraintIndexes::build(&sc.schema, &sc.state);
+                (v, idx)
+            })
+        });
+        let mut db = Database::create(sc.schema.clone()).unwrap();
+        group.bench_function(BenchmarkId::new("bulk_load", rows), |b| {
+            b.iter(|| db.bulk_load(sc.rows.iter().cloned()).expect("clean load"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

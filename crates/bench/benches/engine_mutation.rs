@@ -22,40 +22,16 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use ridl_brm::Value;
-use ridl_core::state_map::map_population;
-use ridl_core::{MappingOptions, Workbench};
 use ridl_engine::{Database, Pred, ValidationMode};
 use ridl_relational::{Row, TableId};
-use ridl_workloads::popgen::{self, PopParams};
-use ridl_workloads::synth::{self, GenParams};
+use ridl_workloads::scenario;
 
-/// Builds the industrial-scale database with roughly `target_rows` rows,
-/// by calibrating the population generator on a small probe first.
+/// Builds the industrial-scale database with roughly `target_rows` rows
+/// (the shared calibrated scenario from `ridl-workloads`).
 fn build_db(target_rows: usize) -> Database {
-    let s = synth::generate(&GenParams::industrial(1989));
-    let wb = Workbench::new(s.schema.clone());
-    let out = wb.map(&MappingOptions::new()).expect("industrial maps");
-    let probe_params = PopParams {
-        instances_per_entity: 2,
-        ..PopParams::default()
-    };
-    let probe = popgen::generate(&s.schema, &probe_params);
-    let probe_rows = map_population(&out.schema, &out, &probe)
-        .expect("probe state")
-        .num_rows()
-        .max(1);
-    let per_instance = probe_rows as f64 / 2.0;
-    let instances = ((target_rows as f64 / per_instance).ceil() as usize).max(1);
-    let pop = popgen::generate(
-        &s.schema,
-        &PopParams {
-            instances_per_entity: instances,
-            ..PopParams::default()
-        },
-    );
-    let st = map_population(&out.schema, &out, &pop).expect("state map");
-    let mut db = Database::create(out.rel.clone()).unwrap();
-    db.load_state(st).unwrap();
+    let sc = scenario::industrial_population(1989, target_rows);
+    let mut db = Database::create(sc.schema).unwrap();
+    db.load_state(sc.state).unwrap();
     db
 }
 

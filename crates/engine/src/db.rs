@@ -5,8 +5,8 @@ use std::fmt;
 
 use ridl_brm::Value;
 use ridl_relational::{
-    validate, validate_delta, ColumnSelection, ConstraintIndexes, Delta, DeltaOp, RelSchema,
-    RelState, RelViolation, Row, TableId,
+    parallel, validate_delta, validate_load, ColumnSelection, ConstraintIndexes, Delta, DeltaOp,
+    RelSchema, RelState, RelViolation, Row, TableId,
 };
 
 use crate::query::{Pred, Query};
@@ -22,6 +22,49 @@ pub enum ValidationMode {
     /// Re-validate the entire state on every mutation. O(database) per
     /// mutation; kept as the oracle and for benchmarking the difference.
     FullState,
+}
+
+/// One operation of a mutation batch, addressed by table name (the
+/// engine's external interface). See [`Database::apply_batch`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum BatchOp {
+    /// Insert a row. A row already present when the batch reaches this op
+    /// rejects the whole batch (set semantics: a duplicate insert is
+    /// almost always a key violation in disguise, mirroring
+    /// [`Database::insert`]).
+    Insert {
+        /// Target table name.
+        table: String,
+        /// The row.
+        row: Row,
+    },
+    /// Delete one exact row. Deleting a row that is absent when the batch
+    /// reaches this op is a no-op, mirroring a `delete_where` that
+    /// matches nothing.
+    Delete {
+        /// Target table name.
+        table: String,
+        /// The row.
+        row: Row,
+    },
+}
+
+impl BatchOp {
+    /// An insert op.
+    pub fn insert(table: impl Into<String>, row: Row) -> Self {
+        BatchOp::Insert {
+            table: table.into(),
+            row,
+        }
+    }
+
+    /// A delete op.
+    pub fn delete(table: impl Into<String>, row: Row) -> Self {
+        BatchOp::Delete {
+            table: table.into(),
+            row,
+        }
+    }
 }
 
 /// Errors raised by the engine.
@@ -127,10 +170,11 @@ impl Database {
         self.mode
     }
 
-    /// Replaces the whole state, validating it first and rebuilding the
-    /// constraint indexes. Any open transactions are discarded.
+    /// Replaces the whole state, validating it first (in parallel for
+    /// large states) and rebuilding the constraint indexes. Any open
+    /// transactions are discarded.
     pub fn load_state(&mut self, state: RelState) -> Result<(), EngineError> {
-        let violations = validate::validate(&self.schema, &state);
+        let violations = parallel::validate_parallel(&self.schema, &state);
         if !violations.is_empty() {
             return Err(EngineError::ConstraintViolation(violations));
         }
@@ -194,15 +238,22 @@ impl Database {
     /// (O(change) in [`ValidationMode::Incremental`]), reverting them on
     /// violation. Outside transactions a clean statement also drains the
     /// undo log — nothing left to roll back to.
+    ///
+    /// Incremental validation runs on the **net** delta: inverse pairs on
+    /// the same row cancel before probing, so a batch (or an identity
+    /// update) that touches a row and puts it back is judged by what
+    /// actually changed — the same verdict full re-validation of the
+    /// post-state gives.
     fn finish_statement(&mut self, mark: usize) -> Result<(), EngineError> {
         let violations = match self.mode {
             ValidationMode::Incremental => {
                 let delta = Delta {
                     ops: self.undo[mark..].to_vec(),
-                };
+                }
+                .net();
                 validate_delta(&self.schema, &self.state, &self.indexes, &delta)
             }
-            ValidationMode::FullState => validate::validate(&self.schema, &self.state),
+            ValidationMode::FullState => parallel::validate_parallel(&self.schema, &self.state),
         };
         if !violations.is_empty() {
             self.revert_to(mark);
@@ -222,6 +273,7 @@ impl Database {
     fn debug_check_equivalence(&self) {
         #[cfg(debug_assertions)]
         {
+            use ridl_relational::validate;
             if self.mode == ValidationMode::Incremental && !self.has_unchecked {
                 let full = validate::validate(&self.schema, &self.state);
                 debug_assert!(
@@ -326,6 +378,99 @@ impl Database {
         }
         self.finish_statement(mark)?;
         Ok(n)
+    }
+
+    // ---- batched mutations ----
+
+    /// Applies a group of inserts and deletes as **one statement**: every
+    /// op runs under a single undo-log watermark, the accumulated delta is
+    /// validated once (netted, so inverse pairs cancel), and on rejection
+    /// the entire batch is reverted — group commit, all or nothing.
+    ///
+    /// Because validation sees the batch as a whole, a batch may pass
+    /// through states its individual ops could not: deleting a
+    /// foreign-key target and re-inserting its replacement in the same
+    /// batch is legal, where the lone delete would be rejected.
+    ///
+    /// Table names are resolved before anything is applied, so an unknown
+    /// name mutates nothing. Returns how many row operations changed the
+    /// state (deletes of absent rows are no-ops and do not count).
+    pub fn apply_batch(
+        &mut self,
+        ops: impl IntoIterator<Item = BatchOp>,
+    ) -> Result<usize, EngineError> {
+        let ops: Vec<(TableId, bool, Row)> = ops
+            .into_iter()
+            .map(|op| match op {
+                BatchOp::Insert { table, row } => self.table_id(&table).map(|t| (t, true, row)),
+                BatchOp::Delete { table, row } => self.table_id(&table).map(|t| (t, false, row)),
+            })
+            .collect::<Result<_, _>>()?;
+        let mark = self.undo.len();
+        let mut changed = 0usize;
+        for (tid, is_insert, row) in ops {
+            if is_insert {
+                if !self.apply(DeltaOp::Insert { table: tid, row }) {
+                    let name = self.schema.table(tid).name.clone();
+                    self.revert_to(mark);
+                    return Err(EngineError::ConstraintViolation(vec![RelViolation {
+                        constraint: "DUPLICATE".into(),
+                        detail: format!("row already present in {name}"),
+                    }]));
+                }
+                changed += 1;
+            } else if self.apply(DeltaOp::Remove { table: tid, row }) {
+                changed += 1;
+            }
+        }
+        self.finish_statement(mark)?;
+        Ok(changed)
+    }
+
+    /// Replaces the whole state by **streaming** rows through freshly
+    /// charged constraint indexes (tables partitioned across cores for
+    /// large loads), then checking each constraint **in aggregate** over
+    /// its counters — O(distinct projections) per constraint plus one
+    /// hash-free structural pass, instead of the per-constraint state
+    /// scans of [`Database::load_state`].
+    ///
+    /// Sound because the empty pre-state is trivially valid, so the
+    /// charged counters summarise exactly the loaded state. Duplicate
+    /// rows are absorbed silently (relations are sets); the returned
+    /// count is the number of distinct rows loaded. On violation (or an
+    /// out-of-range table id) the database is left untouched — the load
+    /// builds aside and swaps in only on success. Open transactions are
+    /// discarded on success, as with `load_state`.
+    pub fn bulk_load(
+        &mut self,
+        rows: impl IntoIterator<Item = (TableId, Row)>,
+    ) -> Result<usize, EngineError> {
+        let mut state = RelState::with_tables(self.schema.tables.len());
+        let mut loaded = 0usize;
+        for (tid, row) in rows {
+            if tid.index() >= self.schema.tables.len() {
+                return Err(EngineError::Unknown(format!(
+                    "table id {} (schema has {})",
+                    tid.index(),
+                    self.schema.tables.len()
+                )));
+            }
+            if state.insert(tid, row) {
+                loaded += 1;
+            }
+        }
+        let indexes = ConstraintIndexes::build(&self.schema, &state);
+        let violations = validate_load(&self.schema, &state, &indexes);
+        if !violations.is_empty() {
+            return Err(EngineError::ConstraintViolation(violations));
+        }
+        self.state = state;
+        self.indexes = indexes;
+        self.undo.clear();
+        self.txn_marks.clear();
+        self.has_unchecked = false;
+        self.debug_check_equivalence();
+        Ok(loaded)
     }
 
     fn col_by_name(&self, tid: TableId, name: &str) -> Option<u32> {
@@ -499,7 +644,7 @@ impl Database {
     /// log.
     pub fn commit(&mut self) -> Result<(), EngineError> {
         let mark = self.txn_marks.pop().ok_or(EngineError::NoTransaction)?;
-        let violations = validate::validate(&self.schema, &self.state);
+        let violations = parallel::validate_parallel(&self.schema, &self.state);
         if violations.is_empty() {
             self.has_unchecked = false;
             if self.txn_marks.is_empty() {
@@ -708,6 +853,113 @@ mod tests {
         let sel = ColumnSelection::of(TableId(0), vec![0]).where_not_null(vec![1]);
         let rows = db.select_selection(&sel);
         assert_eq!(rows, vec![vec![v("P1")]]);
+    }
+
+    #[test]
+    fn apply_batch_is_all_or_nothing() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+        let n = db
+            .apply_batch([
+                BatchOp::insert("Paper", vec![v("P2"), v("A2")]),
+                BatchOp::insert("Program_Paper", vec![v("A2"), v("S1")]),
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        // A failing batch reverts everything, including its clean prefix.
+        let err = db.apply_batch([
+            BatchOp::insert("Paper", vec![v("P3"), None]),
+            BatchOp::insert("Program_Paper", vec![v("A9"), v("S9")]), // dangling FK
+        ]);
+        assert!(matches!(err, Err(EngineError::ConstraintViolation(_))));
+        assert_eq!(db.state().num_rows(), 3);
+    }
+
+    #[test]
+    fn apply_batch_nets_inverse_ops() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+        db.insert("Program_Paper", vec![v("A1"), v("S1")]).unwrap();
+        // The lone delete would dangle the FK; with the re-insert in the
+        // same batch the delta nets out and the batch passes.
+        let n = db
+            .apply_batch([
+                BatchOp::delete("Paper", vec![v("P1"), v("A1")]),
+                BatchOp::insert("Paper", vec![v("P1"), v("A1")]),
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.state().num_rows(), 2);
+    }
+
+    #[test]
+    fn apply_batch_duplicate_matches_insert_message() {
+        let mut db = sample_db();
+        let err = db.apply_batch([
+            BatchOp::insert("Paper", vec![v("P1"), None]),
+            BatchOp::insert("Paper", vec![v("P1"), None]),
+        ]);
+        match err {
+            Err(EngineError::ConstraintViolation(vs)) => {
+                assert_eq!(vs[0].constraint, "DUPLICATE");
+                assert_eq!(vs[0].detail, "row already present in Paper");
+            }
+            other => panic!("expected DUPLICATE rejection, got {other:?}"),
+        }
+        assert_eq!(db.state().num_rows(), 0, "batch reverted");
+    }
+
+    #[test]
+    fn apply_batch_unknown_table_mutates_nothing() {
+        let mut db = sample_db();
+        let err = db.apply_batch([
+            BatchOp::insert("Paper", vec![v("P1"), None]),
+            BatchOp::insert("Nope", vec![v("x")]),
+        ]);
+        assert!(matches!(err, Err(EngineError::Unknown(_))));
+        assert_eq!(db.state().num_rows(), 0);
+    }
+
+    #[test]
+    fn apply_batch_absent_delete_is_noop() {
+        let mut db = sample_db();
+        let n = db
+            .apply_batch([
+                BatchOp::insert("Paper", vec![v("P1"), None]),
+                BatchOp::delete("Paper", vec![v("GHOST"), None]),
+            ])
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.state().num_rows(), 1);
+    }
+
+    #[test]
+    fn bulk_load_replaces_state_and_validates() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("OLD"), None]).unwrap();
+        let n = db
+            .bulk_load([
+                (TableId(0), vec![v("P1"), v("A1")]),
+                (TableId(0), vec![v("P2"), None]),
+                (TableId(0), vec![v("P2"), None]), // duplicate: absorbed
+                (TableId(1), vec![v("A1"), v("S1")]),
+            ])
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(db.state().num_rows(), 3);
+        // The stream-built indexes match a fresh rebuild.
+        assert!(db.indexes().consistent_with(db.schema(), db.state()));
+        // A failing load leaves the database untouched.
+        let err = db.bulk_load([(TableId(1), vec![v("A9"), v("S9")])]);
+        assert!(matches!(err, Err(EngineError::ConstraintViolation(_))));
+        assert_eq!(db.state().num_rows(), 3);
+    }
+
+    #[test]
+    fn bulk_load_rejects_bad_table_id() {
+        let mut db = sample_db();
+        let err = db.bulk_load([(TableId(9), vec![v("x")])]);
+        assert!(matches!(err, Err(EngineError::Unknown(_))));
     }
 
     #[test]

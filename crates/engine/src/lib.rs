@@ -9,9 +9,11 @@
 //! demonstrate end-to-end that the generated constraint specifications
 //! actually control the redundancies the mapping options introduce.
 //!
-//! Features: DDL from a [`RelSchema`], constraint-checked DML, a small
-//! select/project/equi-join query executor, named views (the "open"
-//! meta-database views of §3.1), and snapshot transactions.
+//! Features: DDL from a [`RelSchema`], constraint-checked DML (including
+//! group-committed batches via [`Database::apply_batch`] and an
+//! index-streaming [`Database::bulk_load`]), a small select/project/
+//! equi-join query executor, named views (the "open" meta-database views
+//! of §3.1), and snapshot transactions.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,7 +21,7 @@
 pub mod db;
 pub mod query;
 
-pub use db::{Database, EngineError, ValidationMode};
+pub use db::{BatchOp, Database, EngineError, ValidationMode};
 pub use query::{Pred, Query};
 
 use ridl_relational::RelSchema;

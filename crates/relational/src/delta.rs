@@ -37,6 +37,8 @@
 //! * row-local kinds (`C_DE$`, `C_EE$`, `C_VAL$`, `C_CX$`) — re-checked on
 //!   the inserted row only, no probes needed.
 
+use std::collections::HashMap;
+
 use crate::constraint::RelConstraintKind;
 use crate::index::{
     key_projection, sel_projection, sel_qualifies, CompiledKind, ConstraintIndexes,
@@ -113,6 +115,40 @@ impl Delta {
     pub fn len(&self) -> usize {
         self.ops.len()
     }
+
+    /// The net effect of the delta: inverse pairs on the same `(table,
+    /// row)` cancel, and each surviving row keeps one op, in first-touch
+    /// order. Because states are sets, the net delta applied to the
+    /// pre-state reaches the same post-state as the raw op list — but it
+    /// never carries an insert-then-remove pair, the one shape on which
+    /// [`validate_delta`] may over-approximate (probing a row that is no
+    /// longer there). The engine validates batches through their net
+    /// delta for exactly that reason: group-commit verdicts then match
+    /// full re-validation of the post-state.
+    pub fn net(&self) -> Delta {
+        let mut order: Vec<(TableId, &Row)> = Vec::new();
+        let mut balance: HashMap<(TableId, &Row), i32> = HashMap::new();
+        for op in &self.ops {
+            let key = (op.table(), op.row());
+            let slot = balance.entry(key).or_insert_with(|| {
+                order.push(key);
+                0
+            });
+            *slot += match op {
+                DeltaOp::Insert { .. } => 1,
+                DeltaOp::Remove { .. } => -1,
+            };
+        }
+        let mut net = Delta::new();
+        for key in order {
+            match balance[&key] {
+                n if n > 0 => net.insert(key.0, key.1.clone()),
+                n if n < 0 => net.remove(key.0, key.1.clone()),
+                _ => {}
+            }
+        }
+        net
+    }
 }
 
 /// Validates the changes in `delta` against `schema`, probing `indexes`
@@ -144,10 +180,238 @@ pub fn validate_delta(
             }
         }
         for ci in &indexes.by_table[table.index()] {
-            check_op(schema, indexes, *ci, op, &mut out);
+            check_op(
+                schema,
+                indexes,
+                *ci,
+                table,
+                op.row(),
+                matches!(op, DeltaOp::Insert { .. }),
+                &mut out,
+            );
         }
     }
     out
+}
+
+/// Validates a state whose rows were **streamed through freshly charged
+/// indexes** — the engine's `bulk_load` path. The empty pre-state is
+/// trivially valid, so the charged counters summarise the whole state and
+/// most constraints can be checked **in aggregate**, directly on the
+/// counter entries (O(distinct projections) per constraint) instead of
+/// per row:
+///
+/// * keys — any projection counted more than once is a duplicate;
+/// * foreign keys — any counted source projection absent from the target
+///   counter dangles;
+/// * frequency — any group count outside `[min, max]`;
+/// * view constraints — membership comparisons between selection counters;
+/// * conditional equality — flagged/all-rows/membership counter agreement
+///   per tracked key.
+///
+/// Only the checks a counter cannot see stay per-row: structure (arity,
+/// NOT NULL, DOMAIN), NULLs in primary keys (NULL projections are exempt
+/// from counting), and the row-local kinds — none of which hash anything.
+/// Violation order is deterministic (constraint order, details sorted
+/// within a constraint) even though the counters iterate in hash order.
+pub fn validate_load(
+    schema: &RelSchema,
+    state: &RelState,
+    indexes: &ConstraintIndexes,
+) -> Vec<RelViolation> {
+    let mut out = Vec::new();
+    // Per-row pass: structure, primary-key NULLs, row-local constraints.
+    for (tid, _) in schema.tables() {
+        if tid.index() >= state.num_tables() {
+            push_unique(
+                &mut out,
+                RelViolation {
+                    constraint: "ARITY".into(),
+                    detail: format!("state has no slot for table {:?}", tid),
+                },
+            );
+            continue;
+        }
+        for row in state.rows(tid) {
+            if !check_row_structure(schema, tid, row, &mut out) {
+                continue;
+            }
+            for ci in &indexes.by_table[tid.index()] {
+                let compiled = &indexes.compiled[*ci];
+                match &compiled.kind {
+                    CompiledKind::Key {
+                        table,
+                        cols,
+                        require_not_null: true,
+                        ..
+                    } if *table == tid && key_projection(row, cols).is_none() => {
+                        let any_not_nullable_null = cols.iter().any(|c| {
+                            row[*c as usize].is_none() && !schema.table(tid).column(*c).nullable
+                        });
+                        if any_not_nullable_null {
+                            push_unique(
+                                &mut out,
+                                RelViolation {
+                                    constraint: compiled.name.clone(),
+                                    detail: format!(
+                                        "NULL in primary key of {}",
+                                        schema.table(tid).name
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                    CompiledKind::RowLocal => check_row_local(
+                        schema,
+                        &compiled.name,
+                        &schema.constraints[compiled.schema_index].kind,
+                        tid,
+                        row,
+                        &mut out,
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+    // Aggregate pass: one walk over each constraint's counter entries.
+    for compiled in &indexes.compiled {
+        let start = out.len();
+        check_aggregate(schema, indexes, compiled, &mut out);
+        out[start..].sort();
+    }
+    out
+}
+
+/// Checks one compiled constraint against its counters alone.
+fn check_aggregate(
+    schema: &RelSchema,
+    idx: &ConstraintIndexes,
+    compiled: &crate::index::Compiled,
+    out: &mut Vec<RelViolation>,
+) {
+    let name = compiled.name.as_str();
+    match &compiled.kind {
+        CompiledKind::Key { table, counter, .. } => {
+            for (key, n) in idx.key_entries(*counter) {
+                if n > 1 {
+                    out.push(RelViolation {
+                        constraint: name.to_owned(),
+                        detail: format!("duplicate key {key:?} in {}", schema.table(*table).name),
+                    });
+                }
+            }
+        }
+        CompiledKind::ForeignKey {
+            table,
+            ref_table,
+            source,
+            target,
+            ..
+        } => {
+            for (key, _) in idx.key_entries(*source) {
+                if idx.key_count(*target, key) == 0 {
+                    out.push(fk_violation(schema, name, key, *table, *ref_table));
+                }
+            }
+        }
+        CompiledKind::Frequency {
+            counter, min, max, ..
+        } => {
+            for (key, n) in idx.key_entries(*counter) {
+                if n < *min || max.map(|m| n > m).unwrap_or(false) {
+                    out.push(RelViolation {
+                        constraint: name.to_owned(),
+                        detail: format!(
+                            "group {key:?} occurs {n} times, outside [{min}, {}]",
+                            max.map(|m| m.to_string()).unwrap_or_else(|| "∞".into())
+                        ),
+                    });
+                }
+            }
+        }
+        CompiledKind::EqualityView { left, right } => {
+            let mut differ = |a: crate::index::SelCounterId, b: crate::index::SelCounterId| {
+                for (t, _) in idx.sel_entries(a) {
+                    if idx.sel_count(b, t) == 0 {
+                        push_unique(
+                            out,
+                            RelViolation {
+                                constraint: name.to_owned(),
+                                detail: format!("selections differ, e.g. [{t:?}]"),
+                            },
+                        );
+                    }
+                }
+            };
+            differ(left.1, right.1);
+            differ(right.1, left.1);
+        }
+        CompiledKind::SubsetView { sub, sup } => {
+            for (t, _) in idx.sel_entries(sub.1) {
+                if idx.sel_count(sup.1, t) == 0 {
+                    out.push(RelViolation {
+                        constraint: name.to_owned(),
+                        detail: format!("{t:?} not contained in superset selection"),
+                    });
+                }
+            }
+        }
+        CompiledKind::ExclusionView { items } => {
+            for (i, (_, a)) in items.iter().enumerate() {
+                for (t, _) in idx.sel_entries(*a) {
+                    if items
+                        .iter()
+                        .enumerate()
+                        .any(|(j, (_, b))| j > i && idx.sel_count(*b, t) > 0)
+                    {
+                        out.push(RelViolation {
+                            constraint: name.to_owned(),
+                            detail: format!("{t:?} appears in two exclusive selections"),
+                        });
+                    }
+                }
+            }
+        }
+        CompiledKind::TotalUnionView { over, items } => {
+            for (t, _) in idx.sel_entries(over.1) {
+                if items.iter().all(|(_, c)| idx.sel_count(*c, t) == 0) {
+                    out.push(RelViolation {
+                        constraint: name.to_owned(),
+                        detail: format!("{t:?} not covered by any union member"),
+                    });
+                }
+            }
+        }
+        CompiledKind::ConditionalEquality {
+            table,
+            indicator,
+            sub,
+            flagged,
+            all_keys,
+            ..
+        } => {
+            for (key, n_all) in idx.sel_entries(*all_keys) {
+                let present = idx.sel_count(sub.1, key) > 0;
+                let n_flagged = idx.sel_count(*flagged, key);
+                let consistent = if present {
+                    n_flagged == n_all
+                } else {
+                    n_flagged == 0
+                };
+                if !consistent {
+                    out.push(RelViolation {
+                        constraint: name.to_owned(),
+                        detail: ceq_detail(schema, *table, *indicator, key, !present, present),
+                    });
+                }
+            }
+            // Sub-relation keys with no indicator row at all are accepted
+            // here, matching both the full validator (which walks indicator
+            // rows only) and the delta rule (n_flagged == n_all == 0).
+        }
+        CompiledKind::RowLocal => {} // handled in the per-row pass
+    }
 }
 
 /// Structural checks (arity, NOT NULL, DOMAIN) for one inserted row.
@@ -209,14 +473,13 @@ fn check_op(
     schema: &RelSchema,
     idx: &ConstraintIndexes,
     ci: usize,
-    op: &DeltaOp,
+    op_table: TableId,
+    row: &Row,
+    inserted: bool,
     out: &mut Vec<RelViolation>,
 ) {
     let compiled = &idx.compiled[ci];
     let name = compiled.name.as_str();
-    let op_table = op.table();
-    let row = op.row();
-    let inserted = matches!(op, DeltaOp::Insert { .. });
     match &compiled.kind {
         CompiledKind::Key {
             table,
@@ -857,6 +1120,154 @@ mod tests {
         d3.remove(pp, vec![v("P1")]);
         let vio3 = check(&s, &mut st, &mut idx, d3);
         assert!(vio3.iter().any(|x| x.constraint.starts_with("C_CEQ$")));
+    }
+
+    /// Applies ops and asserts the delta report is **byte-identical** to
+    /// the full validator's — same violations, same order, same messages.
+    /// Callers construct single-witness states so "e.g."-style samples in
+    /// the messages coincide too.
+    fn check_exact(
+        schema: &RelSchema,
+        state: &mut RelState,
+        indexes: &mut ConstraintIndexes,
+        delta: Delta,
+    ) -> Vec<RelViolation> {
+        let dv = apply_and_validate(schema, state, indexes, &delta);
+        let fv = validate(schema, state);
+        assert_eq!(dv, fv, "delta report differs from the full validator");
+        assert!(!dv.is_empty(), "expected a negative case");
+        dv
+    }
+
+    #[test]
+    fn key_rejection_message_matches_full_validator() {
+        let (mut s, a, _) = two_table_schema();
+        s.add_named(RelConstraintKind::PrimaryKey {
+            table: a,
+            cols: vec![0],
+        });
+        let mut st = RelState::with_tables(2);
+        st.insert(a, vec![v("x"), None]);
+        let mut idx = ConstraintIndexes::build(&s, &st);
+        let mut d = Delta::new();
+        d.insert(a, vec![v("x"), v("r")]);
+        let vio = check_exact(&s, &mut st, &mut idx, d);
+        assert!(vio[0].detail.contains("duplicate key"));
+    }
+
+    #[test]
+    fn fk_rejection_message_matches_full_validator() {
+        let (mut s, a, b) = two_table_schema();
+        s.add_named(RelConstraintKind::ForeignKey {
+            table: a,
+            cols: vec![1],
+            ref_table: b,
+            ref_cols: vec![0],
+        });
+        let mut st = RelState::with_tables(2);
+        let mut idx = ConstraintIndexes::build(&s, &st);
+        let mut d = Delta::new();
+        d.insert(a, vec![v("x"), v("missing")]);
+        let vio = check_exact(&s, &mut st, &mut idx, d);
+        assert!(vio[0].detail.contains("has no match in"));
+    }
+
+    #[test]
+    fn frequency_rejection_message_matches_full_validator() {
+        let (mut s, a, _) = two_table_schema();
+        s.add_named(RelConstraintKind::Frequency {
+            table: a,
+            cols: vec![1],
+            min: 1,
+            max: Some(1),
+        });
+        let mut st = RelState::with_tables(2);
+        st.insert(a, vec![v("x1"), v("g")]);
+        let mut idx = ConstraintIndexes::build(&s, &st);
+        let mut d = Delta::new();
+        d.insert(a, vec![v("x2"), v("g")]);
+        let vio = check_exact(&s, &mut st, &mut idx, d);
+        assert!(vio[0].detail.contains("occurs 2 times"));
+    }
+
+    #[test]
+    fn subset_view_rejection_message_matches_full_validator() {
+        let (mut s, a, b) = two_table_schema();
+        s.add_named(RelConstraintKind::SubsetView {
+            sub: ColumnSelection::of(a, vec![1]).where_not_null(vec![1]),
+            sup: ColumnSelection::of(b, vec![0]),
+        });
+        let mut st = RelState::with_tables(2);
+        let mut idx = ConstraintIndexes::build(&s, &st);
+        let mut d = Delta::new();
+        d.insert(a, vec![v("x"), v("t")]);
+        let vio = check_exact(&s, &mut st, &mut idx, d);
+        assert!(vio[0].detail.contains("not contained in superset"));
+    }
+
+    #[test]
+    fn equality_view_rejection_message_matches_full_validator() {
+        let (mut s, a, b) = two_table_schema();
+        s.add_named(RelConstraintKind::EqualityView {
+            left: ColumnSelection::of(b, vec![0]),
+            right: ColumnSelection::of(a, vec![1]).where_not_null(vec![1]),
+        });
+        let mut st = RelState::with_tables(2);
+        let mut idx = ConstraintIndexes::build(&s, &st);
+        let mut d = Delta::new();
+        d.insert(b, vec![v("p")]);
+        let vio = check_exact(&s, &mut st, &mut idx, d);
+        assert!(vio[0].detail.contains("selections differ"));
+    }
+
+    #[test]
+    fn exclusion_view_rejection_message_matches_full_validator() {
+        let (mut s, a, b) = two_table_schema();
+        s.add_named(RelConstraintKind::ExclusionView {
+            items: vec![
+                ColumnSelection::of(a, vec![0]),
+                ColumnSelection::of(b, vec![0]),
+            ],
+        });
+        let mut st = RelState::with_tables(2);
+        st.insert(a, vec![v("x"), None]);
+        let mut idx = ConstraintIndexes::build(&s, &st);
+        let mut d = Delta::new();
+        d.insert(b, vec![v("x")]);
+        let vio = check_exact(&s, &mut st, &mut idx, d);
+        assert!(vio[0].detail.contains("exclusive selections"));
+    }
+
+    #[test]
+    fn net_delta_cancels_inverse_pairs() {
+        let (_, a, b) = two_table_schema();
+        let mut d = Delta::new();
+        d.insert(a, vec![v("x"), None]); // cancelled by the remove below
+        d.insert(b, vec![v("y")]);
+        d.remove(a, vec![v("x"), None]);
+        d.remove(b, vec![v("z")]); // survives as a remove
+        let net = d.net();
+        assert_eq!(net.len(), 2);
+        assert_eq!(
+            net.ops[0],
+            DeltaOp::Insert {
+                table: b,
+                row: vec![v("y")]
+            }
+        );
+        assert_eq!(
+            net.ops[1],
+            DeltaOp::Remove {
+                table: b,
+                row: vec![v("z")]
+            }
+        );
+        // Re-inserting after a cancelled pair survives (balance returns > 0).
+        let mut d2 = Delta::new();
+        d2.insert(a, vec![v("x"), None]);
+        d2.remove(a, vec![v("x"), None]);
+        d2.insert(a, vec![v("x"), None]);
+        assert_eq!(d2.net().len(), 1);
     }
 
     #[test]

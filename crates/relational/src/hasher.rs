@@ -1,0 +1,119 @@
+//! A fast non-cryptographic hasher for the constraint counters.
+//!
+//! The counter maps of [`crate::index::ConstraintIndexes`] are probed and
+//! updated on every row change and charged with every row on load; their
+//! keys are short projections (`Vec<Value>`), so the default SipHash's
+//! DoS resistance buys nothing here while costing most of the probe. This
+//! is the well-known Fx construction (rotate, xor, multiply by a golden-
+//! ratio-derived constant) over 8-byte chunks — a few instructions per
+//! word, good dispersion on short structured keys.
+//!
+//! Only used for the in-process counter maps, which are never exposed to
+//! attacker-chosen keys in an adversarial setting beyond what the engine
+//! itself already admits (a hostile population can at worst slow its own
+//! validation).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hash state. `Default` starts at zero, as `BuildHasherDefault`
+/// requires.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while let Some(chunk) = bytes.first_chunk::<8>() {
+            self.add(u64::from_ne_bytes(*chunk));
+            bytes = &bytes[8..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<4>() {
+            self.add(u32::from_ne_bytes(*chunk) as u64);
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = vec![Some("abc".to_owned()), None];
+        let b = vec![Some("abc".to_owned()), None];
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn nearby_values_disperse() {
+        // Sequential short strings (the common identifier shape) must not
+        // collide pairwise.
+        let hashes: Vec<u64> = (0..1000).map(|i| hash_of(&format!("v{i:04}"))).collect();
+        let distinct: std::collections::HashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(distinct.len(), hashes.len());
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut m: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+        for i in 0..100u32 {
+            *m.entry(vec![i % 10, i / 10]).or_insert(0) += 1;
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&vec![3, 4]], 1);
+    }
+}

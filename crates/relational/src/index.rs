@@ -20,14 +20,20 @@
 //! Counters are deduplicated across constraints, so e.g. a primary key and
 //! a foreign key targeting the same columns share one map.
 
-use std::collections::HashMap;
+use std::thread;
 
 use ridl_brm::Value;
 
 use crate::constraint::{ColumnSelection, RelConstraintKind};
+use crate::hasher::FxHashMap;
 use crate::schema::RelSchema;
 use crate::state::{RelState, Row};
 use crate::table::TableId;
+
+/// States below this row count charge sequentially in
+/// [`ConstraintIndexes::build`]: thread spawn/join overhead dwarfs the
+/// work.
+const PARALLEL_CHARGE_ROWS: usize = 4096;
 
 /// Identifier of a key counter within [`ConstraintIndexes`].
 pub(crate) type KeyCounterId = usize;
@@ -139,13 +145,13 @@ pub(crate) struct Compiled {
 struct KeyCounter {
     table: TableId,
     cols: Vec<u32>,
-    counts: HashMap<Vec<Value>, u32>,
+    counts: FxHashMap<Vec<Value>, u32>,
 }
 
 #[derive(Clone, PartialEq, Debug)]
 struct SelCounter {
     sel: ColumnSelection,
-    counts: HashMap<Vec<Option<Value>>, u32>,
+    counts: FxHashMap<Vec<Option<Value>>, u32>,
 }
 
 /// Hash indexes over a state, maintained per row insert/remove, answering
@@ -198,8 +204,24 @@ pub(crate) fn sel_projection(row: &Row, sel: &ColumnSelection) -> Vec<Option<Val
 
 impl ConstraintIndexes {
     /// Compiles the schema's constraints into counters and charges them
-    /// with `state`. O(state) — done once at open/load, never per mutation.
+    /// with `state`. O(state); large states charge their tables across
+    /// [`std::thread::available_parallelism`] workers (counters are
+    /// per-table, so each worker fills a disjoint set and the result is
+    /// identical to a sequential charge).
     pub fn build(schema: &RelSchema, state: &RelState) -> Self {
+        let workers = if state.num_rows() >= PARALLEL_CHARGE_ROWS {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        Self::build_with_workers(schema, state, workers)
+    }
+
+    /// [`ConstraintIndexes::build`] with an explicit worker count (tests
+    /// drive this directly to exercise the parallel charge on any machine).
+    pub fn build_with_workers(schema: &RelSchema, state: &RelState, workers: usize) -> Self {
         let num_tables = schema.tables.len();
         let mut this = Self {
             key_counters: Vec::new(),
@@ -223,15 +245,103 @@ impl ConstraintIndexes {
                 }
             }
         }
-        for (tid, _) in schema.tables() {
-            if tid.index() >= state.num_tables() {
-                continue;
+        let chargeable: Vec<TableId> = schema
+            .tables()
+            .map(|(tid, _)| tid)
+            .filter(|tid| tid.index() < state.num_tables())
+            .collect();
+        if workers <= 1 || chargeable.len() <= 1 {
+            for tid in chargeable {
+                for row in state.rows(tid) {
+                    this.note_insert(tid, row);
+                }
             }
-            for row in state.rows(tid) {
-                this.note_insert(tid, row);
+            return this;
+        }
+        this.charge_parallel(state, &chargeable, workers);
+        this
+    }
+
+    /// Charges the (empty) counters from `state` with tables partitioned
+    /// across scoped workers. Every counter belongs to exactly one table,
+    /// so each map is filled by exactly one worker — no locks, no merge
+    /// conflicts, and the totals equal a sequential charge.
+    fn charge_parallel(&mut self, state: &RelState, tables: &[TableId], workers: usize) {
+        // Greedy longest-first binning balances per-worker row counts.
+        let mut sized: Vec<(usize, TableId)> = tables
+            .iter()
+            .map(|tid| (state.rows(*tid).len(), *tid))
+            .collect();
+        sized.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
+        let workers = workers.min(tables.len());
+        let mut bins: Vec<(usize, Vec<TableId>)> = vec![(0, Vec::new()); workers];
+        for (n, tid) in sized {
+            let bin = bins
+                .iter_mut()
+                .min_by_key(|(load, _)| *load)
+                .expect("workers >= 1");
+            bin.0 += n;
+            bin.1.push(tid);
+        }
+        type KeyMaps = Vec<(KeyCounterId, FxHashMap<Vec<Value>, u32>)>;
+        type SelMaps = Vec<(SelCounterId, FxHashMap<Vec<Option<Value>>, u32>)>;
+        let shared: &Self = self;
+        let filled: Vec<(KeyMaps, SelMaps)> = thread::scope(|s| {
+            let handles: Vec<_> = bins
+                .iter()
+                .map(|(_, bin)| {
+                    s.spawn(move || {
+                        let mut keys: KeyMaps = Vec::new();
+                        let mut sels: SelMaps = Vec::new();
+                        for tid in bin {
+                            let t = tid.index();
+                            let mut local_keys: Vec<(KeyCounterId, FxHashMap<_, _>)> = shared
+                                .key_by_table[t]
+                                .iter()
+                                .map(|id| (*id, FxHashMap::default()))
+                                .collect();
+                            let mut local_sels: Vec<(SelCounterId, FxHashMap<_, _>)> = shared
+                                .sel_by_table[t]
+                                .iter()
+                                .map(|id| (*id, FxHashMap::default()))
+                                .collect();
+                            for row in state.rows(*tid) {
+                                if !shared.well_formed(*tid, row) {
+                                    continue;
+                                }
+                                for (id, counts) in &mut local_keys {
+                                    let cols = &shared.key_counters[*id].cols;
+                                    if let Some(key) = key_projection(row, cols) {
+                                        *counts.entry(key).or_insert(0) += 1;
+                                    }
+                                }
+                                for (id, counts) in &mut local_sels {
+                                    let sel = &shared.sel_counters[*id].sel;
+                                    if sel_qualifies(row, sel) {
+                                        *counts.entry(sel_projection(row, sel)).or_insert(0) += 1;
+                                    }
+                                }
+                            }
+                            keys.append(&mut local_keys);
+                            sels.append(&mut local_sels);
+                        }
+                        (keys, sels)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index charge worker panicked"))
+                .collect()
+        });
+        for (keys, sels) in filled {
+            for (id, counts) in keys {
+                self.key_counters[id].counts = counts;
+            }
+            for (id, counts) in sels {
+                self.sel_counters[id].counts = counts;
             }
         }
-        this
     }
 
     fn key_counter(&mut self, table: TableId, cols: &[u32]) -> KeyCounterId {
@@ -246,7 +356,7 @@ impl ConstraintIndexes {
         self.key_counters.push(KeyCounter {
             table,
             cols: cols.to_vec(),
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
         });
         if table.index() < self.key_by_table.len() {
             self.key_by_table[table.index()].push(id);
@@ -261,7 +371,7 @@ impl ConstraintIndexes {
         let id = self.sel_counters.len();
         self.sel_counters.push(SelCounter {
             sel: sel.clone(),
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
         });
         if sel.table.index() < self.sel_by_table.len() {
             self.sel_by_table[sel.table.index()].push(id);
@@ -418,6 +528,21 @@ impl ConstraintIndexes {
             .unwrap_or(0)
     }
 
+    /// All tracked key projections of a counter with their counts — the
+    /// aggregate view [`crate::delta::validate_load`] checks whole
+    /// constraints against without touching rows.
+    pub(crate) fn key_entries(&self, id: KeyCounterId) -> impl Iterator<Item = (&Vec<Value>, u32)> {
+        self.key_counters[id].counts.iter().map(|(k, n)| (k, *n))
+    }
+
+    /// All tracked selection tuples of a counter with their counts.
+    pub(crate) fn sel_entries(
+        &self,
+        id: SelCounterId,
+    ) -> impl Iterator<Item = (&Vec<Option<Value>>, u32)> {
+        self.sel_counters[id].counts.iter().map(|(k, n)| (k, *n))
+    }
+
     /// Rebuild-and-compare check used by tests: true when the counters
     /// equal a fresh build from `state`.
     pub fn consistent_with(&self, schema: &RelSchema, state: &RelState) -> bool {
@@ -434,7 +559,7 @@ impl ConstraintIndexes {
     }
 }
 
-fn decrement<K: std::hash::Hash + Eq>(map: &mut HashMap<K, u32>, key: K) {
+fn decrement<K: std::hash::Hash + Eq>(map: &mut FxHashMap<K, u32>, key: K) {
     match map.get_mut(&key) {
         Some(n) if *n > 1 => *n -= 1,
         Some(_) => {
@@ -514,6 +639,32 @@ mod tests {
         // FK source projection skips the NULL row.
         assert_eq!(idx.key_count(1, &[Value::str("a1")]), 0);
         assert_eq!(idx.key_count(0, &[Value::str("a1")]), 1);
+    }
+
+    #[test]
+    fn parallel_charge_matches_sequential() {
+        let s = schema();
+        let mut st = RelState::with_tables(2);
+        for i in 0..200 {
+            st.insert(
+                TableId(0),
+                vec![v(&format!("a{i}")), v(&format!("b{}", i % 7))],
+            );
+        }
+        for i in 0..7 {
+            st.insert(TableId(1), vec![v(&format!("b{i}"))]);
+        }
+        let seq = ConstraintIndexes::build_with_workers(&s, &st, 1);
+        for workers in [2, 3, 8] {
+            let par = ConstraintIndexes::build_with_workers(&s, &st, workers);
+            assert!(par.consistent_with(&s, &st));
+            for (a, b) in seq.key_counters.iter().zip(&par.key_counters) {
+                assert_eq!(a.counts, b.counts, "{workers} workers");
+            }
+            for (a, b) in seq.sel_counters.iter().zip(&par.sel_counters) {
+                assert_eq!(a.counts, b.counts, "{workers} workers");
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   maintained per row change) and [`validate_delta()`] (O(change)
 //!   checking of exactly the constraints reachable from touched rows),
 //!   which `ridl-engine` uses on its mutation hot path;
+//! * parallel enforcement: [`validate_parallel()`] partitions the
+//!   constraint set across scoped threads for full-state validation with
+//!   output byte-identical to the sequential validator — the engine's
+//!   commit/load path;
 //! * dependency theory: functional dependencies ([`fd`]) and a normal-form
 //!   checker ([`normal_form`]) used to reproduce the paper's claim that the
 //!   default synthesis yields fully normalized schemas.
@@ -29,18 +33,21 @@
 pub mod constraint;
 pub mod delta;
 pub mod fd;
+pub mod hasher;
 pub mod index;
 pub mod normal_form;
+pub mod parallel;
 pub mod schema;
 pub mod state;
 pub mod table;
 pub mod validate;
 
 pub use constraint::{ColumnSelection, RelConstraint, RelConstraintKind};
-pub use delta::{apply_and_validate, validate_delta, Delta, DeltaOp};
+pub use delta::{apply_and_validate, validate_delta, validate_load, Delta, DeltaOp};
 pub use fd::{closure, is_superkey, minimal_cover, Fd};
 pub use index::ConstraintIndexes;
 pub use normal_form::{normal_form_of, Mvd, NormalForm, TableDependencies};
+pub use parallel::{validate_parallel, validate_with_workers};
 pub use schema::RelSchema;
 pub use state::{RelState, Row};
 pub use table::{ColRef, Column, Domain, DomainId, Table, TableId};

@@ -18,7 +18,7 @@ use crate::state::{RelState, Row};
 use crate::table::TableId;
 
 /// A violation of the relational schema found in a state.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct RelViolation {
     /// Name of the violated constraint, or a pseudo-name for structural
     /// problems (`NOT NULL`, `ARITY`, `DOMAIN`).
@@ -54,13 +54,29 @@ pub fn is_valid(schema: &RelSchema, state: &RelState) -> bool {
 }
 
 fn check_structure(schema: &RelSchema, state: &RelState, out: &mut Vec<RelViolation>) {
-    for (tid, table) in schema.tables() {
+    for (tid, _) in schema.tables() {
+        check_structure_table(schema, state, tid, out);
+    }
+}
+
+/// Structural checks (slot presence, arity, NOT NULL, DOMAIN) for one
+/// table. The sequential [`validate`] is the concatenation of these per
+/// table followed by [`check_constraint`] per constraint — the unit
+/// decomposition [`crate::parallel`] distributes across workers.
+pub(crate) fn check_structure_table(
+    schema: &RelSchema,
+    state: &RelState,
+    tid: TableId,
+    out: &mut Vec<RelViolation>,
+) {
+    let table = schema.table(tid);
+    {
         if tid.index() >= state.num_tables() {
             out.push(RelViolation {
                 constraint: "ARITY".into(),
                 detail: format!("state has no slot for table {}", table.name),
             });
-            continue;
+            return;
         }
         for row in state.rows(tid) {
             if row.len() != table.arity() {
@@ -155,7 +171,7 @@ fn check_key(
     }
 }
 
-fn check_constraint(
+pub(crate) fn check_constraint(
     schema: &RelSchema,
     state: &RelState,
     name: &str,

@@ -10,7 +10,10 @@
 //!   referable binary schemas, standing in for the proprietary industrial
 //!   schemas behind the paper's "120–150 ORACLE tables" claim (§5);
 //! * [`popgen`] — a seeded generator of fact-closed model populations for
-//!   any schema, powering the losslessness property tests.
+//!   any schema, powering the losslessness property tests;
+//! * [`scenario`] — ready-made experiment scenarios (the industrial mapped
+//!   schema with a calibrated large population) shared by the benches and
+//!   the differential test suites.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,6 +21,7 @@
 pub mod cris;
 pub mod fig6;
 pub mod popgen;
+pub mod scenario;
 pub mod synth;
 
 pub use synth::{GenParams, SynthSchema};

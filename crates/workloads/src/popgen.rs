@@ -124,6 +124,20 @@ pub fn generate(schema: &Schema, params: &PopParams) -> Population {
             _ => {}
         }
     }
+    // Occurrence caps (cardinality constraints) per role: the m:n
+    // generator stays under the tightest maximum. Minima of 0/1 — all
+    // [`crate::synth`] produces — hold for free: the validator counts
+    // only values that occur, and an occurring value occurs at least once.
+    let mut card_max: HashMap<RoleRef, u32> = HashMap::new();
+    for (_, c) in schema.constraints() {
+        if let ConstraintKind::Cardinality {
+            role, max: Some(m), ..
+        } = &c.kind
+        {
+            let slot = card_max.entry(*role).or_insert(*m);
+            *slot = (*slot).min(*m);
+        }
+    }
     // (anchor value, exclusion group) pairs already claimed.
     let mut claimed: HashSet<(Value, usize)> = HashSet::new();
 
@@ -244,10 +258,30 @@ pub fn generate(schema: &Schema, params: &PopParams) -> Population {
                 if ls.is_empty() || rs.is_empty() {
                     continue;
                 }
+                let lcap = card_max.get(&RoleRef::new(fid, Side::Left)).copied();
+                let rcap = card_max.get(&RoleRef::new(fid, Side::Right)).copied();
+                // Count only *distinct* pairs toward the caps — the
+                // population stores facts as a set, so a re-drawn pair
+                // changes nothing.
+                let mut seen: HashSet<(Value, Value)> = HashSet::new();
+                let mut lcount: HashMap<Value, u32> = HashMap::new();
+                let mut rcount: HashMap<Value, u32> = HashMap::new();
                 let n = ((params.instances_per_entity as f64) * params.mn_multiplier) as usize;
                 for _ in 0..n {
                     let l = ls[rng.gen_range(0..ls.len())].clone();
                     let r = rs[rng.gen_range(0..rs.len())].clone();
+                    if seen.contains(&(l.clone(), r.clone())) {
+                        continue;
+                    }
+                    let at_cap = |cap: Option<u32>, count: &HashMap<Value, u32>, v: &Value| {
+                        cap.is_some_and(|m| count.get(v).copied().unwrap_or(0) >= m)
+                    };
+                    if at_cap(lcap, &lcount, &l) || at_cap(rcap, &rcount, &r) {
+                        continue;
+                    }
+                    *lcount.entry(l.clone()).or_insert(0) += 1;
+                    *rcount.entry(r.clone()).or_insert(0) += 1;
+                    seen.insert((l.clone(), r.clone()));
                     pop.add_fact_closed(schema, fid, l, r);
                 }
             }
@@ -292,6 +326,40 @@ mod tests {
         let a = generate(&s.schema, &PopParams::default());
         let b = generate(&s.schema, &PopParams::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cardinality_bounds_hold_by_construction() {
+        for seed in [5u64, 6, 7] {
+            let s = gen_schema(&GenParams {
+                seed,
+                card_prob: 1.0, // every m:n fact gets a frequency bound
+                ..GenParams::default()
+            });
+            let n_card = s
+                .schema
+                .constraints()
+                .filter(|(_, c)| matches!(c.kind, ConstraintKind::Cardinality { .. }))
+                .count();
+            assert!(
+                n_card > 0,
+                "seed {seed} generated no cardinality constraints"
+            );
+            let p = generate(
+                &s.schema,
+                &PopParams {
+                    seed: seed * 13,
+                    mn_multiplier: 4.0, // push hard against the caps
+                    ..PopParams::default()
+                },
+            );
+            let violations = validate(&s.schema, &p);
+            assert!(
+                violations.is_empty(),
+                "seed {seed}: {:?}",
+                &violations[..violations.len().min(5)]
+            );
+        }
     }
 
     #[test]

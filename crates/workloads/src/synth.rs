@@ -41,6 +41,10 @@ pub struct GenParams {
     /// toward the entity's identifier role (stating the implied inclusion,
     /// as industrial NIAM schemas commonly do).
     pub subset_prob: f64,
+    /// Probability that one role of an m:n fact carries an occurrence
+    /// frequency (cardinality) constraint — "each X links at most k Ys" —
+    /// which maps to a relational `Frequency` constraint.
+    pub card_prob: f64,
 }
 
 impl Default for GenParams {
@@ -57,6 +61,7 @@ impl Default for GenParams {
             exclusion_prob: 0.3,
             enum_prob: 0.2,
             subset_prob: 0.3,
+            card_prob: 0.4,
         }
     }
 }
@@ -77,6 +82,7 @@ impl GenParams {
             exclusion_prob: 0.5,
             enum_prob: 0.3,
             subset_prob: 0.5,
+            card_prob: 0.5,
         }
     }
 }
@@ -258,6 +264,20 @@ pub fn generate(params: &GenParams) -> SynthSchema {
         b.fact(&fact, ("links", xn.as_str()), ("linked_by", yn.as_str()))
             .unwrap();
         b.unique_pair(&fact).unwrap();
+        // Occurrence frequencies on m:n roles ("each X links at most k
+        // Ys"). Minima stay at 0/1: the population validator counts only
+        // occurring values, so any occurring value already meets them —
+        // the binding bound is the maximum, which popgen respects.
+        if rng.gen_bool(params.card_prob) {
+            let side = if rng.gen_bool(0.5) {
+                Side::Left
+            } else {
+                Side::Right
+            };
+            let min = rng.gen_range(0..=1);
+            let max = rng.gen_range(2..=4);
+            b.cardinality(&fact, side, min, Some(max)).unwrap();
+        }
         mn_facts.push(b.schema().fact_type_by_name(&fact).unwrap());
     }
 
@@ -309,6 +329,34 @@ mod tests {
             let report = analyze(&s.schema);
             assert!(report.is_mappable(), "seed {seed}: {}", report.render());
         }
+    }
+
+    #[test]
+    fn cardinality_constraints_are_generated() {
+        let s = generate(&GenParams {
+            seed: 9,
+            card_prob: 1.0,
+            ..GenParams::default()
+        });
+        let n = s
+            .schema
+            .constraints()
+            .filter(|(_, c)| matches!(c.kind, ridl_brm::ConstraintKind::Cardinality { .. }))
+            .count();
+        assert_eq!(n, s.mn_facts.len(), "one frequency bound per m:n fact");
+        assert!(analyze(&s.schema).is_mappable());
+        // And off by default prior to this knob: probability 0 disables.
+        let s0 = generate(&GenParams {
+            seed: 9,
+            card_prob: 0.0,
+            ..GenParams::default()
+        });
+        let n0 = s0
+            .schema
+            .constraints()
+            .filter(|(_, c)| matches!(c.kind, ridl_brm::ConstraintKind::Cardinality { .. }))
+            .count();
+        assert_eq!(n0, 0);
     }
 
     #[test]

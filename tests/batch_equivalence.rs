@@ -1,0 +1,320 @@
+//! Experiment **E-BATCH**: group-commit mutations are equivalent to the
+//! statement-at-a-time API.
+//!
+//! [`Database::apply_batch`] applies a group of inserts/deletes under one
+//! undo-log watermark and validates the accumulated (netted) delta once.
+//! Three differential claims are tested on the CRIS case-study schema and
+//! on randomly generated synthetic schemas:
+//!
+//! 1. a batch of one op has exactly the verdict, error message, state and
+//!    indexes of the corresponding single statement;
+//! 2. the incremental engine and a full-revalidation engine agree on
+//!    arbitrary multi-op batches — same verdict, same violations, and
+//!    byte-identical states and indexes afterwards;
+//! 3. a rejected batch is atomic: state and indexes are untouched.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+use ridl_brm::Value;
+use ridl_core::state_map::map_population;
+use ridl_core::{MappingOptions, Workbench};
+use ridl_engine::{BatchOp, Database, Pred, ValidationMode};
+use ridl_relational::{RelSchema, RelState, Row};
+use ridl_workloads::cris;
+use ridl_workloads::scenario::{self, MappedPopulation};
+use ridl_workloads::synth::GenParams;
+
+// ---- cached scenario artefacts (built once, cloned per proptest case) ----
+
+fn cris_artifacts() -> &'static (RelSchema, RelState) {
+    static CACHE: OnceLock<(RelSchema, RelState)> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let schema = cris::schema();
+        let pop = cris::population(&schema);
+        let wb = Workbench::new(schema);
+        let out = wb.map(&MappingOptions::new()).expect("CRIS maps");
+        let st = map_population(&out.schema, &out, &pop).expect("state map");
+        (out.rel, st)
+    })
+}
+
+fn synth_artifacts() -> &'static Vec<(RelSchema, RelState)> {
+    static CACHE: OnceLock<Vec<(RelSchema, RelState)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        (0..4u64)
+            .map(|seed| {
+                let params = GenParams {
+                    seed: 1989 + seed,
+                    nolots: 5,
+                    attrs_per_nolot: (1, 3),
+                    mn_facts: 3,
+                    sublinks: 2,
+                    card_prob: 0.5,
+                    ..GenParams::default()
+                };
+                let MappedPopulation { schema, state } = scenario::mapped_population(&params, 4);
+                (schema, state)
+            })
+            .collect()
+    })
+}
+
+fn db_from(art: &(RelSchema, RelState), mode: ValidationMode) -> Database {
+    let mut db = Database::create(art.0.clone()).unwrap();
+    db.set_validation_mode(mode);
+    db.load_state(art.1.clone()).unwrap();
+    db
+}
+
+// ---- random batch generation ----
+
+/// A value pool per (table, column): everything currently in the column
+/// (plus NULL where allowed), so random rows sometimes pass and sometimes
+/// trip keys, FKs, frequencies and view constraints.
+fn column_pools(db: &Database) -> Vec<Vec<Vec<Option<Value>>>> {
+    let schema = db.schema();
+    let state = db.state();
+    schema
+        .tables()
+        .map(|(tid, t)| {
+            (0..t.arity())
+                .map(|c| {
+                    let mut pool: Vec<Option<Value>> = state
+                        .rows(tid)
+                        .iter()
+                        .map(|r| r[c].clone())
+                        .collect::<std::collections::BTreeSet<_>>()
+                        .into_iter()
+                        .collect();
+                    if t.column(c as u32).nullable {
+                        pool.push(None);
+                    }
+                    pool
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One random insert or delete. Deletes draw from the live rows of the
+/// initial state half the time (so they usually hit) and from the pools
+/// otherwise (so absent-row no-ops are exercised too).
+fn random_op(
+    db: &Database,
+    pools: &[Vec<Vec<Option<Value>>>],
+    rng: &mut rand::rngs::StdRng,
+) -> BatchOp {
+    let tables: Vec<(usize, String)> = db
+        .schema()
+        .tables()
+        .map(|(tid, t)| (tid.index(), t.name.clone()))
+        .collect();
+    let (ti, tname) = tables[rng.gen_range(0..tables.len())].clone();
+    let arity = pools[ti].len();
+    let from_pools = |rng: &mut rand::rngs::StdRng| -> Row {
+        (0..arity)
+            .map(|c| {
+                let pool = &pools[ti][c];
+                if pool.is_empty() {
+                    None
+                } else {
+                    pool[rng.gen_range(0..pool.len())].clone()
+                }
+            })
+            .collect()
+    };
+    let live = db.state().rows(ridl_relational::TableId(ti as u32));
+    if rng.gen_bool(0.5) {
+        BatchOp::insert(tname, from_pools(rng))
+    } else if !live.is_empty() && rng.gen_bool(0.5) {
+        let pick = rng.gen_range(0..live.len());
+        BatchOp::delete(tname, live.iter().nth(pick).unwrap().clone())
+    } else {
+        BatchOp::delete(tname, from_pools(rng))
+    }
+}
+
+fn random_batch(
+    db: &Database,
+    pools: &[Vec<Vec<Option<Value>>>],
+    seed: u64,
+    len: usize,
+) -> Vec<BatchOp> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| random_op(db, pools, &mut rng)).collect()
+}
+
+/// Applies the same batch to twin engines in the two validation modes and
+/// asserts verdict, violation-list, state and index parity — plus
+/// atomicity when the batch is rejected.
+fn assert_modes_agree(
+    art: &(RelSchema, RelState),
+    batch: Vec<BatchOp>,
+) -> Result<(), TestCaseError> {
+    let mut inc = db_from(art, ValidationMode::Incremental);
+    let mut full = db_from(art, ValidationMode::FullState);
+    let before_state = inc.state().clone();
+    let before_indexes = inc.indexes().clone();
+    let r_inc = inc.apply_batch(batch.clone());
+    let r_full = full.apply_batch(batch);
+    // Verdicts must agree; the violation *lists* may differ in multiplicity
+    // (the delta validator reports per key group, the full validator per
+    // row), so only accept/reject is compared across modes.
+    prop_assert_eq!(
+        r_inc.is_ok(),
+        r_full.is_ok(),
+        "verdicts diverged: incremental {:?} vs full {:?}",
+        r_inc,
+        r_full
+    );
+    prop_assert_eq!(inc.state(), full.state(), "states diverged");
+    prop_assert_eq!(inc.indexes(), full.indexes(), "indexes diverged");
+    if r_inc.is_err() {
+        prop_assert_eq!(inc.state(), &before_state, "rejected batch not atomic");
+        prop_assert_eq!(
+            inc.indexes(),
+            &before_indexes,
+            "rejected batch left index residue"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A batch of one insert is indistinguishable from `insert`: same
+    /// verdict, same error rendering, same state and indexes.
+    #[test]
+    fn batch_of_one_insert_equals_statement_insert(seed in 0u64..1u64 << 32) {
+        let art = cris_artifacts();
+        let mut stmt = db_from(art, ValidationMode::Incremental);
+        let mut batch = db_from(art, ValidationMode::Incremental);
+        let pools = column_pools(&stmt);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let op = loop {
+                match random_op(&stmt, &pools, &mut rng) {
+                    BatchOp::Insert { table, row } => break (table, row),
+                    BatchOp::Delete { .. } => continue,
+                }
+            };
+            let r_stmt = stmt.insert(&op.0, op.1.clone());
+            let r_batch = batch.apply_batch([BatchOp::insert(op.0, op.1)]);
+            prop_assert_eq!(
+                format!("{:?}", r_stmt.as_ref().err()),
+                format!("{:?}", r_batch.as_ref().err()),
+                "insert verdicts diverged"
+            );
+            if let Ok(n) = r_batch {
+                prop_assert_eq!(n, 1);
+            }
+            prop_assert_eq!(stmt.state(), batch.state());
+            prop_assert_eq!(stmt.indexes(), batch.indexes());
+        }
+    }
+
+    /// A batch of one delete is indistinguishable from a `delete_where`
+    /// whose predicate pins every column of the row.
+    #[test]
+    fn batch_of_one_delete_equals_statement_delete(seed in 0u64..1u64 << 32) {
+        let art = cris_artifacts();
+        let mut stmt = db_from(art, ValidationMode::Incremental);
+        let mut batch = db_from(art, ValidationMode::Incremental);
+        let pools = column_pools(&stmt);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let (table, row) = loop {
+                match random_op(&stmt, &pools, &mut rng) {
+                    BatchOp::Delete { table, row } => break (table, row),
+                    BatchOp::Insert { .. } => continue,
+                }
+            };
+            let ti = stmt
+                .schema()
+                .tables()
+                .find(|(_, t)| t.name == table)
+                .map(|(tid, _)| tid.index())
+                .unwrap();
+            let preds: Vec<Pred> = row
+                .iter()
+                .enumerate()
+                .map(|(c, v)| {
+                    let col = stmt.schema().tables[ti].columns[c].name.clone();
+                    match v {
+                        Some(val) => Pred::Eq(col, val.clone()),
+                        None => Pred::IsNull(col),
+                    }
+                })
+                .collect();
+            let r_stmt = stmt.delete_where(&table, &preds);
+            let r_batch = batch.apply_batch([BatchOp::delete(table, row)]);
+            prop_assert_eq!(
+                format!("{:?}", r_stmt.as_ref().err()),
+                format!("{:?}", r_batch.as_ref().err()),
+                "delete verdicts diverged"
+            );
+            if let (Ok(n_stmt), Ok(n_batch)) = (r_stmt, r_batch) {
+                prop_assert_eq!(n_stmt, n_batch, "deleted-row counts diverged");
+            }
+            prop_assert_eq!(stmt.state(), batch.state());
+            prop_assert_eq!(stmt.indexes(), batch.indexes());
+        }
+    }
+
+    /// Incremental (netted-delta) and full-state validation agree on
+    /// arbitrary batches over the CRIS schema, and rejection is atomic.
+    #[test]
+    fn cris_batches_agree_across_modes(seed in 0u64..1u64 << 32, len in 1usize..10) {
+        let art = cris_artifacts();
+        let probe = db_from(art, ValidationMode::Incremental);
+        let pools = column_pools(&probe);
+        let batch = random_batch(&probe, &pools, seed, len);
+        assert_modes_agree(art, batch)?;
+    }
+
+    /// The same agreement on generated synthetic schemas, whose constraint
+    /// mix (keys, FKs, frequencies, subset/exclusion/total-union views)
+    /// varies per seed.
+    #[test]
+    fn synth_batches_agree_across_modes(
+        schema_ix in 0usize..4,
+        seed in 0u64..1u64 << 32,
+        len in 1usize..10,
+    ) {
+        let art = &synth_artifacts()[schema_ix];
+        let probe = db_from(art, ValidationMode::Incremental);
+        let pools = column_pools(&probe);
+        let batch = random_batch(&probe, &pools, seed, len);
+        assert_modes_agree(art, batch)?;
+    }
+}
+
+/// An insert/delete pair of the same row nets to nothing: the batch is
+/// accepted even when the inserted row would violate a key on its own,
+/// because group commit validates the *net* delta.
+#[test]
+fn inverse_pair_nets_out_even_when_transiently_invalid() {
+    let art = cris_artifacts();
+    let mut db = db_from(art, ValidationMode::Incremental);
+    let (tid, tname) = db
+        .schema()
+        .tables()
+        .find(|(tid, _)| !db.state().rows(*tid).is_empty())
+        .map(|(tid, t)| (tid, t.name.clone()))
+        .unwrap();
+    let dup = db.state().rows(tid).iter().next().unwrap().clone();
+    let before = db.state().clone();
+    // Deleting the row and re-inserting it nets to the empty delta.
+    let n = db
+        .apply_batch([
+            BatchOp::delete(tname.clone(), dup.clone()),
+            BatchOp::insert(tname, dup),
+        ])
+        .expect("net-empty batch is accepted");
+    assert_eq!(n, 2, "both ops applied");
+    assert_eq!(db.state(), &before, "state is unchanged overall");
+}

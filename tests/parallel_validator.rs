@@ -1,0 +1,171 @@
+//! Experiment **E-PAR**: parallel full-state validation is byte-identical
+//! to the sequential validator.
+//!
+//! [`validate_with_workers`] partitions the work (per-table structure
+//! passes plus per-constraint checks) across scoped threads and merges the
+//! per-unit violation buffers in deterministic unit order. The claim is
+//! not merely "same verdict" but **byte-identical output**: the same
+//! `RelViolation` list, in the same order, as [`validate`] — on valid
+//! states, and on states deliberately corrupted in every way the model can
+//! be wrong (duplicate keys, dangling FKs, NULLs in NOT NULL columns,
+//! frequency overflows, asymmetric view selections, malformed rows).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+use ridl_brm::Value;
+use ridl_relational::{validate, validate_with_workers, RelSchema, RelState, Row, TableId};
+use ridl_workloads::scenario::{self, MappedPopulation};
+use ridl_workloads::synth::GenParams;
+
+/// Pre-built mapped synthetic populations (schema shapes vary per seed).
+fn populations() -> &'static Vec<(RelSchema, RelState)> {
+    static CACHE: OnceLock<Vec<(RelSchema, RelState)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        (0..4u64)
+            .map(|seed| {
+                let params = GenParams {
+                    seed: 71 + seed,
+                    nolots: 6,
+                    attrs_per_nolot: (1, 3),
+                    mn_facts: 4,
+                    sublinks: 2,
+                    card_prob: 0.5,
+                    ..GenParams::default()
+                };
+                let MappedPopulation { schema, state } = scenario::mapped_population(&params, 5);
+                (schema, state)
+            })
+            .collect()
+    })
+}
+
+/// Applies `n` random corruptions directly to the state, bypassing all
+/// enforcement: cell overwrites (including NULLing NOT NULL columns and
+/// retargeting FK values), whole-row deletions (orphaning references and
+/// unbalancing view selections), near-duplicate insertions (tripping
+/// keys), and arity-mangled rows (tripping the structure pass).
+fn corrupt(schema: &RelSchema, state: &mut RelState, seed: u64, n: usize) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let tables: Vec<TableId> = schema.tables().map(|(tid, _)| tid).collect();
+    for _ in 0..n {
+        let tid = tables[rng.gen_range(0..tables.len())];
+        let rows: Vec<Row> = state.rows(tid).iter().cloned().collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let victim = rows[rng.gen_range(0..rows.len())].clone();
+        match rng.gen_range(0..4u32) {
+            0 => {
+                // Overwrite one cell with NULL or a foreign value.
+                let mut row = victim.clone();
+                let c = rng.gen_range(0..row.len());
+                row[c] = if rng.gen_bool(0.4) {
+                    None
+                } else {
+                    Some(Value::str(format!("X{}", rng.gen_range(0..1000u32))))
+                };
+                state.remove(tid, &victim);
+                state.insert(tid, row);
+            }
+            1 => {
+                // Delete the row outright.
+                state.remove(tid, &victim);
+            }
+            2 => {
+                // Near-duplicate: same row with one cell tweaked, which
+                // duplicates any key not covering that cell.
+                let mut row = victim.clone();
+                let c = rng.gen_range(0..row.len());
+                row[c] = Some(Value::str(format!("D{}", rng.gen_range(0..1000u32))));
+                state.insert(tid, row);
+            }
+            _ => {
+                // Mangle the arity (structure violation).
+                let mut row = victim.clone();
+                row.push(Some(Value::str("extra")));
+                state.remove(tid, &victim);
+                state.insert(tid, row);
+            }
+        }
+    }
+}
+
+fn assert_identical(schema: &RelSchema, state: &RelState) -> Result<(), TestCaseError> {
+    let seq = validate(schema, state);
+    for workers in [1usize, 2, 3, 8] {
+        let par = validate_with_workers(schema, state, workers);
+        prop_assert_eq!(
+            &par,
+            &seq,
+            "{} workers diverged from sequential ({} violations)",
+            workers,
+            seq.len()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// On valid populations the parallel validator returns the same (empty)
+    /// list for every worker count.
+    #[test]
+    fn parallel_equals_sequential_on_valid_states(schema_ix in 0usize..4) {
+        let (schema, state) = &populations()[schema_ix];
+        let seq = validate(schema, state);
+        prop_assert!(seq.is_empty(), "population should be valid: {seq:?}");
+        assert_identical(schema, state)?;
+    }
+
+    /// On corrupted states — where the violation list is long and drawn
+    /// from many constraint kinds — the parallel output is byte-identical,
+    /// order included, for every worker count.
+    #[test]
+    fn parallel_equals_sequential_on_corrupted_states(
+        schema_ix in 0usize..4,
+        seed in 0u64..1u64 << 32,
+        corruptions in 1usize..12,
+    ) {
+        let (schema, state) = &populations()[schema_ix];
+        let mut bad = state.clone();
+        corrupt(schema, &mut bad, seed, corruptions);
+        assert_identical(schema, &bad)?;
+    }
+}
+
+/// Worker counts beyond the unit count (and the degenerate 1-worker case)
+/// are safe: no partition is ever empty-handed into a panic, and output is
+/// unchanged.
+#[test]
+fn extreme_worker_counts_are_safe() {
+    let (schema, state) = &populations()[0];
+    let mut bad = state.clone();
+    corrupt(schema, &mut bad, 3, 6);
+    let seq = validate(schema, &bad);
+    for workers in [1usize, 64, 1024] {
+        assert_eq!(validate_with_workers(schema, &bad, workers), seq);
+    }
+}
+
+/// The public `validate_parallel` entry point (auto worker count, with its
+/// small-state sequential shortcut) also matches on both sides of the
+/// size threshold.
+#[test]
+fn auto_parallel_matches_sequential() {
+    // Small: below the threshold, takes the sequential shortcut.
+    let (schema, state) = &populations()[1];
+    assert_eq!(
+        ridl_relational::validate_parallel(schema, state),
+        validate(schema, state)
+    );
+    // Large: a scaled industrial population above the threshold.
+    let sc = scenario::industrial_population(11, 2_000);
+    assert_eq!(
+        ridl_relational::validate_parallel(&sc.schema, &sc.state),
+        validate(&sc.schema, &sc.state)
+    );
+}

@@ -11,6 +11,11 @@
 //! sized to run for roughly [`Criterion::MEASURE_BUDGET`] — which is enough
 //! to compare fast and slow paths by orders of magnitude, the only use the
 //! workspace's benches make of it. No statistics, plots, or baselines.
+//!
+//! When the environment variable `CRITERION_SUMMARY_JSON` names a file,
+//! every measurement additionally appends one JSON object per line
+//! (`{"name":…,"ns_per_iter":…,"iters":…}`) to it — the machine-readable
+//! summary CI uploads as a build artifact.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -235,6 +240,69 @@ fn run_one<F: FnMut(&mut Bencher)>(
         b.iters,
         rate.unwrap_or_default()
     );
+    append_summary(&full_name, per_iter, b.iters, throughput, b.elapsed);
+}
+
+/// Appends one JSON line for the measurement to `$CRITERION_SUMMARY_JSON`
+/// (JSON Lines: bench binaries run sequentially and share the file).
+/// Silently skipped when the variable is unset; write errors are reported
+/// on stderr but never fail the bench run.
+fn append_summary(
+    name: &str,
+    ns_per_iter: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+    elapsed: Duration,
+) {
+    let Ok(path) = std::env::var("CRITERION_SUMMARY_JSON") else {
+        return;
+    };
+    let line = summary_line(name, ns_per_iter, iters, throughput, elapsed);
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("criterion: cannot append summary to {path}: {e}");
+    }
+}
+
+fn summary_line(
+    name: &str,
+    ns_per_iter: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+    elapsed: Duration,
+) -> String {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(
+            ",\"elements_per_sec\":{:.0}",
+            n as f64 * iters as f64 / elapsed.as_secs_f64()
+        ),
+        Some(Throughput::Bytes(n)) => format!(
+            ",\"bytes_per_sec\":{:.0}",
+            n as f64 * iters as f64 / elapsed.as_secs_f64()
+        ),
+        None => String::new(),
+    };
+    format!(
+        "{{\"name\":\"{}\",\"ns_per_iter\":{ns_per_iter:.1},\"iters\":{iters}{rate}}}\n",
+        json_escape(name)
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -284,6 +352,26 @@ mod tests {
             b.iter(|| xs.iter().sum::<u64>())
         });
         group.finish();
+    }
+
+    #[test]
+    fn summary_lines_are_valid_json_shapes() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+        let line = summary_line(
+            "g/bench",
+            1234.5,
+            42,
+            Some(Throughput::Elements(10)),
+            Duration::from_millis(5),
+        );
+        assert!(
+            line.starts_with("{\"name\":\"g/bench\",\"ns_per_iter\":1234.5,\"iters\":42"),
+            "{line}"
+        );
+        assert!(line.contains("\"elements_per_sec\":84000"));
+        assert!(line.ends_with("}\n"));
+        let plain = summary_line("b", 10.0, 1, None, Duration::from_millis(1));
+        assert_eq!(plain, "{\"name\":\"b\",\"ns_per_iter\":10.0,\"iters\":1}\n");
     }
 
     #[test]

@@ -103,16 +103,25 @@ impl TestRunner {
     /// Runs `f` until [`Config::cases`] cases pass. Rejected cases are
     /// replaced (up to a discard budget); a failed case panics with the
     /// case number and seed.
+    ///
+    /// Two environment variables pin runs for CI reproducibility:
+    /// `PROPTEST_CASES` overrides the configured case count, and
+    /// `PROPTEST_RNG_SEED` (a `u64`) is mixed into every property's seed
+    /// base, so a whole suite can be replayed on a known sequence.
     pub fn run_named<F>(&mut self, name: &str, mut f: F)
     where
         F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
     {
-        let base = fnv1a(name.as_bytes());
+        let cases = env_u64("PROPTEST_CASES")
+            .map(|n| n.min(u32::MAX as u64) as u32)
+            .unwrap_or(self.config.cases)
+            .max(1);
+        let base = fnv1a(name.as_bytes()) ^ env_u64("PROPTEST_RNG_SEED").unwrap_or(0);
         let mut passed: u32 = 0;
         let mut rejected: u32 = 0;
-        let max_rejects = self.config.cases.saturating_mul(16).max(256);
+        let max_rejects = cases.saturating_mul(16).max(256);
         let mut attempt: u64 = 0;
-        while passed < self.config.cases {
+        while passed < cases {
             let seed = base ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F);
             attempt += 1;
             let mut rng = TestRng::new(seed);
@@ -135,6 +144,19 @@ impl TestRunner {
                 }
             }
         }
+    }
+}
+
+/// Reads an environment variable as a `u64`, accepting decimal or `0x`
+/// hex; unset or unparsable values are ignored (the configured default
+/// wins), so a typo degrades to the normal run rather than a panic.
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
     }
 }
 
@@ -185,5 +207,19 @@ mod tests {
     fn runner_panics_on_failure() {
         let mut r = TestRunner::new(Config::with_cases(4));
         r.run_named("fails", |_| Err(TestCaseError::fail("boom")));
+    }
+
+    // env_u64 is probed through uniquely named variables so these tests
+    // cannot race the runner tests above (which read the real
+    // PROPTEST_CASES / PROPTEST_RNG_SEED).
+    #[test]
+    fn env_pinning_parses_decimal_and_hex() {
+        std::env::set_var("PROPTEST_TEST_DEC", "512");
+        std::env::set_var("PROPTEST_TEST_HEX", "0xDEAD");
+        std::env::set_var("PROPTEST_TEST_BAD", "not-a-number");
+        assert_eq!(env_u64("PROPTEST_TEST_DEC"), Some(512));
+        assert_eq!(env_u64("PROPTEST_TEST_HEX"), Some(0xDEAD));
+        assert_eq!(env_u64("PROPTEST_TEST_BAD"), None);
+        assert_eq!(env_u64("PROPTEST_TEST_UNSET"), None);
     }
 }
