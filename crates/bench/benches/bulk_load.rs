@@ -110,6 +110,8 @@ fn report() -> Vec<Scenario> {
 }
 
 fn bench(c: &mut Criterion) {
+    ridl_obs::init_from_env();
+    let obs_before = ridl_obs::snapshot();
     let scenarios = report();
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -138,6 +140,10 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.finish();
+    // Enforcement counters for the whole run, next to the timings in the
+    // CRITERION_SUMMARY_JSON artifact.
+    let diff = ridl_obs::snapshot().since(&obs_before);
+    ridl_obs::append_summary_snapshot("bulk_load", &diff);
 }
 
 criterion_group!(benches, bench);

@@ -210,6 +210,8 @@ fn report() -> Vec<(usize, Database, Targets)> {
 }
 
 fn bench(c: &mut Criterion) {
+    ridl_obs::init_from_env();
+    let obs_before = ridl_obs::snapshot();
     let dbs = report();
     let mut group = c.benchmark_group("engine_mutation");
     group.sample_size(20);
@@ -257,6 +259,10 @@ fn bench(c: &mut Criterion) {
         db.set_validation_mode(ValidationMode::Incremental);
     }
     group.finish();
+    // Enforcement counters for the whole run, next to the timings in the
+    // CRITERION_SUMMARY_JSON artifact.
+    let diff = ridl_obs::snapshot().since(&obs_before);
+    ridl_obs::append_summary_snapshot("engine_mutation", &diff);
 }
 
 criterion_group!(benches, bench);

@@ -43,4 +43,4 @@ pub mod workbench;
 pub use grouping::{map_schema, FactRealization, MapError, MappingOutput, SubMembership};
 pub use map_report::MapReport;
 pub use options::{MappingOptions, NullOption, SublinkOption};
-pub use workbench::Workbench;
+pub use workbench::{MapProfile, Workbench};

@@ -5,6 +5,9 @@
 //! schema reaches RIDL-M. SQL generation (`ridl-sqlgen`) and the engine take
 //! the [`crate::MappingOutput`] from here.
 
+use std::fmt::Write as _;
+use std::time::Instant;
+
 use ridl_analyzer::{analyze, AnalysisReport};
 use ridl_brm::Schema;
 
@@ -12,6 +15,47 @@ use crate::grouping::{map_schema, MapError, MappingOutput};
 use crate::map_report::MapReport;
 use crate::options::MappingOptions;
 use crate::rulebase::{QueryInfo, RuleBase};
+
+/// Where a mapping run spent its effort: phase timings, transformation
+/// firings (total and per basic transformation), and the size of the
+/// generated schema. Produced by [`Workbench::map_profiled`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MapProfile {
+    /// Nanoseconds RIDL-A spent analysing the schema (measured when the
+    /// workbench opened).
+    pub analyze_ns: u64,
+    /// Nanoseconds RIDL-M spent mapping.
+    pub map_ns: u64,
+    /// Basic transformations fired during this mapping run.
+    pub transform_firings: u64,
+    /// Firings per basic transformation name, sorted by name.
+    pub per_rule: Vec<(String, u64)>,
+    /// Tables in the generated relational schema.
+    pub tables: usize,
+    /// Constraints generated alongside them.
+    pub constraints: usize,
+    /// Lossless rules the transformation composition contributed.
+    pub lossless_rules: usize,
+}
+
+impl MapProfile {
+    /// Renders the profile for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "analyze   : {} ns", self.analyze_ns);
+        let _ = writeln!(out, "map       : {} ns", self.map_ns);
+        let _ = writeln!(
+            out,
+            "generated : {} tables, {} constraints, {} lossless rules",
+            self.tables, self.constraints, self.lossless_rules
+        );
+        let _ = writeln!(out, "firings   : {}", self.transform_firings);
+        for (name, n) in &self.per_rule {
+            let _ = writeln!(out, "  {n:>4} x {name}");
+        }
+        out
+    }
+}
 
 /// A workbench session around one binary conceptual schema.
 ///
@@ -32,13 +76,20 @@ use crate::rulebase::{QueryInfo, RuleBase};
 pub struct Workbench {
     schema: Schema,
     analysis: AnalysisReport,
+    analyze_ns: u64,
 }
 
 impl Workbench {
     /// Opens a workbench on a schema, running RIDL-A immediately.
     pub fn new(schema: Schema) -> Self {
+        let t = Instant::now();
         let analysis = analyze(&schema);
-        Self { schema, analysis }
+        let analyze_ns = t.elapsed().as_nanos() as u64;
+        Self {
+            schema,
+            analysis,
+            analyze_ns,
+        }
     }
 
     /// The schema under engineering.
@@ -66,6 +117,45 @@ impl Workbench {
             )));
         }
         map_schema(&self.schema, &self.analysis.references, options)
+    }
+
+    /// Runs RIDL-M under the given options while profiling it: phase
+    /// timings, obs-counted transformation firings (total and per basic
+    /// transformation), and the generated schema's size. Temporarily
+    /// enables the obs detail gate so per-rule labeled counters fill in.
+    pub fn map_profiled(
+        &self,
+        options: &MappingOptions,
+    ) -> Result<(MappingOutput, MapProfile), MapError> {
+        let detail_was = ridl_obs::detail_enabled();
+        ridl_obs::set_detail(true);
+        let before = ridl_obs::snapshot();
+        let labels_before: std::collections::BTreeMap<String, u64> =
+            ridl_obs::labels_snapshot().into_iter().collect();
+        let t = Instant::now();
+        let result = self.map(options);
+        let map_ns = t.elapsed().as_nanos() as u64;
+        let diff = ridl_obs::snapshot().since(&before);
+        let per_rule = ridl_obs::labels_snapshot()
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("transform.rule."))
+            .filter_map(|(name, n)| {
+                let fired = n - labels_before.get(&name).copied().unwrap_or(0);
+                (fired > 0).then(|| (name["transform.rule.".len()..].to_owned(), fired))
+            })
+            .collect();
+        ridl_obs::set_detail(detail_was);
+        let out = result?;
+        let profile = MapProfile {
+            analyze_ns: self.analyze_ns,
+            map_ns,
+            transform_firings: diff.counter("transform.firings"),
+            per_rule,
+            tables: out.table_count(),
+            constraints: out.rel.constraints.len(),
+            lossless_rules: out.trace.lossless_rules().count(),
+        };
+        Ok((out, profile))
     }
 
     /// Runs RIDL-M with the rule base deriving option adjustments from
@@ -105,6 +195,34 @@ mod tests {
         assert!(!wb.analysis().is_mappable());
         let err = wb.map(&MappingOptions::new()).unwrap_err();
         assert!(err.message.contains("RIDL-A"), "{err}");
+    }
+
+    #[test]
+    fn map_profiled_counts_firings() {
+        let mut b = SchemaBuilder::new("prof");
+        b.nolot("Paper").unwrap();
+        identify(&mut b, "Paper", "Paper_Id", DataType::Char(6)).unwrap();
+        b.nolot("Person").unwrap();
+        identify(&mut b, "Person", "Name", DataType::Char(20)).unwrap();
+        b.fact("presents", ("by", "Person"), ("of", "Paper"))
+            .unwrap();
+        b.unique("presents", ridl_brm::Side::Right).unwrap();
+        let wb = Workbench::new(b.finish().unwrap());
+        let (out, profile) = wb.map_profiled(&MappingOptions::new()).unwrap();
+        assert_eq!(profile.tables, out.table_count());
+        assert_eq!(profile.constraints, out.rel.constraints.len());
+        // `>=`: the firings counter is process-wide, so concurrent tests
+        // mapping at the same time may add to the window.
+        let steps = out.trace.steps().len() as u64;
+        assert!(
+            profile.transform_firings >= steps,
+            "one firing per trace step ({} < {steps})",
+            profile.transform_firings
+        );
+        let per_rule_total: u64 = profile.per_rule.iter().map(|(_, n)| n).sum();
+        assert!(per_rule_total >= steps);
+        let r = profile.render();
+        assert!(r.contains("firings"), "{r}");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use ridl_relational::{
 };
 
 use crate::query::{Pred, Query};
+use crate::report::{EnforcementReport, QueryExplain};
 
 /// How mutations are checked against the schema's constraints.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -74,6 +75,9 @@ pub enum EngineError {
     BadSchema(Vec<String>),
     /// A named table/column/view does not exist.
     Unknown(String),
+    /// A column reference matches several columns of a joined relation
+    /// (e.g. an unqualified name in a self-join); qualify it.
+    Ambiguous(String),
     /// A statement would violate constraints; the update was rolled back.
     ConstraintViolation(Vec<RelViolation>),
     /// Transaction misuse (commit/rollback without begin).
@@ -85,6 +89,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::BadSchema(errs) => write!(f, "bad schema: {}", errs.join("; ")),
             EngineError::Unknown(what) => write!(f, "unknown object: {what}"),
+            EngineError::Ambiguous(what) => write!(f, "ambiguous reference: {what}"),
             EngineError::ConstraintViolation(v) => {
                 write!(f, "constraint violation: ")?;
                 for x in v.iter().take(3) {
@@ -118,10 +123,18 @@ pub struct Database {
     /// Undo-log positions where each open transaction began.
     txn_marks: Vec<usize>,
     mode: ValidationMode,
-    /// Set while `insert_unchecked` rows await their deferred check; the
-    /// debug oracle is meaningless (and delta validation vacuous) until the
-    /// next successful `commit` or `load_state` re-validates everything.
+    /// Set while `insert_unchecked` rows await their deferred check; delta
+    /// validation's valid-pre-state precondition is broken until a full
+    /// validation (`commit`, `load_state`, or a full-falling-back
+    /// statement) succeeds, so enforcement runs full-state meanwhile.
     has_unchecked: bool,
+    /// Undo-log position of the earliest unchecked op still in the log —
+    /// when a rollback reverts past it, the unchecked rows are gone and
+    /// `has_unchecked` resets. `None` while clean, or when unchecked rows
+    /// are no longer covered by the undo log (outside transactions).
+    unchecked_mark: Option<usize>,
+    /// The most recent statement's enforcement report.
+    last_report: Option<EnforcementReport>,
 }
 
 impl Database {
@@ -142,6 +155,8 @@ impl Database {
             txn_marks: Vec::new(),
             mode: ValidationMode::default(),
             has_unchecked: false,
+            unchecked_mark: None,
+            last_report: None,
         })
     }
 
@@ -183,6 +198,7 @@ impl Database {
         self.undo.clear();
         self.txn_marks.clear();
         self.has_unchecked = false;
+        self.unchecked_mark = None;
         Ok(())
     }
 
@@ -218,8 +234,16 @@ impl Database {
         changed
     }
 
-    /// Replays the undo log down to `mark`, inverting each operation.
+    /// Replays the undo log down to `mark`, inverting each operation. When
+    /// the reverted suffix contains every pending unchecked op, the
+    /// deferred-check flag resets — incremental validation resumes instead
+    /// of permanently falling back to full-state scans.
     fn revert_to(&mut self, mark: usize) {
+        let n = self.undo.len().saturating_sub(mark);
+        if n > 0 {
+            ridl_obs::metrics().reverts.inc();
+            ridl_obs::metrics().reverted_ops.add(n as u64);
+        }
         while self.undo.len() > mark {
             match self.undo.pop().expect("undo entry") {
                 DeltaOp::Insert { table, row } => {
@@ -231,6 +255,10 @@ impl Database {
                     self.state.insert(table, row);
                 }
             }
+        }
+        if self.unchecked_mark.is_some_and(|w| mark <= w) {
+            self.unchecked_mark = None;
+            self.has_unchecked = false;
         }
     }
 
@@ -244,26 +272,87 @@ impl Database {
     /// update) that touches a row and puts it back is judged by what
     /// actually changed — the same verdict full re-validation of the
     /// post-state gives.
-    fn finish_statement(&mut self, mark: usize) -> Result<(), EngineError> {
-        let violations = match self.mode {
-            ValidationMode::Incremental => {
-                let delta = Delta {
-                    ops: self.undo[mark..].to_vec(),
-                }
-                .net();
-                validate_delta(&self.schema, &self.state, &self.indexes, &delta)
-            }
-            ValidationMode::FullState => parallel::validate_parallel(&self.schema, &self.state),
+    fn finish_statement(
+        &mut self,
+        mark: usize,
+        statement: &'static str,
+    ) -> Result<(), EngineError> {
+        let m = ridl_obs::metrics();
+        let detail = ridl_obs::detail_enabled();
+        let before = if detail {
+            Some(ridl_obs::snapshot())
+        } else {
+            None
         };
-        if !violations.is_empty() {
+        let sw = ridl_obs::Stopwatch::start();
+        let ops = self.undo.len() - mark;
+        let net = Delta {
+            ops: self.undo[mark..].to_vec(),
+        }
+        .net();
+        // While deferred (unchecked) rows are pending, the delta
+        // validator's valid-pre-state precondition is broken, so a checked
+        // statement falls back to a full scan; a clean full scan also
+        // discharges the deferred check.
+        let (strategy, violations) = match self.mode {
+            ValidationMode::Incremental if !self.has_unchecked => (
+                "delta",
+                validate_delta(&self.schema, &self.state, &self.indexes, &net),
+            ),
+            _ => (
+                "full",
+                parallel::validate_parallel(&self.schema, &self.state),
+            ),
+        };
+        m.statements.inc();
+        if strategy == "delta" {
+            m.statements_delta.inc();
+        } else {
+            m.statements_full.inc();
+        }
+        m.undo_high_water.raise_to(self.undo.len() as u64);
+        let ok = violations.is_empty();
+        let diff = before.map(|b| ridl_obs::snapshot().since(&b));
+        let report = EnforcementReport {
+            statement,
+            mode: self.mode,
+            strategy,
+            ops,
+            net_ops: net.len(),
+            violations: violations.len(),
+            reverted: !ok,
+            key_probes: diff.as_ref().map_or(0, |d| d.counter("index.key_probes")),
+            sel_probes: diff.as_ref().map_or(0, |d| d.counter("index.sel_probes")),
+            undo_depth: self.undo.len(),
+            duration_ns: sw.elapsed_ns(),
+            per_kind: diff
+                .as_ref()
+                .map(EnforcementReport::per_kind_from)
+                .unwrap_or_default(),
+        };
+        ridl_obs::emit("engine.statement", report.duration_ns, &report.summary());
+        self.last_report = Some(report);
+        if !ok {
             self.revert_to(mark);
             return Err(EngineError::ConstraintViolation(violations));
+        }
+        if strategy == "full" && self.has_unchecked {
+            self.has_unchecked = false;
+            self.unchecked_mark = None;
         }
         self.debug_check_equivalence();
         if self.txn_marks.is_empty() {
             self.undo.clear();
         }
         Ok(())
+    }
+
+    /// The enforcement report of the most recent mutating statement —
+    /// which validation strategy ran, the (net) delta size, and, while the
+    /// obs detail gate is on, probe counts and per-constraint-class
+    /// timings. `None` until the first statement runs.
+    pub fn last_statement_report(&self) -> Option<&EnforcementReport> {
+        self.last_report.as_ref()
     }
 
     /// Debug oracle: a state the delta validator accepted must also satisfy
@@ -300,7 +389,7 @@ impl Database {
                 detail: format!("row already present in {table}"),
             }]));
         }
-        self.finish_statement(mark)
+        self.finish_statement(mark, "insert")
     }
 
     /// Inserts without constraint checking (bulk load within transactions;
@@ -308,37 +397,72 @@ impl Database {
     /// undo log, so `rollback` undoes it.
     pub fn insert_unchecked(&mut self, table: &str, row: Row) -> Result<(), EngineError> {
         let tid = self.table_id(table)?;
-        self.apply(DeltaOp::Insert { table: tid, row });
-        self.has_unchecked = true;
-        if self.txn_marks.is_empty() {
-            self.undo.clear();
+        let pos = self.undo.len();
+        if self.apply(DeltaOp::Insert { table: tid, row }) {
+            self.has_unchecked = true;
+            if self.txn_marks.is_empty() {
+                // The op leaves the undo log immediately: the unchecked row
+                // can no longer be reverted away, so no watermark to track.
+                self.undo.clear();
+                self.unchecked_mark = None;
+            } else if self.unchecked_mark.is_none() {
+                self.unchecked_mark = Some(pos);
+            }
         }
+        let m = ridl_obs::metrics();
+        m.statements.inc();
+        m.statements_deferred.inc();
+        self.last_report = Some(EnforcementReport {
+            statement: "insert_unchecked",
+            mode: self.mode,
+            strategy: "deferred",
+            ops: 1,
+            net_ops: 1,
+            violations: 0,
+            reverted: false,
+            key_probes: 0,
+            sel_probes: 0,
+            undo_depth: self.undo.len(),
+            duration_ns: 0,
+            per_kind: Vec::new(),
+        });
         Ok(())
     }
 
     /// Deletes the rows matching the predicate; returns how many went.
     /// Single pass: only the matching rows are copied (into the undo log),
-    /// never the state.
+    /// never the state. A predicate naming an unknown column is an error
+    /// — it does not silently match zero rows.
     pub fn delete_where(&mut self, table: &str, preds: &[Pred]) -> Result<usize, EngineError> {
         let tid = self.table_id(table)?;
         let mark = self.undo.len();
-        let matching: Vec<Row> = self
-            .state
-            .rows(tid)
-            .iter()
-            .filter(|row| self.row_matches(tid, row, preds).unwrap_or(false))
-            .cloned()
-            .collect();
+        let matching = self.matching_rows(tid, preds)?;
         let n = matching.len();
         for row in matching {
             self.apply(DeltaOp::Remove { table: tid, row });
         }
-        self.finish_statement(mark)?;
+        self.finish_statement(mark, "delete_where")?;
         Ok(n)
+    }
+
+    /// The rows of `tid` matching every predicate, propagating predicate
+    /// errors (unknown column) instead of treating them as non-matches.
+    fn matching_rows(&self, tid: TableId, preds: &[Pred]) -> Result<Vec<Row>, EngineError> {
+        let mut matching = Vec::new();
+        for row in self.state.rows(tid) {
+            if self.row_matches(tid, row, preds)? {
+                matching.push(row.clone());
+            }
+        }
+        Ok(matching)
     }
 
     /// Updates matching rows by setting columns; returns how many changed.
     /// Each matching row becomes one remove + one insert in the undo log.
+    /// An assigned row that collides with an existing row rejects the
+    /// whole statement with a `DUPLICATE` violation (set semantics — a
+    /// silent merge would under-report the row count and lose data),
+    /// matching [`Database::apply_batch`]. Predicate errors propagate.
     pub fn update_where(
         &mut self,
         table: &str,
@@ -357,13 +481,7 @@ impl Database {
             })
             .collect::<Result<_, _>>()?;
         let mark = self.undo.len();
-        let matching: Vec<Row> = self
-            .state
-            .rows(tid)
-            .iter()
-            .filter(|row| self.row_matches(tid, row, preds).unwrap_or(false))
-            .cloned()
-            .collect();
+        let matching = self.matching_rows(tid, preds)?;
         let n = matching.len();
         for row in matching {
             let mut new_row = row.clone();
@@ -371,12 +489,18 @@ impl Database {
                 new_row[*c as usize] = v.clone();
             }
             self.apply(DeltaOp::Remove { table: tid, row });
-            self.apply(DeltaOp::Insert {
+            if !self.apply(DeltaOp::Insert {
                 table: tid,
                 row: new_row,
-            });
+            }) {
+                self.revert_to(mark);
+                return Err(EngineError::ConstraintViolation(vec![RelViolation {
+                    constraint: "DUPLICATE".into(),
+                    detail: format!("updated row already present in {table}"),
+                }]));
+            }
         }
-        self.finish_statement(mark)?;
+        self.finish_statement(mark, "update_where")?;
         Ok(n)
     }
 
@@ -406,6 +530,8 @@ impl Database {
                 BatchOp::Delete { table, row } => self.table_id(&table).map(|t| (t, false, row)),
             })
             .collect::<Result<_, _>>()?;
+        ridl_obs::metrics().batches.inc();
+        ridl_obs::metrics().batch_ops.add(ops.len() as u64);
         let mark = self.undo.len();
         let mut changed = 0usize;
         for (tid, is_insert, row) in ops {
@@ -423,7 +549,7 @@ impl Database {
                 changed += 1;
             }
         }
-        self.finish_statement(mark)?;
+        self.finish_statement(mark, "batch")?;
         Ok(changed)
     }
 
@@ -459,8 +585,40 @@ impl Database {
                 loaded += 1;
             }
         }
+        let m = ridl_obs::metrics();
+        let detail = ridl_obs::detail_enabled();
+        let before = if detail {
+            Some(ridl_obs::snapshot())
+        } else {
+            None
+        };
+        let sw = ridl_obs::Stopwatch::start();
         let indexes = ConstraintIndexes::build(&self.schema, &state);
         let violations = validate_load(&self.schema, &state, &indexes);
+        m.statements.inc();
+        m.statements_aggregate.inc();
+        m.bulk_loads.inc();
+        m.bulk_rows.add(loaded as u64);
+        let diff = before.map(|b| ridl_obs::snapshot().since(&b));
+        let report = EnforcementReport {
+            statement: "bulk_load",
+            mode: self.mode,
+            strategy: "aggregate",
+            ops: loaded,
+            net_ops: loaded,
+            violations: violations.len(),
+            reverted: !violations.is_empty(),
+            key_probes: diff.as_ref().map_or(0, |d| d.counter("index.key_probes")),
+            sel_probes: diff.as_ref().map_or(0, |d| d.counter("index.sel_probes")),
+            undo_depth: 0,
+            duration_ns: sw.elapsed_ns(),
+            per_kind: diff
+                .as_ref()
+                .map(EnforcementReport::per_kind_from)
+                .unwrap_or_default(),
+        };
+        ridl_obs::emit("engine.statement", report.duration_ns, &report.summary());
+        self.last_report = Some(report);
         if !violations.is_empty() {
             return Err(EngineError::ConstraintViolation(violations));
         }
@@ -469,6 +627,7 @@ impl Database {
         self.undo.clear();
         self.txn_marks.clear();
         self.has_unchecked = false;
+        self.unchecked_mark = None;
         self.debug_check_equivalence();
         Ok(loaded)
     }
@@ -507,6 +666,27 @@ impl Database {
 
     /// Runs a query; rows carry the projected columns in order.
     pub fn select(&self, q: &Query) -> Result<Vec<Row>, EngineError> {
+        self.select_impl(q, &mut None)
+    }
+
+    /// Executes a query while recording its plan: each step (scan, join,
+    /// filter, project) with the rows it actually produced. Row counts are
+    /// measured, not estimated — the point is seeing where rows multiply
+    /// or vanish in a nested-loop join.
+    pub fn explain(&self, q: &Query) -> Result<QueryExplain, EngineError> {
+        ridl_obs::metrics().explains.inc();
+        let mut ex = Some(QueryExplain::default());
+        let rows = self.select_impl(q, &mut ex)?;
+        let mut ex = ex.expect("explain plan present");
+        ex.rows_out = rows.len();
+        Ok(ex)
+    }
+
+    fn select_impl(
+        &self,
+        q: &Query,
+        explain: &mut Option<QueryExplain>,
+    ) -> Result<Vec<Row>, EngineError> {
         // Assemble the joined relation as (qualified name -> index) + rows.
         let tid = self.table_id(&q.table)?;
         let mut columns: Vec<String> = self
@@ -517,6 +697,14 @@ impl Database {
             .map(|c| format!("{}.{}", q.table, c.name))
             .collect();
         let mut rows: Vec<Row> = self.state.rows(tid).iter().cloned().collect();
+        if let Some(e) = explain {
+            e.step(
+                "scan",
+                &q.table,
+                rows.len(),
+                format!("{} columns", columns.len()),
+            );
+        }
 
         for join in &q.joins {
             let jt = self.table_id(&join.table)?;
@@ -531,8 +719,7 @@ impl Database {
                 .on
                 .iter()
                 .map(|(l, r)| {
-                    let li = find_col(&columns, l)
-                        .ok_or_else(|| EngineError::Unknown(format!("column {l}")))?;
+                    let li = resolve_col(&columns, l)?;
                     let ri = self
                         .schema
                         .table(jt)
@@ -553,6 +740,15 @@ impl Database {
             }
             columns.extend(j_cols);
             rows = joined;
+            if let Some(e) = explain {
+                let keys: Vec<&str> = join.on.iter().map(|(l, _)| l.as_str()).collect();
+                e.step(
+                    "join",
+                    &join.table,
+                    rows.len(),
+                    format!("nested-loop on {}", keys.join(", ")),
+                );
+            }
         }
 
         // Filter.
@@ -560,27 +756,25 @@ impl Database {
         'rows: for row in rows {
             for p in &q.filter {
                 let matches = match p {
-                    Pred::Eq(c, v) => {
-                        let i = find_col(&columns, c)
-                            .ok_or_else(|| EngineError::Unknown(format!("column {c}")))?;
-                        row[i].as_ref() == Some(v)
-                    }
-                    Pred::IsNull(c) => {
-                        let i = find_col(&columns, c)
-                            .ok_or_else(|| EngineError::Unknown(format!("column {c}")))?;
-                        row[i].is_none()
-                    }
-                    Pred::NotNull(c) => {
-                        let i = find_col(&columns, c)
-                            .ok_or_else(|| EngineError::Unknown(format!("column {c}")))?;
-                        row[i].is_some()
-                    }
+                    Pred::Eq(c, v) => row[resolve_col(&columns, c)?].as_ref() == Some(v),
+                    Pred::IsNull(c) => row[resolve_col(&columns, c)?].is_none(),
+                    Pred::NotNull(c) => row[resolve_col(&columns, c)?].is_some(),
                 };
                 if !matches {
                     continue 'rows;
                 }
             }
             filtered.push(row);
+        }
+        if let Some(e) = explain {
+            if !q.filter.is_empty() {
+                e.step(
+                    "filter",
+                    format!("{} predicate(s)", q.filter.len()),
+                    filtered.len(),
+                    String::new(),
+                );
+            }
         }
 
         // Project.
@@ -590,10 +784,16 @@ impl Database {
         let proj: Vec<usize> = q
             .select
             .iter()
-            .map(|c| {
-                find_col(&columns, c).ok_or_else(|| EngineError::Unknown(format!("column {c}")))
-            })
+            .map(|c| resolve_col(&columns, c))
             .collect::<Result<_, _>>()?;
+        if let Some(e) = explain {
+            e.step(
+                "project",
+                q.select.join(", "),
+                filtered.len(),
+                String::new(),
+            );
+        }
         Ok(filtered
             .into_iter()
             .map(|row| proj.iter().map(|i| row[*i].clone()).collect())
@@ -644,21 +844,46 @@ impl Database {
     /// log.
     pub fn commit(&mut self) -> Result<(), EngineError> {
         let mark = self.txn_marks.pop().ok_or(EngineError::NoTransaction)?;
+        let m = ridl_obs::metrics();
+        let sw = ridl_obs::Stopwatch::start();
         let violations = parallel::validate_parallel(&self.schema, &self.state);
+        m.statements.inc();
+        m.statements_full.inc();
+        let report = EnforcementReport {
+            statement: "commit",
+            mode: self.mode,
+            strategy: "full",
+            ops: self.undo.len() - mark,
+            net_ops: self.undo.len() - mark,
+            violations: violations.len(),
+            reverted: !violations.is_empty(),
+            key_probes: 0,
+            sel_probes: 0,
+            undo_depth: self.undo.len(),
+            duration_ns: sw.elapsed_ns(),
+            per_kind: Vec::new(),
+        };
+        ridl_obs::emit("engine.statement", report.duration_ns, &report.summary());
+        self.last_report = Some(report);
         if violations.is_empty() {
             self.has_unchecked = false;
+            self.unchecked_mark = None;
             if self.txn_marks.is_empty() {
                 self.undo.clear();
             }
             Ok(())
         } else {
+            // A failed commit reverts the transaction; if that suffix held
+            // every unchecked op, `revert_to` resets the deferred flag.
             self.revert_to(mark);
             Err(EngineError::ConstraintViolation(violations))
         }
     }
 
     /// Rolls back the innermost transaction by replaying its undo-log
-    /// suffix in reverse. O(changes in the transaction).
+    /// suffix in reverse. O(changes in the transaction). Rolling back the
+    /// suffix containing every pending unchecked op resets the
+    /// deferred-check flag, so incremental validation resumes.
     pub fn rollback(&mut self) -> Result<(), EngineError> {
         let mark = self.txn_marks.pop().ok_or(EngineError::NoTransaction)?;
         self.revert_to(mark);
@@ -666,21 +891,45 @@ impl Database {
     }
 }
 
-fn find_col(columns: &[String], name: &str) -> Option<usize> {
-    if let Some(i) = columns.iter().position(|c| c == name) {
-        return Some(i);
+/// Resolves a column reference against the joined relation's qualified
+/// column list. A qualified name (`T.C`) must match exactly once; a bare
+/// name must be the suffix of exactly one qualified column. Matching more
+/// than once — a self-join duplicating qualified names, or a bare name
+/// present in several joined tables — is an [`EngineError::Ambiguous`]
+/// error, never a silent pick of the first occurrence.
+fn resolve_col(columns: &[String], name: &str) -> Result<usize, EngineError> {
+    let exact: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| *c == name)
+        .map(|(i, _)| i)
+        .collect();
+    match exact.len() {
+        1 => return Ok(exact[0]),
+        0 => {}
+        n => {
+            return Err(EngineError::Ambiguous(format!(
+                "column {name} matches {n} columns of the joined relation"
+            )))
+        }
     }
     // Bare name: unique suffix match.
-    let matches: Vec<usize> = columns
+    let matches: Vec<(usize, &String)> = columns
         .iter()
         .enumerate()
         .filter(|(_, c)| c.rsplit('.').next() == Some(name))
-        .map(|(i, _)| i)
         .collect();
-    if matches.len() == 1 {
-        Some(matches[0])
-    } else {
-        None
+    match matches.len() {
+        1 => Ok(matches[0].0),
+        0 => Err(EngineError::Unknown(format!("column {name}"))),
+        _ => Err(EngineError::Ambiguous(format!(
+            "column {name} matches {}",
+            matches
+                .iter()
+                .map(|(_, c)| c.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))),
     }
 }
 
@@ -973,5 +1222,183 @@ mod tests {
             Database::create(s),
             Err(EngineError::BadSchema(_))
         ));
+    }
+
+    /// S1 regression: rolling back the transaction containing every
+    /// pending unchecked op must reset the deferred-check flag — the next
+    /// statement runs delta validation again instead of full-state.
+    #[test]
+    fn rollback_of_unchecked_ops_resumes_incremental_validation() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), None]).unwrap();
+        db.begin();
+        db.insert_unchecked("Paper", vec![v("P2"), None]).unwrap();
+        // While unchecked ops are pending, checked statements fall back to
+        // full-state validation.
+        db.insert("Paper", vec![v("P4"), None]).unwrap();
+        assert_eq!(db.last_statement_report().unwrap().strategy, "full");
+        db.rollback().unwrap();
+        assert_eq!(db.state().num_rows(), 1);
+        db.insert("Paper", vec![v("P3"), None]).unwrap();
+        let report = db.last_statement_report().unwrap();
+        assert_eq!(report.strategy, "delta", "deferred flag not reset");
+        assert_eq!(report.statement, "insert");
+    }
+
+    /// S1 regression: a failed commit (which reverts the transaction) must
+    /// also discharge the deferred flag it rolled back.
+    #[test]
+    fn failed_commit_resumes_incremental_validation() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), None]).unwrap();
+        db.begin();
+        db.insert_unchecked("Program_Paper", vec![v("A9"), v("S9")])
+            .unwrap();
+        assert!(db.commit().is_err(), "dangling FK must fail the commit");
+        db.insert("Paper", vec![v("P2"), None]).unwrap();
+        assert_eq!(db.last_statement_report().unwrap().strategy, "delta");
+    }
+
+    /// S2 regression: predicate errors in `delete_where` must surface, not
+    /// silently match zero rows.
+    #[test]
+    fn delete_where_propagates_predicate_errors() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), None]).unwrap();
+        let err = db.delete_where("Paper", &[Pred::Eq("Nope".into(), Value::str("P1"))]);
+        assert!(
+            matches!(err, Err(EngineError::Unknown(ref m)) if m.contains("Nope")),
+            "unknown predicate column must error, got {err:?}"
+        );
+        assert_eq!(db.state().num_rows(), 1, "nothing deleted");
+        let err = db.delete_where("Paper", &[Pred::IsNull("Ghost".into())]);
+        assert!(matches!(err, Err(EngineError::Unknown(_))));
+    }
+
+    /// S2 regression: same for `update_where`.
+    #[test]
+    fn update_where_propagates_predicate_errors() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), None]).unwrap();
+        let err = db.update_where(
+            "Paper",
+            &[Pred::NotNull("Missing_Col".into())],
+            &[("Program_Id", v("A1"))],
+        );
+        assert!(matches!(err, Err(EngineError::Unknown(_))));
+        assert_eq!(
+            db.state().rows(TableId(0)).iter().next().unwrap(),
+            &vec![v("P1"), None],
+            "no row updated"
+        );
+    }
+
+    /// S3 regression: an update that collapses two rows into one (the
+    /// updated row already exists) must be rejected as a DUPLICATE and
+    /// fully reverted — previously the rows were silently merged.
+    #[test]
+    fn update_where_rejects_silent_row_merge() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+        db.insert("Paper", vec![v("P2"), v("A1")]).unwrap();
+        // Renaming P2 to P1 collides with the untouched P1 row; the PK
+        // check alone would *pass* post-merge (one row, one key), so
+        // without the duplicate guard this silently deleted a row.
+        let err = db.update_where(
+            "Paper",
+            &[Pred::Eq("Paper_Id".into(), Value::str("P2"))],
+            &[("Paper_Id", v("P1"))],
+        );
+        match err {
+            Err(EngineError::ConstraintViolation(vs)) => {
+                assert_eq!(vs[0].constraint, "DUPLICATE");
+            }
+            other => panic!("expected DUPLICATE rejection, got {other:?}"),
+        }
+        assert_eq!(db.state().num_rows(), 2, "merge reverted");
+        assert!(db.indexes().consistent_with(db.schema(), db.state()));
+    }
+
+    /// S3 differential: both validation modes agree on the merge
+    /// rejection, and an identity update (set a column to its current
+    /// value) still succeeds in both.
+    #[test]
+    fn update_where_merge_rejection_is_mode_independent() {
+        for mode in [ValidationMode::Incremental, ValidationMode::FullState] {
+            let mut db = sample_db();
+            db.set_validation_mode(mode);
+            db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+            db.insert("Paper", vec![v("P2"), v("A1")]).unwrap();
+            let err = db.update_where(
+                "Paper",
+                &[Pred::Eq("Paper_Id".into(), Value::str("P2"))],
+                &[("Paper_Id", v("P1"))],
+            );
+            assert!(
+                matches!(err, Err(EngineError::ConstraintViolation(_))),
+                "{mode:?}: merge accepted"
+            );
+            assert_eq!(db.state().num_rows(), 2, "{mode:?}: not reverted");
+            // Identity update: remove-then-reinsert of the same row.
+            let n = db
+                .update_where(
+                    "Paper",
+                    &[Pred::Eq("Paper_Id".into(), Value::str("P1"))],
+                    &[("Program_Id", v("A1"))],
+                )
+                .unwrap();
+            assert_eq!(n, 1, "{mode:?}: identity update rejected");
+        }
+    }
+
+    /// S5 regression: an unqualified column matching several joined tables
+    /// (here a self-join duplicating every name) must be an ambiguity
+    /// error, not a silent resolution to the first occurrence.
+    #[test]
+    fn select_rejects_ambiguous_column_references() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), v("P1")]).unwrap();
+        // Self-join: every bare and qualified name now appears twice.
+        let q = Query::from("Paper")
+            .join("Paper", &[("Paper.Paper_Id", "Program_Id")])
+            .select(&["Paper_Id"]);
+        let err = db.select(&q);
+        assert!(
+            matches!(err, Err(EngineError::Ambiguous(ref m)) if m.contains("Paper_Id")),
+            "ambiguous projection accepted: {err:?}"
+        );
+        // Ambiguity in a filter predicate is caught too.
+        let q = Query::from("Paper")
+            .join("Paper", &[("Paper.Paper_Id", "Program_Id")])
+            .filter(Pred::NotNull("Program_Id".into()));
+        assert!(matches!(db.select(&q), Err(EngineError::Ambiguous(_))));
+        // Qualified names that are genuinely unique still resolve.
+        let q = Query::from("Paper")
+            .join("Program_Paper", &[("Paper.Program_Id", "Program_Id")])
+            .select(&["Session"]);
+        assert!(db.select(&q).is_ok());
+    }
+
+    /// `explain` runs the query and records the executed plan with actual
+    /// row counts per step.
+    #[test]
+    fn explain_reports_executed_plan() {
+        let mut db = sample_db();
+        db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+        db.insert("Paper", vec![v("P2"), None]).unwrap();
+        db.insert("Program_Paper", vec![v("A1"), v("S1")]).unwrap();
+        let q = Query::from("Paper")
+            .join("Program_Paper", &[("Program_Id", "Program_Id")])
+            .filter(Pred::NotNull("Session".into()))
+            .select(&["Paper_Id", "Session"]);
+        let ex = db.explain(&q).unwrap();
+        let ops: Vec<&str> = ex.steps.iter().map(|s| s.op).collect();
+        assert_eq!(ops, vec!["scan", "join", "filter", "project"]);
+        assert_eq!(ex.steps[0].rows_out, 2);
+        assert_eq!(ex.steps[1].rows_out, 1);
+        assert_eq!(ex.rows_out, 1);
+        // The plan's result matches the query's.
+        assert_eq!(db.select(&q).unwrap().len(), ex.rows_out);
+        assert!(!ex.render().is_empty());
     }
 }

@@ -20,9 +20,11 @@
 
 pub mod db;
 pub mod query;
+pub mod report;
 
 pub use db::{BatchOp, Database, EngineError, ValidationMode};
 pub use query::{Pred, Query};
+pub use report::{ConstraintCost, EnforcementReport, ExplainStep, QueryExplain};
 
 use ridl_relational::RelSchema;
 

@@ -1,0 +1,127 @@
+//! Snapshot export in the `CRITERION_SUMMARY_JSON` flow.
+//!
+//! The vendored criterion harness appends one JSON line per bench
+//! (`{"name":..,"ns_per_iter":..,"iters":..}`) to the file named by the
+//! `CRITERION_SUMMARY_JSON` environment variable. [`append_summary_snapshot`]
+//! appends metric lines (`{"metric":"<label>/<name>","value":N}`) to the
+//! same file, so one CI artifact carries timings and the enforcement
+//! counters that explain them side by side.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+
+use crate::sink::json_escape;
+use crate::{ConstraintClass, MetricsSnapshot, COUNTER_NAMES};
+
+/// Renders `snap` as JSON lines, one per non-zero counter, each prefixed
+/// with `label` (`{"metric":"<label>/<name>","value":N}`). Zero counters
+/// are skipped so bench artifacts stay small and diffs meaningful.
+pub fn snapshot_jsonl(label: &str, snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let label = json_escape(label);
+    for (i, name) in COUNTER_NAMES.iter().enumerate() {
+        if snap.counters[i] != 0 {
+            out.push_str(&format!(
+                "{{\"metric\":\"{label}/{name}\",\"value\":{}}}\n",
+                snap.counters[i]
+            ));
+        }
+    }
+    for class in ConstraintClass::ALL {
+        let k = snap.kind(class);
+        for (suffix, value) in [
+            ("checks", k.checks),
+            ("violations", k.violations),
+            ("nanos", k.nanos),
+        ] {
+            if value != 0 {
+                out.push_str(&format!(
+                    "{{\"metric\":\"{label}/kind.{}.{suffix}\",\"value\":{value}}}\n",
+                    class.name()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Appends `snap` (rendered by [`snapshot_jsonl`]) to the file named by
+/// `CRITERION_SUMMARY_JSON`, creating it if needed. Does nothing when the
+/// variable is unset; reports write errors to stderr rather than
+/// panicking, mirroring the vendored criterion harness.
+pub fn append_summary_snapshot(label: &str, snap: &MetricsSnapshot) {
+    let Ok(path) = std::env::var("CRITERION_SUMMARY_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let body = snapshot_jsonl(label, snap);
+    if body.is_empty() {
+        return;
+    }
+    match OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(body.as_bytes()) {
+                eprintln!("ridl-obs: cannot write {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("ridl-obs: cannot open {path}: {e}"),
+    }
+}
+
+/// Emits every non-zero counter of the current process-wide totals as one
+/// event each (metric `<label>/<name>`) through the attached sink — an
+/// end-of-run summary for CLI invocations running under
+/// `RIDL_METRICS_JSONL`. A no-op when no sink is attached.
+pub fn emit_snapshot(label: &str) {
+    if !crate::sink_attached() {
+        return;
+    }
+    let snap = crate::snapshot();
+    for (i, name) in COUNTER_NAMES.iter().enumerate() {
+        if snap.counters[i] != 0 {
+            crate::emit(&format!("{label}/{name}"), snap.counters[i], "");
+        }
+    }
+    for class in ConstraintClass::ALL {
+        let k = snap.kind(class);
+        for (suffix, value) in [
+            ("checks", k.checks),
+            ("violations", k.violations),
+            ("nanos", k.nanos),
+        ] {
+            if value != 0 {
+                crate::emit(
+                    &format!("{label}/kind.{}.{suffix}", class.name()),
+                    value,
+                    "",
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{metrics, snapshot};
+
+    #[test]
+    fn snapshot_jsonl_skips_zeros_and_prefixes_label() {
+        let before = snapshot();
+        metrics().statements.add(2);
+        metrics().per_kind[ConstraintClass::ForeignKey.index()]
+            .violations
+            .add(1);
+        let delta = snapshot().since(&before);
+        let text = snapshot_jsonl("unit-test", &delta);
+        assert!(text.contains("{\"metric\":\"unit-test/engine.statements\",\"value\":2}"));
+        assert!(text.contains("{\"metric\":\"unit-test/kind.foreign_key.violations\",\"value\":1}"));
+        assert!(!text.contains("bulk_loads"));
+        for line in text.lines() {
+            assert!(line.starts_with("{\"metric\":\"unit-test/"));
+            assert!(line.ends_with('}'));
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! # ridl-obs — enforcement observability
+//!
+//! RIDL\*'s value proposition is that the engineer can *see* what the
+//! constraint machinery is doing: the paper's RIDL-A/RIDL-M modules report
+//! every check and transformation step. After the engine's enforcement
+//! went incremental, batched and parallel, its fast paths became invisible
+//! — which validation mode ran, which constraint kind dominated, how many
+//! index probes a statement cost. This crate is the measuring layer those
+//! paths report into:
+//!
+//! * [`Counter`] — always-on relaxed-atomic counters, a handful of
+//!   nanoseconds per increment, safe to leave in release hot paths;
+//! * [`EnforcementMetrics`] — the process-wide registry of named counters
+//!   plus per-[`ConstraintClass`] check/violation/time accounts, read
+//!   through [`snapshot`] and diffed with [`MetricsSnapshot::since`] to
+//!   attribute cost to a single statement;
+//! * the **detail gate** ([`set_detail`]/[`detail_enabled`]) — per-probe
+//!   counters and monotonic-clock timers ([`Stopwatch`]) only run when a
+//!   sink is attached or detail is explicitly enabled, so the uninstrumented
+//!   hot path pays one predictable branch, not two clock reads per check;
+//! * [`MetricsSink`] — a pluggable consumer of discrete metric events
+//!   (statement completed, validator worker panicked, …); [`JsonlSink`]
+//!   appends them as JSON lines, and [`init_from_env`] installs one when
+//!   `RIDL_METRICS_JSONL` names a file;
+//! * [`export`] — JSONL snapshot export sharing the
+//!   `CRITERION_SUMMARY_JSON` file format/flow, so benches and CI record
+//!   metric snapshots alongside timings.
+//!
+//! The crate depends on nothing but `std`, so every layer (relational,
+//! engine, transform, core, benches) can report into it without cycles.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod sink;
+
+pub use export::{append_summary_snapshot, emit_snapshot, snapshot_jsonl};
+pub use sink::{
+    attach_sink, detach_sink, emit, init_from_env, sink_attached, JsonlSink, MemorySink,
+    MetricsSink,
+};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// An always-on counter: one relaxed atomic add per increment. Cheap
+/// enough for statement-granularity accounting on release hot paths.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (const, so counters can live in statics).
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Raises the counter to `n` if it is below (a high-water gauge).
+    #[inline]
+    pub fn raise_to(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The metrics taxonomy's constraint classes: every relational constraint
+/// kind (and the structural checks) maps onto one of these, so per-class
+/// cost accounts stay stable as the schema vocabulary grows.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConstraintClass {
+    /// Arity / NOT NULL / DOMAIN structural checks.
+    Structure,
+    /// Primary and candidate keys.
+    Key,
+    /// Foreign keys (both directions).
+    ForeignKey,
+    /// Occurrence-frequency constraints.
+    Frequency,
+    /// `C_EQ$` equality-view constraints.
+    EqualityView,
+    /// `C_SS$` subset-view constraints.
+    SubsetView,
+    /// `C_EX$` exclusion-view constraints.
+    ExclusionView,
+    /// `C_TU$` total-union-view constraints.
+    TotalUnionView,
+    /// `C_CEQ$` conditional-equality (indicator) constraints.
+    ConditionalEquality,
+    /// Row-local kinds (`C_DE$`, `C_EE$`, `C_VAL$`, `C_CX$`).
+    RowLocal,
+}
+
+impl ConstraintClass {
+    /// Every class, in reporting order.
+    pub const ALL: [ConstraintClass; 10] = [
+        ConstraintClass::Structure,
+        ConstraintClass::Key,
+        ConstraintClass::ForeignKey,
+        ConstraintClass::Frequency,
+        ConstraintClass::EqualityView,
+        ConstraintClass::SubsetView,
+        ConstraintClass::ExclusionView,
+        ConstraintClass::TotalUnionView,
+        ConstraintClass::ConditionalEquality,
+        ConstraintClass::RowLocal,
+    ];
+
+    /// The class's metric name segment.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConstraintClass::Structure => "structure",
+            ConstraintClass::Key => "key",
+            ConstraintClass::ForeignKey => "foreign_key",
+            ConstraintClass::Frequency => "frequency",
+            ConstraintClass::EqualityView => "equality_view",
+            ConstraintClass::SubsetView => "subset_view",
+            ConstraintClass::ExclusionView => "exclusion_view",
+            ConstraintClass::TotalUnionView => "total_union_view",
+            ConstraintClass::ConditionalEquality => "conditional_equality",
+            ConstraintClass::RowLocal => "row_local",
+        }
+    }
+
+    /// Index into per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Check/violation/time account for one [`ConstraintClass`].
+#[derive(Debug, Default)]
+pub struct KindStats {
+    /// Constraint checks run (detail-gated on per-op hot paths).
+    pub checks: Counter,
+    /// Violations those checks reported.
+    pub violations: Counter,
+    /// Nanoseconds spent checking (only accumulated while detail is on).
+    pub nanos: Counter,
+}
+
+impl KindStats {
+    const fn new() -> Self {
+        Self {
+            checks: Counter::new(),
+            violations: Counter::new(),
+            nanos: Counter::new(),
+        }
+    }
+}
+
+macro_rules! enforcement_counters {
+    ($($field:ident => $name:literal),+ $(,)?) => {
+        /// The process-wide fixed counter registry. Fields group by layer:
+        /// `engine.*` statement accounting, `index.*` maintenance and
+        /// probes, `validate.*` validator strategy counts, `transform.*`
+        /// mapper activity.
+        #[derive(Debug)]
+        pub struct EnforcementMetrics {
+            /// Per-constraint-class check/violation/time accounts.
+            pub per_kind: [KindStats; 10],
+            $(
+                #[doc = concat!("`", $name, "`.")]
+                pub $field: Counter,
+            )+
+        }
+
+        /// The names of the fixed counters, aligned with
+        /// [`MetricsSnapshot::counters`].
+        pub const COUNTER_NAMES: [&str; enforcement_counters!(@count $($field)+)] =
+            [$($name),+];
+
+        impl EnforcementMetrics {
+            const fn new() -> Self {
+                Self {
+                    per_kind: [
+                        KindStats::new(), KindStats::new(), KindStats::new(),
+                        KindStats::new(), KindStats::new(), KindStats::new(),
+                        KindStats::new(), KindStats::new(), KindStats::new(),
+                        KindStats::new(),
+                    ],
+                    $($field: Counter::new(),)+
+                }
+            }
+
+            fn counter_values(&self) -> [u64; COUNTER_NAMES.len()] {
+                [$(self.$field.get()),+]
+            }
+        }
+    };
+    (@count $($x:ident)+) => { [$(enforcement_counters!(@one $x)),+].len() };
+    (@one $x:ident) => { () };
+}
+
+enforcement_counters! {
+    statements => "engine.statements",
+    statements_delta => "engine.statements.delta",
+    statements_full => "engine.statements.full",
+    statements_deferred => "engine.statements.deferred",
+    statements_aggregate => "engine.statements.aggregate",
+    reverts => "engine.reverts",
+    reverted_ops => "engine.reverted_ops",
+    undo_high_water => "engine.undo_high_water",
+    batches => "engine.batches",
+    batch_ops => "engine.batch_ops",
+    bulk_loads => "engine.bulk_loads",
+    bulk_rows => "engine.bulk_rows",
+    explains => "engine.explains",
+    key_probes => "index.key_probes",
+    sel_probes => "index.sel_probes",
+    index_inserts => "index.inserts",
+    index_removes => "index.removes",
+    index_builds => "index.builds",
+    index_charge_rows => "index.charge_rows",
+    parallel_validations => "validate.parallel_runs",
+    sequential_validations => "validate.sequential_runs",
+    worker_panics => "validate.worker_panics",
+    transform_firings => "transform.firings",
+}
+
+static METRICS: EnforcementMetrics = EnforcementMetrics::new();
+
+/// The process-wide metrics registry.
+#[inline]
+pub fn metrics() -> &'static EnforcementMetrics {
+    &METRICS
+}
+
+/// Point-in-time reading of one [`ConstraintClass`] account.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct KindSnapshot {
+    /// Checks run.
+    pub checks: u64,
+    /// Violations reported.
+    pub violations: u64,
+    /// Nanoseconds spent (zero unless detail was on).
+    pub nanos: u64,
+}
+
+/// Point-in-time reading of every fixed counter; diff two snapshots with
+/// [`MetricsSnapshot::since`] to attribute activity to one statement or
+/// one run. Fixed-size (no allocation), so taking one is cheap.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MetricsSnapshot {
+    /// Per-class accounts, indexed by [`ConstraintClass::index`].
+    pub per_kind: [KindSnapshot; 10],
+    /// Fixed counter values, aligned with [`COUNTER_NAMES`].
+    pub counters: [u64; COUNTER_NAMES.len()],
+}
+
+/// Reads every counter.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut per_kind = [KindSnapshot::default(); 10];
+    for class in ConstraintClass::ALL {
+        let s = &METRICS.per_kind[class.index()];
+        per_kind[class.index()] = KindSnapshot {
+            checks: s.checks.get(),
+            violations: s.violations.get(),
+            nanos: s.nanos.get(),
+        };
+    }
+    MetricsSnapshot {
+        per_kind,
+        counters: METRICS.counter_values(),
+    }
+}
+
+impl MetricsSnapshot {
+    /// The activity between `earlier` and `self` (saturating, so a counter
+    /// reset elsewhere cannot underflow).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for i in 0..out.per_kind.len() {
+            out.per_kind[i] = KindSnapshot {
+                checks: self.per_kind[i]
+                    .checks
+                    .saturating_sub(earlier.per_kind[i].checks),
+                violations: self.per_kind[i]
+                    .violations
+                    .saturating_sub(earlier.per_kind[i].violations),
+                nanos: self.per_kind[i]
+                    .nanos
+                    .saturating_sub(earlier.per_kind[i].nanos),
+            };
+        }
+        for i in 0..out.counters.len() {
+            out.counters[i] = self.counters[i].saturating_sub(earlier.counters[i]);
+        }
+        out
+    }
+
+    /// The value of a fixed counter by its metric name.
+    pub fn counter(&self, name: &str) -> u64 {
+        COUNTER_NAMES
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| self.counters[i])
+            .unwrap_or(0)
+    }
+
+    /// The account of one constraint class.
+    pub fn kind(&self, class: ConstraintClass) -> KindSnapshot {
+        self.per_kind[class.index()]
+    }
+}
+
+// ---- the detail gate ----
+
+static DETAIL: AtomicBool = AtomicBool::new(false);
+
+/// Turns detailed instrumentation (per-probe counters, per-check timers)
+/// on or off. Attaching a sink turns it on automatically.
+pub fn set_detail(on: bool) {
+    DETAIL.store(on, Ordering::Relaxed);
+}
+
+/// Whether detailed instrumentation is on: one relaxed load, the only cost
+/// the uninstrumented hot path pays per probe.
+#[inline]
+pub fn detail_enabled() -> bool {
+    DETAIL.load(Ordering::Relaxed)
+}
+
+/// A monotonic-clock stopwatch that reads the clock only while
+/// [`detail_enabled`] — free (a `None`) otherwise.
+#[derive(Debug)]
+pub struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    /// Starts timing if detail is on.
+    #[inline]
+    pub fn start() -> Self {
+        Self(detail_enabled().then(Instant::now))
+    }
+
+    /// Elapsed nanoseconds, or zero when timing was off.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
+    }
+
+    /// Adds the elapsed time to `account` (no-op when timing was off).
+    #[inline]
+    pub fn record(&self, account: &Counter) {
+        if let Some(t) = self.0 {
+            account.add(t.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+// ---- labeled counters (cold paths: transform rules, ad-hoc events) ----
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static LABELS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
+/// Adds `n` to a dynamically named counter (a mutex-guarded map — for cold
+/// paths like transformation-rule firings, not per-row work).
+pub fn count_label(name: &str, n: u64) {
+    let mut map = LABELS.lock().expect("label registry poisoned");
+    *map.entry(name.to_owned()).or_insert(0) += n;
+}
+
+/// All labeled counters, sorted by name.
+pub fn labels_snapshot() -> Vec<(String, u64)> {
+    LABELS
+        .lock()
+        .expect("label registry poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_snapshots_diff() {
+        let before = snapshot();
+        metrics().statements.add(3);
+        metrics().per_kind[ConstraintClass::Key.index()]
+            .checks
+            .add(2);
+        let delta = snapshot().since(&before);
+        assert_eq!(delta.counter("engine.statements"), 3);
+        assert_eq!(delta.kind(ConstraintClass::Key).checks, 2);
+        assert_eq!(delta.counter("no.such.metric"), 0);
+    }
+
+    #[test]
+    fn high_water_gauge_only_raises() {
+        let c = Counter::new();
+        c.raise_to(10);
+        c.raise_to(4);
+        assert_eq!(c.get(), 10);
+        c.raise_to(11);
+        assert_eq!(c.get(), 11);
+    }
+
+    #[test]
+    fn stopwatch_is_free_when_detail_off() {
+        set_detail(false);
+        let sw = Stopwatch::start();
+        assert_eq!(sw.elapsed_ns(), 0);
+        set_detail(true);
+        let sw = Stopwatch::start();
+        std::hint::black_box(0u64);
+        let c = Counter::new();
+        sw.record(&c);
+        set_detail(false);
+    }
+
+    #[test]
+    fn labeled_counters_accumulate() {
+        count_label("test.rule.alpha", 2);
+        count_label("test.rule.alpha", 1);
+        let labels = labels_snapshot();
+        let v = labels
+            .iter()
+            .find(|(k, _)| k == "test.rule.alpha")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(v >= 3);
+    }
+}

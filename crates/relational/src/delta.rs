@@ -276,9 +276,14 @@ pub fn validate_load(
     }
     // Aggregate pass: one walk over each constraint's counter entries.
     for compiled in &indexes.compiled {
+        let sw = ridl_obs::Stopwatch::start();
         let start = out.len();
         check_aggregate(schema, indexes, compiled, &mut out);
         out[start..].sort();
+        let stats = &ridl_obs::metrics().per_kind[compiled.kind.obs_class().index()];
+        stats.checks.inc();
+        stats.violations.add((out.len() - start) as u64);
+        sw.record(&stats.nanos);
     }
     out
 }
@@ -416,7 +421,28 @@ fn check_aggregate(
 
 /// Structural checks (arity, NOT NULL, DOMAIN) for one inserted row.
 /// Returns false when the arity is wrong (cell checks are skipped).
+/// Accounting is detail-gated: this runs once per touched row on the
+/// engine's hot path.
 fn check_row_structure(
+    schema: &RelSchema,
+    table: TableId,
+    row: &Row,
+    out: &mut Vec<RelViolation>,
+) -> bool {
+    if !ridl_obs::detail_enabled() {
+        return check_row_structure_inner(schema, table, row, out);
+    }
+    let sw = ridl_obs::Stopwatch::start();
+    let before = out.len();
+    let ok = check_row_structure_inner(schema, table, row, out);
+    let stats = &ridl_obs::metrics().per_kind[ridl_obs::ConstraintClass::Structure.index()];
+    stats.checks.inc();
+    stats.violations.add((out.len() - before) as u64);
+    sw.record(&stats.nanos);
+    ok
+}
+
+fn check_row_structure_inner(
     schema: &RelSchema,
     table: TableId,
     row: &Row,
@@ -469,7 +495,31 @@ fn check_row_structure(
     true
 }
 
+/// One delta probe of one compiled constraint. Accounting is detail-gated:
+/// this is the engine's innermost per-op loop, and with detail off the only
+/// instrumentation cost is one relaxed load.
 fn check_op(
+    schema: &RelSchema,
+    idx: &ConstraintIndexes,
+    ci: usize,
+    op_table: TableId,
+    row: &Row,
+    inserted: bool,
+    out: &mut Vec<RelViolation>,
+) {
+    if !ridl_obs::detail_enabled() {
+        return check_op_inner(schema, idx, ci, op_table, row, inserted, out);
+    }
+    let sw = ridl_obs::Stopwatch::start();
+    let before = out.len();
+    check_op_inner(schema, idx, ci, op_table, row, inserted, out);
+    let stats = &ridl_obs::metrics().per_kind[idx.compiled[ci].kind.obs_class().index()];
+    stats.checks.inc();
+    stats.violations.add((out.len() - before) as u64);
+    sw.record(&stats.nanos);
+}
+
+fn check_op_inner(
     schema: &RelSchema,
     idx: &ConstraintIndexes,
     ci: usize,

@@ -130,6 +130,24 @@ pub(crate) enum CompiledKind {
     RowLocal,
 }
 
+impl CompiledKind {
+    /// The observability class this compiled kind reports under.
+    pub(crate) fn obs_class(&self) -> ridl_obs::ConstraintClass {
+        use ridl_obs::ConstraintClass as C;
+        match self {
+            CompiledKind::Key { .. } => C::Key,
+            CompiledKind::ForeignKey { .. } => C::ForeignKey,
+            CompiledKind::Frequency { .. } => C::Frequency,
+            CompiledKind::EqualityView { .. } => C::EqualityView,
+            CompiledKind::SubsetView { .. } => C::SubsetView,
+            CompiledKind::ExclusionView { .. } => C::ExclusionView,
+            CompiledKind::TotalUnionView { .. } => C::TotalUnionView,
+            CompiledKind::ConditionalEquality { .. } => C::ConditionalEquality,
+            CompiledKind::RowLocal => C::RowLocal,
+        }
+    }
+}
+
 /// A compiled constraint: name + counter-resolved kind.
 #[derive(Clone, PartialEq, Debug)]
 pub(crate) struct Compiled {
@@ -222,6 +240,10 @@ impl ConstraintIndexes {
     /// [`ConstraintIndexes::build`] with an explicit worker count (tests
     /// drive this directly to exercise the parallel charge on any machine).
     pub fn build_with_workers(schema: &RelSchema, state: &RelState, workers: usize) -> Self {
+        ridl_obs::metrics().index_builds.inc();
+        ridl_obs::metrics()
+            .index_charge_rows
+            .add(state.num_rows() as u64);
         let num_tables = schema.tables.len();
         let mut this = Self {
             key_counters: Vec::new(),
@@ -480,6 +502,7 @@ impl ConstraintIndexes {
         if table.index() >= self.key_by_table.len() || !self.well_formed(table, row) {
             return;
         }
+        ridl_obs::metrics().index_inserts.inc();
         for id in &self.key_by_table[table.index()] {
             let kc = &mut self.key_counters[*id];
             if let Some(key) = key_projection(row, &kc.cols) {
@@ -500,6 +523,7 @@ impl ConstraintIndexes {
         if table.index() >= self.key_by_table.len() || !self.well_formed(table, row) {
             return;
         }
+        ridl_obs::metrics().index_removes.inc();
         for id in &self.key_by_table[table.index()] {
             let kc = &mut self.key_counters[*id];
             if let Some(key) = key_projection(row, &kc.cols) {
@@ -516,11 +540,17 @@ impl ConstraintIndexes {
 
     /// Occurrences of a NULL-free key projection.
     pub(crate) fn key_count(&self, id: KeyCounterId, key: &[Value]) -> u32 {
+        if ridl_obs::detail_enabled() {
+            ridl_obs::metrics().key_probes.inc();
+        }
         self.key_counters[id].counts.get(key).copied().unwrap_or(0)
     }
 
     /// Occurrences of a selection tuple.
     pub(crate) fn sel_count(&self, id: SelCounterId, tuple: &[Option<Value>]) -> u32 {
+        if ridl_obs::detail_enabled() {
+            ridl_obs::metrics().sel_probes.inc();
+        }
         self.sel_counters[id]
             .counts
             .get(tuple)

@@ -24,7 +24,9 @@
 //! count of an industrial mapping (hundreds of constraints over 120–150
 //! tables) gives the scheduler real work to spread.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 use crate::schema::RelSchema;
@@ -42,6 +44,7 @@ const SMALL_STATE_ROWS: usize = 512;
 /// byte-identical to the sequential validator's.
 pub fn validate_parallel(schema: &RelSchema, state: &RelState) -> Vec<RelViolation> {
     if state.num_rows() < SMALL_STATE_ROWS {
+        ridl_obs::metrics().sequential_validations.inc();
         return validate::validate(schema, state);
     }
     let workers = thread::available_parallelism()
@@ -53,6 +56,16 @@ pub fn validate_parallel(schema: &RelSchema, state: &RelState) -> Vec<RelViolati
 /// Validates with an explicit worker count (tests drive this directly to
 /// exercise the merge on any machine). `workers <= 1` runs sequentially;
 /// more workers than units are not spawned.
+///
+/// # Panic containment
+///
+/// A panicking check (a malformed constraint, an out-of-range column
+/// ordinal) must not abort the process: each unit runs under
+/// [`catch_unwind`], panicked units are retried sequentially after the
+/// workers join, and a unit that panics again is reported as a `PANIC`
+/// pseudo-violation — the statement is rejected instead of the engine
+/// dying. Every caught panic counts into `validate.worker_panics` and is
+/// emitted through the obs sink.
 pub fn validate_with_workers(
     schema: &RelSchema,
     state: &RelState,
@@ -60,10 +73,13 @@ pub fn validate_with_workers(
 ) -> Vec<RelViolation> {
     let units = schema.tables.len() + schema.constraints.len();
     if workers <= 1 || units <= 1 {
+        ridl_obs::metrics().sequential_validations.inc();
         return validate::validate(schema, state);
     }
+    ridl_obs::metrics().parallel_validations.inc();
     let workers = workers.min(units);
     let cursor = AtomicUsize::new(0);
+    let panicked: Mutex<Vec<usize>> = Mutex::new(Vec::new());
     let mut per_worker: Vec<Vec<(usize, Vec<RelViolation>)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -74,10 +90,20 @@ pub fn validate_with_workers(
                         if unit >= units {
                             break;
                         }
-                        let mut out = Vec::new();
-                        run_unit(schema, state, unit, &mut out);
-                        if !out.is_empty() {
-                            local.push((unit, out));
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            let mut out = Vec::new();
+                            run_unit(schema, state, unit, &mut out);
+                            out
+                        })) {
+                            Ok(out) => {
+                                if !out.is_empty() {
+                                    local.push((unit, out));
+                                }
+                            }
+                            Err(_) => panicked
+                                .lock()
+                                .expect("panicked-unit list poisoned")
+                                .push(unit),
                         }
                     }
                     local
@@ -86,12 +112,38 @@ pub fn validate_with_workers(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("validator worker panicked"))
+            .map(|h| h.join().unwrap_or_default())
             .collect()
     });
+    let mut tagged: Vec<(usize, Vec<RelViolation>)> = per_worker.drain(..).flatten().collect();
+    // Sequential fallback for units whose check panicked in a worker; a
+    // persistent panic becomes a violation rather than an abort.
+    let mut panicked = panicked.into_inner().expect("panicked-unit list poisoned");
+    panicked.sort_unstable();
+    for unit in panicked {
+        ridl_obs::metrics().worker_panics.inc();
+        ridl_obs::emit(
+            "validate.worker_panic",
+            1,
+            &format!("unit {unit} retried sequentially"),
+        );
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            let mut out = Vec::new();
+            run_unit(schema, state, unit, &mut out);
+            out
+        }))
+        .unwrap_or_else(|_| {
+            vec![RelViolation {
+                constraint: "PANIC".into(),
+                detail: format!("validator unit {unit} panicked; its check did not complete"),
+            }]
+        });
+        if !out.is_empty() {
+            tagged.push((unit, out));
+        }
+    }
     // Deterministic merge: concatenate unit buffers in unit order, which is
     // exactly the order the sequential validator emits.
-    let mut tagged: Vec<(usize, Vec<RelViolation>)> = per_worker.drain(..).flatten().collect();
     tagged.sort_by_key(|(unit, _)| *unit);
     tagged.into_iter().flat_map(|(_, v)| v).collect()
 }
@@ -186,5 +238,40 @@ mod tests {
         let s = schema();
         let st = dirty_state();
         assert_eq!(validate_parallel(&s, &st), validate::validate(&s, &st));
+    }
+
+    /// A panicking check (here: a `CheckValue` with an out-of-range column
+    /// ordinal) must reject the validation, not abort the process. The
+    /// panic is contained, retried sequentially, reported as a `PANIC`
+    /// pseudo-violation, counted, and surfaced through the obs sink —
+    /// while every healthy unit still reports normally.
+    #[test]
+    fn worker_panic_is_contained_and_reported() {
+        let mut s = schema();
+        s.add_named(RelConstraintKind::CheckValue {
+            table: TableId(0),
+            col: 99,
+            values: vec![Value::str("x")],
+        });
+        let mut st = RelState::with_tables(2);
+        st.insert(TableId(0), vec![v("a"), v("x")]);
+        st.insert(TableId(0), vec![v("a"), None]); // duplicate key: healthy unit reports
+        st.insert(TableId(1), vec![v("x")]);
+        let sink = std::sync::Arc::new(ridl_obs::MemorySink::new());
+        ridl_obs::attach_sink(sink.clone());
+        let before = ridl_obs::snapshot();
+        let out = validate_with_workers(&s, &st, 4);
+        let delta = ridl_obs::snapshot().since(&before);
+        ridl_obs::detach_sink();
+        assert!(
+            out.iter().any(|x| x.constraint == "PANIC"),
+            "expected a PANIC pseudo-violation, got {out:?}"
+        );
+        assert!(
+            out.iter().any(|x| x.detail.contains("duplicate key")),
+            "healthy units must still report: {out:?}"
+        );
+        assert!(delta.counter("validate.worker_panics") >= 1, "{delta:?}");
+        assert!(!sink.named("validate.worker_panic").is_empty());
     }
 }

@@ -69,6 +69,21 @@ pub(crate) fn check_structure_table(
     tid: TableId,
     out: &mut Vec<RelViolation>,
 ) {
+    let sw = ridl_obs::Stopwatch::start();
+    let before = out.len();
+    check_structure_table_inner(schema, state, tid, out);
+    let stats = &ridl_obs::metrics().per_kind[ridl_obs::ConstraintClass::Structure.index()];
+    stats.checks.inc();
+    stats.violations.add((out.len() - before) as u64);
+    sw.record(&stats.nanos);
+}
+
+fn check_structure_table_inner(
+    schema: &RelSchema,
+    state: &RelState,
+    tid: TableId,
+    out: &mut Vec<RelViolation>,
+) {
     let table = schema.table(tid);
     {
         if tid.index() >= state.num_tables() {
@@ -171,7 +186,42 @@ fn check_key(
     }
 }
 
+/// The observability class a schema-level constraint kind reports under.
+pub(crate) fn kind_class(kind: &RelConstraintKind) -> ridl_obs::ConstraintClass {
+    use ridl_obs::ConstraintClass as C;
+    match kind {
+        RelConstraintKind::PrimaryKey { .. } | RelConstraintKind::CandidateKey { .. } => C::Key,
+        RelConstraintKind::ForeignKey { .. } => C::ForeignKey,
+        RelConstraintKind::Frequency { .. } => C::Frequency,
+        RelConstraintKind::EqualityView { .. } => C::EqualityView,
+        RelConstraintKind::SubsetView { .. } => C::SubsetView,
+        RelConstraintKind::ExclusionView { .. } => C::ExclusionView,
+        RelConstraintKind::TotalUnionView { .. } => C::TotalUnionView,
+        RelConstraintKind::ConditionalEquality { .. } => C::ConditionalEquality,
+        RelConstraintKind::DependentExistence { .. }
+        | RelConstraintKind::EqualExistence { .. }
+        | RelConstraintKind::CheckValue { .. }
+        | RelConstraintKind::CoverExistence { .. } => C::RowLocal,
+    }
+}
+
 pub(crate) fn check_constraint(
+    schema: &RelSchema,
+    state: &RelState,
+    name: &str,
+    kind: &RelConstraintKind,
+    out: &mut Vec<RelViolation>,
+) {
+    let sw = ridl_obs::Stopwatch::start();
+    let before = out.len();
+    check_constraint_inner(schema, state, name, kind, out);
+    let stats = &ridl_obs::metrics().per_kind[kind_class(kind).index()];
+    stats.checks.inc();
+    stats.violations.add((out.len() - before) as u64);
+    sw.record(&stats.nanos);
+}
+
+fn check_constraint_inner(
     schema: &RelSchema,
     state: &RelState,
     name: &str,

@@ -67,7 +67,10 @@ impl TransformTrace {
         Self::default()
     }
 
-    /// Appends a step.
+    /// Appends a step. Each firing counts into the process-wide obs
+    /// registry: `transform.firings` plus a per-rule labeled counter
+    /// (`transform.rule.<NAME>`), so a profile over many mapping runs can
+    /// show which basic transformations dominate.
     pub fn push(
         &mut self,
         kind: TransformKind,
@@ -75,9 +78,14 @@ impl TransformTrace {
         site: impl Into<String>,
         lossless_rules: Vec<String>,
     ) {
+        let name = name.into();
+        ridl_obs::metrics().transform_firings.inc();
+        if ridl_obs::detail_enabled() {
+            ridl_obs::count_label(&format!("transform.rule.{name}"), 1);
+        }
         self.steps.push(AppliedTransform {
             kind,
-            name: name.into(),
+            name,
             site: site.into(),
             lossless_rules,
         });

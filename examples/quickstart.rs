@@ -64,4 +64,20 @@ UNIQUE borrows.RIGHT;          -- a copy is on loan to at most one member
 
     // 5. The transformation trace — the composed basic transformations.
     println!("{}", out.trace.render());
+
+    // 6. Execute the design and observe the enforcement: every statement
+    //    leaves a structured report, and EXPLAIN shows the executed plan.
+    let mut db = ridl_engine::Database::create(out.rel.clone()).expect("engine opens");
+    let book = out.rel.table_by_name("Book").expect("Book table");
+    let arity = out.rel.table(book).arity();
+    let mut row = vec![None; arity];
+    row[0] = Some(ridl_brm::Value::str("9780000000000"));
+    row[1] = Some(ridl_brm::Value::str("On RIDL"));
+    db.insert("Book", row).expect("insert passes enforcement");
+    let report = db.last_statement_report().expect("statement reported");
+    println!("== Enforcement report ==\n{}", report.render());
+    let plan = db
+        .explain(&ridl_engine::Query::from("Book"))
+        .expect("plan explains");
+    println!("== Executed plan ==\n{}", plan.render());
 }

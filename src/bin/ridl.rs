@@ -1,12 +1,14 @@
 //! `ridl` — the RIDL\* workbench from the command line.
 //!
 //! ```text
-//! ridl check  <schema.ridl> [--implied]         run RIDL-A
-//! ridl map    <schema.ridl> [options]           run RIDL-M, print DDL
-//! ridl report <schema.ridl> [options]           print the map report
-//! ridl trace  <schema.ridl> [options]           print the transformation trace
-//! ridl fmt    <schema.ridl>                     pretty-print the schema
-//! ridl query  <schema.ridl> "LIST …" [options]  compile a conceptual query
+//! ridl check   <schema.ridl> [--implied]         run RIDL-A
+//! ridl map     <schema.ridl> [options]           run RIDL-M, print DDL
+//! ridl report  <schema.ridl> [options]           print the map report
+//! ridl trace   <schema.ridl> [options]           print the transformation trace
+//! ridl profile <schema.ridl> [options]           profile analyze + map (timings, rule firings)
+//! ridl fmt     <schema.ridl>                     pretty-print the schema
+//! ridl query   <schema.ridl> "LIST …" [--explain] [options]
+//!                                                compile a conceptual query
 //!
 //! options:
 //!   --nulls default|not-allowed|not-in-keys|allowed
@@ -14,7 +16,8 @@
 //!   --dialect sql2|oracle|ingres|db2
 //! ```
 //!
-//! A path of `-` reads the schema from stdin.
+//! A path of `-` reads the schema from stdin. Set `RIDL_METRICS_JSONL=<path>`
+//! to append every enforcement metric event as a JSON line.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -110,7 +113,7 @@ fn mapped(
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or_else(|| {
-        "usage: ridl <check|map|report|trace|fmt|query> <schema.ridl> [options]".to_owned()
+        "usage: ridl <check|map|report|trace|profile|fmt|query> <schema.ridl> [options]".to_owned()
     })?;
     match cmd.as_str() {
         "check" => {
@@ -175,6 +178,26 @@ fn run() -> Result<(), String> {
             print!("{}", out.trace.render());
             Ok(())
         }
+        "profile" => {
+            let (path, flags) = rest
+                .split_first()
+                .ok_or_else(|| "usage: ridl profile <schema.ridl> [options]".to_owned())?;
+            let cli = parse_flags(flags)?;
+            let schema = read_schema(path)?;
+            let wb = Workbench::new(schema);
+            if !wb.analysis().is_mappable() {
+                return Err(format!(
+                    "schema is not mappable; run `ridl check`:\n{}",
+                    wb.analysis().render()
+                ));
+            }
+            let options = MappingOptions::new()
+                .with_nulls(cli.nulls)
+                .with_sublinks(cli.sublinks);
+            let (_, profile) = wb.map_profiled(&options).map_err(|e| e.to_string())?;
+            print!("{}", profile.render());
+            Ok(())
+        }
         "fmt" => {
             let (path, _) = rest
                 .split_first()
@@ -190,7 +213,13 @@ fn run() -> Result<(), String> {
             let (text, flags) = more
                 .split_first()
                 .ok_or_else(|| "usage: ridl query <schema.ridl> \"LIST …\" [options]".to_owned())?;
-            let (_, out, _) = mapped(path, flags)?;
+            let explain = flags.iter().any(|f| f == "--explain");
+            let flags: Vec<String> = flags
+                .iter()
+                .filter(|f| *f != "--explain")
+                .cloned()
+                .collect();
+            let (_, out, _) = mapped(path, &flags)?;
             let q = ridl_query::parse_query(text).map_err(|e| e.to_string())?;
             let compiled = ridl_query::compile(&out, &q).map_err(|e| e.to_string())?;
             println!(
@@ -220,6 +249,15 @@ fn run() -> Result<(), String> {
                     .collect();
                 println!(" WHERE {}", conds.join(" AND "));
             }
+            if explain {
+                // Execute the plan against an (empty) engine instance: the
+                // step sequence is real even when the row counts are zero.
+                let db =
+                    ridl_engine::Database::create(out.rel.clone()).map_err(|e| e.to_string())?;
+                let plan = db.explain(&compiled.query).map_err(|e| e.to_string())?;
+                println!("-- executed plan");
+                print!("{}", plan.render());
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other}")),
@@ -227,11 +265,15 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    ridl_obs::init_from_env();
+    let code = match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("ridl: {e}");
             ExitCode::FAILURE
         }
-    }
+    };
+    // Under RIDL_METRICS_JSONL, close the run with a totals snapshot.
+    ridl_obs::emit_snapshot("ridl");
+    code
 }

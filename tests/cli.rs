@@ -96,6 +96,58 @@ fn fmt_round_trips() {
 }
 
 #[test]
+fn profile_reports_timings_and_firings() {
+    let (stdout, stderr, ok) = ridl(&["profile", "-"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("analyze"), "{stdout}");
+    assert!(stdout.contains("map"), "{stdout}");
+    assert!(stdout.contains("firings"), "{stdout}");
+    assert!(stdout.contains("tables"), "{stdout}");
+}
+
+#[test]
+fn query_explain_prints_executed_plan() {
+    let (stdout, stderr, ok) = ridl(&[
+        "query",
+        "-",
+        "LIST Program_Paper ( has , comprising , identified_by )",
+        "--explain",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("-- executed plan"), "{stdout}");
+    assert!(stdout.contains("scan"), "{stdout}");
+    assert!(stdout.contains("join"), "{stdout}");
+}
+
+#[test]
+fn metrics_jsonl_env_appends_events() {
+    let path = std::env::temp_dir().join(format!("ridl-cli-metrics-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ridl"))
+        .args(["profile", "-"])
+        .env("RIDL_METRICS_JSONL", &path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ridl");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(SCHEMA.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).unwrap_or_default();
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        text.lines().any(|l| l.contains("\"metric\"")),
+        "no metric events written: {text:?}"
+    );
+}
+
+#[test]
 fn bad_input_fails_with_message() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_ridl"))
         .args(["check", "-"])

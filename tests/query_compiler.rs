@@ -249,6 +249,38 @@ fn conceptual_add_subtype_under_together() {
     assert_eq!(rows.len(), 3, "{rows:?}");
 }
 
+/// An unqualified column matching several joined tables must be an
+/// ambiguity error. The executor used to resolve such references to the
+/// first occurrence silently, which returns wrong answers on self-joins.
+#[test]
+fn ambiguous_column_references_are_rejected() {
+    use ridl_engine::{EngineError, Pred, Query};
+    let wb = Workbench::new(fig6::schema());
+    let out = wb.map(&MappingOptions::new()).unwrap();
+    let db = loaded_db(&out);
+    let paper = out.rel.table_by_name("Paper").unwrap();
+    let key = out.rel.table(paper).column(0).name.clone();
+    // Self-join on the key: every column name now appears twice, so bare
+    // and qualified references to Paper columns are both ambiguous.
+    let self_join = |q: Query| q.join("Paper", &[(key.as_str(), key.as_str())]);
+    let q = self_join(Query::from("Paper")).select(&[key.as_str()]);
+    assert!(
+        matches!(db.select(&q), Err(EngineError::Ambiguous(_))),
+        "bare projection silently resolved: {:?}",
+        db.select(&q)
+    );
+    let q = self_join(Query::from("Paper")).filter(Pred::NotNull(key.clone()));
+    assert!(matches!(db.select(&q), Err(EngineError::Ambiguous(_))));
+    let q = self_join(Query::from("Paper")).select(&[format!("Paper.{key}").as_str()]);
+    assert!(
+        matches!(db.select(&q), Err(EngineError::Ambiguous(_))),
+        "duplicated qualified name silently resolved"
+    );
+    // Without the self-join the same references are unique and fine.
+    let q = Query::from("Paper").select(&[key.as_str()]);
+    assert!(db.select(&q).is_ok());
+}
+
 /// The compiler exploits denormalised duplicates: the same two-step path
 /// that needs a join under the default mapping compiles join-free when a
 /// combine directive duplicated the target's attributes — "redundancy …
