@@ -1,0 +1,63 @@
+use ridl_brm::{DataType, Value};
+use ridl_engine::{Database, EngineError};
+use ridl_relational::{Column, RelConstraintKind, RelSchema, Table};
+
+fn v(s: &str) -> Option<Value> {
+    Some(Value::str(s))
+}
+
+fn sample_db() -> Database {
+    let mut s = RelSchema::new("repro");
+    let d = s.domain("D", DataType::Char(10));
+    let paper = s.add_table(Table::new(
+        "Paper",
+        vec![
+            Column::not_null("Paper_Id", d),
+            Column::nullable("Program_Id", d),
+        ],
+    ));
+    let pp = s.add_table(Table::new(
+        "Program_Paper",
+        vec![
+            Column::not_null("Program_Id", d),
+            Column::not_null("Session", d),
+        ],
+    ));
+    s.add_named(RelConstraintKind::PrimaryKey { table: paper, cols: vec![0] });
+    s.add_named(RelConstraintKind::PrimaryKey { table: pp, cols: vec![0] });
+    s.add_named(RelConstraintKind::ForeignKey {
+        table: pp,
+        cols: vec![0],
+        ref_table: paper,
+        ref_cols: vec![1],
+    });
+    Database::create(s).unwrap()
+}
+
+#[test]
+fn rollback_must_not_discharge_uncovered_unchecked_rows() {
+    let mut db = sample_db();
+    // Unchecked row with a dangling FK, OUTSIDE any transaction: it leaves
+    // the undo log immediately and can never be reverted away.
+    db.insert_unchecked("Program_Paper", vec![v("A9"), v("S9")]).unwrap();
+    // A transaction adds (and rolls back) a second unchecked row.
+    db.begin();
+    db.insert_unchecked("Paper", vec![v("P9"), None]).unwrap();
+    db.rollback().unwrap();
+    // The dangling-FK row is still in the state, never validated. The
+    // engine must still treat the state as having pending unchecked rows
+    // (full-state fallback); if the watermark reset cleared the flag, the
+    // next statement runs delta validation on an invalid pre-state and the
+    // dangling FK is silently accepted.
+    let res = db.insert("Paper", vec![v("P1"), None]);
+    let report = db.last_statement_report().unwrap();
+    assert_eq!(
+        report.strategy, "full",
+        "deferred flag was wrongly discharged; got {:?} (insert result {:?})",
+        report.strategy, res
+    );
+    assert!(
+        matches!(res, Err(EngineError::ConstraintViolation(_))),
+        "dangling FK must surface on the full-state fallback, got {res:?}"
+    );
+}
