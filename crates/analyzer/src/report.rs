@@ -131,12 +131,20 @@ impl AnalysisReport {
 
 /// Runs the four RIDL-A functions over a schema.
 pub fn analyze(schema: &Schema) -> AnalysisReport {
-    let references = crate::reference::infer(schema);
+    let _span = ridl_obs::span::enter("analyzer.analyze");
+    let references =
+        ridl_obs::span::in_span("analyzer.reference", || crate::reference::infer(schema));
     AnalysisReport {
-        correctness: crate::correctness::check(schema),
-        completeness: crate::completeness::check(schema),
-        consistency: crate::setalg::check(schema),
-        referability: crate::reference::findings(schema, &references),
+        correctness: ridl_obs::span::in_span("analyzer.correctness", || {
+            crate::correctness::check(schema)
+        }),
+        completeness: ridl_obs::span::in_span("analyzer.completeness", || {
+            crate::completeness::check(schema)
+        }),
+        consistency: ridl_obs::span::in_span("analyzer.setalg", || crate::setalg::check(schema)),
+        referability: ridl_obs::span::in_span("analyzer.referability", || {
+            crate::reference::findings(schema, &references)
+        }),
         references,
     }
 }

@@ -211,6 +211,9 @@ fn report() -> Vec<(usize, Database, Targets)> {
 
 fn bench(c: &mut Criterion) {
     ridl_obs::init_from_env();
+    // Under RIDL_TRACE_JSON the whole run is span-traced and exported as a
+    // Chrome trace (CI validates the file with `ridl tracecheck`).
+    ridl_obs::init_tracing_from_env();
     let obs_before = ridl_obs::snapshot();
     let dbs = report();
     let mut group = c.benchmark_group("engine_mutation");
@@ -263,6 +266,9 @@ fn bench(c: &mut Criterion) {
     // CRITERION_SUMMARY_JSON artifact.
     let diff = ridl_obs::snapshot().since(&obs_before);
     ridl_obs::append_summary_snapshot("engine_mutation", &diff);
+    if let Some(path) = ridl_obs::write_chrome_trace_env() {
+        eprintln!("engine_mutation: chrome trace written to {path}");
+    }
 }
 
 criterion_group!(benches, bench);

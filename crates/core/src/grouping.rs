@@ -454,6 +454,11 @@ pub fn map_schema(
     analysis: &ReferenceAnalysis,
     options: &MappingOptions,
 ) -> Result<MappingOutput, MapError> {
+    let mut span = ridl_obs::span::enter("ridlm.map");
+    if span.is_recording() {
+        span.attr("nulls", format!("{:?}", options.nulls));
+        span.attr("sublinks", format!("{:?}", options.sublinks));
+    }
     let mut trace = TransformTrace::new();
     let notes: Vec<String> = Vec::new();
 

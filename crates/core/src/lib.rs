@@ -33,6 +33,7 @@
 
 pub mod grouping;
 pub mod lexical;
+pub mod lineage;
 pub mod map_report;
 pub mod options;
 pub mod rulebase;
@@ -41,6 +42,7 @@ pub mod viewcons;
 pub mod workbench;
 
 pub use grouping::{map_schema, FactRealization, MapError, MappingOutput, SubMembership};
+pub use lineage::{BrmSource, Lineage, LineageEntry};
 pub use map_report::MapReport;
 pub use options::{MappingOptions, NullOption, SublinkOption};
 pub use workbench::{MapProfile, Workbench};

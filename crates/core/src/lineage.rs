@@ -1,0 +1,545 @@
+//! Column-level mapping lineage: from relational objects back to BRM sources.
+//!
+//! RIDL-M composes basic lossless transformations; the [`TransformTrace`]
+//! records *what happened*, but a designer debugging a generated schema asks
+//! the inverse question: *where did this table / column / constraint come
+//! from?* [`Lineage::derive`] answers it post-hoc from a [`MappingOutput`],
+//! attributing every relational object to one or more BRM sources — the
+//! anchored object type, the fact-type role a column realises, the sublink
+//! behind an `_Is` or indicator column, the binary constraint a view
+//! constraint carries — together with the trace steps that produced it.
+//!
+//! The derivation is a pure function of the mapping output: it reads the
+//! structures the mapper already records for the map report (`anchors`,
+//! `fact_real`, `sub_memb`, `col_sources`, `constraint_map`, `combines`)
+//! and the transform trace, so it stays correct under every null-value and
+//! sublink option without the mapper carrying extra bookkeeping.
+//!
+//! Surfaced through [`crate::Workbench::lineage`] and the `ridl lineage`
+//! CLI subcommand.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ridl_brm::{ConstraintId, FactTypeId, ObjectTypeId, Schema, Side, SublinkId};
+use ridl_transform::trace::TransformTrace;
+
+use crate::grouping::{ConstraintMapping, FactRealization, MappingOutput, SubMembership};
+use crate::map_report::{describe_constraint, describe_fact, describe_sublink, ot_kind_word};
+
+/// A BRM-level origin of a relational object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BrmSource {
+    /// An object type (the anchor behind a relation or key column).
+    ObjectType {
+        /// `LOT` / `NOLOT` / `LOT-NOLOT`.
+        kind: &'static str,
+        /// The object type's name.
+        name: String,
+    },
+    /// One role of a fact type (the role a column's values realise).
+    FactRole {
+        /// The paper-style fact description.
+        fact: String,
+        /// The played role's name (may be empty for unnamed roles).
+        role: String,
+        /// The role player's name.
+        player: String,
+    },
+    /// A whole fact type (own-table facts, combine directives).
+    Fact {
+        /// The paper-style fact description.
+        fact: String,
+    },
+    /// A sublink (behind `_Is` columns, link tables and indicators).
+    Sublink {
+        /// The paper-style sublink description.
+        text: String,
+    },
+    /// A binary constraint carried into the relational schema.
+    Constraint {
+        /// The paper-style constraint description.
+        text: String,
+    },
+}
+
+impl fmt::Display for BrmSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrmSource::ObjectType { kind, name } => write!(f, "{kind} {name}"),
+            BrmSource::FactRole { fact, role, player } => {
+                if role.is_empty() {
+                    write!(f, "ROLE ON {player} OF {fact}")
+                } else {
+                    write!(f, "ROLE {role} ON {player} OF {fact}")
+                }
+            }
+            BrmSource::Fact { fact } => write!(f, "{fact}"),
+            BrmSource::Sublink { text } => write!(f, "{text}"),
+            BrmSource::Constraint { text } => write!(f, "{text}"),
+        }
+    }
+}
+
+/// The lineage of one relational object.
+#[derive(Clone, Debug)]
+pub struct LineageEntry {
+    /// The relational object: `Table`, `Table.Column` or a constraint name.
+    pub target: String,
+    /// Its BRM sources (deduplicated, in discovery order).
+    pub sources: Vec<BrmSource>,
+    /// Indices into [`TransformTrace::steps`] of the applied transformations
+    /// that produced it (ascending).
+    pub steps: Vec<usize>,
+}
+
+impl LineageEntry {
+    fn new(target: String) -> Self {
+        Self {
+            target,
+            sources: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    fn add_source(&mut self, s: BrmSource) {
+        if !self.sources.contains(&s) {
+            self.sources.push(s);
+        }
+    }
+
+    fn add_step(&mut self, i: usize) {
+        if let Err(pos) = self.steps.binary_search(&i) {
+            self.steps.insert(pos, i);
+        }
+    }
+}
+
+/// Column-level lineage of a mapped schema: every table, column and
+/// relational constraint attributed to its BRM sources and trace steps.
+#[derive(Clone, Debug)]
+pub struct Lineage {
+    /// Per-table lineage, in table order.
+    pub tables: Vec<LineageEntry>,
+    /// Per-column lineage (`Table.Column` targets), in table/column order.
+    pub columns: Vec<LineageEntry>,
+    /// Per-constraint lineage, in constraint order.
+    pub constraints: Vec<LineageEntry>,
+}
+
+fn ot_source(schema: &Schema, ot: ObjectTypeId) -> BrmSource {
+    BrmSource::ObjectType {
+        kind: ot_kind_word(schema.kind_of(ot)),
+        name: schema.ot_name(ot).to_owned(),
+    }
+}
+
+fn fact_role_source(schema: &Schema, fid: FactTypeId, side: Side) -> BrmSource {
+    let ft = schema.fact_type(fid);
+    let role = ft.role(side);
+    BrmSource::FactRole {
+        fact: describe_fact(schema, fid),
+        role: role.name.clone(),
+        player: schema.ot_name(role.player).to_owned(),
+    }
+}
+
+fn fact_source(schema: &Schema, fid: FactTypeId) -> BrmSource {
+    BrmSource::Fact {
+        fact: describe_fact(schema, fid),
+    }
+}
+
+fn sublink_source(schema: &Schema, sid: SublinkId) -> BrmSource {
+    BrmSource::Sublink {
+        text: describe_sublink(schema, sid),
+    }
+}
+
+impl Lineage {
+    /// Derives the full lineage from a mapping output.
+    pub fn derive(out: &MappingOutput) -> Lineage {
+        let schema = &out.schema;
+        let rel = &out.rel;
+        // Accumulators keyed by raw table id / (table, column).
+        let mut tables: BTreeMap<u32, LineageEntry> = rel
+            .tables()
+            .map(|(tid, t)| (tid.0, LineageEntry::new(t.name.clone())))
+            .collect();
+        let mut columns: BTreeMap<(u32, u32), LineageEntry> = rel
+            .tables()
+            .flat_map(|(tid, t)| {
+                t.columns.iter().enumerate().map(move |(c, col)| {
+                    (
+                        (tid.0, c as u32),
+                        LineageEntry::new(format!("{}.{}", t.name, col.name)),
+                    )
+                })
+            })
+            .collect();
+
+        // 1. Anchor relations: table and key columns come from the anchored
+        //    object type.
+        for (&raw, info) in &out.anchors {
+            let ot = ObjectTypeId::from_raw(raw);
+            let src = ot_source(schema, ot);
+            if let Some(e) = tables.get_mut(&info.table.0) {
+                e.add_source(src.clone());
+            }
+            for &c in &info.key_cols {
+                if let Some(e) = columns.get_mut(&(info.table.0, c)) {
+                    e.add_source(src.clone());
+                }
+            }
+        }
+
+        // 2. Lexicalised columns: each records the LOT it holds.
+        for (&(traw, c), &lot) in &out.col_sources {
+            if let Some(e) = columns.get_mut(&(traw, c)) {
+                e.add_source(ot_source(schema, lot));
+            }
+        }
+
+        // 3. Fact realisations: value/key columns realise a role; own-table
+        //    facts source their whole table.
+        for (i, fr) in out.fact_real.iter().enumerate() {
+            let fid = FactTypeId::from_raw(i as u32);
+            match fr {
+                FactRealization::KeyOf {
+                    table,
+                    anchor_side,
+                    cols,
+                    ..
+                } => {
+                    let src = fact_role_source(schema, fid, anchor_side.other());
+                    for &c in cols {
+                        if let Some(e) = columns.get_mut(&(table.0, c)) {
+                            e.add_source(src.clone());
+                        }
+                    }
+                }
+                FactRealization::Attribute {
+                    table,
+                    anchor_side,
+                    value_cols,
+                    ..
+                } => {
+                    let src = fact_role_source(schema, fid, anchor_side.other());
+                    for &c in value_cols {
+                        if let Some(e) = columns.get_mut(&(table.0, c)) {
+                            e.add_source(src.clone());
+                        }
+                    }
+                }
+                FactRealization::OwnTable {
+                    table,
+                    left_cols,
+                    right_cols,
+                } => {
+                    if let Some(e) = tables.get_mut(&table.0) {
+                        e.add_source(fact_source(schema, fid));
+                    }
+                    for (side, cols) in [(Side::Left, left_cols), (Side::Right, right_cols)] {
+                        let src = fact_role_source(schema, fid, side);
+                        for &c in cols {
+                            if let Some(e) = columns.get_mut(&(table.0, c)) {
+                                e.add_source(src.clone());
+                            }
+                        }
+                    }
+                }
+                FactRealization::Omitted => {}
+            }
+        }
+
+        // 4. Sublink memberships: `_Is` columns, link tables and indicator
+        //    columns owe their existence to the sublink.
+        for (i, sm) in out.sub_memb.iter().enumerate() {
+            let Some(m) = sm else { continue };
+            let sid = SublinkId::from_raw(i as u32);
+            let src = sublink_source(schema, sid);
+            let mut cur = Some(m);
+            while let Some(m) = cur {
+                cur = None;
+                match m {
+                    SubMembership::SubRelation { table, .. } => {
+                        if let Some(e) = tables.get_mut(&table.0) {
+                            e.add_source(src.clone());
+                        }
+                    }
+                    SubMembership::OwnKeyLinked {
+                        super_table,
+                        is_cols,
+                        ..
+                    } => {
+                        for &c in is_cols {
+                            if let Some(e) = columns.get_mut(&(super_table.0, c)) {
+                                e.add_source(src.clone());
+                            }
+                        }
+                    }
+                    SubMembership::LinkTable {
+                        link_table,
+                        link_sub_cols,
+                        link_sup_cols,
+                        ..
+                    } => {
+                        if let Some(e) = tables.get_mut(&link_table.0) {
+                            e.add_source(src.clone());
+                        }
+                        for &c in link_sub_cols.iter().chain(link_sup_cols) {
+                            if let Some(e) = columns.get_mut(&(link_table.0, c)) {
+                                e.add_source(src.clone());
+                            }
+                        }
+                    }
+                    SubMembership::AbsorbedColumns {
+                        table,
+                        mandatory_cols,
+                    } => {
+                        for &c in mandatory_cols {
+                            if let Some(e) = columns.get_mut(&(table.0, c)) {
+                                e.add_source(src.clone());
+                            }
+                        }
+                    }
+                    SubMembership::Indicator { table, col, sub } => {
+                        if let Some(e) = columns.get_mut(&(table.0, *col)) {
+                            e.add_source(src.clone());
+                        }
+                        cur = sub.as_deref();
+                    }
+                }
+            }
+        }
+
+        // 5. Combine directives: duplicated columns additionally trace to
+        //    the functional fact they denormalise along.
+        for rec in &out.combines {
+            let src = fact_source(schema, rec.via);
+            for &c in rec.det_cols.iter().chain(&rec.dup_cols) {
+                if let Some(e) = columns.get_mut(&(rec.table.0, c)) {
+                    e.add_source(src.clone());
+                }
+            }
+            // Duplicated columns mirror the target's source columns: copy
+            // their object-type sources too (apply_combines records LOT
+            // sources only when the target column had one).
+            for (&d, &s) in rec.dup_cols.iter().zip(&rec.target_src_cols) {
+                let copied: Vec<BrmSource> = columns
+                    .get(&(rec.target_table.0, s))
+                    .map(|e| e.sources.clone())
+                    .unwrap_or_default();
+                if let Some(e) = columns.get_mut(&(rec.table.0, d)) {
+                    for src in copied {
+                        e.add_source(src);
+                    }
+                }
+            }
+        }
+
+        // 6. Trace steps: attach each applied transformation to the tables
+        //    (and their columns) whose name or source names its site
+        //    mentions.
+        for (i, step) in out.trace.steps().iter().enumerate() {
+            for (raw, e) in tables.iter_mut() {
+                let hit = site_mentions(&step.site, &e.target)
+                    || e.sources.iter().any(|s| match s {
+                        BrmSource::ObjectType { name, .. } => site_mentions(&step.site, name),
+                        _ => false,
+                    });
+                if hit {
+                    e.add_step(i);
+                    for (&(traw, _), ce) in columns.iter_mut() {
+                        if traw == *raw {
+                            ce.add_step(i);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 7. Relational constraints: exact step via the lossless-rule name;
+        //    binary-constraint sources via the constraint map; object-type
+        //    sources from the tables the constraint spans.
+        let mut constraints: Vec<LineageEntry> = rel
+            .constraints
+            .iter()
+            .map(|c| {
+                let mut e = LineageEntry::new(c.name.clone());
+                if let Some(i) = out.trace.step_for_rule(&c.name) {
+                    e.add_step(i);
+                }
+                for t in c.kind.tables() {
+                    if let Some(te) = tables.get(&t.0) {
+                        for src in &te.sources {
+                            e.add_source(src.clone());
+                        }
+                    }
+                }
+                e
+            })
+            .collect();
+        for (ci, m) in out.constraint_map.iter().enumerate() {
+            if let ConstraintMapping::Relational(names) = m {
+                let cid = ConstraintId::from_raw(ci as u32);
+                let src = BrmSource::Constraint {
+                    text: describe_constraint(schema, cid),
+                };
+                for n in names {
+                    if let Some(e) = constraints.iter_mut().find(|e| &e.target == n) {
+                        e.add_source(src.clone());
+                    }
+                }
+            }
+        }
+
+        Lineage {
+            tables: tables.into_values().collect(),
+            columns: columns.into_values().collect(),
+            constraints,
+        }
+    }
+
+    /// The lineage of a table, by name.
+    pub fn table(&self, name: &str) -> Option<&LineageEntry> {
+        self.tables.iter().find(|e| e.target == name)
+    }
+
+    /// The lineage of a column, by `Table`/`Column` names.
+    pub fn column(&self, table: &str, column: &str) -> Option<&LineageEntry> {
+        let target = format!("{table}.{column}");
+        self.columns.iter().find(|e| e.target == target)
+    }
+
+    /// The lineage of a relational constraint, by name.
+    pub fn constraint(&self, name: &str) -> Option<&LineageEntry> {
+        self.constraints.iter().find(|e| e.target == name)
+    }
+
+    /// Targets with no BRM source at all — empty on a complete derivation
+    /// (asserted by `tests/lineage.rs` across the mapping options).
+    pub fn unresolved(&self) -> Vec<&str> {
+        self.tables
+            .iter()
+            .chain(&self.columns)
+            .chain(&self.constraints)
+            .filter(|e| e.sources.is_empty())
+            .map(|e| e.target.as_str())
+            .collect()
+    }
+
+    /// Renders the full lineage report.
+    pub fn render(&self, trace: &TransformTrace) -> String {
+        self.render_filtered(trace, None, None)
+    }
+
+    /// Renders the lineage of one table (and optionally one column), or
+    /// everything when `table` is `None`.
+    pub fn render_filtered(
+        &self,
+        trace: &TransformTrace,
+        table: Option<&str>,
+        column: Option<&str>,
+    ) -> String {
+        let mut s = String::from("-- LINEAGE (BRM provenance of the mapped schema)\n");
+        let mut shown = false;
+        for te in &self.tables {
+            if let Some(t) = table {
+                if te.target != t {
+                    continue;
+                }
+            }
+            if column.is_none() {
+                shown = true;
+                render_entry(&mut s, "TABLE", te, 3, trace);
+            }
+            let prefix = format!("{}.", te.target);
+            for ce in &self.columns {
+                if !ce.target.starts_with(&prefix) {
+                    continue;
+                }
+                if let Some(c) = column {
+                    if ce.target[prefix.len()..] != *c {
+                        continue;
+                    }
+                }
+                shown = true;
+                render_entry(&mut s, "COLUMN", ce, 6, trace);
+            }
+        }
+        if table.is_none() && column.is_none() {
+            s.push_str("-- CONSTRAINT LINEAGE\n");
+            for e in &self.constraints {
+                shown = true;
+                render_entry(&mut s, "CONSTRAINT", e, 3, trace);
+            }
+        }
+        if !shown {
+            s.push_str("   (no matching table or column)\n");
+        }
+        s
+    }
+}
+
+/// Whether `site` mentions `name` as a whole word (names contain `_` and
+/// alphanumerics; neighbours must not extend the identifier).
+fn site_mentions(site: &str, name: &str) -> bool {
+    if name.is_empty() {
+        return false;
+    }
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(pos) = site[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let left_ok = start == 0 || !site[..start].chars().next_back().is_some_and(ident);
+        let right_ok = end == site.len() || !site[end..].chars().next().is_some_and(ident);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn render_entry(
+    s: &mut String,
+    kind: &str,
+    e: &LineageEntry,
+    indent: usize,
+    trace: &TransformTrace,
+) {
+    let pad = " ".repeat(indent);
+    s.push_str(&format!("{pad}{kind} {}\n", e.target));
+    if e.sources.is_empty() {
+        s.push_str(&format!("{pad}   <= (unresolved: no BRM source)\n"));
+    }
+    for src in &e.sources {
+        s.push_str(&format!("{pad}   <= {src}\n"));
+    }
+    for &i in &e.steps {
+        if let Some(step) = trace.steps().get(i) {
+            s.push_str(&format!(
+                "{pad}   via step {i}: {} AT {}\n",
+                step.name, step.site
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_mention_is_word_bounded() {
+        assert!(site_mentions("Paper keyed by Paper_Id", "Paper"));
+        assert!(site_mentions("Paper keyed by Paper_Id", "Paper_Id"));
+        assert!(!site_mentions("Paper_Id only", "Paper"));
+        assert!(!site_mentions("", "Paper"));
+        assert!(!site_mentions("Paper", ""));
+        assert!(site_mentions("Invited_Paper IS-A Paper", "Invited_Paper"));
+        assert!(site_mentions("Invited_Paper IS-A Paper", "Paper"));
+    }
+}

@@ -56,7 +56,7 @@ pub fn render_selection(rel: &RelSchema, sel: &ColumnSelection) -> String {
     s
 }
 
-fn ot_kind_word(kind: ObjectTypeKind) -> &'static str {
+pub(crate) fn ot_kind_word(kind: ObjectTypeKind) -> &'static str {
     match kind {
         ObjectTypeKind::Lot(_) => "LOT",
         ObjectTypeKind::Nolot => "NOLOT",
@@ -84,7 +84,7 @@ pub fn describe_fact(schema: &Schema, fid: ridl_brm::FactTypeId) -> String {
     format!("FACT WITH {} AND {}", part(Side::Left), part(Side::Right))
 }
 
-fn describe_sublink(schema: &Schema, sid: ridl_brm::SublinkId) -> String {
+pub(crate) fn describe_sublink(schema: &Schema, sid: ridl_brm::SublinkId) -> String {
     let sl = schema.sublink(sid);
     format!(
         "SUBLINK IS FROM NOLOT {} TO NOLOT {}",
@@ -93,7 +93,7 @@ fn describe_sublink(schema: &Schema, sid: ridl_brm::SublinkId) -> String {
     )
 }
 
-fn describe_constraint(schema: &Schema, cid: ridl_brm::ConstraintId) -> String {
+pub(crate) fn describe_constraint(schema: &Schema, cid: ridl_brm::ConstraintId) -> String {
     let c = schema.constraint(cid);
     let roles = c.kind.referenced_roles();
     let role_list: Vec<String> = roles.iter().map(|r| schema.role_display(*r)).collect();

@@ -119,6 +119,13 @@ impl Workbench {
         map_schema(&self.schema, &self.analysis.references, options)
     }
 
+    /// Derives the column-level lineage of a mapping run: every table,
+    /// column and constraint of the generated schema attributed to its BRM
+    /// sources and the trace steps that produced it.
+    pub fn lineage(&self, out: &MappingOutput) -> crate::lineage::Lineage {
+        crate::lineage::Lineage::derive(out)
+    }
+
     /// Runs RIDL-M under the given options while profiling it: phase
     /// timings, obs-counted transformation firings (total and per basic
     /// transformation), and the generated schema's size. Temporarily

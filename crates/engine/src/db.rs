@@ -189,6 +189,10 @@ impl Database {
     /// large states) and rebuilding the constraint indexes. Any open
     /// transactions are discarded.
     pub fn load_state(&mut self, state: RelState) -> Result<(), EngineError> {
+        let mut span = ridl_obs::span::enter("engine.load_state");
+        if span.is_recording() {
+            span.attr("rows", state.num_rows());
+        }
         let violations = parallel::validate_parallel(&self.schema, &state);
         if !violations.is_empty() {
             return Err(EngineError::ConstraintViolation(violations));
@@ -285,6 +289,7 @@ impl Database {
             None
         };
         let sw = ridl_obs::Stopwatch::start();
+        let mut span = ridl_obs::span::enter("engine.statement");
         let ops = self.undo.len() - mark;
         let net = Delta {
             ops: self.undo[mark..].to_vec(),
@@ -304,6 +309,13 @@ impl Database {
                 parallel::validate_parallel(&self.schema, &self.state),
             ),
         };
+        if span.is_recording() {
+            span.attr("statement", statement);
+            span.attr("strategy", strategy);
+            span.attr("ops", ops);
+            span.attr("net_ops", net.len());
+            span.attr("violations", violations.len());
+        }
         m.statements.inc();
         if strategy == "delta" {
             m.statements_delta.inc();
@@ -593,6 +605,12 @@ impl Database {
             None
         };
         let sw = ridl_obs::Stopwatch::start();
+        let mut span = ridl_obs::span::enter("engine.statement");
+        if span.is_recording() {
+            span.attr("statement", "bulk_load");
+            span.attr("strategy", "aggregate");
+            span.attr("rows", loaded);
+        }
         let indexes = ConstraintIndexes::build(&self.schema, &state);
         let violations = validate_load(&self.schema, &state, &indexes);
         m.statements.inc();

@@ -1,4 +1,5 @@
-//! Snapshot export in the `CRITERION_SUMMARY_JSON` flow.
+//! Snapshot export in the `CRITERION_SUMMARY_JSON` flow, and Chrome
+//! trace-event export for span traces.
 //!
 //! The vendored criterion harness appends one JSON line per bench
 //! (`{"name":..,"ns_per_iter":..,"iters":..}`) to the file named by the
@@ -6,11 +7,20 @@
 //! appends metric lines (`{"metric":"<label>/<name>","value":N}`) to the
 //! same file, so one CI artifact carries timings and the enforcement
 //! counters that explain them side by side.
+//!
+//! [`chrome_trace`] renders finished spans (see [`crate::span`]) as
+//! Chrome trace-event JSON — duration (`ph:"B"`/`ph:"E"`) pairs that
+//! `chrome://tracing` and Perfetto's legacy importer load directly.
+//! `RIDL_TRACE_JSON=<path>` both enables tracing
+//! ([`init_tracing_from_env`]) and names the file the trace is written to
+//! at the end of a run ([`write_chrome_trace_env`]).
 
 use std::fs::OpenOptions;
 use std::io::Write;
+use std::sync::OnceLock;
 
 use crate::sink::json_escape;
+use crate::span::{AttrValue, SpanEvent};
 use crate::{ConstraintClass, MetricsSnapshot, COUNTER_NAMES};
 
 /// Renders `snap` as JSON lines, one per non-zero counter, each prefixed
@@ -102,6 +112,252 @@ pub fn emit_snapshot(label: &str) {
     }
 }
 
+// ---- Chrome trace-event export ----
+
+fn attr_json(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Str(s) => format!("\"{}\"", json_escape(s)),
+        AttrValue::U64(n) => n.to_string(),
+        AttrValue::I64(n) => n.to_string(),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+fn push_event(out: &mut String, e: &SpanEvent, phase: char, ts_ns: u64, first: &mut bool) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"ridl\",\"ph\":\"{phase}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}",
+        json_escape(e.name),
+        ts_ns / 1_000,
+        ts_ns % 1_000,
+        e.thread
+    ));
+    if phase == 'B' && !e.attrs.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), attr_json(v)));
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Renders finished spans as Chrome trace-event JSON: one `B`/`E` pair
+/// per span, one event per line, timestamps in microseconds since the
+/// trace epoch. Events are emitted thread by thread in nesting order, so
+/// begin/end pairs are balanced and timestamps are monotone within each
+/// `tid` — the two properties [`validate_chrome_trace`] (and CI) check.
+///
+/// Spans whose parent chain was truncated at the collector cap are
+/// omitted (a child always finishes before its parent, so a missing
+/// parent means the whole enclosing region is incomplete); `dropped` is
+/// the cap count reported by [`crate::span::take_events`]. Both counts
+/// land in the trace's `otherData` metadata.
+pub fn chrome_trace(events: &[SpanEvent], dropped: u64) -> String {
+    use std::collections::BTreeMap;
+    use std::collections::HashSet;
+    let ids: HashSet<u64> = events.iter().map(|e| e.id).collect();
+    // thread -> roots; span id -> children. Kept in start order.
+    let mut roots: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut orphans = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        match e.parent {
+            None => roots.entry(e.thread).or_default().push(i),
+            Some(p) if ids.contains(&p) => children.entry(p).or_default().push(i),
+            Some(_) => orphans += 1,
+        }
+    }
+    for list in roots.values_mut().chain(children.values_mut()) {
+        list.sort_by_key(|&i| (events[i].start_ns, events[i].id));
+    }
+    fn emit(
+        out: &mut String,
+        events: &[SpanEvent],
+        children: &BTreeMap<u64, Vec<usize>>,
+        idx: usize,
+        first: &mut bool,
+        emitted: &mut u64,
+    ) {
+        let e = &events[idx];
+        *emitted += 1;
+        push_event(out, e, 'B', e.start_ns, first);
+        if let Some(kids) = children.get(&e.id) {
+            for &c in kids {
+                emit(out, events, children, c, first, emitted);
+            }
+        }
+        push_event(out, e, 'E', e.start_ns.saturating_add(e.dur_ns), first);
+    }
+    let mut body = String::new();
+    let mut first = true;
+    let mut emitted = 0u64;
+    for list in roots.values() {
+        for &r in list {
+            emit(&mut body, events, &children, r, &mut first, &mut emitted);
+        }
+    }
+    // Descendants of an orphan are counted as unexported too.
+    let unexported = events.len() as u64 - emitted;
+    let _ = orphans;
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"spans\":{emitted},\"unexported\":{unexported},\"dropped_at_cap\":{dropped}}},\"traceEvents\":[\n{body}\n]}}\n"
+    )
+}
+
+/// Enables span tracing when `RIDL_TRACE_JSON` names a file. Checked
+/// once per process; returns whether tracing is on afterwards.
+pub fn init_tracing_from_env() -> bool {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        if let Ok(path) = std::env::var("RIDL_TRACE_JSON") {
+            if !path.is_empty() {
+                crate::span::set_tracing(true);
+            }
+        }
+    });
+    crate::span::tracing_enabled()
+}
+
+/// Writes `events` as Chrome trace JSON to `path`.
+pub fn write_chrome_trace(path: &str, events: &[SpanEvent], dropped: u64) -> std::io::Result<()> {
+    let text = chrome_trace(events, dropped);
+    std::fs::write(path, text)
+}
+
+/// Drains the span collector and writes it as Chrome trace JSON to the
+/// file named by `RIDL_TRACE_JSON`. Does nothing when the variable is
+/// unset; reports I/O errors on stderr once rather than panicking.
+/// Returns the path written, if any.
+pub fn write_chrome_trace_env() -> Option<String> {
+    let path = std::env::var("RIDL_TRACE_JSON").ok()?;
+    if path.is_empty() {
+        return None;
+    }
+    let (events, dropped) = crate::span::take_events();
+    if events.is_empty() && dropped == 0 {
+        // Nothing recorded (or already exported and drained): leave any
+        // previously written file alone.
+        return None;
+    }
+    match write_chrome_trace(&path, &events, dropped) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("ridl-obs: cannot write {path}: {e}");
+            None
+        }
+    }
+}
+
+/// Summary statistics from a validated Chrome trace file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ChromeTraceStats {
+    /// Balanced begin/end pairs found.
+    pub spans: u64,
+    /// Distinct `tid` values seen.
+    pub threads: u64,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .find(|(i, c)| {
+            if rest.starts_with('"') {
+                *c == '"' && *i > 0 && rest.as_bytes()[i - 1] != b'\\'
+            } else {
+                *c == ',' || *c == '}'
+            }
+        })
+        .map(|(i, _)| i)?;
+    Some(rest[..end].trim_start_matches('"'))
+}
+
+/// Validates `text` as well-formed Chrome trace JSON in the shape
+/// [`chrome_trace`] emits: every `B` has a matching `E` with the same
+/// name on the same `tid` (properly nested), timestamps are monotone
+/// non-decreasing within each `tid`, and at least one span is present.
+/// Independent of any JSON parser so CI can run it via `ridl tracecheck`.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
+    use std::collections::BTreeMap;
+    if !text.trim_start().starts_with('{') || !text.contains("\"traceEvents\"") {
+        return Err("not a Chrome trace object (no traceEvents)".into());
+    }
+    let mut stacks: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut stats = ChromeTraceStats::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let Some(ph) = field(line, "ph") else {
+            continue;
+        };
+        let name = field(line, "name")
+            .ok_or_else(|| format!("line {}: event without name", lineno + 1))?;
+        let tid = field(line, "tid")
+            .ok_or_else(|| format!("line {}: event without tid", lineno + 1))?
+            .to_owned();
+        let ts: f64 = field(line, "ts")
+            .ok_or_else(|| format!("line {}: event without ts", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad ts: {e}", lineno + 1))?;
+        let prev = last_ts.entry(tid.clone()).or_insert(f64::NEG_INFINITY);
+        if ts < *prev {
+            return Err(format!(
+                "line {}: timestamp {ts} goes backwards on tid {tid} (previous {prev})",
+                lineno + 1
+            ));
+        }
+        *prev = ts;
+        let stack = stacks.entry(tid.clone()).or_default();
+        match ph {
+            "B" => stack.push((name.to_owned(), ts)),
+            "E" => {
+                let Some((open, open_ts)) = stack.pop() else {
+                    return Err(format!(
+                        "line {}: E event for {name} on tid {tid} with no open span",
+                        lineno + 1
+                    ));
+                };
+                if open != name {
+                    return Err(format!(
+                        "line {}: E event for {name} closes open span {open} on tid {tid}",
+                        lineno + 1
+                    ));
+                }
+                if ts < open_ts {
+                    return Err(format!(
+                        "line {}: span {name} ends before it begins on tid {tid}",
+                        lineno + 1
+                    ));
+                }
+                stats.spans += 1;
+            }
+            other => {
+                return Err(format!("line {}: unexpected phase {other}", lineno + 1));
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some((name, _)) = stack.last() {
+            return Err(format!(
+                "unbalanced trace: span {name} on tid {tid} never ends"
+            ));
+        }
+    }
+    stats.threads = stacks.len() as u64;
+    if stats.spans == 0 {
+        return Err("trace contains no spans".into());
+    }
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +379,88 @@ mod tests {
             assert!(line.starts_with("{\"metric\":\"unit-test/"));
             assert!(line.ends_with('}'));
         }
+    }
+
+    fn ev(
+        id: u64,
+        parent: Option<u64>,
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        thread: u64,
+    ) -> SpanEvent {
+        SpanEvent {
+            id,
+            parent,
+            name,
+            start_ns,
+            dur_ns,
+            thread,
+            depth: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_validation() {
+        let mut root = ev(1, None, "outer", 100, 10_000, 1);
+        root.attrs.push(("kind", AttrValue::Str("x \"q\"".into())));
+        root.attrs.push(("n", AttrValue::U64(3)));
+        let events = vec![
+            root,
+            ev(2, Some(1), "inner", 500, 1_000, 1),
+            ev(3, Some(1), "inner", 2_000, 0, 1),
+            ev(4, None, "worker", 600, 300, 2),
+        ];
+        let text = chrome_trace(&events, 0);
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"args\":{\"kind\":\"x \\\"q\\\"\",\"n\":3}"));
+        let stats = validate_chrome_trace(&text).expect("well-formed");
+        assert_eq!(stats.spans, 4);
+        assert_eq!(stats.threads, 2);
+    }
+
+    #[test]
+    fn chrome_trace_omits_orphaned_subtrees() {
+        // Parent id 9 was dropped at the cap: its child and grandchild
+        // must not be exported (they would break per-tid monotonicity).
+        let events = vec![
+            ev(1, None, "root", 0, 10_000, 1),
+            ev(2, Some(9), "orphan", 2_000, 100, 1),
+            ev(3, Some(2), "orphan_child", 2_010, 10, 1),
+        ];
+        let text = chrome_trace(&events, 5);
+        assert!(!text.contains("orphan"));
+        assert!(text.contains("\"unexported\":2"));
+        assert!(text.contains("\"dropped_at_cap\":5"));
+        let stats = validate_chrome_trace(&text).expect("well-formed");
+        assert_eq!(stats.spans, 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        let unbalanced =
+            "{\"traceEvents\":[\n{\"name\":\"a\",\"ph\":\"B\",\"ts\":1.0,\"pid\":1,\"tid\":1}\n]}";
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("never ends"));
+        let backwards = "{\"traceEvents\":[\n\
+            {\"name\":\"a\",\"ph\":\"B\",\"ts\":5.0,\"pid\":1,\"tid\":1},\n\
+            {\"name\":\"a\",\"ph\":\"E\",\"ts\":4.0,\"pid\":1,\"tid\":1}\n]}";
+        assert!(validate_chrome_trace(backwards)
+            .unwrap_err()
+            .contains("backwards"));
+        let crossed = "{\"traceEvents\":[\n\
+            {\"name\":\"a\",\"ph\":\"B\",\"ts\":1.0,\"pid\":1,\"tid\":1},\n\
+            {\"name\":\"b\",\"ph\":\"B\",\"ts\":2.0,\"pid\":1,\"tid\":1},\n\
+            {\"name\":\"a\",\"ph\":\"E\",\"ts\":3.0,\"pid\":1,\"tid\":1},\n\
+            {\"name\":\"b\",\"ph\":\"E\",\"ts\":4.0,\"pid\":1,\"tid\":1}\n]}";
+        assert!(validate_chrome_trace(crossed)
+            .unwrap_err()
+            .contains("closes open span"));
+        assert!(validate_chrome_trace("{\"traceEvents\":[\n]}")
+            .unwrap_err()
+            .contains("no spans"));
+        assert!(validate_chrome_trace("[]").is_err());
     }
 }

@@ -24,7 +24,14 @@
 //!   `RIDL_METRICS_JSONL` names a file;
 //! * [`export`] — JSONL snapshot export sharing the
 //!   `CRITERION_SUMMARY_JSON` file format/flow, so benches and CI record
-//!   metric snapshots alongside timings.
+//!   metric snapshots alongside timings;
+//! * [`span`] — hierarchical span tracing: thread-local nesting,
+//!   typed attributes, a bounded global collector, a span-tree renderer,
+//!   and Chrome trace-event export gated on `RIDL_TRACE_JSON`
+//!   ([`export::chrome_trace`]);
+//! * [`hist`] — log-bucketed latency histograms (p50/p90/p99/max per
+//!   span name), mergeable across threads so parallel-validator workers
+//!   aggregate into one account.
 //!
 //! The crate depends on nothing but `std`, so every layer (relational,
 //! engine, transform, core, benches) can report into it without cycles.
@@ -33,12 +40,21 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod hist;
 pub mod sink;
+pub mod span;
 
-pub use export::{append_summary_snapshot, emit_snapshot, snapshot_jsonl};
+pub use export::{
+    append_summary_snapshot, chrome_trace, emit_snapshot, init_tracing_from_env, snapshot_jsonl,
+    validate_chrome_trace, write_chrome_trace, write_chrome_trace_env, ChromeTraceStats,
+};
+pub use hist::{histograms_snapshot, render_histograms, Histogram};
 pub use sink::{
     attach_sink, detach_sink, emit, init_from_env, sink_attached, JsonlSink, MemorySink,
     MetricsSink,
+};
+pub use span::{
+    enter, in_span, render_tree, set_tracing, tracing_enabled, AttrValue, Span, SpanEvent,
 };
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -65,6 +81,17 @@ impl Counter {
     #[inline]
     pub fn inc(&self) {
         self.add(1);
+    }
+
+    /// Adds `n`, pinning the counter at `u64::MAX` instead of wrapping —
+    /// for nanosecond accounts fed by long-running timers, where a silent
+    /// wrap would turn an over-full account into a tiny one.
+    #[inline]
+    pub fn add_saturating(&self, n: u64) {
+        let prev = self.0.fetch_add(n, Ordering::Relaxed);
+        if prev.checked_add(n).is_none() {
+            self.0.store(u64::MAX, Ordering::Relaxed);
+        }
     }
 
     /// Raises the counter to `n` if it is below (a high-water gauge).
@@ -142,6 +169,23 @@ impl ConstraintClass {
     #[inline]
     pub fn index(self) -> usize {
         self as usize
+    }
+
+    /// The static span name enforcement checks of this class record
+    /// under (`validate.<class>`), usable as a histogram key.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            ConstraintClass::Structure => "validate.structure",
+            ConstraintClass::Key => "validate.key",
+            ConstraintClass::ForeignKey => "validate.foreign_key",
+            ConstraintClass::Frequency => "validate.frequency",
+            ConstraintClass::EqualityView => "validate.equality_view",
+            ConstraintClass::SubsetView => "validate.subset_view",
+            ConstraintClass::ExclusionView => "validate.exclusion_view",
+            ConstraintClass::TotalUnionView => "validate.total_union_view",
+            ConstraintClass::ConditionalEquality => "validate.conditional_equality",
+            ConstraintClass::RowLocal => "validate.row_local",
+        }
     }
 }
 
@@ -350,17 +394,22 @@ impl Stopwatch {
         Self(detail_enabled().then(Instant::now))
     }
 
-    /// Elapsed nanoseconds, or zero when timing was off.
+    /// Elapsed nanoseconds, or zero when timing was off. Saturates at
+    /// `u64::MAX` (~584 years) instead of silently truncating the `u128`
+    /// reading — a wrap would report a huge elapsed time as a tiny one.
     #[inline]
     pub fn elapsed_ns(&self) -> u64 {
-        self.0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
+        self.0
+            .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
     }
 
-    /// Adds the elapsed time to `account` (no-op when timing was off).
+    /// Adds the elapsed time to `account` (no-op when timing was off),
+    /// saturating rather than wrapping on overflow.
     #[inline]
     pub fn record(&self, account: &Counter) {
-        if let Some(t) = self.0 {
-            account.add(t.elapsed().as_nanos() as u64);
+        if self.0.is_some() {
+            account.add_saturating(self.elapsed_ns());
         }
     }
 }
@@ -427,6 +476,29 @@ mod tests {
         let c = Counter::new();
         sw.record(&c);
         set_detail(false);
+    }
+
+    #[test]
+    fn counter_add_saturates_at_max() {
+        let c = Counter::new();
+        c.add_saturating(u64::MAX - 1);
+        c.add_saturating(5);
+        assert_eq!(c.get(), u64::MAX);
+        c.add_saturating(1);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn since_clamps_concurrent_resets_to_zero() {
+        // A snapshot taken "later" can read lower values if another
+        // thread reset or replaced a counter; the diff must clamp to
+        // zero, never underflow.
+        let mut earlier = snapshot();
+        earlier.counters[0] = u64::MAX;
+        earlier.per_kind[0].nanos = u64::MAX;
+        let diff = snapshot().since(&earlier);
+        assert_eq!(diff.counters[0], 0);
+        assert_eq!(diff.per_kind[0].nanos, 0);
     }
 
     #[test]

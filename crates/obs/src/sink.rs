@@ -69,12 +69,15 @@ fn emit_slow(name: &str, value: u64, detail: &str) {
 /// A sink that appends each event as one JSON line
 /// (`{"metric":NAME,"value":N,"detail":TEXT}`) to a file — the same
 /// shape [`crate::export`] writes, so one artifact can carry both event
-/// streams and snapshot dumps. Write errors are reported to stderr once
-/// per event, never panicked on: observability must not take the engine
-/// down.
+/// streams and snapshot dumps. I/O failures are reported on stderr
+/// **once** per sink — not per event (an unwritable path under a
+/// thousand-statement run must not spam a thousand lines) and not
+/// silently (metrics dropped with no diagnostic at all) — and never
+/// panicked on: observability must not take the engine down.
 pub struct JsonlSink {
     path: PathBuf,
     file: Mutex<Option<std::fs::File>>,
+    warned: AtomicBool,
 }
 
 impl JsonlSink {
@@ -83,7 +86,23 @@ impl JsonlSink {
         Self {
             path: path.into(),
             file: Mutex::new(None),
+            warned: AtomicBool::new(false),
         }
+    }
+
+    /// Reports `what` on stderr unless this sink has already warned.
+    fn warn_once(&self, what: &str, e: &std::io::Error) {
+        if !self.warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "ridl-obs: cannot {what} {} ({e}); further metric events will be dropped",
+                self.path.display()
+            );
+        }
+    }
+
+    /// Whether this sink has reported an I/O error (test hook).
+    pub fn has_warned(&self) -> bool {
+        self.warned.load(Ordering::Relaxed)
     }
 }
 
@@ -121,14 +140,14 @@ impl MetricsSink for JsonlSink {
             {
                 Ok(f) => *guard = Some(f),
                 Err(e) => {
-                    eprintln!("ridl-obs: cannot open {}: {e}", self.path.display());
+                    self.warn_once("open", &e);
                     return;
                 }
             }
         }
         if let Some(f) = guard.as_mut() {
             if let Err(e) = f.write_all(line.as_bytes()) {
-                eprintln!("ridl-obs: cannot write {}: {e}", self.path.display());
+                self.warn_once("write", &e);
             }
         }
     }
@@ -220,6 +239,19 @@ mod tests {
             "{\"metric\":\"a.b\",\"value\":1,\"detail\":\"x \\\"quoted\\\"\"}"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unwritable_sink_warns_once_and_keeps_running() {
+        // A directory is not openable as an append file: every event
+        // fails, but only the first reports (warn-once), and none panic.
+        let sink = JsonlSink::new(std::env::temp_dir());
+        assert!(!sink.has_warned());
+        sink.event("a.b", 1, "");
+        assert!(sink.has_warned());
+        sink.event("a.b", 2, "");
+        sink.event("a.b", 3, "");
+        assert!(sink.has_warned());
     }
 
     #[test]

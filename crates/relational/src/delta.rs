@@ -159,6 +159,10 @@ pub fn validate_delta(
     indexes: &ConstraintIndexes,
     delta: &Delta,
 ) -> Vec<RelViolation> {
+    let mut span = ridl_obs::span::enter("validate.delta");
+    if span.is_recording() {
+        span.attr("ops", delta.ops.len());
+    }
     let mut out = Vec::new();
     for op in &delta.ops {
         let table = op.table();
@@ -219,6 +223,10 @@ pub fn validate_load(
     state: &RelState,
     indexes: &ConstraintIndexes,
 ) -> Vec<RelViolation> {
+    let mut span = ridl_obs::span::enter("validate.load");
+    if span.is_recording() {
+        span.attr("rows", state.num_rows());
+    }
     let mut out = Vec::new();
     // Per-row pass: structure, primary-key NULLs, row-local constraints.
     for (tid, _) in schema.tables() {

@@ -240,6 +240,11 @@ impl ConstraintIndexes {
     /// [`ConstraintIndexes::build`] with an explicit worker count (tests
     /// drive this directly to exercise the parallel charge on any machine).
     pub fn build_with_workers(schema: &RelSchema, state: &RelState, workers: usize) -> Self {
+        let mut span = ridl_obs::span::enter("index.build");
+        if span.is_recording() {
+            span.attr("rows", state.num_rows());
+            span.attr("workers", workers);
+        }
         ridl_obs::metrics().index_builds.inc();
         ridl_obs::metrics()
             .index_charge_rows

@@ -45,6 +45,11 @@ const SMALL_STATE_ROWS: usize = 512;
 pub fn validate_parallel(schema: &RelSchema, state: &RelState) -> Vec<RelViolation> {
     if state.num_rows() < SMALL_STATE_ROWS {
         ridl_obs::metrics().sequential_validations.inc();
+        let mut span = ridl_obs::span::enter("validate.full");
+        if span.is_recording() {
+            span.attr("workers", 1u64);
+            span.attr("rows", state.num_rows());
+        }
         return validate::validate(schema, state);
     }
     let workers = thread::available_parallelism()
@@ -72,6 +77,12 @@ pub fn validate_with_workers(
     workers: usize,
 ) -> Vec<RelViolation> {
     let units = schema.tables.len() + schema.constraints.len();
+    let mut span = ridl_obs::span::enter("validate.full");
+    if span.is_recording() {
+        span.attr("workers", workers.min(units.max(1)));
+        span.attr("units", units);
+        span.attr("rows", state.num_rows());
+    }
     if workers <= 1 || units <= 1 {
         ridl_obs::metrics().sequential_validations.inc();
         return validate::validate(schema, state);

@@ -70,8 +70,15 @@ pub(crate) fn check_structure_table(
     out: &mut Vec<RelViolation>,
 ) {
     let sw = ridl_obs::Stopwatch::start();
+    let mut span = ridl_obs::span::enter(ridl_obs::ConstraintClass::Structure.span_name());
+    if span.is_recording() {
+        span.attr("table", schema.table(tid).name.clone());
+    }
     let before = out.len();
     check_structure_table_inner(schema, state, tid, out);
+    if span.is_recording() {
+        span.attr("violations", out.len() - before);
+    }
     let stats = &ridl_obs::metrics().per_kind[ridl_obs::ConstraintClass::Structure.index()];
     stats.checks.inc();
     stats.violations.add((out.len() - before) as u64);
@@ -213,8 +220,15 @@ pub(crate) fn check_constraint(
     out: &mut Vec<RelViolation>,
 ) {
     let sw = ridl_obs::Stopwatch::start();
+    let mut span = ridl_obs::span::enter(kind_class(kind).span_name());
+    if span.is_recording() {
+        span.attr("constraint", name.to_owned());
+    }
     let before = out.len();
     check_constraint_inner(schema, state, name, kind, out);
+    if span.is_recording() {
+        span.attr("violations", out.len() - before);
+    }
     let stats = &ridl_obs::metrics().per_kind[kind_class(kind).index()];
     stats.checks.inc();
     stats.violations.add((out.len() - before) as u64);

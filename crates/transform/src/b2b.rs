@@ -58,6 +58,7 @@ pub struct ExpandedLotNolot {
 impl ExpandLotNolot {
     /// Applies the expansion.
     pub fn apply(&self, schema: &Schema) -> Result<ExpandedLotNolot, TransformError> {
+        let _span = ridl_obs::span::enter("transform.b2b.expand_lot_nolot");
         let ot = schema.object_type(self.ot);
         let ObjectTypeKind::LotNolot(dt) = ot.kind else {
             return Err(TransformError::new(format!(
@@ -241,6 +242,7 @@ pub struct EliminatedSublink {
 impl EliminateSublink {
     /// Applies the elimination.
     pub fn apply(&self, schema: &Schema) -> Result<EliminatedSublink, TransformError> {
+        let _span = ridl_obs::span::enter("transform.b2b.eliminate_sublink");
         if self.sublink.index() >= schema.num_sublinks() {
             return Err(TransformError::new("no such sublink"));
         }
@@ -352,6 +354,7 @@ fn remap_item(
 /// exclusion constraints, and degenerate constraints that state nothing.
 /// Returns the new schema and the number of constraints removed.
 pub fn canonicalize_constraints(schema: &Schema) -> (Schema, usize) {
+    let _span = ridl_obs::span::enter("transform.b2b.canonicalize");
     let mut s = Schema::new(schema.name.clone());
     for (_, o) in schema.object_types() {
         s.push_object_type(o.clone());

@@ -79,6 +79,7 @@ impl BinaryRelMap {
 /// Applies the pivot to a canonical binary schema (no LOT-NOLOTs, no
 /// sublinks — run the [`crate::b2b`] transformations first).
 pub fn binary_relational(schema: &Schema) -> Result<(RelSchema, BinaryRelMap), TransformError> {
+    let _span = ridl_obs::span::enter("transform.b2r.binary_relational");
     for (_, ot) in schema.object_types() {
         if ot.kind.is_lot_nolot() {
             return Err(TransformError::new(format!(

@@ -132,6 +132,7 @@ pub struct SplitResult {
 impl SplitTable {
     /// Applies the split.
     pub fn apply(&self, schema: &RelSchema) -> Result<SplitResult, TransformError> {
+        let _span = ridl_obs::span::enter("transform.r2r.split_table");
         let table = schema.table(self.table);
         let keys = schema.keys_of(self.table);
         if !keys.contains(&self.key.as_slice()) {
@@ -308,6 +309,7 @@ pub struct MergeResult {
 impl MergeTables {
     /// Applies the merge.
     pub fn apply(&self, schema: &RelSchema) -> Result<MergeResult, TransformError> {
+        let _span = ridl_obs::span::enter("transform.r2r.merge_tables");
         let prim = schema.table(self.primary).clone();
         let sec = schema.table(self.secondary).clone();
         if self.primary == self.secondary {

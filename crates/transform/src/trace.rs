@@ -70,7 +70,12 @@ impl TransformTrace {
     /// Appends a step. Each firing counts into the process-wide obs
     /// registry: `transform.firings` plus a per-rule labeled counter
     /// (`transform.rule.<NAME>`), so a profile over many mapping runs can
-    /// show which basic transformations dominate.
+    /// show which basic transformations dominate. Under span tracing each
+    /// firing also records one `transform.apply` span attributed with the
+    /// step's kind, name and site (an annotation: the firing is recorded
+    /// after the transformation ran, so the span marks the point, while
+    /// the timed spans live around the transformation functions
+    /// themselves).
     pub fn push(
         &mut self,
         kind: TransformKind,
@@ -79,14 +84,22 @@ impl TransformTrace {
         lossless_rules: Vec<String>,
     ) {
         let name = name.into();
+        let site = site.into();
         ridl_obs::metrics().transform_firings.inc();
         if ridl_obs::detail_enabled() {
             ridl_obs::count_label(&format!("transform.rule.{name}"), 1);
         }
+        if ridl_obs::span::tracing_enabled() {
+            let mut span = ridl_obs::span::enter("transform.apply");
+            span.attr("kind", kind.to_string());
+            span.attr("name", name.clone());
+            span.attr("site", site.clone());
+            span.attr("step", self.steps.len());
+        }
         self.steps.push(AppliedTransform {
             kind,
             name,
-            site: site.into(),
+            site,
             lossless_rules,
         });
     }
@@ -106,6 +119,26 @@ impl TransformTrace {
         self.steps
             .iter()
             .flat_map(|s| s.lossless_rules.iter().map(String::as_str))
+    }
+
+    /// The index of the step that contributed the lossless rule (i.e.
+    /// generated the relational constraint) named `rule` — the provenance
+    /// hook lineage derivation uses to tie a constraint back to the
+    /// transformation (and thus the BRM site) that produced it.
+    pub fn step_for_rule(&self, rule: &str) -> Option<usize> {
+        self.steps
+            .iter()
+            .position(|s| s.lossless_rules.iter().any(|r| r == rule))
+    }
+
+    /// The indices of every step applied at `site` (exact match).
+    pub fn steps_at_site(&self, site: &str) -> Vec<usize> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.site == site)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Renders the trace for the map report.
@@ -143,5 +176,9 @@ mod tests {
         let r = t.render();
         assert!(r.contains("ELIMINATE SUBLINK"));
         assert!(r.contains("lossless rules: C_EQ$_1"));
+        assert_eq!(t.step_for_rule("C_EQ$_1"), Some(0));
+        assert_eq!(t.step_for_rule("C_NO$_SUCH"), None);
+        assert_eq!(t.steps_at_site("Paper + Paper_title"), vec![1]);
+        assert!(t.steps_at_site("Nowhere").is_empty());
     }
 }

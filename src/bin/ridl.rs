@@ -4,7 +4,12 @@
 //! ridl check   <schema.ridl> [--implied]         run RIDL-A
 //! ridl map     <schema.ridl> [options]           run RIDL-M, print DDL
 //! ridl report  <schema.ridl> [options]           print the map report
-//! ridl trace   <schema.ridl> [options]           print the transformation trace
+//! ridl trace   <schema.ridl> [options]           run the full pipeline under span
+//!                                                tracing: transformation trace,
+//!                                                span tree, latency histograms
+//! ridl lineage <schema.ridl> [Table[.Column]] [options]
+//!                                                BRM provenance of the mapped schema
+//! ridl tracecheck <trace.json>                   validate a Chrome trace JSON file
 //! ridl profile <schema.ridl> [options]           profile analyze + map (timings, rule firings)
 //! ridl fmt     <schema.ridl>                     pretty-print the schema
 //! ridl query   <schema.ridl> "LIST …" [--explain] [options]
@@ -17,7 +22,11 @@
 //! ```
 //!
 //! A path of `-` reads the schema from stdin. Set `RIDL_METRICS_JSONL=<path>`
-//! to append every enforcement metric event as a JSON line.
+//! to append every enforcement metric event as a JSON line. Set
+//! `RIDL_TRACE_JSON=<path>` to enable span tracing and write a Chrome
+//! trace-event file (loadable in Perfetto or `chrome://tracing`) at exit;
+//! `ridl trace` enables the spans regardless and honours the variable for
+//! the JSON export.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -110,6 +119,34 @@ fn mapped(
     Ok((wb, out, cli))
 }
 
+/// Drives the constraint engine once so `ridl trace` covers enforcement:
+/// bulk-loads a small generated population (falling back to an empty state
+/// when the schema is outside the generator's discipline) so the statement,
+/// validation and per-constraint-class spans appear in the tree.
+fn drive_engine(wb: &Workbench, out: &ridl_core::MappingOutput) {
+    let Ok(mut db) = ridl_engine::Database::create(out.rel.clone()) else {
+        return;
+    };
+    let state = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let pop = ridl_workloads::popgen::generate(
+            wb.schema(),
+            &ridl_workloads::popgen::PopParams::default(),
+        );
+        ridl_core::state_map::map_population(&out.schema, out, &pop).ok()
+    }))
+    .ok()
+    .flatten()
+    .unwrap_or_else(|| ridl_relational::RelState::with_tables(out.rel.tables.len()));
+    let rows = ridl_workloads::scenario::rows_of(&out.rel, &state);
+    if db.bulk_load(rows).is_err() {
+        // A generated population the engine rejects still traced the
+        // validation; load the empty state so the tree also shows the
+        // load path.
+        let empty = ridl_relational::RelState::with_tables(out.rel.tables.len());
+        let _ = db.load_state(empty);
+    }
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or_else(|| {
@@ -174,8 +211,66 @@ fn run() -> Result<(), String> {
             let (path, flags) = rest
                 .split_first()
                 .ok_or_else(|| "usage: ridl trace <schema.ridl> [options]".to_owned())?;
-            let (_, out, _) = mapped(path, flags)?;
+            // Span tracing covers the whole pipeline: RIDL-A passes, every
+            // applied basic transformation, SQL generation and the engine's
+            // statement → validation → per-constraint-class enforcement.
+            ridl_obs::set_tracing(true);
+            let (wb, out, cli) = mapped(path, flags)?;
+            let _ddl = ridl_sqlgen::generate_for(&out.rel, cli.dialect);
+            drive_engine(&wb, &out);
             print!("{}", out.trace.render());
+            let (events, dropped) = ridl_obs::span::take_events();
+            print!("{}", ridl_obs::render_tree(&events));
+            print!("{}", ridl_obs::render_histograms());
+            if let Ok(json_path) = std::env::var("RIDL_TRACE_JSON") {
+                if !json_path.is_empty() {
+                    ridl_obs::write_chrome_trace(&json_path, &events, dropped)
+                        .map_err(|e| format!("writing {json_path}: {e}"))?;
+                    eprintln!("-- chrome trace written to {json_path} (load in Perfetto)");
+                }
+            }
+            Ok(())
+        }
+        "lineage" => {
+            let (path, more) = rest.split_first().ok_or_else(|| {
+                "usage: ridl lineage <schema.ridl> [Table[.Column]] [options]".to_owned()
+            })?;
+            // An optional bare `Table` or `Table.Column` filter precedes the
+            // `--` options.
+            let (filter, flags) = match more.split_first() {
+                Some((f, tail)) if !f.starts_with("--") => (Some(f.as_str()), tail),
+                _ => (None, more),
+            };
+            let (wb, out, _) = mapped(path, flags)?;
+            let lin = wb.lineage(&out);
+            let (table, column) = match filter {
+                Some(f) => match f.split_once('.') {
+                    Some((t, c)) => (Some(t), Some(c)),
+                    None => (Some(f), None),
+                },
+                None => (None, None),
+            };
+            print!("{}", lin.render_filtered(&out.trace, table, column));
+            let unresolved = lin.unresolved();
+            if !unresolved.is_empty() {
+                eprintln!("-- {} objects without a BRM source:", unresolved.len());
+                for t in unresolved {
+                    eprintln!("--    {t}");
+                }
+            }
+            Ok(())
+        }
+        "tracecheck" => {
+            let (path, _) = rest
+                .split_first()
+                .ok_or_else(|| "usage: ridl tracecheck <trace.json>".to_owned())?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let stats = ridl_obs::validate_chrome_trace(&text)
+                .map_err(|e| format!("{path}: invalid chrome trace: {e}"))?;
+            println!(
+                "-- {path}: well-formed chrome trace ({} spans over {} threads)",
+                stats.spans, stats.threads
+            );
             Ok(())
         }
         "profile" => {
@@ -266,6 +361,7 @@ fn run() -> Result<(), String> {
 
 fn main() -> ExitCode {
     ridl_obs::init_from_env();
+    ridl_obs::init_tracing_from_env();
     let code = match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -273,7 +369,9 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     };
-    // Under RIDL_METRICS_JSONL, close the run with a totals snapshot.
+    // Under RIDL_METRICS_JSONL, close the run with a totals snapshot; under
+    // RIDL_TRACE_JSON, flush any spans not already exported by a subcommand.
     ridl_obs::emit_snapshot("ridl");
+    ridl_obs::write_chrome_trace_env();
     code
 }

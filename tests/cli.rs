@@ -148,6 +148,87 @@ fn metrics_jsonl_env_appends_events() {
 }
 
 #[test]
+fn trace_prints_span_tree_and_histograms() {
+    let (stdout, stderr, ok) = ridl(&["trace", "-"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("-- TRANSFORMATION TRACE"), "{stdout}");
+    assert!(stdout.contains("-- SPAN TREE"), "{stdout}");
+    assert!(stdout.contains("analyzer.analyze"), "{stdout}");
+    assert!(stdout.contains("transform.apply"), "{stdout}");
+    assert!(stdout.contains("engine.statement"), "{stdout}");
+    assert!(stdout.contains("-- LATENCY HISTOGRAMS"), "{stdout}");
+    assert!(stdout.contains("p50"), "{stdout}");
+    assert!(stdout.contains("p99"), "{stdout}");
+}
+
+#[test]
+fn lineage_resolves_tables_columns_and_constraints() {
+    let (stdout, stderr, ok) = ridl(&["lineage", "-"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("-- LINEAGE"), "{stdout}");
+    assert!(stdout.contains("TABLE Paper"), "{stdout}");
+    assert!(stdout.contains("<= NOLOT Paper"), "{stdout}");
+    assert!(stdout.contains("-- CONSTRAINT LINEAGE"), "{stdout}");
+    assert!(
+        !stderr.contains("without a BRM source"),
+        "all objects resolve: {stderr}"
+    );
+    // Filtered to one column.
+    let (stdout, stderr, ok) = ridl(&["lineage", "-", "Paper.Paper_Id"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("COLUMN Paper.Paper_Id"), "{stdout}");
+    assert!(stdout.contains("<= LOT Paper_Id"), "{stdout}");
+    assert!(!stdout.contains("CONSTRAINT LINEAGE"), "{stdout}");
+    // An unknown filter says so rather than printing nothing.
+    let (stdout, _, ok) = ridl(&["lineage", "-", "Nope.Nothing"]);
+    assert!(ok);
+    assert!(stdout.contains("no matching table or column"), "{stdout}");
+}
+
+#[test]
+fn trace_json_env_exports_and_tracecheck_validates() {
+    let path = std::env::temp_dir().join(format!("ridl-cli-trace-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ridl"))
+        .args(["trace", "-"])
+        .env("RIDL_TRACE_JSON", &path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ridl");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(SCHEMA.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("chrome trace written"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The emitted file passes the CLI's own validator.
+    let (stdout, stderr, ok) = ridl(&["tracecheck", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("well-formed chrome trace"), "{stdout}");
+    // A malformed file is rejected with a nonzero exit.
+    let bad = std::env::temp_dir().join(format!("ridl-cli-bad-{}.json", std::process::id()));
+    std::fs::write(
+        &bad,
+        "{\"traceEvents\":[\n{\"name\":\"x\",\"ph\":\"B\",\"ts\":1,\"tid\":1}\n]}",
+    )
+    .unwrap();
+    let (_, stderr, ok) = ridl(&["tracecheck", bad.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&bad);
+    assert!(!ok);
+    assert!(stderr.contains("invalid chrome trace"), "{stderr}");
+}
+
+#[test]
 fn bad_input_fails_with_message() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_ridl"))
         .args(["check", "-"])

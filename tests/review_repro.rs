@@ -23,8 +23,14 @@ fn sample_db() -> Database {
             Column::not_null("Session", d),
         ],
     ));
-    s.add_named(RelConstraintKind::PrimaryKey { table: paper, cols: vec![0] });
-    s.add_named(RelConstraintKind::PrimaryKey { table: pp, cols: vec![0] });
+    s.add_named(RelConstraintKind::PrimaryKey {
+        table: paper,
+        cols: vec![0],
+    });
+    s.add_named(RelConstraintKind::PrimaryKey {
+        table: pp,
+        cols: vec![0],
+    });
     s.add_named(RelConstraintKind::ForeignKey {
         table: pp,
         cols: vec![0],
@@ -39,7 +45,8 @@ fn rollback_must_not_discharge_uncovered_unchecked_rows() {
     let mut db = sample_db();
     // Unchecked row with a dangling FK, OUTSIDE any transaction: it leaves
     // the undo log immediately and can never be reverted away.
-    db.insert_unchecked("Program_Paper", vec![v("A9"), v("S9")]).unwrap();
+    db.insert_unchecked("Program_Paper", vec![v("A9"), v("S9")])
+        .unwrap();
     // A transaction adds (and rolls back) a second unchecked row.
     db.begin();
     db.insert_unchecked("Paper", vec![v("P9"), None]).unwrap();
