@@ -1,0 +1,296 @@
+//! Experiment **E-DUR**: what durability costs on the engine's commit
+//! path, and how fast recovery replays a committed WAL.
+//!
+//! Four configurations run the same single-statement workload
+//! (delete one row by primary key, re-insert it — two committed
+//! statements) against the industrial-scale mapped schema:
+//!
+//! * `memory`    — no WAL at all (`Database::create`), the baseline;
+//! * `wal_never` — WAL appended but never fsynced: the CPU cost of
+//!   encoding + CRC + the write syscall in isolation;
+//! * `wal_group` — group commit, fsync at most once per 500 µs window;
+//! * `wal_fsync` — fsync on every commit (the default policy).
+//!
+//! A second phase commits a long run of statements under `wal_never`,
+//! reopens the store, and measures recovery replay throughput
+//! (row ops per second through the incremental-validation path).
+//!
+//! The claims to verify: the WAL's CPU overhead is small next to
+//! constraint validation; group commit recovers most of the distance
+//! between `Never` and `Always`; and replay is fast enough that
+//! checkpoint spacing is a log-size policy, not a startup-latency one.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ridl_engine::{Database, Durability, FsyncPolicy, Pred};
+use ridl_relational::{RelSchema, RelState, Row, TableId};
+use ridl_workloads::scenario;
+
+const TARGET_ROWS: usize = 5_000;
+/// Committed delete+reinsert pairs in the replay phase (2 ops each).
+const REPLAY_UNITS: usize = 1_000;
+
+fn population() -> (RelSchema, RelState) {
+    let sc = scenario::industrial_population(1989, TARGET_ROWS);
+    (sc.schema, sc.state)
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ridl-bench-durable-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable(fsync: FsyncPolicy) -> Durability {
+    // No auto-checkpoint: the phases below control WAL length themselves.
+    Durability {
+        fsync,
+        checkpoint_every_bytes: None,
+    }
+}
+
+/// One safe-to-delete row, addressed by primary key.
+struct Target {
+    table: String,
+    preds: Vec<Pred>,
+    row: Row,
+}
+
+/// Picks, from the largest table with a primary key, a row that the
+/// engine lets us delete and re-insert (probe included).
+fn pick_target(db: &mut Database) -> Target {
+    let schema = db.schema().clone();
+    let mut tables: Vec<(TableId, usize)> = schema
+        .tables()
+        .map(|(tid, _)| (tid, db.state().rows(tid).len()))
+        .collect();
+    tables.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    for (tid, n) in tables {
+        if n < 2 {
+            continue;
+        }
+        let Some(pk) = schema.primary_key_of(tid) else {
+            continue;
+        };
+        let pk = pk.to_vec();
+        let t = schema.table(tid);
+        let rows: Vec<Row> = db.state().rows(tid).iter().cloned().collect();
+        for row in &rows {
+            if pk.iter().any(|c| row[*c as usize].is_none()) {
+                continue;
+            }
+            let preds: Vec<Pred> = pk
+                .iter()
+                .map(|c| {
+                    Pred::Eq(
+                        t.column(*c).name.clone(),
+                        row[*c as usize].clone().expect("checked non-null"),
+                    )
+                })
+                .collect();
+            if db.delete_where(&t.name, &preds) == Ok(1) {
+                db.insert(&t.name, row.clone()).expect("reinsert probe");
+                return Target {
+                    table: t.name.clone(),
+                    preds,
+                    row: row.clone(),
+                };
+            }
+        }
+    }
+    panic!("no suitable benchmark table in the industrial mapping");
+}
+
+/// Adaptive wall-clock timing: returns microseconds per iteration.
+fn time_op(mut f: impl FnMut()) -> f64 {
+    let warmup = Instant::now();
+    f();
+    let est = warmup.elapsed().as_secs_f64();
+    let iters = ((0.05 / est.max(1e-7)) as usize).clamp(5, 400);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn commit_pair(db: &mut Database, t: &Target) {
+    let n = db.delete_where(&t.table, &t.preds).expect("safe delete");
+    assert_eq!(n, 1);
+    db.insert(&t.table, t.row.clone()).expect("reinsert");
+}
+
+struct Config {
+    tag: &'static str,
+    fsync: Option<FsyncPolicy>,
+}
+
+const CONFIGS: [Config; 4] = [
+    Config {
+        tag: "memory",
+        fsync: None,
+    },
+    Config {
+        tag: "wal_never",
+        fsync: Some(FsyncPolicy::Never),
+    },
+    Config {
+        tag: "wal_group",
+        fsync: Some(FsyncPolicy::GroupCommit { window_micros: 500 }),
+    },
+    Config {
+        tag: "wal_fsync",
+        fsync: Some(FsyncPolicy::Always),
+    },
+];
+
+fn open_config(cfg: &Config, schema: &RelSchema, state: &RelState) -> (Database, Option<PathBuf>) {
+    match cfg.fsync {
+        None => {
+            let mut db = Database::create(schema.clone()).unwrap();
+            db.load_state(state.clone()).unwrap();
+            (db, None)
+        }
+        Some(policy) => {
+            let dir = bench_dir(cfg.tag);
+            let mut db = Database::open_with(
+                std::sync::Arc::new(ridl_engine::StdIo),
+                &dir,
+                schema.clone(),
+                durable(policy),
+            )
+            .unwrap();
+            db.bulk_load(scenario::rows_of(schema, state)).unwrap();
+            (db, Some(dir))
+        }
+    }
+}
+
+fn report(schema: &RelSchema, state: &RelState) {
+    println!("\n== E-DUR: commit latency, WAL off vs on ({TARGET_ROWS} target rows) ==");
+    println!("{:<10} {:>14} {:>8}", "config", "del+reins(us)", "vs mem");
+    let mut baseline = None;
+    for cfg in &CONFIGS {
+        let (mut db, dir) = open_config(cfg, schema, state);
+        let target = pick_target(&mut db);
+        let us = time_op(|| commit_pair(&mut db, &target));
+        let base = *baseline.get_or_insert(us);
+        println!("{:<10} {:>14.1} {:>7.2}x", cfg.tag, us, us / base);
+        drop(db);
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+    println!(
+        "shape check: wal_never ≈ memory (encoding+CRC are cheap next to\n\
+         validation); wal_fsync pays one fsync per statement; wal_group\n\
+         sits between them, bounded by the window."
+    );
+}
+
+/// Commits `REPLAY_UNITS` delete+reinsert pairs into a WAL, then measures
+/// how fast `Database::open` replays them. Returns the store dir (the WAL
+/// is left clean, so every reopen replays the same units).
+fn build_replay_store(schema: &RelSchema, state: &RelState) -> PathBuf {
+    let dir = bench_dir("replay");
+    let mut db = Database::open_with(
+        std::sync::Arc::new(ridl_engine::StdIo),
+        &dir,
+        schema.clone(),
+        durable(FsyncPolicy::Never),
+    )
+    .unwrap();
+    db.bulk_load(scenario::rows_of(schema, state)).unwrap();
+    let target = pick_target(&mut db);
+    for _ in 0..REPLAY_UNITS {
+        commit_pair(&mut db, &target);
+    }
+    db.flush_wal().unwrap();
+    dir
+}
+
+fn report_replay(schema: &RelSchema, dir: &PathBuf) -> usize {
+    let start = Instant::now();
+    let db = Database::open_with(
+        std::sync::Arc::new(ridl_engine::StdIo),
+        dir,
+        schema.clone(),
+        durable(FsyncPolicy::Never),
+    )
+    .unwrap();
+    let elapsed = start.elapsed().as_secs_f64();
+    let rep = db.recovery_report().expect("durable open reports").clone();
+    // +2: the pick_target probe commits one delete+reinsert pair itself.
+    assert_eq!(rep.units_replayed, 2 * REPLAY_UNITS + 2);
+    assert_eq!(rep.bytes_discarded, 0);
+    println!("\n== E-DUR: recovery replay throughput ==");
+    println!(
+        "replayed {} units ({} row ops, {} WAL bytes) in {:.1} ms: {:.0} ops/s",
+        rep.units_replayed,
+        rep.ops_replayed,
+        rep.wal_bytes_scanned,
+        elapsed * 1e3,
+        rep.ops_replayed as f64 / elapsed
+    );
+    rep.ops_replayed
+}
+
+fn bench(c: &mut Criterion) {
+    ridl_obs::init_from_env();
+    ridl_obs::init_tracing_from_env();
+    let obs_before = ridl_obs::snapshot();
+    let (schema, state) = population();
+    report(&schema, &state);
+
+    let mut group = c.benchmark_group("durable_commit");
+    group.sample_size(20);
+    for cfg in &CONFIGS {
+        let (mut db, dir) = open_config(cfg, &schema, &state);
+        let target = pick_target(&mut db);
+        group.bench_function(BenchmarkId::new("delete_reinsert", cfg.tag), |b| {
+            b.iter(|| commit_pair(&mut db, &target))
+        });
+        drop(db);
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    let replay_dir = build_replay_store(&schema, &state);
+    let ops = report_replay(&schema, &replay_dir);
+    group.bench_function(
+        BenchmarkId::new("recovery_replay", format!("{ops}ops")),
+        |b| {
+            b.iter(|| {
+                let db = Database::open_with(
+                    std::sync::Arc::new(ridl_engine::StdIo),
+                    &replay_dir,
+                    schema.clone(),
+                    durable(FsyncPolicy::Never),
+                )
+                .unwrap();
+                assert_eq!(
+                    db.recovery_report().expect("reports").units_replayed,
+                    2 * REPLAY_UNITS + 2
+                );
+                db
+            })
+        },
+    );
+    group.finish();
+    let _ = std::fs::remove_dir_all(&replay_dir);
+
+    // WAL/commit counters for the whole run, next to criterion's timings
+    // in the CRITERION_SUMMARY_JSON artifact.
+    let diff = ridl_obs::snapshot().since(&obs_before);
+    ridl_obs::append_summary_snapshot("durable_commit", &diff);
+    if let Some(path) = ridl_obs::write_chrome_trace_env() {
+        eprintln!("durable_commit: chrome trace written to {path}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,356 @@
+//! Fault injection at the syscall boundary.
+//!
+//! [`FaultyIo`] is an in-memory filesystem implementing [`DurableIo`]
+//! that models the volatility the durability layer must survive: bytes
+//! written but not yet fsync'd live in a **volatile tail** that a
+//! simulated crash discards (wholly or partially), and every syscall is
+//! numbered so a [`FaultPlan`] can inject a short write, an I/O error, or
+//! a crash at any exact operation. Renames are modeled as atomic and
+//! immediately durable — the protocol layer must (and does) sync file
+//! contents *before* renaming, which is what makes that simplification
+//! sound.
+//!
+//! The crash-consistency property suite drives a durable database over
+//! this filesystem, injects a fault at every reachable syscall index,
+//! "reboots" with [`FaultyIo::crash`], recovers, and asserts the
+//! recovered state is exactly a committed prefix of the workload.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::io::DurableIo;
+
+/// What to inject when the planned syscall index is reached.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The write persists only a prefix of the data, then errors. On
+    /// non-write syscalls this degrades to a plain I/O error.
+    ShortWrite,
+    /// The syscall fails without side effects.
+    IoError,
+    /// The syscall fails and every subsequent syscall fails too, until
+    /// [`FaultyIo::crash`] "reboots" the filesystem (dropping unsynced
+    /// bytes).
+    Crash,
+}
+
+/// One planned injection: fire `kind` at the `at_op`-th syscall
+/// (0-based over the lifetime of the [`FaultyIo`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    /// Syscall index at which to inject.
+    pub at_op: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// One in-memory file: `data[..synced]` is durable, the rest is the
+/// volatile tail a crash may discard.
+#[derive(Clone, Default, Debug)]
+struct FileBuf {
+    data: Vec<u8>,
+    synced: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    files: BTreeMap<PathBuf, FileBuf>,
+    dirs: Vec<PathBuf>,
+    op: u64,
+    plan: Option<FaultPlan>,
+    /// Set by an injected crash: all further syscalls fail until
+    /// [`FaultyIo::crash`] reboots.
+    down: bool,
+    fsyncs: u64,
+}
+
+/// An in-memory, fault-injecting [`DurableIo`] implementation.
+#[derive(Default)]
+pub struct FaultyIo {
+    inner: Mutex<Inner>,
+}
+
+fn inj_err(kind: FaultKind) -> io::Error {
+    io::Error::other(format!("injected fault: {kind:?}"))
+}
+
+impl FaultyIo {
+    /// A fresh, empty, fault-free filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or clears) the fault plan. Counting continues from the
+    /// filesystem's lifetime syscall counter.
+    pub fn set_plan(&self, plan: Option<FaultPlan>) {
+        self.inner.lock().unwrap().plan = plan;
+    }
+
+    /// Syscalls performed so far (used to size a fault matrix).
+    pub fn op_count(&self) -> u64 {
+        self.inner.lock().unwrap().op
+    }
+
+    /// Number of [`DurableIo::sync`] calls that completed.
+    pub fn fsync_count(&self) -> u64 {
+        self.inner.lock().unwrap().fsyncs
+    }
+
+    /// Whether an injected crash has taken the filesystem down.
+    pub fn is_down(&self) -> bool {
+        self.inner.lock().unwrap().down
+    }
+
+    /// Simulates the machine rebooting: every file keeps its durable
+    /// prefix plus at most `keep_unsynced` bytes of its volatile tail
+    /// (a torn page-cache flush), the down flag clears, and the fault
+    /// plan is discarded.
+    pub fn crash(&self, keep_unsynced: usize) {
+        let mut g = self.inner.lock().unwrap();
+        for f in g.files.values_mut() {
+            let keep = f.data.len().min(f.synced + keep_unsynced);
+            f.data.truncate(keep);
+            f.synced = f.data.len();
+        }
+        g.down = false;
+        g.plan = None;
+    }
+
+    /// Direct read of a file's current bytes (synced + volatile), for
+    /// test assertions. `None` if absent.
+    pub fn peek(&self, path: &Path) -> Option<Vec<u8>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .files
+            .get(path)
+            .map(|f| f.data.clone())
+    }
+
+    /// Overwrites a file's bytes directly, marking them durable —
+    /// for tests that plant at-rest corruption.
+    pub fn poke(&self, path: &Path, data: Vec<u8>) {
+        let mut g = self.inner.lock().unwrap();
+        let synced = data.len();
+        g.files.insert(path.to_path_buf(), FileBuf { data, synced });
+    }
+
+    /// Checks the down flag and the plan; returns the fault to inject at
+    /// this syscall, if any.
+    fn gate(g: &mut Inner) -> io::Result<Option<FaultKind>> {
+        if g.down {
+            return Err(io::Error::other("filesystem down after injected crash"));
+        }
+        let this_op = g.op;
+        g.op += 1;
+        if let Some(p) = g.plan {
+            if p.at_op == this_op {
+                if p.kind == FaultKind::Crash {
+                    g.down = true;
+                }
+                return Ok(Some(p.kind));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl DurableIo for FaultyIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(kind) = Self::gate(&mut g)? {
+            return Err(inj_err(kind));
+        }
+        g.files
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{}", path.display())))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // Existence probes are metadata-only; not an injection point.
+        self.inner.lock().unwrap().files.contains_key(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(kind) = Self::gate(&mut g)? {
+            return Err(inj_err(kind));
+        }
+        let p = path.to_path_buf();
+        if !g.dirs.contains(&p) {
+            g.dirs.push(p);
+        }
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        let fault = Self::gate(&mut g)?;
+        let f = g.files.entry(path.to_path_buf()).or_default();
+        match fault {
+            None => {
+                f.data.extend_from_slice(data);
+                Ok(())
+            }
+            Some(FaultKind::ShortWrite) | Some(FaultKind::Crash) => {
+                // A torn write: half the bytes land in the volatile tail.
+                f.data.extend_from_slice(&data[..data.len() / 2]);
+                Err(inj_err(fault.unwrap()))
+            }
+            Some(FaultKind::IoError) => Err(inj_err(FaultKind::IoError)),
+        }
+    }
+
+    fn write_new(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        let fault = Self::gate(&mut g)?;
+        match fault {
+            None => {
+                g.files.insert(
+                    path.to_path_buf(),
+                    FileBuf {
+                        data: data.to_vec(),
+                        synced: 0,
+                    },
+                );
+                Ok(())
+            }
+            Some(FaultKind::ShortWrite) | Some(FaultKind::Crash) => {
+                g.files.insert(
+                    path.to_path_buf(),
+                    FileBuf {
+                        data: data[..data.len() / 2].to_vec(),
+                        synced: 0,
+                    },
+                );
+                Err(inj_err(fault.unwrap()))
+            }
+            Some(FaultKind::IoError) => Err(inj_err(FaultKind::IoError)),
+        }
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(kind) = Self::gate(&mut g)? {
+            return Err(inj_err(kind));
+        }
+        g.fsyncs += 1;
+        if let Some(f) = g.files.get_mut(path) {
+            f.synced = f.data.len();
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(kind) = Self::gate(&mut g)? {
+            return Err(inj_err(kind));
+        }
+        match g.files.remove(from) {
+            Some(f) => {
+                g.files.insert(to.to_path_buf(), f);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{}", from.display()),
+            )),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(kind) = Self::gate(&mut g)? {
+            return Err(inj_err(kind));
+        }
+        g.files.remove(path);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn unsynced_bytes_die_in_a_crash() {
+        let io = FaultyIo::new();
+        io.append(&p("/w"), b"durable").unwrap();
+        io.sync(&p("/w")).unwrap();
+        io.append(&p("/w"), b"+volatile").unwrap();
+        io.crash(0);
+        assert_eq!(io.peek(&p("/w")).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn crash_can_keep_a_torn_prefix_of_the_tail() {
+        let io = FaultyIo::new();
+        io.append(&p("/w"), b"ok").unwrap();
+        io.sync(&p("/w")).unwrap();
+        io.append(&p("/w"), b"0123456789").unwrap();
+        io.crash(4);
+        assert_eq!(io.peek(&p("/w")).unwrap(), b"ok0123");
+    }
+
+    #[test]
+    fn short_write_leaves_half_the_bytes() {
+        let io = FaultyIo::new();
+        io.set_plan(Some(FaultPlan {
+            at_op: 0,
+            kind: FaultKind::ShortWrite,
+        }));
+        assert!(io.append(&p("/w"), b"abcdef").is_err());
+        assert_eq!(io.peek(&p("/w")).unwrap(), b"abc");
+        // Next syscall is past the plan: works again.
+        io.append(&p("/w"), b"gh").unwrap();
+        assert_eq!(io.peek(&p("/w")).unwrap(), b"abcgh");
+    }
+
+    #[test]
+    fn crash_takes_the_filesystem_down_until_reboot() {
+        let io = FaultyIo::new();
+        io.append(&p("/w"), b"x").unwrap();
+        io.set_plan(Some(FaultPlan {
+            at_op: 1,
+            kind: FaultKind::Crash,
+        }));
+        assert!(io.sync(&p("/w")).is_err());
+        assert!(io.is_down());
+        assert!(io.append(&p("/w"), b"y").is_err(), "down: all ops fail");
+        io.crash(0);
+        assert!(!io.is_down());
+        assert_eq!(io.peek(&p("/w")).unwrap(), b"", "nothing was synced");
+    }
+
+    #[test]
+    fn rename_is_atomic_and_replaces() {
+        let io = FaultyIo::new();
+        io.write_new(&p("/a"), b"new").unwrap();
+        io.sync(&p("/a")).unwrap();
+        io.write_new(&p("/b"), b"old").unwrap();
+        io.rename(&p("/a"), &p("/b")).unwrap();
+        assert!(!io.exists(&p("/a")));
+        assert_eq!(io.peek(&p("/b")).unwrap(), b"new");
+        assert!(io.rename(&p("/a"), &p("/b")).is_err());
+    }
+
+    #[test]
+    fn io_error_has_no_side_effects() {
+        let io = FaultyIo::new();
+        io.append(&p("/w"), b"keep").unwrap();
+        io.set_plan(Some(FaultPlan {
+            at_op: 1,
+            kind: FaultKind::IoError,
+        }));
+        assert!(io.append(&p("/w"), b"lost").is_err());
+        assert_eq!(io.peek(&p("/w")).unwrap(), b"keep");
+    }
+}

@@ -1,0 +1,93 @@
+//! The syscall boundary of the durability layer.
+//!
+//! Everything the WAL and checkpoint machinery does to storage goes
+//! through [`DurableIo`], so the crash-consistency suite can substitute
+//! [`crate::fault::FaultyIo`] and inject a short write, an I/O error, or
+//! a crash at any individual syscall. The trait is deliberately
+//! path-keyed and stateless (no retained file handles): every call is one
+//! injectable operation, and the real implementation ([`StdIo`]) maps
+//! each call onto `std::fs`.
+
+use std::io;
+use std::path::Path;
+
+/// Filesystem operations the durability layer performs. All paths are
+/// absolute (the engine joins them against the store directory).
+pub trait DurableIo: Send + Sync {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Whether a file exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Creates a directory (and parents); succeeds if already present.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Appends `data` to a file, creating it if absent. On failure an
+    /// arbitrary **prefix** of `data` may have reached the file (a short
+    /// write) — callers must treat any error as "bytes after the last
+    /// known-good offset are torn".
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Creates/truncates a file and writes `data`. Same short-write
+    /// semantics as [`DurableIo::append`].
+    fn write_new(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Forces previously written data of `path` to durable storage
+    /// (fsync).
+    fn sync(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to`, replacing `to` if it exists.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes a file; succeeds if it does not exist.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem: each trait call is one `std::fs` operation.
+#[derive(Debug, Default)]
+pub struct StdIo;
+
+impl DurableIo for StdIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(data)
+    }
+
+    fn write_new(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        // Data already reached the kernel through a prior write; fsync via
+        // a fresh handle flushes the same inode.
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+}

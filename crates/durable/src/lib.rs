@@ -1,0 +1,141 @@
+//! Durability layer for the RIDL* engine: write-ahead logging,
+//! checkpoint snapshots, crash recovery, and a syscall-level
+//! fault-injection harness.
+//!
+//! The crate is deliberately engine-agnostic — it knows about
+//! [`ridl_relational::RelState`] and [`ridl_relational::DeltaOp`] but not
+//! about constraints or validation. The engine layers recovery *replay*
+//! (re-running committed units through its incremental-validation path)
+//! on top of the raw scan this crate provides.
+//!
+//! Module map:
+//!
+//! * [`crc`] — zero-dependency CRC32 (IEEE), the integrity check for both
+//!   WAL frames and snapshots;
+//! * [`io`] — the [`DurableIo`] syscall boundary and the real
+//!   [`StdIo`] implementation;
+//! * [`fault`] — [`FaultyIo`], an in-memory filesystem with per-syscall
+//!   fault injection and simulated crashes;
+//! * [`snapshot`] — the checkpoint text format (a superset of the
+//!   `metadb` value token format, which delegates here);
+//! * [`wal`] — length-prefixed, CRC-checksummed WAL frames with explicit
+//!   commit markers, and the total (never-panicking) [`scan_wal`];
+//! * [`store`] — the on-disk protocol: file layout, crash-safe
+//!   checkpoint + log-truncation sequence, and the recovery read path.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crc;
+pub mod fault;
+pub mod io;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use crate::fault::{FaultKind, FaultPlan, FaultyIo};
+pub use crate::io::{DurableIo, StdIo};
+pub use crate::snapshot::{
+    decode_snapshot, decode_value, encode_snapshot, encode_value, fingerprint_str, CorruptError,
+    Snapshot,
+};
+pub use crate::store::{read_store, write_checkpoint, CheckpointFailure, StoreScan};
+pub use crate::wal::{encode_unit, scan_wal, wal_init_bytes, CommitUnit, WalHeader, WalScan};
+
+/// When the WAL is fsync'd relative to commits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FsyncPolicy {
+    /// fsync on every commit before reporting success. A reported-success
+    /// commit survives any crash.
+    Always,
+    /// Group commit: fsync at most once per window. Commits inside the
+    /// window are reported before they are durable — a crash may lose a
+    /// suffix of them, but never produces a non-prefix state.
+    GroupCommit {
+        /// Maximum time between fsyncs, in microseconds.
+        window_micros: u64,
+    },
+    /// Never fsync from the commit path (checkpoints still sync). For
+    /// benchmarking the WAL's CPU cost in isolation.
+    Never,
+}
+
+/// Durability configuration for a [`DurableIo`]-backed engine database.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Durability {
+    /// Commit fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Take an automatic checkpoint (and truncate the WAL) once the log
+    /// exceeds this many bytes. `None` disables automatic checkpoints.
+    /// Auto-checkpoints are deferred while a transaction is open.
+    pub checkpoint_every_bytes: Option<u64>,
+}
+
+impl Default for Durability {
+    fn default() -> Self {
+        Durability {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every_bytes: Some(4 << 20),
+        }
+    }
+}
+
+/// What crash recovery found and did, surfaced through
+/// `Database::recovery_report` and `ridl recover`.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct RecoveryReport {
+    /// Epoch of the checkpoint the recovered state is based on, and the
+    /// file it was read from; `None` when recovery started from the
+    /// empty state.
+    pub checkpoint: Option<(u64, &'static str)>,
+    /// Snapshot files present but rejected (checksum or parse failure).
+    pub snapshots_rejected: usize,
+    /// Total WAL bytes scanned.
+    pub wal_bytes_scanned: u64,
+    /// Committed units replayed into the recovered state.
+    pub units_replayed: usize,
+    /// Individual delta ops inside those units.
+    pub ops_replayed: usize,
+    /// Bytes past the last valid committed unit (torn/partial/corrupt
+    /// tail records) that were discarded.
+    pub bytes_discarded: u64,
+    /// True when the WAL predated the checkpoint (crash between the
+    /// checkpoint renames and the WAL reset) and was discarded whole.
+    pub stale_wal: bool,
+    /// True when replay stopped early because a committed unit no longer
+    /// validated (possible only if the schema changed between runs);
+    /// the remaining units are counted in `bytes_discarded`.
+    pub replay_rejected: bool,
+    /// True when the store directory was empty (first open).
+    pub fresh: bool,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.fresh {
+            return writeln!(f, "recovery: fresh store (no WAL, no checkpoint)");
+        }
+        match self.checkpoint {
+            Some((epoch, file)) => writeln!(f, "checkpoint: epoch {epoch} from {file}")?,
+            None => writeln!(f, "checkpoint: none (recovered from empty state)")?,
+        }
+        if self.snapshots_rejected > 0 {
+            writeln!(f, "snapshots rejected: {}", self.snapshots_rejected)?;
+        }
+        writeln!(
+            f,
+            "wal: {} bytes scanned, {} units ({} ops) replayed, {} bytes discarded",
+            self.wal_bytes_scanned, self.units_replayed, self.ops_replayed, self.bytes_discarded
+        )?;
+        if self.stale_wal {
+            writeln!(f, "wal: stale (predates checkpoint), discarded whole")?;
+        }
+        if self.replay_rejected {
+            writeln!(
+                f,
+                "wal: replay stopped early (a committed unit no longer validates)"
+            )?;
+        }
+        Ok(())
+    }
+}

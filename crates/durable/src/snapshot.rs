@@ -1,0 +1,359 @@
+//! Checkpoint snapshots: a text encoding of [`RelState`] with a CRC32
+//! footer, plus the typed value-token codec it shares with
+//! `metadb::serde` (which delegates here, so the meta-database columns
+//! and the durability layer speak one format).
+//!
+//! Layout (one record per line):
+//!
+//! ```text
+//! RIDLSNAP 1
+//! epoch <u64>
+//! fingerprint <u64 hex>
+//! tables <count>
+//! t <table-index> <row-count>
+//! r <cell><US><cell>...        one line per row; cell = ~ for NULL,
+//!                              else the escaped value token
+//! end
+//! crc <u32 hex>                over every byte above, including "end\n"
+//! ```
+//!
+//! Cells are percent-escaped so value tokens containing newlines, the
+//! unit separator, or `%` itself round-trip byte-exactly; serialize →
+//! parse → serialize is a fixpoint (rows live in `BTreeSet`s, so
+//! iteration order is canonical). Truncated or bit-flipped input fails
+//! the CRC (or the structural parse) with a typed error — never a panic.
+
+use std::fmt;
+
+use ridl_brm::{Decimal, Value};
+use ridl_relational::{RelState, Row, TableId};
+
+use crate::crc::crc32;
+
+/// Errors raised while decoding snapshots or value tokens.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CorruptError(pub String);
+
+impl fmt::Display for CorruptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt durable data: {}", self.0)
+    }
+}
+
+impl std::error::Error for CorruptError {}
+
+fn bad(what: impl Into<String>) -> CorruptError {
+    CorruptError(what.into())
+}
+
+// ---- value tokens (the metadb::serde format) ----
+
+/// Encodes a value as a typed token (`S…`, `I…`, `N…/…`, `D…`, `B0|B1`,
+/// `E…`).
+pub fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("S{s}"),
+        Value::Int(i) => format!("I{i}"),
+        Value::Num(d) => format!("N{}/{}", d.mantissa, d.scale),
+        Value::Date(d) => format!("D{d}"),
+        Value::Bool(b) => format!("B{}", if *b { 1 } else { 0 }),
+        Value::Entity(e) => format!("E{}", e.0),
+    }
+}
+
+/// Decodes a typed value token.
+pub fn decode_value(s: &str) -> Result<Value, CorruptError> {
+    let err = || bad(format!("value {s}"));
+    // One ASCII tag byte; a multibyte first char is corrupt, not a slice
+    // panic.
+    if s.is_empty() || !s.is_char_boundary(1) {
+        return Err(err());
+    }
+    let (tag, rest) = s.split_at(1);
+    Ok(match tag {
+        "S" => Value::str(rest),
+        "I" => Value::Int(rest.parse().map_err(|_| err())?),
+        "N" => {
+            let (m, sc) = rest.split_once('/').ok_or_else(err)?;
+            Value::Num(Decimal::new(
+                m.parse().map_err(|_| err())?,
+                sc.parse().map_err(|_| err())?,
+            ))
+        }
+        "D" => Value::Date(rest.parse().map_err(|_| err())?),
+        "B" => match rest {
+            "1" => Value::Bool(true),
+            "0" => Value::Bool(false),
+            _ => return Err(err()),
+        },
+        "E" => Value::entity(rest.parse().map_err(|_| err())?),
+        _ => return Err(err()),
+    })
+}
+
+// ---- cell escaping ----
+
+const US: char = '\u{1f}';
+
+/// Percent-escapes control characters (including `\n` and the unit
+/// separator), `%`, and a leading-`~` collision so any value token is one
+/// line-safe, separator-safe cell.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c < ' ' || c == '%' || c == '\u{7f}' {
+            out.push('%');
+            out.push_str(&format!("{:02X}", c as u32));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Result<String, CorruptError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let hi = chars.next().ok_or_else(|| bad("truncated escape"))?;
+            let lo = chars.next().ok_or_else(|| bad("truncated escape"))?;
+            let n = u32::from_str_radix(&format!("{hi}{lo}"), 16)
+                .map_err(|_| bad(format!("escape %{hi}{lo}")))?;
+            out.push(char::from_u32(n).ok_or_else(|| bad(format!("escape %{hi}{lo}")))?);
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes one row as a line of US-separated cells (`~` = NULL).
+pub fn encode_row(row: &Row) -> String {
+    row.iter()
+        .map(|cell| match cell {
+            None => "~".to_string(),
+            Some(v) => esc(&encode_value(v)),
+        })
+        .collect::<Vec<_>>()
+        .join(&US.to_string())
+}
+
+/// Decodes a row line produced by [`encode_row`].
+pub fn decode_row(line: &str) -> Result<Row, CorruptError> {
+    if line.is_empty() {
+        return Ok(Vec::new());
+    }
+    line.split(US)
+        .map(|cell| {
+            if cell == "~" {
+                Ok(None)
+            } else {
+                decode_value(&unesc(cell)?).map(Some)
+            }
+        })
+        .collect()
+}
+
+// ---- state snapshots ----
+
+/// A decoded checkpoint snapshot.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Snapshot {
+    /// WAL epoch this snapshot pairs with: a WAL whose header carries the
+    /// same epoch applies *on top of* this state; a smaller epoch means
+    /// the WAL is stale (its effects are already included here).
+    pub epoch: u64,
+    /// Schema fingerprint the state was captured under.
+    pub fingerprint: u64,
+    /// The state.
+    pub state: RelState,
+}
+
+/// Serializes a snapshot. The output is a fixpoint under
+/// parse-then-serialize.
+pub fn encode_snapshot(epoch: u64, fingerprint: u64, state: &RelState) -> String {
+    let mut body = String::new();
+    body.push_str("RIDLSNAP 1\n");
+    body.push_str(&format!("epoch {epoch}\n"));
+    body.push_str(&format!("fingerprint {fingerprint:016x}\n"));
+    body.push_str(&format!("tables {}\n", state.num_tables()));
+    for i in 0..state.num_tables() {
+        let rows = state.rows(TableId(i as u32));
+        body.push_str(&format!("t {i} {}\n", rows.len()));
+        for row in rows {
+            body.push_str("r ");
+            body.push_str(&encode_row(row));
+            body.push('\n');
+        }
+    }
+    body.push_str("end\n");
+    let crc = crc32(body.as_bytes());
+    body.push_str(&format!("crc {crc:08x}\n"));
+    body
+}
+
+/// Parses and verifies a snapshot. Any truncation, bit flip, or
+/// structural damage yields a [`CorruptError`].
+pub fn decode_snapshot(text: &str) -> Result<Snapshot, CorruptError> {
+    // The CRC footer is the last line; everything before it is covered.
+    let body_end = text
+        .rfind("\ncrc ")
+        .ok_or_else(|| bad("snapshot: missing crc footer"))?
+        + 1;
+    let (body, footer) = text.split_at(body_end);
+    let footer = footer
+        .strip_prefix("crc ")
+        .and_then(|f| f.strip_suffix('\n'))
+        .ok_or_else(|| bad("snapshot: malformed crc footer"))?;
+    let want = u32::from_str_radix(footer, 16).map_err(|_| bad("snapshot: malformed crc"))?;
+    let got = crc32(body.as_bytes());
+    if want != got {
+        return Err(bad(format!(
+            "snapshot: crc mismatch (stored {want:08x}, computed {got:08x})"
+        )));
+    }
+    let mut lines = body.lines();
+    let magic = lines.next().ok_or_else(|| bad("snapshot: empty"))?;
+    if magic != "RIDLSNAP 1" {
+        return Err(bad(format!("snapshot: bad magic {magic:?}")));
+    }
+    let field = |line: Option<&str>, key: &str| -> Result<String, CorruptError> {
+        line.and_then(|l| l.strip_prefix(key))
+            .and_then(|l| l.strip_prefix(' '))
+            .map(str::to_string)
+            .ok_or_else(|| bad(format!("snapshot: expected `{key}`")))
+    };
+    let epoch: u64 = field(lines.next(), "epoch")?
+        .parse()
+        .map_err(|_| bad("snapshot: epoch"))?;
+    let fingerprint = u64::from_str_radix(&field(lines.next(), "fingerprint")?, 16)
+        .map_err(|_| bad("snapshot: fingerprint"))?;
+    let num_tables: usize = field(lines.next(), "tables")?
+        .parse()
+        .map_err(|_| bad("snapshot: tables"))?;
+    let mut state = RelState::with_tables(num_tables);
+    for i in 0..num_tables {
+        let hdr = field(lines.next(), "t")?;
+        let (idx, count) = hdr
+            .split_once(' ')
+            .ok_or_else(|| bad(format!("snapshot: table header {hdr:?}")))?;
+        let idx: usize = idx.parse().map_err(|_| bad("snapshot: table index"))?;
+        if idx != i {
+            return Err(bad(format!("snapshot: table {idx} out of order")));
+        }
+        let count: usize = count.parse().map_err(|_| bad("snapshot: row count"))?;
+        for _ in 0..count {
+            let line = lines
+                .next()
+                .ok_or_else(|| bad("snapshot: truncated rows"))?;
+            let row = line
+                .strip_prefix("r ")
+                .ok_or_else(|| bad(format!("snapshot: expected row, got {line:?}")))?;
+            if !state.insert(TableId(i as u32), decode_row(row)?) {
+                return Err(bad("snapshot: duplicate row"));
+            }
+        }
+    }
+    match lines.next() {
+        Some("end") => {}
+        other => return Err(bad(format!("snapshot: expected end, got {other:?}"))),
+    }
+    Ok(Snapshot {
+        epoch,
+        fingerprint,
+        state,
+    })
+}
+
+/// FNV-1a over a string — the schema fingerprint stored in snapshots and
+/// WAL headers, guarding a store against being opened under a different
+/// schema. (Not stable across builds that change schema `Debug` output;
+/// it guards operational mistakes, not archival formats.)
+pub fn fingerprint_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Option<Value> {
+        Some(Value::str(s))
+    }
+
+    fn sample_state() -> RelState {
+        let mut st = RelState::with_tables(3);
+        st.insert(TableId(0), vec![v("plain"), None]);
+        st.insert(TableId(0), vec![v("with\nnewline"), v("with\u{1f}us")]);
+        st.insert(TableId(0), vec![v("100%"), v("~tilde")]);
+        st.insert(
+            TableId(2),
+            vec![
+                Some(Value::Int(-42)),
+                Some(Value::Num(Decimal::new(1234, 2))),
+                Some(Value::Date(9999)),
+                Some(Value::Bool(false)),
+                Some(Value::entity(7)),
+            ],
+        );
+        st
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_is_a_fixpoint() {
+        let st = sample_state();
+        let enc = encode_snapshot(3, 0xABCD, &st);
+        let snap = decode_snapshot(&enc).unwrap();
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.fingerprint, 0xABCD);
+        assert_eq!(snap.state, st);
+        assert_eq!(
+            encode_snapshot(snap.epoch, snap.fingerprint, &snap.state),
+            enc
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let enc = encode_snapshot(1, 1, &sample_state());
+        for cut in 0..enc.len() {
+            assert!(
+                decode_snapshot(&enc[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let enc = encode_snapshot(1, 1, &sample_state());
+        let mut bytes = enc.clone().into_bytes();
+        // Flip a byte inside a row cell (after the header lines).
+        let pos = enc.find("r ").unwrap() + 2;
+        bytes[pos] ^= 0x01;
+        let tampered = String::from_utf8(bytes).unwrap();
+        assert!(decode_snapshot(&tampered).is_err());
+    }
+
+    #[test]
+    fn rows_with_hostile_strings_roundtrip() {
+        for s in ["", "~", "%", "%41", "a\u{1f}b", "line\nbreak", "ünïcode…"] {
+            let row: Row = vec![v(s), None, v(s)];
+            let dec = decode_row(&encode_row(&row)).unwrap();
+            assert_eq!(dec, row, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn empty_state_roundtrips() {
+        let st = RelState::with_tables(0);
+        let snap = decode_snapshot(&encode_snapshot(0, 0, &st)).unwrap();
+        assert_eq!(snap.state, st);
+    }
+}

@@ -1,0 +1,315 @@
+//! The on-disk store protocol: file layout, the checkpoint/truncation
+//! dance, and the crash-safe read path.
+//!
+//! A store directory holds at most three files:
+//!
+//! * `wal.log` — magic + header frame (epoch, schema fingerprint) +
+//!   committed units ([`crate::wal`]);
+//! * `checkpoint.snap` — the latest snapshot ([`crate::snapshot`]);
+//! * `checkpoint.prev` — the previous snapshot, kept as the fallback for
+//!   a crash between the two checkpoint renames (or at-rest corruption
+//!   of `checkpoint.snap`).
+//!
+//! **Checkpoint protocol** (each step one syscall; crash-safe at every
+//! boundary): write the new snapshot to `checkpoint.tmp`, fsync it,
+//! rename `snap`→`prev`, rename `tmp`→`snap`, then reset the WAL by
+//! writing `wal.tmp` (new epoch header), fsyncing, and renaming over
+//! `wal.log`. The epoch stitches the pieces back together after a crash:
+//! a WAL whose header epoch is *below* the chosen snapshot's is stale
+//! (its units are already inside the snapshot) and is discarded; an
+//! epoch *above* means the snapshot the WAL needs is gone — unrecoverable
+//! without risking replaying ops against the wrong base state, so it is
+//! reported as corruption rather than guessed at.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ridl_relational::RelState;
+
+use crate::io::DurableIo;
+use crate::snapshot::{decode_snapshot, encode_snapshot, CorruptError, Snapshot};
+use crate::wal::{scan_wal, wal_init_bytes, WalScan};
+
+/// WAL file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Latest checkpoint snapshot.
+pub const SNAP_FILE: &str = "checkpoint.snap";
+/// Previous checkpoint snapshot (crash/corruption fallback).
+pub const SNAP_PREV_FILE: &str = "checkpoint.prev";
+const SNAP_TMP_FILE: &str = "checkpoint.tmp";
+const WAL_TMP_FILE: &str = "wal.tmp";
+
+/// Joined path of a store file.
+pub fn store_path(dir: &Path, file: &str) -> PathBuf {
+    dir.join(file)
+}
+
+/// Which durable state a failed checkpoint left behind.
+#[derive(Debug)]
+pub enum CheckpointFailure {
+    /// The new snapshot never became current: the store still holds the
+    /// pre-checkpoint state and the WAL remains appendable. The
+    /// checkpoint simply did not happen.
+    SnapshotWrite(io::Error),
+    /// The new snapshot is durable but the WAL reset failed: the old log
+    /// is now stale (epoch below the snapshot's). Recovery handles this
+    /// cleanly, but the live process must stop appending to the old log.
+    WalReset(io::Error),
+}
+
+impl std::fmt::Display for CheckpointFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointFailure::SnapshotWrite(e) => write!(f, "checkpoint snapshot write: {e}"),
+            CheckpointFailure::WalReset(e) => write!(f, "WAL reset after checkpoint: {e}"),
+        }
+    }
+}
+
+/// Writes a checkpoint of `state` with `epoch`, then resets the WAL to
+/// an empty log with the same epoch. On success the old WAL contents are
+/// gone (log truncation). Returns the byte length of the fresh WAL.
+pub fn write_checkpoint(
+    io: &dyn DurableIo,
+    dir: &Path,
+    epoch: u64,
+    fingerprint: u64,
+    state: &RelState,
+) -> Result<u64, CheckpointFailure> {
+    let tmp = store_path(dir, SNAP_TMP_FILE);
+    let snap = store_path(dir, SNAP_FILE);
+    let prev = store_path(dir, SNAP_PREV_FILE);
+    let enc = encode_snapshot(epoch, fingerprint, state);
+    let snap_stage = (|| {
+        io.write_new(&tmp, enc.as_bytes())?;
+        io.sync(&tmp)?;
+        if io.exists(&snap) {
+            io.rename(&snap, &prev)?;
+        }
+        io.rename(&tmp, &snap)
+    })();
+    snap_stage.map_err(CheckpointFailure::SnapshotWrite)?;
+    reset_wal(io, dir, epoch, fingerprint).map_err(CheckpointFailure::WalReset)
+}
+
+/// Atomically replaces the WAL with a fresh one carrying `epoch`.
+/// Returns its byte length.
+pub fn reset_wal(io: &dyn DurableIo, dir: &Path, epoch: u64, fingerprint: u64) -> io::Result<u64> {
+    let tmp = store_path(dir, WAL_TMP_FILE);
+    let wal = store_path(dir, WAL_FILE);
+    let bytes = wal_init_bytes(epoch, fingerprint);
+    io.write_new(&tmp, &bytes)?;
+    io.sync(&tmp)?;
+    io.rename(&tmp, &wal)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Everything recovery needs, read and cross-checked from a store
+/// directory.
+#[derive(Debug, Default)]
+pub struct StoreScan {
+    /// The chosen snapshot and the file it came from, if any checkpoint
+    /// was usable. `None` means the store starts from the empty state.
+    pub snapshot: Option<(Snapshot, &'static str)>,
+    /// Snapshot files present but rejected (CRC/parse failure).
+    pub snapshots_rejected: usize,
+    /// The WAL scan (committed units already filtered to the live
+    /// epoch; stale units are dropped and counted below).
+    pub wal: WalScan,
+    /// Total WAL bytes on disk.
+    pub wal_len: u64,
+    /// True when the WAL's epoch predates the snapshot — its units were
+    /// already absorbed by the checkpoint and were discarded wholesale.
+    pub stale_wal: bool,
+    /// True when no WAL file existed (fresh directory).
+    pub fresh: bool,
+}
+
+/// Reads and validates a store directory. I/O errors propagate;
+/// cross-file inconsistencies that would force replaying ops against the
+/// wrong base state come back as [`CorruptError`].
+pub fn read_store(io: &dyn DurableIo, dir: &Path) -> io::Result<Result<StoreScan, CorruptError>> {
+    let mut out = StoreScan::default();
+    let mut candidates: Vec<(Snapshot, &'static str)> = Vec::new();
+    for file in [SNAP_FILE, SNAP_PREV_FILE] {
+        let path = store_path(dir, file);
+        if !io.exists(&path) {
+            continue;
+        }
+        let bytes = io.read(&path)?;
+        match std::str::from_utf8(&bytes)
+            .map_err(|_| CorruptError("snapshot: not UTF-8".into()))
+            .and_then(decode_snapshot)
+        {
+            Ok(snap) => candidates.push((snap, file)),
+            Err(_) => out.snapshots_rejected += 1,
+        }
+    }
+
+    let wal_path = store_path(dir, WAL_FILE);
+    let wal_bytes = if io.exists(&wal_path) {
+        io.read(&wal_path)?
+    } else {
+        out.fresh = true;
+        Vec::new()
+    };
+    out.wal_len = wal_bytes.len() as u64;
+    out.wal = scan_wal(&wal_bytes);
+    let wal_epoch = out.wal.header.map(|h| h.epoch);
+
+    // The newest valid snapshot decides: `prev` only exists as the
+    // fallback for a crash between the checkpoint renames, and in that
+    // window the WAL's epoch still matches it. A WAL *newer* than the
+    // newest readable snapshot cannot be replayed against an older base
+    // without corrupting the state, so it is reported, not guessed at.
+    if let Some((snap, file)) = candidates.into_iter().next() {
+        let usable = match wal_epoch {
+            // No readable WAL header: any valid snapshot is the best
+            // recoverable state (the log tail counts as discarded).
+            None => true,
+            Some(we) => we <= snap.epoch,
+        };
+        if !usable {
+            return Ok(Err(CorruptError(format!(
+                "WAL epoch {} requires a newer checkpoint than {file} (epoch {})",
+                wal_epoch.unwrap_or(0),
+                snap.epoch
+            ))));
+        }
+        if wal_epoch.is_some_and(|we| we < snap.epoch) {
+            out.stale_wal = true;
+            out.wal.units.clear();
+        }
+        out.snapshot = Some((snap, file));
+    }
+    if out.snapshot.is_none() {
+        if let Some(we) = wal_epoch {
+            if we != 0 {
+                return Ok(Err(CorruptError(format!(
+                    "WAL epoch {we} but no checkpoint found"
+                ))));
+            }
+        }
+        if out.snapshots_rejected > 0 && out.wal.header.is_some() {
+            // A WAL exists for a checkpointed epoch we cannot read.
+            let we = wal_epoch.unwrap_or(0);
+            if we != 0 {
+                return Ok(Err(CorruptError(format!(
+                    "all checkpoints unreadable but WAL epoch {we} requires one"
+                ))));
+            }
+        }
+    }
+    Ok(Ok(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultyIo;
+    use crate::wal::encode_unit;
+    use ridl_brm::Value;
+    use ridl_relational::{DeltaOp, TableId};
+
+    fn dir() -> PathBuf {
+        PathBuf::from("/store")
+    }
+
+    fn state_one_row() -> RelState {
+        let mut st = RelState::with_tables(1);
+        st.insert(TableId(0), vec![Some(Value::str("x"))]);
+        st
+    }
+
+    #[test]
+    fn checkpoint_then_read_roundtrips_and_truncates() {
+        let io = FaultyIo::new();
+        reset_wal(&io, &dir(), 0, 7).unwrap();
+        io.append(
+            &store_path(&dir(), WAL_FILE),
+            &encode_unit(
+                &[DeltaOp::Insert {
+                    table: TableId(0),
+                    row: vec![Some(Value::str("x"))],
+                }],
+                true,
+            ),
+        )
+        .unwrap();
+        io.sync(&store_path(&dir(), WAL_FILE)).unwrap();
+
+        let scan = read_store(&io, &dir()).unwrap().unwrap();
+        assert_eq!(scan.wal.units.len(), 1);
+        assert!(scan.snapshot.is_none());
+
+        write_checkpoint(&io, &dir(), 1, 7, &state_one_row()).unwrap();
+        let scan = read_store(&io, &dir()).unwrap().unwrap();
+        let (snap, file) = scan.snapshot.expect("checkpoint present");
+        assert_eq!(file, SNAP_FILE);
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.state, state_one_row());
+        assert!(scan.wal.units.is_empty(), "WAL truncated");
+        assert!(!scan.stale_wal);
+    }
+
+    #[test]
+    fn stale_wal_is_discarded_not_replayed() {
+        let io = FaultyIo::new();
+        // Simulate a crash after the snapshot renames but before the WAL
+        // reset: snapshot at epoch 1, WAL still at epoch 0 with a unit.
+        reset_wal(&io, &dir(), 0, 7).unwrap();
+        io.append(
+            &store_path(&dir(), WAL_FILE),
+            &encode_unit(
+                &[DeltaOp::Insert {
+                    table: TableId(0),
+                    row: vec![Some(Value::str("old"))],
+                }],
+                true,
+            ),
+        )
+        .unwrap();
+        let snap = encode_snapshot(1, 7, &state_one_row());
+        io.poke(&store_path(&dir(), SNAP_FILE), snap.into_bytes());
+
+        let scan = read_store(&io, &dir()).unwrap().unwrap();
+        assert!(scan.stale_wal);
+        assert!(scan.wal.units.is_empty());
+        assert_eq!(scan.snapshot.unwrap().0.epoch, 1);
+    }
+
+    #[test]
+    fn corrupt_snap_falls_back_to_prev_when_epochs_allow() {
+        let io = FaultyIo::new();
+        let prev = encode_snapshot(1, 7, &state_one_row());
+        io.poke(&store_path(&dir(), SNAP_PREV_FILE), prev.into_bytes());
+        io.poke(&store_path(&dir(), SNAP_FILE), b"garbage".to_vec());
+        reset_wal(&io, &dir(), 1, 7).unwrap();
+        let scan = read_store(&io, &dir()).unwrap().unwrap();
+        assert_eq!(scan.snapshots_rejected, 1);
+        assert_eq!(scan.snapshot.unwrap().1, SNAP_PREV_FILE);
+    }
+
+    #[test]
+    fn wal_ahead_of_every_checkpoint_is_corruption() {
+        let io = FaultyIo::new();
+        let prev = encode_snapshot(1, 7, &state_one_row());
+        io.poke(&store_path(&dir(), SNAP_PREV_FILE), prev.into_bytes());
+        reset_wal(&io, &dir(), 2, 7).unwrap();
+        assert!(read_store(&io, &dir()).unwrap().is_err());
+
+        // Same with no checkpoint at all.
+        let io = FaultyIo::new();
+        reset_wal(&io, &dir(), 3, 7).unwrap();
+        assert!(read_store(&io, &dir()).unwrap().is_err());
+    }
+
+    #[test]
+    fn fresh_directory_scans_empty() {
+        let io = FaultyIo::new();
+        let scan = read_store(&io, &dir()).unwrap().unwrap();
+        assert!(scan.fresh);
+        assert!(scan.snapshot.is_none());
+        assert!(scan.wal.units.is_empty());
+    }
+}

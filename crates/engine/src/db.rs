@@ -82,6 +82,21 @@ pub enum EngineError {
     ConstraintViolation(Vec<RelViolation>),
     /// Transaction misuse (commit/rollback without begin).
     NoTransaction,
+    /// A durability I/O failure (WAL append/fsync or checkpoint write).
+    /// The in-memory statement was rolled back.
+    Io(String),
+    /// A previous WAL write failed, so the log no longer matches the
+    /// state; mutations are refused until a successful
+    /// [`Database::checkpoint`] re-establishes a durable base.
+    WalPoisoned,
+    /// [`Database::checkpoint`] was called while a transaction is open —
+    /// a snapshot would capture uncommitted changes.
+    CheckpointInTransaction,
+    /// The on-disk store is corrupt beyond what recovery can repair
+    /// (e.g. the WAL requires a checkpoint that no longer decodes).
+    Corrupt(String),
+    /// The on-disk store was written under a different schema.
+    SchemaMismatch,
 }
 
 impl fmt::Display for EngineError {
@@ -98,6 +113,18 @@ impl fmt::Display for EngineError {
                 Ok(())
             }
             EngineError::NoTransaction => write!(f, "no open transaction"),
+            EngineError::Io(e) => write!(f, "durability I/O failure: {e}"),
+            EngineError::WalPoisoned => write!(
+                f,
+                "WAL poisoned by an earlier write failure; checkpoint to resume"
+            ),
+            EngineError::CheckpointInTransaction => {
+                write!(f, "cannot checkpoint while a transaction is open")
+            }
+            EngineError::Corrupt(e) => write!(f, "store corrupt: {e}"),
+            EngineError::SchemaMismatch => {
+                write!(f, "store was written under a different schema")
+            }
         }
     }
 }
@@ -112,29 +139,40 @@ impl std::error::Error for EngineError {}
 /// log** of inverse row operations — no state snapshot is ever cloned,
 /// neither per statement nor per transaction.
 pub struct Database {
-    schema: RelSchema,
-    state: RelState,
+    pub(crate) schema: RelSchema,
+    pub(crate) state: RelState,
     indexes: ConstraintIndexes,
     views: HashMap<String, Query>,
     /// Applied row operations since the outermost transaction began (or
     /// since the last statement, outside transactions). Rolling back means
     /// replaying a suffix in reverse with each op inverted.
-    undo: Vec<DeltaOp>,
+    pub(crate) undo: Vec<DeltaOp>,
     /// Undo-log positions where each open transaction began.
-    txn_marks: Vec<usize>,
+    pub(crate) txn_marks: Vec<usize>,
     mode: ValidationMode,
     /// Set while `insert_unchecked` rows await their deferred check; delta
     /// validation's valid-pre-state precondition is broken until a full
     /// validation (`commit`, `load_state`, or a full-falling-back
     /// statement) succeeds, so enforcement runs full-state meanwhile.
-    has_unchecked: bool,
+    pub(crate) has_unchecked: bool,
     /// Undo-log position of the earliest unchecked op still in the log —
     /// when a rollback reverts past it, the unchecked rows are gone and
     /// `has_unchecked` resets. `None` while clean, or when unchecked rows
     /// are no longer covered by the undo log (outside transactions).
     unchecked_mark: Option<usize>,
+    /// True while at least one unchecked row has already left the undo
+    /// log (committed outside a transaction, or replayed from the WAL).
+    /// Such a row can never be reverted away, so no rollback may clear
+    /// `has_unchecked` while this is set — only a successful full-state
+    /// validation does.
+    pub(crate) unchecked_uncovered: bool,
     /// The most recent statement's enforcement report.
     last_report: Option<EnforcementReport>,
+    /// Durability wiring; `None` for a purely in-memory database.
+    pub(crate) wal: Option<crate::durable::WalHandle>,
+    /// The recovery report produced when this database was opened from a
+    /// store directory.
+    pub(crate) recovery: Option<ridl_durable::RecoveryReport>,
 }
 
 impl Database {
@@ -156,8 +194,23 @@ impl Database {
             mode: ValidationMode::default(),
             has_unchecked: false,
             unchecked_mark: None,
+            unchecked_uncovered: false,
             last_report: None,
+            wal: None,
+            recovery: None,
         })
+    }
+
+    /// Refuses mutations while the WAL is poisoned: after a failed
+    /// append/fsync the log no longer reflects the state, so anything
+    /// committed now could be silently lost on crash. A successful
+    /// [`Database::checkpoint`] re-establishes a durable base and clears
+    /// the flag.
+    fn ensure_writable(&self) -> Result<(), EngineError> {
+        match &self.wal {
+            Some(w) if w.is_poisoned() => Err(EngineError::WalPoisoned),
+            _ => Ok(()),
+        }
     }
 
     /// The schema.
@@ -189,6 +242,7 @@ impl Database {
     /// large states) and rebuilding the constraint indexes. Any open
     /// transactions are discarded.
     pub fn load_state(&mut self, state: RelState) -> Result<(), EngineError> {
+        self.ensure_writable()?;
         let mut span = ridl_obs::span::enter("engine.load_state");
         if span.is_recording() {
             span.attr("rows", state.num_rows());
@@ -197,12 +251,17 @@ impl Database {
         if !violations.is_empty() {
             return Err(EngineError::ConstraintViolation(violations));
         }
+        // Durable stores checkpoint the incoming state *before* the swap:
+        // a checkpoint failure aborts the load with both the memory and
+        // the on-disk store still holding the old state.
+        self.wal_checkpoint_of(&state)?;
         self.indexes = ConstraintIndexes::build(&self.schema, &state);
         self.state = state;
         self.undo.clear();
         self.txn_marks.clear();
         self.has_unchecked = false;
         self.unchecked_mark = None;
+        self.unchecked_uncovered = false;
         Ok(())
     }
 
@@ -215,7 +274,7 @@ impl Database {
     /// Applies one row operation to the state and indexes, recording it in
     /// the undo log. Returns false (recording nothing) when the state
     /// already absorbed it (duplicate insert / missing removal).
-    fn apply(&mut self, op: DeltaOp) -> bool {
+    pub(crate) fn apply(&mut self, op: DeltaOp) -> bool {
         let changed = match &op {
             DeltaOp::Insert { table, row } => {
                 let done = self.state.insert(*table, row.clone());
@@ -262,7 +321,12 @@ impl Database {
         }
         if self.unchecked_mark.is_some_and(|w| mark <= w) {
             self.unchecked_mark = None;
-            self.has_unchecked = false;
+            // Reverting past the covered watermark only discharges the
+            // deferred check if no unchecked row has already left the
+            // undo log — an uncovered one survives every rollback.
+            if !self.unchecked_uncovered {
+                self.has_unchecked = false;
+            }
         }
     }
 
@@ -276,7 +340,7 @@ impl Database {
     /// update) that touches a row and puts it back is judged by what
     /// actually changed — the same verdict full re-validation of the
     /// post-state gives.
-    fn finish_statement(
+    pub(crate) fn finish_statement(
         &mut self,
         mark: usize,
         statement: &'static str,
@@ -351,10 +415,21 @@ impl Database {
         if strategy == "full" && self.has_unchecked {
             self.has_unchecked = false;
             self.unchecked_mark = None;
+            self.unchecked_uncovered = false;
         }
         self.debug_check_equivalence();
         if self.txn_marks.is_empty() {
+            // Outside transactions a clean statement is a commit point:
+            // append it to the WAL (with its commit marker) before
+            // draining the undo log. A WAL failure reverts the statement
+            // — the caller sees an error, and the state never diverges
+            // from what the log can reconstruct.
+            if let Err(e) = self.wal_commit(mark, true) {
+                self.revert_to(mark);
+                return Err(e);
+            }
             self.undo.clear();
+            self.maybe_auto_checkpoint();
         }
         Ok(())
     }
@@ -393,6 +468,7 @@ impl Database {
     /// Re-inserting an existing row is rejected (relations are sets; a
     /// duplicate insert is almost always a key violation in disguise).
     pub fn insert(&mut self, table: &str, row: Row) -> Result<(), EngineError> {
+        self.ensure_writable()?;
         let tid = self.table_id(table)?;
         let mark = self.undo.len();
         if !self.apply(DeltaOp::Insert { table: tid, row }) {
@@ -408,15 +484,27 @@ impl Database {
     /// `commit` or `load_state` re-validates). The row still enters the
     /// undo log, so `rollback` undoes it.
     pub fn insert_unchecked(&mut self, table: &str, row: Row) -> Result<(), EngineError> {
+        self.ensure_writable()?;
         let tid = self.table_id(table)?;
         let pos = self.undo.len();
         if self.apply(DeltaOp::Insert { table: tid, row }) {
+            let was_unchecked = self.has_unchecked;
             self.has_unchecked = true;
             if self.txn_marks.is_empty() {
+                // Outside a transaction the row is a commit point like any
+                // other statement, logged as an *unchecked* unit so replay
+                // defers its check too. A WAL failure reverts it.
+                if let Err(e) = self.wal_commit(pos, false) {
+                    self.revert_to(pos);
+                    self.has_unchecked = was_unchecked;
+                    return Err(e);
+                }
                 // The op leaves the undo log immediately: the unchecked row
-                // can no longer be reverted away, so no watermark to track.
+                // can no longer be reverted away, so no watermark to track
+                // — and no later rollback may discharge the deferred check.
                 self.undo.clear();
                 self.unchecked_mark = None;
+                self.unchecked_uncovered = true;
             } else if self.unchecked_mark.is_none() {
                 self.unchecked_mark = Some(pos);
             }
@@ -446,6 +534,7 @@ impl Database {
     /// never the state. A predicate naming an unknown column is an error
     /// — it does not silently match zero rows.
     pub fn delete_where(&mut self, table: &str, preds: &[Pred]) -> Result<usize, EngineError> {
+        self.ensure_writable()?;
         let tid = self.table_id(table)?;
         let mark = self.undo.len();
         let matching = self.matching_rows(tid, preds)?;
@@ -481,6 +570,7 @@ impl Database {
         preds: &[Pred],
         assignments: &[(&str, Option<Value>)],
     ) -> Result<usize, EngineError> {
+        self.ensure_writable()?;
         let tid = self.table_id(table)?;
         let cols: Vec<(u32, Option<Value>)> = assignments
             .iter()
@@ -535,6 +625,7 @@ impl Database {
         &mut self,
         ops: impl IntoIterator<Item = BatchOp>,
     ) -> Result<usize, EngineError> {
+        self.ensure_writable()?;
         let ops: Vec<(TableId, bool, Row)> = ops
             .into_iter()
             .map(|op| match op {
@@ -583,6 +674,7 @@ impl Database {
         &mut self,
         rows: impl IntoIterator<Item = (TableId, Row)>,
     ) -> Result<usize, EngineError> {
+        self.ensure_writable()?;
         let mut state = RelState::with_tables(self.schema.tables.len());
         let mut loaded = 0usize;
         for (tid, row) in rows {
@@ -640,12 +732,17 @@ impl Database {
         if !violations.is_empty() {
             return Err(EngineError::ConstraintViolation(violations));
         }
+        // Durable stores checkpoint the loaded state before swapping it
+        // in, so a failure leaves memory and disk both on the old state
+        // (logging every row through the WAL would double-write the load).
+        self.wal_checkpoint_of(&state)?;
         self.state = state;
         self.indexes = indexes;
         self.undo.clear();
         self.txn_marks.clear();
         self.has_unchecked = false;
         self.unchecked_mark = None;
+        self.unchecked_uncovered = false;
         self.debug_check_equivalence();
         Ok(loaded)
     }
@@ -886,8 +983,17 @@ impl Database {
         if violations.is_empty() {
             self.has_unchecked = false;
             self.unchecked_mark = None;
+            self.unchecked_uncovered = false;
             if self.txn_marks.is_empty() {
+                // The outermost commit logs the whole transaction as one
+                // WAL unit: statements inside a transaction touch the log
+                // only here, once they are actually durable-committable.
+                if let Err(e) = self.wal_commit(mark, true) {
+                    self.revert_to(mark);
+                    return Err(e);
+                }
                 self.undo.clear();
+                self.maybe_auto_checkpoint();
             }
             Ok(())
         } else {

@@ -1,0 +1,437 @@
+//! Durability wiring: opens a [`Database`] over an on-disk store
+//! directory, recovers from whatever a crash left behind, and keeps the
+//! write-ahead log and checkpoints in step with the engine's commit
+//! points.
+//!
+//! The protocol pieces (WAL framing, snapshot format, the crash-safe
+//! checkpoint sequence) live in `ridl-durable`; this module is the glue
+//! that decides *when* they run:
+//!
+//! * every successful statement outside a transaction, and every
+//!   successful outermost `commit`, appends one WAL unit ending in a
+//!   commit marker, then fsyncs per the configured [`FsyncPolicy`];
+//! * `insert_unchecked` outside a transaction logs an *unchecked* unit,
+//!   so recovery re-defers its constraint check exactly as the live run
+//!   did;
+//! * `bulk_load` / `load_state` checkpoint the incoming state instead of
+//!   logging it row by row;
+//! * recovery loads the newest usable checkpoint, replays the committed
+//!   WAL suffix through the engine's own validation path, discards any
+//!   torn tail, and reports what it did in a [`RecoveryReport`].
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ridl_durable::store::{store_path, CheckpointFailure, WAL_FILE};
+use ridl_durable::{
+    encode_unit, fingerprint_str, read_store, wal, write_checkpoint, Durability, DurableIo,
+    FsyncPolicy, RecoveryReport, StdIo,
+};
+use ridl_relational::{parallel, RelSchema, RelState};
+
+use crate::db::{Database, EngineError};
+
+/// The engine's live connection to a store directory.
+pub(crate) struct WalHandle {
+    io: Arc<dyn DurableIo>,
+    dir: PathBuf,
+    config: Durability,
+    /// Checkpoint generation; the WAL header carries the epoch its units
+    /// apply on top of.
+    epoch: u64,
+    /// Schema fingerprint cross-checked against snapshots and WAL headers.
+    fingerprint: u64,
+    /// Current WAL file length (the append position).
+    wal_len: u64,
+    /// Set on any append/fsync failure: the log may no longer reflect the
+    /// state, so mutations are refused until a checkpoint succeeds.
+    poisoned: bool,
+    /// Group commit: when the last fsync happened and whether appended
+    /// bytes are still waiting for one.
+    last_sync: Instant,
+    unsynced: bool,
+}
+
+impl WalHandle {
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+fn io_err(what: &str, e: std::io::Error) -> EngineError {
+    EngineError::Io(format!("{what}: {e}"))
+}
+
+/// Fingerprint of the relational schema, stored in snapshots and WAL
+/// headers so a store is never replayed under a different schema. Derived
+/// from the schema's debug rendering — conservative: any structural
+/// change (tables, columns, constraints) changes it.
+fn schema_fingerprint(schema: &RelSchema) -> u64 {
+    fingerprint_str(&format!("{schema:?}"))
+}
+
+impl Database {
+    /// Opens (or creates) a durable database in `dir` with default
+    /// durability (fsync on every commit), recovering whatever a previous
+    /// process — cleanly shut down or not — left there.
+    pub fn open(dir: impl AsRef<Path>, schema: RelSchema) -> Result<Self, EngineError> {
+        Self::open_with(Arc::new(StdIo), dir, schema, Durability::default())
+    }
+
+    /// [`Database::open`] with an explicit I/O implementation and
+    /// durability configuration (the fault-injection entry point).
+    pub fn open_with(
+        io: Arc<dyn DurableIo>,
+        dir: impl AsRef<Path>,
+        schema: RelSchema,
+        config: Durability,
+    ) -> Result<Self, EngineError> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut span = ridl_obs::span::enter("engine.recover");
+        let sw = ridl_obs::Stopwatch::start();
+        let mut db = Database::create(schema)?;
+        let fingerprint = schema_fingerprint(&db.schema);
+
+        io.create_dir_all(&dir)
+            .map_err(|e| io_err("create store dir", e))?;
+        let scan = read_store(&*io, &dir)
+            .map_err(|e| io_err("read store", e))?
+            .map_err(|e| EngineError::Corrupt(e.0))?;
+
+        let mut report = RecoveryReport {
+            fresh: scan.fresh && scan.snapshot.is_none() && scan.snapshots_rejected == 0,
+            snapshots_rejected: scan.snapshots_rejected,
+            wal_bytes_scanned: scan.wal_len,
+            bytes_discarded: if scan.stale_wal {
+                // The whole log predates the checkpoint; every byte past
+                // its header was already absorbed.
+                scan.wal_len
+            } else {
+                scan.wal.discarded
+            },
+            stale_wal: scan.stale_wal,
+            ..RecoveryReport::default()
+        };
+
+        // Cross-check fingerprints before touching any data.
+        if let Some((snap, _)) = &scan.snapshot {
+            if snap.fingerprint != fingerprint {
+                return Err(EngineError::SchemaMismatch);
+            }
+        }
+        if let Some(h) = &scan.wal.header {
+            if h.fingerprint != fingerprint {
+                return Err(EngineError::SchemaMismatch);
+            }
+        }
+
+        // Base state: the chosen checkpoint, fully validated on the way in
+        // (load_state), or the empty state.
+        let epoch = match scan.snapshot {
+            Some((snap, file)) => {
+                if snap.state.num_tables() != db.schema.tables.len() {
+                    return Err(EngineError::Corrupt(format!(
+                        "snapshot has {} tables, schema has {}",
+                        snap.state.num_tables(),
+                        db.schema.tables.len()
+                    )));
+                }
+                report.checkpoint = Some((snap.epoch, file));
+                let epoch = snap.epoch;
+                db.load_state(snap.state)?;
+                epoch
+            }
+            None => scan.wal.header.map(|h| h.epoch).unwrap_or(0),
+        };
+
+        // Replay the committed WAL suffix through the engine's own
+        // validation path. Checked units re-validate (and must pass — they
+        // passed live); unchecked units re-defer, exactly as the live run
+        // did. A unit that no longer validates stops replay gracefully.
+        let units = scan.wal.units;
+        for unit in &units {
+            if report.replay_rejected {
+                break;
+            }
+            let mark = db.undo.len();
+            for op in &unit.ops {
+                db.apply(op.clone());
+            }
+            if unit.checked {
+                match db.finish_statement(mark, "recover.replay") {
+                    Ok(()) => {}
+                    Err(EngineError::ConstraintViolation(_)) => {
+                        report.replay_rejected = true;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                db.has_unchecked = true;
+                db.unchecked_uncovered = true;
+                db.undo.clear();
+            }
+            report.units_replayed += 1;
+            report.ops_replayed += unit.ops.len();
+        }
+
+        // Establish a clean append point. The WAL file can be appended
+        // to as-is only when it is fully intact; a torn tail, a stale
+        // log, or a rejected replay means the file must be rewritten to
+        // exactly the units the recovered state contains.
+        let dirty = report.bytes_discarded > 0
+            || report.stale_wal
+            || report.replay_rejected
+            || scan.wal.header.is_none();
+        let mut handle = WalHandle {
+            io,
+            dir,
+            config,
+            epoch,
+            fingerprint,
+            wal_len: scan.wal.committed_end,
+            poisoned: false,
+            last_sync: Instant::now(),
+            unsynced: false,
+        };
+        if dirty {
+            match rewrite_wal(&handle, &units, report.units_replayed) {
+                Ok(len) => handle.wal_len = len,
+                // The store is readable but not yet appendable; surface
+                // the recovered data and let a checkpoint repair the log.
+                Err(_) => handle.poisoned = true,
+            }
+        }
+
+        let m = ridl_obs::metrics();
+        m.wal_recoveries.inc();
+        m.wal_replayed_ops.add(report.ops_replayed as u64);
+        m.wal_discarded_bytes.add(report.bytes_discarded);
+        if span.is_recording() {
+            span.attr("units_replayed", report.units_replayed);
+            span.attr("ops_replayed", report.ops_replayed);
+            span.attr("bytes_discarded", report.bytes_discarded);
+            span.attr("stale_wal", report.stale_wal);
+            span.attr("fresh", report.fresh);
+        }
+        ridl_obs::hist::record_named("engine.recover", sw.elapsed_ns());
+
+        db.wal = Some(handle);
+        db.recovery = Some(report);
+        Ok(db)
+    }
+
+    /// Whether this database is backed by a store directory.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The durability configuration, if durable.
+    pub fn durability(&self) -> Option<Durability> {
+        self.wal.as_ref().map(|w| w.config)
+    }
+
+    /// Current WAL length in bytes, if durable.
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.wal_len)
+    }
+
+    /// What recovery found when this database was opened from disk.
+    /// `None` for in-memory databases.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Forces any WAL bytes still buffered by a group-commit window to
+    /// durable storage. No-op for in-memory databases.
+    pub fn flush_wal(&mut self) -> Result<(), EngineError> {
+        let Some(w) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        if w.poisoned {
+            return Err(EngineError::WalPoisoned);
+        }
+        if w.unsynced {
+            let path = store_path(&w.dir, WAL_FILE);
+            if let Err(e) = w.io.sync(&path) {
+                w.poisoned = true;
+                return Err(io_err("wal fsync", e));
+            }
+            ridl_obs::metrics().wal_fsyncs.inc();
+            w.unsynced = false;
+            w.last_sync = Instant::now();
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint: snapshots the current state, then truncates
+    /// the WAL. Also the recovery path from a poisoned WAL. Refused while
+    /// a transaction is open ([`EngineError::CheckpointInTransaction`]) —
+    /// a snapshot taken mid-transaction would make uncommitted changes
+    /// durable. While unchecked rows are pending their deferred check,
+    /// the state is fully validated first (checkpoints only ever persist
+    /// constraint-valid states).
+    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        if self.wal.is_none() {
+            return Err(EngineError::Unknown("no durable store attached".into()));
+        }
+        if !self.txn_marks.is_empty() {
+            return Err(EngineError::CheckpointInTransaction);
+        }
+        if self.has_unchecked {
+            let violations = parallel::validate_parallel(&self.schema, &self.state);
+            if !violations.is_empty() {
+                return Err(EngineError::ConstraintViolation(violations));
+            }
+            self.has_unchecked = false;
+            self.unchecked_uncovered = false;
+        }
+        let state = std::mem::take(&mut self.state);
+        let r = self.wal_checkpoint_of(&state);
+        self.state = state;
+        r
+    }
+
+    /// Writes a checkpoint of `state` (which may be a candidate state not
+    /// yet swapped in — `bulk_load`). No-op for in-memory databases.
+    ///
+    /// Failure modes: if the snapshot itself could not be made current,
+    /// the store still holds the previous state and the error aborts the
+    /// caller's operation. If only the WAL reset failed, the snapshot
+    /// *is* durable — the call succeeds, but the handle is poisoned until
+    /// a later checkpoint repairs the log.
+    pub(crate) fn wal_checkpoint_of(&mut self, state: &RelState) -> Result<(), EngineError> {
+        let Some(w) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        let mut span = ridl_obs::span::enter("engine.checkpoint");
+        let sw = ridl_obs::Stopwatch::start();
+        let next = w.epoch + 1;
+        if span.is_recording() {
+            span.attr("epoch", next);
+            span.attr("rows", state.num_rows());
+        }
+        match write_checkpoint(&*w.io, &w.dir, next, w.fingerprint, state) {
+            Ok(len) => {
+                w.epoch = next;
+                w.wal_len = len;
+                w.poisoned = false;
+                w.unsynced = false;
+                w.last_sync = Instant::now();
+                ridl_obs::metrics().wal_checkpoints.inc();
+                ridl_obs::hist::record_named("engine.checkpoint", sw.elapsed_ns());
+                Ok(())
+            }
+            Err(CheckpointFailure::SnapshotWrite(e)) => {
+                // Nothing became current; the old snapshot + WAL still
+                // describe the state, so the handle stays healthy.
+                Err(io_err("checkpoint snapshot", e))
+            }
+            Err(CheckpointFailure::WalReset(e)) => {
+                // The new snapshot is durable; only log truncation failed.
+                // Record the new epoch (the snapshot on disk carries it)
+                // and poison appends until a later checkpoint rewrites the
+                // log.
+                w.epoch = next;
+                w.poisoned = true;
+                ridl_obs::metrics().wal_checkpoints.inc();
+                let _ = e;
+                Ok(())
+            }
+        }
+    }
+
+    /// Appends `undo[mark..]` as one committed WAL unit and applies the
+    /// fsync policy. No-op for in-memory databases and empty deltas. Any
+    /// failure poisons the handle; the caller reverts the statement.
+    pub(crate) fn wal_commit(&mut self, mark: usize, checked: bool) -> Result<(), EngineError> {
+        let ops = &self.undo[mark..];
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let Some(w) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        if w.poisoned {
+            return Err(EngineError::WalPoisoned);
+        }
+        let m = ridl_obs::metrics();
+        let bytes = encode_unit(ops, checked);
+        let path = store_path(&w.dir, WAL_FILE);
+        let sw = ridl_obs::Stopwatch::start();
+        if let Err(e) = w.io.append(&path, &bytes) {
+            w.poisoned = true;
+            return Err(io_err("wal append", e));
+        }
+        w.wal_len += bytes.len() as u64;
+        m.wal_appends.inc();
+        m.wal_append_bytes.add(bytes.len() as u64);
+        ridl_obs::hist::record_named("wal.append", sw.elapsed_ns());
+        let sync_now = match w.config.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Never => false,
+            FsyncPolicy::GroupCommit { window_micros } => {
+                w.last_sync.elapsed().as_micros() as u64 >= window_micros
+            }
+        };
+        if sync_now {
+            let sw = ridl_obs::Stopwatch::start();
+            if let Err(e) = w.io.sync(&path) {
+                w.poisoned = true;
+                return Err(io_err("wal fsync", e));
+            }
+            m.wal_fsyncs.inc();
+            ridl_obs::hist::record_named("wal.fsync", sw.elapsed_ns());
+            w.unsynced = false;
+            w.last_sync = Instant::now();
+        } else {
+            w.unsynced = true;
+        }
+        m.wal_commits.inc();
+        Ok(())
+    }
+
+    /// Checkpoints automatically once the WAL outgrows the configured
+    /// threshold. Deferred while a transaction is open or unchecked rows
+    /// are pending (a checkpoint only persists committed, valid states);
+    /// best-effort — a failure leaves the WAL in place and the poison
+    /// flag (if set) surfaces on the next mutation.
+    pub(crate) fn maybe_auto_checkpoint(&mut self) {
+        let Some(w) = self.wal.as_ref() else {
+            return;
+        };
+        let Some(threshold) = w.config.checkpoint_every_bytes else {
+            return;
+        };
+        if w.wal_len <= threshold || w.poisoned || !self.txn_marks.is_empty() || self.has_unchecked
+        {
+            return;
+        }
+        let state = std::mem::take(&mut self.state);
+        let _ = self.wal_checkpoint_of(&state);
+        self.state = state;
+    }
+}
+
+/// Rewrites the WAL to exactly the replayed prefix of `units` (fresh
+/// header + each unit), atomically, returning the new length. Used when
+/// recovery found a file it cannot append to (torn tail, stale epoch,
+/// missing header, rejected replay).
+fn rewrite_wal(
+    w: &WalHandle,
+    units: &[ridl_durable::CommitUnit],
+    replayed: usize,
+) -> Result<u64, EngineError> {
+    let mut bytes = wal::wal_init_bytes(w.epoch, w.fingerprint);
+    for unit in &units[..replayed] {
+        bytes.extend_from_slice(&encode_unit(&unit.ops, unit.checked));
+    }
+    let tmp = store_path(&w.dir, "wal.tmp");
+    let dst = store_path(&w.dir, WAL_FILE);
+    w.io.write_new(&tmp, &bytes)
+        .and_then(|()| w.io.sync(&tmp))
+        .and_then(|()| w.io.rename(&tmp, &dst))
+        .map_err(|e| io_err("wal rewrite", e))?;
+    Ok(bytes.len() as u64)
+}

@@ -19,12 +19,17 @@
 #![forbid(unsafe_code)]
 
 pub mod db;
+pub mod durable;
 pub mod query;
 pub mod report;
 
 pub use db::{BatchOp, Database, EngineError, ValidationMode};
 pub use query::{Pred, Query};
 pub use report::{ConstraintCost, EnforcementReport, ExplainStep, QueryExplain};
+
+// Durability configuration and recovery reporting, re-exported so engine
+// users need not depend on ridl-durable directly.
+pub use ridl_durable::{Durability, DurableIo, FsyncPolicy, RecoveryReport, StdIo};
 
 use ridl_relational::RelSchema;
 

@@ -7,8 +7,8 @@
 //! round-trip.
 
 use ridl_brm::{
-    ConstraintKind, DataType, Decimal, FactTypeId, ObjectTypeId, RoleOrSublink, RoleRef, Side,
-    SublinkId, Value,
+    ConstraintKind, DataType, FactTypeId, ObjectTypeId, RoleOrSublink, RoleRef, Side, SublinkId,
+    Value,
 };
 
 use crate::MetaDbError;
@@ -87,37 +87,17 @@ fn dec_items(s: &str) -> Result<Vec<RoleOrSublink>, MetaDbError> {
     s.split(',').map(dec_item).collect()
 }
 
-/// Encodes a value as a typed token.
+/// Encodes a value as a typed token. The canonical codec lives in
+/// `ridl-durable` (WAL records and checkpoint snapshots share it);
+/// this is the meta-table entry point to the same format.
 pub fn encode_value(v: &Value) -> String {
-    match v {
-        Value::Str(s) => format!("S{s}"),
-        Value::Int(i) => format!("I{i}"),
-        Value::Num(d) => format!("N{}/{}", d.mantissa, d.scale),
-        Value::Date(d) => format!("D{d}"),
-        Value::Bool(b) => format!("B{}", if *b { 1 } else { 0 }),
-        Value::Entity(e) => format!("E{}", e.0),
-    }
+    ridl_durable::encode_value(v)
 }
 
-/// Decodes a typed value token.
+/// Decodes a typed value token. Rejects empty or malformed tokens with
+/// an error (never panics).
 pub fn decode_value(s: &str) -> Result<Value, MetaDbError> {
-    let bad = || MetaDbError::Corrupt(format!("value {s}"));
-    let (tag, rest) = s.split_at(1);
-    Ok(match tag {
-        "S" => Value::str(rest),
-        "I" => Value::Int(rest.parse().map_err(|_| bad())?),
-        "N" => {
-            let (m, sc) = rest.split_once('/').ok_or_else(bad)?;
-            Value::Num(Decimal::new(
-                m.parse().map_err(|_| bad())?,
-                sc.parse().map_err(|_| bad())?,
-            ))
-        }
-        "D" => Value::Date(rest.parse().map_err(|_| bad())?),
-        "B" => Value::Bool(rest == "1"),
-        "E" => Value::entity(rest.parse().map_err(|_| bad())?),
-        _ => return Err(bad()),
-    })
+    ridl_durable::decode_value(s).map_err(|e| MetaDbError::Corrupt(e.0))
 }
 
 /// Encodes a constraint body.
@@ -241,6 +221,7 @@ pub fn parse_data_type(s: &str) -> Result<DataType, MetaDbError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ridl_brm::Decimal;
 
     #[test]
     fn roles_and_items_round_trip() {

@@ -215,7 +215,8 @@ macro_rules! enforcement_counters {
         /// The process-wide fixed counter registry. Fields group by layer:
         /// `engine.*` statement accounting, `index.*` maintenance and
         /// probes, `validate.*` validator strategy counts, `transform.*`
-        /// mapper activity.
+        /// mapper activity, `wal.*` durability (appends, fsyncs,
+        /// checkpoints, recovery replay).
         #[derive(Debug)]
         pub struct EnforcementMetrics {
             /// Per-constraint-class check/violation/time accounts.
@@ -277,6 +278,14 @@ enforcement_counters! {
     sequential_validations => "validate.sequential_runs",
     worker_panics => "validate.worker_panics",
     transform_firings => "transform.firings",
+    wal_appends => "wal.appends",
+    wal_append_bytes => "wal.append_bytes",
+    wal_fsyncs => "wal.fsyncs",
+    wal_commits => "wal.commits",
+    wal_checkpoints => "wal.checkpoints",
+    wal_recoveries => "wal.recoveries",
+    wal_replayed_ops => "wal.recovery.replayed_ops",
+    wal_discarded_bytes => "wal.recovery.discarded_bytes",
 }
 
 static METRICS: EnforcementMetrics = EnforcementMetrics::new();

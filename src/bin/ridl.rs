@@ -14,6 +14,9 @@
 //! ridl fmt     <schema.ridl>                     pretty-print the schema
 //! ridl query   <schema.ridl> "LIST …" [--explain] [options]
 //!                                                compile a conceptual query
+//! ridl recover <schema.ridl> <store-dir> [options]
+//!                                                recover a durable store: checkpoint
+//!                                                + WAL replay, print the report
 //!
 //! options:
 //!   --nulls default|not-allowed|not-in-keys|allowed
@@ -27,6 +30,14 @@
 //! trace-event file (loadable in Perfetto or `chrome://tracing`) at exit;
 //! `ridl trace` enables the spans regardless and honours the variable for
 //! the JSON export.
+//!
+//! Exit codes distinguish the failure class so scripts can react:
+//! `1` the schema failed analysis (`ridl check` verdict), `2` a usage
+//! error (unknown command/flag, missing argument), `3` a missing or
+//! unreadable input file, `4` a parse or schema error, `5` a corrupt
+//! store or trace artefact. Every failure prints one `ridl: …`
+//! diagnostic line to stderr (a check/map verdict may carry the analysis
+//! rendering after it); no failure panics.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -34,17 +45,58 @@ use std::process::ExitCode;
 use ridl_core::{MappingOptions, NullOption, SublinkOption, Workbench};
 use ridl_sqlgen::DialectKind;
 
-fn read_schema(path: &str) -> Result<ridl_brm::Schema, String> {
+/// A classified CLI failure: the variant decides the process exit code.
+enum CliError {
+    /// Analysis rejected the schema — the tool ran fine (exit 1).
+    Verdict(String),
+    /// Bad invocation: unknown command/flag or missing argument (exit 2).
+    Usage(String),
+    /// An input file is missing or unreadable (exit 3).
+    Input(String),
+    /// The input was read but does not parse / does not map (exit 4).
+    Parse(String),
+    /// A store or trace artefact is corrupt (exit 5).
+    Corrupt(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Verdict(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Parse(_) => 4,
+            CliError::Corrupt(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Verdict(m)
+            | CliError::Usage(m)
+            | CliError::Input(m)
+            | CliError::Parse(m)
+            | CliError::Corrupt(m) => m,
+        }
+    }
+}
+
+fn usage(msg: &str) -> CliError {
+    CliError::Usage(msg.to_owned())
+}
+
+fn read_schema(path: &str) -> Result<ridl_brm::Schema, CliError> {
     let src = if path == "-" {
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
-            .map_err(|e| format!("reading stdin: {e}"))?;
+            .map_err(|e| CliError::Input(format!("reading stdin: {e}")))?;
         buf
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Input(format!("reading {path}: {e}")))?
     };
-    ridl_lang::parse(&src).map_err(|e| e.to_string())
+    ridl_lang::parse(&src).map_err(|e| CliError::Parse(format!("{path}: {e}")))
 }
 
 struct Cli {
@@ -53,7 +105,7 @@ struct Cli {
     dialect: DialectKind,
 }
 
-fn parse_flags(args: &[String]) -> Result<Cli, String> {
+fn parse_flags(args: &[String]) -> Result<Cli, CliError> {
     let mut cli = Cli {
         nulls: NullOption::Default,
         sublinks: SublinkOption::Separate,
@@ -64,7 +116,7 @@ fn parse_flags(args: &[String]) -> Result<Cli, String> {
         let value = |it: &mut std::slice::Iter<String>| {
             it.next()
                 .cloned()
-                .ok_or_else(|| format!("{a} needs a value"))
+                .ok_or_else(|| usage(&format!("{a} needs a value")))
         };
         match a.as_str() {
             "--nulls" => {
@@ -73,7 +125,7 @@ fn parse_flags(args: &[String]) -> Result<Cli, String> {
                     "not-allowed" => NullOption::NullNotAllowed,
                     "not-in-keys" => NullOption::NullNotInKeys,
                     "allowed" => NullOption::NullAllowed,
-                    other => return Err(format!("unknown null option {other}")),
+                    other => return Err(usage(&format!("unknown null option {other}"))),
                 }
             }
             "--sublinks" => {
@@ -81,7 +133,7 @@ fn parse_flags(args: &[String]) -> Result<Cli, String> {
                     "separate" => SublinkOption::Separate,
                     "together" => SublinkOption::Together,
                     "indicator" => SublinkOption::IndicatorForSupot,
-                    other => return Err(format!("unknown sublink option {other}")),
+                    other => return Err(usage(&format!("unknown sublink option {other}"))),
                 }
             }
             "--dialect" => {
@@ -90,10 +142,10 @@ fn parse_flags(args: &[String]) -> Result<Cli, String> {
                     "oracle" => DialectKind::Oracle,
                     "ingres" => DialectKind::Ingres,
                     "db2" => DialectKind::Db2,
-                    other => return Err(format!("unknown dialect {other}")),
+                    other => return Err(usage(&format!("unknown dialect {other}"))),
                 }
             }
-            other => return Err(format!("unknown option {other}")),
+            other => return Err(usage(&format!("unknown option {other}"))),
         }
     }
     Ok(cli)
@@ -102,20 +154,22 @@ fn parse_flags(args: &[String]) -> Result<Cli, String> {
 fn mapped(
     path: &str,
     flags: &[String],
-) -> Result<(Workbench, ridl_core::MappingOutput, Cli), String> {
+) -> Result<(Workbench, ridl_core::MappingOutput, Cli), CliError> {
     let cli = parse_flags(flags)?;
     let schema = read_schema(path)?;
     let wb = Workbench::new(schema);
     if !wb.analysis().is_mappable() {
-        return Err(format!(
+        return Err(CliError::Parse(format!(
             "schema is not mappable; run `ridl check`:\n{}",
             wb.analysis().render()
-        ));
+        )));
     }
     let options = MappingOptions::new()
         .with_nulls(cli.nulls)
         .with_sublinks(cli.sublinks);
-    let out = wb.map(&options).map_err(|e| e.to_string())?;
+    let out = wb
+        .map(&options)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
     Ok((wb, out, cli))
 }
 
@@ -147,16 +201,16 @@ fn drive_engine(wb: &Workbench, out: &ridl_core::MappingOutput) {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or_else(|| {
-        "usage: ridl <check|map|report|trace|profile|fmt|query> <schema.ridl> [options]".to_owned()
+        usage("usage: ridl <check|map|report|trace|profile|fmt|query|recover> <schema.ridl> [options]")
     })?;
     match cmd.as_str() {
         "check" => {
             let (path, flags) = rest
                 .split_first()
-                .ok_or_else(|| "usage: ridl check <schema.ridl> [--implied]".to_owned())?;
+                .ok_or_else(|| usage("usage: ridl check <schema.ridl> [--implied]"))?;
             let schema = read_schema(path)?;
             let wb = Workbench::new(schema);
             print!("{}", wb.analysis().render());
@@ -175,13 +229,13 @@ fn run() -> Result<(), String> {
                 println!("-- schema is mappable");
                 Ok(())
             } else {
-                Err("schema has errors".into())
+                Err(CliError::Verdict("schema has errors".into()))
             }
         }
         "map" => {
             let (path, flags) = rest
                 .split_first()
-                .ok_or_else(|| "usage: ridl map <schema.ridl> [options]".to_owned())?;
+                .ok_or_else(|| usage("usage: ridl map <schema.ridl> [options]"))?;
             let (_, out, cli) = mapped(path, flags)?;
             let ddl = ridl_sqlgen::generate_for(&out.rel, cli.dialect);
             print!("{}", ddl.text);
@@ -200,7 +254,7 @@ fn run() -> Result<(), String> {
         "report" => {
             let (path, flags) = rest
                 .split_first()
-                .ok_or_else(|| "usage: ridl report <schema.ridl> [options]".to_owned())?;
+                .ok_or_else(|| usage("usage: ridl report <schema.ridl> [options]"))?;
             let (wb, out, _) = mapped(path, flags)?;
             let report = wb.map_report(&out);
             print!("{}", report.forwards);
@@ -210,7 +264,7 @@ fn run() -> Result<(), String> {
         "trace" => {
             let (path, flags) = rest
                 .split_first()
-                .ok_or_else(|| "usage: ridl trace <schema.ridl> [options]".to_owned())?;
+                .ok_or_else(|| usage("usage: ridl trace <schema.ridl> [options]"))?;
             // Span tracing covers the whole pipeline: RIDL-A passes, every
             // applied basic transformation, SQL generation and the engine's
             // statement → validation → per-constraint-class enforcement.
@@ -225,7 +279,7 @@ fn run() -> Result<(), String> {
             if let Ok(json_path) = std::env::var("RIDL_TRACE_JSON") {
                 if !json_path.is_empty() {
                     ridl_obs::write_chrome_trace(&json_path, &events, dropped)
-                        .map_err(|e| format!("writing {json_path}: {e}"))?;
+                        .map_err(|e| CliError::Input(format!("writing {json_path}: {e}")))?;
                     eprintln!("-- chrome trace written to {json_path} (load in Perfetto)");
                 }
             }
@@ -233,7 +287,7 @@ fn run() -> Result<(), String> {
         }
         "lineage" => {
             let (path, more) = rest.split_first().ok_or_else(|| {
-                "usage: ridl lineage <schema.ridl> [Table[.Column]] [options]".to_owned()
+                usage("usage: ridl lineage <schema.ridl> [Table[.Column]] [options]")
             })?;
             // An optional bare `Table` or `Table.Column` filter precedes the
             // `--` options.
@@ -263,10 +317,11 @@ fn run() -> Result<(), String> {
         "tracecheck" => {
             let (path, _) = rest
                 .split_first()
-                .ok_or_else(|| "usage: ridl tracecheck <trace.json>".to_owned())?;
-            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                .ok_or_else(|| usage("usage: ridl tracecheck <trace.json>"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Input(format!("reading {path}: {e}")))?;
             let stats = ridl_obs::validate_chrome_trace(&text)
-                .map_err(|e| format!("{path}: invalid chrome trace: {e}"))?;
+                .map_err(|e| CliError::Corrupt(format!("{path}: invalid chrome trace: {e}")))?;
             println!(
                 "-- {path}: well-formed chrome trace ({} spans over {} threads)",
                 stats.spans, stats.threads
@@ -276,27 +331,29 @@ fn run() -> Result<(), String> {
         "profile" => {
             let (path, flags) = rest
                 .split_first()
-                .ok_or_else(|| "usage: ridl profile <schema.ridl> [options]".to_owned())?;
+                .ok_or_else(|| usage("usage: ridl profile <schema.ridl> [options]"))?;
             let cli = parse_flags(flags)?;
             let schema = read_schema(path)?;
             let wb = Workbench::new(schema);
             if !wb.analysis().is_mappable() {
-                return Err(format!(
+                return Err(CliError::Parse(format!(
                     "schema is not mappable; run `ridl check`:\n{}",
                     wb.analysis().render()
-                ));
+                )));
             }
             let options = MappingOptions::new()
                 .with_nulls(cli.nulls)
                 .with_sublinks(cli.sublinks);
-            let (_, profile) = wb.map_profiled(&options).map_err(|e| e.to_string())?;
+            let (_, profile) = wb
+                .map_profiled(&options)
+                .map_err(|e| CliError::Parse(e.to_string()))?;
             print!("{}", profile.render());
             Ok(())
         }
         "fmt" => {
             let (path, _) = rest
                 .split_first()
-                .ok_or_else(|| "usage: ridl fmt <schema.ridl>".to_owned())?;
+                .ok_or_else(|| usage("usage: ridl fmt <schema.ridl>"))?;
             let schema = read_schema(path)?;
             print!("{}", ridl_lang::print(&schema));
             Ok(())
@@ -304,10 +361,10 @@ fn run() -> Result<(), String> {
         "query" => {
             let (path, more) = rest
                 .split_first()
-                .ok_or_else(|| "usage: ridl query <schema.ridl> \"LIST …\" [options]".to_owned())?;
+                .ok_or_else(|| usage("usage: ridl query <schema.ridl> \"LIST …\" [options]"))?;
             let (text, flags) = more
                 .split_first()
-                .ok_or_else(|| "usage: ridl query <schema.ridl> \"LIST …\" [options]".to_owned())?;
+                .ok_or_else(|| usage("usage: ridl query <schema.ridl> \"LIST …\" [options]"))?;
             let explain = flags.iter().any(|f| f == "--explain");
             let flags: Vec<String> = flags
                 .iter()
@@ -315,8 +372,9 @@ fn run() -> Result<(), String> {
                 .cloned()
                 .collect();
             let (_, out, _) = mapped(path, &flags)?;
-            let q = ridl_query::parse_query(text).map_err(|e| e.to_string())?;
-            let compiled = ridl_query::compile(&out, &q).map_err(|e| e.to_string())?;
+            let q = ridl_query::parse_query(text).map_err(|e| CliError::Parse(e.to_string()))?;
+            let compiled =
+                ridl_query::compile(&out, &q).map_err(|e| CliError::Parse(e.to_string()))?;
             println!(
                 "-- compiled against {} ({} joins)",
                 out.options.announce(),
@@ -347,15 +405,51 @@ fn run() -> Result<(), String> {
             if explain {
                 // Execute the plan against an (empty) engine instance: the
                 // step sequence is real even when the row counts are zero.
-                let db =
-                    ridl_engine::Database::create(out.rel.clone()).map_err(|e| e.to_string())?;
-                let plan = db.explain(&compiled.query).map_err(|e| e.to_string())?;
+                let db = ridl_engine::Database::create(out.rel.clone())
+                    .map_err(|e| CliError::Parse(e.to_string()))?;
+                let plan = db
+                    .explain(&compiled.query)
+                    .map_err(|e| CliError::Parse(e.to_string()))?;
                 println!("-- executed plan");
                 print!("{}", plan.render());
             }
             Ok(())
         }
-        other => Err(format!("unknown command {other}")),
+        "recover" => {
+            let (path, more) = rest
+                .split_first()
+                .ok_or_else(|| usage("usage: ridl recover <schema.ridl> <store-dir> [options]"))?;
+            let (store, flags) = more
+                .split_first()
+                .ok_or_else(|| usage("usage: ridl recover <schema.ridl> <store-dir> [options]"))?;
+            let (_, out, _) = mapped(path, flags)?;
+            // Opening a missing directory would initialise a fresh store —
+            // for an explicit recovery request that is an input error.
+            if !std::path::Path::new(store).is_dir() {
+                return Err(CliError::Input(format!(
+                    "store directory {store} does not exist"
+                )));
+            }
+            let db = ridl_engine::Database::open(store, out.rel.clone()).map_err(|e| match e {
+                ridl_engine::EngineError::Io(m) => {
+                    CliError::Input(format!("opening store {store}: {m}"))
+                }
+                other => CliError::Corrupt(format!("recovering store {store}: {other}")),
+            })?;
+            let report = db.recovery_report().expect("open always reports");
+            println!("{report}");
+            for (tid, t) in out.rel.tables() {
+                println!("   {}: {} rows", t.name, db.state().rows(tid).len());
+            }
+            println!(
+                "-- recovered {} rows across {} tables; WAL is {} bytes",
+                db.state().num_rows(),
+                out.rel.tables.len(),
+                db.wal_bytes().unwrap_or(0)
+            );
+            Ok(())
+        }
+        other => Err(usage(&format!("unknown command {other}"))),
     }
 }
 
@@ -365,8 +459,8 @@ fn main() -> ExitCode {
     let code = match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("ridl: {e}");
-            ExitCode::FAILURE
+            eprintln!("ridl: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     };
     // Under RIDL_METRICS_JSONL, close the run with a totals snapshot; under

@@ -228,6 +228,108 @@ fn trace_json_env_exports_and_tracecheck_validates() {
     assert!(stderr.contains("invalid chrome trace"), "{stderr}");
 }
 
+/// Like [`ridl`], but with chosen stdin and the raw exit code.
+fn ridl_with_input(args: &[&str], input: &str) -> (String, String, Option<i32>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ridl"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ridl");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+/// The documented exit-code contract: 1 analysis verdict, 2 usage,
+/// 3 missing input, 4 parse error, 5 corrupt artefact — each with a
+/// one-line `ridl: …` diagnostic and no panic.
+#[test]
+fn exit_codes_distinguish_failure_classes() {
+    // 2: usage errors — unknown command, unknown flag, missing argument.
+    let (_, stderr, code) = ridl_with_input(&["frobnicate"], "");
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.starts_with("ridl: unknown command"), "{stderr}");
+    let (_, stderr, code) = ridl_with_input(&["map", "-", "--bogus"], SCHEMA);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.starts_with("ridl: unknown option"), "{stderr}");
+    let (_, stderr, code) = ridl_with_input(&["map"], "");
+    assert_eq!(code, Some(2), "{stderr}");
+    // 3: input file missing or unreadable.
+    let (_, stderr, code) = ridl_with_input(&["map", "/no/such/schema.ridl"], "");
+    assert_eq!(code, Some(3), "{stderr}");
+    assert!(
+        stderr.starts_with("ridl: reading /no/such/schema.ridl"),
+        "{stderr}"
+    );
+    assert_eq!(stderr.lines().count(), 1, "one-line diagnostic: {stderr}");
+    let (_, stderr, code) = ridl_with_input(&["tracecheck", "/no/such/trace.json"], "");
+    assert_eq!(code, Some(3), "{stderr}");
+    // 4: the input was read but does not parse.
+    let (_, stderr, code) = ridl_with_input(&["map", "-"], "NOT A SCHEMA");
+    assert_eq!(code, Some(4), "{stderr}");
+    assert!(stderr.contains("parse error"), "{stderr}");
+    // 1: analysis verdict — parses, analyses, fails the checks.
+    let (stdout, stderr, code) = ridl_with_input(&["check", "-"], "SCHEMA bad;\nNOLOT Orphan;\n");
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("schema has errors"), "{stderr}");
+    assert!(stdout.contains("CORRECTNESS"), "{stdout}");
+}
+
+#[test]
+fn recover_reports_store_state_and_exit_codes() {
+    // Build a durable store under the *same* mapped schema the CLI will
+    // derive from SCHEMA with default options.
+    let schema = ridl_lang::parse(SCHEMA).unwrap();
+    let wb = ridl_core::Workbench::new(schema);
+    let out = wb.map(&ridl_core::MappingOptions::new()).unwrap();
+    let dir = std::env::temp_dir().join(format!("ridl-cli-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = ridl_engine::Database::open(&dir, out.rel.clone()).unwrap();
+    db.checkpoint().unwrap();
+    drop(db);
+
+    let (stdout, stderr, code) = ridl_with_input(&["recover", "-", dir.to_str().unwrap()], SCHEMA);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("checkpoint: epoch 1"), "{stdout}");
+    assert!(stdout.contains("wal:"), "{stdout}");
+    assert!(stdout.contains("-- recovered 0 rows"), "{stdout}");
+    assert!(stdout.contains("Paper: 0 rows"), "{stdout}");
+
+    // 3: a missing store directory is an input error, not a fresh store.
+    let (_, stderr, code) = ridl_with_input(&["recover", "-", "/no/such/store"], SCHEMA);
+    assert_eq!(code, Some(3), "{stderr}");
+    assert!(stderr.starts_with("ridl: store directory"), "{stderr}");
+
+    // 5: a store written under a different schema is corrupt for this one.
+    let other = std::env::temp_dir().join(format!("ridl-cli-store-other-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&other);
+    {
+        use ridl_relational::{Column, RelSchema, Table};
+        let mut s = RelSchema::new("other");
+        let d = s.domain("D", ridl_brm::DataType::Char(4));
+        s.add_table(Table::new("T", vec![Column::not_null("K", d)]));
+        ridl_engine::Database::open(&other, s).unwrap();
+    }
+    let (_, stderr, code) = ridl_with_input(&["recover", "-", other.to_str().unwrap()], SCHEMA);
+    assert_eq!(code, Some(5), "{stderr}");
+    assert!(stderr.contains("schema"), "{stderr}");
+    assert_eq!(stderr.lines().count(), 1, "one-line diagnostic: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&other);
+}
+
 #[test]
 fn bad_input_fails_with_message() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_ridl"))

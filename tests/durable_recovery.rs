@@ -1,0 +1,405 @@
+//! Durability integration: WAL commit points, checkpoint/truncation,
+//! crash recovery, fsync policies, WAL poisoning, and the
+//! checkpoint-in-transaction guard — all driven through the engine's
+//! public `Database::open_with` API over the fault-injecting in-memory
+//! filesystem (plus one real-filesystem smoke test).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ridl_brm::{DataType, Value};
+use ridl_durable::store::{store_path, SNAP_FILE, SNAP_PREV_FILE, WAL_FILE};
+use ridl_durable::{Durability, FaultKind, FaultPlan, FaultyIo, FsyncPolicy};
+use ridl_engine::{Database, EngineError};
+use ridl_relational::{validate, Column, RelConstraintKind, RelSchema, Table};
+
+fn v(s: &str) -> Option<Value> {
+    Some(Value::str(s))
+}
+
+/// The Paper / Program_Paper sample schema with PK + FK constraints.
+fn sample_schema() -> RelSchema {
+    let mut s = RelSchema::new("t");
+    let d = s.domain("D", DataType::Char(10));
+    let paper = s.add_table(Table::new(
+        "Paper",
+        vec![
+            Column::not_null("Paper_Id", d),
+            Column::nullable("Program_Id", d),
+        ],
+    ));
+    let pp = s.add_table(Table::new(
+        "Program_Paper",
+        vec![
+            Column::not_null("Program_Id", d),
+            Column::not_null("Session", d),
+        ],
+    ));
+    s.add_named(RelConstraintKind::PrimaryKey {
+        table: paper,
+        cols: vec![0],
+    });
+    s.add_named(RelConstraintKind::PrimaryKey {
+        table: pp,
+        cols: vec![0],
+    });
+    s.add_named(RelConstraintKind::ForeignKey {
+        table: pp,
+        cols: vec![0],
+        ref_table: paper,
+        ref_cols: vec![1],
+    });
+    s
+}
+
+fn dir() -> PathBuf {
+    PathBuf::from("/db")
+}
+
+fn open(io: &Arc<FaultyIo>, config: Durability) -> Database {
+    Database::open_with(io.clone(), dir(), sample_schema(), config).expect("open")
+}
+
+fn always() -> Durability {
+    Durability {
+        fsync: FsyncPolicy::Always,
+        checkpoint_every_bytes: None,
+    }
+}
+
+#[test]
+fn statements_survive_reopen() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    assert!(db.is_durable());
+    assert!(db.recovery_report().unwrap().fresh);
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.insert("Paper", vec![v("P2"), None]).unwrap();
+    db.insert("Program_Paper", vec![v("A1"), v("S1")]).unwrap();
+    db.delete_where(
+        "Paper",
+        &[ridl_engine::Pred::Eq("Paper_Id".into(), Value::str("P2"))],
+    )
+    .unwrap();
+    let want = db.state().clone();
+    drop(db);
+
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+    let r = db2.recovery_report().unwrap();
+    assert!(!r.fresh);
+    assert_eq!(r.units_replayed, 4);
+    assert_eq!(r.bytes_discarded, 0);
+    assert!(r.checkpoint.is_none());
+    assert!(validate(db2.schema(), db2.state()).is_empty());
+}
+
+#[test]
+fn rejected_statements_never_reach_the_log() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    // Constraint violation: reverted, not logged.
+    assert!(db.insert("Program_Paper", vec![v("A9"), v("S9")]).is_err());
+    let want = db.state().clone();
+    drop(db);
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+    assert_eq!(db2.recovery_report().unwrap().units_replayed, 1);
+}
+
+#[test]
+fn checkpoint_truncates_wal_and_recovers_from_snapshot() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.insert("Program_Paper", vec![v("A1"), v("S1")]).unwrap();
+    let before = db.wal_bytes().unwrap();
+    db.checkpoint().unwrap();
+    assert!(db.wal_bytes().unwrap() < before, "WAL truncated");
+    db.insert("Paper", vec![v("P2"), None]).unwrap();
+    let want = db.state().clone();
+    drop(db);
+
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+    let r = db2.recovery_report().unwrap();
+    let (epoch, file) = r.checkpoint.expect("recovered from checkpoint");
+    assert_eq!(epoch, 1);
+    assert_eq!(file, SNAP_FILE);
+    assert_eq!(r.units_replayed, 1, "only the post-checkpoint statement");
+}
+
+#[test]
+fn transactions_log_one_unit_at_outermost_commit() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    let len0 = db.wal_bytes().unwrap();
+    db.begin();
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.insert("Program_Paper", vec![v("A1"), v("S1")]).unwrap();
+    assert_eq!(db.wal_bytes().unwrap(), len0, "nothing logged mid-txn");
+    db.commit().unwrap();
+    assert!(db.wal_bytes().unwrap() > len0);
+    // A rolled-back transaction logs nothing.
+    let len1 = db.wal_bytes().unwrap();
+    db.begin();
+    db.insert("Paper", vec![v("P2"), None]).unwrap();
+    db.rollback().unwrap();
+    assert_eq!(db.wal_bytes().unwrap(), len1);
+    let want = db.state().clone();
+    drop(db);
+
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+    assert_eq!(db2.recovery_report().unwrap().units_replayed, 1);
+}
+
+#[test]
+fn unchecked_units_redefer_their_check_on_replay() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    // An unchecked row outside a transaction: durable, check deferred.
+    db.insert_unchecked("Program_Paper", vec![v("A1"), v("S1")])
+        .unwrap();
+    let want = db.state().clone();
+    drop(db);
+    let mut db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+    // The deferred check is still pending after recovery: the next
+    // checked statement runs full-state validation.
+    db2.insert("Paper", vec![v("P2"), None]).unwrap();
+    assert_eq!(db2.last_statement_report().unwrap().strategy, "full");
+}
+
+#[test]
+fn torn_wal_tail_is_discarded() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    let want = db.state().clone();
+    db.insert("Paper", vec![v("P2"), None]).unwrap();
+    drop(db);
+    // Tear the last committed unit: chop bytes off the WAL tail.
+    let wal = store_path(&dir(), WAL_FILE);
+    let mut bytes = io.peek(&wal).unwrap();
+    bytes.truncate(bytes.len() - 5);
+    bytes.extend_from_slice(b"???"); // plus trailing garbage
+    io.poke(&wal, bytes);
+
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want, "clean prefix recovered");
+    let r = db2.recovery_report().unwrap();
+    assert_eq!(r.units_replayed, 1);
+    assert!(r.bytes_discarded > 0);
+    drop(db2);
+    // Recovery rewrote the log: a second open is clean and idempotent.
+    let db3 = open(&io, always());
+    assert_eq!(db3.state(), &want);
+    assert_eq!(db3.recovery_report().unwrap().bytes_discarded, 0);
+}
+
+#[test]
+fn group_commit_defers_fsync_and_flush_forces_it() {
+    let io = Arc::new(FaultyIo::new());
+    let config = Durability {
+        fsync: FsyncPolicy::GroupCommit {
+            window_micros: u64::MAX,
+        },
+        checkpoint_every_bytes: None,
+    };
+    let mut db = open(&io, config);
+    let base = io.fsync_count();
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.insert("Paper", vec![v("P2"), None]).unwrap();
+    assert_eq!(io.fsync_count(), base, "commits inside the window");
+    db.flush_wal().unwrap();
+    assert_eq!(io.fsync_count(), base + 1);
+    let want = db.state().clone();
+    drop(db);
+    // A crash after the flush loses nothing.
+    io.crash(0);
+    let db2 = open(&io, config);
+    assert_eq!(db2.state(), &want);
+}
+
+#[test]
+fn group_commit_crash_loses_a_suffix_not_consistency() {
+    let io = Arc::new(FaultyIo::new());
+    let config = Durability {
+        fsync: FsyncPolicy::GroupCommit {
+            window_micros: u64::MAX,
+        },
+        checkpoint_every_bytes: None,
+    };
+    let mut db = open(&io, config);
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.flush_wal().unwrap();
+    let durable_state = db.state().clone();
+    db.insert("Paper", vec![v("P2"), None]).unwrap(); // unsynced
+    io.crash(0);
+    drop(db);
+    let db2 = open(&io, config);
+    assert_eq!(db2.state(), &durable_state, "unsynced commit lost whole");
+    assert!(validate(db2.schema(), db2.state()).is_empty());
+}
+
+#[test]
+fn wal_failure_reverts_statement_and_poisons_until_checkpoint() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    let want = db.state().clone();
+    // Next syscall (the WAL append) fails.
+    io.set_plan(Some(FaultPlan {
+        at_op: io.op_count(),
+        kind: FaultKind::IoError,
+    }));
+    let err = db.insert("Paper", vec![v("P2"), None]);
+    assert!(matches!(err, Err(EngineError::Io(_))), "{err:?}");
+    assert_eq!(db.state(), &want, "statement reverted");
+    // Poisoned: mutations refused with a typed error.
+    let err = db.insert("Paper", vec![v("P3"), None]);
+    assert!(matches!(err, Err(EngineError::WalPoisoned)), "{err:?}");
+    // A checkpoint re-establishes a durable base and clears the poison.
+    db.checkpoint().unwrap();
+    db.insert("Paper", vec![v("P3"), None]).unwrap();
+    let want = db.state().clone();
+    drop(db);
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+}
+
+/// Satellite 1: a checkpoint taken while a transaction is open would make
+/// uncommitted changes durable — refused with a typed error, and the
+/// automatic checkpoint defers too.
+#[test]
+fn checkpoint_mid_transaction_is_forbidden() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.begin();
+    db.insert("Paper", vec![v("P2"), None]).unwrap();
+    let err = db.checkpoint();
+    assert!(
+        matches!(err, Err(EngineError::CheckpointInTransaction)),
+        "{err:?}"
+    );
+    // Nothing was written: the store still recovers to the pre-txn state.
+    db.rollback().unwrap();
+    db.checkpoint().unwrap();
+    let want = db.state().clone();
+    drop(db);
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+    assert_eq!(db2.state().num_rows(), 1);
+}
+
+/// Satellite 1: the auto-checkpoint threshold never fires mid-transaction
+/// — it waits for the outermost commit.
+#[test]
+fn auto_checkpoint_defers_until_commit() {
+    let io = Arc::new(FaultyIo::new());
+    let config = Durability {
+        fsync: FsyncPolicy::Always,
+        checkpoint_every_bytes: Some(1), // every commit crosses it
+    };
+    let mut db = open(&io, config);
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    let checkpoints = |io: &FaultyIo| io.peek(&store_path(&dir(), SNAP_FILE)).is_some();
+    assert!(checkpoints(&io), "auto-checkpoint after the first commit");
+    let snap_before = io.peek(&store_path(&dir(), SNAP_FILE)).unwrap();
+    db.begin();
+    db.insert("Paper", vec![v("P2"), None]).unwrap();
+    db.insert("Paper", vec![v("P3"), None]).unwrap();
+    let snap_mid = io.peek(&store_path(&dir(), SNAP_FILE)).unwrap();
+    assert_eq!(snap_before, snap_mid, "no snapshot while the txn is open");
+    db.commit().unwrap();
+    let snap_after = io.peek(&store_path(&dir(), SNAP_FILE)).unwrap();
+    assert_ne!(snap_before, snap_after, "checkpoint fired at commit");
+    assert!(db.wal_bytes().unwrap() < 100, "WAL truncated");
+    let want = db.state().clone();
+    drop(db);
+    assert_eq!(open(&io, config).state(), &want);
+}
+
+#[test]
+fn bulk_load_checkpoints_instead_of_logging_rows() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    use ridl_relational::TableId;
+    let n = db
+        .bulk_load([
+            (TableId(0), vec![v("P1"), v("A1")]),
+            (TableId(0), vec![v("P2"), None]),
+            (TableId(1), vec![v("A1"), v("S1")]),
+        ])
+        .unwrap();
+    assert_eq!(n, 3);
+    let want = db.state().clone();
+    drop(db);
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+    let r = db2.recovery_report().unwrap();
+    assert!(r.checkpoint.is_some(), "load went through a checkpoint");
+    assert_eq!(r.units_replayed, 0);
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_previous_checkpoint() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.checkpoint().unwrap();
+    let want = db.state().clone();
+    drop(db);
+    // Stage the moment between the checkpoint renames: the good snapshot
+    // demoted to `prev`, the current one unreadable at rest.
+    let snap = store_path(&dir(), SNAP_FILE);
+    let good = io.peek(&snap).unwrap();
+    io.poke(&store_path(&dir(), SNAP_PREV_FILE), good);
+    let mut bad = io.peek(&snap).unwrap();
+    bad[20] ^= 0x40;
+    io.poke(&snap, bad);
+
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+    let r = db2.recovery_report().unwrap();
+    assert_eq!(r.snapshots_rejected, 1);
+    assert_eq!(r.checkpoint.unwrap().1, SNAP_PREV_FILE);
+}
+
+#[test]
+fn schema_mismatch_is_refused() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), None]).unwrap();
+    drop(db);
+    let mut other = sample_schema();
+    let d = other.domain("D2", DataType::Integer);
+    other.add_table(Table::new("Extra", vec![Column::not_null("X", d)]));
+    let err = Database::open_with(io, dir(), other, always());
+    assert!(
+        matches!(err, Err(EngineError::SchemaMismatch)),
+        "opened a store from a different schema"
+    );
+}
+
+#[test]
+fn real_filesystem_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("ridl-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = Database::open(&dir, sample_schema()).unwrap();
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.insert("Program_Paper", vec![v("A1"), v("S1")]).unwrap();
+    db.checkpoint().unwrap();
+    db.insert("Paper", vec![v("P2"), None]).unwrap();
+    let want = db.state().clone();
+    drop(db);
+    let db2 = Database::open(&dir, sample_schema()).unwrap();
+    assert_eq!(db2.state(), &want);
+    assert_eq!(db2.recovery_report().unwrap().units_replayed, 1);
+    drop(db2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -131,8 +131,8 @@ mod tests {
     #[test]
     fn gen_bool_extremes() {
         let mut r = StdRng::seed_from_u64(7);
-        assert!(!(0..100).map(|_| r.gen_bool(0.0)).any(|b| b));
-        assert!((0..100).map(|_| r.gen_bool(1.0)).all(|b| b));
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
         let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
         assert!((4000..6000).contains(&heads), "{heads}");
     }
