@@ -7,8 +7,9 @@
 //! numbered so a [`FaultPlan`] can inject a short write, an I/O error, or
 //! a crash at any exact operation. Renames are modeled as atomic and
 //! immediately durable — the protocol layer must (and does) sync file
-//! contents *before* renaming, which is what makes that simplification
-//! sound.
+//! contents *before* renaming and the containing directory *after*
+//! ([`DurableIo::sync_dir`], a no-op here, a real directory fsync in
+//! [`crate::io::StdIo`]), which is what makes that simplification sound.
 //!
 //! The crash-consistency property suite drives a durable database over
 //! this filesystem, injects a fault at every reachable syscall index,
@@ -241,6 +242,38 @@ impl DurableIo for FaultyIo {
         if let Some(f) = g.files.get_mut(path) {
             f.synced = f.data.len();
         }
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(kind) = Self::gate(&mut g)? {
+            return Err(inj_err(kind));
+        }
+        match g.files.get_mut(path) {
+            Some(f) => {
+                // Like renames (module docs), the shrink is modeled as
+                // immediately durable: the cut bytes cannot reappear
+                // after a crash.
+                let len = len as usize;
+                if len < f.data.len() {
+                    f.data.truncate(len);
+                    f.synced = f.synced.min(len);
+                }
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{}", path.display()),
+            )),
+        }
+    }
+
+    fn sync_dir(&self, _path: &Path) -> io::Result<()> {
+        // Renames and creations are modeled as atomic and immediately
+        // durable (module docs), so directory sync has nothing to do —
+        // and is deliberately *not* an injection point, keeping the fault
+        // matrix aligned with the data-path syscalls the model covers.
         Ok(())
     }
 

@@ -37,7 +37,22 @@ pub trait DurableIo: Send + Sync {
     /// (fsync).
     fn sync(&self, path: &Path) -> io::Result<()>;
 
+    /// Truncates a file to `len` bytes (no-op if already shorter). Like
+    /// any metadata change, the truncation is durable only after
+    /// [`DurableIo::sync`].
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Forces a directory's entries to durable storage (fsync of the
+    /// directory itself). On a real filesystem a rename or file creation
+    /// whose *contents* were fsync'd can still vanish in a power loss
+    /// until the containing directory is synced, so the store protocol
+    /// calls this after every rename. [`crate::fault::FaultyIo`] models
+    /// renames as immediately durable and implements this as a no-op.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+
     /// Atomically renames `from` to `to`, replacing `to` if it exists.
+    /// Durable only after [`DurableIo::sync_dir`] of the containing
+    /// directory.
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
 
     /// Removes a file; succeeds if it does not exist.
@@ -63,11 +78,22 @@ impl DurableIo for StdIo {
 
     fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         use std::io::Write;
+        let created = !path.exists();
         let mut f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
-        f.write_all(data)
+        f.write_all(data)?;
+        // A freshly created file's directory entry is not durable until
+        // the directory itself is synced — without this, the first
+        // commit's fsync could survive a power loss while the file it
+        // went into does not.
+        if created {
+            if let Some(dir) = path.parent() {
+                self.sync_dir(dir)?;
+            }
+        }
+        Ok(())
     }
 
     fn write_new(&self, path: &Path, data: &[u8]) -> io::Result<()> {
@@ -77,6 +103,19 @@ impl DurableIo for StdIo {
     fn sync(&self, path: &Path) -> io::Result<()> {
         // Data already reached the kernel through a prior write; fsync via
         // a fresh handle flushes the same inode.
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(len)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // On Unix a directory opens read-only and fsyncs like a file,
+        // making its entries (renames, creations) durable.
         std::fs::File::open(path)?.sync_all()
     }
 

@@ -12,9 +12,10 @@
 //!
 //! **Checkpoint protocol** (each step one syscall; crash-safe at every
 //! boundary): write the new snapshot to `checkpoint.tmp`, fsync it,
-//! rename `snap`→`prev`, rename `tmp`→`snap`, then reset the WAL by
-//! writing `wal.tmp` (new epoch header), fsyncing, and renaming over
-//! `wal.log`. The epoch stitches the pieces back together after a crash:
+//! rename `snap`→`prev`, rename `tmp`→`snap`, fsync the directory (the
+//! renames are not power-loss-durable until then), then reset the WAL by
+//! writing `wal.tmp` (new epoch header), fsyncing, renaming over
+//! `wal.log`, and fsyncing the directory again. The epoch stitches the pieces back together after a crash:
 //! a WAL whose header epoch is *below* the chosen snapshot's is stale
 //! (its units are already inside the snapshot) and is discarded; an
 //! epoch *above* means the snapshot the WAL needs is gone — unrecoverable
@@ -89,6 +90,11 @@ pub fn write_checkpoint(
         io.rename(&tmp, &snap)
     })();
     snap_stage.map_err(CheckpointFailure::SnapshotWrite)?;
+    // The renames are only power-loss-durable once the directory itself
+    // is synced. Past the final rename the new snapshot must be assumed
+    // current, so a directory-sync failure is a WAL-stage failure (the
+    // caller poisons appends) — never a retryable "nothing happened".
+    io.sync_dir(dir).map_err(CheckpointFailure::WalReset)?;
     reset_wal(io, dir, epoch, fingerprint).map_err(CheckpointFailure::WalReset)
 }
 
@@ -101,6 +107,7 @@ pub fn reset_wal(io: &dyn DurableIo, dir: &Path, epoch: u64, fingerprint: u64) -
     io.write_new(&tmp, &bytes)?;
     io.sync(&tmp)?;
     io.rename(&tmp, &wal)?;
+    io.sync_dir(dir)?;
     Ok(bytes.len() as u64)
 }
 

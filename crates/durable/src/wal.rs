@@ -71,7 +71,11 @@ fn decode_row_bytes(b: &[u8], at: &mut usize) -> Option<Row> {
     if n > b.len() {
         return None;
     }
-    let mut row = Row::with_capacity(n);
+    // Each cell costs at least one payload byte, so the bytes remaining
+    // bound the plausible cell count: a crafted CRC-valid frame claiming
+    // ~2^28 cells must abort on its first missing cell, not allocate
+    // gigabytes up front.
+    let mut row = Row::with_capacity(n.min(b.len() - *at));
     for _ in 0..n {
         match *b.get(*at)? {
             0x00 => {
@@ -350,6 +354,24 @@ mod tests {
         let scan = scan_wal(&wal);
         assert!(scan.header.is_none());
         assert_eq!(scan.committed_end, 0);
+    }
+
+    #[test]
+    fn inflated_cell_count_is_corruption_not_allocation() {
+        // A CRC-valid insert frame whose row claims far more cells than
+        // its payload holds: decoding must abort at the first missing
+        // cell (capacity hint bounded by the bytes remaining), and the
+        // scanner treats the frame as ending the committed region.
+        let mut payload = vec![KIND_INSERT];
+        put_u32(&mut payload, 0); // table id
+        put_u32(&mut payload, 105); // claims 105 cells (<= payload len)...
+        payload.extend_from_slice(&[0x00; 100]); // ...but holds only 100
+        let mut wal = wal_init_bytes(0, 0);
+        wal.extend_from_slice(&frame(&payload));
+        let scan = scan_wal(&wal);
+        assert!(scan.units.is_empty());
+        assert_eq!(scan.committed_end, wal_init_bytes(0, 0).len() as u64);
+        assert!(scan.discarded > 0);
     }
 
     #[test]

@@ -152,8 +152,13 @@ pub struct Database {
     mode: ValidationMode,
     /// Set while `insert_unchecked` rows await their deferred check; delta
     /// validation's valid-pre-state precondition is broken until a full
-    /// validation (`commit`, `load_state`, or a full-falling-back
-    /// statement) succeeds, so enforcement runs full-state meanwhile.
+    /// validation succeeds at an *irrevocable* point — the outermost
+    /// `commit`, a full-falling-back statement outside any transaction
+    /// (both past their WAL append), or `load_state` — so enforcement runs
+    /// full-state meanwhile. A full scan at a revertible point (inside a
+    /// transaction, or before the WAL append succeeds) never discharges
+    /// the flag: the scanned suffix could be rolled back while an
+    /// uncovered unchecked row survives in the state.
     pub(crate) has_unchecked: bool,
     /// Undo-log position of the earliest unchecked op still in the log —
     /// when a rollback reverts past it, the unchecked rows are gone and
@@ -412,22 +417,35 @@ impl Database {
             self.revert_to(mark);
             return Err(EngineError::ConstraintViolation(violations));
         }
-        if strategy == "full" && self.has_unchecked {
+        // A clean full scan discharges the deferred check only at an
+        // *irrevocable* point: outside any transaction, once the WAL
+        // append has succeeded. Inside a transaction (or on a WAL
+        // failure) the validated suffix can still be reverted while an
+        // uncovered unchecked row survives the revert, so discharging
+        // here would let a later checkpoint persist the (possibly
+        // invalid) post-revert state unvalidated.
+        let discharged = strategy == "full" && self.has_unchecked && self.txn_marks.is_empty();
+        if self.txn_marks.is_empty() {
+            // Outside transactions a clean statement is a commit point:
+            // append it to the WAL (with its commit marker) before
+            // draining the undo log. A WAL failure reverts the statement
+            // — the caller sees an error, and the state never diverges
+            // from what the log can reconstruct. The revert runs with the
+            // deferred-check flags still set (see `discharged` above).
+            if let Err(e) = self.wal_commit(mark, true) {
+                self.revert_to(mark);
+                return Err(e);
+            }
+        }
+        if discharged {
+            // The clean full scan covered every deferred row, and the
+            // statement is past its only failure point — irrevocable.
             self.has_unchecked = false;
             self.unchecked_mark = None;
             self.unchecked_uncovered = false;
         }
         self.debug_check_equivalence();
         if self.txn_marks.is_empty() {
-            // Outside transactions a clean statement is a commit point:
-            // append it to the WAL (with its commit marker) before
-            // draining the undo log. A WAL failure reverts the statement
-            // — the caller sees an error, and the state never diverges
-            // from what the log can reconstruct.
-            if let Err(e) = self.wal_commit(mark, true) {
-                self.revert_to(mark);
-                return Err(e);
-            }
             self.undo.clear();
             self.maybe_auto_checkpoint();
         }
@@ -981,20 +999,33 @@ impl Database {
         ridl_obs::emit("engine.statement", report.duration_ns, &report.summary());
         self.last_report = Some(report);
         if violations.is_empty() {
-            self.has_unchecked = false;
-            self.unchecked_mark = None;
-            self.unchecked_uncovered = false;
             if self.txn_marks.is_empty() {
                 // The outermost commit logs the whole transaction as one
                 // WAL unit: statements inside a transaction touch the log
                 // only here, once they are actually durable-committable.
+                //
+                // The deferred-check flags are cleared only once the WAL
+                // append succeeds: the failure path reverts with the flags
+                // intact, and `revert_to` discharges them only when the
+                // reverted suffix covers every unchecked op. An uncovered
+                // unchecked row (its op already drained from the undo log)
+                // keeps forcing full validation, so the post-revert state
+                // — which may no longer satisfy the constraints — cannot
+                // be checkpointed unvalidated.
                 if let Err(e) = self.wal_commit(mark, true) {
                     self.revert_to(mark);
                     return Err(e);
                 }
+                self.has_unchecked = false;
+                self.unchecked_mark = None;
+                self.unchecked_uncovered = false;
                 self.undo.clear();
                 self.maybe_auto_checkpoint();
             }
+            // An inner commit is NOT an irrevocable point: the enclosing
+            // transaction can still roll this suffix back while an
+            // uncovered unchecked row survives the revert, so the
+            // deferred-check flags stay set until the outermost commit.
             Ok(())
         } else {
             // A failed commit reverts the transaction; if that suffix held

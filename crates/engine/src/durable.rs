@@ -379,6 +379,24 @@ impl Database {
             let sw = ridl_obs::Stopwatch::start();
             if let Err(e) = w.io.sync(&path) {
                 w.poisoned = true;
+                // The append (commit marker included) may still be durable
+                // even though the fsync failed, while the caller reverts
+                // the statement in memory — a crash before the repairing
+                // checkpoint would then replay a statement the caller was
+                // told failed. Best-effort rewind of the log to its
+                // pre-append length closes that window; if the rewind
+                // itself fails the anomaly remains possible (accepted,
+                // fsyncgate-style) and the handle stays poisoned either
+                // way, so no further appends happen until a checkpoint
+                // rebuilds the log.
+                let pre = w.wal_len - bytes.len() as u64;
+                if w.io
+                    .truncate(&path, pre)
+                    .and_then(|()| w.io.sync(&path))
+                    .is_ok()
+                {
+                    w.wal_len = pre;
+                }
                 return Err(io_err("wal fsync", e));
             }
             m.wal_fsyncs.inc();
@@ -432,6 +450,7 @@ fn rewrite_wal(
     w.io.write_new(&tmp, &bytes)
         .and_then(|()| w.io.sync(&tmp))
         .and_then(|()| w.io.rename(&tmp, &dst))
+        .and_then(|()| w.io.sync_dir(&w.dir))
         .map_err(|e| io_err("wal rewrite", e))?;
     Ok(bytes.len() as u64)
 }

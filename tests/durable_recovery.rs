@@ -271,6 +271,91 @@ fn wal_failure_reverts_statement_and_poisons_until_checkpoint() {
     assert_eq!(db2.state(), &want);
 }
 
+/// A WAL failure must not discharge the deferred-check flags: the revert
+/// restores the rows of the failed statement, but an *uncovered* unchecked
+/// row (its op long drained from the undo log) stays in the state — so the
+/// post-revert state can be constraint-invalid and the poison-recovery
+/// checkpoint must re-validate it, never persist it blindly.
+#[test]
+fn wal_failure_preserves_the_deferred_check_flags() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    // Uncovered unchecked row: dangling FK, check deferred, undo drained.
+    db.insert_unchecked("Program_Paper", vec![v("A9"), v("S9")])
+        .unwrap();
+    // This insert repairs the FK, so the discharging full scan passes —
+    // but its WAL append fails and the revert re-breaks the FK.
+    io.set_plan(Some(FaultPlan {
+        at_op: io.op_count(),
+        kind: FaultKind::IoError,
+    }));
+    let err = db.insert("Paper", vec![v("P9"), v("A9")]);
+    assert!(matches!(err, Err(EngineError::Io(_))), "{err:?}");
+    assert!(
+        !validate(db.schema(), db.state()).is_empty(),
+        "post-revert state is FK-invalid again"
+    );
+    // The checkpoint re-runs full validation and refuses the state; the
+    // invalid snapshot never reaches disk.
+    let err = db.checkpoint();
+    assert!(matches!(err, Err(EngineError::ConstraintViolation(_))), "{err:?}");
+    assert!(
+        io.peek(&store_path(&dir(), SNAP_FILE)).is_none(),
+        "no snapshot of the invalid state was written"
+    );
+}
+
+/// The same flag-preservation property through the transaction path: the
+/// outermost `commit`'s full scan passes, its WAL append fails, and the
+/// reverted (invalid) state must still carry the deferred-check flags.
+#[test]
+fn commit_wal_failure_preserves_the_deferred_check_flags() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.insert_unchecked("Program_Paper", vec![v("A9"), v("S9")])
+        .unwrap();
+    db.begin();
+    db.insert("Paper", vec![v("P9"), v("A9")]).unwrap();
+    io.set_plan(Some(FaultPlan {
+        at_op: io.op_count(),
+        kind: FaultKind::IoError,
+    }));
+    let err = db.commit();
+    assert!(matches!(err, Err(EngineError::Io(_))), "{err:?}");
+    assert!(
+        !validate(db.schema(), db.state()).is_empty(),
+        "post-revert state is FK-invalid again"
+    );
+    let err = db.checkpoint();
+    assert!(matches!(err, Err(EngineError::ConstraintViolation(_))), "{err:?}");
+}
+
+/// When the commit's append lands whole but the fsync fails, the engine
+/// rewinds the log to its pre-append length: even a reboot that keeps
+/// every volatile byte must not replay a statement the caller was told
+/// failed.
+#[test]
+fn fsync_failure_rewinds_the_appended_unit() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    let want = db.state().clone();
+    // The append (next op) lands whole; the fsync right after it fails.
+    io.set_plan(Some(FaultPlan {
+        at_op: io.op_count() + 1,
+        kind: FaultKind::IoError,
+    }));
+    let err = db.insert("Paper", vec![v("P2"), None]);
+    assert!(matches!(err, Err(EngineError::Io(_))), "{err:?}");
+    assert_eq!(db.state(), &want, "statement reverted");
+    drop(db);
+    io.crash(1 << 20); // keep the whole volatile tail across the reboot
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want, "reverted statement replayed from WAL");
+}
+
 /// Satellite 1: a checkpoint taken while a transaction is open would make
 /// uncommitted changes durable — refused with a typed error, and the
 /// automatic checkpoint defers too.

@@ -40,6 +40,34 @@ fn sample_db() -> Database {
     Database::create(s).unwrap()
 }
 
+/// A full scan that passes *inside* a transaction must not discharge the
+/// deferred check: rolling the transaction back reverts the statement the
+/// scan validated, while the uncovered unchecked row survives — leaving
+/// the state invalid. Discharge is only sound at irrevocable points.
+#[test]
+fn in_transaction_full_scan_must_not_discharge_uncovered_unchecked_rows() {
+    let mut db = sample_db();
+    // Uncovered unchecked row with a dangling FK (A9 references no Paper).
+    db.insert_unchecked("Program_Paper", vec![v("A9"), v("S9")])
+        .unwrap();
+    db.begin();
+    // This insert repairs the FK, so the full-state fallback passes...
+    db.insert("Paper", vec![v("P9"), v("A9")]).unwrap();
+    assert_eq!(db.last_statement_report().unwrap().strategy, "full");
+    // ...but the rollback re-breaks it; the deferred flag must survive.
+    db.rollback().unwrap();
+    let res = db.insert("Paper", vec![v("P1"), None]);
+    assert_eq!(
+        db.last_statement_report().unwrap().strategy,
+        "full",
+        "deferred flag wrongly discharged inside the transaction"
+    );
+    assert!(
+        matches!(res, Err(EngineError::ConstraintViolation(_))),
+        "dangling FK must surface on the full-state fallback, got {res:?}"
+    );
+}
+
 #[test]
 fn rollback_must_not_discharge_uncovered_unchecked_rows() {
     let mut db = sample_db();
