@@ -20,47 +20,18 @@
 //! ≥2× at 50k rows (it replaces per-constraint scans with hash probes),
 //! and parallel validation closes on the sequential path as cores are
 //! added while returning byte-identical violation reports.
-
-use std::time::Instant;
+//!
+//! Scenario construction and the timing loop live in
+//! `ridl_bench::harness`, shared with the other load benches and
+//! smoke-tested under `cargo test`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use ridl_bench::harness::{build_load_scenario, time_op_heavy, LoadScenario};
 use ridl_engine::Database;
-use ridl_relational::{
-    validate, validate_with_workers, ConstraintIndexes, RelSchema, RelState, Row, TableId,
-};
-use ridl_workloads::scenario;
+use ridl_relational::{validate, validate_with_workers, ConstraintIndexes};
 
-struct Scenario {
-    schema: RelSchema,
-    state: RelState,
-    rows: Vec<(TableId, Row)>,
-}
-
-fn build(target_rows: usize) -> Scenario {
-    let sc = scenario::industrial_population(1989, target_rows);
-    let rows = scenario::rows_of(&sc.schema, &sc.state);
-    Scenario {
-        schema: sc.schema,
-        state: sc.state,
-        rows,
-    }
-}
-
-/// Adaptive wall-clock timing: returns microseconds per iteration.
-fn time_op(mut f: impl FnMut()) -> f64 {
-    let warmup = Instant::now();
-    f();
-    let est = warmup.elapsed().as_secs_f64();
-    let iters = ((0.3 / est.max(1e-7)) as usize).clamp(3, 50);
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    start.elapsed().as_secs_f64() * 1e6 / iters as f64
-}
-
-fn report() -> Vec<Scenario> {
+fn report() -> Vec<LoadScenario> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -71,22 +42,22 @@ fn report() -> Vec<Scenario> {
     );
     let mut out = Vec::new();
     for target in [1_000usize, 10_000, 50_000] {
-        let sc = build(target);
+        let sc = build_load_scenario(target);
         let rows = sc.state.num_rows();
-        let seq_us = time_op(|| {
+        let seq_us = time_op_heavy(|| {
             let v = validate::validate(&sc.schema, &sc.state);
             assert!(v.is_empty());
             let idx = ConstraintIndexes::build(&sc.schema, &sc.state);
             std::hint::black_box(idx);
         });
-        let par_us = time_op(|| {
+        let par_us = time_op_heavy(|| {
             let v = validate_with_workers(&sc.schema, &sc.state, workers);
             assert!(v.is_empty());
             let idx = ConstraintIndexes::build(&sc.schema, &sc.state);
             std::hint::black_box(idx);
         });
         let mut db = Database::create(sc.schema.clone()).unwrap();
-        let load_us = time_op(|| {
+        let load_us = time_op_heavy(|| {
             let n = db.bulk_load(sc.rows.iter().cloned()).expect("clean load");
             assert_eq!(n, rows);
         });

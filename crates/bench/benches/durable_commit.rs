@@ -19,109 +19,25 @@
 //! constraint validation; group commit recovers most of the distance
 //! between `Never` and `Always`; and replay is fast enough that
 //! checkpoint spacing is a log-size policy, not a startup-latency one.
+//!
+//! Store setup, target probing and the timing loop live in
+//! `ridl_bench::harness`, shared with the other engine benches and
+//! smoke-tested under `cargo test`.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ridl_engine::{Database, Durability, FsyncPolicy, Pred};
-use ridl_relational::{RelSchema, RelState, Row, TableId};
-use ridl_workloads::scenario;
+use ridl_bench::harness::{
+    bench_dir, build_load_scenario, commit_pair, durability, pick_mutation_target, time_op,
+    LoadScenario,
+};
+use ridl_engine::{Database, FsyncPolicy};
 
 const TARGET_ROWS: usize = 5_000;
 /// Committed delete+reinsert pairs in the replay phase (2 ops each).
 const REPLAY_UNITS: usize = 1_000;
-
-fn population() -> (RelSchema, RelState) {
-    let sc = scenario::industrial_population(1989, TARGET_ROWS);
-    (sc.schema, sc.state)
-}
-
-fn bench_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("ridl-bench-durable-{}-{tag}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-fn durable(fsync: FsyncPolicy) -> Durability {
-    // No auto-checkpoint: the phases below control WAL length themselves.
-    Durability {
-        fsync,
-        checkpoint_every_bytes: None,
-    }
-}
-
-/// One safe-to-delete row, addressed by primary key.
-struct Target {
-    table: String,
-    preds: Vec<Pred>,
-    row: Row,
-}
-
-/// Picks, from the largest table with a primary key, a row that the
-/// engine lets us delete and re-insert (probe included).
-fn pick_target(db: &mut Database) -> Target {
-    let schema = db.schema().clone();
-    let mut tables: Vec<(TableId, usize)> = schema
-        .tables()
-        .map(|(tid, _)| (tid, db.state().rows(tid).len()))
-        .collect();
-    tables.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
-    for (tid, n) in tables {
-        if n < 2 {
-            continue;
-        }
-        let Some(pk) = schema.primary_key_of(tid) else {
-            continue;
-        };
-        let pk = pk.to_vec();
-        let t = schema.table(tid);
-        let rows: Vec<Row> = db.state().rows(tid).iter().cloned().collect();
-        for row in &rows {
-            if pk.iter().any(|c| row[*c as usize].is_none()) {
-                continue;
-            }
-            let preds: Vec<Pred> = pk
-                .iter()
-                .map(|c| {
-                    Pred::Eq(
-                        t.column(*c).name.clone(),
-                        row[*c as usize].clone().expect("checked non-null"),
-                    )
-                })
-                .collect();
-            if db.delete_where(&t.name, &preds) == Ok(1) {
-                db.insert(&t.name, row.clone()).expect("reinsert probe");
-                return Target {
-                    table: t.name.clone(),
-                    preds,
-                    row: row.clone(),
-                };
-            }
-        }
-    }
-    panic!("no suitable benchmark table in the industrial mapping");
-}
-
-/// Adaptive wall-clock timing: returns microseconds per iteration.
-fn time_op(mut f: impl FnMut()) -> f64 {
-    let warmup = Instant::now();
-    f();
-    let est = warmup.elapsed().as_secs_f64();
-    let iters = ((0.05 / est.max(1e-7)) as usize).clamp(5, 400);
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    start.elapsed().as_secs_f64() * 1e6 / iters as f64
-}
-
-fn commit_pair(db: &mut Database, t: &Target) {
-    let n = db.delete_where(&t.table, &t.preds).expect("safe delete");
-    assert_eq!(n, 1);
-    db.insert(&t.table, t.row.clone()).expect("reinsert");
-}
 
 struct Config {
     tag: &'static str,
@@ -147,35 +63,35 @@ const CONFIGS: [Config; 4] = [
     },
 ];
 
-fn open_config(cfg: &Config, schema: &RelSchema, state: &RelState) -> (Database, Option<PathBuf>) {
+fn open_config(cfg: &Config, sc: &LoadScenario) -> (Database, Option<PathBuf>) {
     match cfg.fsync {
         None => {
-            let mut db = Database::create(schema.clone()).unwrap();
-            db.load_state(state.clone()).unwrap();
+            let mut db = Database::create(sc.schema.clone()).unwrap();
+            db.load_state(sc.state.clone()).unwrap();
             (db, None)
         }
         Some(policy) => {
-            let dir = bench_dir(cfg.tag);
+            let dir = bench_dir(&format!("durable-{}", cfg.tag));
             let mut db = Database::open_with(
                 std::sync::Arc::new(ridl_engine::StdIo),
                 &dir,
-                schema.clone(),
-                durable(policy),
+                sc.schema.clone(),
+                durability(policy),
             )
             .unwrap();
-            db.bulk_load(scenario::rows_of(schema, state)).unwrap();
+            db.bulk_load(sc.rows.iter().cloned()).unwrap();
             (db, Some(dir))
         }
     }
 }
 
-fn report(schema: &RelSchema, state: &RelState) {
+fn report(sc: &LoadScenario) {
     println!("\n== E-DUR: commit latency, WAL off vs on ({TARGET_ROWS} target rows) ==");
     println!("{:<10} {:>14} {:>8}", "config", "del+reins(us)", "vs mem");
     let mut baseline = None;
     for cfg in &CONFIGS {
-        let (mut db, dir) = open_config(cfg, schema, state);
-        let target = pick_target(&mut db);
+        let (mut db, dir) = open_config(cfg, sc);
+        let target = pick_mutation_target(&mut db);
         let us = time_op(|| commit_pair(&mut db, &target));
         let base = *baseline.get_or_insert(us);
         println!("{:<10} {:>14.1} {:>7.2}x", cfg.tag, us, us / base);
@@ -194,17 +110,17 @@ fn report(schema: &RelSchema, state: &RelState) {
 /// Commits `REPLAY_UNITS` delete+reinsert pairs into a WAL, then measures
 /// how fast `Database::open` replays them. Returns the store dir (the WAL
 /// is left clean, so every reopen replays the same units).
-fn build_replay_store(schema: &RelSchema, state: &RelState) -> PathBuf {
-    let dir = bench_dir("replay");
+fn build_replay_store(sc: &LoadScenario) -> PathBuf {
+    let dir = bench_dir("durable-replay");
     let mut db = Database::open_with(
         std::sync::Arc::new(ridl_engine::StdIo),
         &dir,
-        schema.clone(),
-        durable(FsyncPolicy::Never),
+        sc.schema.clone(),
+        durability(FsyncPolicy::Never),
     )
     .unwrap();
-    db.bulk_load(scenario::rows_of(schema, state)).unwrap();
-    let target = pick_target(&mut db);
+    db.bulk_load(sc.rows.iter().cloned()).unwrap();
+    let target = pick_mutation_target(&mut db);
     for _ in 0..REPLAY_UNITS {
         commit_pair(&mut db, &target);
     }
@@ -212,18 +128,19 @@ fn build_replay_store(schema: &RelSchema, state: &RelState) -> PathBuf {
     dir
 }
 
-fn report_replay(schema: &RelSchema, dir: &PathBuf) -> usize {
+fn report_replay(sc: &LoadScenario, dir: &PathBuf) -> usize {
     let start = Instant::now();
     let db = Database::open_with(
         std::sync::Arc::new(ridl_engine::StdIo),
         dir,
-        schema.clone(),
-        durable(FsyncPolicy::Never),
+        sc.schema.clone(),
+        durability(FsyncPolicy::Never),
     )
     .unwrap();
     let elapsed = start.elapsed().as_secs_f64();
     let rep = db.recovery_report().expect("durable open reports").clone();
-    // +2: the pick_target probe commits one delete+reinsert pair itself.
+    // +2: the pick_mutation_target probe commits one delete+reinsert
+    // pair itself.
     assert_eq!(rep.units_replayed, 2 * REPLAY_UNITS + 2);
     assert_eq!(rep.bytes_discarded, 0);
     println!("\n== E-DUR: recovery replay throughput ==");
@@ -242,14 +159,14 @@ fn bench(c: &mut Criterion) {
     ridl_obs::init_from_env();
     ridl_obs::init_tracing_from_env();
     let obs_before = ridl_obs::snapshot();
-    let (schema, state) = population();
-    report(&schema, &state);
+    let sc = build_load_scenario(TARGET_ROWS);
+    report(&sc);
 
     let mut group = c.benchmark_group("durable_commit");
     group.sample_size(20);
     for cfg in &CONFIGS {
-        let (mut db, dir) = open_config(cfg, &schema, &state);
-        let target = pick_target(&mut db);
+        let (mut db, dir) = open_config(cfg, &sc);
+        let target = pick_mutation_target(&mut db);
         group.bench_function(BenchmarkId::new("delete_reinsert", cfg.tag), |b| {
             b.iter(|| commit_pair(&mut db, &target))
         });
@@ -259,8 +176,8 @@ fn bench(c: &mut Criterion) {
         }
     }
 
-    let replay_dir = build_replay_store(&schema, &state);
-    let ops = report_replay(&schema, &replay_dir);
+    let replay_dir = build_replay_store(&sc);
+    let ops = report_replay(&sc, &replay_dir);
     group.bench_function(
         BenchmarkId::new("recovery_replay", format!("{ops}ops")),
         |b| {
@@ -268,8 +185,8 @@ fn bench(c: &mut Criterion) {
                 let db = Database::open_with(
                     std::sync::Arc::new(ridl_engine::StdIo),
                     &replay_dir,
-                    schema.clone(),
-                    durable(FsyncPolicy::Never),
+                    sc.schema.clone(),
+                    durability(FsyncPolicy::Never),
                 )
                 .unwrap();
                 assert_eq!(

@@ -16,122 +16,15 @@
 //!
 //! The claim to verify: incremental cost stays flat as the database grows,
 //! while full-state validation scales with the row count.
-
-use std::time::Instant;
+//!
+//! Setup (database construction, target probing, adaptive timing) lives
+//! in `ridl_bench::harness`, shared with the other engine benches and
+//! smoke-tested under `cargo test`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ridl_brm::Value;
-use ridl_engine::{Database, Pred, ValidationMode};
-use ridl_relational::{Row, TableId};
-use ridl_workloads::scenario;
-
-/// Builds the industrial-scale database with roughly `target_rows` rows
-/// (the shared calibrated scenario from `ridl-workloads`).
-fn build_db(target_rows: usize) -> Database {
-    let sc = scenario::industrial_population(1989, target_rows);
-    let mut db = Database::create(sc.schema).unwrap();
-    db.load_state(sc.state).unwrap();
-    db
-}
-
-/// The concrete rows/predicates a measurement run needs.
-struct Targets {
-    table: String,
-    /// Insert that is rejected by key validation (distinct row, same PK).
-    reject_row: Row,
-    /// Predicates identifying one safe-to-delete row by primary key.
-    row_preds: Vec<Pred>,
-    /// That row, for re-insertion.
-    safe_row: Row,
-    /// Identity assignment for `update_where` on the same row.
-    assign_col: String,
-    assign_val: Option<Value>,
-}
-
-/// Picks, from the largest suitable table, a row that can be deleted and
-/// re-inserted, plus a PK-duplicate row for the rejected insert.
-fn pick_targets(db: &mut Database) -> Targets {
-    let schema = db.schema().clone();
-    let mut tables: Vec<(TableId, usize)> = schema
-        .tables()
-        .map(|(tid, _)| (tid, db.state().rows(tid).len()))
-        .collect();
-    tables.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
-    for (tid, n) in tables {
-        if n < 2 {
-            continue;
-        }
-        let Some(pk) = schema.primary_key_of(tid) else {
-            continue;
-        };
-        let pk = pk.to_vec();
-        let t = schema.table(tid);
-        let Some(non_key) = (0..t.arity() as u32).find(|c| !pk.contains(c)) else {
-            continue;
-        };
-        let rows: Vec<Row> = db.state().rows(tid).iter().cloned().collect();
-        for row in &rows {
-            if pk.iter().any(|c| row[*c as usize].is_none()) {
-                continue;
-            }
-            // A distinct row with the same primary key: tweak one non-key
-            // column to a value no existing row has there.
-            let mut reject_row = row.clone();
-            let candidates = rows
-                .iter()
-                .map(|r| r[non_key as usize].clone())
-                .chain([None])
-                .filter(|v| *v != row[non_key as usize]);
-            let mut found_reject = None;
-            for cand in candidates {
-                reject_row[non_key as usize] = cand;
-                if !db.state().rows(tid).contains(&reject_row) {
-                    found_reject = Some(reject_row.clone());
-                    break;
-                }
-            }
-            let Some(reject_row) = found_reject else {
-                continue;
-            };
-            let row_preds: Vec<Pred> = pk
-                .iter()
-                .map(|c| {
-                    Pred::Eq(
-                        t.column(*c).name.clone(),
-                        row[*c as usize].clone().expect("checked non-null"),
-                    )
-                })
-                .collect();
-            // Probe: deletable (and re-insertable) without violations?
-            if db.delete_where(&t.name, &row_preds) == Ok(1) {
-                db.insert(&t.name, row.clone()).expect("reinsert probe");
-                return Targets {
-                    table: t.name.clone(),
-                    reject_row,
-                    row_preds,
-                    safe_row: row.clone(),
-                    assign_col: t.column(non_key).name.clone(),
-                    assign_val: row[non_key as usize].clone(),
-                };
-            }
-        }
-    }
-    panic!("no suitable benchmark table in the industrial mapping");
-}
-
-/// Adaptive wall-clock timing: returns microseconds per iteration.
-fn time_op(mut f: impl FnMut()) -> f64 {
-    let warmup = Instant::now();
-    f();
-    let est = warmup.elapsed().as_secs_f64();
-    let iters = ((0.05 / est.max(1e-7)) as usize).clamp(5, 400);
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    start.elapsed().as_secs_f64() * 1e6 / iters as f64
-}
+use ridl_bench::harness::{build_db, pick_mutation_target, time_op, MutationTarget};
+use ridl_engine::{Database, ValidationMode};
 
 struct Measured {
     insert_us: f64,
@@ -139,7 +32,7 @@ struct Measured {
     delete_us: f64,
 }
 
-fn measure(db: &mut Database, t: &Targets, mode: ValidationMode) -> Measured {
+fn measure(db: &mut Database, t: &MutationTarget, mode: ValidationMode) -> Measured {
     db.set_validation_mode(mode);
     let insert_us = time_op(|| {
         let r = db.insert(&t.table, t.reject_row.clone());
@@ -147,20 +40,14 @@ fn measure(db: &mut Database, t: &Targets, mode: ValidationMode) -> Measured {
     });
     let update_us = time_op(|| {
         let n = db
-            .update_where(
-                &t.table,
-                &t.row_preds,
-                &[(&t.assign_col, t.assign_val.clone())],
-            )
+            .update_where(&t.table, &t.preds, &[(&t.assign_col, t.assign_val.clone())])
             .expect("identity update is valid");
         assert_eq!(n, 1);
     });
     let delete_us = time_op(|| {
-        let n = db
-            .delete_where(&t.table, &t.row_preds)
-            .expect("safe delete");
+        let n = db.delete_where(&t.table, &t.preds).expect("safe delete");
         assert_eq!(n, 1);
-        db.insert(&t.table, t.safe_row.clone()).expect("reinsert");
+        db.insert(&t.table, t.row.clone()).expect("reinsert");
     });
     db.set_validation_mode(ValidationMode::Incremental);
     Measured {
@@ -170,7 +57,7 @@ fn measure(db: &mut Database, t: &Targets, mode: ValidationMode) -> Measured {
     }
 }
 
-fn report() -> Vec<(usize, Database, Targets)> {
+fn report() -> Vec<(usize, Database, MutationTarget)> {
     println!("\n== E-INC: mutation cost, delta validation vs full re-validation ==");
     println!(
         "{:<8} {:<6} {:>12} {:>12} {:>18}",
@@ -180,7 +67,7 @@ fn report() -> Vec<(usize, Database, Targets)> {
     for target in [1_000usize, 10_000, 50_000] {
         let mut db = build_db(target);
         let rows = db.state().num_rows();
-        let targets = pick_targets(&mut db);
+        let targets = pick_mutation_target(&mut db);
         let full = measure(&mut db, &targets, ValidationMode::FullState);
         let delta = measure(&mut db, &targets, ValidationMode::Incremental);
         println!(
@@ -240,7 +127,7 @@ fn bench(c: &mut Criterion) {
                     b.iter(|| {
                         db.update_where(
                             &targets.table,
-                            &targets.row_preds,
+                            &targets.preds,
                             &[(&targets.assign_col, targets.assign_val.clone())],
                         )
                         .expect("identity update")
@@ -251,9 +138,9 @@ fn bench(c: &mut Criterion) {
                 BenchmarkId::new("delete_reinsert", format!("{tag}/{rows}")),
                 |b| {
                     b.iter(|| {
-                        db.delete_where(&targets.table, &targets.row_preds)
+                        db.delete_where(&targets.table, &targets.preds)
                             .expect("safe delete");
-                        db.insert(&targets.table, targets.safe_row.clone())
+                        db.insert(&targets.table, targets.row.clone())
                             .expect("reinsert");
                     })
                 },

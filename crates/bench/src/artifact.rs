@@ -1,0 +1,540 @@
+//! The `BENCH_<pr>.json` trajectory artifact: a schema-versioned summary
+//! of one macro-benchmark run, written per PR so successive sessions (and
+//! re-anchors) can read the performance trajectory of the repo without
+//! re-running old builds.
+//!
+//! The writer emits the JSON by hand (the workspace carries no serde);
+//! [`validate_artifact`] is the matching checker — a small strict JSON
+//! parser plus required-key and finite-number rules — run by CI and by
+//! `ridl benchcheck`.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+/// Artifact schema version; bump when the layout changes shape.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One timed phase of the macro run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PhaseStat {
+    /// Phase name (`generate`, `map`, `populate`, `bulk_load`,
+    /// `traffic`, `sigex`, `checkpoint`, `traffic_post_checkpoint`,
+    /// `recover`).
+    pub name: String,
+    /// Wall-clock seconds for the whole phase.
+    pub seconds: f64,
+    /// Work units processed (rows, ops, tables… — see the phase name).
+    pub units: u64,
+    /// Units per second (zero when `seconds` is zero).
+    pub per_second: f64,
+    /// Median per-unit latency in nanoseconds (zero when the phase was
+    /// timed as a block rather than per unit).
+    pub p50_ns: u64,
+    /// 90th-percentile per-unit latency.
+    pub p90_ns: u64,
+    /// 99th-percentile per-unit latency.
+    pub p99_ns: u64,
+}
+
+impl PhaseStat {
+    /// A block-timed phase (no per-unit latency distribution).
+    pub fn block(name: &str, seconds: f64, units: u64) -> Self {
+        Self::with_quantiles(name, seconds, units, 0, 0, 0)
+    }
+
+    /// A phase with per-unit latency quantiles.
+    pub fn with_quantiles(
+        name: &str,
+        seconds: f64,
+        units: u64,
+        p50_ns: u64,
+        p90_ns: u64,
+        p99_ns: u64,
+    ) -> Self {
+        let per_second = if seconds > 0.0 {
+            units as f64 / seconds
+        } else {
+            0.0
+        };
+        Self {
+            name: name.to_owned(),
+            seconds,
+            units,
+            per_second,
+            p50_ns,
+            p90_ns,
+            p99_ns,
+        }
+    }
+}
+
+/// Validation cost attributed to one constraint class over the traffic
+/// and significant-example phases (from the obs per-kind counters; the
+/// nanoseconds require the detail gate, which the driver turns on).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClassCost {
+    /// Constraint-class name (`key`, `foreign_key`, …).
+    pub class: &'static str,
+    /// Checks run.
+    pub checks: u64,
+    /// Violations reported (rejected statements produce these).
+    pub violations: u64,
+    /// Nanoseconds spent checking.
+    pub nanos: u64,
+}
+
+/// WAL replay statistics from the crash-recovery phase.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct WalStats {
+    /// Committed units replayed on reopen.
+    pub replay_units: u64,
+    /// Row operations replayed.
+    pub replay_ops: u64,
+    /// Replay throughput in row ops per second.
+    pub replay_ops_per_sec: f64,
+    /// WAL bytes on disk at the simulated crash.
+    pub bytes: u64,
+}
+
+/// The complete per-PR benchmark artifact.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BenchArtifact {
+    /// PR number this artifact belongs to (`BENCH_<pr>.json`).
+    pub pr: u64,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Requested approximate row count.
+    pub target_rows: u64,
+    /// Rows actually loaded by `bulk_load`.
+    pub rows_loaded: u64,
+    /// Mapped tables in the schema.
+    pub tables: u64,
+    /// Generated constraints in the schema.
+    pub constraints: u64,
+    /// Timed phases, in execution order.
+    pub phases: Vec<PhaseStat>,
+    /// Per-constraint-class validation cost.
+    pub per_class: Vec<ClassCost>,
+    /// WAL replay statistics.
+    pub wal: WalStats,
+    /// Crash-recovery wall-clock seconds (from the engine's always-on
+    /// recovery timer).
+    pub recovery_seconds: f64,
+    /// Verified significant examples exercised against the engine.
+    pub sigex_examples: u64,
+    /// Constraint classes those examples covered.
+    pub sigex_classes: Vec<&'static str>,
+}
+
+/// Formats a float: finite values in shortest-roundtrip form, non-finite
+/// values as `0` (the validator rejects non-finite spellings, so the
+/// writer must never emit them; phases guard their own divisions).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl BenchArtifact {
+    /// Renders the artifact as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        s.push_str(&format!("  \"pr\": {},\n", self.pr));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"target_rows\": {},\n", self.target_rows));
+        s.push_str(&format!("  \"rows_loaded\": {},\n", self.rows_loaded));
+        s.push_str(&format!("  \"tables\": {},\n", self.tables));
+        s.push_str(&format!("  \"constraints\": {},\n", self.constraints));
+        s.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"seconds\": {}, \"units\": {}, \"per_second\": {}, \
+                 \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}{}\n",
+                json_str(&p.name),
+                num(p.seconds),
+                p.units,
+                num(p.per_second),
+                p.p50_ns,
+                p.p90_ns,
+                p.p99_ns,
+                if i + 1 < self.phases.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"per_class\": [\n");
+        for (i, c) in self.per_class.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"class\": {}, \"checks\": {}, \"violations\": {}, \"nanos\": {}}}{}\n",
+                json_str(c.class),
+                c.checks,
+                c.violations,
+                c.nanos,
+                if i + 1 < self.per_class.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"wal\": {{\"replay_units\": {}, \"replay_ops\": {}, \"replay_ops_per_sec\": {}, \
+             \"bytes\": {}}},\n",
+            self.wal.replay_units,
+            self.wal.replay_ops,
+            num(self.wal.replay_ops_per_sec),
+            self.wal.bytes,
+        ));
+        s.push_str(&format!(
+            "  \"recovery\": {{\"seconds\": {}}},\n",
+            num(self.recovery_seconds)
+        ));
+        s.push_str(&format!(
+            "  \"sigex\": {{\"examples\": {}, \"classes\": [{}]}}\n",
+            self.sigex_examples,
+            self.sigex_classes
+                .iter()
+                .map(|c| json_str(c))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Writes the artifact to `path` (the JSON is validated first, so a
+    /// buggy writer fails loudly instead of committing a bad artifact).
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        let text = self.to_json();
+        validate_artifact(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, text)
+    }
+}
+
+// ---- the validator: a strict little JSON scanner ----
+
+/// Keys that must appear somewhere in a valid artifact.
+const REQUIRED_KEYS: [&str; 25] = [
+    "schema_version",
+    "pr",
+    "seed",
+    "target_rows",
+    "rows_loaded",
+    "tables",
+    "constraints",
+    "phases",
+    "name",
+    "seconds",
+    "units",
+    "per_second",
+    "p50_ns",
+    "p90_ns",
+    "p99_ns",
+    "per_class",
+    "class",
+    "checks",
+    "violations",
+    "nanos",
+    "wal",
+    "replay_units",
+    "replay_ops",
+    "replay_ops_per_sec",
+    "bytes",
+];
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    keys: BTreeSet<String>,
+    numbers: Vec<f64>,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+            keys: BTreeSet::new(),
+            numbers: Vec::new(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!(
+                "unexpected byte '{}' at {}",
+                char::from(b),
+                self.pos
+            )),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.keys.insert(key);
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        let mut out = String::new();
+        while let Some(b) = self.peek() {
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b' | b'f') => out.push(' '),
+                        Some(b'u') => {
+                            // \uXXXX — accept and decode the BMP scalar.
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let s = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let n = u32::from_str_radix(s, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(n).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let c = s.chars().next().ok_or("unexpected end of string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        Err(format!("unterminated string starting at byte {start}"))
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let v: f64 = s
+            .parse()
+            .map_err(|_| format!("bad number '{s}' at byte {start}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite number '{s}' at byte {start}"));
+        }
+        self.numbers.push(v);
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+/// Validates the text of a `BENCH_*.json` artifact: it must be a single
+/// well-formed JSON document, every number must be finite, every
+/// [`REQUIRED_KEYS`] entry must appear, `schema_version` must match, and
+/// the `phases` and `per_class` arrays must be non-empty (their inner
+/// keys are in the required set, so an empty array fails the key check).
+pub fn validate_artifact(text: &str) -> Result<(), String> {
+    let mut sc = Scanner::new(text);
+    sc.skip_ws();
+    if sc.peek() != Some(b'{') {
+        return Err("artifact must be a JSON object".to_owned());
+    }
+    sc.object()?;
+    sc.skip_ws();
+    if sc.pos != sc.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", sc.pos));
+    }
+    for key in REQUIRED_KEYS {
+        if !sc.keys.contains(key) {
+            return Err(format!("missing required key \"{key}\""));
+        }
+    }
+    if !text.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")) {
+        return Err(format!("artifact schema_version must be {SCHEMA_VERSION}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchArtifact {
+        BenchArtifact {
+            pr: 7,
+            seed: 1989,
+            target_rows: 1000,
+            rows_loaded: 1042,
+            tables: 130,
+            constraints: 410,
+            phases: vec![
+                PhaseStat::block("generate", 0.5, 1),
+                PhaseStat::with_quantiles("traffic", 1.25, 200, 10_000, 20_000, 40_000),
+            ],
+            per_class: vec![ClassCost {
+                class: "key",
+                checks: 123,
+                violations: 4,
+                nanos: 55_000,
+            }],
+            wal: WalStats {
+                replay_units: 100,
+                replay_ops: 200,
+                replay_ops_per_sec: 12_345.6,
+                bytes: 4096,
+            },
+            recovery_seconds: 0.012,
+            sigex_examples: 3,
+            sigex_classes: vec!["key", "foreign_key"],
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrips_through_validator() {
+        let text = sample().to_json();
+        validate_artifact(&text).expect("writer output validates");
+    }
+
+    #[test]
+    fn validator_rejects_missing_keys_and_bad_json() {
+        let text = sample().to_json();
+        let broken = text.replace("\"recovery\"", "\"recouvery\"");
+        // "recovery" is not in REQUIRED_KEYS but malformed JSON is caught.
+        validate_artifact(&broken).expect("key rename still parses");
+        let no_wal = text.replace("\"wal\"", "\"lawl\"");
+        assert!(validate_artifact(&no_wal).is_err(), "missing wal key");
+        assert!(validate_artifact("{").is_err(), "truncated");
+        assert!(validate_artifact(&format!("{text} x")).is_err(), "trailing");
+        let inf = text.replace("12345.6", "1e999");
+        assert!(validate_artifact(&inf).is_err(), "non-finite number");
+    }
+
+    #[test]
+    fn empty_phase_array_fails_required_keys() {
+        let mut a = sample();
+        a.phases.clear();
+        assert!(validate_artifact(&a.to_json()).is_err());
+    }
+}

@@ -1,0 +1,398 @@
+//! The RIDL-Bench macro driver: one closed-loop run through the whole
+//! pipeline — synthesize → analyze/map → populate → `bulk_load` into a
+//! WAL-backed store → mixed mutation/query traffic → significant-example
+//! stress → checkpoint → more traffic → simulated crash → recovery —
+//! with every phase timed and the result packaged as a [`BenchArtifact`].
+//!
+//! `ridl bench` and the `macro_pipeline` criterion bench both call
+//! [`run_macro`]; the smoke test runs it at tiny scale under
+//! `cargo test`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ridl_engine::{BatchOp, Database, FsyncPolicy, Query, StdIo};
+use ridl_obs::Histogram;
+use ridl_workloads::macrobench::{self, MacroParams, TrafficOp};
+use ridl_workloads::{scenario, sigex};
+
+use crate::artifact::{BenchArtifact, ClassCost, PhaseStat, WalStats};
+use crate::harness::{self, MutationTarget};
+
+/// How many probed mutation targets the traffic plan spreads over.
+const TRAFFIC_TARGETS: usize = 8;
+
+/// Configuration of one macro run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MacroConfig {
+    /// Seed and target row count of the workload.
+    pub params: MacroParams,
+    /// Total traffic operations (split around the checkpoint).
+    pub traffic_ops: usize,
+    /// PR number stamped into the artifact.
+    pub pr: u64,
+    /// Durable store directory; `None` uses a scratch dir under the
+    /// system temp dir, removed when the run finishes.
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for MacroConfig {
+    fn default() -> Self {
+        Self {
+            params: MacroParams::default(),
+            traffic_ops: 2_000,
+            pr: 7,
+            store_dir: None,
+        }
+    }
+}
+
+impl MacroConfig {
+    /// A tiny configuration for smoke tests and CI: same pipeline, a few
+    /// thousand rows, a couple hundred ops.
+    pub fn smoke() -> Self {
+        Self {
+            params: MacroParams {
+                seed: 1989,
+                target_rows: 1_500,
+            },
+            traffic_ops: 120,
+            ..Self::default()
+        }
+    }
+
+    /// Reads overrides from `RIDL_BENCH_SEED`, `RIDL_BENCH_ROWS`,
+    /// `RIDL_BENCH_OPS` and `RIDL_BENCH_PR` on top of the defaults
+    /// (seed 1989, 100k rows, 2000 ops, pr 7).
+    pub fn from_env() -> Self {
+        fn get(var: &str) -> Option<u64> {
+            std::env::var(var).ok().and_then(|v| v.parse().ok())
+        }
+        let mut cfg = Self::default();
+        if let Some(v) = get("RIDL_BENCH_SEED") {
+            cfg.params.seed = v;
+        }
+        if let Some(v) = get("RIDL_BENCH_ROWS") {
+            cfg.params.target_rows = v as usize;
+        }
+        if let Some(v) = get("RIDL_BENCH_OPS") {
+            cfg.traffic_ops = v as usize;
+        }
+        if let Some(v) = get("RIDL_BENCH_PR") {
+            cfg.pr = v;
+        }
+        cfg
+    }
+}
+
+/// What one traffic slice did: per-op latency distribution plus the WAL
+/// units its committed statements appended.
+struct TrafficOutcome {
+    latencies: Histogram,
+    committed_units: u64,
+}
+
+/// Executes one slice of the traffic plan against the engine, recording
+/// per-op wall-clock latency.
+fn run_traffic(
+    db: &mut Database,
+    targets: &[MutationTarget],
+    queries: &[Query],
+    plan: &[TrafficOp],
+) -> Result<TrafficOutcome, String> {
+    let mut latencies = Histogram::new();
+    let mut committed_units = 0u64;
+    for op in plan {
+        let start = Instant::now();
+        match *op {
+            TrafficOp::DeleteReinsert(i) => {
+                harness::commit_pair(db, &targets[i]);
+                committed_units += 2;
+            }
+            TrafficOp::Batch(i) => {
+                let t = &targets[i];
+                let n = db
+                    .apply_batch([
+                        BatchOp::delete(t.table.clone(), t.row.clone()),
+                        BatchOp::insert(t.table.clone(), t.row.clone()),
+                    ])
+                    .map_err(|e| format!("traffic batch failed: {e}"))?;
+                if n != 2 {
+                    return Err(format!("traffic batch changed {n} rows, expected 2"));
+                }
+                committed_units += 1;
+            }
+            TrafficOp::RejectInsert(i) => {
+                let t = &targets[i];
+                if db.insert(&t.table, t.reject_row.clone()).is_ok() {
+                    return Err(format!("duplicate-PK insert into {} was accepted", t.table));
+                }
+            }
+            TrafficOp::PointQuery(i) => {
+                let rows = db
+                    .select(&queries[i])
+                    .map_err(|e| format!("point query failed: {e}"))?;
+                if rows.len() != 1 {
+                    return Err(format!(
+                        "point query matched {} rows, expected 1",
+                        rows.len()
+                    ));
+                }
+            }
+        }
+        latencies.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    Ok(TrafficOutcome {
+        latencies,
+        committed_units,
+    })
+}
+
+/// Exercises every verified significant example against the live engine:
+/// pads go in as one batch (must be accepted), the tipping row must be
+/// rejected with a violation, then the pads come back out. The engine's
+/// incremental path must agree with the full validator the generator
+/// used as its oracle.
+fn run_sigex(db: &mut Database, examples: &[sigex::SignificantExample]) -> Result<(), String> {
+    let schema = db.schema().clone();
+    let name_of = |tid| schema.table(tid).name.clone();
+    for ex in examples {
+        if !ex.pads.is_empty() {
+            let pads: Vec<BatchOp> = ex
+                .pads
+                .iter()
+                .map(|(tid, row)| BatchOp::insert(name_of(*tid), row.clone()))
+                .collect();
+            db.apply_batch(pads)
+                .map_err(|e| format!("sigex pads for {} rejected: {e}", ex.constraint))?;
+        }
+        let (tid, row) = &ex.tip;
+        if db.insert(&name_of(*tid), row.clone()).is_ok() {
+            return Err(format!(
+                "sigex tip for {} ({}) was accepted by the engine",
+                ex.constraint,
+                ex.class.name()
+            ));
+        }
+        if !ex.pads.is_empty() {
+            let pads: Vec<BatchOp> = ex
+                .pads
+                .iter()
+                .map(|(tid, row)| BatchOp::delete(name_of(*tid), row.clone()))
+                .collect();
+            db.apply_batch(pads)
+                .map_err(|e| format!("sigex pad removal for {} failed: {e}", ex.constraint))?;
+        }
+    }
+    Ok(())
+}
+
+fn quantile_phase(name: &str, seconds: f64, h: &Histogram) -> PhaseStat {
+    PhaseStat::with_quantiles(name, seconds, h.count(), h.p50(), h.p90(), h.p99())
+}
+
+/// Runs the full macro pipeline once and returns the artifact.
+///
+/// Fails (with a description, never a panic) when the engine disagrees
+/// with the workload's expectations — a rejected batch, an accepted
+/// tipping row, a recovery replaying the wrong unit count — so the bench
+/// doubles as an end-to-end correctness check.
+pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
+    let p = cfg.params;
+    let mut phases = Vec::new();
+
+    // Phase 1 — synthesize the industrial-band BRM schema.
+    let t = Instant::now();
+    let synth = macrobench::synthesize(&p);
+    phases.push(PhaseStat::block("generate", t.elapsed().as_secs_f64(), 1));
+
+    // Phase 2 — RIDL-A analysis + RIDL-M mapping.
+    let t = Instant::now();
+    let out = macrobench::analyze_and_map(&synth);
+    let tables = out.table_count() as u64;
+    let constraints = out.rel.constraints.len() as u64;
+    phases.push(PhaseStat::block("map", t.elapsed().as_secs_f64(), tables));
+
+    // Phase 3 — calibrated population generation.
+    let t = Instant::now();
+    let state = macrobench::populate(&synth, &out, &p);
+    let pop_rows = state.num_rows() as u64;
+    phases.push(PhaseStat::block(
+        "populate",
+        t.elapsed().as_secs_f64(),
+        pop_rows,
+    ));
+
+    // Phase 4 — bulk_load into a WAL-backed store (group commit, no
+    // auto-checkpoint: the run takes its own).
+    let (dir, scratch) = match &cfg.store_dir {
+        Some(d) => (d.clone(), false),
+        None => (harness::bench_dir("macro"), true),
+    };
+    let schema = out.rel.clone();
+    let rows = scenario::rows_of(&schema, &state);
+    let mut db = Database::open_with(
+        Arc::new(StdIo),
+        &dir,
+        schema.clone(),
+        harness::durability(FsyncPolicy::GroupCommit { window_micros: 500 }),
+    )
+    .map_err(|e| format!("open durable store: {e}"))?;
+    let t = Instant::now();
+    let rows_loaded = db
+        .bulk_load(rows)
+        .map_err(|e| format!("bulk_load rejected the calibrated population: {e}"))?
+        as u64;
+    phases.push(PhaseStat::block(
+        "bulk_load",
+        t.elapsed().as_secs_f64(),
+        rows_loaded,
+    ));
+
+    // Traffic setup: probe mutation targets, build their point queries,
+    // and split the deterministic plan around the checkpoint.
+    let targets = harness::pick_mutation_targets(&mut db, TRAFFIC_TARGETS);
+    if targets.is_empty() {
+        return Err("no probe-able mutation target in the mapped schema".to_owned());
+    }
+    let queries: Vec<Query> = targets
+        .iter()
+        .map(|t| {
+            let mut q = Query::from(t.table.as_str());
+            q.filter = t.preds.clone();
+            q
+        })
+        .collect();
+    let plan = macrobench::plan_traffic(p.seed, cfg.traffic_ops, targets.len());
+    let (plan_pre, plan_post) = plan.split_at(plan.len() / 2);
+
+    // Detail on: per-constraint-class check counts and nanoseconds for
+    // the interactive phases (traffic, sigex, checkpoint).
+    let detail_was = ridl_obs::detail_enabled();
+    ridl_obs::set_detail(true);
+    let obs_before = ridl_obs::snapshot();
+
+    // Phase 5 — pre-checkpoint mixed traffic.
+    let t = Instant::now();
+    let pre = run_traffic(&mut db, &targets, &queries, plan_pre)?;
+    phases.push(quantile_phase(
+        "traffic",
+        t.elapsed().as_secs_f64(),
+        &pre.latencies,
+    ));
+
+    // Phase 6 — significant examples against the live engine.
+    let t = Instant::now();
+    let examples = sigex::significant_examples(&schema, db.state());
+    run_sigex(&mut db, &examples)?;
+    phases.push(PhaseStat::block(
+        "sigex",
+        t.elapsed().as_secs_f64(),
+        examples.len() as u64,
+    ));
+    let sigex_classes: Vec<&'static str> = examples.iter().map(|ex| ex.class.name()).collect();
+
+    // Phase 7 — checkpoint: snapshot the state, truncate the WAL.
+    let t = Instant::now();
+    db.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
+    phases.push(PhaseStat::block("checkpoint", t.elapsed().as_secs_f64(), 1));
+
+    // Phase 8 — post-checkpoint traffic: everything it commits lives
+    // only in the WAL, so recovery below must replay exactly these units.
+    let t = Instant::now();
+    let post = run_traffic(&mut db, &targets, &queries, plan_post)?;
+    phases.push(quantile_phase(
+        "traffic_post_checkpoint",
+        t.elapsed().as_secs_f64(),
+        &post.latencies,
+    ));
+
+    let per_class: Vec<ClassCost> = {
+        let diff = ridl_obs::snapshot().since(&obs_before);
+        ridl_obs::ConstraintClass::ALL
+            .iter()
+            .map(|&class| (class, diff.kind(class)))
+            .filter(|(_, k)| k.checks > 0)
+            .map(|(class, k)| ClassCost {
+                class: class.name(),
+                checks: k.checks,
+                violations: k.violations,
+                nanos: k.nanos,
+            })
+            .collect()
+    };
+    ridl_obs::set_detail(detail_was);
+
+    // Phase 9 — simulated crash + recovery. flush_wal stands in for the
+    // group-commit window; dropping the handle without a checkpoint
+    // leaves the WAL as the only record of the post-checkpoint traffic.
+    db.flush_wal().map_err(|e| format!("flush_wal: {e}"))?;
+    let wal_bytes = db.wal_bytes().unwrap_or(0);
+    drop(db);
+    let db = Database::open_with(
+        Arc::new(StdIo),
+        &dir,
+        schema.clone(),
+        harness::durability(FsyncPolicy::GroupCommit { window_micros: 500 }),
+    )
+    .map_err(|e| format!("recovery reopen: {e}"))?;
+    let rep = db
+        .recovery_report()
+        .ok_or("durable reopen produced no recovery report")?
+        .clone();
+    if rep.units_replayed as u64 != post.committed_units {
+        return Err(format!(
+            "recovery replayed {} units, expected the {} committed after the checkpoint",
+            rep.units_replayed, post.committed_units
+        ));
+    }
+    let recovery_seconds = rep.elapsed_ns as f64 / 1e9;
+    phases.push(PhaseStat::block(
+        "recover",
+        recovery_seconds,
+        rep.ops_replayed as u64,
+    ));
+    let replay_ops_per_sec = if recovery_seconds > 0.0 {
+        rep.ops_replayed as f64 / recovery_seconds
+    } else {
+        0.0
+    };
+
+    // The recovered state must still satisfy every generated constraint.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let violations = ridl_relational::validate_with_workers(db.schema(), db.state(), workers);
+    if !violations.is_empty() {
+        return Err(format!(
+            "recovered state violates {} constraints (first: {})",
+            violations.len(),
+            violations[0]
+        ));
+    }
+    drop(db);
+    if scratch {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    Ok(BenchArtifact {
+        pr: cfg.pr,
+        seed: p.seed,
+        target_rows: p.target_rows as u64,
+        rows_loaded,
+        tables,
+        constraints,
+        phases,
+        per_class,
+        wal: WalStats {
+            replay_units: rep.units_replayed as u64,
+            replay_ops: rep.ops_replayed as u64,
+            replay_ops_per_sec,
+            bytes: wal_bytes,
+        },
+        recovery_seconds,
+        sigex_examples: examples.len() as u64,
+        sigex_classes,
+    })
+}

@@ -108,6 +108,11 @@ pub struct RecoveryReport {
     pub replay_rejected: bool,
     /// True when the store directory was empty (first open).
     pub fresh: bool,
+    /// Wall-clock nanoseconds the whole recovery took (store scan,
+    /// checkpoint load, WAL replay, log repair). Always measured — unlike
+    /// the detail-gated obs timings — so crash-recovery time can feed
+    /// benchmark artifacts without enabling per-probe instrumentation.
+    pub elapsed_ns: u64,
 }
 
 impl std::fmt::Display for RecoveryReport {
@@ -134,6 +139,13 @@ impl std::fmt::Display for RecoveryReport {
             writeln!(
                 f,
                 "wal: replay stopped early (a committed unit no longer validates)"
+            )?;
+        }
+        if self.elapsed_ns > 0 {
+            writeln!(
+                f,
+                "recovery took {:.3} ms",
+                self.elapsed_ns as f64 / 1_000_000.0
             )?;
         }
         Ok(())

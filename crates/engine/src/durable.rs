@@ -89,6 +89,9 @@ impl Database {
     ) -> Result<Self, EngineError> {
         let dir = dir.as_ref().to_path_buf();
         let mut span = ridl_obs::span::enter("engine.recover");
+        // Always-on wall clock (the obs Stopwatch is detail-gated): the
+        // recovery report carries the elapsed time unconditionally.
+        let wall = Instant::now();
         let sw = ridl_obs::Stopwatch::start();
         let mut db = Database::create(schema)?;
         let fingerprint = schema_fingerprint(&db.schema);
@@ -216,6 +219,7 @@ impl Database {
             span.attr("fresh", report.fresh);
         }
         ridl_obs::hist::record_named("engine.recover", sw.elapsed_ns());
+        report.elapsed_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
         db.wal = Some(handle);
         db.recovery = Some(report);

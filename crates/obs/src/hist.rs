@@ -162,6 +162,39 @@ impl Histogram {
     }
 }
 
+/// A point-in-time quantile summary of one histogram — the exportable
+/// face of [`Histogram`], consumed by benchmark artifacts and renderers
+/// that need the quantiles without holding the bucket array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample (zero when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// The quantile summary of this histogram.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+        }
+    }
+}
+
 // ---- the named registry spans record into ----
 
 static REGISTRY: Mutex<BTreeMap<&'static str, Histogram>> = Mutex::new(BTreeMap::new());
@@ -182,6 +215,17 @@ pub fn histograms_snapshot() -> Vec<(&'static str, Histogram)> {
         .iter()
         .map(|(k, v)| (*k, v.clone()))
         .collect()
+}
+
+/// The quantile summary of one named histogram, or `None` when nothing
+/// was recorded under `name`.
+pub fn summary_named(name: &str) -> Option<HistSummary> {
+    REGISTRY
+        .lock()
+        .expect("histogram registry poisoned")
+        .iter()
+        .find(|(k, _)| **k == name)
+        .map(|(_, h)| h.summary())
 }
 
 /// Clears the named-histogram registry (tests and fresh CLI runs).

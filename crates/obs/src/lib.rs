@@ -48,7 +48,7 @@ pub use export::{
     append_summary_snapshot, chrome_trace, emit_snapshot, init_tracing_from_env, snapshot_jsonl,
     validate_chrome_trace, write_chrome_trace, write_chrome_trace_env, ChromeTraceStats,
 };
-pub use hist::{histograms_snapshot, render_histograms, Histogram};
+pub use hist::{histograms_snapshot, render_histograms, summary_named, HistSummary, Histogram};
 pub use sink::{
     attach_sink, detach_sink, emit, init_from_env, sink_attached, JsonlSink, MemorySink,
     MetricsSink,

@@ -222,6 +222,28 @@ impl RelConstraintKind {
         )
     }
 
+    /// The observability class this constraint kind reports under — the
+    /// taxonomy per-statement enforcement reports, the macro-benchmark's
+    /// per-class cost accounts, and the significant-example generator all
+    /// share.
+    pub fn class(&self) -> ridl_obs::ConstraintClass {
+        use ridl_obs::ConstraintClass as C;
+        match self {
+            RelConstraintKind::PrimaryKey { .. } | RelConstraintKind::CandidateKey { .. } => C::Key,
+            RelConstraintKind::ForeignKey { .. } => C::ForeignKey,
+            RelConstraintKind::Frequency { .. } => C::Frequency,
+            RelConstraintKind::EqualityView { .. } => C::EqualityView,
+            RelConstraintKind::SubsetView { .. } => C::SubsetView,
+            RelConstraintKind::ExclusionView { .. } => C::ExclusionView,
+            RelConstraintKind::TotalUnionView { .. } => C::TotalUnionView,
+            RelConstraintKind::ConditionalEquality { .. } => C::ConditionalEquality,
+            RelConstraintKind::DependentExistence { .. }
+            | RelConstraintKind::EqualExistence { .. }
+            | RelConstraintKind::CheckValue { .. }
+            | RelConstraintKind::CoverExistence { .. } => C::RowLocal,
+        }
+    }
+
     /// Every table the constraint touches.
     pub fn tables(&self) -> Vec<TableId> {
         match self {

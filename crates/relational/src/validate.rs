@@ -195,21 +195,7 @@ fn check_key(
 
 /// The observability class a schema-level constraint kind reports under.
 pub(crate) fn kind_class(kind: &RelConstraintKind) -> ridl_obs::ConstraintClass {
-    use ridl_obs::ConstraintClass as C;
-    match kind {
-        RelConstraintKind::PrimaryKey { .. } | RelConstraintKind::CandidateKey { .. } => C::Key,
-        RelConstraintKind::ForeignKey { .. } => C::ForeignKey,
-        RelConstraintKind::Frequency { .. } => C::Frequency,
-        RelConstraintKind::EqualityView { .. } => C::EqualityView,
-        RelConstraintKind::SubsetView { .. } => C::SubsetView,
-        RelConstraintKind::ExclusionView { .. } => C::ExclusionView,
-        RelConstraintKind::TotalUnionView { .. } => C::TotalUnionView,
-        RelConstraintKind::ConditionalEquality { .. } => C::ConditionalEquality,
-        RelConstraintKind::DependentExistence { .. }
-        | RelConstraintKind::EqualExistence { .. }
-        | RelConstraintKind::CheckValue { .. }
-        | RelConstraintKind::CoverExistence { .. } => C::RowLocal,
-    }
+    kind.class()
 }
 
 pub(crate) fn check_constraint(

@@ -13,15 +13,23 @@
 //!   any schema, powering the losslessness property tests;
 //! * [`scenario`] — ready-made experiment scenarios (the industrial mapped
 //!   schema with a calibrated large population) shared by the benches and
-//!   the differential test suites.
+//!   the differential test suites;
+//! * [`macrobench`] — the RIDL-Bench end-to-end macro workload: staged
+//!   pipeline builders plus a deterministic mixed-traffic plan, driven by
+//!   `ridl bench` and the `macro_pipeline` criterion bench;
+//! * [`sigex`] — Proper-style significant examples: verified
+//!   near-violation populations that stress each constraint class at its
+//!   boundary.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cris;
 pub mod fig6;
+pub mod macrobench;
 pub mod popgen;
 pub mod scenario;
+pub mod sigex;
 pub mod synth;
 
 pub use synth::{GenParams, SynthSchema};

@@ -48,7 +48,7 @@ impl Default for PopParams {
 /// keep producing distinct values (truncating decimal `v{counter}` to a
 /// `Char(4)` identifier domain started colliding past v999, which made
 /// large generated populations silently violate their own keys).
-fn encode62(mut counter: u64, width: usize) -> String {
+pub(crate) fn encode62(mut counter: u64, width: usize) -> String {
     const ALPHABET: &[u8] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
     let mut out = vec![b'0'; width];
     for slot in out.iter_mut().rev() {

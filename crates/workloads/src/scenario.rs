@@ -23,6 +23,48 @@ pub struct MappedPopulation {
     pub state: RelState,
 }
 
+/// Rows-per-instance calibration: probes the mapped schema with two
+/// instances per entity and returns the instance count whose mapped state
+/// lands at roughly `target_rows` rows. Deterministic in its inputs —
+/// shared by [`industrial_population`] and the `macrobench` pipeline.
+pub fn calibrate_instances(
+    s: &synth::SynthSchema,
+    out: &ridl_core::MappingOutput,
+    target_rows: usize,
+) -> usize {
+    let probe = popgen::generate(
+        &s.schema,
+        &PopParams {
+            instances_per_entity: 2,
+            ..PopParams::default()
+        },
+    );
+    let probe_rows = map_population(&out.schema, out, &probe)
+        .expect("probe state maps")
+        .num_rows()
+        .max(1);
+    let per_instance = probe_rows as f64 / 2.0;
+    ((target_rows as f64 / per_instance).ceil() as usize).max(1)
+}
+
+/// Generates a population at `instances` instances per entity and maps it
+/// through the schema's forwards state map. Deterministic: equal inputs
+/// give byte-equal states.
+pub fn populate_instances(
+    s: &synth::SynthSchema,
+    out: &ridl_core::MappingOutput,
+    instances: usize,
+) -> RelState {
+    let pop = popgen::generate(
+        &s.schema,
+        &PopParams {
+            instances_per_entity: instances,
+            ..PopParams::default()
+        },
+    );
+    map_population(&out.schema, out, &pop).expect("state maps")
+}
+
 /// Builds the industrial mapped schema (120–150 tables band) with a state
 /// of roughly `target_rows` rows. Deterministic in `seed`: equal inputs
 /// give byte-equal schemas and states.
@@ -32,28 +74,8 @@ pub fn industrial_population(seed: u64, target_rows: usize) -> MappedPopulation 
     let out = wb
         .map(&MappingOptions::new())
         .expect("industrial schema maps");
-    // Probe with two instances per entity to learn rows-per-instance.
-    let probe = popgen::generate(
-        &s.schema,
-        &PopParams {
-            instances_per_entity: 2,
-            ..PopParams::default()
-        },
-    );
-    let probe_rows = map_population(&out.schema, &out, &probe)
-        .expect("probe state maps")
-        .num_rows()
-        .max(1);
-    let per_instance = probe_rows as f64 / 2.0;
-    let instances = ((target_rows as f64 / per_instance).ceil() as usize).max(1);
-    let pop = popgen::generate(
-        &s.schema,
-        &PopParams {
-            instances_per_entity: instances,
-            ..PopParams::default()
-        },
-    );
-    let state = map_population(&out.schema, &out, &pop).expect("state maps");
+    let instances = calibrate_instances(&s, &out, target_rows);
+    let state = populate_instances(&s, &out, instances);
     MappedPopulation {
         schema: out.rel,
         state,

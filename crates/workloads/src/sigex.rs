@@ -1,0 +1,396 @@
+//! Significant-example generator: adversarial near-violation populations
+//! per constraint class, after Proper's *Generating Significant Examples
+//! for Conceptual Schema Validation* (see PAPERS.md).
+//!
+//! A *significant example* stresses one constraint at its boundary
+//! instead of the happy path: the base population (plus optional `pads`)
+//! satisfies every generated constraint while standing exactly one row
+//! from a violation, and a single *tipping* insert crosses the edge —
+//! a uniqueness collision one row away, an FK orphan, a NULL in a
+//! mandatory column, an occurrence-frequency group filled to its maximum.
+//!
+//! Construction is propose-and-verify: each proposer derives candidate
+//! rows from the live population by shape-preserving value mutation, and
+//! [`verify_example`] replays the candidate against the full relational
+//! validator — the padded state must be clean, and the tipped state must
+//! report a violation of the expected [`ConstraintClass`]. Candidates
+//! that fail verification are discarded, so every returned example is
+//! *proved* significant, never merely plausible.
+
+use std::collections::BTreeSet;
+
+use ridl_brm::{Decimal, EntityId, Value};
+use ridl_obs::ConstraintClass;
+use ridl_relational::{
+    validate, RelConstraintKind, RelSchema, RelState, RelViolation, Row, TableId,
+};
+
+use crate::popgen::encode62;
+
+/// A verified near-violation population for one constraint.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SignificantExample {
+    /// The constraint class the tipping row violates.
+    pub class: ConstraintClass,
+    /// The generated constraint name expected in the violation report
+    /// (a structural pseudo-name like `NOT NULL` for [`ConstraintClass::Structure`]).
+    pub constraint: String,
+    /// Rows added to the base state to reach the boundary; the padded
+    /// state still validates clean.
+    pub pads: Vec<(TableId, Row)>,
+    /// The one row whose insertion violates `class`.
+    pub tip: (TableId, Row),
+}
+
+/// The class a reported violation belongs to: structural pseudo-names
+/// (`NOT NULL`, `ARITY`, `DOMAIN`) map to [`ConstraintClass::Structure`],
+/// everything else resolves through the named constraint's kind.
+pub fn violation_class(schema: &RelSchema, v: &RelViolation) -> ConstraintClass {
+    schema
+        .constraints
+        .iter()
+        .find(|c| c.name == v.constraint)
+        .map(|c| c.kind.class())
+        .unwrap_or(ConstraintClass::Structure)
+}
+
+/// Checks an example against the full validator: pads must be insertable
+/// and leave the state clean, and the tip must produce a violation of the
+/// example's class. The generator only returns examples that pass; tests
+/// and the macro-bench driver re-run it as an oracle.
+pub fn verify_example(schema: &RelSchema, base: &RelState, ex: &SignificantExample) -> bool {
+    let mut s = base.clone();
+    for (t, r) in &ex.pads {
+        if s.rows(*t).contains(r) || !s.insert(*t, r.clone()) {
+            return false;
+        }
+    }
+    if !validate(schema, &s).is_empty() {
+        return false;
+    }
+    let (tt, tr) = &ex.tip;
+    if s.rows(*tt).contains(tr) || !s.insert(*tt, tr.clone()) {
+        return false;
+    }
+    validate(schema, &s)
+        .iter()
+        .any(|v| violation_class(schema, v) == ex.class)
+}
+
+/// Shape-preserving value mutation: produces a value of the same datatype
+/// shape (string length, digit count for small salts) so mutated rows do
+/// not trip DOMAIN checks while colliding with or escaping the original.
+fn mutate_value(v: &Value, salt: u64) -> Value {
+    match v {
+        Value::Str(s) => {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in s.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1_0000_01b3);
+            }
+            h = h.wrapping_add(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            Value::Str(encode62(h, s.len().max(1)))
+        }
+        Value::Int(i) => {
+            // Alternate adding and subtracting small offsets to stay
+            // within the column's digit budget where possible.
+            let off = (salt / 2 + 1) as i64;
+            Value::Int(if salt.is_multiple_of(2) {
+                i.wrapping_add(off)
+            } else {
+                i.wrapping_sub(off)
+            })
+        }
+        Value::Num(d) => Value::Num(Decimal::new(
+            d.mantissa.wrapping_add(salt as i64 % 9 + 1),
+            d.scale,
+        )),
+        Value::Date(d) => Value::Date(d.wrapping_add(salt as i32 + 1)),
+        Value::Bool(b) => Value::Bool(!b),
+        Value::Entity(e) => Value::Entity(EntityId(e.0 ^ (0x8000_0000_0000_0000 | salt))),
+    }
+}
+
+/// Non-null projections of `cols` over a table's rows.
+fn projection(state: &RelState, table: TableId, cols: &[u32]) -> BTreeSet<Vec<Value>> {
+    state
+        .rows(table)
+        .iter()
+        .filter_map(|r| {
+            cols.iter()
+                .map(|c| r[*c as usize].clone())
+                .collect::<Option<Vec<_>>>()
+        })
+        .collect()
+}
+
+/// Rewrites `cols` of `row` to a mutated combination absent from `taken`,
+/// marking the new combination as taken. Returns false when no fresh
+/// combination was found within the salt budget or a column was NULL.
+fn freshen(row: &mut Row, cols: &[u32], taken: &mut BTreeSet<Vec<Value>>, base_salt: u64) -> bool {
+    for salt in base_salt..base_salt + 64 {
+        let cand: Option<Vec<Value>> = cols
+            .iter()
+            .map(|c| row[*c as usize].as_ref().map(|v| mutate_value(v, salt)))
+            .collect();
+        let Some(cand) = cand else {
+            return false;
+        };
+        if taken.insert(cand.clone()) {
+            for (c, v) in cols.iter().zip(cand) {
+                row[*c as usize] = Some(v);
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Uniqueness collision one row away: a distinct row sharing an existing
+/// row's full key, differing only in a non-key column.
+fn key_candidates(schema: &RelSchema, state: &RelState) -> Vec<SignificantExample> {
+    let mut out = Vec::new();
+    for c in &schema.constraints {
+        let (table, cols) = match &c.kind {
+            RelConstraintKind::PrimaryKey { table, cols }
+            | RelConstraintKind::CandidateKey { table, cols } => (*table, cols),
+            _ => continue,
+        };
+        let t = schema.table(table);
+        let Some(non_key) = (0..t.arity() as u32).find(|c2| !cols.contains(c2)) else {
+            continue;
+        };
+        for row in state.rows(table).iter().take(8) {
+            if cols.iter().any(|c2| row[*c2 as usize].is_none()) {
+                continue;
+            }
+            let Some(orig) = row[non_key as usize].as_ref() else {
+                continue;
+            };
+            for salt in 0..8 {
+                let mut tip = row.clone();
+                tip[non_key as usize] = Some(mutate_value(orig, salt));
+                if !state.rows(table).contains(&tip) {
+                    out.push(SignificantExample {
+                        class: ConstraintClass::Key,
+                        constraint: c.name.clone(),
+                        pads: Vec::new(),
+                        tip: (table, tip),
+                    });
+                    break;
+                }
+            }
+        }
+        if out.len() >= 8 {
+            break;
+        }
+    }
+    out
+}
+
+/// FK orphan: a fresh row whose foreign-key columns reference a
+/// combination absent from the referenced table.
+fn foreign_key_candidates(schema: &RelSchema, state: &RelState) -> Vec<SignificantExample> {
+    let mut out = Vec::new();
+    for c in &schema.constraints {
+        let RelConstraintKind::ForeignKey {
+            table,
+            cols,
+            ref_table,
+            ref_cols,
+        } = &c.kind
+        else {
+            continue;
+        };
+        let mut ref_proj = projection(state, *ref_table, ref_cols);
+        let pk: Vec<u32> = schema
+            .primary_key_of(*table)
+            .map(|k| k.to_vec())
+            .unwrap_or_default();
+        let mut key_proj = projection(state, *table, &pk);
+        for row in state.rows(*table).iter().take(8) {
+            if cols.iter().any(|c2| row[*c2 as usize].is_none()) {
+                continue;
+            }
+            let mut tip = row.clone();
+            // Orphan the reference: move the FK columns to a combination
+            // the referenced table does not contain (recording it as
+            // taken so it stays an orphan against later candidates).
+            if !freshen(&mut tip, cols, &mut ref_proj, 0) {
+                continue;
+            }
+            // Keep the new row's own key fresh so only the FK trips.
+            let extra: Vec<u32> = pk.iter().copied().filter(|p| !cols.contains(p)).collect();
+            if !extra.is_empty() && !freshen(&mut tip, &extra, &mut key_proj, 16) {
+                continue;
+            }
+            if state.rows(*table).contains(&tip) {
+                continue;
+            }
+            out.push(SignificantExample {
+                class: ConstraintClass::ForeignKey,
+                constraint: c.name.clone(),
+                pads: Vec::new(),
+                tip: (*table, tip),
+            });
+            if out.len() >= 8 {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Mandatory-column violation: a fresh row (key freshened) with NULL in a
+/// NOT NULL non-key column.
+fn structure_candidates(schema: &RelSchema, state: &RelState) -> Vec<SignificantExample> {
+    let mut out = Vec::new();
+    for (tid, t) in schema.tables() {
+        let Some(pk) = schema.primary_key_of(tid) else {
+            continue;
+        };
+        let pk = pk.to_vec();
+        let Some(nn) = (0..t.arity() as u32).find(|c2| !t.column(*c2).nullable && !pk.contains(c2))
+        else {
+            continue;
+        };
+        let mut key_proj = projection(state, tid, &pk);
+        for row in state.rows(tid).iter().take(8) {
+            if row[nn as usize].is_none() || pk.iter().any(|c2| row[*c2 as usize].is_none()) {
+                continue;
+            }
+            let mut tip = row.clone();
+            if !freshen(&mut tip, &pk, &mut key_proj, 0) {
+                continue;
+            }
+            tip[nn as usize] = None;
+            if state.rows(tid).contains(&tip) {
+                continue;
+            }
+            out.push(SignificantExample {
+                class: ConstraintClass::Structure,
+                constraint: "NOT NULL".into(),
+                pads: Vec::new(),
+                tip: (tid, tip),
+            });
+            if out.len() >= 8 {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Boundary cardinality: pad one occurrence-frequency group to exactly
+/// its maximum (the padded state is clean, sitting on the edge), then tip
+/// with one more member.
+fn frequency_candidates(schema: &RelSchema, state: &RelState) -> Vec<SignificantExample> {
+    let mut out = Vec::new();
+    for c in &schema.constraints {
+        let RelConstraintKind::Frequency {
+            table,
+            cols,
+            max: Some(max),
+            ..
+        } = &c.kind
+        else {
+            continue;
+        };
+        let Some(pk) = schema.primary_key_of(*table) else {
+            continue;
+        };
+        let pk: Vec<u32> = pk.to_vec();
+        // A clone must change its key without leaving the group.
+        let extra: Vec<u32> = pk.iter().copied().filter(|p| !cols.contains(p)).collect();
+        if extra.is_empty() {
+            continue;
+        }
+        // Group sizes of the current population.
+        let mut groups: std::collections::BTreeMap<Vec<Value>, (Row, usize)> =
+            std::collections::BTreeMap::new();
+        for row in state.rows(*table) {
+            if let Some(combo) = cols
+                .iter()
+                .map(|c2| row[*c2 as usize].clone())
+                .collect::<Option<Vec<_>>>()
+            {
+                let e = groups.entry(combo).or_insert_with(|| (row.clone(), 0));
+                e.1 += 1;
+            }
+        }
+        let mut key_proj = projection(state, *table, &pk);
+        for (_, (base, count)) in groups.into_iter().take(8) {
+            if count > *max as usize {
+                continue;
+            }
+            let mut pads = Vec::new();
+            let mut ok = true;
+            for i in 0..(*max as usize - count + 1) {
+                let mut clone = base.clone();
+                if !freshen(&mut clone, &extra, &mut key_proj, (i as u64) * 64) {
+                    ok = false;
+                    break;
+                }
+                pads.push((*table, clone));
+            }
+            if !ok {
+                continue;
+            }
+            // The last clone is the tipping row: pads bring the group to
+            // exactly `max`, the tip makes it `max + 1`.
+            let tip = pads.pop().expect("max >= count implies at least one");
+            out.push(SignificantExample {
+                class: ConstraintClass::Frequency,
+                constraint: c.name.clone(),
+                pads,
+                tip,
+            });
+            if out.len() >= 8 {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Generates one verified significant example per representable
+/// constraint class of the schema. Classes with no generator (views,
+/// conditional equality) or no verifiable candidate in this population
+/// are skipped — every returned example passes [`verify_example`].
+pub fn significant_examples(schema: &RelSchema, state: &RelState) -> Vec<SignificantExample> {
+    let proposers: [fn(&RelSchema, &RelState) -> Vec<SignificantExample>; 4] = [
+        key_candidates,
+        foreign_key_candidates,
+        structure_candidates,
+        frequency_candidates,
+    ];
+    proposers
+        .iter()
+        .filter_map(|p| {
+            p(schema, state)
+                .into_iter()
+                .find(|ex| verify_example(schema, state, ex))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn industrial_population_yields_verified_examples() {
+        let sc = scenario::industrial_population(7, 400);
+        let examples = significant_examples(&sc.schema, &sc.state);
+        let classes: Vec<ConstraintClass> = examples.iter().map(|e| e.class).collect();
+        assert!(classes.contains(&ConstraintClass::Key), "key example");
+        assert!(classes.contains(&ConstraintClass::ForeignKey), "fk example");
+        assert!(
+            classes.contains(&ConstraintClass::Structure),
+            "structure example"
+        );
+        for ex in &examples {
+            assert!(verify_example(&sc.schema, &sc.state, ex));
+        }
+    }
+}

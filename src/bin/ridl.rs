@@ -17,6 +17,10 @@
 //! ridl recover <schema.ridl> <store-dir> [options]
 //!                                                recover a durable store: checkpoint
 //!                                                + WAL replay, print the report
+//! ridl bench   [--rows N] [--ops N] [--seed N] [--pr N] [--out FILE] [--dir DIR]
+//!                                                run the RIDL-Bench macro pipeline,
+//!                                                write the BENCH_<pr>.json artifact
+//! ridl benchcheck <BENCH_x.json>                 validate a bench artifact
 //!
 //! options:
 //!   --nulls default|not-allowed|not-in-keys|allowed
@@ -204,7 +208,7 @@ fn drive_engine(wb: &Workbench, out: &ridl_core::MappingOutput) {
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or_else(|| {
-        usage("usage: ridl <check|map|report|trace|profile|fmt|query|recover> <schema.ridl> [options]")
+        usage("usage: ridl <check|map|report|trace|profile|fmt|query|recover|bench> <schema.ridl> [options]")
     })?;
     match cmd.as_str() {
         "check" => {
@@ -447,6 +451,85 @@ fn run() -> Result<(), CliError> {
                 out.rel.tables.len(),
                 db.wal_bytes().unwrap_or(0)
             );
+            Ok(())
+        }
+        "bench" => {
+            let mut cfg = ridl_bench::pipeline::MacroConfig::from_env();
+            let mut out_path: Option<String> = None;
+            let mut it = rest.iter();
+            let next_val = |flag: &str, it: &mut std::slice::Iter<String>| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| usage(&format!("{flag} needs a value")))
+            };
+            let parse_num = |flag: &str, v: String| {
+                v.parse::<u64>()
+                    .map_err(|_| usage(&format!("{flag} needs a number, got {v}")))
+            };
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--rows" => {
+                        cfg.params.target_rows = parse_num(a, next_val(a, &mut it)?)? as usize;
+                    }
+                    "--ops" => cfg.traffic_ops = parse_num(a, next_val(a, &mut it)?)? as usize,
+                    "--seed" => cfg.params.seed = parse_num(a, next_val(a, &mut it)?)?,
+                    "--pr" => cfg.pr = parse_num(a, next_val(a, &mut it)?)?,
+                    "--out" => out_path = Some(next_val(a, &mut it)?),
+                    "--dir" => {
+                        cfg.store_dir = Some(std::path::PathBuf::from(next_val(a, &mut it)?));
+                    }
+                    other => return Err(usage(&format!("unknown bench option {other}"))),
+                }
+            }
+            let out_path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", cfg.pr));
+            eprintln!(
+                "-- RIDL-Bench: seed {}, target {} rows, {} traffic ops",
+                cfg.params.seed, cfg.params.target_rows, cfg.traffic_ops
+            );
+            let art = ridl_bench::pipeline::run_macro(&cfg)
+                .map_err(|e| CliError::Corrupt(format!("macro benchmark failed: {e}")))?;
+            println!("-- E-MACRO: full pipeline at {} rows", art.rows_loaded);
+            println!(
+                "   {:<24} {:>10} {:>10} {:>12} {:>10}",
+                "phase", "sec", "units", "units/s", "p99(us)"
+            );
+            for p in &art.phases {
+                println!(
+                    "   {:<24} {:>10.4} {:>10} {:>12.0} {:>10.1}",
+                    p.name,
+                    p.seconds,
+                    p.units,
+                    p.per_second,
+                    p.p99_ns as f64 / 1e3
+                );
+            }
+            println!(
+                "   recovery: {} units / {} ops replayed in {:.2} ms ({:.0} ops/s, {} WAL bytes)",
+                art.wal.replay_units,
+                art.wal.replay_ops,
+                art.recovery_seconds * 1e3,
+                art.wal.replay_ops_per_sec,
+                art.wal.bytes
+            );
+            println!(
+                "   sigex: {} verified significant examples ({})",
+                art.sigex_examples,
+                art.sigex_classes.join(", ")
+            );
+            art.write(std::path::Path::new(&out_path))
+                .map_err(|e| CliError::Input(format!("writing {out_path}: {e}")))?;
+            println!("-- wrote {out_path}");
+            Ok(())
+        }
+        "benchcheck" => {
+            let (path, _) = rest
+                .split_first()
+                .ok_or_else(|| usage("usage: ridl benchcheck <BENCH_x.json>"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Input(format!("reading {path}: {e}")))?;
+            ridl_bench::artifact::validate_artifact(&text)
+                .map_err(|e| CliError::Corrupt(format!("{path}: invalid bench artifact: {e}")))?;
+            println!("-- {path}: well-formed bench artifact");
             Ok(())
         }
         other => Err(usage(&format!("unknown command {other}"))),

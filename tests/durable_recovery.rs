@@ -299,7 +299,10 @@ fn wal_failure_preserves_the_deferred_check_flags() {
     // The checkpoint re-runs full validation and refuses the state; the
     // invalid snapshot never reaches disk.
     let err = db.checkpoint();
-    assert!(matches!(err, Err(EngineError::ConstraintViolation(_))), "{err:?}");
+    assert!(
+        matches!(err, Err(EngineError::ConstraintViolation(_))),
+        "{err:?}"
+    );
     assert!(
         io.peek(&store_path(&dir(), SNAP_FILE)).is_none(),
         "no snapshot of the invalid state was written"
@@ -329,7 +332,10 @@ fn commit_wal_failure_preserves_the_deferred_check_flags() {
         "post-revert state is FK-invalid again"
     );
     let err = db.checkpoint();
-    assert!(matches!(err, Err(EngineError::ConstraintViolation(_))), "{err:?}");
+    assert!(
+        matches!(err, Err(EngineError::ConstraintViolation(_))),
+        "{err:?}"
+    );
 }
 
 /// When the commit's append lands whole but the fsync fails, the engine

@@ -1,0 +1,110 @@
+//! Significant-example acceptance: the generated near-violation
+//! populations must behave at the engine's incremental-validation level
+//! exactly as the full validator promised — pads accepted, one tipping
+//! row rejected with a violation of the expected constraint class.
+//!
+//! This is the Proper-style "significant example" contract: every
+//! emitted example is boundary-tight (one row away from violation), so
+//! each one proves the engine enforces its constraint class at the
+//! boundary, not just somewhere.
+
+use ridl_engine::{BatchOp, Database, EngineError};
+use ridl_obs::ConstraintClass;
+use ridl_workloads::{scenario, sigex};
+
+fn loaded() -> Database {
+    let sc = scenario::industrial_population(7, 600);
+    let mut db = Database::create(sc.schema).unwrap();
+    db.load_state(sc.state).unwrap();
+    db
+}
+
+/// Every emitted example re-verifies against the full validator (pads
+/// clean, tip violating the right class).
+#[test]
+fn emitted_examples_reverify_against_full_validator() {
+    let db = loaded();
+    let examples = sigex::significant_examples(db.schema(), db.state());
+    assert!(!examples.is_empty(), "generator found no examples");
+    for ex in &examples {
+        assert!(
+            sigex::verify_example(db.schema(), db.state(), ex),
+            "example for {} ({}) fails its own oracle",
+            ex.constraint,
+            ex.class.name()
+        );
+    }
+}
+
+/// Engine-level acceptance: pads go in clean (one all-or-nothing batch),
+/// the tip is rejected with a violation of the example's class, and
+/// removing the pads restores the original state.
+#[test]
+fn tipping_rows_are_rejected_with_the_expected_class() {
+    let mut db = loaded();
+    let schema = db.schema().clone();
+    let baseline = db.state().clone();
+    let examples = sigex::significant_examples(&schema, &baseline);
+    let name_of = |tid| schema.table(tid).name.clone();
+    for ex in &examples {
+        if !ex.pads.is_empty() {
+            let pads: Vec<BatchOp> = ex
+                .pads
+                .iter()
+                .map(|(tid, row)| BatchOp::insert(name_of(*tid), row.clone()))
+                .collect();
+            db.apply_batch(pads)
+                .unwrap_or_else(|e| panic!("pads for {} rejected: {e}", ex.constraint));
+        }
+        let (tid, row) = &ex.tip;
+        let err = db
+            .insert(&name_of(*tid), row.clone())
+            .expect_err("tipping row must be rejected");
+        match err {
+            EngineError::ConstraintViolation(violations) => {
+                assert!(
+                    violations
+                        .iter()
+                        .any(|v| sigex::violation_class(&schema, v) == ex.class),
+                    "tip for {} rejected, but no violation of class {} in {violations:?}",
+                    ex.constraint,
+                    ex.class.name()
+                );
+            }
+            other => panic!(
+                "tip for {} rejected with non-violation: {other}",
+                ex.constraint
+            ),
+        }
+        if !ex.pads.is_empty() {
+            let pads: Vec<BatchOp> = ex
+                .pads
+                .iter()
+                .map(|(tid, row)| BatchOp::delete(name_of(*tid), row.clone()))
+                .collect();
+            db.apply_batch(pads).expect("pad removal");
+        }
+        assert_eq!(db.state(), &baseline, "example left residue in the state");
+    }
+}
+
+/// The generator covers the macro classes the industrial schema carries:
+/// keys, foreign keys and structural NOT NULL at minimum.
+#[test]
+fn generator_covers_key_fk_and_structure() {
+    let db = loaded();
+    let examples = sigex::significant_examples(db.schema(), db.state());
+    let classes: Vec<ConstraintClass> = examples.iter().map(|ex| ex.class).collect();
+    for required in [
+        ConstraintClass::Key,
+        ConstraintClass::ForeignKey,
+        ConstraintClass::Structure,
+    ] {
+        assert!(
+            classes.contains(&required),
+            "no significant example for class {} (got {:?})",
+            required.name(),
+            classes.iter().map(|c| c.name()).collect::<Vec<_>>()
+        );
+    }
+}
