@@ -15,6 +15,12 @@
 //! reopens the store, and measures recovery replay throughput
 //! (row ops per second through the incremental-validation path).
 //!
+//! Experiment **E-CKPT** rides along: a full v2 base snapshot vs an
+//! incremental dirty-extent delta after a small churn, on the same
+//! store — bytes written and wall-clock for each, with the delta/full
+//! byte ratio printed (the paper-scale acceptance bound is <20% at
+//! ≤5% churn).
+//!
 //! The claims to verify: the WAL's CPU overhead is small next to
 //! constraint validation; group commit recovers most of the distance
 //! between `Never` and `Always`; and replay is fast enough that
@@ -107,6 +113,64 @@ fn report(sc: &LoadScenario) {
     );
 }
 
+/// E-CKPT: full base snapshot vs incremental delta on one store.
+/// Returns the store dir so the criterion group can reuse it.
+fn report_checkpoint(sc: &LoadScenario) -> (Database, PathBuf) {
+    let dir = bench_dir("durable-ckpt");
+    let mut db = Database::open_with(
+        std::sync::Arc::new(ridl_engine::StdIo),
+        &dir,
+        sc.schema.clone(),
+        durability(FsyncPolicy::Never),
+    )
+    .unwrap();
+    db.bulk_load(sc.rows.iter().cloned()).unwrap();
+    let target = pick_mutation_target(&mut db);
+
+    let start = Instant::now();
+    db.checkpoint_full().unwrap();
+    let full_secs = start.elapsed().as_secs_f64();
+    let full = db.last_checkpoint_stats().unwrap();
+    assert_eq!(full.kind, ridl_engine::CheckpointKind::Base);
+
+    // Small churn: one hot row, a handful of commits.
+    for _ in 0..16 {
+        commit_pair(&mut db, &target);
+    }
+    let start = Instant::now();
+    db.checkpoint().unwrap();
+    let delta_secs = start.elapsed().as_secs_f64();
+    let delta = db.last_checkpoint_stats().unwrap();
+    assert_eq!(delta.kind, ridl_engine::CheckpointKind::Delta);
+
+    println!("\n== E-CKPT: full vs incremental checkpoint ({TARGET_ROWS} target rows) ==");
+    println!(
+        "{:<8} {:>12} {:>10} {:>16}",
+        "kind", "bytes", "ms", "extents"
+    );
+    println!(
+        "{:<8} {:>12} {:>10.2} {:>9}/{}",
+        "full",
+        full.bytes,
+        full_secs * 1e3,
+        full.extents_written,
+        full.extents_total
+    );
+    println!(
+        "{:<8} {:>12} {:>10.2} {:>9}/{}",
+        "delta",
+        delta.bytes,
+        delta_secs * 1e3,
+        delta.extents_written,
+        delta.extents_total
+    );
+    println!(
+        "delta/full byte ratio: {:.4} (bound at paper scale: <0.20)",
+        delta.bytes as f64 / full.bytes as f64
+    );
+    (db, dir)
+}
+
 /// Commits `REPLAY_UNITS` delete+reinsert pairs into a WAL, then measures
 /// how fast `Database::open` replays them. Returns the store dir (the WAL
 /// is left clean, so every reopen replays the same units).
@@ -175,6 +239,25 @@ fn bench(c: &mut Criterion) {
             let _ = std::fs::remove_dir_all(dir);
         }
     }
+
+    // E-CKPT: report once, then time the two checkpoint flavors. Each
+    // delta iteration commits one pair first so there is always a dirty
+    // extent to write (an empty delta would time a no-op).
+    let (mut db, ckpt_dir) = report_checkpoint(&sc);
+    let target = pick_mutation_target(&mut db);
+    group.bench_function(BenchmarkId::new("checkpoint", "full"), |b| {
+        b.iter(|| db.checkpoint_full().unwrap())
+    });
+    // Every 8th call collapses the chain into a fresh base
+    // (MAX_DELTA_CHAIN), so this times the real steady-state mix.
+    group.bench_function(BenchmarkId::new("checkpoint", "delta"), |b| {
+        b.iter(|| {
+            commit_pair(&mut db, &target);
+            db.checkpoint().unwrap()
+        })
+    });
+    drop(db);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
 
     let replay_dir = build_replay_store(&sc);
     let ops = report_replay(&sc, &replay_dir);

@@ -13,14 +13,17 @@ use std::io;
 use std::path::Path;
 
 /// Artifact schema version; bump when the layout changes shape.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 adds the `checkpoint` object (full-vs-incremental snapshot cost);
+/// the validator still accepts v1 artifacts committed by earlier PRs.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One timed phase of the macro run.
 #[derive(Clone, PartialEq, Debug)]
 pub struct PhaseStat {
     /// Phase name (`generate`, `map`, `populate`, `bulk_load`,
     /// `traffic`, `sigex`, `checkpoint`, `traffic_post_checkpoint`,
-    /// `recover`).
+    /// `checkpoint_delta`, `traffic_post_delta`, `recover`).
     pub name: String,
     /// Wall-clock seconds for the whole phase.
     pub seconds: f64,
@@ -97,6 +100,25 @@ pub struct WalStats {
     pub bytes: u64,
 }
 
+/// Full-vs-incremental checkpoint cost from the macro run (schema v2).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CheckpointSummary {
+    /// Bytes of the full (base) v2 snapshot.
+    pub full_bytes: u64,
+    /// Wall-clock seconds to write the full snapshot.
+    pub full_seconds: f64,
+    /// Bytes of the incremental (delta) snapshot taken after churn.
+    pub delta_bytes: u64,
+    /// Wall-clock seconds to write the delta.
+    pub delta_seconds: f64,
+    /// Extents the delta rewrote.
+    pub dirty_extents: u64,
+    /// Extents in the full geometry.
+    pub total_extents: u64,
+    /// Row operations committed between the two checkpoints.
+    pub churn_rows: u64,
+}
+
 /// The complete per-PR benchmark artifact.
 #[derive(Clone, PartialEq, Debug)]
 pub struct BenchArtifact {
@@ -125,6 +147,8 @@ pub struct BenchArtifact {
     pub sigex_examples: u64,
     /// Constraint classes those examples covered.
     pub sigex_classes: Vec<&'static str>,
+    /// Checkpoint cost summary (required at [`SCHEMA_VERSION`] 2).
+    pub checkpoint: Option<CheckpointSummary>,
 }
 
 /// Formats a float: finite values in shortest-roundtrip form, non-finite
@@ -212,6 +236,20 @@ impl BenchArtifact {
             "  \"recovery\": {{\"seconds\": {}}},\n",
             num(self.recovery_seconds)
         ));
+        if let Some(c) = &self.checkpoint {
+            s.push_str(&format!(
+                "  \"checkpoint\": {{\"full_bytes\": {}, \"full_seconds\": {}, \
+                 \"delta_bytes\": {}, \"delta_seconds\": {}, \"dirty_extents\": {}, \
+                 \"total_extents\": {}, \"churn_rows\": {}}},\n",
+                c.full_bytes,
+                num(c.full_seconds),
+                c.delta_bytes,
+                num(c.delta_seconds),
+                c.dirty_extents,
+                c.total_extents,
+                c.churn_rows,
+            ));
+        }
         s.push_str(&format!(
             "  \"sigex\": {{\"examples\": {}, \"classes\": [{}]}}\n",
             self.sigex_examples,
@@ -263,6 +301,17 @@ const REQUIRED_KEYS: [&str; 25] = [
     "replay_ops",
     "replay_ops_per_sec",
     "bytes",
+];
+
+/// Keys the `checkpoint` object must carry at schema v2.
+const CHECKPOINT_KEYS: [&str; 7] = [
+    "full_bytes",
+    "full_seconds",
+    "delta_bytes",
+    "delta_seconds",
+    "dirty_extents",
+    "total_extents",
+    "churn_rows",
 ];
 
 struct Scanner<'a> {
@@ -471,8 +520,104 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
             return Err(format!("missing required key \"{key}\""));
         }
     }
-    if !text.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")) {
-        return Err(format!("artifact schema_version must be {SCHEMA_VERSION}"));
+    let version = extract_number(text, "schema_version")
+        .ok_or("artifact carries no schema_version number")?;
+    match version as u64 {
+        1 => {}
+        2 => {
+            for key in CHECKPOINT_KEYS {
+                if !sc.keys.contains(key) {
+                    return Err(format!(
+                        "schema v2 artifact missing checkpoint key \"{key}\""
+                    ));
+                }
+            }
+        }
+        v => return Err(format!("unsupported artifact schema_version {v}")),
+    }
+    Ok(())
+}
+
+/// Pulls the numeric value of the *first* occurrence of `"key": <number>`
+/// out of an artifact. Only meaningful for keys that appear once (the
+/// top-level scalars and the `checkpoint` object fields).
+pub fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '-' | '+' | '.' | 'e' | 'E' | '0'..='9'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Asserts that incremental checkpoints scale with *churn*, not with
+/// *state size*, across two artifacts from the same traffic plan at
+/// different row counts:
+///
+/// 1. both runs wrote non-empty full and delta snapshots;
+/// 2. the large run holds at least 3x the rows of the small one (the
+///    ratio test below needs real separation between the scales);
+/// 3. when a run is at real scale (`target_rows >= 20_000`) its delta is
+///    under 20% of its full snapshot — the acceptance bound;
+/// 4. in both runs the delta rewrote at most `churn_rows` extents: the
+///    unit of rewrite is the dirtied extent, and churn touches at most
+///    one extent per committed row op, so a dirty count above it means
+///    the tracking rewrote state it didn't have to;
+/// 5. the delta/full byte ratio must *shrink* as state grows (to at most
+///    3/4 of the small run's ratio): the churn is the same at both
+///    scales, so a delta tracking state keeps a constant ratio while a
+///    churn-bound delta's share of the snapshot falls away.
+///
+/// Absolute delta bytes are deliberately not compared: with only a
+/// handful of hot rows, extent quantization (a dirtied extent rewrites
+/// all ~128 of its rows) lets the byte count creep with scale even
+/// though the rewrite is churn-bound; the ratio and the dirty-extent
+/// count are the quantization-immune observables.
+pub fn check_checkpoint_scaling(small: &str, large: &str) -> Result<(), String> {
+    validate_artifact(small).map_err(|e| format!("small artifact: {e}"))?;
+    validate_artifact(large).map_err(|e| format!("large artifact: {e}"))?;
+    let get = |text: &str, key: &str, which: &str| {
+        extract_number(text, key).ok_or(format!("{which} artifact has no \"{key}\" number"))
+    };
+    let mut ratios = [0.0f64; 2];
+    for (i, (text, which)) in [(small, "small"), (large, "large")].into_iter().enumerate() {
+        let full = get(text, "full_bytes", which)?;
+        let delta = get(text, "delta_bytes", which)?;
+        if full <= 0.0 || delta <= 0.0 {
+            return Err(format!(
+                "{which} run wrote an empty snapshot (full {full} bytes, delta {delta} bytes)"
+            ));
+        }
+        if get(text, "target_rows", which)? >= 20_000.0 && delta >= 0.20 * full {
+            return Err(format!(
+                "{which} delta wrote {delta} bytes, not under 20% of the {full}-byte full snapshot"
+            ));
+        }
+        let dirty = get(text, "dirty_extents", which)?;
+        let churn = get(text, "churn_rows", which)?;
+        if dirty > churn {
+            return Err(format!(
+                "{which} delta rewrote {dirty} extents for only {churn} churned row ops — \
+                 incremental checkpoints are tracking state size, not churn"
+            ));
+        }
+        ratios[i] = delta / full;
+    }
+    let small_rows = get(small, "rows_loaded", "small")?;
+    let large_rows = get(large, "rows_loaded", "large")?;
+    if large_rows < 3.0 * small_rows {
+        return Err(format!(
+            "large run loaded {large_rows} rows, need at least 3x the small run's {small_rows}"
+        ));
+    }
+    let [small_ratio, large_ratio] = ratios;
+    if large_ratio > 0.75 * small_ratio {
+        return Err(format!(
+            "delta/full ratio went {small_ratio:.4} -> {large_ratio:.4} as state grew \
+             {:.2}x — incremental checkpoints are tracking state size, not churn",
+            large_rows / small_rows
+        ));
     }
     Ok(())
 }
@@ -508,6 +653,15 @@ mod tests {
             recovery_seconds: 0.012,
             sigex_examples: 3,
             sigex_classes: vec!["key", "foreign_key"],
+            checkpoint: Some(CheckpointSummary {
+                full_bytes: 500_000,
+                full_seconds: 0.05,
+                delta_bytes: 40_000,
+                delta_seconds: 0.004,
+                dirty_extents: 12,
+                total_extents: 140,
+                churn_rows: 220,
+            }),
         }
     }
 
@@ -536,5 +690,55 @@ mod tests {
         let mut a = sample();
         a.phases.clear();
         assert!(validate_artifact(&a.to_json()).is_err());
+    }
+
+    #[test]
+    fn v1_artifacts_without_checkpoint_still_validate() {
+        let mut a = sample();
+        a.checkpoint = None;
+        let v2_missing = a.to_json();
+        assert!(
+            validate_artifact(&v2_missing).is_err(),
+            "a v2 artifact must carry the checkpoint object"
+        );
+        let v1 = v2_missing.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        validate_artifact(&v1).expect("legacy v1 layout validates");
+        let v9 = v2_missing.replace("\"schema_version\": 2", "\"schema_version\": 9");
+        assert!(validate_artifact(&v9).is_err(), "unknown version rejected");
+    }
+
+    #[test]
+    fn extract_number_reads_scalars() {
+        let text = sample().to_json();
+        assert_eq!(extract_number(&text, "full_bytes"), Some(500_000.0));
+        assert_eq!(extract_number(&text, "rows_loaded"), Some(1042.0));
+        assert_eq!(extract_number(&text, "no_such_key"), None);
+    }
+
+    #[test]
+    fn scaling_check_accepts_churn_bound_deltas_and_rejects_state_bound() {
+        let small = sample().to_json();
+        let mut big = sample();
+        let c = big.checkpoint.as_mut().unwrap();
+        // 4x the state: full grows 4x, delta stays put (pure churn).
+        big.rows_loaded *= 4;
+        big.target_rows = 100_000;
+        c.full_bytes *= 4;
+        c.total_extents *= 4;
+        check_checkpoint_scaling(&small, &big.to_json()).expect("churn-bound delta passes");
+
+        // A delta that keeps pace with the state is a tracking bug.
+        let mut bad = big.clone();
+        bad.checkpoint.as_mut().unwrap().delta_bytes *= 4;
+        let err = check_checkpoint_scaling(&small, &bad.to_json()).unwrap_err();
+        assert!(err.contains("tracking state size"), "got: {err}");
+
+        // At real scale the 20% acceptance bound applies.
+        let mut fat = big.clone();
+        fat.checkpoint.as_mut().unwrap().delta_bytes = fat.checkpoint.unwrap().full_bytes / 4;
+        assert!(check_checkpoint_scaling(&small, &fat.to_json()).is_err());
+
+        // Comparable row counts are not a scaling experiment.
+        assert!(check_checkpoint_scaling(&small, &small).is_err());
     }
 }

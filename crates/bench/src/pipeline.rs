@@ -17,7 +17,7 @@ use ridl_obs::Histogram;
 use ridl_workloads::macrobench::{self, MacroParams, TrafficOp};
 use ridl_workloads::{scenario, sigex};
 
-use crate::artifact::{BenchArtifact, ClassCost, PhaseStat, WalStats};
+use crate::artifact::{BenchArtifact, CheckpointSummary, ClassCost, PhaseStat, WalStats};
 use crate::harness::{self, MutationTarget};
 
 /// How many probed mutation targets the traffic plan spreads over.
@@ -266,6 +266,8 @@ pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
         .collect();
     let plan = macrobench::plan_traffic(p.seed, cfg.traffic_ops, targets.len());
     let (plan_pre, plan_post) = plan.split_at(plan.len() / 2);
+    // The post half is split again around the incremental checkpoint.
+    let (plan_churn, plan_tail) = plan_post.split_at(plan_post.len() / 2);
 
     // Detail on: per-constraint-class check counts and nanoseconds for
     // the interactive phases (traffic, sigex, checkpoint).
@@ -293,17 +295,59 @@ pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
     ));
     let sigex_classes: Vec<&'static str> = examples.iter().map(|ex| ex.class.name()).collect();
 
-    // Phase 7 — checkpoint: snapshot the state, truncate the WAL.
+    // Phase 7 — full checkpoint: a complete v2 base snapshot, WAL
+    // truncated, extent geometry frozen for the delta below.
     let t = Instant::now();
-    db.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
-    phases.push(PhaseStat::block("checkpoint", t.elapsed().as_secs_f64(), 1));
+    db.checkpoint_full()
+        .map_err(|e| format!("checkpoint: {e}"))?;
+    let full_seconds = t.elapsed().as_secs_f64();
+    let full_stats = db
+        .last_checkpoint_stats()
+        .ok_or("checkpoint_full recorded no stats")?;
+    phases.push(PhaseStat::block("checkpoint", full_seconds, 1));
+    let churn_before = db.state().total_mutations();
 
-    // Phase 8 — post-checkpoint traffic: everything it commits lives
-    // only in the WAL, so recovery below must replay exactly these units.
+    // Phase 8 — churn traffic between the two checkpoints.
     let t = Instant::now();
-    let post = run_traffic(&mut db, &targets, &queries, plan_post)?;
+    let churn = run_traffic(&mut db, &targets, &queries, plan_churn)?;
     phases.push(quantile_phase(
         "traffic_post_checkpoint",
+        t.elapsed().as_secs_f64(),
+        &churn.latencies,
+    ));
+
+    // Phase 9 — incremental checkpoint: only the extents the churn
+    // dirtied are rewritten. The bench asserts the engine actually chose
+    // the delta path and (at real scale) that the delta stays under 20%
+    // of the full snapshot — the paper-scale acceptance bound.
+    let churn_rows = db.state().total_mutations() - churn_before;
+    let t = Instant::now();
+    db.checkpoint()
+        .map_err(|e| format!("delta checkpoint: {e}"))?;
+    let delta_seconds = t.elapsed().as_secs_f64();
+    let delta_stats = db
+        .last_checkpoint_stats()
+        .ok_or("delta checkpoint recorded no stats")?;
+    phases.push(PhaseStat::block("checkpoint_delta", delta_seconds, 1));
+    if delta_stats.kind != ridl_engine::CheckpointKind::Delta {
+        return Err(format!(
+            "post-churn checkpoint wrote a full snapshot ({} of {} extents) instead of a delta",
+            delta_stats.extents_written, delta_stats.extents_total
+        ));
+    }
+    if p.target_rows >= 20_000 && delta_stats.bytes * 5 >= full_stats.bytes {
+        return Err(format!(
+            "delta checkpoint wrote {} bytes, not under 20% of the {}-byte full snapshot",
+            delta_stats.bytes, full_stats.bytes
+        ));
+    }
+
+    // Phase 10 — tail traffic: everything it commits lives only in the
+    // WAL, so recovery below must replay exactly these units.
+    let t = Instant::now();
+    let post = run_traffic(&mut db, &targets, &queries, plan_tail)?;
+    phases.push(quantile_phase(
+        "traffic_post_delta",
         t.elapsed().as_secs_f64(),
         &post.latencies,
     ));
@@ -324,11 +368,13 @@ pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
     };
     ridl_obs::set_detail(detail_was);
 
-    // Phase 9 — simulated crash + recovery. flush_wal stands in for the
+    // Phase 11 — simulated crash + recovery. flush_wal stands in for the
     // group-commit window; dropping the handle without a checkpoint
-    // leaves the WAL as the only record of the post-checkpoint traffic.
+    // leaves the WAL as the only record of the tail traffic, on top of
+    // the base + delta chain.
     db.flush_wal().map_err(|e| format!("flush_wal: {e}"))?;
     let wal_bytes = db.wal_bytes().unwrap_or(0);
+    let state_at_crash = db.state().clone();
     drop(db);
     let db = Database::open_with(
         Arc::new(StdIo),
@@ -343,9 +389,12 @@ pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
         .clone();
     if rep.units_replayed as u64 != post.committed_units {
         return Err(format!(
-            "recovery replayed {} units, expected the {} committed after the checkpoint",
+            "recovery replayed {} units, expected the {} committed after the delta checkpoint",
             rep.units_replayed, post.committed_units
         ));
+    }
+    if *db.state() != state_at_crash {
+        return Err("recovered state differs from the state at the simulated crash".to_owned());
     }
     let recovery_seconds = rep.elapsed_ns as f64 / 1e9;
     phases.push(PhaseStat::block(
@@ -394,5 +443,14 @@ pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
         recovery_seconds,
         sigex_examples: examples.len() as u64,
         sigex_classes,
+        checkpoint: Some(CheckpointSummary {
+            full_bytes: full_stats.bytes,
+            full_seconds,
+            delta_bytes: delta_stats.bytes,
+            delta_seconds,
+            dirty_extents: delta_stats.extents_written as u64,
+            total_extents: delta_stats.extents_total as u64,
+            churn_rows,
+        }),
     })
 }

@@ -16,12 +16,17 @@
 //!   [`StdIo`] implementation;
 //! * [`fault`] — [`FaultyIo`], an in-memory filesystem with per-syscall
 //!   fault injection and simulated crashes;
-//! * [`snapshot`] — the checkpoint text format (a superset of the
-//!   `metadb` value token format, which delegates here);
+//! * [`snapshot`] — the legacy v1 checkpoint text format (a superset of
+//!   the `metadb` value token format, which delegates here); still read
+//!   for migration, never written;
+//! * [`pagesnap`] — the v2 binary paged checkpoint format: CRC-framed
+//!   pages grouped into content-hashed extents, base snapshots plus
+//!   incremental extent deltas;
 //! * [`wal`] — length-prefixed, CRC-checksummed WAL frames with explicit
 //!   commit markers, and the total (never-panicking) [`scan_wal`];
-//! * [`store`] — the on-disk protocol: file layout, crash-safe
-//!   checkpoint + log-truncation sequence, and the recovery read path.
+//! * [`store`] — the on-disk protocol: file layout, crash-safe base +
+//!   delta-chain checkpoint and log-truncation sequences, and the
+//!   recovery read path.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,17 +34,25 @@
 pub mod crc;
 pub mod fault;
 pub mod io;
+pub mod pagesnap;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use crate::fault::{FaultKind, FaultPlan, FaultyIo};
 pub use crate::io::{DurableIo, StdIo};
+pub use crate::pagesnap::{
+    decode_paged, encode_base, encode_delta, merge_chain, row_extent_hash, ExtentGeometry,
+    PagedSnap, SnapFlavor, SnapStats,
+};
 pub use crate::snapshot::{
     decode_snapshot, decode_value, encode_snapshot, encode_value, fingerprint_str, CorruptError,
     Snapshot,
 };
-pub use crate::store::{read_store, write_checkpoint, CheckpointFailure, StoreScan};
+pub use crate::store::{
+    delta_file, read_store, write_checkpoint, CheckpointFailure, CheckpointKind, CheckpointOutcome,
+    CheckpointPlan, CheckpointStats, StoreScan,
+};
 pub use crate::wal::{encode_unit, scan_wal, wal_init_bytes, CommitUnit, WalHeader, WalScan};
 
 /// When the WAL is fsync'd relative to commits.
@@ -88,8 +101,15 @@ pub struct RecoveryReport {
     /// file it was read from; `None` when recovery started from the
     /// empty state.
     pub checkpoint: Option<(u64, &'static str)>,
-    /// Snapshot files present but rejected (checksum or parse failure).
+    /// Snapshot/delta files present but rejected (checksum or parse
+    /// failure).
     pub snapshots_rejected: usize,
+    /// Format of the checkpoint recovery started from: 0 none, 1 legacy
+    /// text (v1, upgraded to v2 on the next checkpoint), 2 binary paged
+    /// (v2).
+    pub snapshot_format: u8,
+    /// Delta files merged on top of the base checkpoint.
+    pub deltas_merged: usize,
     /// Total WAL bytes scanned.
     pub wal_bytes_scanned: u64,
     /// Committed units replayed into the recovered state.
@@ -121,7 +141,17 @@ impl std::fmt::Display for RecoveryReport {
             return writeln!(f, "recovery: fresh store (no WAL, no checkpoint)");
         }
         match self.checkpoint {
-            Some((epoch, file)) => writeln!(f, "checkpoint: epoch {epoch} from {file}")?,
+            Some((epoch, file)) => {
+                let format = match self.snapshot_format {
+                    1 => "v1 text",
+                    2 => "v2 paged",
+                    _ => "unknown",
+                };
+                writeln!(f, "checkpoint: epoch {epoch} from {file} ({format})")?;
+                if self.deltas_merged > 0 {
+                    writeln!(f, "deltas merged: {}", self.deltas_merged)?;
+                }
+            }
             None => writeln!(f, "checkpoint: none (recovered from empty state)")?,
         }
         if self.snapshots_rejected > 0 {

@@ -118,8 +118,15 @@ fn unesc(s: &str) -> Result<String, CorruptError> {
         if c == '%' {
             let hi = chars.next().ok_or_else(|| bad("truncated escape"))?;
             let lo = chars.next().ok_or_else(|| bad("truncated escape"))?;
-            let n = u32::from_str_radix(&format!("{hi}{lo}"), 16)
-                .map_err(|_| bad(format!("escape %{hi}{lo}")))?;
+            // Direct hex-digit decoding: no per-escape allocation, and
+            // only actual hex digits pass (`u32::from_str_radix` would
+            // also accept a leading sign, letting `%+5` sneak through).
+            // A multi-byte char in either position is simply not a hex
+            // digit — a typed error, never a slicing panic.
+            let n = match (hi.to_digit(16), lo.to_digit(16)) {
+                (Some(h), Some(l)) => h * 16 + l,
+                _ => return Err(bad(format!("escape %{hi}{lo}"))),
+            };
             out.push(char::from_u32(n).ok_or_else(|| bad(format!("escape %{hi}{lo}")))?);
         } else {
             out.push(c);
@@ -355,5 +362,58 @@ mod tests {
         let st = RelState::with_tables(0);
         let snap = decode_snapshot(&encode_snapshot(0, 0, &st)).unwrap();
         assert_eq!(snap.state, st);
+    }
+
+    #[test]
+    fn bad_escapes_are_typed_errors_not_panics() {
+        // Truncated, non-hex, signed (from_str_radix would take "+5"),
+        // and multi-byte chars in either digit position.
+        for s in [
+            "%", "%4", "%G1", "%1G", "%+5", "%-1", "% 1", "%Ａ1", "%1Ａ", "%日本", "a%", "x%~y",
+        ] {
+            assert!(unesc(s).is_err(), "{s:?} accepted");
+        }
+        // Uppercase (canonical) and lowercase hex both decode.
+        assert_eq!(unesc("%0A").unwrap(), "\n");
+        assert_eq!(unesc("%0a").unwrap(), "\n");
+        assert_eq!(unesc("%FF").unwrap(), "\u{ff}");
+    }
+
+    mod escape_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// esc → unesc is the identity for any string.
+            #[test]
+            fn esc_unesc_roundtrips(s in "\\PC*") {
+                prop_assert_eq!(unesc(&esc(&s)).unwrap(), s);
+            }
+
+            /// unesc never panics on adversarial input (multi-byte chars
+            /// after '%', truncated escapes, raw control bytes), and when
+            /// it succeeds, re-escaping its output re-parses to the same
+            /// thing (no silent mangling).
+            #[test]
+            fn unesc_is_total_on_arbitrary_input(s in "\\PC*") {
+                if let Ok(decoded) = unesc(&s) {
+                    prop_assert_eq!(unesc(&esc(&decoded)).unwrap(), decoded);
+                }
+            }
+
+            /// Adversarial escape sequences specifically: '%' followed by
+            /// arbitrary (possibly multi-byte, possibly missing) chars.
+            #[test]
+            fn percent_prefixed_garbage_never_panics(
+                tail in proptest::collection::vec(any::<char>(), 0..3),
+                prefix in "\\PC{0,4}",
+            ) {
+                let mut s = prefix;
+                s.push('%');
+                s.extend(tail);
+                let _ = unesc(&s); // must not panic; Err is fine
+                let _ = decode_row(&s); // full cell path is total too
+            }
+        }
     }
 }

@@ -34,23 +34,23 @@ const KIND_INSERT: u8 = 0x02;
 const KIND_REMOVE: u8 = 0x03;
 const KIND_COMMIT: u8 = 0x04;
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn get_u32(b: &[u8], at: usize) -> Option<u32> {
+pub(crate) fn get_u32(b: &[u8], at: usize) -> Option<u32> {
     Some(u32::from_le_bytes(b.get(at..at + 4)?.try_into().ok()?))
 }
 
-fn get_u64(b: &[u8], at: usize) -> Option<u64> {
+pub(crate) fn get_u64(b: &[u8], at: usize) -> Option<u64> {
     Some(u64::from_le_bytes(b.get(at..at + 8)?.try_into().ok()?))
 }
 
-fn encode_row_bytes(out: &mut Vec<u8>, row: &Row) {
+pub(crate) fn encode_row_bytes(out: &mut Vec<u8>, row: &Row) {
     put_u32(out, row.len() as u32);
     for cell in row {
         match cell {
@@ -65,7 +65,7 @@ fn encode_row_bytes(out: &mut Vec<u8>, row: &Row) {
     }
 }
 
-fn decode_row_bytes(b: &[u8], at: &mut usize) -> Option<Row> {
+pub(crate) fn decode_row_bytes(b: &[u8], at: &mut usize) -> Option<Row> {
     let n = get_u32(b, *at)? as usize;
     *at += 4;
     if n > b.len() {
@@ -98,7 +98,7 @@ fn decode_row_bytes(b: &[u8], at: &mut usize) -> Option<Row> {
 }
 
 /// Wraps a payload in a `[len][crc]` frame.
-fn frame(payload: &[u8]) -> Vec<u8> {
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 8);
     put_u32(&mut out, payload.len() as u32);
     put_u32(&mut out, crc32(payload));
@@ -235,7 +235,7 @@ pub fn scan_wal(bytes: &[u8]) -> WalScan {
 
 /// Reads the frame at `*pos`, advancing past it; `None` on any torn or
 /// corrupt framing (short header, oversize length, CRC mismatch).
-fn next_frame<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+pub(crate) fn next_frame<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
     let len = get_u32(bytes, *pos)?;
     let crc = get_u32(bytes, *pos + 4)?;
     if len > MAX_FRAME {

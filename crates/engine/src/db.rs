@@ -258,8 +258,10 @@ impl Database {
         }
         // Durable stores checkpoint the incoming state *before* the swap:
         // a checkpoint failure aborts the load with both the memory and
-        // the on-disk store still holding the old state.
-        self.wal_checkpoint_of(&state)?;
+        // the on-disk store still holding the old state. Always a full
+        // base — the dirty-extent set describes the *current* state, not
+        // this candidate.
+        self.wal_checkpoint_of(&state, true)?;
         self.indexes = ConstraintIndexes::build(&self.schema, &state);
         self.state = state;
         self.undo.clear();
@@ -297,6 +299,8 @@ impl Database {
             }
         };
         if changed {
+            let (DeltaOp::Insert { table, row } | DeltaOp::Remove { table, row }) = &op;
+            self.note_dirty(*table, row);
             self.undo.push(op);
         }
         changed
@@ -313,13 +317,18 @@ impl Database {
             ridl_obs::metrics().reverted_ops.add(n as u64);
         }
         while self.undo.len() > mark {
+            // Reverting re-dirties the extent: its content moved twice
+            // (apply + revert) since the last checkpoint. Conservative —
+            // the net change may be zero — but cheap and always safe.
             match self.undo.pop().expect("undo entry") {
                 DeltaOp::Insert { table, row } => {
                     self.state.remove(table, &row);
                     self.indexes.note_remove(table, &row);
+                    self.note_dirty(table, &row);
                 }
                 DeltaOp::Remove { table, row } => {
                     self.indexes.note_insert(table, &row);
+                    self.note_dirty(table, &row);
                     self.state.insert(table, row);
                 }
             }
@@ -752,8 +761,10 @@ impl Database {
         }
         // Durable stores checkpoint the loaded state before swapping it
         // in, so a failure leaves memory and disk both on the old state
-        // (logging every row through the WAL would double-write the load).
-        self.wal_checkpoint_of(&state)?;
+        // (logging every row through the WAL would double-write the
+        // load). Always a full base — the dirty-extent set describes the
+        // current state, not this candidate.
+        self.wal_checkpoint_of(&state, true)?;
         self.state = state;
         self.indexes = indexes;
         self.undo.clear();

@@ -19,18 +19,26 @@
 //!   WAL suffix through the engine's own validation path, discards any
 //!   torn tail, and reports what it did in a [`RecoveryReport`].
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
 use ridl_durable::store::{store_path, CheckpointFailure, WAL_FILE};
 use ridl_durable::{
-    encode_unit, fingerprint_str, read_store, wal, write_checkpoint, Durability, DurableIo,
-    FsyncPolicy, RecoveryReport, StdIo,
+    encode_unit, fingerprint_str, read_store, wal, write_checkpoint, CheckpointKind,
+    CheckpointPlan, CheckpointStats, Durability, DurableIo, ExtentGeometry, FsyncPolicy,
+    RecoveryReport, StdIo,
 };
-use ridl_relational::{parallel, RelSchema, RelState};
+use ridl_relational::{parallel, DeltaOp, RelSchema, RelState, Row, TableId};
 
 use crate::db::{Database, EngineError};
+
+/// Longest delta chain before the next checkpoint is forced to be a full
+/// base. Bounds both recovery merge work and the number of files a scan
+/// probes; 8 deltas at the auto-checkpoint threshold keeps the chain's
+/// total bytes comfortably below one extra base.
+const MAX_DELTA_CHAIN: u32 = 8;
 
 /// The engine's live connection to a store directory.
 pub(crate) struct WalHandle {
@@ -51,6 +59,23 @@ pub(crate) struct WalHandle {
     /// bytes are still waiting for one.
     last_sync: Instant,
     unsynced: bool,
+    /// The extent geometry frozen by the current chain's base checkpoint
+    /// (v2). `None` until the first v2 base exists (fresh store, or a
+    /// legacy v1 snapshot awaiting upgrade) — then every checkpoint is a
+    /// full base.
+    geometry: Option<ExtentGeometry>,
+    /// `(table, extent)` pairs mutated since the last checkpoint, marked
+    /// at mutation time against `geometry`. What an incremental
+    /// checkpoint rewrites.
+    dirty: BTreeSet<(u32, u32)>,
+    /// Set when a mutation touched a table the geometry does not cover
+    /// (defensive; schema changes mid-run are otherwise rejected). Forces
+    /// the next checkpoint to be a base.
+    dirty_overflow: bool,
+    /// Deltas layered on the current base so far.
+    chain_len: u32,
+    /// Size accounting of the most recent durable checkpoint.
+    last_ckpt: Option<CheckpointStats>,
 }
 
 impl WalHandle {
@@ -114,6 +139,8 @@ impl Database {
                 scan.wal.discarded
             },
             stale_wal: scan.stale_wal,
+            snapshot_format: scan.snapshot_format,
+            deltas_merged: scan.deltas_merged,
             ..RecoveryReport::default()
         };
 
@@ -179,6 +206,27 @@ impl Database {
             report.ops_replayed += unit.ops.len();
         }
 
+        // Re-seed the dirty-extent set from the replayed units: their
+        // changes are in the WAL but not yet in the chain on disk, so the
+        // next incremental checkpoint must rewrite their extents. (During
+        // replay `db.wal` was not yet attached, so the live `note_dirty`
+        // path never saw them.)
+        let mut dirty_extents = BTreeSet::new();
+        let mut dirty_overflow = false;
+        if let Some(g) = &scan.geometry {
+            for unit in &units[..report.units_replayed] {
+                for op in &unit.ops {
+                    let (DeltaOp::Insert { table, row } | DeltaOp::Remove { table, row }) = op;
+                    let t = table.index();
+                    if t >= g.num_tables() {
+                        dirty_overflow = true;
+                    } else {
+                        dirty_extents.insert((t as u32, g.extent_of(t, row)));
+                    }
+                }
+            }
+        }
+
         // Establish a clean append point. The WAL file can be appended
         // to as-is only when it is fully intact; a torn tail, a stale
         // log, or a rejected replay means the file must be rewritten to
@@ -197,6 +245,11 @@ impl Database {
             poisoned: false,
             last_sync: Instant::now(),
             unsynced: false,
+            geometry: scan.geometry,
+            dirty: dirty_extents,
+            dirty_overflow,
+            chain_len: scan.deltas_merged as u32,
+            last_ckpt: None,
         };
         if dirty {
             match rewrite_wal(&handle, &units, report.units_replayed) {
@@ -277,6 +330,18 @@ impl Database {
     /// the state is fully validated first (checkpoints only ever persist
     /// constraint-valid states).
     pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        self.checkpoint_inner(false)
+    }
+
+    /// [`Database::checkpoint`], but always writes a full base snapshot —
+    /// never an incremental delta — collapsing the delta chain to one
+    /// file and re-freezing the extent geometry to the current state's
+    /// size.
+    pub fn checkpoint_full(&mut self) -> Result<(), EngineError> {
+        self.checkpoint_inner(true)
+    }
+
+    fn checkpoint_inner(&mut self, force_full: bool) -> Result<(), EngineError> {
         if self.wal.is_none() {
             return Err(EngineError::Unknown("no durable store attached".into()));
         }
@@ -292,55 +357,123 @@ impl Database {
             self.unchecked_uncovered = false;
         }
         let state = std::mem::take(&mut self.state);
-        let r = self.wal_checkpoint_of(&state);
+        let r = self.wal_checkpoint_of(&state, force_full);
         self.state = state;
         r
     }
 
+    /// Size accounting of the most recent checkpoint this process wrote
+    /// (base or delta). `None` for in-memory databases and before the
+    /// first checkpoint.
+    pub fn last_checkpoint_stats(&self) -> Option<CheckpointStats> {
+        self.wal.as_ref().and_then(|w| w.last_ckpt)
+    }
+
+    /// Marks the extent holding `row` dirty, so the next incremental
+    /// checkpoint rewrites it. Called on every effective mutation (and
+    /// every revert — conservative: a revert restores the snapshot's
+    /// content, but proving that is not worth the bookkeeping). No-op
+    /// until a v2 base has frozen a geometry.
+    pub(crate) fn note_dirty(&mut self, table: TableId, row: &Row) {
+        let Some(w) = self.wal.as_mut() else {
+            return;
+        };
+        let Some(g) = w.geometry.as_ref() else {
+            return;
+        };
+        let t = table.index();
+        if t >= g.num_tables() {
+            w.dirty_overflow = true;
+            return;
+        }
+        w.dirty.insert((t as u32, g.extent_of(t, row)));
+    }
+
     /// Writes a checkpoint of `state` (which may be a candidate state not
     /// yet swapped in — `bulk_load`). No-op for in-memory databases.
+    ///
+    /// Picks incremental vs full: an extent delta is written when a
+    /// geometry exists, the dirty set describes `state` (it does not for
+    /// `bulk_load`/`load_state` candidates — those pass `force_full`),
+    /// the chain is short enough, and the dirty fraction is small enough
+    /// that a delta actually saves bytes. Anything else gets a base.
     ///
     /// Failure modes: if the snapshot itself could not be made current,
     /// the store still holds the previous state and the error aborts the
     /// caller's operation. If only the WAL reset failed, the snapshot
     /// *is* durable — the call succeeds, but the handle is poisoned until
     /// a later checkpoint repairs the log.
-    pub(crate) fn wal_checkpoint_of(&mut self, state: &RelState) -> Result<(), EngineError> {
+    pub(crate) fn wal_checkpoint_of(
+        &mut self,
+        state: &RelState,
+        force_full: bool,
+    ) -> Result<(), EngineError> {
         let Some(w) = self.wal.as_mut() else {
             return Ok(());
         };
         let mut span = ridl_obs::span::enter("engine.checkpoint");
         let sw = ridl_obs::Stopwatch::start();
         let next = w.epoch + 1;
+        let use_delta = !force_full
+            && !w.dirty_overflow
+            && w.chain_len < MAX_DELTA_CHAIN
+            && w.geometry.as_ref().is_some_and(|g| {
+                // Past half the extents dirty, a delta is bigger than the
+                // base it postpones — just write the base.
+                g.num_tables() == state.num_tables()
+                    && (w.dirty.len() as u64) * 2 <= g.total_extents()
+            });
+        let plan = if use_delta {
+            CheckpointPlan::Delta {
+                geometry: w.geometry.as_ref().expect("use_delta requires geometry"),
+                dirty: &w.dirty,
+                seq: w.chain_len + 1,
+            }
+        } else {
+            CheckpointPlan::Base
+        };
         if span.is_recording() {
             span.attr("epoch", next);
             span.attr("rows", state.num_rows());
+            span.attr("kind", if use_delta { "delta" } else { "base" });
         }
-        match write_checkpoint(&*w.io, &w.dir, next, w.fingerprint, state) {
-            Ok(len) => {
-                w.epoch = next;
-                w.wal_len = len;
+        let settle = |w: &mut WalHandle, outcome: &ridl_durable::CheckpointOutcome| {
+            w.epoch = next;
+            w.chain_len = match outcome.stats.kind {
+                CheckpointKind::Base => 0,
+                CheckpointKind::Delta => w.chain_len + 1,
+            };
+            w.geometry = Some(outcome.geometry.clone());
+            w.dirty.clear();
+            w.dirty_overflow = false;
+            w.last_ckpt = Some(outcome.stats);
+            ridl_obs::metrics().wal_checkpoints.inc();
+        };
+        match write_checkpoint(&*w.io, &w.dir, next, w.fingerprint, state, plan) {
+            Ok(outcome) => {
+                settle(w, &outcome);
+                w.wal_len = outcome.wal_len;
                 w.poisoned = false;
                 w.unsynced = false;
                 w.last_sync = Instant::now();
-                ridl_obs::metrics().wal_checkpoints.inc();
                 ridl_obs::hist::record_named("engine.checkpoint", sw.elapsed_ns());
                 Ok(())
             }
             Err(CheckpointFailure::SnapshotWrite(e)) => {
-                // Nothing became current; the old snapshot + WAL still
-                // describe the state, so the handle stays healthy.
+                // Nothing became current; the old snapshot + WAL (and the
+                // dirty set, which still describes the distance to the
+                // on-disk chain) stay as they were — the handle stays
+                // healthy.
                 Err(io_err("checkpoint snapshot", e))
             }
-            Err(CheckpointFailure::WalReset(e)) => {
+            Err(CheckpointFailure::WalReset { error, outcome }) => {
                 // The new snapshot is durable; only log truncation failed.
-                // Record the new epoch (the snapshot on disk carries it)
-                // and poison appends until a later checkpoint rewrites the
-                // log.
-                w.epoch = next;
+                // Record the new epoch + chain position (the files on disk
+                // carry them) and poison appends until a later checkpoint
+                // rewrites the log.
+                settle(w, &outcome);
                 w.poisoned = true;
-                ridl_obs::metrics().wal_checkpoints.inc();
-                let _ = e;
+                let _ = error;
                 Ok(())
             }
         }
@@ -431,7 +564,7 @@ impl Database {
             return;
         }
         let state = std::mem::take(&mut self.state);
-        let _ = self.wal_checkpoint_of(&state);
+        let _ = self.wal_checkpoint_of(&state, false);
         self.state = state;
     }
 }

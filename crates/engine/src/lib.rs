@@ -29,7 +29,9 @@ pub use report::{ConstraintCost, EnforcementReport, ExplainStep, QueryExplain};
 
 // Durability configuration and recovery reporting, re-exported so engine
 // users need not depend on ridl-durable directly.
-pub use ridl_durable::{Durability, DurableIo, FsyncPolicy, RecoveryReport, StdIo};
+pub use ridl_durable::{
+    CheckpointKind, CheckpointStats, Durability, DurableIo, FsyncPolicy, RecoveryReport, StdIo,
+};
 
 use ridl_relational::RelSchema;
 

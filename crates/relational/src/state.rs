@@ -13,27 +13,64 @@ pub type Row = Vec<Option<Value>>;
 ///
 /// Sets (not bags) — the paper's model-theoretic treatment works with
 /// relations proper; `BTreeSet` keeps iteration deterministic.
-#[derive(Clone, Default, PartialEq, Eq, Debug)]
+///
+/// Each table carries a monotone **mutation counter**, bumped on every
+/// effective [`RelState::insert`]/[`RelState::remove`]. The durability
+/// layer reads the counters to estimate churn between checkpoints; they
+/// are bookkeeping, not data, so equality compares rows only (two states
+/// with the same rows are equal regardless of how they got there).
+#[derive(Clone, Default, Debug)]
 pub struct RelState {
     tables: Vec<BTreeSet<Row>>,
+    mutations: Vec<u64>,
 }
+
+impl PartialEq for RelState {
+    fn eq(&self, other: &Self) -> bool {
+        self.tables == other.tables
+    }
+}
+
+impl Eq for RelState {}
 
 impl RelState {
     /// An empty state for a schema with `num_tables` tables.
     pub fn with_tables(num_tables: usize) -> Self {
         Self {
             tables: vec![BTreeSet::new(); num_tables],
+            mutations: vec![0; num_tables],
         }
     }
 
     /// Inserts a row; returns false if it was already present.
     pub fn insert(&mut self, table: TableId, row: Row) -> bool {
-        self.tables[table.index()].insert(row)
+        let done = self.tables[table.index()].insert(row);
+        if done {
+            self.mutations[table.index()] += 1;
+        }
+        done
     }
 
     /// Removes a row; returns false if absent.
     pub fn remove(&mut self, table: TableId, row: &Row) -> bool {
-        self.tables[table.index()].remove(row)
+        let done = self.tables[table.index()].remove(row);
+        if done {
+            self.mutations[table.index()] += 1;
+        }
+        done
+    }
+
+    /// Per-table mutation counters: effective inserts + removes since the
+    /// state was created. Direct edits through [`RelState::rows_mut`]
+    /// bypass the counters (that door exists for tests planting
+    /// corruption, not for regular mutation paths).
+    pub fn mutation_counts(&self) -> &[u64] {
+        &self.mutations
+    }
+
+    /// Total effective mutations across all tables.
+    pub fn total_mutations(&self) -> u64 {
+        self.mutations.iter().sum()
     }
 
     /// The rows of a table.
@@ -106,6 +143,23 @@ mod tests {
 
         assert!(st.remove(t, &vec![v("b"), None]));
         assert_eq!(st.num_rows(), 1);
+    }
+
+    #[test]
+    fn mutation_counters_track_effective_changes_but_not_equality() {
+        let mut a = RelState::with_tables(2);
+        let mut b = RelState::with_tables(2);
+        let t = TableId(0);
+        a.insert(t, vec![v("x")]);
+        a.insert(t, vec![v("x")]); // duplicate: no effect, no count
+        a.remove(t, &vec![v("y")]); // absent: no effect, no count
+        a.remove(t, &vec![v("x")]);
+        assert_eq!(a.mutation_counts(), &[2, 0]);
+        assert_eq!(a.total_mutations(), 2);
+        // Same rows, different history: still equal.
+        assert_eq!(a, b);
+        b.insert(TableId(1), vec![v("z")]);
+        assert_ne!(a, b);
     }
 
     #[test]

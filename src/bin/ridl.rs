@@ -21,6 +21,9 @@
 //!                                                run the RIDL-Bench macro pipeline,
 //!                                                write the BENCH_<pr>.json artifact
 //! ridl benchcheck <BENCH_x.json>                 validate a bench artifact
+//! ridl benchcheck --scaling <small.json> <large.json>
+//!                                                assert incremental checkpoints
+//!                                                scale with churn, not state
 //!
 //! options:
 //!   --nulls default|not-allowed|not-in-keys|allowed
@@ -516,21 +519,63 @@ fn run() -> Result<(), CliError> {
                 art.sigex_examples,
                 art.sigex_classes.join(", ")
             );
+            if let Some(c) = &art.checkpoint {
+                println!(
+                    "   checkpoint: full {} bytes / {:.2} ms; delta {} bytes / {:.2} ms \
+                     ({}/{} extents dirty after {} churn row-ops, ratio {:.4})",
+                    c.full_bytes,
+                    c.full_seconds * 1e3,
+                    c.delta_bytes,
+                    c.delta_seconds * 1e3,
+                    c.dirty_extents,
+                    c.total_extents,
+                    c.churn_rows,
+                    c.delta_bytes as f64 / c.full_bytes as f64
+                );
+            }
             art.write(std::path::Path::new(&out_path))
                 .map_err(|e| CliError::Input(format!("writing {out_path}: {e}")))?;
             println!("-- wrote {out_path}");
             Ok(())
         }
         "benchcheck" => {
-            let (path, _) = rest
-                .split_first()
-                .ok_or_else(|| usage("usage: ridl benchcheck <BENCH_x.json>"))?;
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError::Input(format!("reading {path}: {e}")))?;
-            ridl_bench::artifact::validate_artifact(&text)
-                .map_err(|e| CliError::Corrupt(format!("{path}: invalid bench artifact: {e}")))?;
-            println!("-- {path}: well-formed bench artifact");
-            Ok(())
+            let read = |path: &str| {
+                std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Input(format!("reading {path}: {e}")))
+            };
+            match rest {
+                [flag, small, large] if flag == "--scaling" => {
+                    let (s, l) = (read(small)?, read(large)?);
+                    ridl_bench::artifact::check_checkpoint_scaling(&s, &l).map_err(|e| {
+                        CliError::Corrupt(format!("checkpoint scaling check failed: {e}"))
+                    })?;
+                    let n = |text: &str, key: &str| {
+                        ridl_bench::artifact::extract_number(text, key).unwrap_or(0.0)
+                    };
+                    println!(
+                        "-- checkpoint scaling holds: state {:.0} -> {:.0} rows grew full \
+                         snapshots {:.0} -> {:.0} bytes, deltas {:.0} -> {:.0} bytes",
+                        n(&s, "rows_loaded"),
+                        n(&l, "rows_loaded"),
+                        n(&s, "full_bytes"),
+                        n(&l, "full_bytes"),
+                        n(&s, "delta_bytes"),
+                        n(&l, "delta_bytes"),
+                    );
+                    Ok(())
+                }
+                [path] => {
+                    let text = read(path)?;
+                    ridl_bench::artifact::validate_artifact(&text).map_err(|e| {
+                        CliError::Corrupt(format!("{path}: invalid bench artifact: {e}"))
+                    })?;
+                    println!("-- {path}: well-formed bench artifact");
+                    Ok(())
+                }
+                _ => Err(usage(
+                    "usage: ridl benchcheck <BENCH_x.json> | --scaling <small.json> <large.json>",
+                )),
+            }
         }
         other => Err(usage(&format!("unknown command {other}"))),
     }

@@ -8,8 +8,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use ridl_brm::{DataType, Value};
-use ridl_durable::store::{store_path, SNAP_FILE, SNAP_PREV_FILE, WAL_FILE};
-use ridl_durable::{Durability, FaultKind, FaultPlan, FaultyIo, FsyncPolicy};
+use ridl_durable::store::{store_path, SNAP_FILE, SNAP_PREV_FILE, SNAP_TMP_FILE, WAL_FILE};
+use ridl_durable::{
+    delta_file, CheckpointKind, Durability, FaultKind, FaultPlan, FaultyIo, FsyncPolicy,
+};
 use ridl_engine::{Database, EngineError};
 use ridl_relational::{validate, Column, RelConstraintKind, RelSchema, Table};
 
@@ -407,8 +409,23 @@ fn auto_checkpoint_defers_until_commit() {
     let snap_mid = io.peek(&store_path(&dir(), SNAP_FILE)).unwrap();
     assert_eq!(snap_before, snap_mid, "no snapshot while the txn is open");
     db.commit().unwrap();
+    // The checkpoint fired at commit — as a fresh base (rewriting the
+    // snapshot) or as an incremental delta (a chain file appears while
+    // the base stays untouched), whichever the dirty fraction picked.
+    let stats = db.last_checkpoint_stats().expect("checkpoint fired");
     let snap_after = io.peek(&store_path(&dir(), SNAP_FILE)).unwrap();
-    assert_ne!(snap_before, snap_after, "checkpoint fired at commit");
+    match stats.kind {
+        CheckpointKind::Base => {
+            assert_ne!(snap_before, snap_after, "base rewrote the snapshot")
+        }
+        CheckpointKind::Delta => {
+            assert_eq!(snap_before, snap_after, "delta leaves the base alone");
+            assert!(
+                io.peek(&store_path(&dir(), &delta_file(1))).is_some(),
+                "delta file appeared"
+            );
+        }
+    }
     assert!(db.wal_bytes().unwrap() < 100, "WAL truncated");
     let want = db.state().clone();
     drop(db);
@@ -493,4 +510,184 @@ fn real_filesystem_roundtrip() {
     assert_eq!(db2.recovery_report().unwrap().units_replayed, 1);
     drop(db2);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn auto_checkpoint_fires_on_the_crossing_statement_not_one_late() {
+    // Measure the WAL header and per-unit sizes with auto-checkpoints
+    // off, using identically sized rows so every unit is the same width.
+    let probe = Arc::new(FaultyIo::new());
+    let mut db = open(&probe, always());
+    let header = db.wal_bytes().unwrap();
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    let unit = db.wal_bytes().unwrap() - header;
+    db.insert("Paper", vec![v("P2"), v("A2")]).unwrap();
+    assert_eq!(
+        db.wal_bytes().unwrap(),
+        header + 2 * unit,
+        "equal-size rows log equal-size units"
+    );
+    drop(db);
+
+    // Pin the trigger boundary: the threshold is "checkpoint once the
+    // WAL *exceeds* this many bytes", measured after the just-appended
+    // commit record. With the threshold at exactly two units, the second
+    // commit lands on the boundary (no checkpoint) and the third must
+    // checkpoint on that same statement — not one statement late.
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(
+        &io,
+        Durability {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every_bytes: Some(header + 2 * unit),
+        },
+    );
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    assert_eq!(db.wal_bytes().unwrap(), header + unit);
+    assert!(db.last_checkpoint_stats().is_none(), "below the threshold");
+    db.insert("Paper", vec![v("P2"), v("A2")]).unwrap();
+    assert_eq!(db.wal_bytes().unwrap(), header + 2 * unit);
+    assert!(
+        db.last_checkpoint_stats().is_none(),
+        "exactly at the threshold is not past it"
+    );
+    db.insert("Paper", vec![v("P3"), v("A3")]).unwrap();
+    assert_eq!(
+        db.wal_bytes().unwrap(),
+        header,
+        "the crossing commit checkpointed (and truncated) immediately"
+    );
+    assert!(db.last_checkpoint_stats().is_some());
+}
+
+#[test]
+fn snapshot_write_failures_keep_the_wal_appendable_and_clean_up_tmp() {
+    // Sweep an injected I/O error across every syscall of the checkpoint
+    // window and check the `CheckpointFailure` contract at each point:
+    // a `SnapshotWrite` failure must leave the WAL appendable (the
+    // checkpoint "simply did not happen"), a `WalReset` failure poisons
+    // appends until the next successful checkpoint, and in every case a
+    // reopen recovers the exact live state with no orphaned
+    // `checkpoint.tmp` surviving the scan.
+    let mut saw_snapshot_write = false;
+    let mut saw_orphan_tmp = false;
+    let mut saw_poisoned = false;
+    for at in 0..32u64 {
+        let io = Arc::new(FaultyIo::new());
+        let mut db = open(&io, always());
+        db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+        db.checkpoint().unwrap(); // freeze a geometry: later ckpts may be deltas
+        db.insert("Paper", vec![v("P2"), None]).unwrap();
+        io.set_plan(Some(FaultPlan {
+            at_op: io.op_count() + at,
+            kind: FaultKind::IoError,
+        }));
+        let r = db.checkpoint();
+        io.set_plan(None);
+        match r {
+            Err(_) => {
+                saw_snapshot_write = true;
+                saw_orphan_tmp |= io.peek(&store_path(&dir(), SNAP_TMP_FILE)).is_some();
+                // The claim under test: the WAL remains appendable.
+                db.insert("Paper", vec![v("P3"), None])
+                    .expect("WAL appendable after SnapshotWrite failure");
+            }
+            Ok(()) => match db.insert("Paper", vec![v("P3"), None]) {
+                Ok(()) => {}
+                Err(EngineError::WalPoisoned) => {
+                    // WalReset stage: snapshot durable, appends poisoned
+                    // until a checkpoint repairs the log.
+                    saw_poisoned = true;
+                    db.checkpoint().expect("repair checkpoint");
+                    db.insert("Paper", vec![v("P3"), None]).unwrap();
+                }
+                Err(e) => panic!("unexpected post-checkpoint error: {e:?}"),
+            },
+        }
+        let want = db.state().clone();
+        drop(db);
+        let db2 = open(&io, always());
+        assert_eq!(db2.state(), &want, "fault at +{at}: reopen recovers");
+        assert!(
+            io.peek(&store_path(&dir(), SNAP_TMP_FILE)).is_none(),
+            "fault at +{at}: read_store removed the orphaned tmp"
+        );
+    }
+    assert!(saw_snapshot_write, "sweep hit the snapshot-write stage");
+    assert!(
+        saw_orphan_tmp,
+        "sweep left (and then cleaned) an orphan tmp"
+    );
+    assert!(saw_poisoned, "sweep hit the WAL-reset stage");
+}
+
+#[test]
+fn delta_chain_recovers_across_reopen_and_continues() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.checkpoint().unwrap(); // base, freezes the geometry
+    assert_eq!(
+        db.last_checkpoint_stats().unwrap().kind,
+        CheckpointKind::Base
+    );
+    db.insert("Paper", vec![v("P2"), None]).unwrap();
+    db.checkpoint().unwrap(); // one dirty extent of two → delta
+    assert_eq!(
+        db.last_checkpoint_stats().unwrap().kind,
+        CheckpointKind::Delta
+    );
+    assert!(io.peek(&store_path(&dir(), &delta_file(1))).is_some());
+    db.insert("Paper", vec![v("P3"), None]).unwrap(); // WAL-only tail
+    let want = db.state().clone();
+    drop(db);
+
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+    let r = db2.recovery_report().unwrap();
+    assert_eq!(r.snapshot_format, 2, "recovered from a v2 paged chain");
+    assert_eq!(r.deltas_merged, 1);
+    assert_eq!(r.units_replayed, 1, "only the post-delta statement");
+    assert_eq!(r.checkpoint.unwrap().0, 2, "chain head epoch = base + 1");
+
+    // The chain continues where it left off: the next delta is d2.
+    let mut db2 = db2;
+    db2.insert("Paper", vec![v("P4"), None]).unwrap();
+    db2.checkpoint().unwrap();
+    assert_eq!(
+        db2.last_checkpoint_stats().unwrap().kind,
+        CheckpointKind::Delta
+    );
+    assert!(io.peek(&store_path(&dir(), &delta_file(2))).is_some());
+    let want2 = db2.state().clone();
+    drop(db2);
+    let db3 = open(&io, always());
+    assert_eq!(db3.state(), &want2);
+    assert_eq!(db3.recovery_report().unwrap().deltas_merged, 2);
+}
+
+#[test]
+fn checkpoint_full_collapses_the_chain() {
+    let io = Arc::new(FaultyIo::new());
+    let mut db = open(&io, always());
+    db.insert("Paper", vec![v("P1"), v("A1")]).unwrap();
+    db.checkpoint().unwrap();
+    db.insert("Paper", vec![v("P2"), None]).unwrap();
+    db.checkpoint().unwrap();
+    assert!(io.peek(&store_path(&dir(), &delta_file(1))).is_some());
+
+    db.insert("Paper", vec![v("P3"), None]).unwrap();
+    db.checkpoint_full().unwrap();
+    let stats = db.last_checkpoint_stats().unwrap();
+    assert_eq!(stats.kind, CheckpointKind::Base);
+    assert_eq!(stats.extents_written, stats.extents_total);
+    assert!(
+        io.peek(&store_path(&dir(), &delta_file(1))).is_none(),
+        "full checkpoint garbage-collected the old chain"
+    );
+    let want = db.state().clone();
+    drop(db);
+    let db2 = open(&io, always());
+    assert_eq!(db2.state(), &want);
+    assert_eq!(db2.recovery_report().unwrap().deltas_merged, 0);
 }
