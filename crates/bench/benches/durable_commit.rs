@@ -224,7 +224,30 @@ fn bench(c: &mut Criterion) {
     ridl_obs::init_tracing_from_env();
     let obs_before = ridl_obs::snapshot();
     let sc = build_load_scenario(TARGET_ROWS);
+
+    // Run the E-DUR report with detail on and assert the WAL
+    // instrumentation is live: the fsync configs must bump the fsync
+    // counter, populate the group-commit batch-size histogram, and (with
+    // detail enabled) record a non-zero fsync latency.
+    let detail_was = ridl_obs::detail_enabled();
+    ridl_obs::set_detail(true);
     report(&sc);
+    ridl_obs::set_detail(detail_was);
+    let wal_diff = ridl_obs::snapshot().since(&obs_before);
+    assert!(
+        wal_diff.counter("wal.fsyncs") > 0,
+        "wal_fsync/wal_group configs committed but wal.fsyncs stayed 0"
+    );
+    let batches = ridl_obs::hist::summary_named("wal.group_batch").unwrap_or_default();
+    assert!(
+        batches.count > 0,
+        "fsyncs happened but the wal.group_batch histogram is empty"
+    );
+    let fsync_ns = ridl_obs::hist::summary_named("wal.fsync").unwrap_or_default();
+    assert!(
+        fsync_ns.max > 0,
+        "detail was on but the wal.fsync timer recorded no nanoseconds"
+    );
 
     let mut group = c.benchmark_group("durable_commit");
     group.sample_size(20);

@@ -47,7 +47,7 @@ fn bench(c: &mut Criterion) {
             p.seconds,
             p.units,
             p.per_second,
-            p.p99_ns as f64 / 1e3
+            p.p99_ns.unwrap_or(0) as f64 / 1e3
         );
     }
     let mut group = c.benchmark_group("macro_pipeline");

@@ -14,9 +14,13 @@ use std::path::Path;
 
 /// Artifact schema version; bump when the layout changes shape.
 ///
-/// v2 adds the `checkpoint` object (full-vs-incremental snapshot cost);
-/// the validator still accepts v1 artifacts committed by earlier PRs.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v2 adds the `checkpoint` object (full-vs-incremental snapshot cost).
+/// v3 adds the `wal_metrics` object (append/fsync/group-commit/recovery
+/// observability counters) and emits `null` — not a misleading literal
+/// `0` — for the percentile fields of block-timed phases that have no
+/// per-unit latency distribution. The validator still accepts v1 and v2
+/// artifacts committed by earlier PRs (numeric zero percentiles).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One timed phase of the macro run.
 #[derive(Clone, PartialEq, Debug)]
@@ -31,19 +35,26 @@ pub struct PhaseStat {
     pub units: u64,
     /// Units per second (zero when `seconds` is zero).
     pub per_second: f64,
-    /// Median per-unit latency in nanoseconds (zero when the phase was
-    /// timed as a block rather than per unit).
-    pub p50_ns: u64,
-    /// 90th-percentile per-unit latency.
-    pub p90_ns: u64,
-    /// 99th-percentile per-unit latency.
-    pub p99_ns: u64,
+    /// Median per-unit latency in nanoseconds; `None` (emitted as JSON
+    /// `null`) when the phase was timed as a block rather than per unit —
+    /// a block-timed phase has no latency distribution, and a literal `0`
+    /// would read as "instant".
+    pub p50_ns: Option<u64>,
+    /// 90th-percentile per-unit latency (`None` for block-timed phases).
+    pub p90_ns: Option<u64>,
+    /// 99th-percentile per-unit latency (`None` for block-timed phases).
+    pub p99_ns: Option<u64>,
 }
 
 impl PhaseStat {
     /// A block-timed phase (no per-unit latency distribution).
     pub fn block(name: &str, seconds: f64, units: u64) -> Self {
-        Self::with_quantiles(name, seconds, units, 0, 0, 0)
+        Self {
+            p50_ns: None,
+            p90_ns: None,
+            p99_ns: None,
+            ..Self::with_quantiles(name, seconds, units, 0, 0, 0)
+        }
     }
 
     /// A phase with per-unit latency quantiles.
@@ -65,9 +76,9 @@ impl PhaseStat {
             seconds,
             units,
             per_second,
-            p50_ns,
-            p90_ns,
-            p99_ns,
+            p50_ns: Some(p50_ns),
+            p90_ns: Some(p90_ns),
+            p99_ns: Some(p99_ns),
         }
     }
 }
@@ -98,6 +109,30 @@ pub struct WalStats {
     pub replay_ops_per_sec: f64,
     /// WAL bytes on disk at the simulated crash.
     pub bytes: u64,
+}
+
+/// WAL/checkpoint observability counters from the traffic phases (schema
+/// v3): what the durability instrumentation recorded while the macro
+/// run's commits flowed through the engine. Latency fields come from the
+/// detail-gated `wal.fsync` histogram and are zero when the driver ran
+/// without the detail gate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WalMetrics {
+    /// WAL units appended (`wal.appends` counter).
+    pub appends: u64,
+    /// Bytes appended (`wal.append_bytes` counter).
+    pub append_bytes: u64,
+    /// fsync calls from the commit path (`wal.fsyncs` counter).
+    pub fsyncs: u64,
+    /// Checkpoints written (`wal.checkpoints` counter).
+    pub checkpoints: u64,
+    /// Median group-commit batch size (commits per fsync, from the
+    /// `wal.group_batch` histogram).
+    pub group_batch_p50: u64,
+    /// Largest group-commit batch observed.
+    pub group_batch_max: u64,
+    /// 99th-percentile fsync latency in nanoseconds (detail gate only).
+    pub fsync_p99_ns: u64,
 }
 
 /// Full-vs-incremental checkpoint cost from the macro run (schema v2).
@@ -149,6 +184,8 @@ pub struct BenchArtifact {
     pub sigex_classes: Vec<&'static str>,
     /// Checkpoint cost summary (required at [`SCHEMA_VERSION`] 2).
     pub checkpoint: Option<CheckpointSummary>,
+    /// WAL observability counters (required at [`SCHEMA_VERSION`] 3).
+    pub wal_metrics: Option<WalMetrics>,
 }
 
 /// Formats a float: finite values in shortest-roundtrip form, non-finite
@@ -193,6 +230,10 @@ impl BenchArtifact {
         s.push_str(&format!("  \"tables\": {},\n", self.tables));
         s.push_str(&format!("  \"constraints\": {},\n", self.constraints));
         s.push_str("  \"phases\": [\n");
+        let opt = |v: Option<u64>| match v {
+            Some(n) => n.to_string(),
+            None => "null".to_owned(),
+        };
         for (i, p) in self.phases.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"name\": {}, \"seconds\": {}, \"units\": {}, \"per_second\": {}, \
@@ -201,9 +242,9 @@ impl BenchArtifact {
                 num(p.seconds),
                 p.units,
                 num(p.per_second),
-                p.p50_ns,
-                p.p90_ns,
-                p.p99_ns,
+                opt(p.p50_ns),
+                opt(p.p90_ns),
+                opt(p.p99_ns),
                 if i + 1 < self.phases.len() { "," } else { "" },
             ));
         }
@@ -248,6 +289,20 @@ impl BenchArtifact {
                 c.dirty_extents,
                 c.total_extents,
                 c.churn_rows,
+            ));
+        }
+        if let Some(w) = &self.wal_metrics {
+            s.push_str(&format!(
+                "  \"wal_metrics\": {{\"appends\": {}, \"append_bytes\": {}, \"fsyncs\": {}, \
+                 \"checkpoints\": {}, \"group_batch_p50\": {}, \"group_batch_max\": {}, \
+                 \"fsync_p99_ns\": {}}},\n",
+                w.appends,
+                w.append_bytes,
+                w.fsyncs,
+                w.checkpoints,
+                w.group_batch_p50,
+                w.group_batch_max,
+                w.fsync_p99_ns,
             ));
         }
         s.push_str(&format!(
@@ -303,7 +358,7 @@ const REQUIRED_KEYS: [&str; 25] = [
     "bytes",
 ];
 
-/// Keys the `checkpoint` object must carry at schema v2.
+/// Keys the `checkpoint` object must carry at schema v2 and later.
 const CHECKPOINT_KEYS: [&str; 7] = [
     "full_bytes",
     "full_seconds",
@@ -312,6 +367,18 @@ const CHECKPOINT_KEYS: [&str; 7] = [
     "dirty_extents",
     "total_extents",
     "churn_rows",
+];
+
+/// Keys the `wal_metrics` object must carry at schema v3 and later.
+const WAL_METRICS_KEYS: [&str; 8] = [
+    "wal_metrics",
+    "appends",
+    "append_bytes",
+    "fsyncs",
+    "checkpoints",
+    "group_batch_p50",
+    "group_batch_max",
+    "fsync_p99_ns",
 ];
 
 struct Scanner<'a> {
@@ -524,12 +591,21 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
         .ok_or("artifact carries no schema_version number")?;
     match version as u64 {
         1 => {}
-        2 => {
+        v @ (2 | 3) => {
             for key in CHECKPOINT_KEYS {
                 if !sc.keys.contains(key) {
                     return Err(format!(
-                        "schema v2 artifact missing checkpoint key \"{key}\""
+                        "schema v{v} artifact missing checkpoint key \"{key}\""
                     ));
+                }
+            }
+            if v >= 3 {
+                for key in WAL_METRICS_KEYS {
+                    if !sc.keys.contains(key) {
+                        return Err(format!(
+                            "schema v3 artifact missing wal_metrics key \"{key}\""
+                        ));
+                    }
                 }
             }
         }
@@ -662,6 +738,15 @@ mod tests {
                 total_extents: 140,
                 churn_rows: 220,
             }),
+            wal_metrics: Some(WalMetrics {
+                appends: 200,
+                append_bytes: 51_200,
+                fsyncs: 200,
+                checkpoints: 2,
+                group_batch_p50: 1,
+                group_batch_max: 4,
+                fsync_p99_ns: 0,
+            }),
         }
     }
 
@@ -693,18 +778,47 @@ mod tests {
     }
 
     #[test]
-    fn v1_artifacts_without_checkpoint_still_validate() {
+    fn older_schema_versions_still_validate() {
         let mut a = sample();
         a.checkpoint = None;
-        let v2_missing = a.to_json();
+        let v3_missing = a.to_json();
         assert!(
-            validate_artifact(&v2_missing).is_err(),
-            "a v2 artifact must carry the checkpoint object"
+            validate_artifact(&v3_missing).is_err(),
+            "a v3 artifact must carry the checkpoint object"
         );
-        let v1 = v2_missing.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let v1 = v3_missing.replace("\"schema_version\": 3", "\"schema_version\": 1");
         validate_artifact(&v1).expect("legacy v1 layout validates");
-        let v9 = v2_missing.replace("\"schema_version\": 2", "\"schema_version\": 9");
+        let v9 = v3_missing.replace("\"schema_version\": 3", "\"schema_version\": 9");
         assert!(validate_artifact(&v9).is_err(), "unknown version rejected");
+
+        // v2: checkpoint object present, no wal_metrics, numeric zero
+        // percentiles — the exact shape of committed BENCH_7/BENCH_8.
+        let mut b = sample();
+        b.wal_metrics = None;
+        let no_metrics = b.to_json();
+        assert!(
+            validate_artifact(&no_metrics).is_err(),
+            "a v3 artifact must carry the wal_metrics object"
+        );
+        let v2 = no_metrics
+            .replace("\"schema_version\": 3", "\"schema_version\": 2")
+            .replace("\"p50_ns\": null", "\"p50_ns\": 0")
+            .replace("\"p90_ns\": null", "\"p90_ns\": 0")
+            .replace("\"p99_ns\": null", "\"p99_ns\": 0");
+        validate_artifact(&v2).expect("legacy v2 layout validates");
+    }
+
+    #[test]
+    fn block_phases_emit_null_percentiles() {
+        let text = sample().to_json();
+        // The block-timed `generate` phase has no latency distribution.
+        assert!(
+            text.contains("\"name\": \"generate\", \"seconds\": 0.5, \"units\": 1, \"per_second\": 2, \"p50_ns\": null, \"p90_ns\": null, \"p99_ns\": null"),
+            "{text}"
+        );
+        // The per-unit `traffic` phase keeps its numbers.
+        assert!(text.contains("\"p50_ns\": 10000"), "{text}");
+        validate_artifact(&text).expect("null percentiles validate at v3");
     }
 
     #[test]

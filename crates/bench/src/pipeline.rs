@@ -17,7 +17,9 @@ use ridl_obs::Histogram;
 use ridl_workloads::macrobench::{self, MacroParams, TrafficOp};
 use ridl_workloads::{scenario, sigex};
 
-use crate::artifact::{BenchArtifact, CheckpointSummary, ClassCost, PhaseStat, WalStats};
+use crate::artifact::{
+    BenchArtifact, CheckpointSummary, ClassCost, PhaseStat, WalMetrics, WalStats,
+};
 use crate::harness::{self, MutationTarget};
 
 /// How many probed mutation targets the traffic plan spreads over.
@@ -232,6 +234,9 @@ pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
     };
     let schema = out.rel.clone();
     let rows = scenario::rows_of(&schema, &state);
+    // Counter baseline for the durable portion of the run: everything
+    // from bulk_load through recovery lands in the wal_metrics diff.
+    let wal_obs_before = ridl_obs::snapshot();
     let mut db = Database::open_with(
         Arc::new(StdIo),
         &dir,
@@ -425,6 +430,23 @@ pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // WAL I/O accounting over the whole durable portion of the run:
+    // counters as a diff against the pre-open baseline, group-commit and
+    // fsync distributions from the global histogram registry (this
+    // process only runs the pipeline, so the histograms are the run's).
+    let wal_diff = ridl_obs::snapshot().since(&wal_obs_before);
+    let group = ridl_obs::hist::summary_named("wal.group_batch").unwrap_or_default();
+    let fsync = ridl_obs::hist::summary_named("wal.fsync").unwrap_or_default();
+    let wal_metrics = WalMetrics {
+        appends: wal_diff.counter("wal.appends"),
+        append_bytes: wal_diff.counter("wal.append_bytes"),
+        fsyncs: wal_diff.counter("wal.fsyncs"),
+        checkpoints: wal_diff.counter("wal.checkpoints"),
+        group_batch_p50: group.p50,
+        group_batch_max: group.max,
+        fsync_p99_ns: fsync.p99,
+    };
+
     Ok(BenchArtifact {
         pr: cfg.pr,
         seed: p.seed,
@@ -452,5 +474,6 @@ pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
             total_extents: delta_stats.extents_total as u64,
             churn_rows,
         }),
+        wal_metrics: Some(wal_metrics),
     })
 }

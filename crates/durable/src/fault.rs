@@ -151,6 +151,22 @@ impl FaultyIo {
                 if p.kind == FaultKind::Crash {
                     g.down = true;
                 }
+                ridl_obs::journal::record(
+                    ridl_obs::Severity::Warn,
+                    "fault.inject",
+                    vec![
+                        ("op", this_op.into()),
+                        (
+                            "fault",
+                            match p.kind {
+                                FaultKind::ShortWrite => "short_write",
+                                FaultKind::IoError => "io_error",
+                                FaultKind::Crash => "crash",
+                            }
+                            .into(),
+                        ),
+                    ],
+                );
                 return Ok(Some(p.kind));
             }
         }

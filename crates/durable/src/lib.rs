@@ -26,13 +26,17 @@
 //!   commit markers, and the total (never-panicking) [`scan_wal`];
 //! * [`store`] — the on-disk protocol: file layout, crash-safe base +
 //!   delta-chain checkpoint and log-truncation sequences, and the
-//!   recovery read path.
+//!   recovery read path;
+//! * [`inspect`] — offline, read-only store inspection (`ridl status`):
+//!   the same strict decodes as recovery, but reporting debris and
+//!   inconsistencies instead of repairing them.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod crc;
 pub mod fault;
+pub mod inspect;
 pub mod io;
 pub mod pagesnap;
 pub mod snapshot;
@@ -40,6 +44,7 @@ pub mod store;
 pub mod wal;
 
 pub use crate::fault::{FaultKind, FaultPlan, FaultyIo};
+pub use crate::inspect::{inspect_store, CheckpointInfo, StoreStatus, WalStatus};
 pub use crate::io::{DurableIo, StdIo};
 pub use crate::pagesnap::{
     decode_paged, encode_base, encode_delta, merge_chain, row_extent_hash, ExtentGeometry,

@@ -66,11 +66,13 @@ pub const SNAP_PREV_FILE: &str = "checkpoint.prev";
 /// rest: [`read_store`] deletes an orphaned one left by a crash or a
 /// failed checkpoint before doing anything else.
 pub const SNAP_TMP_FILE: &str = "checkpoint.tmp";
-const WAL_TMP_FILE: &str = "wal.tmp";
+/// Staging file for WAL resets — same never-meaningful-at-rest rule as
+/// [`SNAP_TMP_FILE`].
+pub const WAL_TMP_FILE: &str = "wal.tmp";
 
 /// How far past the last existing delta file the probe looks for
 /// stragglers (orphans from an interrupted GC separated by a gap).
-const DELTA_PROBE_WINDOW: u32 = 16;
+pub(crate) const DELTA_PROBE_WINDOW: u32 = 16;
 
 /// Name of the `seq`-th delta file in a chain (1-based).
 pub fn delta_file(seq: u32) -> String {
@@ -171,7 +173,7 @@ impl std::fmt::Display for CheckpointFailure {
 /// Probes `checkpoint.d1`, `checkpoint.d2`, … and returns the sequence
 /// numbers that exist, tolerating gaps up to [`DELTA_PROBE_WINDOW`]
 /// (orphans from an interrupted GC).
-fn probe_deltas(io: &dyn DurableIo, dir: &Path) -> Vec<u32> {
+pub(crate) fn probe_deltas(io: &dyn DurableIo, dir: &Path) -> Vec<u32> {
     let mut present = Vec::new();
     let mut seq = 1u32;
     let mut misses = 0u32;
@@ -199,31 +201,39 @@ pub fn write_checkpoint(
     plan: CheckpointPlan<'_>,
 ) -> Result<CheckpointOutcome, CheckpointFailure> {
     let tmp = store_path(dir, SNAP_TMP_FILE);
-    let (enc, geometry, snap_stats, kind, dest) = match plan {
-        CheckpointPlan::Base => {
-            let (enc, geometry, stats) = encode_base(epoch, fingerprint, state);
-            (
-                enc,
+    let (enc, geometry, snap_stats, kind, dest) = {
+        let mut span = ridl_obs::enter("ckpt.encode");
+        let out = match plan {
+            CheckpointPlan::Base => {
+                let (enc, geometry, stats) = encode_base(epoch, fingerprint, state);
+                (
+                    enc,
+                    geometry,
+                    stats,
+                    CheckpointKind::Base,
+                    SNAP_FILE.to_string(),
+                )
+            }
+            CheckpointPlan::Delta {
                 geometry,
-                stats,
-                CheckpointKind::Base,
-                SNAP_FILE.to_string(),
-            )
+                dirty,
+                seq,
+            } => {
+                let (enc, stats) = encode_delta(epoch, fingerprint, state, geometry, dirty);
+                (
+                    enc,
+                    geometry.clone(),
+                    stats,
+                    CheckpointKind::Delta,
+                    delta_file(seq),
+                )
+            }
+        };
+        if span.is_recording() {
+            span.attr("bytes", out.0.len());
+            span.attr("extents", out.2.extents);
         }
-        CheckpointPlan::Delta {
-            geometry,
-            dirty,
-            seq,
-        } => {
-            let (enc, stats) = encode_delta(epoch, fingerprint, state, geometry, dirty);
-            (
-                enc,
-                geometry.clone(),
-                stats,
-                CheckpointKind::Delta,
-                delta_file(seq),
-            )
-        }
+        out
     };
     let mut outcome = CheckpointOutcome {
         wal_len: 0,
@@ -238,8 +248,12 @@ pub fn write_checkpoint(
     };
     let dest_path = store_path(dir, &dest);
     let snap_stage = (|| {
-        io.write_new(&tmp, &enc)?;
-        io.sync(&tmp)?;
+        {
+            let _tmp_span = ridl_obs::enter("ckpt.tmp_write");
+            io.write_new(&tmp, &enc)?;
+            io.sync(&tmp)?;
+        }
+        let _rename_span = ridl_obs::enter("ckpt.rename");
         if kind == CheckpointKind::Base {
             // Rotate the old base out of the way first; skip when a
             // previous failure already consumed `snap` (rename snap→prev
@@ -257,18 +271,30 @@ pub fn write_checkpoint(
     // is synced. Past the final rename the new snapshot must be assumed
     // current, so a directory-sync failure is a WAL-stage failure (the
     // caller poisons appends) — never a retryable "nothing happened".
-    if let Err(error) = io.sync_dir(dir) {
-        return Err(CheckpointFailure::WalReset { error, outcome });
+    {
+        let _dir_span = ridl_obs::enter("ckpt.dir_fsync");
+        if let Err(error) = io.sync_dir(dir) {
+            return Err(CheckpointFailure::WalReset { error, outcome });
+        }
     }
     if kind == CheckpointKind::Base {
         // The new base supersedes the whole old delta chain. Stale
         // deltas can never chain onto the new base (their epochs are in
         // the past), so this is pure hygiene: ignore failures, and a
         // crash mid-way just leaves orphans for the next GC.
-        for seq in probe_deltas(io, dir) {
+        let superseded = probe_deltas(io, dir);
+        if !superseded.is_empty() {
+            ridl_obs::journal::record(
+                ridl_obs::Severity::Info,
+                "ckpt.collapse",
+                vec![("epoch", epoch.into()), ("deltas", superseded.len().into())],
+            );
+        }
+        for seq in superseded {
             let _ = io.remove(&store_path(dir, &delta_file(seq)));
         }
     }
+    let _reset_span = ridl_obs::enter("ckpt.wal_reset");
     match reset_wal(io, dir, epoch, fingerprint) {
         Ok(len) => {
             outcome.wal_len = len;

@@ -423,6 +423,19 @@ impl Database {
         ridl_obs::emit("engine.statement", report.duration_ns, &report.summary());
         self.last_report = Some(report);
         if !ok {
+            // Statement-level flight-recorder events are part of the
+            // durability record, so only durable databases pay for them.
+            if self.wal.is_some() {
+                ridl_obs::journal::record(
+                    ridl_obs::Severity::Warn,
+                    "stmt.abort",
+                    vec![
+                        ("statement", statement.into()),
+                        ("ops", ops.into()),
+                        ("violations", violations.len().into()),
+                    ],
+                );
+            }
             self.revert_to(mark);
             return Err(EngineError::ConstraintViolation(violations));
         }
@@ -442,8 +455,24 @@ impl Database {
             // from what the log can reconstruct. The revert runs with the
             // deferred-check flags still set (see `discharged` above).
             if let Err(e) = self.wal_commit(mark, true) {
+                ridl_obs::journal::record(
+                    ridl_obs::Severity::Error,
+                    "stmt.abort",
+                    vec![("statement", statement.into()), ("reason", "wal".into())],
+                );
                 self.revert_to(mark);
                 return Err(e);
+            }
+            if self.wal.is_some() {
+                ridl_obs::journal::record(
+                    ridl_obs::Severity::Debug,
+                    "stmt.commit",
+                    vec![
+                        ("statement", statement.into()),
+                        ("ops", ops.into()),
+                        ("strategy", strategy.into()),
+                    ],
+                );
             }
         }
         if discharged {
@@ -1024,8 +1053,23 @@ impl Database {
                 // — which may no longer satisfy the constraints — cannot
                 // be checkpointed unvalidated.
                 if let Err(e) = self.wal_commit(mark, true) {
+                    ridl_obs::journal::record(
+                        ridl_obs::Severity::Error,
+                        "stmt.abort",
+                        vec![("statement", "commit".into()), ("reason", "wal".into())],
+                    );
                     self.revert_to(mark);
                     return Err(e);
+                }
+                if self.wal.is_some() {
+                    ridl_obs::journal::record(
+                        ridl_obs::Severity::Debug,
+                        "stmt.commit",
+                        vec![
+                            ("statement", "commit".into()),
+                            ("ops", (self.undo.len() - mark).into()),
+                        ],
+                    );
                 }
                 self.has_unchecked = false;
                 self.unchecked_mark = None;
@@ -1041,6 +1085,17 @@ impl Database {
         } else {
             // A failed commit reverts the transaction; if that suffix held
             // every unchecked op, `revert_to` resets the deferred flag.
+            if self.wal.is_some() {
+                ridl_obs::journal::record(
+                    ridl_obs::Severity::Warn,
+                    "stmt.abort",
+                    vec![
+                        ("statement", "commit".into()),
+                        ("ops", (self.undo.len() - mark).into()),
+                        ("violations", violations.len().into()),
+                    ],
+                );
+            }
             self.revert_to(mark);
             Err(EngineError::ConstraintViolation(violations))
         }

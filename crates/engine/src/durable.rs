@@ -30,6 +30,8 @@ use ridl_durable::{
     CheckpointPlan, CheckpointStats, Durability, DurableIo, ExtentGeometry, FsyncPolicy,
     RecoveryReport, StdIo,
 };
+use ridl_obs::journal;
+use ridl_obs::Severity;
 use ridl_relational::{parallel, DeltaOp, RelSchema, RelState, Row, TableId};
 
 use crate::db::{Database, EngineError};
@@ -59,6 +61,9 @@ pub(crate) struct WalHandle {
     /// bytes are still waiting for one.
     last_sync: Instant,
     unsynced: bool,
+    /// Commits appended since the last fsync — the group-commit batch
+    /// size, recorded to the `wal.group_batch` histogram at each fsync.
+    commits_since_sync: u64,
     /// The extent geometry frozen by the current chain's base checkpoint
     /// (v2). `None` until the first v2 base exists (fresh store, or a
     /// legacy v1 snapshot awaiting upgrade) — then every checkpoint is a
@@ -175,6 +180,26 @@ impl Database {
             None => scan.wal.header.map(|h| h.epoch).unwrap_or(0),
         };
 
+        if !report.fresh {
+            journal::record(
+                Severity::Info,
+                "recover.begin",
+                vec![
+                    ("epoch", epoch.into()),
+                    ("wal_bytes", scan.wal_len.into()),
+                    ("deltas_merged", report.deltas_merged.into()),
+                    ("snapshot_format", u64::from(report.snapshot_format).into()),
+                ],
+            );
+        }
+        if report.stale_wal {
+            journal::record(
+                Severity::Warn,
+                "recover.stale_wal",
+                vec![("epoch", epoch.into()), ("bytes", scan.wal_len.into())],
+            );
+        }
+
         // Replay the committed WAL suffix through the engine's own
         // validation path. Checked units re-validate (and must pass — they
         // passed live); unchecked units re-defer, exactly as the live run
@@ -193,6 +218,14 @@ impl Database {
                     Ok(()) => {}
                     Err(EngineError::ConstraintViolation(_)) => {
                         report.replay_rejected = true;
+                        journal::record(
+                            Severity::Warn,
+                            "recover.reject",
+                            vec![
+                                ("unit", report.units_replayed.into()),
+                                ("ops", unit.ops.len().into()),
+                            ],
+                        );
                         continue;
                     }
                     Err(e) => return Err(e),
@@ -202,6 +235,15 @@ impl Database {
                 db.unchecked_uncovered = true;
                 db.undo.clear();
             }
+            journal::record(
+                Severity::Debug,
+                "recover.replay",
+                vec![
+                    ("unit", report.units_replayed.into()),
+                    ("ops", unit.ops.len().into()),
+                    ("checked", unit.checked.into()),
+                ],
+            );
             report.units_replayed += 1;
             report.ops_replayed += unit.ops.len();
         }
@@ -245,6 +287,7 @@ impl Database {
             poisoned: false,
             last_sync: Instant::now(),
             unsynced: false,
+            commits_since_sync: 0,
             geometry: scan.geometry,
             dirty: dirty_extents,
             dirty_overflow,
@@ -252,7 +295,21 @@ impl Database {
             last_ckpt: None,
         };
         if dirty {
-            match rewrite_wal(&handle, &units, report.units_replayed) {
+            let rewrite = rewrite_wal(&handle, &units, report.units_replayed);
+            journal::record(
+                if rewrite.is_ok() {
+                    Severity::Warn
+                } else {
+                    Severity::Error
+                },
+                "recover.rewrite",
+                vec![
+                    ("units_kept", report.units_replayed.into()),
+                    ("discarded", report.bytes_discarded.into()),
+                    ("ok", rewrite.is_ok().into()),
+                ],
+            );
+            match rewrite {
                 Ok(len) => handle.wal_len = len,
                 // The store is readable but not yet appendable; surface
                 // the recovered data and let a checkpoint repair the log.
@@ -272,7 +329,28 @@ impl Database {
             span.attr("fresh", report.fresh);
         }
         ridl_obs::hist::record_named("engine.recover", sw.elapsed_ns());
+        // Recovery progress histograms: always-on count distributions so
+        // the bench artifact can report replay volume without detail mode.
+        ridl_obs::hist::record_named("recover.units_replayed", report.units_replayed as u64);
+        ridl_obs::hist::record_named("recover.deltas_merged", report.deltas_merged as u64);
+        ridl_obs::hist::record_named("recover.bytes_scanned", report.wal_bytes_scanned);
         report.elapsed_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if !report.fresh {
+            journal::record(
+                Severity::Info,
+                "recover.done",
+                vec![
+                    ("epoch", epoch.into()),
+                    ("units", report.units_replayed.into()),
+                    ("ops", report.ops_replayed.into()),
+                    ("discarded", report.bytes_discarded.into()),
+                    ("elapsed_ns", report.elapsed_ns.into()),
+                ],
+            );
+            // Dump-on-recovery: the one moment the flight recorder is
+            // guaranteed to matter. No-op unless RIDL_JOURNAL_JSONL is set.
+            journal::dump_env();
+        }
 
         db.wal = Some(handle);
         db.recovery = Some(report);
@@ -311,11 +389,28 @@ impl Database {
         }
         if w.unsynced {
             let path = store_path(&w.dir, WAL_FILE);
+            let sw = ridl_obs::Stopwatch::start();
             if let Err(e) = w.io.sync(&path) {
                 w.poisoned = true;
+                journal::record(
+                    Severity::Error,
+                    "wal.poison",
+                    vec![("stage", "flush_fsync".into())],
+                );
                 return Err(io_err("wal fsync", e));
             }
             ridl_obs::metrics().wal_fsyncs.inc();
+            ridl_obs::hist::record_named("wal.fsync", sw.elapsed_ns());
+            ridl_obs::hist::record_named("wal.group_batch", w.commits_since_sync);
+            journal::record(
+                Severity::Debug,
+                "wal.fsync",
+                vec![
+                    ("batch", w.commits_since_sync.into()),
+                    ("flush", true.into()),
+                ],
+            );
+            w.commits_since_sync = 0;
             w.unsynced = false;
             w.last_sync = Instant::now();
         }
@@ -437,6 +532,17 @@ impl Database {
             span.attr("rows", state.num_rows());
             span.attr("kind", if use_delta { "delta" } else { "base" });
         }
+        journal::record(
+            Severity::Info,
+            "ckpt.decision",
+            vec![
+                ("epoch", next.into()),
+                ("kind", if use_delta { "delta" } else { "base" }.into()),
+                ("dirty", w.dirty.len().into()),
+                ("chain_len", u64::from(w.chain_len).into()),
+                ("wal_len", w.wal_len.into()),
+            ],
+        );
         let settle = |w: &mut WalHandle, outcome: &ridl_durable::CheckpointOutcome| {
             w.epoch = next;
             w.chain_len = match outcome.stats.kind {
@@ -451,10 +557,27 @@ impl Database {
         };
         match write_checkpoint(&*w.io, &w.dir, next, w.fingerprint, state, plan) {
             Ok(outcome) => {
+                journal::record(
+                    Severity::Info,
+                    "ckpt.done",
+                    vec![
+                        ("epoch", next.into()),
+                        (
+                            "kind",
+                            match outcome.stats.kind {
+                                CheckpointKind::Base => "base",
+                                CheckpointKind::Delta => "delta",
+                            }
+                            .into(),
+                        ),
+                        ("bytes", outcome.stats.bytes.into()),
+                    ],
+                );
                 settle(w, &outcome);
                 w.wal_len = outcome.wal_len;
                 w.poisoned = false;
                 w.unsynced = false;
+                w.commits_since_sync = 0;
                 w.last_sync = Instant::now();
                 ridl_obs::hist::record_named("engine.checkpoint", sw.elapsed_ns());
                 Ok(())
@@ -464,6 +587,11 @@ impl Database {
                 // dirty set, which still describes the distance to the
                 // on-disk chain) stay as they were — the handle stays
                 // healthy.
+                journal::record(
+                    Severity::Warn,
+                    "ckpt.fail",
+                    vec![("epoch", next.into()), ("stage", "snapshot".into())],
+                );
                 Err(io_err("checkpoint snapshot", e))
             }
             Err(CheckpointFailure::WalReset { error, outcome }) => {
@@ -471,6 +599,11 @@ impl Database {
                 // Record the new epoch + chain position (the files on disk
                 // carry them) and poison appends until a later checkpoint
                 // rewrites the log.
+                journal::record(
+                    Severity::Error,
+                    "ckpt.fail",
+                    vec![("epoch", next.into()), ("stage", "wal_reset".into())],
+                );
                 settle(w, &outcome);
                 w.poisoned = true;
                 let _ = error;
@@ -499,12 +632,28 @@ impl Database {
         let sw = ridl_obs::Stopwatch::start();
         if let Err(e) = w.io.append(&path, &bytes) {
             w.poisoned = true;
+            journal::record(
+                Severity::Error,
+                "wal.poison",
+                vec![("stage", "append".into()), ("bytes", bytes.len().into())],
+            );
             return Err(io_err("wal append", e));
         }
         w.wal_len += bytes.len() as u64;
         m.wal_appends.inc();
         m.wal_append_bytes.add(bytes.len() as u64);
         ridl_obs::hist::record_named("wal.append", sw.elapsed_ns());
+        ridl_obs::hist::record_named("wal.append_bytes", bytes.len() as u64);
+        journal::record(
+            Severity::Debug,
+            "wal.append",
+            vec![
+                ("bytes", bytes.len().into()),
+                ("ops", ops.len().into()),
+                ("checked", checked.into()),
+            ],
+        );
+        w.commits_since_sync += 1;
         let sync_now = match w.config.fsync {
             FsyncPolicy::Always => true,
             FsyncPolicy::Never => false,
@@ -527,17 +676,32 @@ impl Database {
                 // way, so no further appends happen until a checkpoint
                 // rebuilds the log.
                 let pre = w.wal_len - bytes.len() as u64;
-                if w.io
-                    .truncate(&path, pre)
-                    .and_then(|()| w.io.sync(&path))
-                    .is_ok()
-                {
+                let rewound =
+                    w.io.truncate(&path, pre)
+                        .and_then(|()| w.io.sync(&path))
+                        .is_ok();
+                if rewound {
                     w.wal_len = pre;
                 }
+                journal::record(
+                    Severity::Error,
+                    "wal.rewind",
+                    vec![("to", pre.into()), ("ok", rewound.into())],
+                );
                 return Err(io_err("wal fsync", e));
             }
             m.wal_fsyncs.inc();
             ridl_obs::hist::record_named("wal.fsync", sw.elapsed_ns());
+            ridl_obs::hist::record_named("wal.group_batch", w.commits_since_sync);
+            journal::record(
+                Severity::Debug,
+                "wal.fsync",
+                vec![
+                    ("batch", w.commits_since_sync.into()),
+                    ("flush", false.into()),
+                ],
+            );
+            w.commits_since_sync = 0;
             w.unsynced = false;
             w.last_sync = Instant::now();
         } else {

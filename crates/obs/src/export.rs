@@ -262,6 +262,10 @@ pub struct ChromeTraceStats {
     pub spans: u64,
     /// Distinct `tid` values seen.
     pub threads: u64,
+    /// `dropped_at_cap` from the trace's `otherData`: spans lost when the
+    /// collector hit its cap. Non-zero means the trace is incomplete —
+    /// `ridl tracecheck` warns but does not fail.
+    pub dropped_at_cap: u64,
 }
 
 fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -296,6 +300,11 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
     let mut stats = ChromeTraceStats::default();
     for (lineno, line) in text.lines().enumerate() {
         let Some(ph) = field(line, "ph") else {
+            if line.contains("\"otherData\"") {
+                if let Some(n) = field(line, "dropped_at_cap") {
+                    stats.dropped_at_cap = n.parse().unwrap_or(0);
+                }
+            }
             continue;
         };
         let name = field(line, "name")
@@ -435,6 +444,7 @@ mod tests {
         assert!(text.contains("\"dropped_at_cap\":5"));
         let stats = validate_chrome_trace(&text).expect("well-formed");
         assert_eq!(stats.spans, 1);
+        assert_eq!(stats.dropped_at_cap, 5);
     }
 
     #[test]

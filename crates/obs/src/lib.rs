@@ -31,7 +31,11 @@
 //!   ([`export::chrome_trace`]);
 //! * [`hist`] — log-bucketed latency histograms (p50/p90/p99/max per
 //!   span name), mergeable across threads so parallel-validator workers
-//!   aggregate into one account.
+//!   aggregate into one account;
+//! * [`journal`] — the durability flight recorder: a bounded,
+//!   mutex-sharded ring of structured events (WAL appends, checkpoint
+//!   decisions, recovery steps, fault injections) that is always on and
+//!   dumped as JSONL on panic, on recovery, or via `RIDL_JOURNAL_JSONL`.
 //!
 //! The crate depends on nothing but `std`, so every layer (relational,
 //! engine, transform, core, benches) can report into it without cycles.
@@ -41,6 +45,7 @@
 
 pub mod export;
 pub mod hist;
+pub mod journal;
 pub mod sink;
 pub mod span;
 
@@ -49,6 +54,7 @@ pub use export::{
     validate_chrome_trace, write_chrome_trace, write_chrome_trace_env, ChromeTraceStats,
 };
 pub use hist::{histograms_snapshot, render_histograms, summary_named, HistSummary, Histogram};
+pub use journal::{JournalEvent, Severity};
 pub use sink::{
     attach_sink, detach_sink, emit, init_from_env, sink_attached, JsonlSink, MemorySink,
     MetricsSink,
@@ -286,6 +292,9 @@ enforcement_counters! {
     wal_recoveries => "wal.recoveries",
     wal_replayed_ops => "wal.recovery.replayed_ops",
     wal_discarded_bytes => "wal.recovery.discarded_bytes",
+    span_dropped => "span.dropped",
+    journal_events => "journal.events",
+    journal_overwritten => "journal.overwritten",
 }
 
 static METRICS: EnforcementMetrics = EnforcementMetrics::new();

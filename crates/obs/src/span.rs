@@ -268,6 +268,7 @@ impl Drop for Span {
             });
         } else {
             c.dropped += 1;
+            crate::metrics().span_dropped.inc();
         }
     }
 }

@@ -17,6 +17,10 @@
 //! ridl recover <schema.ridl> <store-dir> [options]
 //!                                                recover a durable store: checkpoint
 //!                                                + WAL replay, print the report
+//! ridl status  <store-dir> [--json]              inspect a store offline (read-only):
+//!                                                checkpoint chain, WAL health, debris
+//! ridl events  <journal.jsonl> [--kind P] [--min-sev S] [--tail N]
+//!                                                tail/filter a flight-recorder dump
 //! ridl bench   [--rows N] [--ops N] [--seed N] [--pr N] [--out FILE] [--dir DIR]
 //!                                                run the RIDL-Bench macro pipeline,
 //!                                                write the BENCH_<pr>.json artifact
@@ -36,7 +40,8 @@
 //! `RIDL_TRACE_JSON=<path>` to enable span tracing and write a Chrome
 //! trace-event file (loadable in Perfetto or `chrome://tracing`) at exit;
 //! `ridl trace` enables the spans regardless and honours the variable for
-//! the JSON export.
+//! the JSON export. Set `RIDL_JOURNAL_JSONL=<path>` to dump the durability
+//! flight recorder there — on recovery, on panic, and at process exit.
 //!
 //! Exit codes distinguish the failure class so scripts can react:
 //! `1` the schema failed analysis (`ridl check` verdict), `2` a usage
@@ -211,7 +216,7 @@ fn drive_engine(wb: &Workbench, out: &ridl_core::MappingOutput) {
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or_else(|| {
-        usage("usage: ridl <check|map|report|trace|profile|fmt|query|recover|bench> <schema.ridl> [options]")
+        usage("usage: ridl <check|map|report|trace|profile|fmt|query|recover|status|events|bench> <schema.ridl> [options]")
     })?;
     match cmd.as_str() {
         "check" => {
@@ -281,6 +286,12 @@ fn run() -> Result<(), CliError> {
             drive_engine(&wb, &out);
             print!("{}", out.trace.render());
             let (events, dropped) = ridl_obs::span::take_events();
+            if dropped > 0 {
+                eprintln!(
+                    "-- warning: {dropped} span(s) dropped at the collector cap; the tree \
+                     and trace below are incomplete"
+                );
+            }
             print!("{}", ridl_obs::render_tree(&events));
             print!("{}", ridl_obs::render_histograms());
             if let Ok(json_path) = std::env::var("RIDL_TRACE_JSON") {
@@ -333,6 +344,13 @@ fn run() -> Result<(), CliError> {
                 "-- {path}: well-formed chrome trace ({} spans over {} threads)",
                 stats.spans, stats.threads
             );
+            if stats.dropped_at_cap > 0 {
+                eprintln!(
+                    "-- warning: {} span(s) were dropped at the collector cap when this \
+                     trace was recorded; it is incomplete",
+                    stats.dropped_at_cap
+                );
+            }
             Ok(())
         }
         "profile" => {
@@ -456,6 +474,120 @@ fn run() -> Result<(), CliError> {
             );
             Ok(())
         }
+        "status" => {
+            let (store, flags) = rest
+                .split_first()
+                .ok_or_else(|| usage("usage: ridl status <store-dir> [--json]"))?;
+            let json = match flags {
+                [] => false,
+                [f] if f == "--json" => true,
+                _ => return Err(usage("usage: ridl status <store-dir> [--json]")),
+            };
+            // Unlike `ridl recover`, status never opens the database (no
+            // schema needed) and never writes: it reads the checkpoint
+            // chain and WAL exactly as recovery would, and reports.
+            if !std::path::Path::new(store).is_dir() {
+                return Err(CliError::Input(format!(
+                    "store directory {store} does not exist"
+                )));
+            }
+            let status =
+                ridl_durable::inspect_store(&ridl_durable::StdIo, std::path::Path::new(store))
+                    .map_err(|e| CliError::Input(format!("inspecting store {store}: {e}")))?;
+            if json {
+                println!("{}", status.to_json());
+            } else {
+                print!("{status}");
+            }
+            // Health is the *output*, not the exit code: a corrupt store
+            // was still successfully inspected.
+            Ok(())
+        }
+        "events" => {
+            let (path, flags) = rest.split_first().ok_or_else(|| {
+                usage("usage: ridl events <journal.jsonl> [--kind P] [--min-sev S] [--tail N]")
+            })?;
+            let mut kind_prefix: Option<String> = None;
+            let mut min_sev = ridl_obs::Severity::Debug;
+            let mut tail: Option<usize> = None;
+            let mut it = flags.iter();
+            while let Some(a) = it.next() {
+                let value = |it: &mut std::slice::Iter<String>| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage(&format!("{a} needs a value")))
+                };
+                match a.as_str() {
+                    "--kind" => kind_prefix = Some(value(&mut it)?),
+                    "--min-sev" => {
+                        let v = value(&mut it)?;
+                        min_sev = ridl_obs::Severity::parse(&v).ok_or_else(|| {
+                            usage(&format!("unknown severity {v} (debug|info|warn|error)"))
+                        })?;
+                    }
+                    "--tail" => {
+                        let v = value(&mut it)?;
+                        tail = Some(
+                            v.parse()
+                                .map_err(|_| usage(&format!("--tail needs a number, got {v}")))?,
+                        );
+                    }
+                    other => return Err(usage(&format!("unknown events option {other}"))),
+                }
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Input(format!("reading {path}: {e}")))?;
+            // Line-level filter on the journal's fixed JSONL shape:
+            // {"seq":N,"t_ns":N,"sev":"...","kind":"...",...}. The
+            // journal.meta header line always passes.
+            let json_field = |line: &str, key: &str| -> Option<String> {
+                let pat = format!("\"{key}\":\"");
+                let start = line.find(&pat)? + pat.len();
+                line[start..]
+                    .find('"')
+                    .map(|end| line[start..start + end].to_owned())
+            };
+            let mut selected: Vec<&str> = Vec::new();
+            let mut total = 0usize;
+            for (lineno, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let kind = json_field(line, "kind").ok_or_else(|| {
+                    CliError::Corrupt(format!("{path}:{}: journal line without kind", lineno + 1))
+                })?;
+                if kind == "journal.meta" {
+                    continue;
+                }
+                total += 1;
+                let sev = json_field(line, "sev")
+                    .and_then(|s| ridl_obs::Severity::parse(&s))
+                    .ok_or_else(|| {
+                        CliError::Corrupt(format!(
+                            "{path}:{}: journal line without severity",
+                            lineno + 1
+                        ))
+                    })?;
+                if sev < min_sev {
+                    continue;
+                }
+                if let Some(p) = &kind_prefix {
+                    if !kind.starts_with(p.as_str()) {
+                        continue;
+                    }
+                }
+                selected.push(line);
+            }
+            let shown = match tail {
+                Some(n) => &selected[selected.len().saturating_sub(n)..],
+                None => &selected[..],
+            };
+            for line in shown {
+                println!("{line}");
+            }
+            eprintln!("-- {} of {} event(s) shown from {path}", shown.len(), total);
+            Ok(())
+        }
         "bench" => {
             let mut cfg = ridl_bench::pipeline::MacroConfig::from_env();
             let mut out_path: Option<String> = None;
@@ -503,7 +635,7 @@ fn run() -> Result<(), CliError> {
                     p.seconds,
                     p.units,
                     p.per_second,
-                    p.p99_ns as f64 / 1e3
+                    p.p99_ns.unwrap_or(0) as f64 / 1e3
                 );
             }
             println!(
@@ -584,6 +716,9 @@ fn run() -> Result<(), CliError> {
 fn main() -> ExitCode {
     ridl_obs::init_from_env();
     ridl_obs::init_tracing_from_env();
+    // The flight recorder dumps on panic (to RIDL_JOURNAL_JSONL when set,
+    // a stderr tail otherwise) — installed before any durability code runs.
+    ridl_obs::journal::install_panic_hook();
     let code = match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -592,8 +727,10 @@ fn main() -> ExitCode {
         }
     };
     // Under RIDL_METRICS_JSONL, close the run with a totals snapshot; under
-    // RIDL_TRACE_JSON, flush any spans not already exported by a subcommand.
+    // RIDL_TRACE_JSON, flush any spans not already exported by a subcommand;
+    // under RIDL_JOURNAL_JSONL, leave a final flight-recorder dump.
     ridl_obs::emit_snapshot("ridl");
     ridl_obs::write_chrome_trace_env();
+    ridl_obs::journal::dump_env();
     code
 }

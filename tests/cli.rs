@@ -331,6 +331,206 @@ fn recover_reports_store_state_and_exit_codes() {
 }
 
 #[test]
+fn status_inspects_store_offline() {
+    let schema = ridl_lang::parse(SCHEMA).unwrap();
+    let wb = ridl_core::Workbench::new(schema);
+    let out = wb.map(&ridl_core::MappingOptions::new()).unwrap();
+    let dir = std::env::temp_dir().join(format!("ridl-cli-status-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = ridl_engine::Database::open(&dir, out.rel.clone()).unwrap();
+    db.checkpoint().unwrap();
+    drop(db);
+
+    // Human summary: verdict + chain + wal lines, no schema required.
+    let (stdout, stderr, code) = ridl_with_input(&["status", dir.to_str().unwrap()], "");
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("verdict: clean"), "{stdout}");
+    assert!(stdout.contains("chain: epoch 1"), "{stdout}");
+    assert!(stdout.contains("wal: epoch 1"), "{stdout}");
+
+    // Machine-readable form.
+    let (stdout, stderr, code) = ridl_with_input(&["status", dir.to_str().unwrap(), "--json"], "");
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("\"verdict\": \"clean\""), "{stdout}");
+    assert!(stdout.contains("\"epoch\": 1"), "{stdout}");
+    assert!(
+        stdout.contains("\"base_file\": \"checkpoint.snap\""),
+        "{stdout}"
+    );
+
+    // Inspection is read-only: a second run sees the same store.
+    let (stdout2, _, code) = ridl_with_input(&["status", dir.to_str().unwrap(), "--json"], "");
+    assert_eq!(code, Some(0));
+    assert_eq!(stdout, stdout2, "inspection must not mutate the store");
+
+    // 3: a missing store directory is an input error.
+    let (_, stderr, code) = ridl_with_input(&["status", "/no/such/store"], "");
+    assert_eq!(code, Some(3), "{stderr}");
+    assert!(stderr.starts_with("ridl: store directory"), "{stderr}");
+    // 2: unknown flag.
+    let (_, _, code) = ridl_with_input(&["status", dir.to_str().unwrap(), "--bogus"], "");
+    assert_eq!(code, Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_dump_on_recovery_lists_replay_in_order() {
+    // A store whose WAL holds committed units not yet checkpointed, so
+    // reopening it replays them.
+    let schema = ridl_lang::parse(SCHEMA).unwrap();
+    let wb = ridl_core::Workbench::new(schema);
+    let out = wb.map(&ridl_core::MappingOptions::new()).unwrap();
+    let dir = std::env::temp_dir().join(format!("ridl-cli-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut db = ridl_engine::Database::open(&dir, out.rel.clone()).unwrap();
+        let paper = out
+            .rel
+            .tables()
+            .find(|(_, t)| t.name == "Paper")
+            .expect("mapped schema has Paper")
+            .1
+            .clone();
+        for r in 0..3 {
+            // Fill only NOT NULL columns (short values fit every CHAR
+            // domain; distinct per row for the unique key).
+            let row: Vec<Option<ridl_brm::Value>> = paper
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(c, col)| (!col.nullable).then(|| ridl_brm::Value::str(format!("{r}{c}"))))
+                .collect();
+            db.insert("Paper", row).unwrap();
+        }
+        // Drop without a checkpoint: the three commits stay in the WAL.
+    }
+
+    let dump = std::env::temp_dir().join(format!("ridl-cli-journal-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&dump);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ridl"))
+        .args(["recover", "-", dir.to_str().unwrap()])
+        .env("RIDL_JOURNAL_JSONL", &dump)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ridl");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(SCHEMA.as_bytes())
+        .unwrap();
+    let out2 = child.wait_with_output().unwrap();
+    assert!(
+        out2.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out2.stderr)
+    );
+
+    let text = std::fs::read_to_string(&dump).expect("journal dump written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines[0].contains("\"kind\":\"journal.meta\""),
+        "meta header first: {}",
+        lines[0]
+    );
+    // The replay record: begin, then one event per unit with a strictly
+    // increasing unit index, then done — in dump (= sequence) order.
+    let begin = lines
+        .iter()
+        .position(|l| l.contains("\"kind\":\"recover.begin\""));
+    let done = lines
+        .iter()
+        .position(|l| l.contains("\"kind\":\"recover.done\""));
+    assert!(begin.is_some() && done.is_some(), "{text}");
+    assert!(begin < done, "begin before done");
+    let units: Vec<usize> = lines
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"recover.replay\""))
+        .map(|l| {
+            let pat = "\"unit\":";
+            let s = l.find(pat).unwrap() + pat.len();
+            l[s..].split([',', '}']).next().unwrap().parse().unwrap()
+        })
+        .collect();
+    assert_eq!(units, vec![0, 1, 2], "replay events in order: {text}");
+
+    // `ridl events` filters the dump by kind prefix and tails it.
+    let (stdout, stderr, code) = ridl_with_input(
+        &["events", dump.to_str().unwrap(), "--kind", "recover."],
+        "",
+    );
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(
+        stdout.lines().count() >= 5,
+        "begin + 3 replays + done: {stdout}"
+    );
+    assert!(
+        stdout.lines().all(|l| l.contains("\"kind\":\"recover.")),
+        "{stdout}"
+    );
+    let (stdout, _, code) = ridl_with_input(
+        &[
+            "events",
+            dump.to_str().unwrap(),
+            "--kind",
+            "recover.",
+            "--tail",
+            "1",
+        ],
+        "",
+    );
+    assert_eq!(code, Some(0));
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+    assert!(stdout.contains("recover.done"), "{stdout}");
+
+    let _ = std::fs::remove_file(&dump);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn events_filters_by_severity_and_reports_errors() {
+    let path = std::env::temp_dir().join(format!("ridl-cli-events-{}.jsonl", std::process::id()));
+    std::fs::write(
+        &path,
+        concat!(
+            "{\"seq\":0,\"t_ns\":0,\"sev\":\"info\",\"kind\":\"journal.meta\",\"attrs\":{\"events\":4,\"overwritten\":0}}\n",
+            "{\"seq\":1,\"t_ns\":10,\"sev\":\"debug\",\"kind\":\"wal.append\",\"attrs\":{\"bytes\":64}}\n",
+            "{\"seq\":2,\"t_ns\":20,\"sev\":\"info\",\"kind\":\"ckpt.decision\",\"attrs\":{\"kind\":\"base\"}}\n",
+            "{\"seq\":3,\"t_ns\":30,\"sev\":\"warn\",\"kind\":\"wal.rewind\",\"attrs\":{\"ok\":true}}\n",
+            "{\"seq\":4,\"t_ns\":40,\"sev\":\"error\",\"kind\":\"wal.poison\"}\n",
+        ),
+    )
+    .unwrap();
+
+    let (stdout, stderr, code) =
+        ridl_with_input(&["events", path.to_str().unwrap(), "--min-sev", "warn"], "");
+    assert_eq!(code, Some(0), "{stderr}");
+    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+    assert!(
+        stdout.contains("wal.rewind") && stdout.contains("wal.poison"),
+        "{stdout}"
+    );
+    assert!(stderr.contains("2 of 4 event(s) shown"), "{stderr}");
+
+    let (stdout, _, code) =
+        ridl_with_input(&["events", path.to_str().unwrap(), "--kind", "wal."], "");
+    assert_eq!(code, Some(0));
+    assert_eq!(stdout.lines().count(), 3, "{stdout}");
+
+    // 2: bad severity; 3: missing file.
+    let (_, stderr, code) =
+        ridl_with_input(&["events", path.to_str().unwrap(), "--min-sev", "loud"], "");
+    assert_eq!(code, Some(2), "{stderr}");
+    let (_, _, code) = ridl_with_input(&["events", "/no/such/journal.jsonl"], "");
+    assert_eq!(code, Some(3));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn bad_input_fails_with_message() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_ridl"))
         .args(["check", "-"])

@@ -408,12 +408,56 @@ fn crash_case(
 
     // Reboot, losing all but `keep_unsynced` bytes of every volatile tail.
     io.crash(keep_unsynced);
+
+    // Offline inspection of the post-crash store, before recovery runs
+    // (and repairs anything): the read-only view `ridl status` serves
+    // must agree with what recovery is about to find.
+    let status = ridl_durable::inspect_store(io.as_ref(), &dir())
+        .map_err(|e| TestCaseError::fail(format!("offline inspection failed: {e}")))?;
+
     let recovered = Database::open_with(io.clone(), dir(), schema.clone(), cfg);
     let recovered = match recovered {
         Ok(db) => db,
         Err(e) => return Err(TestCaseError::fail(format!("recovery failed: {e}"))),
     };
     let rstate = recovered.state().clone();
+
+    // The inspector's contract: `corrupt` exactly when recovery would
+    // refuse the store — and recovery just succeeded. The chain head,
+    // delta count, and WAL scan must match the recovery report.
+    let rep = recovered.recovery_report().unwrap().clone();
+    prop_assert!(
+        status.verdict() != "corrupt",
+        "inspector called a recoverable store corrupt: {:?}",
+        status.corrupt
+    );
+    prop_assert_eq!(
+        status.epoch,
+        rep.checkpoint.map(|(e, _)| e),
+        "inspector chain-head epoch disagrees with recovery"
+    );
+    prop_assert_eq!(
+        status.chain_len,
+        rep.deltas_merged,
+        "inspector delta-chain length disagrees with recovery"
+    );
+    prop_assert_eq!(
+        status.wal.stale,
+        rep.stale_wal,
+        "inspector WAL staleness disagrees with recovery"
+    );
+    if !rep.stale_wal && !rep.replay_rejected {
+        prop_assert_eq!(
+            status.wal.units,
+            rep.units_replayed,
+            "inspector committed-unit count disagrees with recovery replay"
+        );
+        prop_assert_eq!(
+            status.wal.torn_bytes,
+            rep.bytes_discarded,
+            "inspector torn-tail bytes disagree with recovery discard"
+        );
+    }
 
     // The property: exactly a committed state, or the one uncertain one.
     let member =
@@ -660,4 +704,92 @@ fn v1_to_v2_upgrade_survives_a_crash_at_every_syscall() {
         );
         assert!(validate(schema, db2.state()).is_empty());
     }
+}
+
+// ---- the offline inspector CLI against a real on-disk crash store ----
+
+/// First integer after `"key": ` in a JSON text — enough for the flat,
+/// fixed-shape documents `ridl status --json` emits.
+fn json_u64(text: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let s = text
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {text}"))
+        + pat.len();
+    text[s..]
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} is not a number in {text}"))
+}
+
+/// The CI contract behind `ridl status --json`: on a store a crash left
+/// behind (checkpoint chain + WAL-only commits), the offline inspector's
+/// numbers must agree field-for-field with the `RecoveryReport` the
+/// engine produces when it actually reopens the store.
+#[test]
+fn ridl_status_json_agrees_with_the_recovery_report() {
+    let (schema, state) = cris_artifacts();
+    let dir = std::env::temp_dir().join(format!("ridl-crash-status-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut db = Database::open_with(
+            Arc::new(ridl_engine::StdIo),
+            &dir,
+            schema.clone(),
+            always_no_auto(),
+        )
+        .unwrap();
+        let rows = scenario::rows_of(schema, state);
+        db.bulk_load(rows.iter().cloned()).unwrap();
+        db.checkpoint().unwrap();
+        commit_one_delete(&mut db);
+        commit_one_delete(&mut db);
+        // Dropped without a checkpoint: both commits live only in the
+        // WAL — the shape a crash leaves behind.
+    }
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ridl"))
+        .args(["status", dir.to_str().unwrap(), "--json"])
+        .output()
+        .expect("ridl status runs");
+    assert!(
+        out.status.success(),
+        "ridl status failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8(out.stdout).unwrap();
+
+    let db = Database::open_with(
+        Arc::new(ridl_engine::StdIo),
+        &dir,
+        schema.clone(),
+        always_no_auto(),
+    )
+    .unwrap();
+    let rep = db.recovery_report().unwrap().clone();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Pending committed units are normal operation, not damage.
+    assert!(json.contains("\"verdict\": \"clean\""), "{json}");
+    let (epoch, _) = rep.checkpoint.expect("store has a checkpoint");
+    assert_eq!(json_u64(&json, "epoch"), epoch, "chain-head epoch");
+    assert_eq!(
+        json_u64(&json, "deltas"),
+        rep.deltas_merged as u64,
+        "delta-chain length"
+    );
+    assert_eq!(
+        json_u64(&json, "units"),
+        rep.units_replayed as u64,
+        "committed WAL units"
+    );
+    assert_eq!(
+        json_u64(&json, "torn_bytes"),
+        rep.bytes_discarded,
+        "torn-tail bytes"
+    );
+    assert_eq!(rep.units_replayed, 2, "both WAL-only commits replayed");
 }
