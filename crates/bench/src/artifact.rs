@@ -18,9 +18,13 @@ use std::path::Path;
 /// v3 adds the `wal_metrics` object (append/fsync/group-commit/recovery
 /// observability counters) and emits `null` — not a misleading literal
 /// `0` — for the percentile fields of block-timed phases that have no
-/// per-unit latency distribution. The validator still accepts v1 and v2
-/// artifacts committed by earlier PRs (numeric zero percentiles).
-pub const SCHEMA_VERSION: u64 = 3;
+/// per-unit latency distribution.
+/// v4 adds the `server` object: the many-client closed-loop server bench
+/// (sessions served, admission/backpressure rejects, client-observed
+/// read/write latency, reader latency under a write burst, and the
+/// cross-session commit-pipeline batch distribution). The validator still
+/// accepts v1–v3 artifacts committed by earlier PRs.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One timed phase of the macro run.
 #[derive(Clone, PartialEq, Debug)]
@@ -135,6 +139,53 @@ pub struct WalMetrics {
     pub fsync_p99_ns: u64,
 }
 
+/// The many-client closed-loop server benchmark (schema v4): N sessions
+/// over the wire protocol against one `ridl-server` instance, mixed
+/// read/write traffic, a deliberate admission-control overload wave, and
+/// a write burst with concurrent latency-probing readers.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ServerSummary {
+    /// Total client sessions served (connect → hello → … → disconnect).
+    pub sessions: u64,
+    /// Peak concurrently admitted sessions.
+    pub peak_sessions: u64,
+    /// Connections rejected by admission control during the overload
+    /// wave (`session.reject` / `server.admission_rejects`).
+    pub admission_rejects: u64,
+    /// Requests rejected by backpressure (in-flight or queue limits).
+    pub busy_rejects: u64,
+    /// Read statements served from published snapshots.
+    pub reads: u64,
+    /// Write statements committed through the pipeline.
+    pub writes: u64,
+    /// Correctness violations observed by the closed loop: a failed
+    /// expected-ok statement, a non-monotonic snapshot version, a
+    /// connection neither admitted nor cleanly rejected, or a final row
+    /// count that disagrees with the acknowledged writes. Must be zero.
+    pub anomalies: u64,
+    /// Wall-clock seconds for the whole server bench.
+    pub seconds: f64,
+    /// Reads + writes per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Client-observed read latency, median.
+    pub read_p50_ns: u64,
+    /// Client-observed read latency, 99th percentile.
+    pub read_p99_ns: u64,
+    /// Client-observed write (commit-acknowledged) latency, median.
+    pub write_p50_ns: u64,
+    /// Client-observed write latency, 99th percentile.
+    pub write_p99_ns: u64,
+    /// Reader-observed p99 latency *during the write burst* — the
+    /// snapshot-read isolation evidence (readers never block on the
+    /// writer).
+    pub burst_read_p99_ns: u64,
+    /// Median commit-pipeline batch size (concurrent writers coalesced
+    /// per WAL fsync; >1 under concurrent write load).
+    pub commit_batch_p50: u64,
+    /// Largest commit-pipeline batch observed.
+    pub commit_batch_max: u64,
+}
+
 /// Full-vs-incremental checkpoint cost from the macro run (schema v2).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct CheckpointSummary {
@@ -186,6 +237,8 @@ pub struct BenchArtifact {
     pub checkpoint: Option<CheckpointSummary>,
     /// WAL observability counters (required at [`SCHEMA_VERSION`] 3).
     pub wal_metrics: Option<WalMetrics>,
+    /// Many-client server bench (required at [`SCHEMA_VERSION`] 4).
+    pub server: Option<ServerSummary>,
 }
 
 /// Formats a float: finite values in shortest-roundtrip form, non-finite
@@ -305,6 +358,32 @@ impl BenchArtifact {
                 w.fsync_p99_ns,
             ));
         }
+        if let Some(v) = &self.server {
+            s.push_str(&format!(
+                "  \"server\": {{\"sessions\": {}, \"peak_sessions\": {}, \
+                 \"admission_rejects\": {}, \"busy_rejects\": {}, \"reads\": {}, \
+                 \"writes\": {}, \"anomalies\": {}, \"server_seconds\": {}, \
+                 \"server_ops_per_sec\": {}, \"read_p50_ns\": {}, \"read_p99_ns\": {}, \
+                 \"write_p50_ns\": {}, \"write_p99_ns\": {}, \"burst_read_p99_ns\": {}, \
+                 \"commit_batch_p50\": {}, \"commit_batch_max\": {}}},\n",
+                v.sessions,
+                v.peak_sessions,
+                v.admission_rejects,
+                v.busy_rejects,
+                v.reads,
+                v.writes,
+                v.anomalies,
+                num(v.seconds),
+                num(v.ops_per_sec),
+                v.read_p50_ns,
+                v.read_p99_ns,
+                v.write_p50_ns,
+                v.write_p99_ns,
+                v.burst_read_p99_ns,
+                v.commit_batch_p50,
+                v.commit_batch_max,
+            ));
+        }
         s.push_str(&format!(
             "  \"sigex\": {{\"examples\": {}, \"classes\": [{}]}}\n",
             self.sigex_examples,
@@ -379,6 +458,30 @@ const WAL_METRICS_KEYS: [&str; 8] = [
     "group_batch_p50",
     "group_batch_max",
     "fsync_p99_ns",
+];
+
+/// Keys the `server` object must carry at schema v4 and later. The
+/// seconds/ops keys are prefixed so they don't collide with the phase
+/// keys already in [`REQUIRED_KEYS`] (the validator checks key presence
+/// document-wide, so a bare `"seconds"` here would always pass).
+const SERVER_KEYS: [&str; 17] = [
+    "server",
+    "sessions",
+    "peak_sessions",
+    "admission_rejects",
+    "busy_rejects",
+    "reads",
+    "writes",
+    "anomalies",
+    "server_seconds",
+    "server_ops_per_sec",
+    "read_p50_ns",
+    "read_p99_ns",
+    "write_p50_ns",
+    "write_p99_ns",
+    "burst_read_p99_ns",
+    "commit_batch_p50",
+    "commit_batch_max",
 ];
 
 struct Scanner<'a> {
@@ -591,7 +694,7 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
         .ok_or("artifact carries no schema_version number")?;
     match version as u64 {
         1 => {}
-        v @ (2 | 3) => {
+        v @ 2..=4 => {
             for key in CHECKPOINT_KEYS {
                 if !sc.keys.contains(key) {
                     return Err(format!(
@@ -603,8 +706,15 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
                 for key in WAL_METRICS_KEYS {
                     if !sc.keys.contains(key) {
                         return Err(format!(
-                            "schema v3 artifact missing wal_metrics key \"{key}\""
+                            "schema v{v} artifact missing wal_metrics key \"{key}\""
                         ));
+                    }
+                }
+            }
+            if v >= 4 {
+                for key in SERVER_KEYS {
+                    if !sc.keys.contains(key) {
+                        return Err(format!("schema v{v} artifact missing server key \"{key}\""));
                     }
                 }
             }
@@ -747,6 +857,24 @@ mod tests {
                 group_batch_max: 4,
                 fsync_p99_ns: 0,
             }),
+            server: Some(ServerSummary {
+                sessions: 1000,
+                peak_sessions: 48,
+                admission_rejects: 17,
+                busy_rejects: 0,
+                reads: 6000,
+                writes: 3000,
+                anomalies: 0,
+                seconds: 2.5,
+                ops_per_sec: 3600.0,
+                read_p50_ns: 80_000,
+                read_p99_ns: 400_000,
+                write_p50_ns: 250_000,
+                write_p99_ns: 900_000,
+                burst_read_p99_ns: 350_000,
+                commit_batch_p50: 3,
+                commit_batch_max: 14,
+            }),
         }
     }
 
@@ -781,31 +909,44 @@ mod tests {
     fn older_schema_versions_still_validate() {
         let mut a = sample();
         a.checkpoint = None;
-        let v3_missing = a.to_json();
+        let no_ckpt = a.to_json();
         assert!(
-            validate_artifact(&v3_missing).is_err(),
-            "a v3 artifact must carry the checkpoint object"
+            validate_artifact(&no_ckpt).is_err(),
+            "a v4 artifact must carry the checkpoint object"
         );
-        let v1 = v3_missing.replace("\"schema_version\": 3", "\"schema_version\": 1");
+        let v1 = no_ckpt.replace("\"schema_version\": 4", "\"schema_version\": 1");
         validate_artifact(&v1).expect("legacy v1 layout validates");
-        let v9 = v3_missing.replace("\"schema_version\": 3", "\"schema_version\": 9");
+        let v9 = no_ckpt.replace("\"schema_version\": 4", "\"schema_version\": 9");
         assert!(validate_artifact(&v9).is_err(), "unknown version rejected");
 
         // v2: checkpoint object present, no wal_metrics, numeric zero
         // percentiles — the exact shape of committed BENCH_7/BENCH_8.
         let mut b = sample();
         b.wal_metrics = None;
+        b.server = None;
         let no_metrics = b.to_json();
         assert!(
             validate_artifact(&no_metrics).is_err(),
-            "a v3 artifact must carry the wal_metrics object"
+            "a v4 artifact must carry the wal_metrics object"
         );
         let v2 = no_metrics
-            .replace("\"schema_version\": 3", "\"schema_version\": 2")
+            .replace("\"schema_version\": 4", "\"schema_version\": 2")
             .replace("\"p50_ns\": null", "\"p50_ns\": 0")
             .replace("\"p90_ns\": null", "\"p90_ns\": 0")
             .replace("\"p99_ns\": null", "\"p99_ns\": 0");
         validate_artifact(&v2).expect("legacy v2 layout validates");
+
+        // v3: wal_metrics present, no server object — the exact shape of
+        // the committed BENCH_9.
+        let mut c = sample();
+        c.server = None;
+        let no_server = c.to_json();
+        assert!(
+            validate_artifact(&no_server).is_err(),
+            "a v4 artifact must carry the server object"
+        );
+        let v3 = no_server.replace("\"schema_version\": 4", "\"schema_version\": 3");
+        validate_artifact(&v3).expect("legacy v3 layout validates");
     }
 
     #[test]
@@ -818,7 +959,7 @@ mod tests {
         );
         // The per-unit `traffic` phase keeps its numbers.
         assert!(text.contains("\"p50_ns\": 10000"), "{text}");
-        validate_artifact(&text).expect("null percentiles validate at v3");
+        validate_artifact(&text).expect("null percentiles validate at v4");
     }
 
     #[test]

@@ -19,3 +19,4 @@
 pub mod artifact;
 pub mod harness;
 pub mod pipeline;
+pub mod server_bench;

@@ -1,8 +1,9 @@
 //! The RIDL-Bench macro driver: one closed-loop run through the whole
 //! pipeline — synthesize → analyze/map → populate → `bulk_load` into a
 //! WAL-backed store → mixed mutation/query traffic → significant-example
-//! stress → checkpoint → more traffic → simulated crash → recovery —
-//! with every phase timed and the result packaged as a [`BenchArtifact`].
+//! stress → checkpoint → more traffic → simulated crash → recovery →
+//! many-client server bench — with every phase timed and the result
+//! packaged as a [`BenchArtifact`].
 //!
 //! `ridl bench` and the `macro_pipeline` criterion bench both call
 //! [`run_macro`]; the smoke test runs it at tiny scale under
@@ -37,6 +38,8 @@ pub struct MacroConfig {
     /// Durable store directory; `None` uses a scratch dir under the
     /// system temp dir, removed when the run finishes.
     pub store_dir: Option<PathBuf>,
+    /// Closed-loop sessions in the many-client server phase.
+    pub server_sessions: usize,
 }
 
 impl Default for MacroConfig {
@@ -46,6 +49,7 @@ impl Default for MacroConfig {
             traffic_ops: 2_000,
             pr: 7,
             store_dir: None,
+            server_sessions: 1_000,
         }
     }
 }
@@ -60,13 +64,15 @@ impl MacroConfig {
                 target_rows: 1_500,
             },
             traffic_ops: 120,
+            server_sessions: 40,
             ..Self::default()
         }
     }
 
     /// Reads overrides from `RIDL_BENCH_SEED`, `RIDL_BENCH_ROWS`,
-    /// `RIDL_BENCH_OPS` and `RIDL_BENCH_PR` on top of the defaults
-    /// (seed 1989, 100k rows, 2000 ops, pr 7).
+    /// `RIDL_BENCH_OPS`, `RIDL_BENCH_PR` and `RIDL_BENCH_SESSIONS` on
+    /// top of the defaults (seed 1989, 100k rows, 2000 ops, pr 7, 1000
+    /// server sessions).
     pub fn from_env() -> Self {
         fn get(var: &str) -> Option<u64> {
             std::env::var(var).ok().and_then(|v| v.parse().ok())
@@ -83,6 +89,9 @@ impl MacroConfig {
         }
         if let Some(v) = get("RIDL_BENCH_PR") {
             cfg.pr = v;
+        }
+        if let Some(v) = get("RIDL_BENCH_SESSIONS") {
+            cfg.server_sessions = v as usize;
         }
         cfg
     }
@@ -373,7 +382,29 @@ pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
     };
     ridl_obs::set_detail(detail_was);
 
-    // Phase 11 — simulated crash + recovery. flush_wal stands in for the
+    // Phase 11 — the many-client server bench: closed-loop sessions over
+    // the wire protocol against an in-process server on its own durable
+    // store. It runs before the simulated crash so the recovery events
+    // below stay the newest entries in the bounded journal ring (the
+    // flight recorder would otherwise evict them under thousands of
+    // session.* events), and before the WAL accounting at the end so its
+    // concurrent group commits land in `wal_metrics` (that's where the
+    // commits-per-fsync evidence comes from).
+    let t = Instant::now();
+    let server = crate::server_bench::run_server_bench(cfg.server_sessions)?;
+    phases.push(PhaseStat::block(
+        "serve",
+        t.elapsed().as_secs_f64(),
+        server.sessions,
+    ));
+    if server.anomalies != 0 {
+        return Err(format!(
+            "server bench observed {} anomalies (see bench.server_anomaly journal events)",
+            server.anomalies
+        ));
+    }
+
+    // Phase 12 — simulated crash + recovery. flush_wal stands in for the
     // group-commit window; dropping the handle without a checkpoint
     // leaves the WAL as the only record of the tail traffic, on top of
     // the base + delta chain.
@@ -475,5 +506,6 @@ pub fn run_macro(cfg: &MacroConfig) -> Result<BenchArtifact, String> {
             churn_rows,
         }),
         wal_metrics: Some(wal_metrics),
+        server: Some(server),
     })
 }

@@ -99,13 +99,33 @@ fn macro_pipeline_smoke() {
             target_rows: 600,
         },
         traffic_ops: 60,
+        server_sessions: 24,
         ..MacroConfig::default()
     };
     let art = run_macro(&cfg).expect("macro pipeline runs clean at smoke scale");
     assert!(art.rows_loaded >= 300);
     assert!(art.sigex_examples >= 3);
     assert!(art.per_class.iter().any(|c| c.class == "key"));
+    let server = art
+        .server
+        .as_ref()
+        .expect("v4 artifact carries the server object");
+    assert_eq!(server.anomalies, 0);
+    assert!(server.sessions >= 24, "served {} sessions", server.sessions);
+    assert!(server.admission_rejects > 0, "overload wave never rejected");
+    assert!(server.reads > 0 && server.writes > 0);
     validate_artifact(&art.to_json()).expect("artifact validates");
+}
+
+// -- server_bench: the many-client phase alone at tiny scale --
+#[test]
+fn server_bench_smoke() {
+    let s = ridl_bench::server_bench::run_server_bench(12).expect("server bench runs clean");
+    assert_eq!(s.anomalies, 0);
+    assert!(s.sessions >= 12);
+    assert!(s.writes >= 12 + 4 * 25, "churn + burst inserts committed");
+    assert!(s.admission_rejects > 0);
+    assert!(s.commit_batch_max >= 1);
 }
 
 // -- fig4_sublink: eliminate one sublink, state round trip --

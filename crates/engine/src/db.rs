@@ -142,7 +142,7 @@ pub struct Database {
     pub(crate) schema: RelSchema,
     pub(crate) state: RelState,
     indexes: ConstraintIndexes,
-    views: HashMap<String, Query>,
+    pub(crate) views: HashMap<String, Query>,
     /// Applied row operations since the outermost transaction began (or
     /// since the last statement, outside transactions). Rolling back means
     /// replaying a suffix in reverse with each op inverted.
@@ -839,7 +839,7 @@ impl Database {
 
     /// Runs a query; rows carry the projected columns in order.
     pub fn select(&self, q: &Query) -> Result<Vec<Row>, EngineError> {
-        self.select_impl(q, &mut None)
+        execute_query(&self.schema, &self.state, q, &mut None)
     }
 
     /// Executes a query while recording its plan: each step (scan, join,
@@ -847,130 +847,7 @@ impl Database {
     /// measured, not estimated — the point is seeing where rows multiply
     /// or vanish in a nested-loop join.
     pub fn explain(&self, q: &Query) -> Result<QueryExplain, EngineError> {
-        ridl_obs::metrics().explains.inc();
-        let mut ex = Some(QueryExplain::default());
-        let rows = self.select_impl(q, &mut ex)?;
-        let mut ex = ex.expect("explain plan present");
-        ex.rows_out = rows.len();
-        Ok(ex)
-    }
-
-    fn select_impl(
-        &self,
-        q: &Query,
-        explain: &mut Option<QueryExplain>,
-    ) -> Result<Vec<Row>, EngineError> {
-        // Assemble the joined relation as (qualified name -> index) + rows.
-        let tid = self.table_id(&q.table)?;
-        let mut columns: Vec<String> = self
-            .schema
-            .table(tid)
-            .columns
-            .iter()
-            .map(|c| format!("{}.{}", q.table, c.name))
-            .collect();
-        let mut rows: Vec<Row> = self.state.rows(tid).iter().cloned().collect();
-        if let Some(e) = explain {
-            e.step(
-                "scan",
-                &q.table,
-                rows.len(),
-                format!("{} columns", columns.len()),
-            );
-        }
-
-        for join in &q.joins {
-            let jt = self.table_id(&join.table)?;
-            let j_cols: Vec<String> = self
-                .schema
-                .table(jt)
-                .columns
-                .iter()
-                .map(|c| format!("{}.{}", join.table, c.name))
-                .collect();
-            let on: Vec<(usize, u32)> = join
-                .on
-                .iter()
-                .map(|(l, r)| {
-                    let li = resolve_col(&columns, l)?;
-                    let ri = self
-                        .schema
-                        .table(jt)
-                        .column_by_name(r)
-                        .ok_or_else(|| EngineError::Unknown(format!("column {r}")))?;
-                    Ok((li, ri))
-                })
-                .collect::<Result<_, EngineError>>()?;
-            let mut joined = Vec::new();
-            for row in &rows {
-                for jrow in self.state.rows(jt) {
-                    if on.iter().all(|(li, ri)| row[*li] == jrow[*ri as usize]) {
-                        let mut merged = row.clone();
-                        merged.extend(jrow.iter().cloned());
-                        joined.push(merged);
-                    }
-                }
-            }
-            columns.extend(j_cols);
-            rows = joined;
-            if let Some(e) = explain {
-                let keys: Vec<&str> = join.on.iter().map(|(l, _)| l.as_str()).collect();
-                e.step(
-                    "join",
-                    &join.table,
-                    rows.len(),
-                    format!("nested-loop on {}", keys.join(", ")),
-                );
-            }
-        }
-
-        // Filter.
-        let mut filtered = Vec::new();
-        'rows: for row in rows {
-            for p in &q.filter {
-                let matches = match p {
-                    Pred::Eq(c, v) => row[resolve_col(&columns, c)?].as_ref() == Some(v),
-                    Pred::IsNull(c) => row[resolve_col(&columns, c)?].is_none(),
-                    Pred::NotNull(c) => row[resolve_col(&columns, c)?].is_some(),
-                };
-                if !matches {
-                    continue 'rows;
-                }
-            }
-            filtered.push(row);
-        }
-        if let Some(e) = explain {
-            if !q.filter.is_empty() {
-                e.step(
-                    "filter",
-                    format!("{} predicate(s)", q.filter.len()),
-                    filtered.len(),
-                    String::new(),
-                );
-            }
-        }
-
-        // Project.
-        if q.select.is_empty() {
-            return Ok(filtered);
-        }
-        let proj: Vec<usize> = q
-            .select
-            .iter()
-            .map(|c| resolve_col(&columns, c))
-            .collect::<Result<_, _>>()?;
-        if let Some(e) = explain {
-            e.step(
-                "project",
-                q.select.join(", "),
-                filtered.len(),
-                String::new(),
-            );
-        }
-        Ok(filtered
-            .into_iter()
-            .map(|row| proj.iter().map(|i| row[*i].clone()).collect())
-            .collect())
+        explain_query(&self.schema, &self.state, q)
     }
 
     /// Executes a [`ColumnSelection`] — a forwards-map SELECT — directly.
@@ -1110,6 +987,146 @@ impl Database {
         self.revert_to(mark);
         Ok(())
     }
+}
+
+/// Runs a query against an arbitrary `(schema, state)` pair. This is the
+/// whole query executor as a free function, so read-only handles — the
+/// [`Database`] itself, but also [`crate::snapshot::ReadSnapshot`] versions
+/// frozen for concurrent sessions — execute identical plans over whatever
+/// state they hold, through `&self`.
+pub(crate) fn execute_query(
+    schema: &RelSchema,
+    state: &RelState,
+    q: &Query,
+    explain: &mut Option<QueryExplain>,
+) -> Result<Vec<Row>, EngineError> {
+    let table_id = |name: &str| -> Result<TableId, EngineError> {
+        schema
+            .table_by_name(name)
+            .ok_or_else(|| EngineError::Unknown(format!("table {name}")))
+    };
+    // Assemble the joined relation as (qualified name -> index) + rows.
+    let tid = table_id(&q.table)?;
+    let mut columns: Vec<String> = schema
+        .table(tid)
+        .columns
+        .iter()
+        .map(|c| format!("{}.{}", q.table, c.name))
+        .collect();
+    let mut rows: Vec<Row> = state.rows(tid).iter().cloned().collect();
+    if let Some(e) = explain {
+        e.step(
+            "scan",
+            &q.table,
+            rows.len(),
+            format!("{} columns", columns.len()),
+        );
+    }
+
+    for join in &q.joins {
+        let jt = table_id(&join.table)?;
+        let j_cols: Vec<String> = schema
+            .table(jt)
+            .columns
+            .iter()
+            .map(|c| format!("{}.{}", join.table, c.name))
+            .collect();
+        let on: Vec<(usize, u32)> = join
+            .on
+            .iter()
+            .map(|(l, r)| {
+                let li = resolve_col(&columns, l)?;
+                let ri = schema
+                    .table(jt)
+                    .column_by_name(r)
+                    .ok_or_else(|| EngineError::Unknown(format!("column {r}")))?;
+                Ok((li, ri))
+            })
+            .collect::<Result<_, EngineError>>()?;
+        let mut joined = Vec::new();
+        for row in &rows {
+            for jrow in state.rows(jt) {
+                if on.iter().all(|(li, ri)| row[*li] == jrow[*ri as usize]) {
+                    let mut merged = row.clone();
+                    merged.extend(jrow.iter().cloned());
+                    joined.push(merged);
+                }
+            }
+        }
+        columns.extend(j_cols);
+        rows = joined;
+        if let Some(e) = explain {
+            let keys: Vec<&str> = join.on.iter().map(|(l, _)| l.as_str()).collect();
+            e.step(
+                "join",
+                &join.table,
+                rows.len(),
+                format!("nested-loop on {}", keys.join(", ")),
+            );
+        }
+    }
+
+    // Filter.
+    let mut filtered = Vec::new();
+    'rows: for row in rows {
+        for p in &q.filter {
+            let matches = match p {
+                Pred::Eq(c, v) => row[resolve_col(&columns, c)?].as_ref() == Some(v),
+                Pred::IsNull(c) => row[resolve_col(&columns, c)?].is_none(),
+                Pred::NotNull(c) => row[resolve_col(&columns, c)?].is_some(),
+            };
+            if !matches {
+                continue 'rows;
+            }
+        }
+        filtered.push(row);
+    }
+    if let Some(e) = explain {
+        if !q.filter.is_empty() {
+            e.step(
+                "filter",
+                format!("{} predicate(s)", q.filter.len()),
+                filtered.len(),
+                String::new(),
+            );
+        }
+    }
+
+    // Project.
+    if q.select.is_empty() {
+        return Ok(filtered);
+    }
+    let proj: Vec<usize> = q
+        .select
+        .iter()
+        .map(|c| resolve_col(&columns, c))
+        .collect::<Result<_, _>>()?;
+    if let Some(e) = explain {
+        e.step(
+            "project",
+            q.select.join(", "),
+            filtered.len(),
+            String::new(),
+        );
+    }
+    Ok(filtered
+        .into_iter()
+        .map(|row| proj.iter().map(|i| row[*i].clone()).collect())
+        .collect())
+}
+
+/// Runs [`execute_query`] with plan recording on; see [`Database::explain`].
+pub(crate) fn explain_query(
+    schema: &RelSchema,
+    state: &RelState,
+    q: &Query,
+) -> Result<QueryExplain, EngineError> {
+    ridl_obs::metrics().explains.inc();
+    let mut ex = Some(QueryExplain::default());
+    let rows = execute_query(schema, state, q, &mut ex)?;
+    let mut ex = ex.expect("explain plan present");
+    ex.rows_out = rows.len();
+    Ok(ex)
 }
 
 /// Resolves a column reference against the joined relation's qualified

@@ -22,10 +22,12 @@ pub mod db;
 pub mod durable;
 pub mod query;
 pub mod report;
+pub mod snapshot;
 
 pub use db::{BatchOp, Database, EngineError, ValidationMode};
 pub use query::{Pred, Query};
 pub use report::{ConstraintCost, EnforcementReport, ExplainStep, QueryExplain};
+pub use snapshot::ReadSnapshot;
 
 // Durability configuration and recovery reporting, re-exported so engine
 // users need not depend on ridl-durable directly.

@@ -222,7 +222,8 @@ macro_rules! enforcement_counters {
         /// `engine.*` statement accounting, `index.*` maintenance and
         /// probes, `validate.*` validator strategy counts, `transform.*`
         /// mapper activity, `wal.*` durability (appends, fsyncs,
-        /// checkpoints, recovery replay).
+        /// checkpoints, recovery replay), `server.*` the multi-session
+        /// front-end (admissions, request mix, commit batching).
         #[derive(Debug)]
         pub struct EnforcementMetrics {
             /// Per-constraint-class check/violation/time accounts.
@@ -295,6 +296,17 @@ enforcement_counters! {
     span_dropped => "span.dropped",
     journal_events => "journal.events",
     journal_overwritten => "journal.overwritten",
+    snapshots_taken => "engine.snapshots",
+    server_sessions => "server.sessions",
+    server_sessions_peak => "server.sessions.peak",
+    server_admission_rejects => "server.admission_rejects",
+    server_requests => "server.requests",
+    server_reads => "server.reads",
+    server_writes => "server.writes",
+    server_busy_rejects => "server.busy_rejects",
+    server_proto_errors => "server.proto_errors",
+    server_commit_batches => "server.commit_batches",
+    server_commit_batch_ops => "server.commit_batch_ops",
 }
 
 static METRICS: EnforcementMetrics = EnforcementMetrics::new();

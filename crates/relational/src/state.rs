@@ -1,6 +1,7 @@
 //! Relational database states.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use ridl_brm::Value;
 
@@ -14,6 +15,12 @@ pub type Row = Vec<Option<Value>>;
 /// Sets (not bags) — the paper's model-theoretic treatment works with
 /// relations proper; `BTreeSet` keeps iteration deterministic.
 ///
+/// Tables are held behind `Arc` with copy-on-write mutation
+/// ([`Arc::make_mut`]): cloning a state is O(tables) regardless of row
+/// count, so a clone serves as a cheap immutable **snapshot**. Mutating
+/// either side after a clone copies only the touched table. This is what
+/// lets server sessions read a frozen version while the writer advances.
+///
 /// Each table carries a monotone **mutation counter**, bumped on every
 /// effective [`RelState::insert`]/[`RelState::remove`]. The durability
 /// layer reads the counters to estimate churn between checkpoints; they
@@ -21,7 +28,7 @@ pub type Row = Vec<Option<Value>>;
 /// with the same rows are equal regardless of how they got there).
 #[derive(Clone, Default, Debug)]
 pub struct RelState {
-    tables: Vec<BTreeSet<Row>>,
+    tables: Vec<Arc<BTreeSet<Row>>>,
     mutations: Vec<u64>,
 }
 
@@ -37,14 +44,14 @@ impl RelState {
     /// An empty state for a schema with `num_tables` tables.
     pub fn with_tables(num_tables: usize) -> Self {
         Self {
-            tables: vec![BTreeSet::new(); num_tables],
+            tables: (0..num_tables).map(|_| Arc::new(BTreeSet::new())).collect(),
             mutations: vec![0; num_tables],
         }
     }
 
     /// Inserts a row; returns false if it was already present.
     pub fn insert(&mut self, table: TableId, row: Row) -> bool {
-        let done = self.tables[table.index()].insert(row);
+        let done = Arc::make_mut(&mut self.tables[table.index()]).insert(row);
         if done {
             self.mutations[table.index()] += 1;
         }
@@ -53,7 +60,7 @@ impl RelState {
 
     /// Removes a row; returns false if absent.
     pub fn remove(&mut self, table: TableId, row: &Row) -> bool {
-        let done = self.tables[table.index()].remove(row);
+        let done = Arc::make_mut(&mut self.tables[table.index()]).remove(row);
         if done {
             self.mutations[table.index()] += 1;
         }
@@ -78,9 +85,22 @@ impl RelState {
         &self.tables[table.index()]
     }
 
-    /// Mutable rows of a table.
+    /// Mutable rows of a table (copy-on-write: unshares the table first).
     pub fn rows_mut(&mut self, table: TableId) -> &mut BTreeSet<Row> {
-        &mut self.tables[table.index()]
+        Arc::make_mut(&mut self.tables[table.index()])
+    }
+
+    /// True if `other` shares the underlying storage of every table with
+    /// `self` — i.e. the two states are clones with no mutation on either
+    /// side since the clone. Used by snapshot tests to prove reads are
+    /// zero-copy.
+    pub fn shares_storage_with(&self, other: &RelState) -> bool {
+        self.tables.len() == other.tables.len()
+            && self
+                .tables
+                .iter()
+                .zip(&other.tables)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
     }
 
     /// Number of tables the state covers.
@@ -160,6 +180,25 @@ mod tests {
         assert_eq!(a, b);
         b.insert(TableId(1), vec![v("z")]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut st = RelState::with_tables(2);
+        st.insert(TableId(0), vec![v("a")]);
+        let snap = st.clone();
+        assert!(snap.shares_storage_with(&st));
+        // Mutating the original unshares only the touched table; the
+        // snapshot keeps observing the frozen version.
+        st.insert(TableId(0), vec![v("b")]);
+        assert!(!snap.shares_storage_with(&st));
+        assert_eq!(snap.rows(TableId(0)).len(), 1);
+        assert_eq!(st.rows(TableId(0)).len(), 2);
+        // Ineffective mutation through make_mut still unshares, but rows
+        // stay equal.
+        let snap2 = st.clone();
+        assert!(!st.insert(TableId(0), vec![v("b")]));
+        assert_eq!(snap2, st);
     }
 
     #[test]

@@ -20,8 +20,18 @@
 //! ridl status  <store-dir> [--json]              inspect a store offline (read-only):
 //!                                                checkpoint chain, WAL health, debris
 //! ridl events  <journal.jsonl> [--kind P] [--min-sev S] [--tail N]
-//!                                                tail/filter a flight-recorder dump
-//! ridl bench   [--rows N] [--ops N] [--seed N] [--pr N] [--out FILE] [--dir DIR]
+//!                                                tail/filter a flight-recorder dump;
+//!                                                --kind filters by prefix, e.g.
+//!                                                session. (connect/hello/statement/
+//!                                                reject/disconnect), net. (listen/
+//!                                                shutdown), wal., engine.
+//! ridl serve   <schema.ridl> [--dir STORE] [--addr A] [--max-sessions N]
+//!                                                serve the mapped schema over TCP
+//!                                                (line-delimited JSON protocol);
+//!                                                stops on the shutdown command
+//! ridl client  <addr> [--hello NAME]             scriptable client: request lines
+//!                                                from stdin, response lines to stdout
+//! ridl bench   [--rows N] [--ops N] [--sessions N] [--seed N] [--pr N] [--out FILE] [--dir DIR]
 //!                                                run the RIDL-Bench macro pipeline,
 //!                                                write the BENCH_<pr>.json artifact
 //! ridl benchcheck <BENCH_x.json>                 validate a bench artifact
@@ -216,7 +226,7 @@ fn drive_engine(wb: &Workbench, out: &ridl_core::MappingOutput) {
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or_else(|| {
-        usage("usage: ridl <check|map|report|trace|profile|fmt|query|recover|status|events|bench> <schema.ridl> [options]")
+        usage("usage: ridl <check|map|report|trace|profile|fmt|query|recover|status|events|serve|client|bench> <schema.ridl> [options]")
     })?;
     match cmd.as_str() {
         "check" => {
@@ -607,6 +617,9 @@ fn run() -> Result<(), CliError> {
                         cfg.params.target_rows = parse_num(a, next_val(a, &mut it)?)? as usize;
                     }
                     "--ops" => cfg.traffic_ops = parse_num(a, next_val(a, &mut it)?)? as usize,
+                    "--sessions" => {
+                        cfg.server_sessions = parse_num(a, next_val(a, &mut it)?)? as usize;
+                    }
                     "--seed" => cfg.params.seed = parse_num(a, next_val(a, &mut it)?)?,
                     "--pr" => cfg.pr = parse_num(a, next_val(a, &mut it)?)?,
                     "--out" => out_path = Some(next_val(a, &mut it)?),
@@ -618,8 +631,8 @@ fn run() -> Result<(), CliError> {
             }
             let out_path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", cfg.pr));
             eprintln!(
-                "-- RIDL-Bench: seed {}, target {} rows, {} traffic ops",
-                cfg.params.seed, cfg.params.target_rows, cfg.traffic_ops
+                "-- RIDL-Bench: seed {}, target {} rows, {} traffic ops, {} server sessions",
+                cfg.params.seed, cfg.params.target_rows, cfg.traffic_ops, cfg.server_sessions
             );
             let art = ridl_bench::pipeline::run_macro(&cfg)
                 .map_err(|e| CliError::Corrupt(format!("macro benchmark failed: {e}")))?;
@@ -665,9 +678,125 @@ fn run() -> Result<(), CliError> {
                     c.delta_bytes as f64 / c.full_bytes as f64
                 );
             }
+            if let Some(s) = &art.server {
+                println!(
+                    "   server: {} sessions (peak {}), {} reads / {} writes at {:.0} ops/s, \
+                     {} admission + {} busy rejects, {} anomalies; read p99 {:.1} us \
+                     (burst {:.1} us), write p99 {:.1} us, commit batch p50 {} max {}",
+                    s.sessions,
+                    s.peak_sessions,
+                    s.reads,
+                    s.writes,
+                    s.ops_per_sec,
+                    s.admission_rejects,
+                    s.busy_rejects,
+                    s.anomalies,
+                    s.read_p99_ns as f64 / 1e3,
+                    s.burst_read_p99_ns as f64 / 1e3,
+                    s.write_p99_ns as f64 / 1e3,
+                    s.commit_batch_p50,
+                    s.commit_batch_max
+                );
+            }
             art.write(std::path::Path::new(&out_path))
                 .map_err(|e| CliError::Input(format!("writing {out_path}: {e}")))?;
             println!("-- wrote {out_path}");
+            Ok(())
+        }
+        "serve" => {
+            let (path, flags) = rest.split_first().ok_or_else(|| {
+                usage("usage: ridl serve <schema.ridl> [--dir STORE] [--addr A] [--max-sessions N]")
+            })?;
+            let mut addr = "127.0.0.1:7077".to_string();
+            let mut dir: Option<String> = None;
+            let mut cfg = ridl_server::ServerConfig::default();
+            let mut it = flags.iter();
+            while let Some(a) = it.next() {
+                let value = |it: &mut std::slice::Iter<String>| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage(&format!("{a} needs a value")))
+                };
+                match a.as_str() {
+                    "--addr" => addr = value(&mut it)?,
+                    "--dir" => dir = Some(value(&mut it)?),
+                    "--max-sessions" => {
+                        let v = value(&mut it)?;
+                        cfg.max_sessions = v.parse().map_err(|_| {
+                            usage(&format!("--max-sessions needs a number, got {v}"))
+                        })?;
+                    }
+                    other => return Err(usage(&format!("unknown serve option {other}"))),
+                }
+            }
+            let (_, out, _) = mapped(path, &[])?;
+            // The commit pipeline owns the fsync cadence (one per batch via
+            // flush_wal), so the store itself must never fsync per commit.
+            let db = match &dir {
+                None => ridl_engine::Database::create(out.rel.clone())
+                    .map_err(|e| CliError::Parse(format!("creating database: {e}")))?,
+                Some(d) => ridl_engine::Database::open_with(
+                    std::sync::Arc::new(ridl_engine::StdIo),
+                    d,
+                    out.rel.clone(),
+                    ridl_engine::Durability {
+                        fsync: ridl_engine::FsyncPolicy::Never,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| CliError::Corrupt(format!("opening store {d}: {e}")))?,
+            };
+            let server = ridl_server::Server::start(db, &addr, cfg)
+                .map_err(|e| CliError::Input(format!("binding {addr}: {e}")))?;
+            println!("-- serving {} at {}", out.rel.name, server.addr());
+            println!(
+                "   line-delimited JSON; send {{\"cmd\":\"shutdown\"}} to stop \
+                 (see DESIGN.md §13)"
+            );
+            server.wait_shutdown_request();
+            server
+                .shutdown()
+                .map_err(|e| CliError::Corrupt(format!("shutdown: {e}")))?;
+            println!("-- server stopped cleanly");
+            Ok(())
+        }
+        "client" => {
+            let (addr, flags) = rest
+                .split_first()
+                .ok_or_else(|| usage("usage: ridl client <addr> [--hello NAME]"))?;
+            let mut hello: Option<String> = None;
+            match flags {
+                [] => {}
+                [f, name] if f == "--hello" => hello = Some(name.clone()),
+                _ => return Err(usage("usage: ridl client <addr> [--hello NAME]")),
+            }
+            let mut client = ridl_server::Client::connect(addr)
+                .map_err(|e| CliError::Input(format!("connecting to {addr}: {e}")))?;
+            if let Some(name) = hello {
+                let r = client
+                    .hello(&name)
+                    .map_err(|e| CliError::Input(format!("hello: {e}")))?;
+                println!("{r}");
+            }
+            // Scriptable mode: one request line in from stdin, one response
+            // line out — ids are the caller's responsibility.
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match stdin.read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e) => return Err(CliError::Input(format!("reading stdin: {e}"))),
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let r = client
+                    .send_raw(line.trim())
+                    .map_err(|e| CliError::Input(format!("request failed: {e}")))?;
+                println!("{r}");
+            }
             Ok(())
         }
         "benchcheck" => {

@@ -552,3 +552,99 @@ fn bad_input_fails_with_message() {
     assert!(!ok);
     assert!(stderr.contains("unknown command"));
 }
+
+/// `ridl serve` + `ridl client` end to end: a scripted session against a
+/// durable store, a protocol-driven shutdown, a `clean` status verdict,
+/// and `session.` / `net.` journal kinds filterable via `ridl events`.
+#[test]
+fn serve_and_client_round_trip_with_session_journal() {
+    use std::io::BufRead;
+    let dir = std::env::temp_dir().join(format!("ridl-cli-serve-{}", std::process::id()));
+    let dump = std::env::temp_dir().join(format!("ridl-cli-serve-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&dump);
+
+    // Serve on an OS-assigned port; the bound address is printed.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_ridl"))
+        .args([
+            "serve",
+            "-",
+            "--addr",
+            "127.0.0.1:0",
+            "--dir",
+            dir.to_str().unwrap(),
+        ])
+        .env("RIDL_JOURNAL_JSONL", &dump)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ridl serve");
+    // Write the schema and close stdin — `serve -` reads it to EOF.
+    let mut stdin = server.stdin.take().unwrap();
+    stdin.write_all(SCHEMA.as_bytes()).unwrap();
+    drop(stdin);
+    let mut stdout = std::io::BufReader::new(server.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .trim()
+        .rsplit(" at ")
+        .next()
+        .expect("bound address in banner")
+        .to_string();
+
+    // A scripted client session: write, read back, shut the server down.
+    let script = concat!(
+        r#"{"id":1,"cmd":"hello","client":"cli-test"}"#,
+        "\n",
+        r#"{"id":2,"cmd":"insert","table":"Paper","row":["P1",null]}"#,
+        "\n",
+        r#"{"id":3,"cmd":"query","table":"Paper"}"#,
+        "\n",
+        r#"{"id":4,"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let (out, err, code) = ridl_with_input(&["client", &addr], script);
+    assert_eq!(code, Some(0), "{err}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 4, "{out}");
+    assert!(
+        lines[0].contains("\"tables\":[\"Paper\",\"Program_Paper\"]"),
+        "{out}"
+    );
+    assert!(lines[1].contains("\"seq\":1"), "{out}");
+    assert!(lines[2].contains("\"rows\":[[\"P1\",null]]"), "{out}");
+    assert!(lines[3].contains("\"stopping\":true"), "{out}");
+
+    let status = server.wait_with_output().unwrap();
+    assert!(
+        status.status.success(),
+        "{}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+
+    // The protocol shutdown checkpointed: the store inspects as clean.
+    let (stdout, stderr, code) = ridl_with_input(&["status", dir.to_str().unwrap(), "--json"], "");
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("\"verdict\": \"clean\""), "{stdout}");
+
+    // The journal recorded the session lifecycle; `--kind session.` and
+    // `--kind net.` select exactly those events.
+    let (stdout, _, code) = ridl_with_input(
+        &["events", dump.to_str().unwrap(), "--kind", "session."],
+        "",
+    );
+    assert_eq!(code, Some(0));
+    for kind in ["session.connect", "session.hello", "session.disconnect"] {
+        assert!(stdout.contains(kind), "missing {kind}: {stdout}");
+    }
+    let (stdout, _, code) =
+        ridl_with_input(&["events", dump.to_str().unwrap(), "--kind", "net."], "");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("net.listen"), "{stdout}");
+    assert!(stdout.contains("net.shutdown"), "{stdout}");
+
+    let _ = std::fs::remove_file(&dump);
+    let _ = std::fs::remove_dir_all(&dir);
+}
